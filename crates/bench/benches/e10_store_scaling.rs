@@ -1,0 +1,129 @@
+//! E10 — triple-store scaling (§2.1's Virtuoso role).
+//!
+//! Bulk-load throughput, pattern-match latency and SPARQL BGP latency
+//! as the store grows, plus dictionary/index size statistics.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, row, time_once};
+use lodify_rdf::{Literal, Term, Triple};
+use lodify_store::Store;
+
+/// Synthesizes `n` triples shaped like platform data: `n/10` subjects
+/// with ten properties each.
+fn synth_triples(n: usize) -> Vec<Triple> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let subject = format!("http://t/resource/{}", i / 10);
+        let triple = match i % 10 {
+            0 => Triple::spo(
+                &subject,
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                Term::iri_unchecked("http://rdfs.org/sioc/types#MicroblogPost"),
+            ),
+            1 => Triple::spo(
+                &subject,
+                "http://www.w3.org/2000/01/rdf-schema#label",
+                Term::Literal(Literal::simple(format!("resource number {i}"))),
+            ),
+            2 => Triple::spo(
+                &subject,
+                "http://purl.org/stuff/rev#rating",
+                Term::Literal(Literal::integer((i / 10 % 5) as i64 + 1)),
+            ),
+            k => Triple::spo(
+                &subject,
+                &format!("http://t/prop/{k}"),
+                Term::Literal(Literal::simple(format!("value {i}"))),
+            ),
+        };
+        out.push(triple);
+    }
+    out
+}
+
+fn main() {
+    header(
+        "E10",
+        "store scaling",
+        "bulk load + indexed access stay fast as the fused store grows",
+    );
+
+    row(&[
+        "triples".into(),
+        "load ms".into(),
+        "triples/s".into(),
+        "dict terms".into(),
+        "p-scan µs".into(),
+        "spo-lookup µs".into(),
+        "bgp query µs".into(),
+    ]);
+    for n in [10_000usize, 100_000, 400_000] {
+        let triples = synth_triples(n);
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let (_, t_load) = time_once(|| store.insert_all(&triples, g));
+
+        let type_pred = store
+            .id_of(&Term::iri_unchecked(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            ))
+            .unwrap();
+        let (count, t_scan) = time_once(|| store.count_pattern(None, Some(type_pred), None));
+        assert_eq!(count, n / 10);
+
+        let subject = store
+            .id_of(&Term::iri_unchecked("http://t/resource/5"))
+            .unwrap();
+        let (_, t_lookup) = time_once(|| store.count_pattern(Some(subject), None, None));
+
+        let (results, t_query) = time_once(|| {
+            lodify_sparql::execute(
+                &store,
+                "SELECT ?r WHERE { ?r a sioct:MicroblogPost . ?r rev:rating ?p . FILTER(?p >= 5) . } LIMIT 50",
+            )
+            .unwrap()
+        });
+        assert!(!results.is_empty());
+
+        row(&[
+            n.to_string(),
+            format!("{:.1}", t_load.as_secs_f64() * 1000.0),
+            format!("{:.0}", n as f64 / t_load.as_secs_f64()),
+            store.dict().len().to_string(),
+            format!("{:.1}", t_scan.as_secs_f64() * 1e6),
+            format!("{:.1}", t_lookup.as_secs_f64() * 1e6),
+            format!("{:.1}", t_query.as_secs_f64() * 1e6),
+        ]);
+    }
+
+    // ---- criterion at 100k ----
+    let triples = synth_triples(100_000);
+    let mut store = Store::new();
+    let g = store.default_graph();
+    store.insert_all(&triples, g);
+    let subject = store
+        .id_of(&Term::iri_unchecked("http://t/resource/77"))
+        .unwrap();
+    let mut c: Criterion = criterion();
+    c.bench_function("e10/spo_lookup_100k", |b| {
+        b.iter(|| store.count_pattern(Some(black_box(subject)), None, None))
+    });
+    c.bench_function("e10/bgp_query_100k", |b| {
+        b.iter(|| {
+            lodify_sparql::execute(
+                &store,
+                black_box("SELECT ?r WHERE { ?r a sioct:MicroblogPost . ?r rev:rating ?p . FILTER(?p >= 5) . } LIMIT 50"),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("e10/insert_batch_1k", |b| {
+        let batch = synth_triples(1000);
+        b.iter(|| {
+            let mut s = Store::new();
+            let g = s.default_graph();
+            s.insert_all(black_box(&batch), g)
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,146 @@
+//! E11 — POI analysis and privacy switches (§2.2.1).
+//!
+//! Accuracy of the `poi:recs_id` → DBpedia link, the commercial-
+//! category exclusion rule, and the buddy external-linking switch
+//! (off by default — the paper's privacy decision).
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, row};
+use lodify_context::gazetteer::Gazetteer;
+use lodify_lod::annotator::{Annotator, AnnotatorConfig, ContentInput, PoiRefInput};
+use lodify_lod::datasets::{dbp, load_lod};
+use lodify_lod::{SemanticBroker, SemanticFilter};
+use lodify_store::Store;
+
+fn main() {
+    header(
+        "E11",
+        "POI → DBpedia linking + privacy switches",
+        "POI refs link via SPARQL on name/category/location; commercial categories excluded; buddy linking local-only",
+    );
+
+    let mut store = Store::new();
+    load_lod(&mut store, Gazetteer::global());
+    let gaz = Gazetteer::global();
+    let annotator = Annotator::standard();
+
+    // ---- every catalog POI as an explicit reference ----
+    let mut linked = 0usize;
+    let mut correct = 0usize;
+    let mut commercial_excluded = 0usize;
+    let mut commercial_total = 0usize;
+    let mut misses: Vec<&str> = Vec::new();
+    for poi in gaz.pois() {
+        let input = ContentInput {
+            title: "",
+            tags: &["x".to_string()],
+            context: None,
+            poi_ref: Some(PoiRefInput {
+                name: poi.name.to_string(),
+                category: poi.category.label().to_string(),
+                point: poi.point(gaz),
+            }),
+        };
+        let result = annotator.annotate(&store, &input);
+        if poi.category.is_commercial() {
+            commercial_total += 1;
+            if result.poi.is_none() {
+                commercial_excluded += 1;
+            }
+            continue;
+        }
+        match result.poi {
+            Some(resource) => {
+                linked += 1;
+                if resource == dbp(poi.key) {
+                    correct += 1;
+                } else {
+                    misses.push(poi.key);
+                }
+            }
+            None => misses.push(poi.key),
+        }
+    }
+    let sights = gaz.pois().iter().filter(|p| !p.category.is_commercial()).count();
+    row(&["metric".into(), "value".into()]);
+    row(&["touristic POIs".into(), sights.to_string()]);
+    row(&["linked".into(), linked.to_string()]);
+    row(&["correctly linked".into(), correct.to_string()]);
+    row(&["link accuracy".into(), f3(correct as f64 / sights as f64)]);
+    row(&[
+        "commercial excluded".into(),
+        format!("{commercial_excluded}/{commercial_total}"),
+    ]);
+    if !misses.is_empty() {
+        println!("unlinked/mislinked POIs: {misses:?}");
+    }
+    assert_eq!(
+        commercial_excluded, commercial_total,
+        "every commercial POI must be excluded"
+    );
+
+    // ---- buddy external linking: OFF by default, candidates when ON ----
+    let mut platform = lodify_context::ContextPlatform::new();
+    platform.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+    platform.buddies_mut().add_user(2, "walter", "Walter Goix");
+    platform.buddies_mut().add_friend(1, 2);
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    platform.buddies_mut().update_position(2, mole);
+    let snapshot = platform.contextualize(1, 0, Some(mole));
+
+    let off = annotator.annotate(
+        &store,
+        &ContentInput {
+            title: "",
+            tags: &["x".to_string()],
+            context: Some(&snapshot),
+            poi_ref: None,
+        },
+    );
+    let on_annotator = Annotator::new(
+        SemanticBroker::standard(),
+        SemanticFilter::standard(),
+        AnnotatorConfig {
+            link_buddies_externally: true,
+            ..AnnotatorConfig::default()
+        },
+    );
+    let on = on_annotator.annotate(
+        &store,
+        &ContentInput {
+            title: "",
+            tags: &["x".to_string()],
+            context: Some(&snapshot),
+            poi_ref: None,
+        },
+    );
+    println!(
+        "\nbuddy linking: default external candidates = {} (paper: off), switch-on candidates queried = {}",
+        off.buddy_external.len(),
+        on.buddy_external.len()
+    );
+    assert!(off.buddy_external.is_empty());
+    assert_eq!(on.buddy_external.len(), 1);
+
+    // ---- criterion ----
+    let colosseum = gaz.poi("Colosseum").unwrap();
+    let mut c: Criterion = criterion();
+    c.bench_function("e11/poi_link_lookup", |b| {
+        b.iter(|| {
+            annotator.annotate(
+                &store,
+                &ContentInput {
+                    title: "",
+                    tags: &["x".to_string()],
+                    context: None,
+                    poi_ref: Some(PoiRefInput {
+                        name: black_box(colosseum.name.to_string()),
+                        category: "monument".into(),
+                        point: colosseum.point(gaz),
+                    }),
+                },
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,104 @@
+//! E12 — the federated architecture (§6, future work).
+//!
+//! Publish → notify fan-out at growing federation sizes, SparqlPuSH
+//! delivery, and timeline consistency across subscribers.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, row, time_once};
+use lodify_core::federation::{Acct, Federation, Notification};
+
+/// Builds a federation of `n` nodes where everyone follows node 0's
+/// user.
+fn build(n: usize) -> (Federation, Acct) {
+    let mut fed = Federation::new();
+    let mut publisher = None;
+    for i in 0..n {
+        let node = fed.add_node(&format!("node{i}.example")).unwrap();
+        let acct = fed
+            .register_user(node, &format!("user{i}"), &format!("User {i}"))
+            .unwrap();
+        if i == 0 {
+            publisher = Some(acct);
+        }
+    }
+    let publisher = publisher.expect("node 0 user");
+    for i in 1..n {
+        let follower = Acct {
+            user: format!("user{i}"),
+            host: format!("node{i}.example"),
+        };
+        fed.subscribe(i, &follower, &publisher).unwrap();
+        fed.sparql_subscribe(
+            i,
+            0,
+            "SELECT ?m WHERE { ?m a sioct:MicroblogPost . }",
+        )
+        .unwrap();
+    }
+    (fed, publisher)
+}
+
+fn main() {
+    header(
+        "E12",
+        "federation: publish → notify fan-out",
+        "home nodes + WebFinger + PubSubHubbub/SparqlPuSH give near-instant notifications",
+    );
+
+    row(&[
+        "nodes".into(),
+        "publish ms".into(),
+        "hub notifications".into(),
+        "sparqlpush notifications".into(),
+        "timelines consistent".into(),
+    ]);
+    for n in [2usize, 5, 10, 25] {
+        let (mut fed, publisher) = build(n);
+        let ((_, notifications), elapsed) =
+            time_once(|| fed.publish(&publisher, "fan-out test", 100).unwrap());
+        let hub = notifications
+            .iter()
+            .filter(|x| matches!(x, Notification::Activity { .. }))
+            .count();
+        let push = notifications
+            .iter()
+            .filter(|x| matches!(x, Notification::SparqlRows { .. }))
+            .count();
+        // Every subscriber timeline carries exactly the one activity.
+        let consistent = (1..n).all(|i| {
+            let entries = fed.node(i).unwrap().timeline().entries();
+            entries.len() == 1 && entries[0].summary == "fan-out test"
+        });
+        row(&[
+            n.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0),
+            hub.to_string(),
+            push.to_string(),
+            consistent.to_string(),
+        ]);
+        assert_eq!(hub, n - 1);
+        assert_eq!(push, n - 1);
+        assert!(consistent);
+    }
+
+    // WebFinger resolution cost.
+    let (fed, _) = build(25);
+    let (_, t_wf) = time_once(|| fed.webfinger("acct:user24@node24.example").unwrap());
+    println!("\nwebfinger resolution across 25 nodes: {:.1} µs", t_wf.as_secs_f64() * 1e6);
+
+    // ---- criterion ----
+    let mut c: Criterion = criterion();
+    c.bench_function("e12/publish_10_nodes", |b| {
+        let (mut fed, publisher) = build(10);
+        let mut ts = 1000i64;
+        b.iter(|| {
+            ts += 1;
+            fed.publish(black_box(&publisher), "bench post", ts).unwrap()
+        })
+    });
+    c.bench_function("e12/webfinger_25_nodes", |b| {
+        let (fed, _) = build(25);
+        b.iter(|| fed.webfinger(black_box("acct:user24@node24.example")).unwrap())
+    });
+    c.final_summary();
+}

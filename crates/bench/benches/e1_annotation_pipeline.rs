@@ -1,0 +1,134 @@
+//! E1 — Figure 1: the semantic annotation process.
+//!
+//! The paper describes the pipeline qualitatively; we measure per-stage
+//! latency and end-to-end throughput over the workload's multilingual
+//! titles.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, row, time_once};
+use lodify_context::Gazetteer;
+use lodify_lod::annotator::{Annotator, ContentInput};
+use lodify_lod::datasets::load_lod;
+use lodify_lod::{SemanticBroker, SemanticFilter};
+use lodify_relational::workload::{generate, WorkloadConfig};
+use lodify_store::Store;
+use lodify_text::morpho::Morphology;
+use lodify_text::pipeline::extract_terms;
+use lodify_text::LanguageDetector;
+
+fn main() {
+    header(
+        "E1",
+        "semantic annotation pipeline (Fig. 1)",
+        "content is analyzed in stages: language id → morphology → NP extraction → broker → filter",
+    );
+
+    let mut store = Store::new();
+    load_lod(&mut store, Gazetteer::global());
+    let workload = generate(WorkloadConfig {
+        seed: 1,
+        pictures: 200,
+        ..WorkloadConfig::default()
+    });
+    let titles: Vec<(String, Vec<String>)> = workload
+        .truth
+        .iter()
+        .map(|t| (t.title.clone(), t.keywords.clone()))
+        .collect();
+    let annotator = Annotator::standard();
+
+    // ---- table: stage-by-stage cost over 200 titles ----
+    let detector = LanguageDetector::global();
+    let morphology = Morphology::global();
+    let broker = SemanticBroker::standard();
+    let filter = SemanticFilter::standard();
+
+    let (_, t_lang) = time_once(|| {
+        for (title, _) in &titles {
+            black_box(detector.detect(title));
+        }
+    });
+    let (_, t_morpho) = time_once(|| {
+        for (title, _) in &titles {
+            black_box(morphology.analyze(title, "it"));
+        }
+    });
+    let (_, t_terms) = time_once(|| {
+        for (title, tags) in &titles {
+            black_box(extract_terms(title, tags));
+        }
+    });
+    let (_, t_broker) = time_once(|| {
+        for (title, tags) in &titles {
+            let terms = extract_terms(title, tags);
+            let texts: Vec<String> = terms.terms.iter().map(|t| t.text.clone()).collect();
+            black_box(broker.resolve(&store, &texts, title, terms.language));
+        }
+    });
+    let (annotated, t_full) = time_once(|| {
+        let mut fired = 0usize;
+        for (title, tags) in &titles {
+            let result = annotator.annotate(
+                &store,
+                &ContentInput {
+                    title,
+                    tags,
+                    context: None,
+                    poi_ref: None,
+                },
+            );
+            fired += result.terms.iter().filter(|t| t.resource.is_some()).count();
+        }
+        fired
+    });
+    let _ = &filter;
+
+    println!("stage costs over {} titles:", titles.len());
+    row(&["stage".into(), "total ms".into(), "per title µs".into()]);
+    for (name, d) in [
+        ("language id", t_lang),
+        ("morphology", t_morpho),
+        ("term extraction (cumulative)", t_terms),
+        ("+ broker (cumulative)", t_broker),
+        ("full pipeline", t_full),
+    ] {
+        row(&[
+            name.into(),
+            f3(d.as_secs_f64() * 1000.0),
+            f3(d.as_secs_f64() * 1e6 / titles.len() as f64),
+        ]);
+    }
+    println!(
+        "end-to-end throughput: {:.0} titles/s, {} auto-annotations fired",
+        titles.len() as f64 / t_full.as_secs_f64(),
+        annotated
+    );
+
+    // ---- criterion timings ----
+    let mut c: Criterion = criterion();
+    let sample_title = "Tramonto alla Mole Antonelliana";
+    let sample_tags = vec!["torino".to_string(), "tramonto".to_string()];
+    c.bench_function("e1/langdetect", |b| {
+        b.iter(|| detector.detect(black_box(sample_title)))
+    });
+    c.bench_function("e1/morphology", |b| {
+        b.iter(|| morphology.analyze(black_box(sample_title), "it"))
+    });
+    c.bench_function("e1/extract_terms", |b| {
+        b.iter(|| extract_terms(black_box(sample_title), &sample_tags))
+    });
+    c.bench_function("e1/annotate_full", |b| {
+        b.iter(|| {
+            annotator.annotate(
+                &store,
+                &ContentInput {
+                    title: black_box(sample_title),
+                    tags: &sample_tags,
+                    context: None,
+                    poi_ref: None,
+                },
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,89 @@
+//! E2 — language identification accuracy (§2.2.2, refs [3][4]).
+//!
+//! The paper identifies title language with an n-gram Cavnar–Trenkle
+//! classifier; we report the confusion matrix over the workload's
+//! ground-truth-labeled titles plus a title-length sweep.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, row};
+use lodify_relational::workload::{generate, WorkloadConfig};
+use lodify_text::LanguageDetector;
+
+fn main() {
+    header(
+        "E2",
+        "language identification accuracy",
+        "titles' language is identified via n-gram text categorization (Cavnar & Trenkle)",
+    );
+
+    let workload = generate(WorkloadConfig {
+        seed: 2,
+        pictures: 1000,
+        ..WorkloadConfig::default()
+    });
+    let detector = LanguageDetector::global();
+    let langs = ["it", "en", "fr", "es", "de"];
+
+    // ---- confusion matrix ----
+    let mut matrix = std::collections::BTreeMap::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for truth in &workload.truth {
+        let Some((predicted, _)) = detector.detect(&truth.title) else {
+            continue;
+        };
+        *matrix.entry((truth.lang, predicted)).or_insert(0usize) += 1;
+        total += 1;
+        if predicted == truth.lang {
+            correct += 1;
+        }
+    }
+    println!("confusion matrix over {total} titles (rows: truth, cols: predicted):");
+    row(&std::iter::once("truth\\pred".to_string())
+        .chain(langs.iter().map(|l| l.to_string()))
+        .chain(std::iter::once("recall".into()))
+        .collect::<Vec<_>>());
+    for &t in &langs {
+        let row_total: usize = langs.iter().map(|&p| matrix.get(&(t, p)).copied().unwrap_or(0)).sum();
+        let mut cells = vec![t.to_string()];
+        for &p in &langs {
+            cells.push(matrix.get(&(t, p)).copied().unwrap_or(0).to_string());
+        }
+        let recall = matrix.get(&(t, t)).copied().unwrap_or(0) as f64 / row_total.max(1) as f64;
+        cells.push(f3(recall));
+        row(&cells);
+    }
+    println!("overall accuracy: {:.3}", correct as f64 / total.max(1) as f64);
+
+    // ---- length sweep: accuracy on truncated titles ----
+    println!("\naccuracy vs title length (first N characters):");
+    row(&["chars".into(), "accuracy".into()]);
+    for n in [5usize, 10, 15, 25, 40] {
+        let mut ok = 0usize;
+        let mut seen = 0usize;
+        for truth in &workload.truth {
+            let prefix: String = truth.title.chars().take(n).collect();
+            if let Some((predicted, _)) = detector.detect(&prefix) {
+                seen += 1;
+                if predicted == truth.lang {
+                    ok += 1;
+                }
+            }
+        }
+        row(&[n.to_string(), f3(ok as f64 / seen.max(1) as f64)]);
+    }
+
+    // ---- criterion ----
+    let mut c: Criterion = criterion();
+    c.bench_function("e2/detect_short", |b| {
+        b.iter(|| detector.detect(black_box("Tramonto alla Mole Antonelliana")))
+    });
+    c.bench_function("e2/detect_long", |b| {
+        b.iter(|| {
+            detector.detect(black_box(
+                "la giornata era molto bella e siamo andati a fare una lunga passeggiata in collina",
+            ))
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,149 @@
+//! E4 — graph-priority ablation (§2.2.2).
+//!
+//! "resources referring to Geonames graph have higher priority than the
+//! ones related to DBpedia, followed by Evri types of resources. At
+//! this time all candidate resources pointing to other graphs are
+//! discarded." We compare the paper's order against alternatives and
+//! against disabling validation.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, row};
+use lodify_context::Gazetteer;
+use lodify_core::metrics::score_run;
+use lodify_lod::annotator::{Annotator, AnnotatorConfig, ContentInput};
+use lodify_lod::datasets::load_lod;
+use lodify_lod::filter::FilterConfig;
+use lodify_lod::{SemanticBroker, SemanticFilter, SourceGraph};
+use lodify_relational::workload::{generate, TruthSubject, WorkloadConfig};
+use lodify_store::Store;
+
+fn main() {
+    header(
+        "E4",
+        "graph-priority ablation",
+        "Geonames > DBpedia > Evri, others discarded; validation catches disambiguation pages",
+    );
+
+    let mut store = Store::new();
+    load_lod(&mut store, Gazetteer::global());
+    let workload = generate(WorkloadConfig {
+        seed: 4,
+        pictures: 250,
+        ..WorkloadConfig::default()
+    });
+
+    use SourceGraph::*;
+    let variants: Vec<(&str, FilterConfig)> = vec![
+        (
+            "paper: GN > DBP > Evri",
+            FilterConfig::default(),
+        ),
+        (
+            "DBP > GN > Evri",
+            FilterConfig {
+                graph_priority: vec![DBpedia, Geonames, Evri],
+                ..FilterConfig::default()
+            },
+        ),
+        (
+            "DBpedia only",
+            FilterConfig {
+                graph_priority: vec![DBpedia],
+                ..FilterConfig::default()
+            },
+        ),
+        (
+            "Geonames only",
+            FilterConfig {
+                graph_priority: vec![Geonames],
+                ..FilterConfig::default()
+            },
+        ),
+        (
+            "paper order, validation OFF",
+            FilterConfig {
+                validate: false,
+                ..FilterConfig::default()
+            },
+        ),
+    ];
+
+    row(&[
+        "variant".into(),
+        "precision".into(),
+        "recall".into(),
+        "f1".into(),
+        "city recall".into(),
+        "poi recall".into(),
+    ]);
+    for (name, config) in variants {
+        let annotator = Annotator::new(
+            SemanticBroker::standard(),
+            SemanticFilter::with_config(config),
+            AnnotatorConfig::default(),
+        );
+        let mut predictions = std::collections::BTreeMap::new();
+        for truth in &workload.truth {
+            let result = annotator.annotate(
+                &store,
+                &ContentInput {
+                    title: &truth.title,
+                    tags: &truth.keywords,
+                    context: None,
+                    poi_ref: None,
+                },
+            );
+            predictions.insert(
+                truth.pid,
+                result
+                    .terms
+                    .iter()
+                    .filter_map(|t| t.resource.clone())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let all = score_run(workload.truth.iter(), |pid| {
+            predictions.get(&pid).cloned().unwrap_or_default()
+        });
+        let cities = score_run(
+            workload
+                .truth
+                .iter()
+                .filter(|t| matches!(t.subject, TruthSubject::City(_))),
+            |pid| predictions.get(&pid).cloned().unwrap_or_default(),
+        );
+        let pois = score_run(
+            workload
+                .truth
+                .iter()
+                .filter(|t| matches!(t.subject, TruthSubject::Poi(_))),
+            |pid| predictions.get(&pid).cloned().unwrap_or_default(),
+        );
+        row(&[
+            name.into(),
+            f3(all.precision()),
+            f3(all.recall()),
+            f3(all.f1()),
+            f3(cities.recall()),
+            f3(pois.recall()),
+        ]);
+    }
+
+    // ---- criterion: one full annotation under the paper config ----
+    let annotator = Annotator::standard();
+    let mut c: Criterion = criterion();
+    c.bench_function("e4/annotate_paper_config", |b| {
+        b.iter(|| {
+            annotator.annotate(
+                &store,
+                &ContentInput {
+                    title: black_box("Una giornata a Torino"),
+                    tags: &["torino".to_string()],
+                    context: None,
+                    poi_ref: None,
+                },
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,96 @@
+//! E5 — the virtual-album queries Q1/Q2/Q3 (§2.3).
+//!
+//! Result counts and latency for the paper's three queries across
+//! store sizes, cross-checked against the hand-coded relational
+//! baseline (same semantics, no SPARQL).
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, platform, row, time_once};
+use lodify_context::Gazetteer;
+use lodify_core::albums::{relational_baseline, AlbumSpec};
+
+fn main() {
+    header(
+        "E5",
+        "virtual albums Q1/Q2/Q3",
+        "SPARQL expresses complex albums (geo + social + rating) beyond keyword search",
+    );
+
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+
+    row(&[
+        "pictures".into(),
+        "store triples".into(),
+        "Q1 rows".into(),
+        "Q1 ms".into(),
+        "Q2 rows".into(),
+        "Q2 ms".into(),
+        "Q3 rows".into(),
+        "Q3 ms".into(),
+        "baseline Q1 ms".into(),
+        "match".into(),
+    ]);
+
+    for pictures in [500usize, 2000, 8000] {
+        let p = platform(50 + pictures as u64, pictures);
+        let user_name = {
+            let users = p.db().table(lodify_relational::coppermine::USERS).unwrap();
+            users.get(1).unwrap()[1].as_text().unwrap().to_string()
+        };
+
+        let q1 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+        let q2 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3).friends_of(&user_name);
+        let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3)
+            .friends_of(&user_name)
+            .rated();
+
+        let (r1, t1) = time_once(|| q1.execute(p.store()).unwrap());
+        let (r2, t2) = time_once(|| q2.execute(p.store()).unwrap());
+        let (r3, t3) = time_once(|| q3.execute(p.store()).unwrap());
+        let (b1, tb) = time_once(|| relational_baseline(p.db(), mole, 0.3, None, false).unwrap());
+
+        let mut sr1 = r1.clone();
+        sr1.sort();
+        let mut sb1 = b1.clone();
+        sb1.sort();
+
+        row(&[
+            pictures.to_string(),
+            p.store().len().to_string(),
+            r1.len().to_string(),
+            format!("{:.2}", t1.as_secs_f64() * 1000.0),
+            r2.len().to_string(),
+            format!("{:.2}", t2.as_secs_f64() * 1000.0),
+            r3.len().to_string(),
+            format!("{:.2}", t3.as_secs_f64() * 1000.0),
+            format!("{:.2}", tb.as_secs_f64() * 1000.0),
+            (sr1 == sb1).to_string(),
+        ]);
+        assert_eq!(sr1, sb1, "SPARQL and relational baseline must agree");
+        assert!(r2.len() <= r1.len(), "social filter narrows");
+        assert!(r3.len() <= r2.len(), "rating requirement narrows further");
+    }
+
+    // ---- criterion at the middle size ----
+    let p = platform(2050, 2000);
+    let q1 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+    let user_name = {
+        let users = p.db().table(lodify_relational::coppermine::USERS).unwrap();
+        users.get(1).unwrap()[1].as_text().unwrap().to_string()
+    };
+    let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3)
+        .friends_of(&user_name)
+        .rated();
+    let mut c: Criterion = criterion();
+    c.bench_function("e5/q1_geo_album_2k", |b| {
+        b.iter(|| black_box(&q1).execute(p.store()).unwrap())
+    });
+    c.bench_function("e5/q3_social_rated_album_2k", |b| {
+        b.iter(|| black_box(&q3).execute(p.store()).unwrap())
+    });
+    c.bench_function("e5/relational_baseline_2k", |b| {
+        b.iter(|| relational_baseline(p.db(), black_box(mole), 0.3, None, false).unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,93 @@
+//! E6 — the incremental AJAX search (§4, Figs 2–3).
+//!
+//! Candidate counts and latency per prefix of "Turin", with the
+//! full-text index compared against a naive label scan.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, platform, row, time_once};
+use lodify_core::search::{Debouncer, SearchService};
+use lodify_rdf::Term;
+
+fn main() {
+    header(
+        "E6",
+        "incremental search ('Turin')",
+        "2s after the last keystroke a query fires and candidates are listed (Fig. 3)",
+    );
+
+    let p = platform(6, 2000);
+    let store = p.store();
+
+    // Naive baseline: linear scan over every literal in the dictionary.
+    let scan_suggest = |prefix: &str| -> usize {
+        let needle = prefix.to_lowercase();
+        store
+            .dict()
+            .iter()
+            .filter(|(_, term)| match term {
+                Term::Literal(lit) => lit
+                    .value()
+                    .to_lowercase()
+                    .split_whitespace()
+                    .any(|w| w.starts_with(&needle)),
+                _ => false,
+            })
+            .count()
+    };
+
+    row(&[
+        "prefix".into(),
+        "candidates".into(),
+        "index µs".into(),
+        "scan µs".into(),
+        "speedup".into(),
+    ]);
+    for prefix in ["T", "Tu", "Tur", "Turi", "Turin"] {
+        let (suggestions, t_index) = time_once(|| SearchService::suggest(store, prefix, 10));
+        let (_, t_scan) = time_once(|| scan_suggest(prefix));
+        row(&[
+            prefix.into(),
+            suggestions.len().to_string(),
+            format!("{:.1}", t_index.as_secs_f64() * 1e6),
+            format!("{:.1}", t_scan.as_secs_f64() * 1e6),
+            format!("{:.1}x", t_scan.as_secs_f64() / t_index.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    // Debounce behaviour: how many queries a realistic typing session
+    // fires (one per pause, not one per keystroke).
+    let mut debouncer = Debouncer::standard();
+    let keystrokes = [
+        (0.0, "T"),
+        (0.3, "Tu"),
+        (0.7, "Tur"),
+        (1.0, "Turi"),
+        (1.2, "Turin"),
+        (6.0, "Turin c"), // after reading the results
+        (6.4, "Turin ce"),
+    ];
+    for (t, text) in keystrokes {
+        debouncer.keystroke(t, text);
+    }
+    debouncer.poll(20.0);
+    println!(
+        "\ndebounce: {} keystrokes → {} fired queries: {:?}",
+        keystrokes.len(),
+        debouncer.fired().len(),
+        debouncer.fired().iter().map(|(_, q)| q.as_str()).collect::<Vec<_>>()
+    );
+
+    // ---- criterion ----
+    let mut c: Criterion = criterion();
+    c.bench_function("e6/suggest_prefix_tur", |b| {
+        b.iter(|| SearchService::suggest(store, black_box("Tur"), 10))
+    });
+    c.bench_function("e6/suggest_prefix_t", |b| {
+        b.iter(|| SearchService::suggest(store, black_box("T"), 10))
+    });
+    let turin = lodify_rdf::Iri::new("http://dbpedia.org/resource/Turin").unwrap();
+    c.bench_function("e6/content_for_resource", |b| {
+        b.iter(|| SearchService::content_for_resource(store, black_box(&turin), 5.0).unwrap())
+    });
+    c.final_summary();
+}

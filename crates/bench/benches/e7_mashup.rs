@@ -1,0 +1,77 @@
+//! E7 — the "About" mashup (§4.1).
+//!
+//! Rows per arm and latency for the 4-arm UNION query, at two store
+//! sizes, both in the structured (per-arm) and the paper's combined
+//! form.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, platform, row, time_once};
+use lodify_context::Gazetteer;
+use lodify_core::mashup::MashupService;
+use lodify_core::platform::{Platform, Upload};
+
+fn fixture(pictures: usize, seed: u64) -> (Platform, lodify_rdf::Iri) {
+    let mut p = platform(seed, pictures);
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let receipt = p
+        .upload(Upload {
+            user_id: 1,
+            title: "La Mole al tramonto".into(),
+            tags: vec!["torino".into()],
+            ts: 9,
+            gps: Some(mole.offset_km(0.01, 0.01)),
+            poi: None,
+        })
+        .unwrap();
+    (p, receipt.resource)
+}
+
+fn main() {
+    header(
+        "E7",
+        "'About' mashup (4-arm UNION)",
+        "city abstract + nearby restaurants (with websites) + tourism + other UGC, 5 per arm",
+    );
+
+    let service = MashupService::standard();
+    row(&[
+        "pictures".into(),
+        "city?".into(),
+        "restaurants".into(),
+        "attractions".into(),
+        "related UGC".into(),
+        "structured ms".into(),
+        "combined rows".into(),
+        "combined ms".into(),
+    ]);
+    for pictures in [500usize, 4000] {
+        let (p, pic) = fixture(pictures, 70 + pictures as u64);
+        let (result, t_structured) = time_once(|| service.about(p.store(), &pic).unwrap());
+        let (combined, t_combined) = time_once(|| service.about_combined(p.store(), &pic).unwrap());
+        row(&[
+            pictures.to_string(),
+            result.city.is_some().to_string(),
+            result.restaurants.len().to_string(),
+            result.attractions.len().to_string(),
+            result.related_content.len().to_string(),
+            format!("{:.2}", t_structured.as_secs_f64() * 1000.0),
+            combined.len().to_string(),
+            format!("{:.2}", t_combined.as_secs_f64() * 1000.0),
+        ]);
+        assert!(result.city.is_some(), "city arm must resolve");
+        assert!(!result.attractions.is_empty(), "the Mole itself is an attraction");
+        assert!(combined.len() <= 20, "4 arms × LIMIT 5");
+    }
+
+    // ---- criterion ----
+    let (p, pic) = fixture(2000, 72);
+    let mut c: Criterion = criterion();
+    c.bench_function("e7/mashup_structured", |b| {
+        b.iter(|| service.about(p.store(), black_box(&pic)).unwrap())
+    });
+    c.bench_function("e7/mashup_combined_union", |b| {
+        b.iter(|| service.about_combined(p.store(), black_box(&pic)).unwrap())
+    });
+    c.final_summary();
+}

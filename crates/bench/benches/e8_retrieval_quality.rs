@@ -1,0 +1,140 @@
+//! E8 — retrieval quality: keyword vs triple-tag facets vs semantics.
+//!
+//! The paper's core motivation (§1.2): "Keyword-based searches …
+//! restrict the amount of retrievable content … the main problem of
+//! such approach is the ambiguity". We measure precision/recall/F1 of
+//! the three retrieval systems on ambiguity-loaded entities.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, platform, row};
+use lodify_core::batch::BatchAnnotator;
+use lodify_core::platform::Platform;
+use lodify_relational::workload::TruthSubject;
+use std::collections::BTreeSet;
+
+struct Case {
+    /// Display name.
+    name: &'static str,
+    /// Catalog POI key defining relevance.
+    poi_key: &'static str,
+    /// The folksonomy keyword a user would search.
+    keyword: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case { name: "Mole Antonelliana", poi_key: "Mole_Antonelliana", keyword: "mole" },
+    Case { name: "Colosseum", poi_key: "Colosseum", keyword: "colosseum" },
+    Case { name: "Louvre", poi_key: "Louvre", keyword: "louvre" },
+    Case { name: "Rialto Bridge", poi_key: "Rialto_Bridge", keyword: "rialto" },
+];
+
+fn pr(hits: &BTreeSet<i64>, relevant: &BTreeSet<i64>) -> (f64, f64, f64) {
+    let tp = hits.intersection(relevant).count() as f64;
+    let precision = if hits.is_empty() { 1.0 } else { tp / hits.len() as f64 };
+    let recall = if relevant.is_empty() { 1.0 } else { tp / relevant.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+fn semantic_hits(p: &Platform, poi_key: &str) -> BTreeSet<i64> {
+    let q = format!(
+        "SELECT ?c WHERE {{ ?c <{}> <http://dbpedia.org/resource/{}> . }}",
+        lodify_core::platform::subject_pred().as_str(),
+        poi_key
+    );
+    p.query(&q)
+        .unwrap()
+        .column("c")
+        .iter()
+        .filter_map(|t| t.lexical().rsplit('/').next()?.parse().ok())
+        .collect()
+}
+
+fn main() {
+    header(
+        "E8",
+        "retrieval quality: keyword vs triple tags vs semantics",
+        "semantic annotation disambiguates what free keywords cannot (§1.2)",
+    );
+
+    let mut p = platform(8, 1500);
+    BatchAnnotator::new().run_all(&mut p, 256).unwrap();
+
+    row(&[
+        "entity".into(),
+        "relevant".into(),
+        "system".into(),
+        "hits".into(),
+        "precision".into(),
+        "recall".into(),
+        "f1".into(),
+    ]);
+
+    let mut macro_f1 = [0.0f64; 3]; // keyword, tags, semantic
+    for case in CASES {
+        let relevant: BTreeSet<i64> = p
+            .truth()
+            .iter()
+            .filter(|t| matches!(&t.subject, TruthSubject::Poi(k) if k == case.poi_key))
+            .map(|t| t.pid)
+            .collect();
+
+        // (1) keyword search over folksonomy tags.
+        let keyword_hits: BTreeSet<i64> = p.tags().by_keyword(case.keyword).into_iter().collect();
+        // (2) triple-tag facet: address:city of the POI's city — the
+        //     best a tag-facet album can do for a monument.
+        let gaz = lodify_context::Gazetteer::global();
+        let city = gaz.poi(case.poi_key).unwrap().city_key;
+        let city_label = gaz.city(city).unwrap().label("en");
+        let facet_hits: BTreeSet<i64> = p
+            .tags()
+            .by_value(&lodify_tripletags::TripleTag::new("address", "city", city_label).unwrap())
+            .into_iter()
+            .collect();
+        // (3) semantic annotation.
+        let sem_hits = semantic_hits(&p, case.poi_key);
+
+        for (idx, (system, hits)) in [
+            ("keyword", &keyword_hits),
+            ("tag facet (city)", &facet_hits),
+            ("semantic", &sem_hits),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (precision, recall, f1) = pr(hits, &relevant);
+            macro_f1[idx] += f1 / CASES.len() as f64;
+            row(&[
+                case.name.into(),
+                relevant.len().to_string(),
+                (*system).into(),
+                hits.len().to_string(),
+                f3(precision),
+                f3(recall),
+                f3(f1),
+            ]);
+        }
+    }
+    println!(
+        "\nmacro-F1: keyword={:.3}, tag facet={:.3}, semantic={:.3}",
+        macro_f1[0], macro_f1[1], macro_f1[2]
+    );
+    assert!(
+        macro_f1[2] > macro_f1[0] && macro_f1[2] > macro_f1[1],
+        "paper shape: semantics must win"
+    );
+
+    // ---- criterion: one retrieval per system ----
+    let mut c: Criterion = criterion();
+    c.bench_function("e8/keyword_lookup", |b| {
+        b.iter(|| p.tags().by_keyword(black_box("mole")))
+    });
+    c.bench_function("e8/semantic_lookup", |b| {
+        b.iter(|| semantic_hits(&p, black_box("Mole_Antonelliana")))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,87 @@
+//! E9 — dump-rdf semanticization throughput (§2.1).
+//!
+//! Rows/s and triples/s of the D2R dump at growing database sizes,
+//! plus the triples-per-table census.
+
+use criterion::{black_box, Criterion};
+use lodify_bench::{criterion, header, row, time_once};
+use lodify_d2r::defaults::coppermine_mapping;
+use lodify_d2r::dump_rdf;
+use lodify_relational::workload::{generate, WorkloadConfig};
+
+fn main() {
+    header(
+        "E9",
+        "D2R dump-rdf throughput",
+        "the mapping file + dump-rdf turn the relational DB into an N-Triples dump",
+    );
+
+    let mapping = coppermine_mapping();
+
+    row(&[
+        "pictures".into(),
+        "db rows".into(),
+        "triples".into(),
+        "dump ms".into(),
+        "rows/s".into(),
+        "triples/s".into(),
+    ]);
+    let mut census_source = None;
+    for pictures in [200usize, 1000, 5000] {
+        let workload = generate(WorkloadConfig {
+            seed: 9,
+            pictures,
+            users: (pictures / 10).clamp(10, 100),
+            ..WorkloadConfig::default()
+        });
+        let ((triples, stats), elapsed) =
+            time_once(|| dump_rdf(&workload.db, &mapping).unwrap());
+        let secs = elapsed.as_secs_f64();
+        row(&[
+            pictures.to_string(),
+            stats.rows.to_string(),
+            triples.len().to_string(),
+            format!("{:.1}", secs * 1000.0),
+            format!("{:.0}", stats.rows as f64 / secs),
+            format!("{:.0}", triples.len() as f64 / secs),
+        ]);
+        if pictures == 1000 {
+            census_source = Some(stats);
+        }
+    }
+
+    let stats = census_source.expect("census at 1000 pictures");
+    println!("\ntriples per table (1000 pictures):");
+    row(&["table".into(), "rows".into(), "triples".into(), "triples/row".into()]);
+    for (table, rows, triples) in &stats.per_table {
+        row(&[
+            table.clone(),
+            rows.to_string(),
+            triples.to_string(),
+            format!("{:.2}", *triples as f64 / (*rows).max(1) as f64),
+        ]);
+    }
+
+    // ---- criterion ----
+    let workload = generate(WorkloadConfig {
+        seed: 9,
+        pictures: 1000,
+        ..WorkloadConfig::default()
+    });
+    let mut c: Criterion = criterion();
+    c.bench_function("e9/dump_rdf_1k_pictures", |b| {
+        b.iter(|| dump_rdf(black_box(&workload.db), &mapping).unwrap())
+    });
+    c.bench_function("e9/dump_single_picture", |b| {
+        b.iter(|| {
+            lodify_d2r::dump::dump_resource(
+                &workload.db,
+                &mapping,
+                lodify_relational::coppermine::PICTURES,
+                black_box(1),
+            )
+            .unwrap()
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,61 @@
+//! Shared fixtures and reporting helpers for the experiment benches.
+//!
+//! Every bench target (one per experiment in DESIGN.md §4) follows the
+//! same shape: print a deterministic **experiment table** first — the
+//! data EXPERIMENTS.md records — then run Criterion timings for the
+//! latency-sensitive pieces. `cargo bench` therefore regenerates both
+//! the numbers and the timings in one run.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use lodify_core::platform::Platform;
+use lodify_relational::WorkloadConfig;
+
+/// Criterion tuned for a 12-experiment suite: small samples, short
+/// measurement windows, no plots.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+        .without_plots()
+}
+
+/// Standard experiment fixture: a bootstrapped platform at the given
+/// picture count, deterministic in `seed`.
+pub fn platform(seed: u64, pictures: usize) -> Platform {
+    Platform::bootstrap(WorkloadConfig {
+        seed,
+        users: (pictures / 10).clamp(10, 100),
+        pictures,
+        ..WorkloadConfig::default()
+    })
+    .expect("bench bootstrap")
+}
+
+/// Prints an experiment header in a stable, greppable format.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!("\n================================================================");
+    println!("EXPERIMENT {id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints one table row: `| cell | cell | … |`.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Convenience: format a float to 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Measures wall time of a closure once (for coarse throughput rows
+/// where Criterion's repetition would be overkill).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

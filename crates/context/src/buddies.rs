@@ -1,0 +1,152 @@
+//! Buddy-proximity model.
+//!
+//! The context platform reports "nearby buddies … (user names and full
+//! names)" for the capture moment (§2.2.1). We model buddy positions as
+//! last-seen points, and proximity as a great-circle radius.
+
+use std::collections::HashMap;
+
+use lodify_rdf::Point;
+
+/// A platform user known to the buddy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buddy {
+    /// Platform user id.
+    pub user_id: u64,
+    /// Login/user name, e.g. `oscar`.
+    pub user_name: String,
+    /// Full display name, e.g. `Walter Goix`.
+    pub full_name: String,
+}
+
+/// Tracks last-seen positions and friendship edges.
+#[derive(Debug, Default)]
+pub struct BuddyModel {
+    users: HashMap<u64, Buddy>,
+    positions: HashMap<u64, Point>,
+    /// Directed friendship edges `user → buddy`.
+    friends: HashMap<u64, Vec<u64>>,
+}
+
+impl BuddyModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user.
+    pub fn add_user(&mut self, user_id: u64, user_name: &str, full_name: &str) {
+        self.users.insert(
+            user_id,
+            Buddy {
+                user_id,
+                user_name: user_name.to_string(),
+                full_name: full_name.to_string(),
+            },
+        );
+    }
+
+    /// Declares `buddy_id` a friend of `user_id` (directed).
+    pub fn add_friend(&mut self, user_id: u64, buddy_id: u64) {
+        let list = self.friends.entry(user_id).or_default();
+        if !list.contains(&buddy_id) {
+            list.push(buddy_id);
+        }
+    }
+
+    /// Updates a user's last-seen position.
+    pub fn update_position(&mut self, user_id: u64, point: Point) {
+        self.positions.insert(user_id, point);
+    }
+
+    /// The user record, if registered.
+    pub fn user(&self, user_id: u64) -> Option<&Buddy> {
+        self.users.get(&user_id)
+    }
+
+    /// Friends of `user_id`.
+    pub fn friends_of(&self, user_id: u64) -> &[u64] {
+        self.friends.get(&user_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Friends of `user_id` whose last-seen position is within
+    /// `radius_km` of `point`, nearest first.
+    pub fn nearby_buddies(&self, user_id: u64, point: Point, radius_km: f64) -> Vec<&Buddy> {
+        let mut hits: Vec<(&Buddy, f64)> = self
+            .friends_of(user_id)
+            .iter()
+            .filter_map(|id| {
+                let buddy = self.users.get(id)?;
+                let pos = self.positions.get(id)?;
+                let d = point.distance_km(*pos);
+                (d <= radius_km).then_some((buddy, d))
+            })
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+        hits.into_iter().map(|(b, _)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lon: f64, lat: f64) -> Point {
+        Point::new(lon, lat).unwrap()
+    }
+
+    fn model() -> BuddyModel {
+        let mut m = BuddyModel::new();
+        m.add_user(1, "oscar", "Oscar Rodriguez");
+        m.add_user(2, "walter", "Walter Goix");
+        m.add_user(3, "carmen", "Carmen Criminisi");
+        m.add_friend(1, 2);
+        m.add_friend(1, 3);
+        m.update_position(2, pt(7.687, 45.071)); // near
+        m.update_position(3, pt(9.19, 45.46)); // Milan, far
+        m
+    }
+
+    #[test]
+    fn nearby_returns_only_friends_in_radius() {
+        let m = model();
+        let here = pt(7.6869, 45.0703);
+        let near = m.nearby_buddies(1, here, 1.0);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].user_name, "walter");
+    }
+
+    #[test]
+    fn non_friends_never_appear() {
+        let mut m = model();
+        m.add_user(4, "stranger", "A Stranger");
+        m.update_position(4, pt(7.6869, 45.0703));
+        let near = m.nearby_buddies(1, pt(7.6869, 45.0703), 1.0);
+        assert!(near.iter().all(|b| b.user_name != "stranger"));
+    }
+
+    #[test]
+    fn friend_without_position_is_skipped() {
+        let mut m = model();
+        m.add_user(5, "ghost", "No Position");
+        m.add_friend(1, 5);
+        let near = m.nearby_buddies(1, pt(7.6869, 45.0703), 1000.0);
+        assert!(near.iter().all(|b| b.user_name != "ghost"));
+    }
+
+    #[test]
+    fn duplicate_friend_edges_collapse() {
+        let mut m = model();
+        m.add_friend(1, 2);
+        assert_eq!(m.friends_of(1).iter().filter(|&&b| b == 2).count(), 1);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let mut m = model();
+        m.update_position(3, pt(7.6872, 45.0705)); // carmen now very near
+        let near = m.nearby_buddies(1, pt(7.6872, 45.0705), 5.0);
+        assert_eq!(near[0].user_name, "carmen");
+        assert_eq!(near[1].user_name, "walter");
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-user calendars.
+//!
+//! The context platform attaches "calendar entries associated to the
+//! moment in which the picture was taken" (§1.1). Timestamps are plain
+//! Unix seconds — the workloads generate them; nothing here reads the
+//! wall clock.
+
+use std::collections::HashMap;
+
+/// One calendar entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalendarEntry {
+    /// Entry title ("team offsite", "holiday in Rome").
+    pub title: String,
+    /// Start, Unix seconds inclusive.
+    pub start: i64,
+    /// End, Unix seconds exclusive.
+    pub end: i64,
+}
+
+impl CalendarEntry {
+    /// Whether `ts` falls inside the entry.
+    pub fn covers(&self, ts: i64) -> bool {
+        self.start <= ts && ts < self.end
+    }
+}
+
+/// All users' calendars.
+#[derive(Debug, Default)]
+pub struct Calendars {
+    by_user: HashMap<u64, Vec<CalendarEntry>>,
+}
+
+impl Calendars {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry; rejects empty or negative-length intervals.
+    pub fn add(&mut self, user_id: u64, title: &str, start: i64, end: i64) -> Result<(), String> {
+        if end <= start {
+            return Err(format!("empty calendar interval [{start}, {end})"));
+        }
+        self.by_user.entry(user_id).or_default().push(CalendarEntry {
+            title: title.to_string(),
+            start,
+            end,
+        });
+        Ok(())
+    }
+
+    /// Entries of `user_id` covering `ts`, in insertion order.
+    pub fn entries_at(&self, user_id: u64, ts: i64) -> Vec<&CalendarEntry> {
+        self.by_user
+            .get(&user_id)
+            .map(|entries| entries.iter().filter(|e| e.covers(ts)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All entries of a user.
+    pub fn entries(&self, user_id: u64) -> &[CalendarEntry] {
+        self.by_user.get(&user_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_at_respects_half_open_interval() {
+        let mut c = Calendars::new();
+        c.add(1, "holiday in Rome", 100, 200).unwrap();
+        assert_eq!(c.entries_at(1, 100).len(), 1);
+        assert_eq!(c.entries_at(1, 199).len(), 1);
+        assert!(c.entries_at(1, 200).is_empty());
+        assert!(c.entries_at(1, 99).is_empty());
+        assert!(c.entries_at(2, 150).is_empty());
+    }
+
+    #[test]
+    fn overlapping_entries_all_returned() {
+        let mut c = Calendars::new();
+        c.add(1, "trip", 0, 1000).unwrap();
+        c.add(1, "dinner", 500, 600).unwrap();
+        assert_eq!(c.entries_at(1, 550).len(), 2);
+        assert_eq!(c.entries_at(1, 450).len(), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_intervals() {
+        let mut c = Calendars::new();
+        assert!(c.add(1, "zero", 10, 10).is_err());
+        assert!(c.add(1, "negative", 10, 5).is_err());
+        assert!(c.entries(1).is_empty());
+    }
+}

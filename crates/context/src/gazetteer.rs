@@ -1,0 +1,473 @@
+//! The synthetic world: cities, POIs, notable people, and reverse
+//! geocoding.
+//!
+//! Every workload generator in the workspace (relational DB rows,
+//! synthetic DBpedia/Geonames/LinkedGeoData graphs, annotation corpora)
+//! draws from this single catalog so that entity names, coordinates and
+//! identifiers line up across substrates — the property the paper gets
+//! from the real DBpedia/Geonames overlap.
+
+use std::sync::OnceLock;
+
+use lodify_rdf::Point;
+
+/// A city in the seed catalog.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Stable slug used for IRIs, e.g. `Turin`.
+    pub key: &'static str,
+    /// Labels by language tag; the `en` label always exists.
+    pub labels: &'static [(&'static str, &'static str)],
+    /// ISO-ish country name.
+    pub country: &'static str,
+    /// Longitude (decimal degrees).
+    pub lon: f64,
+    /// Latitude (decimal degrees).
+    pub lat: f64,
+    /// Approximate population (drives label popularity scores).
+    pub population: u64,
+}
+
+impl City {
+    /// The city center point.
+    pub fn point(&self) -> Point {
+        Point::new(self.lon, self.lat).expect("catalog coordinates are valid")
+    }
+
+    /// The label for a language, falling back to English.
+    pub fn label(&self, lang: &str) -> &'static str {
+        self.labels
+            .iter()
+            .find(|(l, _)| *l == lang)
+            .or_else(|| self.labels.iter().find(|(l, _)| *l == "en"))
+            .map(|(_, name)| *name)
+            .expect("en label present")
+    }
+
+    /// Stable pseudo-Geonames numeric id.
+    pub fn geonames_id(&self) -> u64 {
+        2_000_000 + stable_hash(self.key) % 7_000_000
+    }
+}
+
+/// POI categories. Mirrors the coarse classes the paper cares about:
+/// touristic sights (linkable to DBpedia) vs commercial places, which
+/// §2.2.1 explicitly excludes from DBpedia linking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoiCategory {
+    /// Monuments and landmarks.
+    Monument,
+    /// Museums and galleries.
+    Museum,
+    /// Churches, basilicas, cathedrals.
+    Church,
+    /// Squares and plazas.
+    Square,
+    /// Parks and gardens.
+    Park,
+    /// Generic touristic attraction.
+    Tourism,
+    /// Restaurants (commercial — excluded from DBpedia linking).
+    Restaurant,
+    /// Hotels (commercial — excluded).
+    Hotel,
+    /// Cafés (commercial — excluded).
+    Cafe,
+}
+
+impl PoiCategory {
+    /// Whether the paper's POI analysis excludes this category from
+    /// DBpedia linking ("commercial categories such as restaurants,
+    /// hotels, etc are excluded", §2.2.1).
+    pub fn is_commercial(self) -> bool {
+        matches!(self, PoiCategory::Restaurant | PoiCategory::Hotel | PoiCategory::Cafe)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoiCategory::Monument => "monument",
+            PoiCategory::Museum => "museum",
+            PoiCategory::Church => "church",
+            PoiCategory::Square => "square",
+            PoiCategory::Park => "park",
+            PoiCategory::Tourism => "tourism",
+            PoiCategory::Restaurant => "restaurant",
+            PoiCategory::Hotel => "hotel",
+            PoiCategory::Cafe => "cafe",
+        }
+    }
+}
+
+/// A point of interest.
+#[derive(Debug, Clone)]
+pub struct Poi {
+    /// Stable slug, e.g. `Mole_Antonelliana`.
+    pub key: &'static str,
+    /// Canonical (English/local) name.
+    pub name: &'static str,
+    /// Alternative names users type ("Coliseum" for the Colosseum).
+    pub alt_names: &'static [&'static str],
+    /// Key of the containing city.
+    pub city_key: &'static str,
+    /// Category.
+    pub category: PoiCategory,
+    /// Offset from the city center, kilometers east.
+    pub dx_km: f64,
+    /// Offset from the city center, kilometers north.
+    pub dy_km: f64,
+}
+
+impl Poi {
+    /// The POI's point, resolved against the gazetteer's city table.
+    pub fn point(&self, gazetteer: &Gazetteer) -> Point {
+        let city = gazetteer
+            .city(self.city_key)
+            .expect("catalog city keys are consistent");
+        city.point().offset_km(self.dx_km, self.dy_km)
+    }
+}
+
+/// A notable person (celebrity catalog for title/tag workloads).
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Full name.
+    pub name: &'static str,
+    /// One-word field ("painter", "scientist"...).
+    pub field: &'static str,
+}
+
+/// A reverse-geocoded civil address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CivicAddress {
+    /// Street name (deterministic synthetic).
+    pub street: String,
+    /// House number (deterministic synthetic).
+    pub house_number: u32,
+    /// City English label.
+    pub city: String,
+    /// Country.
+    pub country: String,
+}
+
+/// The catalog plus lookup operations.
+#[derive(Debug)]
+pub struct Gazetteer {
+    cities: Vec<City>,
+    pois: Vec<Poi>,
+    people: Vec<Person>,
+}
+
+impl Gazetteer {
+    /// The process-wide shared catalog.
+    pub fn global() -> &'static Gazetteer {
+        static INSTANCE: OnceLock<Gazetteer> = OnceLock::new();
+        INSTANCE.get_or_init(Gazetteer::build)
+    }
+
+    fn build() -> Gazetteer {
+        let g = Gazetteer {
+            cities: CITIES.to_vec(),
+            pois: POIS.to_vec(),
+            people: PEOPLE.to_vec(),
+        };
+        debug_assert!(g.pois.iter().all(|p| g.city(p.city_key).is_some()));
+        g
+    }
+
+    /// All cities.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// City by slug.
+    pub fn city(&self, key: &str) -> Option<&City> {
+        self.cities.iter().find(|c| c.key == key)
+    }
+
+    /// The city whose center is closest to `point`.
+    pub fn nearest_city(&self, point: Point) -> &City {
+        self.cities
+            .iter()
+            .min_by(|a, b| {
+                point
+                    .distance_km(a.point())
+                    .total_cmp(&point.distance_km(b.point()))
+            })
+            .expect("catalog is non-empty")
+    }
+
+    /// All POIs.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// POI by slug.
+    pub fn poi(&self, key: &str) -> Option<&Poi> {
+        self.pois.iter().find(|p| p.key == key)
+    }
+
+    /// POIs in a city.
+    pub fn pois_in(&self, city_key: &str) -> Vec<&Poi> {
+        self.pois.iter().filter(|p| p.city_key == city_key).collect()
+    }
+
+    /// POIs within `radius_km` of `point`, nearest first.
+    pub fn pois_near(&self, point: Point, radius_km: f64) -> Vec<(&Poi, f64)> {
+        let mut hits: Vec<(&Poi, f64)> = self
+            .pois
+            .iter()
+            .map(|p| (p, point.distance_km(p.point(self))))
+            .filter(|(_, d)| *d <= radius_km)
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+        hits
+    }
+
+    /// The notable-people catalog.
+    pub fn people(&self) -> &[Person] {
+        &self.people
+    }
+
+    /// Converts a GPS point into a deterministic civil address: the
+    /// nearest city, a street drawn from the city's street-name pool by
+    /// hashing the ~100 m grid cell, and a house number from the same
+    /// hash. This reproduces the paper's "converts GPS coordinates …
+    /// into civil addresses" step (§1.1) without a street database.
+    pub fn reverse_geocode(&self, point: Point) -> CivicAddress {
+        let city = self.nearest_city(point);
+        let cell_x = (point.lon * 1000.0).floor() as i64;
+        let cell_y = (point.lat * 1000.0).floor() as i64;
+        let h = stable_hash(&format!("{}:{cell_x}:{cell_y}", city.key));
+        let street = STREET_NAMES[(h % STREET_NAMES.len() as u64) as usize];
+        CivicAddress {
+            street: street.to_string(),
+            house_number: 1 + (h / 7 % 180) as u32,
+            city: city.label("en").to_string(),
+            country: city.country.to_string(),
+        }
+    }
+}
+
+/// FNV-1a, for stable catalog-derived identifiers (never security).
+pub fn stable_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const STREET_NAMES: &[&str] = &[
+    "Via Roma",
+    "Via Garibaldi",
+    "Corso Vittorio Emanuele II",
+    "Via Po",
+    "Corso Francia",
+    "Via Nizza",
+    "Via Milano",
+    "Corso Duca degli Abruzzi",
+    "Via della Consolata",
+    "Via San Massimo",
+    "Rue de Rivoli",
+    "Avenue des Champs-Élysées",
+    "Baker Street",
+    "Oxford Street",
+    "Gran Vía",
+    "Calle de Alcalá",
+    "Unter den Linden",
+    "Friedrichstraße",
+    "Kärntner Straße",
+    "Damrak",
+];
+
+const CITIES: &[City] = &[
+    City { key: "Turin", labels: &[("en", "Turin"), ("it", "Torino"), ("fr", "Turin"), ("es", "Turín"), ("de", "Turin")], country: "Italy", lon: 7.6869, lat: 45.0703, population: 870_000 },
+    City { key: "Milan", labels: &[("en", "Milan"), ("it", "Milano"), ("fr", "Milan"), ("es", "Milán"), ("de", "Mailand")], country: "Italy", lon: 9.1900, lat: 45.4642, population: 1_350_000 },
+    City { key: "Rome", labels: &[("en", "Rome"), ("it", "Roma"), ("fr", "Rome"), ("es", "Roma"), ("de", "Rom")], country: "Italy", lon: 12.4964, lat: 41.9028, population: 2_870_000 },
+    City { key: "Florence", labels: &[("en", "Florence"), ("it", "Firenze"), ("fr", "Florence"), ("es", "Florencia"), ("de", "Florenz")], country: "Italy", lon: 11.2558, lat: 43.7696, population: 380_000 },
+    City { key: "Venice", labels: &[("en", "Venice"), ("it", "Venezia"), ("fr", "Venise"), ("es", "Venecia"), ("de", "Venedig")], country: "Italy", lon: 12.3155, lat: 45.4408, population: 260_000 },
+    City { key: "Naples", labels: &[("en", "Naples"), ("it", "Napoli"), ("fr", "Naples"), ("es", "Nápoles"), ("de", "Neapel")], country: "Italy", lon: 14.2681, lat: 40.8518, population: 960_000 },
+    City { key: "Bologna", labels: &[("en", "Bologna"), ("it", "Bologna")], country: "Italy", lon: 11.3426, lat: 44.4949, population: 390_000 },
+    City { key: "Genoa", labels: &[("en", "Genoa"), ("it", "Genova"), ("fr", "Gênes"), ("es", "Génova"), ("de", "Genua")], country: "Italy", lon: 8.9463, lat: 44.4056, population: 580_000 },
+    City { key: "Palermo", labels: &[("en", "Palermo"), ("it", "Palermo")], country: "Italy", lon: 13.3615, lat: 38.1157, population: 670_000 },
+    City { key: "Verona", labels: &[("en", "Verona"), ("it", "Verona")], country: "Italy", lon: 10.9916, lat: 45.4384, population: 260_000 },
+    City { key: "Paris", labels: &[("en", "Paris"), ("it", "Parigi"), ("fr", "Paris"), ("es", "París"), ("de", "Paris")], country: "France", lon: 2.3522, lat: 48.8566, population: 2_160_000 },
+    City { key: "Lyon", labels: &[("en", "Lyon"), ("it", "Lione"), ("fr", "Lyon")], country: "France", lon: 4.8357, lat: 45.7640, population: 520_000 },
+    City { key: "Marseille", labels: &[("en", "Marseille"), ("it", "Marsiglia"), ("fr", "Marseille")], country: "France", lon: 5.3698, lat: 43.2965, population: 870_000 },
+    City { key: "London", labels: &[("en", "London"), ("it", "Londra"), ("fr", "Londres"), ("es", "Londres"), ("de", "London")], country: "United Kingdom", lon: -0.1276, lat: 51.5072, population: 8_980_000 },
+    City { key: "Manchester", labels: &[("en", "Manchester")], country: "United Kingdom", lon: -2.2426, lat: 53.4808, population: 550_000 },
+    City { key: "Madrid", labels: &[("en", "Madrid"), ("it", "Madrid"), ("es", "Madrid")], country: "Spain", lon: -3.7038, lat: 40.4168, population: 3_220_000 },
+    City { key: "Barcelona", labels: &[("en", "Barcelona"), ("it", "Barcellona"), ("es", "Barcelona")], country: "Spain", lon: 2.1734, lat: 41.3851, population: 1_620_000 },
+    City { key: "Seville", labels: &[("en", "Seville"), ("it", "Siviglia"), ("es", "Sevilla")], country: "Spain", lon: -5.9845, lat: 37.3891, population: 690_000 },
+    City { key: "Berlin", labels: &[("en", "Berlin"), ("it", "Berlino"), ("de", "Berlin")], country: "Germany", lon: 13.4050, lat: 52.5200, population: 3_640_000 },
+    City { key: "Munich", labels: &[("en", "Munich"), ("it", "Monaco di Baviera"), ("de", "München")], country: "Germany", lon: 11.5820, lat: 48.1351, population: 1_470_000 },
+    City { key: "Hamburg", labels: &[("en", "Hamburg"), ("it", "Amburgo"), ("de", "Hamburg")], country: "Germany", lon: 9.9937, lat: 53.5511, population: 1_840_000 },
+    City { key: "Vienna", labels: &[("en", "Vienna"), ("it", "Vienna"), ("de", "Wien")], country: "Austria", lon: 16.3738, lat: 48.2082, population: 1_900_000 },
+    City { key: "Zurich", labels: &[("en", "Zurich"), ("it", "Zurigo"), ("de", "Zürich")], country: "Switzerland", lon: 8.5417, lat: 47.3769, population: 420_000 },
+    City { key: "Amsterdam", labels: &[("en", "Amsterdam"), ("it", "Amsterdam")], country: "Netherlands", lon: 4.9041, lat: 52.3676, population: 870_000 },
+    City { key: "Brussels", labels: &[("en", "Brussels"), ("it", "Bruxelles"), ("fr", "Bruxelles")], country: "Belgium", lon: 4.3517, lat: 50.8503, population: 1_210_000 },
+];
+
+const POIS: &[Poi] = &[
+    // Torino
+    Poi { key: "Mole_Antonelliana", name: "Mole Antonelliana", alt_names: &["Mole", "la Mole"], city_key: "Turin", category: PoiCategory::Monument, dx_km: 0.5, dy_km: -0.1 },
+    Poi { key: "Palazzo_Madama", name: "Palazzo Madama", alt_names: &[], city_key: "Turin", category: PoiCategory::Monument, dx_km: 0.0, dy_km: 0.1 },
+    Poi { key: "Museo_Egizio", name: "Museo Egizio", alt_names: &["Egyptian Museum"], city_key: "Turin", category: PoiCategory::Museum, dx_km: -0.1, dy_km: -0.1 },
+    Poi { key: "Piazza_Castello", name: "Piazza Castello", alt_names: &[], city_key: "Turin", category: PoiCategory::Square, dx_km: 0.05, dy_km: 0.12 },
+    Poi { key: "Parco_del_Valentino", name: "Parco del Valentino", alt_names: &["Valentino Park"], city_key: "Turin", category: PoiCategory::Park, dx_km: 0.6, dy_km: -1.4 },
+    Poi { key: "Basilica_di_Superga", name: "Basilica di Superga", alt_names: &["Superga"], city_key: "Turin", category: PoiCategory::Church, dx_km: 5.0, dy_km: 0.8 },
+    // Roma
+    Poi { key: "Colosseum", name: "Colosseum", alt_names: &["Coliseum", "The Roman Colosseum", "Colosseo"], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.8, dy_km: -0.5 },
+    Poi { key: "Pantheon_Rome", name: "Pantheon", alt_names: &[], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.1, dy_km: 0.1 },
+    Poi { key: "Trevi_Fountain", name: "Trevi Fountain", alt_names: &["Fontana di Trevi"], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.4, dy_km: 0.2 },
+    Poi { key: "St_Peters_Basilica", name: "St. Peter's Basilica", alt_names: &["Basilica di San Pietro"], city_key: "Rome", category: PoiCategory::Church, dx_km: -2.3, dy_km: 0.4 },
+    Poi { key: "Roman_Forum", name: "Roman Forum", alt_names: &["Foro Romano"], city_key: "Rome", category: PoiCategory::Tourism, dx_km: 0.6, dy_km: -0.4 },
+    // Milano
+    Poi { key: "Duomo_di_Milano", name: "Duomo di Milano", alt_names: &["Milan Cathedral", "Duomo"], city_key: "Milan", category: PoiCategory::Church, dx_km: 0.0, dy_km: 0.0 },
+    Poi { key: "Sforza_Castle", name: "Sforza Castle", alt_names: &["Castello Sforzesco"], city_key: "Milan", category: PoiCategory::Monument, dx_km: -0.9, dy_km: 0.6 },
+    Poi { key: "Galleria_Vittorio_Emanuele_II", name: "Galleria Vittorio Emanuele II", alt_names: &["Galleria"], city_key: "Milan", category: PoiCategory::Tourism, dx_km: 0.1, dy_km: 0.1 },
+    // Firenze
+    Poi { key: "Uffizi_Gallery", name: "Uffizi Gallery", alt_names: &["Uffizi", "Galleria degli Uffizi"], city_key: "Florence", category: PoiCategory::Museum, dx_km: 0.1, dy_km: -0.2 },
+    Poi { key: "Ponte_Vecchio", name: "Ponte Vecchio", alt_names: &[], city_key: "Florence", category: PoiCategory::Monument, dx_km: -0.1, dy_km: -0.3 },
+    Poi { key: "Florence_Cathedral", name: "Florence Cathedral", alt_names: &["Duomo di Firenze", "Santa Maria del Fiore"], city_key: "Florence", category: PoiCategory::Church, dx_km: 0.1, dy_km: 0.2 },
+    // Venezia
+    Poi { key: "St_Marks_Basilica", name: "St Mark's Basilica", alt_names: &["Basilica di San Marco"], city_key: "Venice", category: PoiCategory::Church, dx_km: 0.2, dy_km: -0.1 },
+    Poi { key: "Rialto_Bridge", name: "Rialto Bridge", alt_names: &["Ponte di Rialto"], city_key: "Venice", category: PoiCategory::Monument, dx_km: 0.0, dy_km: 0.1 },
+    Poi { key: "Doges_Palace", name: "Doge's Palace", alt_names: &["Palazzo Ducale"], city_key: "Venice", category: PoiCategory::Monument, dx_km: 0.25, dy_km: -0.15 },
+    // Paris
+    Poi { key: "Eiffel_Tower", name: "Eiffel Tower", alt_names: &["Tour Eiffel"], city_key: "Paris", category: PoiCategory::Monument, dx_km: -3.0, dy_km: -0.5 },
+    Poi { key: "Louvre", name: "Louvre", alt_names: &["Louvre Museum", "Musée du Louvre"], city_key: "Paris", category: PoiCategory::Museum, dx_km: -0.3, dy_km: 0.3 },
+    Poi { key: "Notre_Dame_de_Paris", name: "Notre-Dame de Paris", alt_names: &["Notre Dame"], city_key: "Paris", category: PoiCategory::Church, dx_km: 0.1, dy_km: -0.3 },
+    // London
+    Poi { key: "Big_Ben", name: "Big Ben", alt_names: &[], city_key: "London", category: PoiCategory::Monument, dx_km: -0.2, dy_km: -0.6 },
+    Poi { key: "Tower_Bridge", name: "Tower Bridge", alt_names: &[], city_key: "London", category: PoiCategory::Monument, dx_km: 3.0, dy_km: -0.4 },
+    Poi { key: "British_Museum", name: "British Museum", alt_names: &[], city_key: "London", category: PoiCategory::Museum, dx_km: 0.2, dy_km: 1.0 },
+    // Madrid / Barcelona
+    Poi { key: "Prado_Museum", name: "Prado Museum", alt_names: &["Museo del Prado"], city_key: "Madrid", category: PoiCategory::Museum, dx_km: 0.9, dy_km: -0.3 },
+    Poi { key: "Royal_Palace_of_Madrid", name: "Royal Palace of Madrid", alt_names: &["Palacio Real"], city_key: "Madrid", category: PoiCategory::Monument, dx_km: -0.8, dy_km: 0.1 },
+    Poi { key: "Sagrada_Familia", name: "Sagrada Família", alt_names: &["Sagrada Familia"], city_key: "Barcelona", category: PoiCategory::Church, dx_km: 1.0, dy_km: 1.2 },
+    Poi { key: "Park_Guell", name: "Park Güell", alt_names: &["Parc Güell"], city_key: "Barcelona", category: PoiCategory::Park, dx_km: 0.3, dy_km: 2.7 },
+    // Berlin / Vienna / Amsterdam
+    Poi { key: "Brandenburg_Gate", name: "Brandenburg Gate", alt_names: &["Brandenburger Tor"], city_key: "Berlin", category: PoiCategory::Monument, dx_km: -0.9, dy_km: -0.3 },
+    Poi { key: "Reichstag", name: "Reichstag", alt_names: &[], city_key: "Berlin", category: PoiCategory::Monument, dx_km: -0.8, dy_km: 0.1 },
+    Poi { key: "Schonbrunn_Palace", name: "Schönbrunn Palace", alt_names: &["Schloss Schönbrunn"], city_key: "Vienna", category: PoiCategory::Monument, dx_km: -4.3, dy_km: -2.0 },
+    Poi { key: "Rijksmuseum", name: "Rijksmuseum", alt_names: &[], city_key: "Amsterdam", category: PoiCategory::Museum, dx_km: -0.5, dy_km: -1.2 },
+    // Commercial POIs, several deliberately homonymous with monuments:
+    // they exercise the ambiguity handling of the semantic filter and
+    // the commercial-category exclusion rule.
+    Poi { key: "Ristorante_Del_Cambio", name: "Del Cambio", alt_names: &["Ristorante Del Cambio"], city_key: "Turin", category: PoiCategory::Restaurant, dx_km: 0.02, dy_km: 0.05 },
+    Poi { key: "Caffe_Mole", name: "Caffè Mole", alt_names: &["Mole Cafe"], city_key: "Turin", category: PoiCategory::Cafe, dx_km: 0.45, dy_km: -0.12 },
+    Poi { key: "Trattoria_Colosseum", name: "Trattoria Colosseum", alt_names: &["Colosseum"], city_key: "Rome", category: PoiCategory::Restaurant, dx_km: 0.9, dy_km: -0.45 },
+    Poi { key: "Hotel_Torino", name: "Hotel Torino", alt_names: &[], city_key: "Turin", category: PoiCategory::Hotel, dx_km: -0.3, dy_km: -0.5 },
+    Poi { key: "Pizzeria_Rialto", name: "Pizzeria Rialto", alt_names: &["Rialto"], city_key: "Venice", category: PoiCategory::Restaurant, dx_km: 0.05, dy_km: 0.12 },
+    Poi { key: "Brasserie_Louvre", name: "Brasserie du Louvre", alt_names: &["Louvre"], city_key: "Paris", category: PoiCategory::Restaurant, dx_km: -0.25, dy_km: 0.35 },
+];
+
+const PEOPLE: &[Person] = &[
+    Person { name: "Leonardo da Vinci", field: "painter" },
+    Person { name: "Galileo Galilei", field: "scientist" },
+    Person { name: "Dante Alighieri", field: "poet" },
+    Person { name: "Giuseppe Garibaldi", field: "general" },
+    Person { name: "Camillo Cavour", field: "statesman" },
+    Person { name: "Alessandro Volta", field: "physicist" },
+    Person { name: "Guglielmo Marconi", field: "inventor" },
+    Person { name: "Enzo Ferrari", field: "entrepreneur" },
+    Person { name: "Sophia Loren", field: "actress" },
+    Person { name: "Federico Fellini", field: "director" },
+    Person { name: "Luciano Pavarotti", field: "tenor" },
+    Person { name: "Umberto Eco", field: "writer" },
+    Person { name: "Primo Levi", field: "writer" },
+    Person { name: "Italo Calvino", field: "writer" },
+    Person { name: "Rita Levi-Montalcini", field: "neurologist" },
+    Person { name: "Napoleon Bonaparte", field: "emperor" },
+    Person { name: "Victor Hugo", field: "writer" },
+    Person { name: "Claude Monet", field: "painter" },
+    Person { name: "William Shakespeare", field: "playwright" },
+    Person { name: "Isaac Newton", field: "physicist" },
+    Person { name: "Miguel de Cervantes", field: "writer" },
+    Person { name: "Johann Wolfgang von Goethe", field: "writer" },
+    Person { name: "Ludwig van Beethoven", field: "composer" },
+    Person { name: "Vincent van Gogh", field: "painter" },
+    Person { name: "Wolfgang Amadeus Mozart", field: "composer" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_internally_consistent() {
+        let g = Gazetteer::global();
+        assert!(g.cities().len() >= 20);
+        assert!(g.pois().len() >= 35);
+        assert!(g.people().len() >= 20);
+        for poi in g.pois() {
+            assert!(g.city(poi.city_key).is_some(), "dangling city {:?}", poi.city_key);
+        }
+        // Keys are unique.
+        let mut keys: Vec<_> = g.pois().iter().map(|p| p.key).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn labels_fall_back_to_english() {
+        let g = Gazetteer::global();
+        let turin = g.city("Turin").unwrap();
+        assert_eq!(turin.label("it"), "Torino");
+        assert_eq!(turin.label("zz"), "Turin");
+    }
+
+    #[test]
+    fn nearest_city_picks_the_right_one() {
+        let g = Gazetteer::global();
+        let near_turin = Point::new(7.70, 45.08).unwrap();
+        assert_eq!(g.nearest_city(near_turin).key, "Turin");
+        let near_paris = Point::new(2.30, 48.85).unwrap();
+        assert_eq!(g.nearest_city(near_paris).key, "Paris");
+    }
+
+    #[test]
+    fn pois_near_mole_include_homonymous_cafe() {
+        let g = Gazetteer::global();
+        let mole = g.poi("Mole_Antonelliana").unwrap().point(g);
+        let nearby = g.pois_near(mole, 0.3);
+        let keys: Vec<_> = nearby.iter().map(|(p, _)| p.key).collect();
+        assert!(keys.contains(&"Mole_Antonelliana"));
+        assert!(keys.contains(&"Caffe_Mole"));
+        assert!(!keys.contains(&"Colosseum"));
+    }
+
+    #[test]
+    fn reverse_geocode_is_deterministic_and_city_correct() {
+        let g = Gazetteer::global();
+        let p = Point::new(7.69, 45.07).unwrap();
+        let a1 = g.reverse_geocode(p);
+        let a2 = g.reverse_geocode(p);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.city, "Turin");
+        assert_eq!(a1.country, "Italy");
+        assert!(a1.house_number >= 1);
+    }
+
+    #[test]
+    fn geonames_ids_are_stable_and_distinct_enough() {
+        let g = Gazetteer::global();
+        let ids: std::collections::HashSet<u64> =
+            g.cities().iter().map(|c| c.geonames_id()).collect();
+        assert_eq!(ids.len(), g.cities().len());
+    }
+
+    #[test]
+    fn commercial_categories_flagged() {
+        assert!(PoiCategory::Restaurant.is_commercial());
+        assert!(PoiCategory::Hotel.is_commercial());
+        assert!(PoiCategory::Cafe.is_commercial());
+        assert!(!PoiCategory::Monument.is_commercial());
+        assert!(!PoiCategory::Museum.is_commercial());
+    }
+}

@@ -1,0 +1,35 @@
+//! Context management platform simulation.
+//!
+//! The paper's platform queries a (proprietary, Telecom Italia) context
+//! management platform for "the location, nearby buddies and calendar
+//! entries associated to the moment in which the picture was taken"
+//! (§1.1), converting GPS coordinates into civil addresses and into the
+//! nearest city-level Geonames resource (§2.2.1). This crate rebuilds
+//! that platform over a deterministic synthetic world:
+//!
+//! * [`gazetteer`] — the **entity seed catalog** shared by every
+//!   workload generator in the workspace: European cities with
+//!   multilingual labels, coordinates, population and a pseudo-Geonames
+//!   id; monuments/POIs with categories; notable people. Also provides
+//!   reverse geocoding (point → civic address) and nearest-city lookup.
+//! * [`cells`] — GSM Cell Global Identity derivation (the paper's
+//!   `cell:cgi=460-0-9522-3661` triple tags).
+//! * [`buddies`] — buddy-proximity: which friends were near the user
+//!   when the content was captured.
+//! * [`calendar`] — synthetic per-user calendars and entry lookup by
+//!   timestamp.
+//! * [`platform`] — [`platform::ContextPlatform`],
+//!   the facade producing a [`platform::ContextSnapshot`]
+//!   for a (user, time, position) triple, exactly the inputs the
+//!   semantic annotation pipeline consumes.
+
+#![warn(missing_docs)]
+
+pub mod buddies;
+pub mod calendar;
+pub mod cells;
+pub mod gazetteer;
+pub mod platform;
+
+pub use gazetteer::{CivicAddress, Gazetteer, Poi, PoiCategory};
+pub use platform::{ContextPlatform, ContextSnapshot, LocationContext};

@@ -1,0 +1,213 @@
+//! The context platform facade.
+
+use lodify_rdf::Point;
+
+use crate::buddies::{Buddy, BuddyModel};
+use crate::calendar::{CalendarEntry, Calendars};
+use crate::cells::{cell_at, CellId};
+use crate::gazetteer::{CivicAddress, Gazetteer};
+
+/// Location-related context for a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationContext {
+    /// The raw GPS point.
+    pub point: Point,
+    /// Reverse-geocoded civil address.
+    pub civic: CivicAddress,
+    /// Nearest city's catalog key (`Turin`, `Rome`, …).
+    pub city_key: String,
+    /// Pseudo-Geonames id of that city — the paper guarantees a valid
+    /// Geonames reference from the locationing process itself (§2.2.1).
+    pub geonames_id: u64,
+    /// User-defined place label, when the user tagged the spot.
+    pub place_label: Option<String>,
+    /// User-defined place type ("crowded", "quiet", …) for the
+    /// `place:is=` triple tag.
+    pub place_type: Option<String>,
+}
+
+/// Everything the context platform knows about a capture moment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextSnapshot {
+    /// Location context, when GPS was available.
+    pub location: Option<LocationContext>,
+    /// Serving GSM cell, when GPS was available.
+    pub cell: Option<CellId>,
+    /// Nearby friends at capture time.
+    pub nearby: Vec<Buddy>,
+    /// Calendar entries covering the capture time.
+    pub calendar: Vec<CalendarEntry>,
+}
+
+/// Radius within which a friend counts as "nearby".
+pub const NEARBY_RADIUS_KM: f64 = 1.0;
+
+/// The simulated context management platform (§1.1's external system).
+#[derive(Debug)]
+pub struct ContextPlatform {
+    gazetteer: &'static Gazetteer,
+    buddies: BuddyModel,
+    calendars: Calendars,
+    place_labels: Vec<(u64, Point, String, Option<String>)>,
+}
+
+impl Default for ContextPlatform {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextPlatform {
+    /// A platform over the global gazetteer with no users yet.
+    pub fn new() -> Self {
+        ContextPlatform {
+            gazetteer: Gazetteer::global(),
+            buddies: BuddyModel::new(),
+            calendars: Calendars::new(),
+            place_labels: Vec::new(),
+        }
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &'static Gazetteer {
+        self.gazetteer
+    }
+
+    /// Mutable buddy model (registration, positions, friendships).
+    pub fn buddies_mut(&mut self) -> &mut BuddyModel {
+        &mut self.buddies
+    }
+
+    /// Read access to the buddy model.
+    pub fn buddies(&self) -> &BuddyModel {
+        &self.buddies
+    }
+
+    /// Mutable calendars.
+    pub fn calendars_mut(&mut self) -> &mut Calendars {
+        &mut self.calendars
+    }
+
+    /// Registers a user-defined place label around `point` (±150 m):
+    /// the paper's "retrieval of user-defined location labels" (§1.1).
+    pub fn add_place_label(
+        &mut self,
+        user_id: u64,
+        point: Point,
+        label: &str,
+        place_type: Option<&str>,
+    ) {
+        self.place_labels.push((
+            user_id,
+            point,
+            label.to_string(),
+            place_type.map(str::to_string),
+        ));
+    }
+
+    /// Builds the context snapshot for a capture: reverse geocoding,
+    /// nearest Geonames city, place labels, serving cell, nearby
+    /// buddies and calendar entries.
+    pub fn contextualize(&self, user_id: u64, ts: i64, gps: Option<Point>) -> ContextSnapshot {
+        let location = gps.map(|point| {
+            let civic = self.gazetteer.reverse_geocode(point);
+            let city = self.gazetteer.nearest_city(point);
+            let label = self
+                .place_labels
+                .iter()
+                .filter(|(uid, p, _, _)| *uid == user_id && p.distance_km(point) <= 0.15)
+                .map(|(_, _, label, ty)| (label.clone(), ty.clone()))
+                .next();
+            LocationContext {
+                point,
+                civic,
+                city_key: city.key.to_string(),
+                geonames_id: city.geonames_id(),
+                place_label: label.as_ref().map(|(l, _)| l.clone()),
+                place_type: label.and_then(|(_, t)| t),
+            }
+        });
+        ContextSnapshot {
+            cell: gps.map(cell_at),
+            nearby: gps
+                .map(|point| {
+                    self.buddies
+                        .nearby_buddies(user_id, point, NEARBY_RADIUS_KM)
+                        .into_iter()
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default(),
+            calendar: self
+                .calendars
+                .entries_at(user_id, ts)
+                .into_iter()
+                .cloned()
+                .collect(),
+            location,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lon: f64, lat: f64) -> Point {
+        Point::new(lon, lat).unwrap()
+    }
+
+    fn platform() -> ContextPlatform {
+        let mut p = ContextPlatform::new();
+        p.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+        p.buddies_mut().add_user(2, "walter", "Walter Goix");
+        p.buddies_mut().add_friend(1, 2);
+        p.buddies_mut().update_position(2, pt(7.687, 45.071));
+        p.calendars_mut().add(1, "holiday in Turin", 0, 10_000).unwrap();
+        p.add_place_label(1, pt(7.6933, 45.0692), "the big dome", Some("crowded"));
+        p
+    }
+
+    #[test]
+    fn full_snapshot_with_gps() {
+        let p = platform();
+        let snap = p.contextualize(1, 500, Some(pt(7.6933, 45.0692)));
+        let loc = snap.location.expect("location present");
+        assert_eq!(loc.city_key, "Turin");
+        assert_eq!(loc.civic.city, "Turin");
+        assert_eq!(loc.place_label.as_deref(), Some("the big dome"));
+        assert_eq!(loc.place_type.as_deref(), Some("crowded"));
+        assert!(loc.geonames_id > 0);
+        assert!(snap.cell.is_some());
+        assert_eq!(snap.nearby.len(), 1);
+        assert_eq!(snap.calendar.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_without_gps_has_no_location_or_cell() {
+        let p = platform();
+        let snap = p.contextualize(1, 500, None);
+        assert!(snap.location.is_none());
+        assert!(snap.cell.is_none());
+        assert!(snap.nearby.is_empty());
+        assert_eq!(snap.calendar.len(), 1);
+    }
+
+    #[test]
+    fn place_label_only_applies_nearby_and_for_owner() {
+        let p = platform();
+        // 5 km away: label must not apply.
+        let far = p.contextualize(1, 500, Some(pt(7.75, 45.07)));
+        assert!(far.location.unwrap().place_label.is_none());
+        // Different user: label must not apply.
+        let other = p.contextualize(2, 500, Some(pt(7.6933, 45.0692)));
+        assert!(other.location.unwrap().place_label.is_none());
+    }
+
+    #[test]
+    fn calendar_outside_window_is_empty() {
+        let p = platform();
+        let snap = p.contextualize(1, 20_000, Some(pt(7.6933, 45.0692)));
+        assert!(snap.calendar.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Deferred upload queue.
+//!
+//! "To overcome problems of limited connectivity and battery
+//! management, the client supports a deferred content uploading
+//! procedure. Pictures, videos and related metadata are associated to
+//! their creation timestamp." (§1.1)
+//!
+//! The queue holds uploads while the (simulated) device is offline and
+//! flushes them in capture order when connectivity returns — the
+//! capture timestamp inside [`Upload`] is what keeps context tagging
+//! correct even for late uploads.
+
+use crate::error::PlatformError;
+use crate::platform::{Platform, Upload, UploadReceipt};
+
+/// Client-side deferred upload queue.
+#[derive(Debug, Default)]
+pub struct UploadQueue {
+    online: bool,
+    pending: Vec<Upload>,
+}
+
+impl UploadQueue {
+    /// A new queue, offline.
+    pub fn new() -> UploadQueue {
+        UploadQueue {
+            online: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sets connectivity. Going online does not flush by itself — the
+    /// client calls [`UploadQueue::flush`].
+    pub fn set_online(&mut self, online: bool) {
+        self.online = online;
+    }
+
+    /// Whether the client currently has connectivity.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Captures content: uploads immediately when online, queues
+    /// otherwise. Returns the receipt for immediate uploads.
+    pub fn capture(
+        &mut self,
+        platform: &mut Platform,
+        upload: Upload,
+    ) -> Result<Option<UploadReceipt>, PlatformError> {
+        if self.online {
+            platform.upload(upload).map(Some)
+        } else {
+            self.pending.push(upload);
+            Ok(None)
+        }
+    }
+
+    /// Number of queued uploads.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flushes the queue in capture-timestamp order. Items that fail
+    /// individually are reported but don't block the rest.
+    pub fn flush(
+        &mut self,
+        platform: &mut Platform,
+    ) -> (Vec<UploadReceipt>, Vec<(Upload, PlatformError)>) {
+        if !self.online {
+            return (Vec::new(), Vec::new());
+        }
+        let mut queued = std::mem::take(&mut self.pending);
+        queued.sort_by_key(|u| u.ts);
+        let mut receipts = Vec::new();
+        let mut failures = Vec::new();
+        for upload in queued {
+            match platform.upload(upload.clone()) {
+                Ok(receipt) => receipts.push(receipt),
+                Err(e) => failures.push((upload, e)),
+            }
+        }
+        (receipts, failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_relational::WorkloadConfig;
+
+    fn upload(ts: i64, title: &str) -> Upload {
+        Upload {
+            user_id: 1,
+            title: title.to_string(),
+            tags: vec![],
+            ts,
+            gps: None,
+            poi: None,
+        }
+    }
+
+    #[test]
+    fn offline_captures_queue_then_flush_in_timestamp_order() {
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(1)).unwrap();
+        let mut queue = UploadQueue::new();
+        assert!(!queue.is_online());
+        queue.capture(&mut platform, upload(300, "third")).unwrap();
+        queue.capture(&mut platform, upload(100, "first")).unwrap();
+        queue.capture(&mut platform, upload(200, "second")).unwrap();
+        assert_eq!(queue.pending(), 3);
+
+        // Flush while offline is a no-op.
+        let (receipts, failures) = queue.flush(&mut platform);
+        assert!(receipts.is_empty() && failures.is_empty());
+        assert_eq!(queue.pending(), 3);
+
+        queue.set_online(true);
+        let (receipts, failures) = queue.flush(&mut platform);
+        assert_eq!(receipts.len(), 3);
+        assert!(failures.is_empty());
+        assert_eq!(queue.pending(), 0);
+        // Capture order preserved: pids ascend with timestamps.
+        let titles: Vec<String> = receipts
+            .iter()
+            .map(|r| {
+                let q = format!(
+                    "SELECT ?t WHERE {{ <{}> rdfs:label ?t . }}",
+                    r.resource.as_str()
+                );
+                platform.query(&q).unwrap().column("t")[0].lexical().to_string()
+            })
+            .collect();
+        assert_eq!(titles, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn online_captures_upload_immediately() {
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(2)).unwrap();
+        let mut queue = UploadQueue::new();
+        queue.set_online(true);
+        let receipt = queue
+            .capture(&mut platform, upload(1, "instant"))
+            .unwrap()
+            .expect("immediate receipt");
+        assert!(receipt.pid > 0);
+        assert_eq!(queue.pending(), 0);
+    }
+
+    #[test]
+    fn failed_items_are_reported_not_fatal() {
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(3)).unwrap();
+        let mut queue = UploadQueue::new();
+        queue.capture(&mut platform, upload(1, "good")).unwrap();
+        queue
+            .capture(
+                &mut platform,
+                Upload {
+                    user_id: 9999, // missing user → upload fails
+                    ..upload(2, "bad")
+                },
+            )
+            .unwrap();
+        queue.set_online(true);
+        let (receipts, failures) = queue.flush(&mut platform);
+        assert_eq!(receipts.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0].1, PlatformError::NotFound(_)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Platform error type.
+
+use std::fmt;
+
+/// Errors from platform operations.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Relational layer error.
+    Relational(lodify_relational::RelError),
+    /// Mapping/dump error.
+    Mapping(lodify_d2r::D2rError),
+    /// SPARQL error.
+    Sparql(lodify_sparql::SparqlError),
+    /// Store error.
+    Store(lodify_store::StoreError),
+    /// Referenced entity missing (user, picture, album, node…).
+    NotFound(String),
+    /// Invalid argument (rating out of range, empty title…).
+    Invalid(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Relational(e) => write!(f, "relational: {e}"),
+            PlatformError::Mapping(e) => write!(f, "mapping: {e}"),
+            PlatformError::Sparql(e) => write!(f, "sparql: {e}"),
+            PlatformError::Store(e) => write!(f, "store: {e}"),
+            PlatformError::NotFound(what) => write!(f, "not found: {what}"),
+            PlatformError::Invalid(what) => write!(f, "invalid request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<lodify_relational::RelError> for PlatformError {
+    fn from(e: lodify_relational::RelError) -> Self {
+        PlatformError::Relational(e)
+    }
+}
+
+impl From<lodify_d2r::D2rError> for PlatformError {
+    fn from(e: lodify_d2r::D2rError) -> Self {
+        PlatformError::Mapping(e)
+    }
+}
+
+impl From<lodify_sparql::SparqlError> for PlatformError {
+    fn from(e: lodify_sparql::SparqlError) -> Self {
+        PlatformError::Sparql(e)
+    }
+}
+
+impl From<lodify_store::StoreError> for PlatformError {
+    fn from(e: lodify_store::StoreError) -> Self {
+        PlatformError::Store(e)
+    }
+}

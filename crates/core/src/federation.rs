@@ -1,0 +1,889 @@
+//! The federated architecture of §6 — the paper's future work, built.
+//!
+//! "We envision a federation of interconnected social networks and web
+//! applications, each one hosted right inside the end-users' home
+//! network devices." The components §6 enumerates are simulated
+//! in-process, deterministically:
+//!
+//! * **home network device** → [`Node`]: one store + FOAF profiles +
+//!   media per household;
+//! * **WebFinger** → [`Acct`]/directory: `acct:user@host` identities
+//!   resolved across nodes ("identification of users across different
+//!   social networks and the identity validation");
+//! * **FOAF profile sharing** → [`Node::profile_document`] /
+//!   [`Node::import_profile`];
+//! * **PubSubHubbub** → [`Federation::subscribe`] + topic fan-out with
+//!   near-instant notifications;
+//! * **SparqlPuSH** → [`Federation::sparql_subscribe`]: a SPARQL query
+//!   registered against a publisher node; on updates the query re-runs
+//!   and *new* rows are pushed;
+//! * **ActivityStreams** → [`Activity`]/[`Timeline`] per node, merged
+//!   across subscriptions;
+//! * **Salmon** → [`Federation::reply`]: comments swim upstream to the
+//!   node owning the original content.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use lodify_rdf::{ns, Iri, Literal, Term, Triple};
+use lodify_store::Store;
+
+use crate::error::PlatformError;
+
+/// A WebFinger-style account identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Acct {
+    /// Local user name.
+    pub user: String,
+    /// Hosting node (domain).
+    pub host: String,
+}
+
+impl Acct {
+    /// Parses `acct:user@host`.
+    pub fn parse(text: &str) -> Option<Acct> {
+        let rest = text.strip_prefix("acct:")?;
+        let (user, host) = rest.split_once('@')?;
+        if user.is_empty() || host.is_empty() {
+            return None;
+        }
+        Some(Acct {
+            user: user.to_string(),
+            host: host.to_string(),
+        })
+    }
+
+    /// The profile IRI this account's node mints.
+    pub fn profile_iri(&self) -> Iri {
+        Iri::new_unchecked(format!("http://{}/people/{}", self.host, self.user))
+    }
+}
+
+impl fmt::Display for Acct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct:{}@{}", self.user, self.host)
+    }
+}
+
+/// ActivityStreams verbs used by the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// New media published.
+    Post,
+    /// Salmon reply/comment.
+    Comment,
+    /// New follow edge.
+    Follow,
+}
+
+/// One ActivityStreams entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    /// Acting account.
+    pub actor: Acct,
+    /// Verb.
+    pub verb: Verb,
+    /// Object IRI (media item, profile, …).
+    pub object: Iri,
+    /// Human-readable summary.
+    pub summary: String,
+    /// Timestamp (Unix seconds; supplied by callers, never wall clock).
+    pub ts: i64,
+}
+
+/// A per-node activity timeline, newest last.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    entries: Vec<Activity>,
+}
+
+impl Timeline {
+    /// Appends an activity keeping timestamp order (stable for ties).
+    pub fn push(&mut self, activity: Activity) {
+        let idx = self
+            .entries
+            .partition_point(|a| a.ts <= activity.ts);
+        self.entries.insert(idx, activity);
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[Activity] {
+        &self.entries
+    }
+}
+
+/// A home-network node: "a generic NAS server attached to the user's
+/// home network … it will run the platform, store and stream users'
+/// content".
+#[derive(Debug)]
+pub struct Node {
+    host: String,
+    store: Store,
+    users: Vec<Acct>,
+    timeline: Timeline,
+    next_media: u64,
+}
+
+impl Node {
+    fn new(host: &str) -> Node {
+        Node {
+            host: host.to_string(),
+            store: Store::new(),
+            users: Vec::new(),
+            timeline: Timeline::default(),
+            next_media: 1,
+        }
+    }
+
+    /// The node's host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The node's local RDF store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The node's merged timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Local accounts.
+    pub fn users(&self) -> &[Acct] {
+        &self.users
+    }
+
+    fn add_user(&mut self, user: &str, full_name: &str) -> Acct {
+        let acct = Acct {
+            user: user.to_string(),
+            host: self.host.clone(),
+        };
+        let profile = Term::Iri(acct.profile_iri());
+        let g = self.store.default_graph();
+        self.store.insert(
+            &Triple::new_unchecked(
+                profile.clone(),
+                ns::iri::rdf_type(),
+                Term::Iri(ns::FOAF.iri("Person")),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                profile.clone(),
+                ns::iri::foaf_name(),
+                Term::Literal(Literal::simple(user)),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                profile,
+                ns::FOAF.iri("fullName"),
+                Term::Literal(Literal::simple(full_name)),
+            ),
+            g,
+        );
+        self.users.push(acct.clone());
+        acct
+    }
+
+    /// Exports a user's FOAF profile for cross-node sharing.
+    pub fn profile_document(&self, acct: &Acct) -> Vec<Triple> {
+        let subject = Term::Iri(acct.profile_iri());
+        self.store
+            .match_terms(Some(&subject), None, None)
+    }
+
+    /// Imports a remote profile document ("Profile data sharing and
+    /// relationships with another networks, implemented with FOAF").
+    pub fn import_profile(&mut self, triples: &[Triple]) -> usize {
+        let g = self.store.default_graph();
+        self.store.insert_all(triples, g)
+    }
+
+    fn publish_media(&mut self, acct: &Acct, title: &str, ts: i64) -> Iri {
+        let iri = Iri::new_unchecked(format!("http://{}/media/{}", self.host, self.next_media));
+        self.next_media += 1;
+        let g = self.store.default_graph();
+        let subject = Term::Iri(iri.clone());
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject.clone(),
+                ns::iri::rdf_type(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject.clone(),
+                ns::iri::rdfs_label(),
+                Term::Literal(Literal::simple(title)),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject.clone(),
+                ns::iri::foaf_maker(),
+                Term::Iri(acct.profile_iri()),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject,
+                ns::DCTERMS.iri("created"),
+                Term::Literal(Literal::integer(ts)),
+            ),
+            g,
+        );
+        iri
+    }
+
+    fn add_comment(&mut self, target: &Iri, author: &Acct, text: &str, ts: i64) -> Iri {
+        let iri = Iri::new_unchecked(format!(
+            "http://{}/comments/{}-{}",
+            self.host, self.next_media, ts
+        ));
+        self.next_media += 1;
+        let g = self.store.default_graph();
+        let subject = Term::Iri(iri.clone());
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject.clone(),
+                ns::SIOC.iri("reply_of"),
+                Term::Iri(target.clone()),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(
+                subject.clone(),
+                ns::SIOC.iri("content"),
+                Term::Literal(Literal::simple(text)),
+            ),
+            g,
+        );
+        self.store.insert(
+            &Triple::new_unchecked(subject, ns::iri::foaf_maker(), Term::Iri(author.profile_iri())),
+            g,
+        );
+        iri
+    }
+}
+
+// ---------------------------------------------------------------------
+// §6.3 home devices: UPnP media server + photo frame, and §6.2 OEmbed
+// ---------------------------------------------------------------------
+
+/// A media entry as browsed over UPnP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaEntry {
+    /// The media resource IRI.
+    pub iri: Iri,
+    /// Title.
+    pub title: String,
+    /// Publication timestamp.
+    pub ts: i64,
+}
+
+/// A playback stream handed to a UPnP device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaStream {
+    /// Stream URL (the media IRI, served by the node).
+    pub url: String,
+    /// MIME type.
+    pub mime: &'static str,
+}
+
+/// An OEmbed-style embed descriptor (§6.2: "Multimedia content
+/// sharing, accomplished by using OEmbed").
+#[derive(Debug, Clone, PartialEq)]
+pub struct OEmbed {
+    /// Embed type (always `photo` here).
+    pub kind: &'static str,
+    /// Media title.
+    pub title: String,
+    /// Direct media URL.
+    pub url: String,
+    /// Provider (the node host).
+    pub provider: String,
+    /// Author profile IRI.
+    pub author: Option<String>,
+}
+
+impl Node {
+    /// UPnP browse: the node's media entries, newest first — what a
+    /// "UPnP-compatible photoframe" iterates for its slideshow (§6.3).
+    pub fn browse_media(&self) -> Vec<MediaEntry> {
+        let type_pred = ns::iri::rdf_type();
+        let post = Term::Iri(ns::iri::microblog_post());
+        let mut entries: Vec<MediaEntry> = self
+            .store
+            .match_terms(None, Some(&type_pred), Some(&post))
+            .into_iter()
+            .filter_map(|t| {
+                let iri = t.subject.as_iri()?.clone();
+                let subject = t.subject.clone();
+                let title = self
+                    .store
+                    .match_terms(Some(&subject), Some(&ns::iri::rdfs_label()), None)
+                    .into_iter()
+                    .next()
+                    .map(|t| t.object.lexical().to_string())?;
+                let ts = self
+                    .store
+                    .match_terms(Some(&subject), Some(&ns::DCTERMS.iri("created")), None)
+                    .into_iter()
+                    .next()
+                    .and_then(|t| t.object.as_literal()?.as_i64())?;
+                Some(MediaEntry { iri, title, ts })
+            })
+            .collect();
+        entries.sort_by(|a, b| b.ts.cmp(&a.ts).then(a.iri.cmp(&b.iri)));
+        entries
+    }
+
+    /// UPnP playback request: a device asks for a file to render.
+    pub fn request_playback(&self, media: &Iri) -> Result<MediaStream, PlatformError> {
+        let subject = Term::Iri(media.clone());
+        let exists = !self
+            .store
+            .match_terms(Some(&subject), Some(&ns::iri::rdf_type()), None)
+            .is_empty();
+        if !exists {
+            return Err(PlatformError::NotFound(format!("media {media}")));
+        }
+        Ok(MediaStream {
+            url: media.as_str().to_string(),
+            mime: "image/jpeg",
+        })
+    }
+
+    /// OEmbed endpoint: embed descriptor for a media IRI (§6.2).
+    pub fn oembed(&self, media: &Iri) -> Result<OEmbed, PlatformError> {
+        let subject = Term::Iri(media.clone());
+        let title = self
+            .store
+            .match_terms(Some(&subject), Some(&ns::iri::rdfs_label()), None)
+            .into_iter()
+            .next()
+            .map(|t| t.object.lexical().to_string())
+            .ok_or_else(|| PlatformError::NotFound(format!("media {media}")))?;
+        let author = self
+            .store
+            .match_terms(Some(&subject), Some(&ns::iri::foaf_maker()), None)
+            .into_iter()
+            .next()
+            .map(|t| t.object.lexical().to_string());
+        Ok(OEmbed {
+            kind: "photo",
+            title,
+            url: media.as_str().to_string(),
+            provider: self.host.clone(),
+            author,
+        })
+    }
+}
+
+/// The §6.3 photo frame: a UPnP device showing "a real-time slideshow
+/// of the media content that a family member is taking during his
+/// holidays".
+#[derive(Debug, Default)]
+pub struct PhotoFrame {
+    shown: Vec<Iri>,
+}
+
+impl PhotoFrame {
+    /// A blank frame.
+    pub fn new() -> PhotoFrame {
+        PhotoFrame::default()
+    }
+
+    /// One refresh cycle: browse the media server, fetch any items not
+    /// yet shown (newest first), and add them to the slideshow.
+    /// Returns the newly shown entries.
+    pub fn refresh(&mut self, server: &Node) -> Result<Vec<MediaEntry>, PlatformError> {
+        let mut new_items = Vec::new();
+        for entry in server.browse_media() {
+            if self.shown.contains(&entry.iri) {
+                continue;
+            }
+            // A real frame would stream the file; we validate the
+            // playback handshake.
+            server.request_playback(&entry.iri)?;
+            self.shown.push(entry.iri.clone());
+            new_items.push(entry);
+        }
+        Ok(new_items)
+    }
+
+    /// Everything shown so far, in display order.
+    pub fn slideshow(&self) -> &[Iri] {
+        &self.shown
+    }
+}
+
+/// A node identifier within a federation.
+pub type NodeId = usize;
+
+/// One delivered notification (for assertions/experiments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Notification {
+    /// A PubSubHubbub activity delivery to a subscriber node.
+    Activity {
+        /// Receiving node.
+        to: NodeId,
+        /// The delivered activity.
+        activity: Activity,
+    },
+    /// A SparqlPuSH delivery of new result rows.
+    SparqlRows {
+        /// Receiving node.
+        to: NodeId,
+        /// Stringified new rows.
+        rows: Vec<String>,
+    },
+}
+
+struct SparqlSubscription {
+    publisher: NodeId,
+    subscriber: NodeId,
+    query: String,
+    seen: HashSet<String>,
+}
+
+/// The federation: nodes + WebFinger directory + hub.
+pub struct Federation {
+    nodes: Vec<Node>,
+    /// `(topic acct, subscriber node)` — PubSubHubbub subscriptions.
+    subscriptions: Vec<(Acct, NodeId)>,
+    sparql_subs: Vec<SparqlSubscription>,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Federation {
+        Federation {
+            nodes: Vec::new(),
+            subscriptions: Vec::new(),
+            sparql_subs: Vec::new(),
+        }
+    }
+
+    /// Adds a home node. Host names must be unique.
+    pub fn add_node(&mut self, host: &str) -> Result<NodeId, PlatformError> {
+        if self.nodes.iter().any(|n| n.host == host) {
+            return Err(PlatformError::Invalid(format!("duplicate host {host:?}")));
+        }
+        self.nodes.push(Node::new(host));
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> Result<&Node, PlatformError> {
+        self.nodes
+            .get(id)
+            .ok_or_else(|| PlatformError::NotFound(format!("node {id}")))
+    }
+
+    /// Registers a user on a node; the account becomes WebFinger-
+    /// resolvable federation-wide.
+    pub fn register_user(
+        &mut self,
+        node: NodeId,
+        user: &str,
+        full_name: &str,
+    ) -> Result<Acct, PlatformError> {
+        let n = self
+            .nodes
+            .get_mut(node)
+            .ok_or_else(|| PlatformError::NotFound(format!("node {node}")))?;
+        if n.users.iter().any(|a| a.user == user) {
+            return Err(PlatformError::Invalid(format!(
+                "user {user:?} exists on {}",
+                n.host
+            )));
+        }
+        Ok(n.add_user(user, full_name))
+    }
+
+    /// WebFinger resolution: `acct:user@host` → (node, profile IRI).
+    pub fn webfinger(&self, acct_uri: &str) -> Result<(NodeId, Iri), PlatformError> {
+        let acct = Acct::parse(acct_uri)
+            .ok_or_else(|| PlatformError::Invalid(format!("bad acct URI {acct_uri:?}")))?;
+        let node = self
+            .nodes
+            .iter()
+            .position(|n| n.host == acct.host)
+            .ok_or_else(|| PlatformError::NotFound(format!("host {:?}", acct.host)))?;
+        if !self.nodes[node].users.contains(&acct) {
+            return Err(PlatformError::NotFound(format!("{acct}")));
+        }
+        Ok((node, acct.profile_iri()))
+    }
+
+    /// Follows: subscriber's user follows the topic account via the
+    /// hub, imports the remote FOAF profile, and records a `foaf:knows`
+    /// edge — the §6 "relationships with another networks" flow.
+    pub fn subscribe(
+        &mut self,
+        subscriber: NodeId,
+        follower: &Acct,
+        topic: &Acct,
+    ) -> Result<(), PlatformError> {
+        let (publisher_node, _) = self.webfinger(&topic.to_string())?;
+        let profile = self.nodes[publisher_node].profile_document(topic);
+        let sub_node = self
+            .nodes
+            .get_mut(subscriber)
+            .ok_or_else(|| PlatformError::NotFound(format!("node {subscriber}")))?;
+        sub_node.import_profile(&profile);
+        let g = sub_node.store.default_graph();
+        sub_node.store.insert(
+            &Triple::new_unchecked(
+                Term::Iri(follower.profile_iri()),
+                ns::iri::foaf_knows(),
+                Term::Iri(topic.profile_iri()),
+            ),
+            g,
+        );
+        if !self
+            .subscriptions
+            .iter()
+            .any(|(t, s)| t == topic && *s == subscriber)
+        {
+            self.subscriptions.push((topic.clone(), subscriber));
+        }
+        Ok(())
+    }
+
+    /// SparqlPuSH: registers a SPARQL query against a publisher node;
+    /// future publishes re-run it and push only *new* rows.
+    pub fn sparql_subscribe(
+        &mut self,
+        subscriber: NodeId,
+        publisher: NodeId,
+        query: &str,
+    ) -> Result<(), PlatformError> {
+        // Validate the query and seed the seen-set with current rows.
+        let results = lodify_sparql::execute(&self.node(publisher)?.store, query)?;
+        let seen = results
+            .rows
+            .iter()
+            .map(|row| format!("{row:?}"))
+            .collect();
+        self.sparql_subs.push(SparqlSubscription {
+            publisher,
+            subscriber,
+            query: query.to_string(),
+            seen,
+        });
+        Ok(())
+    }
+
+    /// Publishes media on the author's node and fans out notifications
+    /// (PubSubHubbub activities + SparqlPuSH row diffs).
+    pub fn publish(
+        &mut self,
+        author: &Acct,
+        title: &str,
+        ts: i64,
+    ) -> Result<(Iri, Vec<Notification>), PlatformError> {
+        let (node_id, _) = self.webfinger(&author.to_string())?;
+        let media = self.nodes[node_id].publish_media(author, title, ts);
+        let activity = Activity {
+            actor: author.clone(),
+            verb: Verb::Post,
+            object: media.clone(),
+            summary: title.to_string(),
+            ts,
+        };
+        self.nodes[node_id].timeline.push(activity.clone());
+        let notifications = self.fan_out(node_id, activity);
+        Ok((media, notifications))
+    }
+
+    /// Salmon: a reply posted anywhere swims upstream to the node that
+    /// owns the target content.
+    pub fn reply(
+        &mut self,
+        author: &Acct,
+        target: &Iri,
+        text: &str,
+        ts: i64,
+    ) -> Result<Vec<Notification>, PlatformError> {
+        let owner = self
+            .nodes
+            .iter()
+            .position(|n| target.as_str().starts_with(&format!("http://{}/", n.host)))
+            .ok_or_else(|| PlatformError::NotFound(format!("no node owns {target}")))?;
+        let comment = self.nodes[owner].add_comment(target, author, text, ts);
+        let activity = Activity {
+            actor: author.clone(),
+            verb: Verb::Comment,
+            object: comment,
+            summary: text.to_string(),
+            ts,
+        };
+        self.nodes[owner].timeline.push(activity.clone());
+        Ok(self.fan_out(owner, activity))
+    }
+
+    fn fan_out(&mut self, publisher: NodeId, activity: Activity) -> Vec<Notification> {
+        let mut notifications = Vec::new();
+        // PubSubHubbub: everyone subscribed to the actor's topic.
+        let receivers: Vec<NodeId> = self
+            .subscriptions
+            .iter()
+            .filter(|(topic, _)| *topic == activity.actor)
+            .map(|(_, node)| *node)
+            .collect();
+        for to in receivers {
+            self.nodes[to].timeline.push(activity.clone());
+            notifications.push(Notification::Activity {
+                to,
+                activity: activity.clone(),
+            });
+        }
+        // SparqlPuSH: re-run subscriptions against the publisher store.
+        for sub in &mut self.sparql_subs {
+            if sub.publisher != publisher {
+                continue;
+            }
+            let Ok(results) = lodify_sparql::execute(&self.nodes[publisher].store, &sub.query)
+            else {
+                continue;
+            };
+            let mut new_rows = Vec::new();
+            for row in &results.rows {
+                let key = format!("{row:?}");
+                if sub.seen.insert(key) {
+                    let rendered: Vec<String> = row
+                        .iter()
+                        .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                        .collect();
+                    new_rows.push(rendered.join(" | "));
+                }
+            }
+            if !new_rows.is_empty() {
+                notifications.push(Notification::SparqlRows {
+                    to: sub.subscriber,
+                    rows: new_rows,
+                });
+            }
+        }
+        notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_federation() -> (Federation, Acct, Acct) {
+        let mut fed = Federation::new();
+        let home1 = fed.add_node("node1.example").unwrap();
+        let home2 = fed.add_node("node2.example").unwrap();
+        let oscar = fed.register_user(home1, "oscar", "Oscar Rodriguez").unwrap();
+        let walter = fed.register_user(home2, "walter", "Walter Goix").unwrap();
+        (fed, oscar, walter)
+    }
+
+    #[test]
+    fn acct_parsing_and_display() {
+        let acct = Acct::parse("acct:oscar@node1.example").unwrap();
+        assert_eq!(acct.user, "oscar");
+        assert_eq!(acct.to_string(), "acct:oscar@node1.example");
+        assert!(Acct::parse("oscar@node1").is_none());
+        assert!(Acct::parse("acct:@host").is_none());
+        assert!(Acct::parse("acct:user@").is_none());
+    }
+
+    #[test]
+    fn webfinger_resolves_across_nodes() {
+        let (fed, _, walter) = two_node_federation();
+        let (node, profile) = fed.webfinger("acct:walter@node2.example").unwrap();
+        assert_eq!(node, 1);
+        assert_eq!(profile, walter.profile_iri());
+        assert!(fed.webfinger("acct:ghost@node2.example").is_err());
+        assert!(fed.webfinger("acct:oscar@nowhere.example").is_err());
+        assert!(fed.webfinger("not-an-acct").is_err());
+    }
+
+    #[test]
+    fn subscribe_imports_foaf_profile_and_knows_edge() {
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        let node1 = fed.node(0).unwrap();
+        // Walter's imported profile is queryable on oscar's node.
+        let results = lodify_sparql::execute(
+            node1.store(),
+            "SELECT ?p WHERE { ?p foaf:name \"walter\" . }",
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        let knows = lodify_sparql::execute(
+            node1.store(),
+            &format!(
+                "SELECT ?x WHERE {{ <{}> foaf:knows ?x . }}",
+                oscar.profile_iri().as_str()
+            ),
+        )
+        .unwrap();
+        assert_eq!(knows.column("x")[0].lexical(), walter.profile_iri().as_str());
+    }
+
+    #[test]
+    fn publish_fans_out_to_subscribers_timelines() {
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        let (media, notifications) = fed
+            .publish(&walter, "Sunset from home", 1000)
+            .unwrap();
+        assert!(media.as_str().starts_with("http://node2.example/media/"));
+        assert_eq!(notifications.len(), 1);
+        assert!(matches!(&notifications[0], Notification::Activity { to: 0, .. }));
+        // Both timelines carry the activity.
+        assert_eq!(fed.node(0).unwrap().timeline().entries().len(), 1);
+        assert_eq!(fed.node(1).unwrap().timeline().entries().len(), 1);
+    }
+
+    #[test]
+    fn unsubscribed_nodes_get_nothing() {
+        let (mut fed, _, walter) = two_node_federation();
+        let (_, notifications) = fed.publish(&walter, "quiet post", 1).unwrap();
+        assert!(notifications.is_empty());
+        assert!(fed.node(0).unwrap().timeline().entries().is_empty());
+    }
+
+    #[test]
+    fn sparqlpush_delivers_only_new_rows() {
+        let (mut fed, _, walter) = two_node_federation();
+        fed.publish(&walter, "before subscription", 1).unwrap();
+        fed.sparql_subscribe(
+            0,
+            1,
+            "SELECT ?m ?t WHERE { ?m a sioct:MicroblogPost . ?m rdfs:label ?t . }",
+        )
+        .unwrap();
+        // Existing rows are seeded, not delivered.
+        let (_, n1) = fed.publish(&walter, "first push", 2).unwrap();
+        let rows: Vec<&Notification> = n1
+            .iter()
+            .filter(|n| matches!(n, Notification::SparqlRows { .. }))
+            .collect();
+        assert_eq!(rows.len(), 1);
+        if let Notification::SparqlRows { to, rows } = rows[0] {
+            assert_eq!(*to, 0);
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0].contains("first push"));
+        }
+        // Re-publishing pushes only the newest row again.
+        let (_, n2) = fed.publish(&walter, "second push", 3).unwrap();
+        let pushed: Vec<&Notification> = n2
+            .iter()
+            .filter(|n| matches!(n, Notification::SparqlRows { .. }))
+            .collect();
+        if let Notification::SparqlRows { rows, .. } = pushed[0] {
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0].contains("second push"));
+        }
+    }
+
+    #[test]
+    fn salmon_reply_lands_on_owning_node() {
+        let (mut fed, oscar, walter) = two_node_federation();
+        let (media, _) = fed.publish(&walter, "commentable", 10).unwrap();
+        // Oscar (node1) replies to Walter's media (node2): the comment
+        // must live on node2.
+        fed.reply(&oscar, &media, "bella!", 11).unwrap();
+        let results = lodify_sparql::execute(
+            fed.node(1).unwrap().store(),
+            &format!(
+                "SELECT ?c WHERE {{ ?c sioc:reply_of <{}> . }}",
+                media.as_str()
+            ),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        // Timeline ordering is by timestamp.
+        let entries = fed.node(1).unwrap().timeline().entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].ts <= entries[1].ts);
+        assert_eq!(entries[1].verb, Verb::Comment);
+    }
+
+    #[test]
+    fn photo_frame_slideshow_tracks_new_media() {
+        // §6.3: "a UPnP-compatible photoframe displaying a real-time
+        // slideshow of the media content that a family member is
+        // taking during his holidays".
+        let (mut fed, _, walter) = two_node_federation();
+        let mut frame = PhotoFrame::new();
+
+        fed.publish(&walter, "day one", 1).unwrap();
+        fed.publish(&walter, "day two", 2).unwrap();
+        let shown = frame.refresh(fed.node(1).unwrap()).unwrap();
+        assert_eq!(shown.len(), 2);
+        assert_eq!(shown[0].title, "day two", "newest first");
+
+        // Nothing new → nothing shown again.
+        assert!(frame.refresh(fed.node(1).unwrap()).unwrap().is_empty());
+
+        fed.publish(&walter, "day three", 3).unwrap();
+        let shown = frame.refresh(fed.node(1).unwrap()).unwrap();
+        assert_eq!(shown.len(), 1);
+        assert_eq!(frame.slideshow().len(), 3);
+    }
+
+    #[test]
+    fn upnp_playback_and_browse() {
+        let (mut fed, _, walter) = two_node_federation();
+        let (media, _) = fed.publish(&walter, "playable", 10).unwrap();
+        let node = fed.node(1).unwrap();
+        let entries = node.browse_media();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].iri, media);
+        let stream = node.request_playback(&media).unwrap();
+        assert_eq!(stream.mime, "image/jpeg");
+        assert_eq!(stream.url, media.as_str());
+        let ghost = Iri::new("http://node2.example/media/999").unwrap();
+        assert!(node.request_playback(&ghost).is_err());
+    }
+
+    #[test]
+    fn oembed_descriptor_carries_title_provider_author() {
+        let (mut fed, _, walter) = two_node_federation();
+        let (media, _) = fed.publish(&walter, "embeddable sunset", 20).unwrap();
+        let embed = fed.node(1).unwrap().oembed(&media).unwrap();
+        assert_eq!(embed.kind, "photo");
+        assert_eq!(embed.title, "embeddable sunset");
+        assert_eq!(embed.provider, "node2.example");
+        assert_eq!(
+            embed.author.as_deref(),
+            Some(walter.profile_iri().as_str())
+        );
+        let ghost = Iri::new("http://node2.example/media/999").unwrap();
+        assert!(fed.node(1).unwrap().oembed(&ghost).is_err());
+    }
+
+    #[test]
+    fn duplicate_hosts_and_users_rejected() {
+        let mut fed = Federation::new();
+        fed.add_node("same.example").unwrap();
+        assert!(fed.add_node("same.example").is_err());
+        fed.register_user(0, "oscar", "O").unwrap();
+        assert!(fed.register_user(0, "oscar", "O2").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! The LODified personal-content-sharing platform — the paper's
+//! primary contribution, assembled from the workspace substrates.
+//!
+//! * [`platform`] — the platform itself: bootstrap from a generated
+//!   Coppermine database, LOD fusion, the §1.1 upload flow (context
+//!   tags + triple tags), the §2.1 semanticization (D2R dump → triple
+//!   store) and the §2.2 automatic semantic annotation of every new
+//!   content item;
+//! * [`deferred`] — the client's deferred-upload queue ("to overcome
+//!   problems of limited connectivity and battery management", §1.1);
+//! * [`albums`] — semantic virtual albums (§2.3): the Q1/Q2/Q3 query
+//!   builder plus the relational baseline used to cross-check results;
+//! * [`search`] — the mobile search flow (§4): incremental
+//!   AJAX-debounced suggestions and resource → content listing;
+//! * [`mashup`] — the "About" mashup (§4.1): city abstract, nearby
+//!   restaurants, tourism attractions and related UGC;
+//! * [`batch`] — batch re-annotation of legacy content (§6);
+//! * [`metrics`] — precision/recall/F1 scoring of annotations against
+//!   workload ground truth (experiments E3/E4/E8);
+//! * [`web`] — the §3/§4 web & mobile interface: routing, HTML
+//!   rendering (incl. the §1.1 friendly-format tag display) and a
+//!   minimal std-only HTTP server;
+//! * [`federation`] — the future-work architecture of §6: home-network
+//!   nodes, WebFinger identities, FOAF profile exchange,
+//!   PubSubHubbub/SparqlPuSH notification and ActivityStreams
+//!   timelines, simulated in-process.
+
+#![warn(missing_docs)]
+
+pub mod albums;
+pub mod batch;
+pub mod deferred;
+pub mod error;
+pub mod federation;
+pub mod mashup;
+pub mod metrics;
+pub mod platform;
+pub mod search;
+pub mod web;
+
+pub use albums::AlbumSpec;
+pub use error::PlatformError;
+pub use mashup::{MashupConfig, MashupResult, MashupService};
+pub use platform::{Platform, Upload};
+pub use search::SearchService;

@@ -1,0 +1,233 @@
+//! Annotation- and retrieval-quality metrics.
+//!
+//! The paper reports no numbers ("Empirical tests proof that such
+//! technique must be further improved as it still provides false
+//! positives") — these metrics quantify exactly that claim against the
+//! workload's ground truth, for experiments E3, E4 and E8.
+
+use std::collections::HashSet;
+
+use lodify_context::Gazetteer;
+use lodify_lod::datasets::{dbp, gnr};
+use lodify_rdf::Iri;
+use lodify_relational::workload::{PictureTruth, TruthSubject};
+
+/// Basic precision/recall counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl PrCounts {
+    /// Precision; 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 1.0 when nothing was expected.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges another count set in.
+    pub fn merge(&mut self, other: PrCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// The expected (subject) resource IRIs for a picture — what the
+/// annotation *should* find.
+pub fn expected_resources(truth: &PictureTruth) -> Vec<Iri> {
+    let gaz = Gazetteer::global();
+    match &truth.subject {
+        TruthSubject::Poi(key) => vec![dbp(key)],
+        TruthSubject::Person(name) => vec![dbp(&name.replace(' ', "_"))],
+        TruthSubject::City(key) => {
+            let mut out = vec![dbp(key)];
+            if let Some(city) = gaz.city(key) {
+                out.push(gnr(city.geonames_id()));
+            }
+            out
+        }
+        TruthSubject::Generic => Vec::new(),
+    }
+}
+
+/// Resources that are *acceptable* annotations without being the
+/// subject: the capture city in both DBpedia and Geonames form (the
+/// user's city tag legitimately annotates to it), and any Evri wrapper
+/// entity (opaque external identifiers, scored as neutral).
+pub fn acceptable_resources(truth: &PictureTruth) -> HashSet<String> {
+    let gaz = Gazetteer::global();
+    let mut ok: HashSet<String> = expected_resources(truth)
+        .into_iter()
+        .map(|i| i.into_string())
+        .collect();
+    if let Some(city) = gaz.city(&truth.city_key) {
+        ok.insert(dbp(city.key).into_string());
+        ok.insert(gnr(city.geonames_id()).into_string());
+    }
+    ok
+}
+
+/// Scores one picture's predicted annotation resources against truth.
+///
+/// * tp: an expected resource was predicted (counted once);
+/// * fn: the picture had an expected subject but none was predicted;
+/// * fp: a predicted resource outside the acceptable set (Evri
+///   wrappers are ignored as neutral).
+pub fn score_picture(truth: &PictureTruth, predicted: &[Iri]) -> PrCounts {
+    let expected: HashSet<String> = expected_resources(truth)
+        .into_iter()
+        .map(|i| i.into_string())
+        .collect();
+    let acceptable = acceptable_resources(truth);
+
+    let mut counts = PrCounts::default();
+    let mut subject_found = false;
+    for iri in predicted {
+        let s = iri.as_str();
+        if s.starts_with("http://www.evri.com/") {
+            continue; // neutral
+        }
+        if expected.contains(s) {
+            subject_found = true;
+        } else if !acceptable.contains(s) {
+            counts.fp += 1;
+        }
+    }
+    if !expected.is_empty() {
+        if subject_found {
+            counts.tp += 1;
+        } else {
+            counts.fn_ += 1;
+        }
+    }
+    counts
+}
+
+/// Scores a full run: `predictions(pid)` returns the predicted
+/// resources for a picture.
+pub fn score_run<'a>(
+    truths: impl IntoIterator<Item = &'a PictureTruth>,
+    mut predictions: impl FnMut(i64) -> Vec<Iri>,
+) -> PrCounts {
+    let mut total = PrCounts::default();
+    for truth in truths {
+        total.merge(score_picture(truth, &predictions(truth.pid)));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(subject: TruthSubject) -> PictureTruth {
+        PictureTruth {
+            pid: 1,
+            lang: "en",
+            subject,
+            city_key: "Turin".into(),
+            poi_ref: None,
+            has_gps: true,
+            title: String::new(),
+            keywords: vec![],
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_tp() {
+        let t = truth(TruthSubject::Poi("Mole_Antonelliana".into()));
+        let counts = score_picture(&t, &[dbp("Mole_Antonelliana")]);
+        assert_eq!(counts, PrCounts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(counts.precision(), 1.0);
+        assert_eq!(counts.recall(), 1.0);
+        assert_eq!(counts.f1(), 1.0);
+    }
+
+    #[test]
+    fn wrong_entity_is_fp_and_fn() {
+        let t = truth(TruthSubject::Poi("Mole_Antonelliana".into()));
+        let counts = score_picture(&t, &[dbp("Mole_(animal)")]);
+        assert_eq!(counts, PrCounts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(counts.precision(), 0.0);
+        assert_eq!(counts.recall(), 0.0);
+    }
+
+    #[test]
+    fn city_annotation_is_acceptable_not_fp() {
+        let t = truth(TruthSubject::Poi("Mole_Antonelliana".into()));
+        let gaz = Gazetteer::global();
+        let turin_gn = gnr(gaz.city("Turin").unwrap().geonames_id());
+        let counts = score_picture(&t, &[dbp("Mole_Antonelliana"), turin_gn]);
+        assert_eq!(counts, PrCounts { tp: 1, fp: 0, fn_: 0 });
+    }
+
+    #[test]
+    fn evri_wrappers_are_neutral() {
+        let t = truth(TruthSubject::Generic);
+        let evri = Iri::new("http://www.evri.com/entity/something").unwrap();
+        let counts = score_picture(&t, &[evri]);
+        assert_eq!(counts, PrCounts::default());
+        assert_eq!(counts.precision(), 1.0);
+    }
+
+    #[test]
+    fn missing_prediction_is_fn() {
+        let t = truth(TruthSubject::City("Turin".into()));
+        let counts = score_picture(&t, &[]);
+        assert_eq!(counts, PrCounts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(counts.recall(), 0.0);
+    }
+
+    #[test]
+    fn city_subject_accepts_geonames_or_dbpedia_form() {
+        let gaz = Gazetteer::global();
+        let t = truth(TruthSubject::City("Turin".into()));
+        let via_gn = score_picture(&t, &[gnr(gaz.city("Turin").unwrap().geonames_id())]);
+        let via_dbp = score_picture(&t, &[dbp("Turin")]);
+        assert_eq!(via_gn.tp, 1);
+        assert_eq!(via_dbp.tp, 1);
+    }
+
+    #[test]
+    fn score_run_merges() {
+        let t1 = truth(TruthSubject::Poi("Colosseum".into()));
+        let mut t2 = truth(TruthSubject::Generic);
+        t2.pid = 2;
+        let counts = score_run([&t1, &t2], |pid| match pid {
+            1 => vec![dbp("Colosseum")],
+            _ => Vec::new(),
+        });
+        assert_eq!(counts.tp, 1);
+        assert_eq!(counts.fp, 0);
+        assert_eq!(counts.fn_, 0);
+    }
+}

@@ -1,0 +1,604 @@
+//! The platform: relational base, semantic store, context integration,
+//! triple tags and automatic annotation.
+
+use std::collections::BTreeMap;
+
+use lodify_context::{ContextPlatform, ContextSnapshot};
+use lodify_d2r::defaults::coppermine_mapping;
+use lodify_d2r::{dump, Mapping};
+use lodify_lod::annotator::{Annotator, ContentInput, PoiRefInput};
+use lodify_lod::datasets::{load_lod, GRAPH_UGC};
+use lodify_lod::AnnotationResult;
+use lodify_rdf::{ns, Iri, Point, Term, Triple};
+use lodify_relational::workload::{generate, PictureTruth, WorkloadConfig};
+use lodify_relational::{coppermine as cpg, Database, SqlValue};
+use lodify_store::{GraphId, Store};
+use lodify_tripletags::context_tags::tags_for;
+use lodify_tripletags::{Tag, TagIndex};
+
+use crate::error::PlatformError;
+
+/// Annotation predicate: content → LOD resource it is about.
+pub fn subject_pred() -> Iri {
+    ns::DCTERMS.iri("subject")
+}
+
+/// Annotation predicate: content → Geonames city it was taken in.
+pub fn located_in_pred() -> Iri {
+    ns::TL.iri("locatedIn")
+}
+
+/// Annotation predicate: content → nearby buddy (local resource).
+pub fn with_buddy_pred() -> Iri {
+    ns::TL.iri("withBuddy")
+}
+
+/// A new content upload from the mobile client (§1.1: title, custom
+/// tags, timestamp, GPS when available, optional POI attachment).
+#[derive(Debug, Clone)]
+pub struct Upload {
+    /// Uploading user.
+    pub user_id: i64,
+    /// Title typed by the user.
+    pub title: String,
+    /// Plain folksonomy tags.
+    pub tags: Vec<String>,
+    /// Capture timestamp (Unix seconds).
+    pub ts: i64,
+    /// GPS position, when the device had a fix.
+    pub gps: Option<Point>,
+    /// Explicit POI attachment from the search provider
+    /// (`poi:recs_id`), as `(name, category, position)`.
+    pub poi: Option<(String, String, Point)>,
+}
+
+/// Per-upload processing summary.
+#[derive(Debug, Clone)]
+pub struct UploadReceipt {
+    /// The new picture id.
+    pub pid: i64,
+    /// The minted picture resource.
+    pub resource: Iri,
+    /// Triples added to the UGC graph for this upload.
+    pub triples_added: usize,
+    /// Context triple tags generated.
+    pub context_tags: usize,
+    /// Term annotations that fired.
+    pub auto_annotations: usize,
+}
+
+/// The LODified platform.
+pub struct Platform {
+    db: Database,
+    store: Store,
+    ugc_graph: GraphId,
+    mapping: Mapping,
+    context: ContextPlatform,
+    annotator: Annotator,
+    tags: TagIndex,
+    annotations: BTreeMap<i64, AnnotationResult>,
+    truth: Vec<PictureTruth>,
+    next_pid: i64,
+    next_vote: i64,
+    next_poi_ref: i64,
+}
+
+impl Platform {
+    /// Bootstraps a full platform: generates the UGC workload, loads
+    /// the LOD snapshots, runs the D2R semanticization (§2.1), wires
+    /// the context platform from the relational data, and builds the
+    /// triple-tag baseline index. Annotation of the legacy content is
+    /// a separate batch step ([`crate::batch::BatchAnnotator`]) —
+    /// exactly the situation §6 describes ("a huge amount of content already
+    /// present in our platform … remains to be semantically annotated").
+    pub fn bootstrap(config: WorkloadConfig) -> Result<Platform, PlatformError> {
+        let workload = generate(config);
+        let mut store = Store::new();
+        load_lod(&mut store, lodify_context::Gazetteer::global());
+        let ugc_graph = store.graph(GRAPH_UGC);
+
+        let mapping = coppermine_mapping();
+        let (triples, _stats) = dump::dump_rdf(&workload.db, &mapping)?;
+        store.insert_all(&triples, ugc_graph);
+
+        // Context platform from relational state.
+        let mut context = ContextPlatform::new();
+        let users = workload.db.table(cpg::USERS)?;
+        for (uid, row) in users.scan() {
+            let user_name = row[1].as_text().unwrap_or_default();
+            let full_name = row[2].as_text().unwrap_or_default();
+            context.buddies_mut().add_user(uid as u64, user_name, full_name);
+        }
+        let friends = workload.db.table(cpg::FRIENDS)?;
+        for (_, row) in friends.scan() {
+            if let (Some(a), Some(b)) = (row[1].as_int(), row[2].as_int()) {
+                context.buddies_mut().add_friend(a as u64, b as u64);
+            }
+        }
+        // Last-seen positions: each user's latest GPS-bearing picture.
+        let pictures = workload.db.table(cpg::PICTURES)?;
+        for (_, row) in pictures.scan() {
+            if let (Some(owner), Some(lon), Some(lat)) =
+                (row[2].as_int(), row[6].as_real(), row[7].as_real())
+            {
+                if let Ok(point) = Point::new(lon, lat) {
+                    context.buddies_mut().update_position(owner as u64, point);
+                }
+            }
+        }
+
+        let next_pid = pictures.scan().map(|(pid, _)| pid).max().unwrap_or(0) + 1;
+        let next_vote = workload
+            .db
+            .table(cpg::VOTES)?
+            .scan()
+            .map(|(id, _)| id)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let next_poi_ref = workload
+            .db
+            .table(cpg::POI_REFS)?
+            .scan()
+            .map(|(id, _)| id)
+            .max()
+            .unwrap_or(0)
+            + 1;
+
+        let mut platform = Platform {
+            db: workload.db,
+            store,
+            ugc_graph,
+            mapping,
+            context,
+            annotator: Annotator::standard(),
+            tags: TagIndex::new(),
+            annotations: BTreeMap::new(),
+            truth: workload.truth,
+            next_pid,
+            next_vote,
+            next_poi_ref,
+        };
+        platform.rebuild_tag_index()?;
+        Ok(platform)
+    }
+
+    /// Rebuilds the triple-tag baseline index from relational state:
+    /// plain keywords plus context tags for every picture.
+    fn rebuild_tag_index(&mut self) -> Result<(), PlatformError> {
+        let mut index = TagIndex::new();
+        let pictures = self.db.table(cpg::PICTURES)?;
+        for (pid, row) in pictures.scan() {
+            for keyword in row[4].as_text().unwrap_or_default().split_whitespace() {
+                index.insert(pid, Tag::Plain(keyword.to_string()));
+            }
+            let owner = row[2].as_int().unwrap_or(0) as u64;
+            let ts = row[5].as_int().unwrap_or(0);
+            let gps = match (row[6].as_real(), row[7].as_real()) {
+                (Some(lon), Some(lat)) => Point::new(lon, lat).ok(),
+                _ => None,
+            };
+            let snapshot = self.context.contextualize(owner, ts, gps);
+            for tag in tags_for(&snapshot) {
+                index.insert(pid, Tag::Triple(tag));
+            }
+        }
+        self.tags = index;
+        Ok(())
+    }
+
+    /// The picture resource IRI for a pid.
+    pub fn picture_iri(pid: i64) -> Iri {
+        ns::TL_PID.iri(&pid.to_string())
+    }
+
+    /// The user resource IRI for a user id.
+    pub fn user_iri(user_id: i64) -> Iri {
+        ns::TL_UID.iri(&user_id.to_string())
+    }
+
+    /// Processes one upload end-to-end: relational insert, context
+    /// tagging, incremental semanticization, automatic annotation.
+    pub fn upload(&mut self, upload: Upload) -> Result<UploadReceipt, PlatformError> {
+        if upload.title.trim().is_empty() && upload.tags.is_empty() {
+            return Err(PlatformError::Invalid("upload needs a title or tags".into()));
+        }
+        let users = self.db.table(cpg::USERS)?;
+        if users.get(upload.user_id).is_none() {
+            return Err(PlatformError::NotFound(format!("user {}", upload.user_id)));
+        }
+        // The user's first album hosts ad-hoc uploads.
+        let albums = self.db.table(cpg::ALBUMS)?;
+        let aid = albums
+            .select(|row| row[1].as_int() == Some(upload.user_id))
+            .map(|(aid, _)| aid)
+            .next()
+            .ok_or_else(|| PlatformError::NotFound(format!("album for user {}", upload.user_id)))?;
+
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let (lon, lat) = match upload.gps {
+            Some(p) => (SqlValue::Real(p.lon), SqlValue::Real(p.lat)),
+            None => (SqlValue::Null, SqlValue::Null),
+        };
+        self.db.insert(
+            cpg::PICTURES,
+            vec![
+                pid.into(),
+                aid.into(),
+                upload.user_id.into(),
+                upload.title.clone().into(),
+                upload.tags.join(" ").into(),
+                upload.ts.into(),
+                lon,
+                lat,
+                format!("media/{pid}.jpg").into(),
+            ],
+        )?;
+
+        let mut poi_input: Option<PoiRefInput> = None;
+        if let Some((name, category, point)) = &upload.poi {
+            let ref_id = self.next_poi_ref;
+            self.next_poi_ref += 1;
+            self.db.insert(
+                cpg::POI_REFS,
+                vec![
+                    ref_id.into(),
+                    pid.into(),
+                    name.clone().into(),
+                    category.clone().into(),
+                    SqlValue::Real(point.lon),
+                    SqlValue::Real(point.lat),
+                ],
+            )?;
+            let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
+            self.store.insert_all(&poi_triples, self.ugc_graph);
+            poi_input = Some(PoiRefInput {
+                name: name.clone(),
+                category: category.clone(),
+                point: *point,
+            });
+        }
+
+        // Incremental semanticization of the new picture (§2.1).
+        let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
+        let mut triples_added = self.store.insert_all(&triples, self.ugc_graph);
+
+        // Context tagging (§1.1) — both the triple-tag index and the
+        // buddy model's last-seen position.
+        if let Some(point) = upload.gps {
+            self.context
+                .buddies_mut()
+                .update_position(upload.user_id as u64, point);
+        }
+        let snapshot = self
+            .context
+            .contextualize(upload.user_id as u64, upload.ts, upload.gps);
+        let context_tags = tags_for(&snapshot);
+        for keyword in &upload.tags {
+            self.tags.insert(pid, Tag::Plain(keyword.clone()));
+        }
+        for tag in &context_tags {
+            self.tags.insert(pid, Tag::Triple(tag.clone()));
+        }
+
+        // Automatic semantic annotation (§2.2).
+        let result = self.annotate_picture(pid, &upload.title, &upload.tags, Some(&snapshot), poi_input);
+        triples_added += self.record_annotation(pid, &result);
+        let auto_annotations = result
+            .terms
+            .iter()
+            .filter(|t| t.resource.is_some())
+            .count();
+        self.annotations.insert(pid, result);
+
+        Ok(UploadReceipt {
+            pid,
+            resource: Self::picture_iri(pid),
+            triples_added,
+            context_tags: context_tags.len(),
+            auto_annotations,
+        })
+    }
+
+    fn annotate_picture(
+        &self,
+        _pid: i64,
+        title: &str,
+        tags: &[String],
+        snapshot: Option<&ContextSnapshot>,
+        poi_ref: Option<PoiRefInput>,
+    ) -> AnnotationResult {
+        let input = ContentInput {
+            title,
+            tags,
+            context: snapshot,
+            poi_ref,
+        };
+        self.annotator.annotate(&self.store, &input)
+    }
+
+    /// Writes an annotation result into the UGC graph; returns the
+    /// number of new triples.
+    fn record_annotation(&mut self, pid: i64, result: &AnnotationResult) -> usize {
+        let subject = Term::Iri(Self::picture_iri(pid));
+        let mut triples = Vec::new();
+        if let Some(city) = &result.location {
+            triples.push(Triple::new_unchecked(
+                subject.clone(),
+                located_in_pred(),
+                Term::Iri(city.clone()),
+            ));
+        }
+        for buddy in &result.buddies {
+            triples.push(Triple::new_unchecked(
+                subject.clone(),
+                with_buddy_pred(),
+                Term::Iri(buddy.clone()),
+            ));
+        }
+        if let Some(poi) = &result.poi {
+            triples.push(Triple::new_unchecked(
+                subject.clone(),
+                subject_pred(),
+                Term::Iri(poi.clone()),
+            ));
+        }
+        for term in &result.terms {
+            if let Some(resource) = &term.resource {
+                triples.push(Triple::new_unchecked(
+                    subject.clone(),
+                    subject_pred(),
+                    Term::Iri(resource.clone()),
+                ));
+            }
+        }
+        self.store.insert_all(&triples, self.ugc_graph)
+    }
+
+    /// Annotates one legacy picture (used by the batch job). Returns
+    /// the number of term annotations that fired.
+    pub fn annotate_legacy(&mut self, pid: i64) -> Result<usize, PlatformError> {
+        let pictures = self.db.table(cpg::PICTURES)?;
+        let row = pictures
+            .get(pid)
+            .ok_or_else(|| PlatformError::NotFound(format!("picture {pid}")))?;
+        let title = row[3].as_text().unwrap_or_default().to_string();
+        let tags: Vec<String> = row[4]
+            .as_text()
+            .unwrap_or_default()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let owner = row[2].as_int().unwrap_or(0) as u64;
+        let ts = row[5].as_int().unwrap_or(0);
+        let gps = match (row[6].as_real(), row[7].as_real()) {
+            (Some(lon), Some(lat)) => Point::new(lon, lat).ok(),
+            _ => None,
+        };
+        // Explicit POI reference, if the user attached one.
+        let poi_refs = self.db.table(cpg::POI_REFS)?;
+        let poi_input = poi_refs
+            .select(|r| r[1].as_int() == Some(pid))
+            .next()
+            .and_then(|(_, r)| {
+                Some(PoiRefInput {
+                    name: r[2].as_text()?.to_string(),
+                    category: r[3].as_text()?.to_string(),
+                    point: Point::new(r[4].as_real()?, r[5].as_real()?).ok()?,
+                })
+            });
+        let snapshot = gps.map(|p| self.context.contextualize(owner, ts, Some(p)));
+        let result = self.annotate_picture(pid, &title, &tags, snapshot.as_ref(), poi_input);
+        self.record_annotation(pid, &result);
+        let fired = result.terms.iter().filter(|t| t.resource.is_some()).count();
+        self.annotations.insert(pid, result);
+        Ok(fired)
+    }
+
+    /// Records a vote and refreshes the picture's `rev:rating`.
+    pub fn rate(&mut self, pid: i64, user_id: i64, rating: i64) -> Result<(), PlatformError> {
+        if !(1..=5).contains(&rating) {
+            return Err(PlatformError::Invalid(format!("rating {rating} out of 1..=5")));
+        }
+        let vote_id = self.next_vote;
+        self.next_vote += 1;
+        self.db.insert(
+            cpg::VOTES,
+            vec![vote_id.into(), pid.into(), user_id.into(), rating.into()],
+        )?;
+        let agg = self.mapping.aggregate_maps[0].clone();
+        let subject = Term::Iri(Self::picture_iri(pid));
+        self.store.remove_pattern_sp(&subject, &agg.predicate);
+        if let Some(triple) = dump::aggregate_for(&self.db, &self.mapping, &agg, pid)? {
+            self.store.insert(&triple, self.ugc_graph);
+        }
+        Ok(())
+    }
+
+    /// All picture ids, in order.
+    pub fn picture_ids(&self) -> Vec<i64> {
+        self.db
+            .table(cpg::PICTURES)
+            .map(|t| t.scan().map(|(pid, _)| pid).collect())
+            .unwrap_or_default()
+    }
+
+    /// The semantic store (LOD + semanticized UGC + annotations).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The relational database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The triple-tag baseline index.
+    pub fn tags(&self) -> &TagIndex {
+        &self.tags
+    }
+
+    /// The context platform.
+    pub fn context(&self) -> &ContextPlatform {
+        &self.context
+    }
+
+    /// Mutable context platform (tests set up buddies/calendars).
+    pub fn context_mut(&mut self) -> &mut ContextPlatform {
+        &mut self.context
+    }
+
+    /// Replaces the annotator (ablations and fault-injection tests).
+    pub fn set_annotator(&mut self, annotator: Annotator) {
+        self.annotator = annotator;
+    }
+
+    /// Workload ground truth (experiment scoring).
+    pub fn truth(&self) -> &[PictureTruth] {
+        &self.truth
+    }
+
+    /// Annotation results recorded so far, by pid.
+    pub fn annotations(&self) -> &BTreeMap<i64, AnnotationResult> {
+        &self.annotations
+    }
+
+    /// Runs a SPARQL query against the platform store.
+    pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
+        Ok(lodify_sparql::execute(&self.store, sparql)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_context::Gazetteer;
+
+    fn small_platform() -> Platform {
+        Platform::bootstrap(WorkloadConfig::small(42)).expect("bootstrap")
+    }
+
+    #[test]
+    fn bootstrap_fuses_ugc_and_lod() {
+        let p = small_platform();
+        assert!(p.store().len() > 1000);
+        // A picture resource exists with the paper's shape.
+        let results = p
+            .query("SELECT (COUNT(*) AS ?n) WHERE { ?r a sioct:MicroblogPost . }")
+            .unwrap();
+        assert_eq!(
+            results.column("n")[0].lexical(),
+            p.picture_ids().len().to_string()
+        );
+        // Tag index has both plain and context tags.
+        assert!(!p.tags().by_namespace("address").is_empty());
+        assert!(!p.tags().by_namespace("cell").is_empty());
+    }
+
+    #[test]
+    fn upload_flows_end_to_end() {
+        let mut p = small_platform();
+        let gaz = Gazetteer::global();
+        let mole = gaz.poi("Mole_Antonelliana").unwrap();
+        let receipt = p
+            .upload(Upload {
+                user_id: 1,
+                title: "Tramonto alla Mole Antonelliana".into(),
+                tags: vec!["torino".into(), "tramonto".into()],
+                ts: 1_320_500_000,
+                gps: Some(mole.point(gaz)),
+                poi: Some(("Mole Antonelliana".into(), "monument".into(), mole.point(gaz))),
+            })
+            .expect("upload");
+
+        assert!(receipt.triples_added > 5);
+        assert!(receipt.context_tags >= 5);
+        assert!(receipt.auto_annotations >= 1);
+
+        // The new picture is queryable with annotations.
+        let q = format!(
+            "SELECT ?s WHERE {{ <{}> <{}> ?s . }}",
+            receipt.resource.as_str(),
+            subject_pred().as_str()
+        );
+        let results = p.query(&q).unwrap();
+        let subjects: Vec<&str> = results.column("s").iter().map(|t| t.lexical()).collect();
+        assert!(
+            subjects.contains(&"http://dbpedia.org/resource/Mole_Antonelliana"),
+            "{subjects:?}"
+        );
+        // Located-in points at Geonames Turin.
+        let q = format!(
+            "SELECT ?c WHERE {{ <{}> <{}> ?c . }}",
+            receipt.resource.as_str(),
+            located_in_pred().as_str()
+        );
+        let results = p.query(&q).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results.column("c")[0].lexical().starts_with("http://sws.geonames.org/"));
+        // Triple-tag index got the context tags.
+        let cities = p.tags().by_predicate("address", "city");
+        assert!(cities.contains(&receipt.pid));
+    }
+
+    #[test]
+    fn upload_validation() {
+        let mut p = small_platform();
+        assert!(matches!(
+            p.upload(Upload {
+                user_id: 9999,
+                title: "x".into(),
+                tags: vec![],
+                ts: 0,
+                gps: None,
+                poi: None,
+            }),
+            Err(PlatformError::NotFound(_))
+        ));
+        assert!(matches!(
+            p.upload(Upload {
+                user_id: 1,
+                title: "  ".into(),
+                tags: vec![],
+                ts: 0,
+                gps: None,
+                poi: None,
+            }),
+            Err(PlatformError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rating_refreshes_rev_rating() {
+        let mut p = small_platform();
+        let pid = p.picture_ids()[0];
+        p.rate(pid, 1, 5).unwrap();
+        p.rate(pid, 2, 3).unwrap();
+        let q = format!(
+            "SELECT ?r WHERE {{ <{}> rev:rating ?r . }}",
+            Platform::picture_iri(pid).as_str()
+        );
+        let results = p.query(&q).unwrap();
+        assert_eq!(results.len(), 1, "exactly one rating triple");
+        let value: f64 = results.column("r")[0].lexical().parse().unwrap();
+        assert!((1.0..=5.0).contains(&value));
+        assert!(matches!(
+            p.rate(pid, 1, 9),
+            Err(PlatformError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_annotation_records_results() {
+        let mut p = small_platform();
+        let pid = p.picture_ids()[0];
+        assert!(p.annotations().is_empty());
+        p.annotate_legacy(pid).unwrap();
+        assert!(p.annotations().contains_key(&pid));
+        assert!(matches!(
+            p.annotate_legacy(99999),
+            Err(PlatformError::NotFound(_))
+        ));
+    }
+}

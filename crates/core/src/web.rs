@@ -1,0 +1,683 @@
+//! The web/mobile interface (§3–§4), as a library: request routing,
+//! HTML rendering, and a minimal std-only HTTP server.
+//!
+//! "The platform's web interface offers users an environment to
+//! perform many operations … when it is accessed from a mobile device,
+//! redirects the user automatically to the mobile interface" (§3). The
+//! routes mirror the paper's flows:
+//!
+//! * `GET /` — the search box (Fig. 2);
+//! * `GET /search?q=<prefix>` — the AJAX candidate list (Fig. 3);
+//! * `GET /resource?iri=<iri>` — content associated with a selected
+//!   resource (Fig. 4);
+//! * `GET /picture/<pid>` — one picture with its *friendly-format*
+//!   context tags ("context tags are displayed in a friendly format,
+//!   and are separated from user-defined tags", §1.1);
+//! * `GET /about/<pid>` — the "About" mashup (§4.1);
+//! * `GET /album?monument=<label>&lang=<tag>&radius=<km>` — a virtual
+//!   album (§2.3).
+//!
+//! Desktop vs mobile rendering is selected by the `User-Agent` header,
+//! reproducing the §3 redirect behaviour. The HTTP layer is
+//! deliberately tiny (HTTP/1.1, GET only) — enough to drive the
+//! platform from a browser or `curl` without external dependencies.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lodify_rdf::Iri;
+use lodify_tripletags::Tag;
+
+use crate::error::PlatformError;
+use crate::mashup::MashupService;
+use crate::platform::Platform;
+use crate::search::SearchService;
+
+/// A parsed (minimal) HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Whether the `User-Agent` looks like a mobile device (§3's
+    /// automatic redirect to the mobile interface).
+    pub mobile: bool,
+}
+
+impl Request {
+    /// Parses a request line + headers.
+    pub fn parse(request_line: &str, headers: &[(String, String)]) -> Option<Request> {
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next()?;
+        if method != "GET" {
+            return None;
+        }
+        let target = parts.next()?;
+        let (path, query_text) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let mut query = BTreeMap::new();
+        for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(url_decode(k), url_decode(v));
+        }
+        let mobile = headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("user-agent"))
+            .map(|(_, value)| {
+                let ua = value.to_lowercase();
+                ua.contains("mobile") || ua.contains("android") || ua.contains("iphone")
+            })
+            .unwrap_or(false);
+        Some(Request {
+            path: path.to_string(),
+            query,
+            mobile,
+        })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: &'static str,
+    /// Body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with HTML.
+    pub fn html(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body,
+        }
+    }
+
+    /// 404.
+    pub fn not_found(what: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("not found: {what}\n"),
+        }
+    }
+
+    /// 400.
+    pub fn bad_request(message: &str) -> Response {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("bad request: {message}\n"),
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            _ => "Internal Server Error",
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+/// Routes requests against a platform. Pure (no I/O): fully unit-testable.
+pub fn route(platform: &Platform, request: &Request) -> Response {
+    match request.path.as_str() {
+        "/" => Response::html(render_home(request.mobile)),
+        "/search" => {
+            let Some(q) = request.query.get("q") else {
+                return Response::bad_request("missing q parameter");
+            };
+            let limit = request
+                .query
+                .get("limit")
+                .and_then(|l| l.parse().ok())
+                .unwrap_or(8);
+            let suggestions = SearchService::suggest(platform.store(), q, limit);
+            Response::html(render_suggestions(q, &suggestions, request.mobile))
+        }
+        "/resource" => {
+            let Some(iri_text) = request.query.get("iri") else {
+                return Response::bad_request("missing iri parameter");
+            };
+            let Ok(iri) = Iri::new(iri_text.clone()) else {
+                return Response::bad_request("malformed iri");
+            };
+            match SearchService::content_for_resource(platform.store(), &iri, 1.0) {
+                Ok(hits) => Response::html(render_content_list(iri_text, &hits, request.mobile)),
+                Err(e) => Response::bad_request(&e.to_string()),
+            }
+        }
+        "/album" => {
+            let Some(monument) = request.query.get("monument") else {
+                return Response::bad_request("missing monument parameter");
+            };
+            let lang = request.query.get("lang").map(String::as_str).unwrap_or("it");
+            let radius: f64 = request
+                .query
+                .get("radius")
+                .and_then(|r| r.parse().ok())
+                .unwrap_or(0.3);
+            let spec = crate::albums::AlbumSpec::near_monument(monument, lang, radius);
+            match spec.execute(platform.store()) {
+                Ok(links) => Response::html(render_album(monument, &links)),
+                Err(e) => Response::bad_request(&e.to_string()),
+            }
+        }
+        path if path.starts_with("/picture/") => {
+            let Ok(pid) = path["/picture/".len()..].parse::<i64>() else {
+                return Response::bad_request("bad picture id");
+            };
+            render_picture(platform, pid)
+                .map(Response::html)
+                .unwrap_or_else(|| Response::not_found(&format!("picture {pid}")))
+        }
+        path if path.starts_with("/about/") => {
+            let Ok(pid) = path["/about/".len()..].parse::<i64>() else {
+                return Response::bad_request("bad picture id");
+            };
+            let iri = Platform::picture_iri(pid);
+            match MashupService::standard().about(platform.store(), &iri) {
+                Ok(mashup) => Response::html(render_mashup(pid, &mashup)),
+                Err(e) => Response::bad_request(&e.to_string()),
+            }
+        }
+        other => Response::not_found(other),
+    }
+}
+
+// ---------------------------------------------------------------------
+// rendering
+// ---------------------------------------------------------------------
+
+/// HTML-escapes text content.
+pub fn escape_html(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn page(title: &str, body: &str, mobile: bool) -> String {
+    let class = if mobile { "mobile" } else { "desktop" };
+    format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{}</title></head>\
+         <body class=\"{class}\"><h1>{}</h1>{body}</body></html>",
+        escape_html(title),
+        escape_html(title),
+    )
+}
+
+fn render_home(mobile: bool) -> String {
+    // Fig. 2: the search box; the mobile variant notes the location API.
+    let hint = if mobile {
+        "<p class=\"geo\">using your location to filter results</p>"
+    } else {
+        ""
+    };
+    page(
+        "TeamLife — semantic search",
+        &format!(
+            "{hint}<form action=\"/search\"><input name=\"q\" placeholder=\"search places, monuments, people\">\
+             <button>search</button></form>"
+        ),
+        mobile,
+    )
+}
+
+fn render_suggestions(q: &str, suggestions: &[crate::search::Suggestion], mobile: bool) -> String {
+    // Fig. 3: candidate resources for the typed prefix.
+    let mut items = String::new();
+    for s in suggestions {
+        items.push_str(&format!(
+            "<li><a href=\"/resource?iri={}\">{}</a> <span class=\"iri\">{}</span></li>",
+            url_encode(s.resource.as_str()),
+            escape_html(&s.label),
+            escape_html(s.resource.as_str()),
+        ));
+    }
+    page(
+        &format!("candidates for “{q}”"),
+        &format!("<ul class=\"candidates\">{items}</ul>"),
+        mobile,
+    )
+}
+
+fn render_content_list(iri: &str, hits: &[crate::search::ContentHit], mobile: bool) -> String {
+    // Fig. 4: thumbnails + links for the selected resource, About on top.
+    let pid_of = |hit: &crate::search::ContentHit| -> Option<i64> {
+        hit.content.as_str().rsplit('/').next()?.parse().ok()
+    };
+    let about = hits
+        .first()
+        .and_then(pid_of)
+        .map(|pid| format!("<a class=\"about\" href=\"/about/{pid}\">About</a>"))
+        .unwrap_or_default();
+    let mut items = String::new();
+    for hit in hits {
+        let title = hit.title.as_deref().unwrap_or("(untitled)");
+        let link = hit.link.as_deref().unwrap_or("#");
+        let detail = pid_of(hit)
+            .map(|pid| format!("<a href=\"/picture/{pid}\">details</a>"))
+            .unwrap_or_default();
+        items.push_str(&format!(
+            "<li><img src=\"{}\" alt=\"\"> {} {detail}</li>",
+            escape_html(link),
+            escape_html(title),
+        ));
+    }
+    page(
+        &format!("content for {iri}"),
+        &format!("{about}<ul class=\"content\">{items}</ul>"),
+        mobile,
+    )
+}
+
+fn render_album(monument: &str, links: &[String]) -> String {
+    let mut items = String::new();
+    for link in links {
+        items.push_str(&format!("<li><img src=\"{}\" alt=\"\"></li>", escape_html(link)));
+    }
+    page(
+        &format!("virtual album — near {monument}"),
+        &format!("<ul class=\"album\">{items}</ul>"),
+        false,
+    )
+}
+
+/// The §1.1 friendly-format tag rendering: context triple tags become
+/// readable phrases, plain user tags stay as-is and are shown apart.
+pub fn friendly_tag(tag: &lodify_tripletags::TripleTag) -> String {
+    match (tag.namespace.as_str(), tag.predicate.as_str()) {
+        ("address", "city") => format!("in {}", tag.value),
+        ("address", "street") => format!("on {}", tag.value),
+        ("address", "country") => tag.value.clone(),
+        ("people", "fn") => format!("with {}", tag.value),
+        ("people", "user") => format!("with @{}", tag.value),
+        ("place", "is") => format!("a {} place", tag.value),
+        ("place", "label") => format!("at “{}”", tag.value),
+        ("cell", "cgi") => format!("cell {}", tag.value),
+        ("calendar", "event") => format!("during “{}”", tag.value),
+        ("geo", "lat") | ("geo", "long") => format!("{}: {}", tag.predicate, tag.value),
+        ("geonames", "id") => format!("geonames #{}", tag.value),
+        _ => tag.to_wire(),
+    }
+}
+
+fn render_picture(platform: &Platform, pid: i64) -> Option<String> {
+    let pictures = platform
+        .db()
+        .table(lodify_relational::coppermine::PICTURES)
+        .ok()?;
+    let row = pictures.get(pid)?;
+    let title = row[3].as_text().unwrap_or_default();
+
+    let mut user_tags = String::new();
+    let mut context_tags = String::new();
+    for tag in platform.tags().tags_of(pid) {
+        match tag {
+            Tag::Plain(word) => {
+                user_tags.push_str(&format!("<span class=\"tag\">{}</span> ", escape_html(word)));
+            }
+            Tag::Triple(tt) => {
+                context_tags.push_str(&format!(
+                    "<span class=\"ctx\">{}</span> ",
+                    escape_html(&friendly_tag(tt))
+                ));
+            }
+        }
+    }
+    let annotations = platform
+        .annotations()
+        .get(&pid)
+        .map(|a| {
+            a.resources()
+                .iter()
+                .map(|r| {
+                    format!(
+                        "<li><a href=\"/resource?iri={}\">{}</a></li>",
+                        url_encode(r.as_str()),
+                        escape_html(r.local_name()),
+                    )
+                })
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+
+    Some(page(
+        title,
+        &format!(
+            "<img src=\"http://beta.teamlife.it/media/{pid}.jpg\" alt=\"\">\
+             <p class=\"user-tags\">{user_tags}</p>\
+             <p class=\"context-tags\">{context_tags}</p>\
+             <a href=\"/about/{pid}\">About</a>\
+             <ul class=\"annotations\">{annotations}</ul>"
+        ),
+        false,
+    ))
+}
+
+fn render_mashup(pid: i64, mashup: &crate::mashup::MashupResult) -> String {
+    let mut body = String::new();
+    if let Some((city, abstract_)) = &mashup.city {
+        body.push_str(&format!(
+            "<section class=\"city\"><h2>{}</h2><p>{}</p></section>",
+            escape_html(city),
+            escape_html(abstract_)
+        ));
+    }
+    body.push_str("<section class=\"restaurants\"><h2>Restaurants</h2><ul>");
+    for r in &mashup.restaurants {
+        body.push_str(&format!(
+            "<li>{}{}</li>",
+            escape_html(&r.label),
+            r.detail
+                .as_deref()
+                .map(|d| format!(" — <a href=\"{}\">{}</a>", escape_html(d), escape_html(d)))
+                .unwrap_or_default()
+        ));
+    }
+    body.push_str("</ul></section><section class=\"tourism\"><h2>Attractions</h2><ul>");
+    for a in &mashup.attractions {
+        body.push_str(&format!("<li>{}</li>", escape_html(&a.label)));
+    }
+    body.push_str("</ul></section><section class=\"ugc\"><h2>Nearby content</h2><ul>");
+    for link in &mashup.related_content {
+        body.push_str(&format!("<li><img src=\"{}\" alt=\"\"></li>", escape_html(link)));
+    }
+    body.push_str("</ul></section>");
+    page(&format!("About picture {pid}"), &body, false)
+}
+
+// ---------------------------------------------------------------------
+// the HTTP server
+// ---------------------------------------------------------------------
+
+/// A running server handle.
+pub struct WebServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WebServer {
+    /// Serves `platform` on `127.0.0.1:port` (0 = ephemeral) in a
+    /// background thread. The platform is shared read-only.
+    pub fn start(platform: Arc<Platform>, port: u16) -> Result<WebServer, PlatformError> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| PlatformError::Invalid(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PlatformError::Invalid(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| PlatformError::Invalid(e.to_string()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = handle_connection(&platform, stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(WebServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WebServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(platform: &Platform, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    let response = match Request::parse(request_line.trim_end(), &headers) {
+        Some(request) => route(platform, &request),
+        None => Response::bad_request("unsupported request"),
+    };
+    response.write_to(&mut stream)
+}
+
+/// Percent-decodes a URL component (`+` is a space).
+pub fn url_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                if i + 2 < bytes.len() {
+                    if let Ok(byte) =
+                        u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""), 16)
+                    {
+                        out.push(byte);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a URL component.
+pub fn url_encode(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_relational::WorkloadConfig;
+
+    fn platform() -> Platform {
+        Platform::bootstrap(WorkloadConfig::small(31)).unwrap()
+    }
+
+    fn get(platform: &Platform, target: &str, mobile: bool) -> Response {
+        let headers = if mobile {
+            vec![("User-Agent".to_string(), "Mozilla/5.0 (iPhone) Mobile".to_string())]
+        } else {
+            vec![("User-Agent".to_string(), "Mozilla/5.0 (X11; Linux)".to_string())]
+        };
+        let request = Request::parse(&format!("GET {target} HTTP/1.1"), &headers).unwrap();
+        route(platform, &request)
+    }
+
+    #[test]
+    fn request_parsing() {
+        let r = Request::parse("GET /search?q=Tur&limit=5 HTTP/1.1", &[]).unwrap();
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.query.get("q").map(String::as_str), Some("Tur"));
+        assert_eq!(r.query.get("limit").map(String::as_str), Some("5"));
+        assert!(!r.mobile);
+        assert!(Request::parse("POST / HTTP/1.1", &[]).is_none());
+        // plus + percent decoding
+        let r = Request::parse("GET /search?q=Mole+Antonelliana%21 HTTP/1.1", &[]).unwrap();
+        assert_eq!(r.query.get("q").map(String::as_str), Some("Mole Antonelliana!"));
+    }
+
+    #[test]
+    fn mobile_detection_switches_rendering() {
+        let p = platform();
+        let desktop = get(&p, "/", false);
+        let mobile = get(&p, "/", true);
+        assert!(desktop.body.contains("class=\"desktop\""));
+        assert!(mobile.body.contains("class=\"mobile\""));
+        assert!(mobile.body.contains("using your location"));
+    }
+
+    #[test]
+    fn search_route_lists_candidates() {
+        let p = platform();
+        let resp = get(&p, "/search?q=Turi", false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("Turin"), "{}", resp.body);
+        assert!(resp.body.contains("/resource?iri="));
+        // Missing q → 400.
+        assert_eq!(get(&p, "/search", false).status, 400);
+    }
+
+    #[test]
+    fn resource_route_lists_content_with_about_button() {
+        let p = platform();
+        let iri = url_encode("http://dbpedia.org/resource/Mole_Antonelliana");
+        let resp = get(&p, &format!("/resource?iri={iri}"), false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("class=\"about\"") || resp.body.contains("class=\"content\""));
+    }
+
+    #[test]
+    fn picture_route_separates_tag_kinds() {
+        let p = platform();
+        let pid = p.picture_ids()[0];
+        let resp = get(&p, &format!("/picture/{pid}"), false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("user-tags"));
+        assert!(resp.body.contains("context-tags"));
+        assert_eq!(get(&p, "/picture/999999", false).status, 404);
+        assert_eq!(get(&p, "/picture/abc", false).status, 400);
+    }
+
+    #[test]
+    fn album_route_runs_q1() {
+        let p = platform();
+        let resp = get(&p, "/album?monument=Mole+Antonelliana&lang=it&radius=0.3", false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("virtual album"));
+    }
+
+    #[test]
+    fn unknown_route_404s() {
+        let p = platform();
+        assert_eq!(get(&p, "/nope", false).status, 404);
+    }
+
+    #[test]
+    fn friendly_tags_read_like_phrases() {
+        let tt = |s: &str| lodify_tripletags::TripleTag::parse(s).unwrap();
+        assert_eq!(friendly_tag(&tt("address:city=Turin")), "in Turin");
+        assert_eq!(friendly_tag(&tt("people:fn=Walter+Goix")), "with Walter Goix");
+        assert_eq!(friendly_tag(&tt("place:is=crowded")), "a crowded place");
+        assert_eq!(friendly_tag(&tt("cell:cgi=460-0-9522-3661")), "cell 460-0-9522-3661");
+        // Unknown namespaces fall back to wire form.
+        assert_eq!(friendly_tag(&tt("custom:x=1")), "custom:x=1");
+    }
+
+    #[test]
+    fn url_encode_decode_round_trip() {
+        for s in ["plain", "with space", "città+%&=?", "🙂"] {
+            assert_eq!(url_decode(&url_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn html_escaping() {
+        assert_eq!(escape_html("<b>&\"x\"</b>"), "&lt;b&gt;&amp;&quot;x&quot;&lt;/b&gt;");
+    }
+
+    #[test]
+    fn live_server_round_trip() {
+        use std::io::{Read, Write};
+        let p = Arc::new(platform());
+        let server = WebServer::start(p, 0).unwrap();
+        let addr = server.addr();
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /search?q=Turin HTTP/1.1\r\nHost: localhost\r\nUser-Agent: test\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Turin"));
+        server.stop();
+    }
+}

@@ -1,0 +1,266 @@
+//! The default Coppermine → RDF mapping.
+//!
+//! Encodes the paper's design decisions:
+//!
+//! * resources are minted under the platform namespaces the paper's
+//!   queries use (`tl-pid:` for pictures, `tl-uid:` for users);
+//! * pictures are typed `sioct:MicroblogPost`, link their media URL via
+//!   `comm:image-data`, carry a `geo:geometry` WKT point and per-keyword
+//!   `tl:keyword` triples (the §2.1.1 keyword split);
+//! * friendships become `foaf:knows`, vote averages become the single
+//!   `rev:rating` the Q3 virtual album orders by;
+//! * the **service tables** (`cpg148_sessions`, `cpg148_config`) are
+//!   deliberately unmapped (§2.1 "avoiding service tables").
+
+use lodify_rdf::ns;
+use lodify_relational::coppermine as cpg;
+
+use crate::mapping::{AggregateMap, Bridge, ClassMap, Mapping, RelationMap};
+
+/// Base IRI for platform album resources.
+pub const ALBUM_BASE: &str = "http://beta.teamlife.it/cpg148_albums/";
+/// Base IRI for platform comment resources.
+pub const COMMENT_BASE: &str = "http://beta.teamlife.it/cpg148_comments/";
+/// Base IRI for platform POI-reference resources.
+pub const POI_REF_BASE: &str = "http://beta.teamlife.it/cpg148_poi_refs/";
+/// Base IRI for media files.
+pub const MEDIA_BASE: &str = "http://beta.teamlife.it/";
+
+/// Builds the default mapping.
+pub fn coppermine_mapping() -> Mapping {
+    let tl = |local: &str| ns::TL.iri(local);
+    Mapping {
+        class_maps: vec![
+            ClassMap {
+                table: cpg::USERS.into(),
+                uri_template: format!("{}{{user_id}}", ns::TL_UID.base),
+                class: Some(ns::FOAF.iri("Person")),
+                bridges: vec![
+                    Bridge::Column {
+                        column: "user_name".into(),
+                        predicate: ns::iri::foaf_name(),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "full_name".into(),
+                        predicate: ns::FOAF.iri("fullName"),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "openid".into(),
+                        predicate: ns::FOAF.iri("openid"),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "home_city".into(),
+                        predicate: tl("homeCity"),
+                        lang: None,
+                    },
+                ],
+            },
+            ClassMap {
+                table: cpg::ALBUMS.into(),
+                uri_template: format!("{ALBUM_BASE}{{album_id}}"),
+                class: Some(ns::SIOC.iri("Container")),
+                bridges: vec![
+                    Bridge::Column {
+                        column: "title".into(),
+                        predicate: ns::DCTERMS.iri("title"),
+                        lang: None,
+                    },
+                    Bridge::Ref {
+                        column: "owner_id".into(),
+                        predicate: ns::SIOC.iri("has_owner"),
+                        target_table: cpg::USERS.into(),
+                    },
+                ],
+            },
+            ClassMap {
+                table: cpg::PICTURES.into(),
+                uri_template: format!("{}{{pid}}", ns::TL_PID.base),
+                class: Some(ns::iri::microblog_post()),
+                bridges: vec![
+                    Bridge::Column {
+                        column: "title".into(),
+                        predicate: ns::iri::rdfs_label(),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "title".into(),
+                        predicate: ns::DCTERMS.iri("title"),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "ctime".into(),
+                        predicate: ns::DCTERMS.iri("created"),
+                        lang: None,
+                    },
+                    Bridge::Split {
+                        column: "keywords".into(),
+                        predicate: tl("keyword"),
+                        separator: ' ',
+                    },
+                    Bridge::Ref {
+                        column: "owner_id".into(),
+                        predicate: ns::iri::foaf_maker(),
+                        target_table: cpg::USERS.into(),
+                    },
+                    Bridge::Ref {
+                        column: "aid".into(),
+                        predicate: ns::SIOC.iri("has_container"),
+                        target_table: cpg::ALBUMS.into(),
+                    },
+                    Bridge::Geometry {
+                        lon_column: "lon".into(),
+                        lat_column: "lat".into(),
+                        predicate: ns::iri::geo_geometry(),
+                    },
+                    Bridge::TemplateIri {
+                        template: format!("{MEDIA_BASE}{{filepath}}"),
+                        predicate: ns::iri::image_data(),
+                    },
+                ],
+            },
+            ClassMap {
+                table: cpg::COMMENTS.into(),
+                uri_template: format!("{COMMENT_BASE}{{comment_id}}"),
+                class: Some(ns::SIOC.iri("Post")),
+                bridges: vec![
+                    Bridge::Column {
+                        column: "body".into(),
+                        predicate: ns::SIOC.iri("content"),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "ctime".into(),
+                        predicate: ns::DCTERMS.iri("created"),
+                        lang: None,
+                    },
+                    Bridge::Ref {
+                        column: "pid".into(),
+                        predicate: ns::SIOC.iri("reply_of"),
+                        target_table: cpg::PICTURES.into(),
+                    },
+                    Bridge::Ref {
+                        column: "author_id".into(),
+                        predicate: ns::iri::foaf_maker(),
+                        target_table: cpg::USERS.into(),
+                    },
+                ],
+            },
+            ClassMap {
+                table: cpg::POI_REFS.into(),
+                uri_template: format!("{POI_REF_BASE}{{ref_id}}"),
+                class: Some(tl("PoiReference")),
+                bridges: vec![
+                    Bridge::Column {
+                        column: "poi_name".into(),
+                        predicate: ns::iri::rdfs_label(),
+                        lang: None,
+                    },
+                    Bridge::Column {
+                        column: "poi_category".into(),
+                        predicate: tl("category"),
+                        lang: None,
+                    },
+                    Bridge::Geometry {
+                        lon_column: "lon".into(),
+                        lat_column: "lat".into(),
+                        predicate: ns::iri::geo_geometry(),
+                    },
+                    Bridge::Ref {
+                        column: "pid".into(),
+                        predicate: tl("poiOf"),
+                        target_table: cpg::PICTURES.into(),
+                    },
+                ],
+            },
+        ],
+        relation_maps: vec![RelationMap {
+            table: cpg::FRIENDS.into(),
+            subject_column: "user_id".into(),
+            subject_table: cpg::USERS.into(),
+            predicate: ns::iri::foaf_knows(),
+            object_column: "buddy_id".into(),
+            object_table: cpg::USERS.into(),
+        }],
+        aggregate_maps: vec![AggregateMap {
+            table: cpg::VOTES.into(),
+            group_column: "pid".into(),
+            master_table: cpg::PICTURES.into(),
+            value_column: "rating".into(),
+            predicate: ns::iri::rev_rating(),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::dump_rdf;
+    use lodify_relational::workload::{generate, WorkloadConfig};
+
+    #[test]
+    fn default_mapping_validates_and_dumps_workload() {
+        let w = generate(WorkloadConfig::small(13));
+        let mapping = coppermine_mapping();
+        mapping.validate(&w.db).unwrap();
+        let (triples, stats) = dump_rdf(&w.db, &mapping).unwrap();
+        assert!(!triples.is_empty());
+        assert_eq!(stats.triples, triples.len());
+        // Every non-service table except none should appear; service
+        // tables must NOT appear.
+        let tables: Vec<&str> = stats.per_table.iter().map(|(t, _, _)| t.as_str()).collect();
+        assert!(tables.contains(&cpg::PICTURES));
+        assert!(tables.contains(&cpg::FRIENDS));
+        assert!(tables.contains(&cpg::VOTES));
+        assert!(!tables.contains(&cpg::SESSIONS));
+        assert!(!tables.contains(&cpg::CONFIG));
+    }
+
+    #[test]
+    fn no_service_table_uris_leak_into_the_dump() {
+        let w = generate(WorkloadConfig::small(17));
+        let (triples, _) = dump_rdf(&w.db, &coppermine_mapping()).unwrap();
+        for t in &triples {
+            let s = t.subject.lexical();
+            assert!(
+                !s.contains("session") && !s.contains("config"),
+                "service data leaked: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pictures_get_the_paper_shape() {
+        let w = generate(WorkloadConfig::small(19));
+        let (triples, _) = dump_rdf(&w.db, &coppermine_mapping()).unwrap();
+        let pid1 = format!("{}1", ns::TL_PID.base);
+        let mine: Vec<&lodify_rdf::Triple> = triples
+            .iter()
+            .filter(|t| t.subject.lexical() == pid1)
+            .collect();
+        let has_pred = |iri: &lodify_rdf::Iri| mine.iter().any(|t| &t.predicate == iri);
+        assert!(has_pred(&ns::iri::rdf_type()));
+        assert!(has_pred(&ns::iri::rdfs_label()));
+        assert!(has_pred(&ns::iri::image_data()));
+        assert!(has_pred(&ns::iri::foaf_maker()));
+        assert!(has_pred(&ns::TL.iri("keyword")));
+    }
+
+    #[test]
+    fn keyword_triples_match_source_keywords() {
+        let w = generate(WorkloadConfig::small(23));
+        let (triples, _) = dump_rdf(&w.db, &coppermine_mapping()).unwrap();
+        let kw_pred = ns::TL.iri("keyword");
+        for truth in &w.truth {
+            let uri = format!("{}{}", ns::TL_PID.base, truth.pid);
+            let dumped: Vec<&str> = triples
+                .iter()
+                .filter(|t| t.predicate == kw_pred && t.subject.lexical() == uri)
+                .map(|t| t.object.lexical())
+                .collect();
+            assert_eq!(dumped, truth.keywords.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The mapping-file format.
+//!
+//! The paper's authors "use\[d\] its dump-rdf feature to write a mapping
+//! file … which once completed, allows the creation of a semantic
+//! database dump" (§2.1). This module provides the equivalent textual
+//! artifact: a line-oriented format that round-trips through
+//! [`parse`]/[`serialize`].
+//!
+//! ```text
+//! prefix tl: <http://beta.teamlife.it/>
+//!
+//! map cpg148_pictures <http://beta.teamlife.it/cpg148_pictures/{pid}>
+//!   type sioct:MicroblogPost
+//!   col title -> rdfs:label
+//!   ref owner_id -> foaf:maker cpg148_users
+//!   split keywords -> tl:keyword sep=" "
+//!   geom lon lat -> geo:geometry
+//!   iri <http://beta.teamlife.it/{filepath}> -> comm:image-data
+//!
+//! rel cpg148_friends user_id cpg148_users foaf:knows buddy_id cpg148_users
+//! agg cpg148_votes group=pid master=cpg148_pictures value=rating -> rev:rating
+//! ```
+
+use std::fmt::Write as _;
+
+use lodify_rdf::ns::PrefixMap;
+use lodify_rdf::{Iri, Term};
+
+use crate::error::D2rError;
+use crate::mapping::{AggregateMap, Bridge, ClassMap, Mapping, RelationMap};
+
+/// Parses a mapping file. The default namespace table is pre-loaded;
+/// `prefix` lines extend it.
+pub fn parse(text: &str) -> Result<Mapping, D2rError> {
+    let mut prefixes = PrefixMap::with_defaults();
+    let mut mapping = Mapping::default();
+    let mut current: Option<ClassMap> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| D2rError::Dsl {
+            line: line_no,
+            message,
+        };
+        let tokens = tokenize(line).map_err(&err)?;
+        let head = tokens[0].as_str();
+        match head {
+            "prefix" => {
+                // prefix tl: <http://...>
+                let name = tokens
+                    .get(1)
+                    .and_then(|t| t.strip_suffix(':'))
+                    .ok_or_else(|| err("expected `prefix name: <iri>`".into()))?;
+                let iri = tokens
+                    .get(2)
+                    .and_then(|t| strip_angle(t))
+                    .ok_or_else(|| err("expected <iri> after prefix name".into()))?;
+                prefixes.insert(name, iri);
+            }
+            "map" => {
+                if let Some(done) = current.take() {
+                    mapping.class_maps.push(done);
+                }
+                let table = tokens
+                    .get(1)
+                    .ok_or_else(|| err("expected table name after `map`".into()))?
+                    .clone();
+                let template = tokens
+                    .get(2)
+                    .and_then(|t| strip_angle(t))
+                    .ok_or_else(|| err("expected <uri template> after table".into()))?;
+                current = Some(ClassMap {
+                    table,
+                    uri_template: template.to_string(),
+                    class: None,
+                    bridges: Vec::new(),
+                });
+            }
+            "type" | "col" | "ref" | "split" | "geom" | "iri" | "const" => {
+                let map = current
+                    .as_mut()
+                    .ok_or_else(|| err(format!("`{head}` outside a `map` block")))?;
+                match head {
+                    "type" => {
+                        let iri = resolve_iri(tokens.get(1), &prefixes)
+                            .ok_or_else(|| err("expected class IRI after `type`".into()))?;
+                        map.class = Some(iri);
+                    }
+                    "col" => {
+                        // col <column> -> <pred> [@lang]
+                        expect_arrow(&tokens, 2).map_err(err)?;
+                        let predicate = resolve_iri(tokens.get(3), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `->`".into()))?;
+                        let lang = tokens
+                            .get(4)
+                            .and_then(|t| t.strip_prefix('@'))
+                            .map(str::to_string);
+                        map.bridges.push(Bridge::Column {
+                            column: tokens[1].clone(),
+                            predicate,
+                            lang,
+                        });
+                    }
+                    "ref" => {
+                        expect_arrow(&tokens, 2).map_err(err)?;
+                        let predicate = resolve_iri(tokens.get(3), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `->`".into()))?;
+                        let target = tokens
+                            .get(4)
+                            .ok_or_else(|| err("expected target table".into()))?;
+                        map.bridges.push(Bridge::Ref {
+                            column: tokens[1].clone(),
+                            predicate,
+                            target_table: target.clone(),
+                        });
+                    }
+                    "split" => {
+                        expect_arrow(&tokens, 2).map_err(err)?;
+                        let predicate = resolve_iri(tokens.get(3), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `->`".into()))?;
+                        let sep = tokens
+                            .get(4)
+                            .and_then(|t| t.strip_prefix("sep="))
+                            .map(|s| s.trim_matches('"'))
+                            .unwrap_or(" ");
+                        let separator = sep.chars().next().unwrap_or(' ');
+                        map.bridges.push(Bridge::Split {
+                            column: tokens[1].clone(),
+                            predicate,
+                            separator,
+                        });
+                    }
+                    "geom" => {
+                        // geom lon lat -> geo:geometry
+                        expect_arrow(&tokens, 3).map_err(err)?;
+                        let predicate = resolve_iri(tokens.get(4), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `->`".into()))?;
+                        map.bridges.push(Bridge::Geometry {
+                            lon_column: tokens[1].clone(),
+                            lat_column: tokens[2].clone(),
+                            predicate,
+                        });
+                    }
+                    "iri" => {
+                        let template = strip_angle(&tokens[1])
+                            .ok_or_else(|| err("expected <template> after `iri`".into()))?
+                            .to_string();
+                        expect_arrow(&tokens, 2).map_err(err)?;
+                        let predicate = resolve_iri(tokens.get(3), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `->`".into()))?;
+                        map.bridges.push(Bridge::TemplateIri {
+                            template,
+                            predicate,
+                        });
+                    }
+                    "const" => {
+                        // const <pred> <object: iri-or-"literal">
+                        let predicate = resolve_iri(tokens.get(1), &prefixes)
+                            .ok_or_else(|| err("expected predicate after `const`".into()))?;
+                        let object_tok = tokens
+                            .get(2)
+                            .ok_or_else(|| err("expected object after predicate".into()))?;
+                        let object = if let Some(text) =
+                            object_tok.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
+                        {
+                            Term::literal(text)
+                        } else {
+                            Term::Iri(resolve_iri(Some(object_tok), &prefixes).ok_or_else(
+                                || err(format!("cannot resolve object {object_tok:?}")),
+                            )?)
+                        };
+                        map.bridges.push(Bridge::Constant { predicate, object });
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "rel" => {
+                // rel <table> <s_col> <s_table> <pred> <o_col> <o_table>
+                if tokens.len() != 7 {
+                    return Err(err("expected `rel table s_col s_table pred o_col o_table`".into()));
+                }
+                let predicate = resolve_iri(Some(&tokens[4]), &prefixes)
+                    .ok_or_else(|| err("cannot resolve relation predicate".into()))?;
+                mapping.relation_maps.push(RelationMap {
+                    table: tokens[1].clone(),
+                    subject_column: tokens[2].clone(),
+                    subject_table: tokens[3].clone(),
+                    predicate,
+                    object_column: tokens[5].clone(),
+                    object_table: tokens[6].clone(),
+                });
+            }
+            "agg" => {
+                // agg <table> group=<col> master=<table> value=<col> -> <pred>
+                let get_kv = |key: &str| {
+                    tokens.iter().find_map(|t| {
+                        t.strip_prefix(key).and_then(|rest| rest.strip_prefix('='))
+                    })
+                };
+                let table = tokens
+                    .get(1)
+                    .ok_or_else(|| err("expected table after `agg`".into()))?
+                    .clone();
+                let group = get_kv("group").ok_or_else(|| err("missing group=".into()))?;
+                let master = get_kv("master").ok_or_else(|| err("missing master=".into()))?;
+                let value = get_kv("value").ok_or_else(|| err("missing value=".into()))?;
+                let arrow_pos = tokens
+                    .iter()
+                    .position(|t| t == "->")
+                    .ok_or_else(|| err("missing `->` in agg".into()))?;
+                let predicate = resolve_iri(tokens.get(arrow_pos + 1), &prefixes)
+                    .ok_or_else(|| err("cannot resolve aggregate predicate".into()))?;
+                mapping.aggregate_maps.push(AggregateMap {
+                    table,
+                    group_column: group.to_string(),
+                    master_table: master.to_string(),
+                    value_column: value.to_string(),
+                    predicate,
+                });
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+    if let Some(done) = current.take() {
+        mapping.class_maps.push(done);
+    }
+    Ok(mapping)
+}
+
+/// Serializes a mapping back to the file format (full IRIs are compacted
+/// against the default namespace table where possible).
+pub fn serialize(mapping: &Mapping) -> String {
+    let prefixes = PrefixMap::with_defaults();
+    let compact = |iri: &Iri| -> String {
+        prefixes
+            .compact(iri)
+            .filter(|c| !c.ends_with(':') && !c.contains('/'))
+            .unwrap_or_else(|| format!("<{}>", iri.as_str()))
+    };
+    let mut out = String::new();
+    for map in &mapping.class_maps {
+        let _ = writeln!(out, "map {} <{}>", map.table, map.uri_template);
+        if let Some(class) = &map.class {
+            let _ = writeln!(out, "  type {}", compact(class));
+        }
+        for bridge in &map.bridges {
+            match bridge {
+                Bridge::Column {
+                    column,
+                    predicate,
+                    lang,
+                } => {
+                    let suffix = lang
+                        .as_ref()
+                        .map(|l| format!(" @{l}"))
+                        .unwrap_or_default();
+                    let _ = writeln!(out, "  col {column} -> {}{suffix}", compact(predicate));
+                }
+                Bridge::Ref {
+                    column,
+                    predicate,
+                    target_table,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  ref {column} -> {} {target_table}",
+                        compact(predicate)
+                    );
+                }
+                Bridge::Split {
+                    column,
+                    predicate,
+                    separator,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  split {column} -> {} sep=\"{separator}\"",
+                        compact(predicate)
+                    );
+                }
+                Bridge::Geometry {
+                    lon_column,
+                    lat_column,
+                    predicate,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  geom {lon_column} {lat_column} -> {}",
+                        compact(predicate)
+                    );
+                }
+                Bridge::TemplateIri {
+                    template,
+                    predicate,
+                } => {
+                    let _ = writeln!(out, "  iri <{template}> -> {}", compact(predicate));
+                }
+                Bridge::Constant { predicate, object } => {
+                    let obj = match object {
+                        Term::Iri(iri) => compact(iri),
+                        other => other.to_string(),
+                    };
+                    let _ = writeln!(out, "  const {} {obj}", compact(predicate));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    for rel in &mapping.relation_maps {
+        let _ = writeln!(
+            out,
+            "rel {} {} {} {} {} {}",
+            rel.table,
+            rel.subject_column,
+            rel.subject_table,
+            compact(&rel.predicate),
+            rel.object_column,
+            rel.object_table
+        );
+    }
+    for agg in &mapping.aggregate_maps {
+        let _ = writeln!(
+            out,
+            "agg {} group={} master={} value={} -> {}",
+            agg.table, agg.group_column, agg.master_table, agg.value_column, compact(&agg.predicate)
+        );
+    }
+    out
+}
+
+/// Splits a line into tokens; `<…>` and `"…"` groups stay intact.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '<' {
+            let mut tok = String::new();
+            for ch in chars.by_ref() {
+                tok.push(ch);
+                if ch == '>' {
+                    break;
+                }
+            }
+            if !tok.ends_with('>') {
+                return Err("unterminated <...>".into());
+            }
+            tokens.push(tok);
+        } else if c == '"' {
+            let mut tok = String::new();
+            tok.push(chars.next().expect("peeked"));
+            for ch in chars.by_ref() {
+                tok.push(ch);
+                if ch == '"' {
+                    break;
+                }
+            }
+            if tok.len() < 2 || !tok.ends_with('"') {
+                return Err("unterminated string".into());
+            }
+            // Attach to previous token if it was `sep=` style.
+            if let Some(prev) = tokens.last_mut() {
+                if prev.ends_with('=') {
+                    prev.push_str(&tok);
+                    continue;
+                }
+            }
+            tokens.push(tok);
+        } else {
+            let mut tok = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                if ch == '"' && tok.ends_with('=') {
+                    // sep=" " — pull the quoted part in.
+                    chars.next();
+                    tok.push('"');
+                    for q in chars.by_ref() {
+                        tok.push(q);
+                        if q == '"' {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                tok.push(ch);
+                chars.next();
+            }
+            tokens.push(tok);
+        }
+    }
+    if tokens.is_empty() {
+        return Err("empty line".into());
+    }
+    Ok(tokens)
+}
+
+fn strip_angle(token: &str) -> Option<&str> {
+    token.strip_prefix('<')?.strip_suffix('>')
+}
+
+fn expect_arrow(tokens: &[String], idx: usize) -> Result<(), String> {
+    if tokens.get(idx).map(String::as_str) == Some("->") {
+        Ok(())
+    } else {
+        Err(format!("expected `->` at position {idx}"))
+    }
+}
+
+fn resolve_iri(token: Option<&String>, prefixes: &PrefixMap) -> Option<Iri> {
+    let token = token?;
+    if let Some(inner) = strip_angle(token) {
+        return Iri::new(inner).ok();
+    }
+    prefixes.expand(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::coppermine_mapping;
+
+    const SAMPLE: &str = r#"
+# sample mapping
+prefix ex: <http://example.org/>
+
+map users <http://example.org/u/{user_id}>
+  type foaf:Person
+  col name -> foaf:name
+  col bio -> rdfs:comment @en
+
+map pics <http://example.org/p/{pid}>
+  type sioct:MicroblogPost
+  col title -> rdfs:label
+  ref owner -> foaf:maker users
+  split kw -> ex:keyword sep=" "
+  geom lon lat -> geo:geometry
+  iri <http://example.org/media/{pid}.jpg> -> comm:image-data
+  const ex:source "mobile"
+
+rel follows a users foaf:knows b users
+agg votes group=pid master=pics value=rating -> rev:rating
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.class_maps.len(), 2);
+        assert_eq!(m.relation_maps.len(), 1);
+        assert_eq!(m.aggregate_maps.len(), 1);
+        let users = m.class_map("users").unwrap();
+        assert_eq!(users.class.as_ref().unwrap().as_str(), "http://xmlns.com/foaf/0.1/Person");
+        assert!(matches!(&users.bridges[1], Bridge::Column { lang: Some(l), .. } if l == "en"));
+        let pics = m.class_map("pics").unwrap();
+        assert_eq!(pics.bridges.len(), 6);
+        assert!(matches!(&pics.bridges[2], Bridge::Split { separator: ' ', .. }));
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let original = parse(SAMPLE).unwrap();
+        let text = serialize(&original);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn coppermine_default_round_trips() {
+        let original = coppermine_mapping();
+        let text = serialize(&original);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let bad = "map users <http://x/{id}>\n  bogus directive\n";
+        match parse(bad) {
+            Err(D2rError::Dsl { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected DSL error, got {other:?}"),
+        }
+        assert!(parse("col x -> rdfs:label").is_err()); // outside map
+        assert!(parse("map t\n").is_err()); // missing template
+        assert!(parse("rel t a b\n").is_err()); // wrong arity
+    }
+}

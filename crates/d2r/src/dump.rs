@@ -1,0 +1,587 @@
+//! `dump-rdf`: database × mapping → triples.
+
+use std::collections::BTreeMap;
+
+use lodify_rdf::{ntriples, Iri, Literal, Point, Term, Triple};
+use lodify_relational::{Database, SqlValue, Table};
+
+use crate::error::D2rError;
+use crate::mapping::{fill_template, Bridge, ClassMap, Mapping};
+
+/// Per-dump statistics (experiment E9 reports these).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DumpStats {
+    /// Rows visited across all mapped tables.
+    pub rows: usize,
+    /// Triples emitted.
+    pub triples: usize,
+    /// Per-table `(rows, triples)` in mapping order.
+    pub per_table: Vec<(String, usize, usize)>,
+}
+
+/// Runs the dump, returning the triples and statistics.
+pub fn dump_rdf(db: &Database, mapping: &Mapping) -> Result<(Vec<Triple>, DumpStats), D2rError> {
+    mapping.validate(db)?;
+    let mut triples = Vec::new();
+    let mut stats = DumpStats::default();
+
+    for map in &mapping.class_maps {
+        let table = db
+            .table(&map.table)
+            .map_err(|e| D2rError::Relational(e.to_string()))?;
+        let before = triples.len();
+        let mut rows = 0usize;
+        for (_, row) in table.scan() {
+            rows += 1;
+            dump_row(db, mapping, map, table, row, &mut triples)?;
+        }
+        stats.rows += rows;
+        stats
+            .per_table
+            .push((map.table.clone(), rows, triples.len() - before));
+    }
+
+    for rel in &mapping.relation_maps {
+        let table = db
+            .table(&rel.table)
+            .map_err(|e| D2rError::Relational(e.to_string()))?;
+        let before = triples.len();
+        let mut rows = 0usize;
+        let s_idx = table
+            .schema()
+            .column_index(&rel.subject_column)
+            .expect("validated");
+        let o_idx = table
+            .schema()
+            .column_index(&rel.object_column)
+            .expect("validated");
+        for (_, row) in table.scan() {
+            rows += 1;
+            let (Some(s_key), Some(o_key)) = (row[s_idx].as_int(), row[o_idx].as_int()) else {
+                continue;
+            };
+            let subject = uri_for_pk(db, mapping, &rel.subject_table, s_key)?;
+            let object = uri_for_pk(db, mapping, &rel.object_table, o_key)?;
+            triples.push(Triple::new_unchecked(
+                Term::Iri(subject),
+                rel.predicate.clone(),
+                Term::Iri(object),
+            ));
+        }
+        stats.rows += rows;
+        stats
+            .per_table
+            .push((rel.table.clone(), rows, triples.len() - before));
+    }
+
+    for agg in &mapping.aggregate_maps {
+        let table = db
+            .table(&agg.table)
+            .map_err(|e| D2rError::Relational(e.to_string()))?;
+        let before = triples.len();
+        let g_idx = table
+            .schema()
+            .column_index(&agg.group_column)
+            .expect("validated");
+        let v_idx = table
+            .schema()
+            .column_index(&agg.value_column)
+            .expect("validated");
+        let mut sums: BTreeMap<i64, (f64, usize)> = BTreeMap::new();
+        let mut rows = 0usize;
+        for (_, row) in table.scan() {
+            rows += 1;
+            let (Some(group), Some(value)) = (row[g_idx].as_int(), row[v_idx].as_real()) else {
+                continue;
+            };
+            let entry = sums.entry(group).or_insert((0.0, 0));
+            entry.0 += value;
+            entry.1 += 1;
+        }
+        for (group, (sum, count)) in sums {
+            let master = uri_for_pk(db, mapping, &agg.master_table, group)?;
+            let avg = sum / count as f64;
+            triples.push(Triple::new_unchecked(
+                Term::Iri(master),
+                agg.predicate.clone(),
+                Term::Literal(Literal::double((avg * 100.0).round() / 100.0)),
+            ));
+        }
+        stats.rows += rows;
+        stats
+            .per_table
+            .push((agg.table.clone(), rows, triples.len() - before));
+    }
+
+    stats.triples = triples.len();
+    Ok((triples, stats))
+}
+
+/// Runs the dump and serializes straight to N-Triples — the artifact
+/// the paper loads into Virtuoso.
+pub fn dump_to_ntriples(db: &Database, mapping: &Mapping) -> Result<(String, DumpStats), D2rError> {
+    let (triples, stats) = dump_rdf(db, mapping)?;
+    Ok((ntriples::to_string(&triples), stats))
+}
+
+fn dump_row(
+    db: &Database,
+    mapping: &Mapping,
+    map: &ClassMap,
+    table: &Table,
+    row: &[SqlValue],
+    out: &mut Vec<Triple>,
+) -> Result<(), D2rError> {
+    let index = |name: &str| table.schema().column_index(name);
+    let Some(uri) = fill_template(&map.uri_template, row, index)? else {
+        return Ok(()); // template hit a NULL — no resource for this row
+    };
+    let subject = Iri::new(uri).map_err(|e| D2rError::Rdf(e.to_string()))?;
+
+    if let Some(class) = &map.class {
+        out.push(Triple::new_unchecked(
+            Term::Iri(subject.clone()),
+            lodify_rdf::ns::iri::rdf_type(),
+            Term::Iri(class.clone()),
+        ));
+    }
+
+    for bridge in &map.bridges {
+        match bridge {
+            Bridge::Column {
+                column,
+                predicate,
+                lang,
+            } => {
+                let idx = index(column).expect("validated");
+                let literal = match &row[idx] {
+                    SqlValue::Null => continue,
+                    SqlValue::Int(v) => Literal::integer(*v),
+                    SqlValue::Real(v) => Literal::double(*v),
+                    SqlValue::Bool(v) => Literal::boolean(*v),
+                    SqlValue::Text(v) => match lang {
+                        Some(tag) => Literal::lang(v.clone(), tag)
+                            .map_err(|e| D2rError::Rdf(e.to_string()))?,
+                        None => Literal::simple(v.clone()),
+                    },
+                };
+                out.push(Triple::new_unchecked(
+                    Term::Iri(subject.clone()),
+                    predicate.clone(),
+                    Term::Literal(literal),
+                ));
+            }
+            Bridge::Ref {
+                column,
+                predicate,
+                target_table,
+            } => {
+                let idx = index(column).expect("validated");
+                let Some(key) = row[idx].as_int() else { continue };
+                let object = uri_for_pk(db, mapping, target_table, key)?;
+                out.push(Triple::new_unchecked(
+                    Term::Iri(subject.clone()),
+                    predicate.clone(),
+                    Term::Iri(object),
+                ));
+            }
+            Bridge::Split {
+                column,
+                predicate,
+                separator,
+            } => {
+                let idx = index(column).expect("validated");
+                let Some(text) = row[idx].as_text() else { continue };
+                for piece in text.split(*separator).filter(|p| !p.is_empty()) {
+                    out.push(Triple::new_unchecked(
+                        Term::Iri(subject.clone()),
+                        predicate.clone(),
+                        Term::Literal(Literal::simple(piece)),
+                    ));
+                }
+            }
+            Bridge::Geometry {
+                lon_column,
+                lat_column,
+                predicate,
+            } => {
+                let lon_idx = index(lon_column).expect("validated");
+                let lat_idx = index(lat_column).expect("validated");
+                let (Some(lon), Some(lat)) = (row[lon_idx].as_real(), row[lat_idx].as_real())
+                else {
+                    continue;
+                };
+                let point = Point::new(lon, lat).map_err(|e| D2rError::Rdf(e.to_string()))?;
+                out.push(Triple::new_unchecked(
+                    Term::Iri(subject.clone()),
+                    predicate.clone(),
+                    Term::Literal(point.to_literal()),
+                ));
+            }
+            Bridge::TemplateIri {
+                template,
+                predicate,
+            } => {
+                let Some(uri) = fill_template(template, row, index)? else {
+                    continue;
+                };
+                let object = Iri::new(uri).map_err(|e| D2rError::Rdf(e.to_string()))?;
+                out.push(Triple::new_unchecked(
+                    Term::Iri(subject.clone()),
+                    predicate.clone(),
+                    Term::Iri(object),
+                ));
+            }
+            Bridge::Constant { predicate, object } => {
+                out.push(Triple::new_unchecked(
+                    Term::Iri(subject.clone()),
+                    predicate.clone(),
+                    object.clone(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dumps the triples for a single row — the incremental path the
+/// platform uses when new content is uploaded (the full `dump_rdf` is
+/// the batch path for legacy data).
+pub fn dump_resource(
+    db: &Database,
+    mapping: &Mapping,
+    table: &str,
+    pk: i64,
+) -> Result<Vec<Triple>, D2rError> {
+    let map = mapping
+        .class_map(table)
+        .ok_or_else(|| D2rError::UnknownTable(table.to_string()))?;
+    let t = db
+        .table(table)
+        .map_err(|e| D2rError::Relational(e.to_string()))?;
+    let row = t
+        .get(pk)
+        .ok_or_else(|| D2rError::Relational(format!("{table}: no row with pk {pk}")))?;
+    let mut out = Vec::new();
+    dump_row(db, mapping, map, t, row, &mut out)?;
+    Ok(out)
+}
+
+/// Recomputes an aggregate for one master row (e.g. the `rev:rating`
+/// average after a new vote) and returns the refreshed triple, if any
+/// detail rows exist.
+pub fn aggregate_for(
+    db: &Database,
+    mapping: &Mapping,
+    agg: &crate::mapping::AggregateMap,
+    master_pk: i64,
+) -> Result<Option<Triple>, D2rError> {
+    let table = db
+        .table(&agg.table)
+        .map_err(|e| D2rError::Relational(e.to_string()))?;
+    let g_idx = table
+        .schema()
+        .column_index(&agg.group_column)
+        .ok_or_else(|| D2rError::UnknownColumn {
+            table: agg.table.clone(),
+            column: agg.group_column.clone(),
+        })?;
+    let v_idx = table
+        .schema()
+        .column_index(&agg.value_column)
+        .ok_or_else(|| D2rError::UnknownColumn {
+            table: agg.table.clone(),
+            column: agg.value_column.clone(),
+        })?;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (_, row) in table.scan() {
+        if row[g_idx].as_int() == Some(master_pk) {
+            if let Some(v) = row[v_idx].as_real() {
+                sum += v;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return Ok(None);
+    }
+    let master = uri_for_pk(db, mapping, &agg.master_table, master_pk)?;
+    let avg = sum / count as f64;
+    Ok(Some(Triple::new_unchecked(
+        Term::Iri(master),
+        agg.predicate.clone(),
+        Term::Literal(Literal::double((avg * 100.0).round() / 100.0)),
+    )))
+}
+
+/// Mints the URI a class map gives to the row with primary key `pk`.
+/// Requires the target's template to reference only its PK column
+/// (true of every catalog mapping; validated here at use time).
+pub fn uri_for_pk(
+    db: &Database,
+    mapping: &Mapping,
+    table: &str,
+    pk: i64,
+) -> Result<Iri, D2rError> {
+    let map = mapping
+        .class_map(table)
+        .ok_or_else(|| D2rError::UnmappedRefTarget {
+            table: table.to_string(),
+            target: table.to_string(),
+        })?;
+    let t = db
+        .table(table)
+        .map_err(|e| D2rError::Relational(e.to_string()))?;
+    let row = t.get(pk).ok_or_else(|| {
+        D2rError::Relational(format!("{table}: no row with pk {pk} while minting URI"))
+    })?;
+    let uri = fill_template(&map.uri_template, row, |name| {
+        t.schema().column_index(name)
+    })?
+    .ok_or_else(|| D2rError::Template {
+        template: map.uri_template.clone(),
+        message: "URI template hit NULL for referenced row".into(),
+    })?;
+    Iri::new(uri).map_err(|e| D2rError::Rdf(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_rdf::ns;
+    use lodify_relational::{Column, SqlType, TableSchema};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "users",
+                vec![
+                    Column::required("user_id", SqlType::Int),
+                    Column::required("name", SqlType::Text),
+                ],
+                "user_id",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "pics",
+                vec![
+                    Column::required("pid", SqlType::Int),
+                    Column::required("owner", SqlType::Int),
+                    Column::required("title", SqlType::Text),
+                    Column::required("kw", SqlType::Text),
+                    Column::nullable("lon", SqlType::Real),
+                    Column::nullable("lat", SqlType::Real),
+                ],
+                "pid",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("users", vec![1.into(), "oscar".into()]).unwrap();
+        db.insert(
+            "pics",
+            vec![
+                10.into(),
+                1.into(),
+                "Mole by night".into(),
+                "mole torino night".into(),
+                SqlValue::Real(7.69),
+                SqlValue::Real(45.07),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "pics",
+            vec![
+                11.into(),
+                1.into(),
+                "No GPS".into(),
+                "indoor".into(),
+                SqlValue::Null,
+                SqlValue::Null,
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn sample_mapping() -> Mapping {
+        Mapping {
+            class_maps: vec![
+                ClassMap {
+                    table: "users".into(),
+                    uri_template: "http://t/u/{user_id}".into(),
+                    class: Some(lodify_rdf::ns::FOAF.iri("Person")),
+                    bridges: vec![Bridge::Column {
+                        column: "name".into(),
+                        predicate: ns::iri::foaf_name(),
+                        lang: None,
+                    }],
+                },
+                ClassMap {
+                    table: "pics".into(),
+                    uri_template: "http://t/p/{pid}".into(),
+                    class: Some(ns::iri::microblog_post()),
+                    bridges: vec![
+                        Bridge::Column {
+                            column: "title".into(),
+                            predicate: ns::iri::rdfs_label(),
+                            lang: None,
+                        },
+                        Bridge::Ref {
+                            column: "owner".into(),
+                            predicate: ns::iri::foaf_maker(),
+                            target_table: "users".into(),
+                        },
+                        Bridge::Split {
+                            column: "kw".into(),
+                            predicate: lodify_rdf::ns::TL.iri("keyword"),
+                            separator: ' ',
+                        },
+                        Bridge::Geometry {
+                            lon_column: "lon".into(),
+                            lat_column: "lat".into(),
+                            predicate: ns::iri::geo_geometry(),
+                        },
+                        Bridge::TemplateIri {
+                            template: "http://t/media/{pid}.jpg".into(),
+                            predicate: ns::iri::image_data(),
+                        },
+                    ],
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dump_emits_expected_triples() {
+        let db = sample_db();
+        let (triples, stats) = dump_rdf(&db, &sample_mapping()).unwrap();
+
+        // users: type + name = 2
+        // pic 10: type + title + maker + 3 keywords + geometry + media = 8
+        // pic 11: type + title + maker + 1 keyword + media (no geometry) = 5
+        assert_eq!(triples.len(), 15);
+        assert_eq!(stats.triples, 15);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.per_table.len(), 2);
+
+        let nt = ntriples::to_string(&triples);
+        assert!(nt.contains("<http://t/p/10> <http://www.w3.org/2000/01/rdf-schema#label> \"Mole by night\""));
+        assert!(nt.contains("<http://t/p/10> <http://xmlns.com/foaf/0.1/maker> <http://t/u/1>"));
+        assert!(nt.contains("\"mole\""));
+        assert!(nt.contains("POINT(7.69 45.07)"));
+        assert!(nt.contains("<http://t/media/10.jpg>"));
+        // NULL geometry row must not emit geo:geometry.
+        assert!(!nt.contains("<http://t/p/11> <http://www.w3.org/2003/01/geo/wgs84_pos#geometry>"));
+    }
+
+    #[test]
+    fn keyword_splitting_per_keyword_triples() {
+        let db = sample_db();
+        let (triples, _) = dump_rdf(&db, &sample_mapping()).unwrap();
+        let kw_pred = lodify_rdf::ns::TL.iri("keyword");
+        let kws: Vec<&str> = triples
+            .iter()
+            .filter(|t| t.predicate == kw_pred && t.subject.lexical() == "http://t/p/10")
+            .map(|t| t.object.lexical())
+            .collect();
+        assert_eq!(kws, vec!["mole", "torino", "night"]);
+    }
+
+    #[test]
+    fn relation_and_aggregate_maps() {
+        let mut db = sample_db();
+        db.create_table(
+            TableSchema::new(
+                "votes",
+                vec![
+                    Column::required("vid", SqlType::Int),
+                    Column::required("pid", SqlType::Int),
+                    Column::required("rating", SqlType::Int),
+                ],
+                "vid",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("votes", vec![1.into(), 10.into(), 5.into()]).unwrap();
+        db.insert("votes", vec![2.into(), 10.into(), 2.into()]).unwrap();
+        db.create_table(
+            TableSchema::new(
+                "follows",
+                vec![
+                    Column::required("fid", SqlType::Int),
+                    Column::required("a", SqlType::Int),
+                    Column::required("b", SqlType::Int),
+                ],
+                "fid",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("users", vec![2.into(), "walter".into()]).unwrap();
+        db.insert("follows", vec![1.into(), 1.into(), 2.into()]).unwrap();
+
+        let mut mapping = sample_mapping();
+        mapping.relation_maps.push(crate::mapping::RelationMap {
+            table: "follows".into(),
+            subject_column: "a".into(),
+            subject_table: "users".into(),
+            predicate: ns::iri::foaf_knows(),
+            object_column: "b".into(),
+            object_table: "users".into(),
+        });
+        mapping.aggregate_maps.push(crate::mapping::AggregateMap {
+            table: "votes".into(),
+            group_column: "pid".into(),
+            master_table: "pics".into(),
+            value_column: "rating".into(),
+            predicate: ns::iri::rev_rating(),
+        });
+
+        let (triples, _) = dump_rdf(&db, &mapping).unwrap();
+        let nt = ntriples::to_string(&triples);
+        assert!(nt.contains("<http://t/u/1> <http://xmlns.com/foaf/0.1/knows> <http://t/u/2>"));
+        assert!(nt.contains("<http://t/p/10> <http://purl.org/stuff/rev#rating> \"3.5\""));
+    }
+
+    #[test]
+    fn dangling_aggregate_master_is_an_error() {
+        let mut db = sample_db();
+        db.create_table(
+            TableSchema::new(
+                "votes",
+                vec![
+                    Column::required("vid", SqlType::Int),
+                    Column::required("pid", SqlType::Int),
+                    Column::required("rating", SqlType::Int),
+                ],
+                "vid",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("votes", vec![1.into(), 999.into(), 5.into()]).unwrap();
+        let mut mapping = sample_mapping();
+        mapping.aggregate_maps.push(crate::mapping::AggregateMap {
+            table: "votes".into(),
+            group_column: "pid".into(),
+            master_table: "pics".into(),
+            value_column: "rating".into(),
+            predicate: ns::iri::rev_rating(),
+        });
+        assert!(dump_rdf(&db, &mapping).is_err());
+    }
+}

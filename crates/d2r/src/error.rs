@@ -1,0 +1,64 @@
+//! Mapping and dump errors.
+
+use std::fmt;
+
+/// Errors from mapping validation, the DSL parser, or the dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum D2rError {
+    /// The mapping references a table the database doesn't have.
+    UnknownTable(String),
+    /// The mapping references a column the table doesn't have.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A URI template placeholder couldn't be filled.
+    Template {
+        /// The template text.
+        template: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `Ref` bridge points at a table that has no class map.
+    UnmappedRefTarget {
+        /// Referencing table.
+        table: String,
+        /// Target table without a class map.
+        target: String,
+    },
+    /// Mapping-file (DSL) syntax error.
+    Dsl {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Underlying relational error.
+    Relational(String),
+    /// Produced an invalid RDF term.
+    Rdf(String),
+}
+
+impl fmt::Display for D2rError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            D2rError::UnknownTable(t) => write!(f, "mapping references unknown table {t:?}"),
+            D2rError::UnknownColumn { table, column } => {
+                write!(f, "mapping references unknown column {table}.{column}")
+            }
+            D2rError::Template { template, message } => {
+                write!(f, "cannot instantiate template {template:?}: {message}")
+            }
+            D2rError::UnmappedRefTarget { table, target } => {
+                write!(f, "{table}: ref bridge targets unmapped table {target:?}")
+            }
+            D2rError::Dsl { line, message } => write!(f, "mapping file line {line}: {message}"),
+            D2rError::Relational(m) => write!(f, "relational error: {m}"),
+            D2rError::Rdf(m) => write!(f, "rdf error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for D2rError {}

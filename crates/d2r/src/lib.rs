@@ -1,0 +1,39 @@
+//! D2R-style relational→RDF mapping.
+//!
+//! Reproduces §2.1 of the paper: "in a relational database, every table
+//! has a primary key field, which is unique by definition, so it can be
+//! used for constructing the URI of the resource described by this
+//! table. For each resource, the information is stored in the other
+//! columns of the table, so it was necessary to find an appropriate
+//! predicate to construct a triple. … This URI and triple construction
+//! procedure … can be easily made by means of the D2R server … we used
+//! its dump-rdf feature to write a mapping file … which … allows the
+//! creation of a semantic database dump in n-triple format."
+//!
+//! The pieces:
+//!
+//! * [`mapping`] — the declarative model: [`mapping::ClassMap`]s
+//!   with URI templates, property bridges (column literals, FK
+//!   references, space-separated keyword **splitting** per §2.1.1,
+//!   lon/lat → WKT geometry, IRI templates, constants), join-table
+//!   [`mapping::RelationMap`]s (e.g. friendships →
+//!   `foaf:knows`) and [`mapping::AggregateMap`]s
+//!   (per-picture vote average → `rev:rating`);
+//! * [`dsl`] — a textual mapping-file format (parse + serialize), the
+//!   analog of the D2R mapping file the paper authors wrote;
+//! * [`dump`] — `dump_rdf`: walk the database, apply the mapping,
+//!   produce triples / N-Triples with per-table statistics (E9);
+//! * [`defaults`] — the full mapping for the Coppermine schema, which
+//!   skips the service tables exactly as §2.1 prescribes.
+
+#![warn(missing_docs)]
+
+pub mod defaults;
+pub mod dsl;
+pub mod dump;
+pub mod error;
+pub mod mapping;
+
+pub use dump::{dump_rdf, dump_to_ntriples, DumpStats};
+pub use error::D2rError;
+pub use mapping::{AggregateMap, Bridge, ClassMap, Mapping, RelationMap};

@@ -1,0 +1,392 @@
+//! The declarative mapping model.
+
+use lodify_rdf::{Iri, Term};
+use lodify_relational::{Database, SqlValue};
+
+use crate::error::D2rError;
+
+/// A property bridge: how one (or two) columns of a row become a triple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bridge {
+    /// Column value → literal object. NULL cells emit nothing.
+    /// Integer/real/bool columns produce typed literals; text columns
+    /// produce plain literals (or language-tagged when `lang` is set).
+    Column {
+        /// Source column.
+        column: String,
+        /// Predicate IRI.
+        predicate: Iri,
+        /// Optional language tag for text columns.
+        lang: Option<String>,
+    },
+    /// FK column → object IRI minted by the target table's class map.
+    Ref {
+        /// FK column (integer).
+        column: String,
+        /// Predicate IRI.
+        predicate: Iri,
+        /// Referenced table (must have a class map).
+        target_table: String,
+    },
+    /// Space(or other separator)-separated column → one triple per
+    /// piece. This is the paper's keyword un-packing: "we had to
+    /// separate all keywords and make triples describing each one"
+    /// (§2.1.1).
+    Split {
+        /// Source text column.
+        column: String,
+        /// Predicate IRI.
+        predicate: Iri,
+        /// Separator character.
+        separator: char,
+    },
+    /// Two real columns (lon, lat) → one WKT `geo:geometry` literal.
+    /// Rows with either column NULL emit nothing.
+    Geometry {
+        /// Longitude column.
+        lon_column: String,
+        /// Latitude column.
+        lat_column: String,
+        /// Predicate IRI (normally `geo:geometry`).
+        predicate: Iri,
+    },
+    /// String template → object IRI (e.g. the media URL for
+    /// `comm:image-data`). `{column}` placeholders are filled from the
+    /// row; rows with referenced NULL cells emit nothing.
+    TemplateIri {
+        /// IRI template with `{column}` placeholders.
+        template: String,
+        /// Predicate IRI.
+        predicate: Iri,
+    },
+    /// A constant triple emitted once per row.
+    Constant {
+        /// Predicate IRI.
+        predicate: Iri,
+        /// Fixed object term.
+        object: Term,
+    },
+}
+
+impl Bridge {
+    /// The predicate this bridge emits.
+    pub fn predicate(&self) -> &Iri {
+        match self {
+            Bridge::Column { predicate, .. }
+            | Bridge::Ref { predicate, .. }
+            | Bridge::Split { predicate, .. }
+            | Bridge::Geometry { predicate, .. }
+            | Bridge::TemplateIri { predicate, .. }
+            | Bridge::Constant { predicate, .. } => predicate,
+        }
+    }
+}
+
+/// Maps one entity table to resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMap {
+    /// Source table.
+    pub table: String,
+    /// URI template; `{column}` placeholders, normally just the PK
+    /// ("every table has a primary key field … it can be used for
+    /// constructing the URI", §2.1).
+    pub uri_template: String,
+    /// `rdf:type` to assert, if any.
+    pub class: Option<Iri>,
+    /// Property bridges.
+    pub bridges: Vec<Bridge>,
+}
+
+/// Maps a join table to plain links (e.g. friendships → `foaf:knows`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationMap {
+    /// Source join table.
+    pub table: String,
+    /// FK column providing the subject.
+    pub subject_column: String,
+    /// Table the subject FK references (must have a class map).
+    pub subject_table: String,
+    /// Predicate IRI.
+    pub predicate: Iri,
+    /// FK column providing the object.
+    pub object_column: String,
+    /// Table the object FK references (must have a class map).
+    pub object_table: String,
+}
+
+/// Aggregates a detail table onto its master's resource — the vote
+/// average that becomes the paper's single `rev:rating` per picture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateMap {
+    /// Detail table (e.g. votes).
+    pub table: String,
+    /// FK column grouping rows to the master (e.g. `pid`).
+    pub group_column: String,
+    /// Master table (must have a class map).
+    pub master_table: String,
+    /// Numeric column to average.
+    pub value_column: String,
+    /// Predicate on the master resource.
+    pub predicate: Iri,
+}
+
+/// A complete mapping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Mapping {
+    /// Entity table maps.
+    pub class_maps: Vec<ClassMap>,
+    /// Join-table maps.
+    pub relation_maps: Vec<RelationMap>,
+    /// Aggregate maps.
+    pub aggregate_maps: Vec<AggregateMap>,
+}
+
+impl Mapping {
+    /// The class map for a table, if any.
+    pub fn class_map(&self, table: &str) -> Option<&ClassMap> {
+        self.class_maps.iter().find(|m| m.table == table)
+    }
+
+    /// Validates the mapping against a database schema: tables and
+    /// columns exist, every `Ref`/relation/aggregate target has a class
+    /// map, templates reference real columns.
+    pub fn validate(&self, db: &Database) -> Result<(), D2rError> {
+        let check_column = |table: &str, column: &str| -> Result<(), D2rError> {
+            let t = db
+                .table(table)
+                .map_err(|_| D2rError::UnknownTable(table.to_string()))?;
+            if t.schema().column(column).is_none() {
+                return Err(D2rError::UnknownColumn {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                });
+            }
+            Ok(())
+        };
+        for map in &self.class_maps {
+            db.table(&map.table)
+                .map_err(|_| D2rError::UnknownTable(map.table.clone()))?;
+            for placeholder in template_placeholders(&map.uri_template) {
+                check_column(&map.table, &placeholder)?;
+            }
+            for bridge in &map.bridges {
+                match bridge {
+                    Bridge::Column { column, .. } | Bridge::Split { column, .. } => {
+                        check_column(&map.table, column)?;
+                    }
+                    Bridge::Ref {
+                        column,
+                        target_table,
+                        ..
+                    } => {
+                        check_column(&map.table, column)?;
+                        if self.class_map(target_table).is_none() {
+                            return Err(D2rError::UnmappedRefTarget {
+                                table: map.table.clone(),
+                                target: target_table.clone(),
+                            });
+                        }
+                    }
+                    Bridge::Geometry {
+                        lon_column,
+                        lat_column,
+                        ..
+                    } => {
+                        check_column(&map.table, lon_column)?;
+                        check_column(&map.table, lat_column)?;
+                    }
+                    Bridge::TemplateIri { template, .. } => {
+                        for placeholder in template_placeholders(template) {
+                            check_column(&map.table, &placeholder)?;
+                        }
+                    }
+                    Bridge::Constant { .. } => {}
+                }
+            }
+        }
+        for rel in &self.relation_maps {
+            check_column(&rel.table, &rel.subject_column)?;
+            check_column(&rel.table, &rel.object_column)?;
+            for target in [&rel.subject_table, &rel.object_table] {
+                if self.class_map(target).is_none() {
+                    return Err(D2rError::UnmappedRefTarget {
+                        table: rel.table.clone(),
+                        target: target.clone(),
+                    });
+                }
+            }
+        }
+        for agg in &self.aggregate_maps {
+            check_column(&agg.table, &agg.group_column)?;
+            check_column(&agg.table, &agg.value_column)?;
+            if self.class_map(&agg.master_table).is_none() {
+                return Err(D2rError::UnmappedRefTarget {
+                    table: agg.table.clone(),
+                    target: agg.master_table.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `{column}` placeholders of a template, in order.
+pub fn template_placeholders(template: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        let Some(end_rel) = rest[start..].find('}') else {
+            break;
+        };
+        out.push(rest[start + 1..start + end_rel].to_string());
+        rest = &rest[start + end_rel + 1..];
+    }
+    out
+}
+
+/// Instantiates a URI template from a row; `None` when any referenced
+/// cell is NULL.
+pub fn fill_template(
+    template: &str,
+    row: &[SqlValue],
+    column_index: impl Fn(&str) -> Option<usize>,
+) -> Result<Option<String>, D2rError> {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        let Some(end_rel) = rest[start..].find('}') else {
+            return Err(D2rError::Template {
+                template: template.to_string(),
+                message: "unterminated placeholder".into(),
+            });
+        };
+        let name = &rest[start + 1..start + end_rel];
+        let idx = column_index(name).ok_or_else(|| D2rError::Template {
+            template: template.to_string(),
+            message: format!("unknown column {name:?}"),
+        })?;
+        match &row[idx] {
+            SqlValue::Null => return Ok(None),
+            SqlValue::Int(v) => out.push_str(&v.to_string()),
+            SqlValue::Real(v) => out.push_str(&v.to_string()),
+            SqlValue::Bool(v) => out.push_str(&v.to_string()),
+            SqlValue::Text(v) => out.push_str(&encode_uri_component(v)),
+        }
+        rest = &rest[start + end_rel + 1..];
+    }
+    out.push_str(rest);
+    Ok(Some(out))
+}
+
+/// Percent-encodes characters that would break an IRI.
+pub fn encode_uri_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'A'..='Z' | 'a'..='z' | '0'..='9' | '-' | '_' | '.' | '~' | '/' => out.push(c),
+            ' ' => out.push_str("%20"),
+            _ => {
+                let mut buf = [0u8; 4];
+                for byte in c.encode_utf8(&mut buf).as_bytes() {
+                    out.push_str(&format!("%{byte:02X}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_rdf::ns;
+
+    #[test]
+    fn template_placeholder_extraction() {
+        assert_eq!(
+            template_placeholders("http://x/{pid}/y/{name}"),
+            vec!["pid", "name"]
+        );
+        assert!(template_placeholders("http://x/plain").is_empty());
+    }
+
+    #[test]
+    fn fill_template_with_encoding_and_null() {
+        let row = vec![SqlValue::Int(7), SqlValue::text("a b/c"), SqlValue::Null];
+        let idx = |name: &str| match name {
+            "id" => Some(0),
+            "path" => Some(1),
+            "missing" => Some(2),
+            _ => None,
+        };
+        assert_eq!(
+            fill_template("http://x/{id}/{path}", &row, idx).unwrap(),
+            Some("http://x/7/a%20b/c".to_string())
+        );
+        assert_eq!(fill_template("http://x/{missing}", &row, idx).unwrap(), None);
+        assert!(fill_template("http://x/{nope}", &row, idx).is_err());
+        assert!(fill_template("http://x/{broken", &row, idx).is_err());
+    }
+
+    #[test]
+    fn encode_uri_component_covers_unicode() {
+        assert_eq!(encode_uri_component("caffè"), "caff%C3%A8");
+        assert_eq!(encode_uri_component("a b"), "a%20b");
+        assert_eq!(encode_uri_component("x/y-z_1.jpg"), "x/y-z_1.jpg");
+    }
+
+    #[test]
+    fn validate_catches_dangling_pieces() {
+        use lodify_relational::{coppermine, Database};
+        let mut db = Database::new();
+        coppermine::create_schema(&mut db).unwrap();
+
+        let bad_table = Mapping {
+            class_maps: vec![ClassMap {
+                table: "ghost".into(),
+                uri_template: "http://x/{id}".into(),
+                class: None,
+                bridges: vec![],
+            }],
+            ..Default::default()
+        };
+        assert!(matches!(bad_table.validate(&db), Err(D2rError::UnknownTable(_))));
+
+        let bad_column = Mapping {
+            class_maps: vec![ClassMap {
+                table: coppermine::USERS.into(),
+                uri_template: "http://x/{user_id}".into(),
+                class: None,
+                bridges: vec![Bridge::Column {
+                    column: "ghost".into(),
+                    predicate: ns::iri::rdfs_label(),
+                    lang: None,
+                }],
+            }],
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_column.validate(&db),
+            Err(D2rError::UnknownColumn { .. })
+        ));
+
+        let bad_ref = Mapping {
+            class_maps: vec![ClassMap {
+                table: coppermine::PICTURES.into(),
+                uri_template: "http://x/{pid}".into(),
+                class: None,
+                bridges: vec![Bridge::Ref {
+                    column: "owner_id".into(),
+                    predicate: ns::iri::foaf_maker(),
+                    target_table: coppermine::USERS.into(),
+                }],
+            }],
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_ref.validate(&db),
+            Err(D2rError::UnmappedRefTarget { .. })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! The semantic brokering component.
+//!
+//! "The next step involves a semantic brokering component. This
+//! component is assisted by a set of resolvers … For term-based
+//! analysis, each word of the previously-computed list is individually
+//! processed to identify a list of candidate LOD resources … we also
+//! rely on full-text based resolvers such as Evri and Zemanta to
+//! derive additional candidates." (§2.2.2)
+
+use lodify_store::Store;
+
+use crate::resolvers::{
+    Candidate, DbpediaResolver, EvriResolver, GeonamesResolver, Resolver, ResolverError,
+    SindiceResolver, ZemantaResolver,
+};
+
+/// Candidates gathered for one term.
+#[derive(Debug, Clone)]
+pub struct TermCandidates {
+    /// The (multi)word as extracted by text analysis.
+    pub term: String,
+    /// All candidates from every resolver (deduplication happens in
+    /// the semantic filter).
+    pub candidates: Vec<Candidate>,
+}
+
+/// Broker output for one content item.
+#[derive(Debug, Clone)]
+pub struct BrokerOutput {
+    /// Per-term candidate lists, in term order.
+    pub terms: Vec<TermCandidates>,
+    /// Resolver failures encountered (the broker never fails whole).
+    pub failures: Vec<ResolverError>,
+}
+
+/// Fans terms out to a resolver set and collects candidates.
+pub struct SemanticBroker {
+    resolvers: Vec<Box<dyn Resolver>>,
+}
+
+impl SemanticBroker {
+    /// The paper's resolver set: DBpedia, Geonames, Sindice (term),
+    /// Evri, Zemanta (full-text).
+    pub fn standard() -> SemanticBroker {
+        SemanticBroker {
+            resolvers: vec![
+                Box::new(DbpediaResolver),
+                Box::new(GeonamesResolver),
+                Box::new(SindiceResolver),
+                Box::new(EvriResolver),
+                Box::new(ZemantaResolver),
+            ],
+        }
+    }
+
+    /// A broker over a custom resolver set (ablations, fault injection).
+    pub fn new(resolvers: Vec<Box<dyn Resolver>>) -> SemanticBroker {
+        SemanticBroker { resolvers }
+    }
+
+    /// Resolver names, in order.
+    pub fn resolver_names(&self) -> Vec<&'static str> {
+        self.resolvers.iter().map(|r| r.name()).collect()
+    }
+
+    /// Resolves each term individually, then runs full-text resolution
+    /// over the whole title and attaches those extra candidates to the
+    /// term whose text matches the candidate's label (context-assisted
+    /// NER, §2.2.2).
+    pub fn resolve(
+        &self,
+        store: &Store,
+        terms: &[String],
+        title: &str,
+        lang: Option<&str>,
+    ) -> BrokerOutput {
+        let mut failures = Vec::new();
+        let mut out: Vec<TermCandidates> = terms
+            .iter()
+            .map(|term| {
+                let mut candidates = Vec::new();
+                for resolver in &self.resolvers {
+                    match resolver.resolve_term(store, term, lang) {
+                        Ok(mut hits) => candidates.append(&mut hits),
+                        Err(e) => failures.push(e),
+                    }
+                }
+                TermCandidates {
+                    term: term.clone(),
+                    candidates,
+                }
+            })
+            .collect();
+
+        if !title.is_empty() {
+            for resolver in &self.resolvers {
+                match resolver.resolve_fulltext(store, title, lang) {
+                    Ok(hits) => {
+                        for candidate in hits {
+                            if let Some(slot) = out.iter_mut().find(|tc| {
+                                tc.term.to_lowercase() == candidate.label.to_lowercase()
+                            }) {
+                                if !slot.candidates.contains(&candidate) {
+                                    slot.candidates.push(candidate);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+        }
+        BrokerOutput {
+            terms: out,
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::load_lod;
+    use crate::resolvers::FlakyResolver;
+    use lodify_context::gazetteer::Gazetteer;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        load_lod(&mut s, Gazetteer::global());
+        s
+    }
+
+    #[test]
+    fn standard_broker_gathers_candidates_per_term() {
+        let s = store();
+        let broker = SemanticBroker::standard();
+        let output = broker.resolve(
+            &s,
+            &["Mole Antonelliana".into(), "torino".into()],
+            "Tramonto alla Mole Antonelliana",
+            Some("it"),
+        );
+        assert!(output.failures.is_empty());
+        assert_eq!(output.terms.len(), 2);
+        assert!(!output.terms[0].candidates.is_empty(), "monument candidates");
+        assert!(!output.terms[1].candidates.is_empty(), "city candidates");
+        // City term collects both Geonames and DBpedia candidates.
+        let graphs: std::collections::HashSet<_> = output.terms[1]
+            .candidates
+            .iter()
+            .map(|c| c.graph)
+            .collect();
+        assert!(graphs.contains(&crate::resolvers::SourceGraph::Geonames));
+        assert!(graphs.contains(&crate::resolvers::SourceGraph::DBpedia));
+    }
+
+    #[test]
+    fn fulltext_candidates_attach_to_matching_terms() {
+        let s = store();
+        let broker = SemanticBroker::standard();
+        let output = broker.resolve(
+            &s,
+            &["Mole Antonelliana".into()],
+            "Tramonto alla Mole Antonelliana",
+            Some("it"),
+        );
+        assert!(
+            output.terms[0]
+                .candidates
+                .iter()
+                .any(|c| c.resolver == "evri"),
+            "evri fulltext candidate attached"
+        );
+    }
+
+    #[test]
+    fn broker_survives_resolver_outages() {
+        let s = store();
+        let broker = SemanticBroker::new(vec![
+            Box::new(FlakyResolver::new(DbpediaResolver, 1)), // always fails
+            Box::new(GeonamesResolver),
+        ]);
+        let output = broker.resolve(&s, &["Torino".into()], "", Some("it"));
+        assert_eq!(output.failures.len(), 1);
+        assert!(!output.terms[0].candidates.is_empty(), "geonames still answered");
+    }
+
+    #[test]
+    fn empty_terms_produce_empty_output() {
+        let s = store();
+        let broker = SemanticBroker::standard();
+        let output = broker.resolve(&s, &[], "", None);
+        assert!(output.terms.is_empty());
+        assert!(output.failures.is_empty());
+    }
+}

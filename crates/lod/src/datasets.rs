@@ -1,0 +1,468 @@
+//! Synthetic LOD snapshots.
+//!
+//! Generated from the shared entity catalog so labels, coordinates and
+//! identifiers line up with the UGC workload — the property the paper
+//! gets for free from the real datasets. The graphs deliberately
+//! include the *hard* structure the annotation pipeline must handle:
+//!
+//! * homonym resources (a `Mole` animal and a `Mole` unit next to the
+//!   Mole Antonelliana; a `Colosseum` band next to the monument; a
+//!   mythological `Paris` next to the city);
+//! * redirect pages (`Coliseum` → `Colosseum`, `Torino` → `Turin`)
+//!   that the DBpedia resolver must follow ("The query also follows
+//!   resource redirections to avoid returning 'disambiguation' pages");
+//! * disambiguation pages carrying `dbpo:wikiPageDisambiguates` that
+//!   validation must discard.
+
+use lodify_context::gazetteer::{Gazetteer, PoiCategory};
+use lodify_rdf::{ns, Iri, Literal, Term, Triple};
+
+/// Graph name for the DBpedia snapshot.
+pub const GRAPH_DBPEDIA: &str = "urn:lodify:graph:dbpedia";
+/// Graph name for the Geonames snapshot.
+pub const GRAPH_GEONAMES: &str = "urn:lodify:graph:geonames";
+/// Graph name for the LinkedGeoData snapshot.
+pub const GRAPH_LGD: &str = "urn:lodify:graph:linkedgeodata";
+/// Graph name for the platform's own UGC triples.
+pub const GRAPH_UGC: &str = "urn:lodify:graph:ugc";
+
+/// Pseudo-popularity predicate carrying the resolver's "native
+/// scoring" signal (DBpedia lookup's refCount analog).
+pub fn ref_count_pred() -> Iri {
+    ns::DBPPROP.iri("refCount")
+}
+
+/// DBpedia resource IRI for a catalog key/slug.
+pub fn dbp(key: &str) -> Iri {
+    ns::DBP.iri(&key.replace(' ', "_"))
+}
+
+/// Geonames resource IRI for a numeric id.
+pub fn gnr(id: u64) -> Iri {
+    ns::GNR.iri(&format!("{id}/"))
+}
+
+/// LinkedGeoData node IRI for a catalog key.
+pub fn lgd(key: &str) -> Iri {
+    ns::LGD.iri(&format!("node{}", lodify_context::gazetteer::stable_hash(key) % 100_000_000))
+}
+
+fn label(iri: &Iri, text: &str, lang: &str) -> Triple {
+    Triple::new_unchecked(
+        Term::Iri(iri.clone()),
+        ns::iri::rdfs_label(),
+        Term::Literal(Literal::lang(text, lang).expect("catalog langs are valid")),
+    )
+}
+
+fn typed(iri: &Iri, class: Iri) -> Triple {
+    Triple::new_unchecked(Term::Iri(iri.clone()), ns::iri::rdf_type(), Term::Iri(class))
+}
+
+fn geometry(iri: &Iri, point: lodify_rdf::Point) -> Triple {
+    Triple::new_unchecked(
+        Term::Iri(iri.clone()),
+        ns::iri::geo_geometry(),
+        Term::Literal(point.to_literal()),
+    )
+}
+
+fn int_prop(iri: &Iri, pred: Iri, value: i64) -> Triple {
+    Triple::new_unchecked(
+        Term::Iri(iri.clone()),
+        pred,
+        Term::Literal(Literal::integer(value)),
+    )
+}
+
+/// A synthetic homonym: a resource sharing a label with a catalog
+/// entity but denoting something else entirely.
+struct Homonym {
+    key: &'static str,
+    label: &'static str,
+    class: &'static str,
+    abstract_en: &'static str,
+    /// refCount: homonyms are (mostly) less popular than the entity.
+    ref_count: i64,
+    /// Key of the catalog entity it collides with (for the
+    /// disambiguation page).
+    collides_with: &'static str,
+}
+
+const HOMONYMS: &[Homonym] = &[
+    Homonym { key: "Mole_(animal)", label: "Mole", class: "Animal", abstract_en: "Moles are small burrowing mammals.", ref_count: 40, collides_with: "Mole_Antonelliana" },
+    Homonym { key: "Mole_(unit)", label: "Mole", class: "Unit", abstract_en: "The mole is the SI unit of amount of substance.", ref_count: 35, collides_with: "Mole_Antonelliana" },
+    Homonym { key: "Colosseum_(band)", label: "Colosseum", class: "Band", abstract_en: "Colosseum are an English progressive rock band.", ref_count: 25, collides_with: "Colosseum" },
+    Homonym { key: "Paris_(mythology)", label: "Paris", class: "Person", abstract_en: "Paris is a figure of Greek mythology.", ref_count: 30, collides_with: "Paris" },
+    Homonym { key: "Pantheon_(religion)", label: "Pantheon", class: "Concept", abstract_en: "A pantheon is the set of gods of a religion.", ref_count: 28, collides_with: "Pantheon_Rome" },
+    Homonym { key: "Galleria_(film)", label: "Galleria", class: "Film", abstract_en: "Galleria is a short film.", ref_count: 10, collides_with: "Galleria_Vittorio_Emanuele_II" },
+];
+
+/// Builds the DBpedia snapshot.
+pub fn dbpedia_graph(gaz: &Gazetteer) -> Vec<Triple> {
+    let mut triples = Vec::new();
+    let place = ns::DBPO.iri("Place");
+
+    for city in gaz.cities() {
+        let iri = dbp(city.key);
+        triples.push(typed(&iri, place.clone()));
+        triples.push(typed(&iri, ns::DBPO.iri("PopulatedPlace")));
+        for (lang, text) in city.labels {
+            triples.push(label(&iri, text, lang));
+            triples.push(Triple::new_unchecked(
+                Term::Iri(iri.clone()),
+                ns::iri::dbpo_abstract(),
+                Term::Literal(
+                    Literal::lang(synthetic_abstract(text, city.country, lang), *lang)
+                        .expect("valid lang"),
+                ),
+            ));
+        }
+        triples.push(geometry(&iri, city.point()));
+        triples.push(int_prop(
+            &iri,
+            ref_count_pred(),
+            (city.population / 10_000) as i64,
+        ));
+    }
+
+    for poi in gaz.pois() {
+        if poi.category.is_commercial() {
+            continue; // commercial places live in LinkedGeoData only
+        }
+        let iri = dbp(poi.key);
+        triples.push(typed(&iri, place.clone()));
+        triples.push(typed(&iri, ns::DBPO.iri(dbpedia_class(poi.category))));
+        triples.push(label(&iri, poi.name, "en"));
+        triples.push(label(&iri, poi.name, "it"));
+        let city = gaz.city(poi.city_key).expect("catalog consistent");
+        for lang in ["en", "it"] {
+            triples.push(Triple::new_unchecked(
+                Term::Iri(iri.clone()),
+                ns::iri::dbpo_abstract(),
+                Term::Literal(
+                    Literal::lang(
+                        synthetic_abstract(poi.name, city.label(lang), lang),
+                        lang,
+                    )
+                    .expect("valid lang"),
+                ),
+            ));
+        }
+        triples.push(geometry(&iri, poi.point(gaz)));
+        triples.push(int_prop(&iri, ref_count_pred(), 60));
+
+        // Alternate names become redirect resources.
+        for alt in poi.alt_names {
+            let alt_iri = dbp(&format!("{}_(redirect_{})", alt, poi.key));
+            triples.push(label(&alt_iri, alt, "en"));
+            triples.push(Triple::new_unchecked(
+                Term::Iri(alt_iri),
+                ns::iri::dbpo_redirects(),
+                Term::Iri(iri.clone()),
+            ));
+        }
+    }
+
+    for person in gaz.people() {
+        let iri = dbp(&person.name.replace(' ', "_"));
+        triples.push(typed(&iri, ns::DBPO.iri("Person")));
+        triples.push(label(&iri, person.name, "en"));
+        triples.push(Triple::new_unchecked(
+            Term::Iri(iri.clone()),
+            ns::iri::dbpo_abstract(),
+            Term::Literal(
+                Literal::lang(
+                    format!("{} was a famous {}.", person.name, person.field),
+                    "en",
+                )
+                .expect("valid lang"),
+            ),
+        ));
+        triples.push(int_prop(&iri, ref_count_pred(), 50));
+    }
+
+    // Homonyms + disambiguation pages.
+    for h in HOMONYMS {
+        let iri = dbp(h.key);
+        triples.push(typed(&iri, ns::DBPO.iri(h.class)));
+        triples.push(label(&iri, h.label, "en"));
+        triples.push(Triple::new_unchecked(
+            Term::Iri(iri.clone()),
+            ns::iri::dbpo_abstract(),
+            Term::Literal(Literal::lang(h.abstract_en, "en").expect("valid lang")),
+        ));
+        triples.push(int_prop(&iri, ref_count_pred(), h.ref_count));
+
+        let disamb = dbp(&format!("{}_(disambiguation)", h.label));
+        triples.push(label(&disamb, h.label, "en"));
+        for target in [&iri, &dbp(h.collides_with)] {
+            triples.push(Triple::new_unchecked(
+                Term::Iri(disamb.clone()),
+                ns::iri::dbpo_disambiguates(),
+                Term::Iri(target.clone()),
+            ));
+        }
+    }
+
+    // City-name redirects ("Torino" → "Turin") for non-English labels
+    // that differ from the key.
+    for city in gaz.cities() {
+        let iri = dbp(city.key);
+        for (lang, text) in city.labels {
+            if *lang != "en" && *text != city.label("en") {
+                let alt_iri = dbp(&format!("{}_(redirect_{})", text, city.key));
+                triples.push(label(&alt_iri, text, lang));
+                triples.push(Triple::new_unchecked(
+                    Term::Iri(alt_iri),
+                    ns::iri::dbpo_redirects(),
+                    Term::Iri(iri.clone()),
+                ));
+            }
+        }
+    }
+    triples
+}
+
+fn dbpedia_class(category: PoiCategory) -> &'static str {
+    match category {
+        PoiCategory::Monument => "Monument",
+        PoiCategory::Museum => "Museum",
+        PoiCategory::Church => "Church",
+        PoiCategory::Square => "Square",
+        PoiCategory::Park => "Park",
+        PoiCategory::Tourism => "TouristAttraction",
+        PoiCategory::Restaurant | PoiCategory::Hotel | PoiCategory::Cafe => "Building",
+    }
+}
+
+fn synthetic_abstract(name: &str, place: &str, lang: &str) -> String {
+    match lang {
+        "it" => format!("{name} è un luogo notevole situato in {place}."),
+        "fr" => format!("{name} est un lieu remarquable situé en {place}."),
+        "es" => format!("{name} es un lugar notable situado en {place}."),
+        "de" => format!("{name} ist ein bemerkenswerter Ort in {place}."),
+        _ => format!("{name} is a notable place located in {place}."),
+    }
+}
+
+/// Builds the Geonames snapshot (cities only — Geonames is "very
+/// exhaustive on locations … where very little overlap exists with
+/// other types of resources", §2.2.2).
+pub fn geonames_graph(gaz: &Gazetteer) -> Vec<Triple> {
+    let mut triples = Vec::new();
+    for city in gaz.cities() {
+        let iri = gnr(city.geonames_id());
+        triples.push(typed(&iri, ns::GN.iri("Feature")));
+        triples.push(Triple::new_unchecked(
+            Term::Iri(iri.clone()),
+            ns::GN.iri("name"),
+            Term::Literal(Literal::simple(city.label("en"))),
+        ));
+        for (lang, text) in city.labels {
+            triples.push(Triple::new_unchecked(
+                Term::Iri(iri.clone()),
+                ns::GN.iri("alternateName"),
+                Term::Literal(Literal::lang(*text, *lang).expect("valid lang")),
+            ));
+            // rdfs:label too, so generic SPARQL works across graphs.
+            triples.push(label(&iri, text, lang));
+        }
+        triples.push(Triple::new_unchecked(
+            Term::Iri(iri.clone()),
+            ns::GN.iri("featureCode"),
+            Term::Iri(ns::GN.iri("P.PPL")),
+        ));
+        triples.push(geometry(&iri, city.point()));
+        triples.push(int_prop(
+            &iri,
+            ns::GN.iri("population"),
+            city.population as i64,
+        ));
+    }
+    triples
+}
+
+/// Builds the LinkedGeoData snapshot: every POI (commercial included),
+/// plus city nodes typed `lgdo:City` — the classes the paper's mashup
+/// query filters on (`lgdo:City`, `lgdo:Restaurant`, `lgdo:Tourism`).
+pub fn linkedgeodata_graph(gaz: &Gazetteer) -> Vec<Triple> {
+    let mut triples = Vec::new();
+    for city in gaz.cities() {
+        let iri = lgd(city.key);
+        triples.push(typed(&iri, ns::LGDO.iri("City")));
+        for (lang, text) in city.labels {
+            triples.push(label(&iri, text, lang));
+        }
+        triples.push(geometry(&iri, city.point()));
+    }
+    for poi in gaz.pois() {
+        let iri = lgd(poi.key);
+        let class = match poi.category {
+            PoiCategory::Restaurant => "Restaurant",
+            PoiCategory::Hotel => "Hotel",
+            PoiCategory::Cafe => "Cafe",
+            _ => "Tourism",
+        };
+        triples.push(typed(&iri, ns::LGDO.iri(class)));
+        triples.push(label(&iri, poi.name, "en"));
+        triples.push(geometry(&iri, poi.point(gaz)));
+        if matches!(poi.category, PoiCategory::Restaurant | PoiCategory::Hotel) {
+            triples.push(Triple::new_unchecked(
+                Term::Iri(iri.clone()),
+                ns::LGDP.iri("website"),
+                Term::Literal(Literal::simple(format!(
+                    "http://{}.example.com",
+                    poi.key.to_lowercase()
+                ))),
+            ));
+        }
+    }
+    triples
+}
+
+/// Loads all three snapshots into a store under their named graphs;
+/// returns `(dbpedia, geonames, lgd)` triple counts.
+pub fn load_lod(store: &mut lodify_store::Store, gaz: &Gazetteer) -> (usize, usize, usize) {
+    let g_dbp = store.graph(GRAPH_DBPEDIA);
+    let g_gn = store.graph(GRAPH_GEONAMES);
+    let g_lgd = store.graph(GRAPH_LGD);
+    let d = store.insert_all(&dbpedia_graph(gaz), g_dbp);
+    let g = store.insert_all(&geonames_graph(gaz), g_gn);
+    let l = store.insert_all(&linkedgeodata_graph(gaz), g_lgd);
+    (d, g, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_store::Store;
+
+    fn loaded() -> Store {
+        let mut store = Store::new();
+        load_lod(&mut store, Gazetteer::global());
+        store
+    }
+
+    #[test]
+    fn graphs_load_and_are_nonempty() {
+        let mut store = Store::new();
+        let (d, g, l) = load_lod(&mut store, Gazetteer::global());
+        assert!(d > 300, "dbpedia: {d}");
+        assert!(g > 150, "geonames: {g}");
+        assert!(l > 100, "lgd: {l}");
+        assert_eq!(store.len(), d + g + l);
+    }
+
+    #[test]
+    fn provenance_tracks_source_graphs() {
+        let store = loaded();
+        assert_eq!(
+            store.graph_of_term(&Term::Iri(dbp("Turin"))),
+            Some(GRAPH_DBPEDIA)
+        );
+        let turin_gn = Gazetteer::global().city("Turin").unwrap().geonames_id();
+        assert_eq!(
+            store.graph_of_term(&Term::Iri(gnr(turin_gn))),
+            Some(GRAPH_GEONAMES)
+        );
+        assert_eq!(
+            store.graph_of_term(&Term::Iri(lgd("Ristorante_Del_Cambio"))),
+            Some(GRAPH_LGD)
+        );
+    }
+
+    #[test]
+    fn mole_antonelliana_query_from_paper_works() {
+        let store = loaded();
+        let results = lodify_sparql::execute(
+            &store,
+            r#"SELECT ?m WHERE { ?m rdfs:label "Mole Antonelliana"@it . }"#,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results.column("m")[0].lexical(),
+            "http://dbpedia.org/resource/Mole_Antonelliana"
+        );
+    }
+
+    #[test]
+    fn homonyms_share_labels() {
+        let store = loaded();
+        let results = lodify_sparql::execute(
+            &store,
+            r#"SELECT DISTINCT ?r WHERE { ?r rdfs:label "Mole"@en . }"#,
+        )
+        .unwrap();
+        // Mole the animal + Mole the unit + the Mole_Antonelliana alt
+        // redirect + the disambiguation page.
+        assert!(results.len() >= 3, "{}", results.len());
+    }
+
+    #[test]
+    fn redirects_point_to_canonical() {
+        let store = loaded();
+        let results = lodify_sparql::execute(
+            &store,
+            "SELECT ?from ?to WHERE { ?from dbpo:wikiPageRedirects ?to . }",
+        )
+        .unwrap();
+        assert!(!results.is_empty());
+        let tos: Vec<&str> = results.column("to").iter().map(|t| t.lexical()).collect();
+        assert!(tos.contains(&"http://dbpedia.org/resource/Colosseum"));
+        assert!(tos.contains(&"http://dbpedia.org/resource/Turin"));
+    }
+
+    #[test]
+    fn disambiguation_pages_exist_and_point_both_ways() {
+        let store = loaded();
+        let results = lodify_sparql::execute(
+            &store,
+            r#"SELECT ?t WHERE { <http://dbpedia.org/resource/Mole_(disambiguation)> dbpo:wikiPageDisambiguates ?t . }"#,
+        )
+        .unwrap();
+        // Both Mole homonyms plus the monument itself.
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn lgd_city_labels_join_with_dbpedia_labels() {
+        // The mashup query's first arm joins lgd city labels with
+        // DBpedia labels via a shared ?lbl.
+        let store = loaded();
+        let results = lodify_sparql::execute(
+            &store,
+            r#"SELECT DISTINCT ?desc WHERE {
+                 ?city a lgdo:City .
+                 ?city rdfs:label ?lbl .
+                 ?others rdfs:label ?lbl .
+                 ?others dbpo:abstract ?desc .
+                 FILTER langMatches(lang(?desc), 'it') .
+               } LIMIT 5"#,
+        )
+        .unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn commercial_pois_only_in_lgd() {
+        let store = loaded();
+        let in_dbp = lodify_sparql::execute(
+            &store,
+            r#"SELECT ?r WHERE { ?r rdfs:label "Del Cambio"@en . }"#,
+        )
+        .unwrap();
+        for row in in_dbp.iter() {
+            let iri = row.cells()[0].as_ref().unwrap().lexical();
+            assert!(!iri.starts_with("http://dbpedia.org/"), "{iri}");
+        }
+        let restaurants = lodify_sparql::execute(
+            &store,
+            "SELECT ?r ?w WHERE { ?r a lgdo:Restaurant . OPTIONAL { ?r <http://linkedgeodata.org/property/website> ?w } }",
+        )
+        .unwrap();
+        assert!(restaurants.len() >= 3);
+        assert!(restaurants.iter().all(|row| row.get("w").is_some()));
+    }
+}

@@ -1,0 +1,43 @@
+//! Linked Open Data substrate.
+//!
+//! The paper fuses the platform's RDF with "external data coming from
+//! the principal data providers (DBpedia, Geonames and Linkedgeodata)"
+//! (§2.1) and resolves terms to LOD resources through "a set of
+//! predefined services, such as DBpedia and Sindice, further extended
+//! to Evri … we also rely on full-text based resolvers such as Evri
+//! and Zemanta" (§2.2.2). This crate rebuilds that stack, offline and
+//! deterministic:
+//!
+//! * [`datasets`] — synthetic DBpedia / Geonames / LinkedGeoData
+//!   snapshots generated from the shared entity catalog, including the
+//!   ambiguity structure the filter has to survive: homonym resources
+//!   ("Mole" the monument vs the animal vs the unit), redirect pages
+//!   ("Coliseum" → "Colosseum") and disambiguation pages;
+//! * [`resolvers`] — term and full-text resolvers with the same
+//!   behavioural contract as the paper's services (DBpedia-over-SPARQL
+//!   with redirect following and disambiguation checks, Geonames,
+//!   Sindice across all graphs, Evri/Zemanta full-text), plus
+//!   fault-injection wrappers;
+//! * [`broker`] — the semantic brokering component that fans a term
+//!   list out to every resolver and collects candidates, surviving
+//!   individual resolver failures;
+//! * [`filter`] — the semantic filtering/disambiguation step: graph
+//!   priority (Geonames > DBpedia > Evri, everything else discarded),
+//!   per-ontology validation, the Jaro–Winkler ≥ 0.8 rule, and the
+//!   single-candidate auto-annotation rule;
+//! * [`annotator`] — the full Figure-1 pipeline: location analysis,
+//!   POI analysis (with the commercial-category exclusion), text
+//!   analysis, brokering and filtering.
+
+#![warn(missing_docs)]
+
+pub mod annotator;
+pub mod broker;
+pub mod datasets;
+pub mod filter;
+pub mod resolvers;
+
+pub use annotator::{AnnotationResult, Annotator, TermAnnotation};
+pub use broker::SemanticBroker;
+pub use filter::{FilterConfig, SemanticFilter};
+pub use resolvers::{Candidate, Resolver, ResolverError, SourceGraph};

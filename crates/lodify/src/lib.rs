@@ -1,0 +1,38 @@
+//! Umbrella crate for the LODify reproduction.
+//!
+//! Re-exports every workspace crate under one dependency:
+//!
+//! ```
+//! use lodify::core::platform::{Platform, Upload};
+//! use lodify::relational::WorkloadConfig;
+//!
+//! let platform = Platform::bootstrap(WorkloadConfig::small(42)).unwrap();
+//! assert!(platform.store().len() > 0);
+//! ```
+//!
+//! The individual layers remain available for fine-grained use:
+//!
+//! * [`rdf`] — RDF model and serialization;
+//! * [`store`] — the triple store (Virtuoso stand-in);
+//! * [`sparql`] — the SPARQL subset engine;
+//! * [`relational`] — relational engine + Coppermine workload;
+//! * [`tripletags`] — the machine-tag baseline;
+//! * [`d2r`] — relational→RDF mapping and dump-rdf;
+//! * [`text`] — language detection + morphology + string distances;
+//! * [`context`] — the context-management platform simulation;
+//! * [`lod`] — synthetic LOD, resolvers, broker, filter, annotator;
+//! * [`core`] — the platform, virtual albums, search, mashups,
+//!   batch jobs and federation.
+
+#![warn(missing_docs)]
+
+pub use lodify_context as context;
+pub use lodify_core as core;
+pub use lodify_d2r as d2r;
+pub use lodify_lod as lod;
+pub use lodify_rdf as rdf;
+pub use lodify_relational as relational;
+pub use lodify_sparql as sparql;
+pub use lodify_store as store;
+pub use lodify_text as text;
+pub use lodify_tripletags as tripletags;

@@ -1,0 +1,65 @@
+//! Error type shared by the RDF parsers.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// An IRI failed basic well-formedness checks (empty, embedded
+    /// whitespace or angle brackets).
+    InvalidIri(String),
+    /// A language tag failed BCP-47-lite validation.
+    InvalidLanguageTag(String),
+    /// A blank-node label contained characters outside `[A-Za-z0-9_-]`.
+    InvalidBlankNode(String),
+    /// Syntax error while parsing a serialization format.
+    Syntax {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A WKT geometry literal could not be parsed.
+    InvalidGeometry(String),
+}
+
+impl RdfError {
+    /// Convenience constructor for [`RdfError::Syntax`].
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri:?}"),
+            RdfError::InvalidLanguageTag(tag) => write!(f, "invalid language tag: {tag:?}"),
+            RdfError::InvalidBlankNode(label) => write!(f, "invalid blank node label: {label:?}"),
+            RdfError::Syntax { line, message } => write!(f, "syntax error at line {line}: {message}"),
+            RdfError::InvalidGeometry(wkt) => write!(f, "invalid WKT geometry: {wkt:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            RdfError::InvalidIri("a b".into()).to_string(),
+            "invalid IRI: \"a b\""
+        );
+        assert_eq!(
+            RdfError::syntax(3, "unexpected '.'").to_string(),
+            "syntax error at line 3: unexpected '.'"
+        );
+    }
+}

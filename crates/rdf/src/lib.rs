@@ -1,0 +1,36 @@
+//! RDF data model for the LODify reproduction.
+//!
+//! This crate provides the vocabulary-level building blocks every other
+//! crate in the workspace is written against:
+//!
+//! * [`Term`], [`Iri`], [`BlankNode`], [`Literal`] — the RDF term model,
+//!   including language-tagged and datatyped literals;
+//! * [`Triple`] and [`Quad`] — statements, optionally tagged with a
+//!   named graph (the platform keeps its own UGC graph separate from the
+//!   imported DBpedia / Geonames / LinkedGeoData snapshots);
+//! * [`ns`] — the namespaces used throughout the paper (`rdfs:`,
+//!   `foaf:`, `sioct:`, `comm:`, `rev:`, `geo:`, `dbpo:`, `lgdo:`, …)
+//!   plus a [`PrefixMap`](ns::PrefixMap) for expansion/compaction;
+//! * [`ntriples`] and [`turtle`] — line-based N-Triples I/O and a
+//!   Turtle subset reader/writer;
+//! * [`wkt`] — `POINT(lon lat)` geometry literals and great-circle
+//!   distance, backing the `bif:st_intersects` filter function.
+//!
+//! The model is deliberately owned/value-based (interning happens one
+//! level up, in `lodify-store`), which keeps this crate dependency-free
+//! and trivially testable.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ns;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod wkt;
+
+pub use error::RdfError;
+pub use term::{BlankNode, Iri, Literal, Term};
+pub use triple::{Quad, Triple};
+pub use wkt::Point;

@@ -1,0 +1,301 @@
+//! Namespaces and prefix handling.
+//!
+//! Collects every vocabulary mentioned in the paper's queries and
+//! mapping examples, plus the synthetic-LOD namespaces used by the
+//! workspace's generators, and a [`PrefixMap`] that expands
+//! `prefix:local` names and compacts IRIs back for display.
+
+use std::collections::BTreeMap;
+
+use crate::term::Iri;
+
+/// A namespace: prefix name plus base IRI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Namespace {
+    /// The short prefix, e.g. `foaf`.
+    pub prefix: &'static str,
+    /// The namespace IRI, e.g. `http://xmlns.com/foaf/0.1/`.
+    pub base: &'static str,
+}
+
+impl Namespace {
+    /// Builds the full IRI `base + local`.
+    pub fn iri(&self, local: &str) -> Iri {
+        Iri::new_unchecked(format!("{}{}", self.base, local))
+    }
+}
+
+/// `rdf:` — RDF core.
+pub const RDF: Namespace = Namespace {
+    prefix: "rdf",
+    base: "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+};
+/// `rdfs:` — RDF Schema.
+pub const RDFS: Namespace = Namespace {
+    prefix: "rdfs",
+    base: "http://www.w3.org/2000/01/rdf-schema#",
+};
+/// `xsd:` — XML Schema datatypes.
+pub const XSD: Namespace = Namespace {
+    prefix: "xsd",
+    base: "http://www.w3.org/2001/XMLSchema#",
+};
+/// `foaf:` — Friend of a Friend (users, `foaf:knows`, `foaf:name`).
+pub const FOAF: Namespace = Namespace {
+    prefix: "foaf",
+    base: "http://xmlns.com/foaf/0.1/",
+};
+/// `sioc:` — Semantically-Interlinked Online Communities.
+pub const SIOC: Namespace = Namespace {
+    prefix: "sioc",
+    base: "http://rdfs.org/sioc/ns#",
+};
+/// `sioct:` — SIOC types (`sioct:MicroblogPost` marks UGC).
+pub const SIOCT: Namespace = Namespace {
+    prefix: "sioct",
+    base: "http://rdfs.org/sioc/types#",
+};
+/// `comm:` — COMM multimedia ontology (`comm:image-data`).
+pub const COMM: Namespace = Namespace {
+    prefix: "comm",
+    base: "http://comm.semanticweb.org/core.owl#",
+};
+/// `rev:` — RDF Review vocabulary (`rev:rating`).
+pub const REV: Namespace = Namespace {
+    prefix: "rev",
+    base: "http://purl.org/stuff/rev#",
+};
+/// `geo:` — W3C WGS84 vocabulary; we attach `geo:geometry` (Virtuoso
+/// style) plus `geo:lat`/`geo:long`.
+pub const GEO: Namespace = Namespace {
+    prefix: "geo",
+    base: "http://www.w3.org/2003/01/geo/wgs84_pos#",
+};
+/// `dbpo:` — DBpedia ontology.
+pub const DBPO: Namespace = Namespace {
+    prefix: "dbpo",
+    base: "http://dbpedia.org/ontology/",
+};
+/// `dbp:` — DBpedia resources.
+pub const DBP: Namespace = Namespace {
+    prefix: "dbp",
+    base: "http://dbpedia.org/resource/",
+};
+/// `dbpprop:` — DBpedia properties (`dbpprop:disambiguates` analog).
+pub const DBPPROP: Namespace = Namespace {
+    prefix: "dbpprop",
+    base: "http://dbpedia.org/property/",
+};
+/// `lgdo:` — LinkedGeoData ontology (`lgdo:City`, `lgdo:Restaurant`, `lgdo:Tourism`).
+pub const LGDO: Namespace = Namespace {
+    prefix: "lgdo",
+    base: "http://linkedgeodata.org/ontology/",
+};
+/// `lgd:` — LinkedGeoData resources.
+pub const LGD: Namespace = Namespace {
+    prefix: "lgd",
+    base: "http://linkedgeodata.org/triplify/",
+};
+/// `lgdp:` — LinkedGeoData properties (`lgdp:website`).
+pub const LGDP: Namespace = Namespace {
+    prefix: "lgdp",
+    base: "http://linkedgeodata.org/property/",
+};
+/// `gn:` — Geonames ontology.
+pub const GN: Namespace = Namespace {
+    prefix: "gn",
+    base: "http://www.geonames.org/ontology#",
+};
+/// `gnr:` — Geonames resources.
+pub const GNR: Namespace = Namespace {
+    prefix: "gnr",
+    base: "http://sws.geonames.org/",
+};
+/// `dcterms:` — Dublin Core terms (titles, dates, creators).
+pub const DCTERMS: Namespace = Namespace {
+    prefix: "dcterms",
+    base: "http://purl.org/dc/terms/",
+};
+/// `tl:` — the platform's own resources ("teamlife", per the paper's
+/// `tl-pid:` prefix for pictures).
+pub const TL: Namespace = Namespace {
+    prefix: "tl",
+    base: "http://beta.teamlife.it/",
+};
+/// `tl-pid:` — platform picture resources.
+pub const TL_PID: Namespace = Namespace {
+    prefix: "tl-pid",
+    base: "http://beta.teamlife.it/cpg148_pictures/",
+};
+/// `tl-uid:` — platform user resources.
+pub const TL_UID: Namespace = Namespace {
+    prefix: "tl-uid",
+    base: "http://beta.teamlife.it/cpg148_users/",
+};
+/// `evri:` — Evri entity resources (synthetic stand-in).
+pub const EVRI: Namespace = Namespace {
+    prefix: "evri",
+    base: "http://www.evri.com/entity/",
+};
+
+/// All built-in namespaces, for seeding a [`PrefixMap`].
+pub const ALL: &[Namespace] = &[
+    RDF, RDFS, XSD, FOAF, SIOC, SIOCT, COMM, REV, GEO, DBPO, DBP, DBPPROP, LGDO, LGD, LGDP, GN,
+    GNR, DCTERMS, TL, TL_PID, TL_UID, EVRI,
+];
+
+/// Well-known single IRIs.
+pub mod iri {
+    use crate::term::Iri;
+
+    /// `rdf:type`.
+    pub fn rdf_type() -> Iri {
+        super::RDF.iri("type")
+    }
+    /// `rdfs:label`.
+    pub fn rdfs_label() -> Iri {
+        super::RDFS.iri("label")
+    }
+    /// `geo:geometry` — carries a WKT point literal.
+    pub fn geo_geometry() -> Iri {
+        super::GEO.iri("geometry")
+    }
+    /// `sioct:MicroblogPost` — the class of user-generated content items.
+    pub fn microblog_post() -> Iri {
+        super::SIOCT.iri("MicroblogPost")
+    }
+    /// `comm:image-data` — links a content resource to its media URL.
+    pub fn image_data() -> Iri {
+        super::COMM.iri("image-data")
+    }
+    /// `foaf:maker`.
+    pub fn foaf_maker() -> Iri {
+        super::FOAF.iri("maker")
+    }
+    /// `foaf:knows`.
+    pub fn foaf_knows() -> Iri {
+        super::FOAF.iri("knows")
+    }
+    /// `foaf:name`.
+    pub fn foaf_name() -> Iri {
+        super::FOAF.iri("name")
+    }
+    /// `rev:rating`.
+    pub fn rev_rating() -> Iri {
+        super::REV.iri("rating")
+    }
+    /// `dbpo:abstract`.
+    pub fn dbpo_abstract() -> Iri {
+        super::DBPO.iri("abstract")
+    }
+    /// `dbpo:wikiPageRedirects` — redirect link between DBpedia resources.
+    pub fn dbpo_redirects() -> Iri {
+        super::DBPO.iri("wikiPageRedirects")
+    }
+    /// `dbpo:wikiPageDisambiguates` — marks disambiguation pages.
+    pub fn dbpo_disambiguates() -> Iri {
+        super::DBPO.iri("wikiPageDisambiguates")
+    }
+}
+
+/// A bidirectional prefix table.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixMap {
+    by_prefix: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map pre-loaded with every namespace in [`ALL`].
+    pub fn with_defaults() -> Self {
+        let mut map = Self::new();
+        for ns in ALL {
+            map.insert(ns.prefix, ns.base);
+        }
+        map
+    }
+
+    /// Registers (or replaces) a prefix.
+    pub fn insert(&mut self, prefix: impl Into<String>, base: impl Into<String>) {
+        self.by_prefix.insert(prefix.into(), base.into());
+    }
+
+    /// Looks up a prefix's base IRI.
+    pub fn base(&self, prefix: &str) -> Option<&str> {
+        self.by_prefix.get(prefix).map(String::as_str)
+    }
+
+    /// Expands `prefix:local` into a full IRI. Returns `None` when the
+    /// prefix is unknown.
+    pub fn expand(&self, qname: &str) -> Option<Iri> {
+        let (prefix, local) = qname.split_once(':')?;
+        let base = self.by_prefix.get(prefix)?;
+        Iri::new(format!("{base}{local}")).ok()
+    }
+
+    /// Compacts an IRI into `prefix:local` form when a registered
+    /// namespace is a prefix of it; longest base wins.
+    pub fn compact(&self, iri: &Iri) -> Option<String> {
+        let s = iri.as_str();
+        self.by_prefix
+            .iter()
+            .filter(|(_, base)| s.starts_with(base.as_str()))
+            .max_by_key(|(_, base)| base.len())
+            .map(|(prefix, base)| format!("{prefix}:{}", &s[base.len()..]))
+    }
+
+    /// Iterates `(prefix, base)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.by_prefix.iter().map(|(p, b)| (p.as_str(), b.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_builds_iris() {
+        assert_eq!(
+            FOAF.iri("knows").as_str(),
+            "http://xmlns.com/foaf/0.1/knows"
+        );
+        assert_eq!(iri::rdf_type().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    }
+
+    #[test]
+    fn expand_and_compact_round_trip() {
+        let map = PrefixMap::with_defaults();
+        let iri = map.expand("sioct:MicroblogPost").unwrap();
+        assert_eq!(iri.as_str(), "http://rdfs.org/sioc/types#MicroblogPost");
+        assert_eq!(map.compact(&iri).unwrap(), "sioct:MicroblogPost");
+    }
+
+    #[test]
+    fn compact_prefers_longest_base() {
+        // tl-pid: is nested under tl:
+        let map = PrefixMap::with_defaults();
+        let iri = Iri::new_unchecked("http://beta.teamlife.it/cpg148_pictures/42");
+        assert_eq!(map.compact(&iri).unwrap(), "tl-pid:42");
+    }
+
+    #[test]
+    fn expand_unknown_prefix_is_none() {
+        let map = PrefixMap::with_defaults();
+        assert!(map.expand("nope:x").is_none());
+        assert!(map.expand("no-colon").is_none());
+    }
+
+    #[test]
+    fn all_namespaces_have_distinct_prefixes() {
+        let mut prefixes: Vec<_> = ALL.iter().map(|n| n.prefix).collect();
+        prefixes.sort_unstable();
+        let before = prefixes.len();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), before);
+    }
+}

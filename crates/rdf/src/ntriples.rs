@@ -1,0 +1,284 @@
+//! N-Triples reader and writer.
+//!
+//! This is the interchange format the paper's pipeline relies on: the
+//! D2R `dump-rdf` step emits N-Triples which are then bulk-loaded into
+//! the triple store together with the LOD snapshots.
+
+use std::io::{self, Write};
+
+use crate::error::RdfError;
+use crate::term::{unescape_literal, BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Parses a full N-Triples document. Blank lines and `#` comment lines
+/// are skipped. Errors carry 1-based line numbers.
+pub fn parse_document(input: &str) -> Result<Vec<Triple>, RdfError> {
+    let mut triples = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        triples.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(triples)
+}
+
+/// Parses a single N-Triples statement (without trailing newline).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, RdfError> {
+    let mut cursor = Cursor::new(line, line_no);
+    cursor.skip_ws();
+    let subject = cursor.parse_subject()?;
+    cursor.skip_ws();
+    let predicate = cursor.parse_iri()?;
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    cursor.expect('.')?;
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(RdfError::syntax(line_no, "trailing content after '.'"));
+    }
+    Triple::new(subject, predicate, object).map_err(|msg| RdfError::syntax(line_no, msg))
+}
+
+/// Serializes triples as N-Triples into `out`, one statement per line.
+pub fn write_document<'a, W: Write>(
+    out: &mut W,
+    triples: impl IntoIterator<Item = &'a Triple>,
+) -> io::Result<()> {
+    for triple in triples {
+        writeln!(out, "{triple}")?;
+    }
+    Ok(())
+}
+
+/// Serializes triples to an in-memory N-Triples string.
+pub fn to_string<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut buf = Vec::new();
+    write_document(&mut buf, triples).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("N-Triples output is UTF-8")
+}
+
+/// Byte-oriented scanner over one statement line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    text: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line,
+            text,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), RdfError> {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(RdfError::syntax(
+                self.line,
+                format!("expected '{c}' at byte {} in {:?}", self.pos, self.text),
+            ))
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some(b'_') => Ok(Term::Blank(self.parse_blank()?)),
+            _ => Err(RdfError::syntax(self.line, "expected IRI or blank node subject")),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some(b'_') => Ok(Term::Blank(self.parse_blank()?)),
+            Some(b'"') => Ok(Term::Literal(self.parse_literal()?)),
+            _ => Err(RdfError::syntax(self.line, "expected IRI, blank node or literal")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri, RdfError> {
+        self.expect('<')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let iri = &self.text[start..self.pos];
+                self.pos += 1;
+                return Iri::new(iri);
+            }
+            self.pos += 1;
+        }
+        Err(RdfError::syntax(self.line, "unterminated IRI"))
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, RdfError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        BlankNode::new(&self.text[start..self.pos])
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, RdfError> {
+        self.expect('"')?;
+        let start = self.pos;
+        let mut escaped = false;
+        loop {
+            match self.peek() {
+                None => return Err(RdfError::syntax(self.line, "unterminated literal")),
+                Some(b'\\') if !escaped => {
+                    escaped = true;
+                    self.pos += 1;
+                }
+                Some(b'"') if !escaped => break,
+                Some(_) => {
+                    escaped = false;
+                    self.pos += 1;
+                }
+            }
+        }
+        let raw = &self.text[start..self.pos];
+        self.pos += 1; // closing quote
+        let value =
+            unescape_literal(raw).map_err(|message| RdfError::syntax(self.line, message))?;
+
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Literal::lang(value, &self.text[start..self.pos])
+            }
+            Some(b'^') => {
+                self.expect('^')?;
+                self.expect('^')?;
+                let dt = self.parse_iri()?;
+                Ok(Literal::typed(value, dt))
+            }
+            _ => Ok(Literal::simple(value)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::XSD_INTEGER;
+
+    #[test]
+    fn parses_iri_triple() {
+        let t = parse_line("<http://s> <http://p> <http://o> .", 1).unwrap();
+        assert_eq!(t.subject, Term::iri_unchecked("http://s"));
+        assert_eq!(t.predicate.as_str(), "http://p");
+        assert_eq!(t.object, Term::iri_unchecked("http://o"));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let t = parse_line("<http://s> <http://p> \"hello\" .", 1).unwrap();
+        assert_eq!(t.object, Term::literal("hello"));
+
+        let t = parse_line("<http://s> <http://p> \"ciao\"@it .", 1).unwrap();
+        assert_eq!(
+            t.object.as_literal().unwrap().language(),
+            Some("it")
+        );
+
+        let t = parse_line(
+            "<http://s> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+            1,
+        )
+        .unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.value(), "5");
+        assert_eq!(lit.datatype().unwrap().as_str(), XSD_INTEGER);
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let t = parse_line("_:b1 <http://p> _:b2 .", 1).unwrap();
+        assert!(t.subject.is_blank());
+        assert!(t.object.is_blank());
+    }
+
+    #[test]
+    fn parses_escapes_in_literal() {
+        let t = parse_line(r#"<http://s> <http://p> "a\"b\nc" ."#, 1).unwrap();
+        assert_eq!(t.object.as_literal().unwrap().value(), "a\"b\nc");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("<http://s> <http://p> .", 1).is_err());
+        assert!(parse_line("<http://s> <http://p> <http://o>", 1).is_err());
+        assert!(parse_line("\"lit\" <http://p> <http://o> .", 1).is_err());
+        assert!(parse_line("<http://s> <http://p> <http://o> . extra", 1).is_err());
+        assert!(parse_line("<http://s <http://p> <http://o> .", 1).is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let doc = "<http://s> <http://p> <http://o> .\nbroken line\n";
+        match parse_document(doc) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let doc = "# comment\n\n<http://s> <http://p> \"v\" .\n";
+        let triples = parse_document(doc).unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let doc = concat!(
+            "<http://s> <http://p> <http://o> .\n",
+            "<http://s> <http://q> \"multi\\nline \\\"quote\\\"\"@en-us .\n",
+            "_:b0 <http://r> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+        );
+        let triples = parse_document(doc).unwrap();
+        let out = to_string(&triples);
+        let reparsed = parse_document(&out).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+}

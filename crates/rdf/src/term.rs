@@ -1,0 +1,521 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Terms are owned values with cheap `Clone` (plain `String`s inside).
+//! Interning and id-based comparison live in `lodify-store`; this layer
+//! optimizes for clarity and for being a stable public vocabulary.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::error::RdfError;
+
+/// The `xsd:string` datatype IRI, the implicit datatype of plain literals.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// The `xsd:integer` datatype IRI.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// The `xsd:double` datatype IRI.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// The `xsd:boolean` datatype IRI.
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+/// The `xsd:dateTime` datatype IRI.
+pub const XSD_DATETIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+/// Datatype IRI we use for WKT point geometry literals (mirrors
+/// Virtuoso's `virtrdf:Geometry`).
+pub const GEO_WKT: &str = "http://www.openlinksw.com/schemas/virtrdf#Geometry";
+
+/// An IRI reference (absolute, in practice).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(String);
+
+impl Iri {
+    /// Creates an IRI after minimal well-formedness validation: it must
+    /// be non-empty and must not contain whitespace, `<`, `>` or `"`.
+    ///
+    /// Full RFC 3987 validation is out of scope; these checks are what
+    /// the serializers need to guarantee round-tripping.
+    pub fn new(iri: impl Into<String>) -> Result<Self, RdfError> {
+        let iri = iri.into();
+        if iri.is_empty()
+            || iri
+                .chars()
+                .any(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '\\'))
+        {
+            return Err(RdfError::InvalidIri(iri));
+        }
+        Ok(Iri(iri))
+    }
+
+    /// Creates an IRI without validation. Intended for compile-time
+    /// known vocabulary constants; panics in debug builds on invalid
+    /// input so mistakes surface in tests.
+    pub fn new_unchecked(iri: impl Into<String>) -> Self {
+        let iri = iri.into();
+        debug_assert!(
+            !iri.is_empty() && !iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '>'),
+            "invalid IRI literal: {iri:?}"
+        );
+        Iri(iri)
+    }
+
+    /// The IRI text, without angle brackets.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Consumes the IRI and returns the underlying string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+
+    /// Returns the part after the last `#`, `/` or `:`, i.e. the "local
+    /// name" heuristic used when rendering compact labels.
+    pub fn local_name(&self) -> &str {
+        let s = self.0.as_str();
+        match s.rfind(['#', '/', ':']) {
+            Some(idx) => &s[idx + 1..],
+            None => s,
+        }
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl AsRef<str> for Iri {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A blank node with a local label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(String);
+
+impl BlankNode {
+    /// Creates a blank node; labels are restricted to `[A-Za-z0-9_-]+`
+    /// so that every serializer can emit them verbatim.
+    pub fn new(label: impl Into<String>) -> Result<Self, RdfError> {
+        let label = label.into();
+        if label.is_empty()
+            || !label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(RdfError::InvalidBlankNode(label));
+        }
+        Ok(BlankNode(label))
+    }
+
+    /// The blank node label (without the `_:` prefix).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: lexical form plus either a language tag or a datatype.
+///
+/// Plain literals are represented with `language == None` and
+/// `datatype == None` and are treated as `xsd:string` where a datatype
+/// is required, matching RDF 1.1 semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    value: String,
+    language: Option<String>,
+    datatype: Option<Iri>,
+}
+
+impl Literal {
+    /// A plain (simple) literal.
+    pub fn simple(value: impl Into<String>) -> Self {
+        Literal {
+            value: value.into(),
+            language: None,
+            datatype: None,
+        }
+    }
+
+    /// A language-tagged literal such as `"Mole Antonelliana"@it`.
+    ///
+    /// Language tags are validated against a BCP-47-lite grammar:
+    /// alphanumeric subtags of 1–8 chars separated by `-`, first subtag
+    /// alphabetic. Tags are normalized to lowercase.
+    pub fn lang(value: impl Into<String>, tag: impl Into<String>) -> Result<Self, RdfError> {
+        let tag = tag.into().to_ascii_lowercase();
+        let valid = !tag.is_empty()
+            && tag.split('-').enumerate().all(|(i, sub)| {
+                !sub.is_empty()
+                    && sub.len() <= 8
+                    && sub.chars().all(|c| c.is_ascii_alphanumeric())
+                    && (i > 0 || sub.chars().all(|c| c.is_ascii_alphabetic()))
+            });
+        if !valid {
+            return Err(RdfError::InvalidLanguageTag(tag));
+        }
+        Ok(Literal {
+            value: value.into(),
+            language: Some(tag),
+            datatype: None,
+        })
+    }
+
+    /// A datatyped literal.
+    pub fn typed(value: impl Into<String>, datatype: Iri) -> Self {
+        Literal {
+            value: value.into(),
+            language: None,
+            datatype: Some(datatype),
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), Iri::new_unchecked(XSD_INTEGER))
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(format_double(value), Iri::new_unchecked(XSD_DOUBLE))
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(value.to_string(), Iri::new_unchecked(XSD_BOOLEAN))
+    }
+
+    /// The lexical form.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// The language tag, lowercase, if any.
+    pub fn language(&self) -> Option<&str> {
+        self.language.as_deref()
+    }
+
+    /// The explicit datatype IRI, if any.
+    pub fn datatype(&self) -> Option<&Iri> {
+        self.datatype.as_ref()
+    }
+
+    /// The effective datatype: explicit datatype, `rdf:langString` for
+    /// language-tagged literals, `xsd:string` otherwise.
+    pub fn effective_datatype(&self) -> Cow<'_, str> {
+        if let Some(dt) = &self.datatype {
+            Cow::Borrowed(dt.as_str())
+        } else if self.language.is_some() {
+            Cow::Borrowed("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+        } else {
+            Cow::Borrowed(XSD_STRING)
+        }
+    }
+
+    /// Attempts a numeric interpretation (`xsd:integer`/`xsd:double`,
+    /// plus untyped literals whose lexical form parses as a number —
+    /// real data loaded from relational dumps is often loosely typed).
+    pub fn as_f64(&self) -> Option<f64> {
+        if self.language.is_some() {
+            return None;
+        }
+        match self.datatype.as_ref().map(Iri::as_str) {
+            Some(XSD_INTEGER) | Some(XSD_DOUBLE) | None => self.value.trim().parse().ok(),
+            Some("http://www.w3.org/2001/XMLSchema#decimal")
+            | Some("http://www.w3.org/2001/XMLSchema#float")
+            | Some("http://www.w3.org/2001/XMLSchema#int")
+            | Some("http://www.w3.org/2001/XMLSchema#long") => self.value.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Attempts an integer interpretation.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.value.trim().parse().ok()
+    }
+
+    /// True if this literal carries WKT geometry (the `virtrdf:Geometry`
+    /// datatype used by our `geo:geometry` property).
+    pub fn is_geometry(&self) -> bool {
+        self.datatype.as_ref().is_some_and(|d| d.as_str() == GEO_WKT)
+    }
+}
+
+/// Formats an `f64` so it always round-trips as `xsd:double` (contains
+/// a decimal point or exponent).
+fn format_double(value: f64) -> String {
+    let s = value.to_string();
+    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") || s.contains("NaN")
+    {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.value))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^{dt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a literal's lexical form for N-Triples/Turtle output.
+pub fn escape_literal(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_literal`]. Unknown escapes are rejected.
+pub fn unescape_literal(value: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let cp = u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| format!("bad code point {cp:#x}"))?);
+            }
+            Some('U') => {
+                let hex: String = chars.by_ref().take(8).collect();
+                let cp = u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\U escape: {hex}"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| format!("bad code point {cp:#x}"))?);
+            }
+            other => return Err(format!("unknown escape: \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Any RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference.
+    Iri(Iri),
+    /// A blank node.
+    Blank(BlankNode),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Convenience constructor: validated IRI term.
+    pub fn iri(iri: impl Into<String>) -> Result<Self, RdfError> {
+        Ok(Term::Iri(Iri::new(iri)?))
+    }
+
+    /// Convenience constructor: unvalidated IRI term (vocabulary constants).
+    pub fn iri_unchecked(iri: impl Into<String>) -> Self {
+        Term::Iri(Iri::new_unchecked(iri))
+    }
+
+    /// Convenience constructor: plain literal term.
+    pub fn literal(value: impl Into<String>) -> Self {
+        Term::Literal(Literal::simple(value))
+    }
+
+    /// True for [`Term::Iri`].
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True for [`Term::Literal`].
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True for [`Term::Blank`].
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// The IRI, if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// The literal, if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// SPARQL `str()` semantics: IRI text or literal lexical form.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Iri(iri) => iri.as_str(),
+            Term::Blank(b) => b.as_str(),
+            Term::Literal(l) => l.value(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => iri.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(value: BlankNode) -> Self {
+        Term::Blank(value)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(value: Literal) -> Self {
+        Term::Literal(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_validation() {
+        assert!(Iri::new("http://example.org/a").is_ok());
+        assert!(Iri::new("").is_err());
+        assert!(Iri::new("http://example.org/a b").is_err());
+        assert!(Iri::new("http://example.org/<x>").is_err());
+    }
+
+    #[test]
+    fn iri_local_name() {
+        assert_eq!(Iri::new_unchecked("http://ex.org/res#frag").local_name(), "frag");
+        assert_eq!(Iri::new_unchecked("http://ex.org/res/Turin").local_name(), "Turin");
+        assert_eq!(Iri::new_unchecked("urn:isbn:123").local_name(), "123");
+    }
+
+    #[test]
+    fn blank_node_validation() {
+        assert!(BlankNode::new("b0").is_ok());
+        assert!(BlankNode::new("node-1_x").is_ok());
+        assert!(BlankNode::new("").is_err());
+        assert!(BlankNode::new("a b").is_err());
+    }
+
+    #[test]
+    fn lang_tag_validation_and_normalization() {
+        let l = Literal::lang("Torino", "IT").unwrap();
+        assert_eq!(l.language(), Some("it"));
+        assert!(Literal::lang("x", "en-US").is_ok());
+        assert!(Literal::lang("x", "").is_err());
+        assert!(Literal::lang("x", "123").is_err());
+        assert!(Literal::lang("x", "en--us").is_err());
+        assert!(Literal::lang("x", "toolongsubtag1").is_err());
+    }
+
+    #[test]
+    fn literal_display_forms() {
+        assert_eq!(Literal::simple("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Literal::lang("ciao", "it").unwrap().to_string(),
+            "\"ciao\"@it"
+        );
+        assert_eq!(
+            Literal::integer(42).to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(
+            Literal::simple("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn double_literals_round_trip() {
+        assert_eq!(Literal::double(1.5).value(), "1.5");
+        assert_eq!(Literal::double(2.0).value(), "2.0");
+        assert_eq!(Literal::double(2.0).as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn numeric_interpretation() {
+        assert_eq!(Literal::integer(7).as_f64(), Some(7.0));
+        assert_eq!(Literal::simple("3.25").as_f64(), Some(3.25));
+        assert_eq!(Literal::lang("3.25", "en").unwrap().as_f64(), None);
+        assert_eq!(Literal::simple("abc").as_f64(), None);
+        assert_eq!(Literal::integer(9).as_i64(), Some(9));
+    }
+
+    #[test]
+    fn effective_datatype() {
+        assert_eq!(Literal::simple("x").effective_datatype(), XSD_STRING);
+        assert_eq!(
+            Literal::lang("x", "it").unwrap().effective_datatype(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+        );
+        assert_eq!(Literal::integer(1).effective_datatype(), XSD_INTEGER);
+    }
+
+    #[test]
+    fn unescape_round_trip() {
+        let raw = "line1\nline2\t\"quoted\" back\\slash";
+        let escaped = escape_literal(raw);
+        assert_eq!(unescape_literal(&escaped).unwrap(), raw);
+    }
+
+    #[test]
+    fn unescape_unicode() {
+        assert_eq!(unescape_literal("caf\\u00e9").unwrap(), "café");
+        assert_eq!(unescape_literal("\\U0001F600").unwrap(), "😀");
+        assert!(unescape_literal("\\q").is_err());
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::iri("http://ex.org/x").unwrap();
+        assert!(t.is_iri());
+        assert_eq!(t.lexical(), "http://ex.org/x");
+        let l = Term::literal("v");
+        assert!(l.is_literal());
+        assert_eq!(l.lexical(), "v");
+    }
+}

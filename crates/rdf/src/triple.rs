@@ -1,0 +1,142 @@
+//! Triples and quads.
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// An RDF statement: subject, predicate, object.
+///
+/// Subjects are constrained to IRIs or blank nodes and predicates to
+/// IRIs at construction time by [`Triple::new`]; the looser
+/// [`Triple::new_unchecked`] exists for generated vocabulary-safe code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject (IRI or blank node).
+    pub subject: Term,
+    /// Predicate (always an IRI).
+    pub predicate: Iri,
+    /// Object (any term).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple, rejecting literal subjects.
+    pub fn new(subject: Term, predicate: Iri, object: Term) -> Result<Self, String> {
+        if subject.is_literal() {
+            return Err(format!("literal subject not allowed: {subject}"));
+        }
+        Ok(Triple {
+            subject,
+            predicate,
+            object,
+        })
+    }
+
+    /// Creates a triple without the subject check (debug-asserted).
+    pub fn new_unchecked(subject: Term, predicate: Iri, object: Term) -> Self {
+        debug_assert!(!subject.is_literal(), "literal subject: {subject}");
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Convenience constructor from raw IRI strings and an object term.
+    pub fn spo(subject: &str, predicate: &str, object: Term) -> Self {
+        Triple::new_unchecked(
+            Term::iri_unchecked(subject),
+            Iri::new_unchecked(predicate),
+            object,
+        )
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A triple tagged with the named graph it belongs to.
+///
+/// The platform keeps its UGC triples, the DBpedia snapshot, the
+/// Geonames snapshot and the LinkedGeoData snapshot in distinct graphs
+/// so that the semantic filter can rank candidates by source graph
+/// (§2.2.2 of the paper: Geonames > DBpedia > Evri).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Quad {
+    /// The statement.
+    pub triple: Triple,
+    /// Named graph IRI; `None` means the default graph.
+    pub graph: Option<Iri>,
+}
+
+impl Quad {
+    /// A quad in the default graph.
+    pub fn in_default(triple: Triple) -> Self {
+        Quad {
+            triple,
+            graph: None,
+        }
+    }
+
+    /// A quad in a named graph.
+    pub fn in_graph(triple: Triple, graph: Iri) -> Self {
+        Quad {
+            triple,
+            graph: Some(graph),
+        }
+    }
+}
+
+impl fmt::Display for Quad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.graph {
+            Some(g) => write!(
+                f,
+                "{} {} {} {} .",
+                self.triple.subject, self.triple.predicate, self.triple.object, g
+            ),
+            None => self.triple.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn iri(s: &str) -> Term {
+        Term::iri_unchecked(s)
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        let err = Triple::new(
+            Term::Literal(Literal::simple("x")),
+            Iri::new_unchecked("http://p"),
+            iri("http://o"),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn display_ntriples_line() {
+        let t = Triple::spo(
+            "http://ex.org/s",
+            "http://ex.org/p",
+            Term::literal("v"),
+        );
+        assert_eq!(t.to_string(), "<http://ex.org/s> <http://ex.org/p> \"v\" .");
+    }
+
+    #[test]
+    fn quad_display_includes_graph() {
+        let t = Triple::spo("http://s", "http://p", iri("http://o"));
+        let q = Quad::in_graph(t.clone(), Iri::new_unchecked("http://g"));
+        assert_eq!(q.to_string(), "<http://s> <http://p> <http://o> <http://g> .");
+        assert_eq!(Quad::in_default(t).to_string(), "<http://s> <http://p> <http://o> .");
+    }
+}

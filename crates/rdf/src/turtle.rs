@@ -1,0 +1,542 @@
+//! Turtle subset reader and writer.
+//!
+//! Supports the Turtle features the workspace actually exchanges:
+//! `@prefix` directives, prefixed names, the `a` keyword, `;`/`,`
+//! predicate/object lists, quoted literals with language tags or
+//! datatypes (prefixed or full IRI), and bare integer/decimal/boolean
+//! shorthand. Collections, multiline literals and relative IRI
+//! resolution are intentionally out of scope and produce parse errors.
+
+use std::fmt::Write as _;
+
+use crate::error::RdfError;
+use crate::ns::PrefixMap;
+use crate::term::{unescape_literal, BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Parses a Turtle-subset document into triples. Prefixes declared in
+/// the document extend (and can shadow) the defaults in `prefixes`.
+pub fn parse_document(input: &str, prefixes: &PrefixMap) -> Result<Vec<Triple>, RdfError> {
+    Parser::new(input, prefixes.clone()).parse()
+}
+
+/// Serializes triples as Turtle grouped by subject, emitting `@prefix`
+/// directives for every prefix actually used.
+pub fn to_string<'a>(
+    triples: impl IntoIterator<Item = &'a Triple>,
+    prefixes: &PrefixMap,
+) -> String {
+    let triples: Vec<&Triple> = triples.into_iter().collect();
+    let mut used = std::collections::BTreeSet::new();
+    let mut body = String::new();
+
+    let mut idx = 0;
+    while idx < triples.len() {
+        let subject = &triples[idx].subject;
+        let mut group_end = idx;
+        while group_end < triples.len() && &triples[group_end].subject == subject {
+            group_end += 1;
+        }
+        let _ = write!(body, "{}", render_term(subject, prefixes, &mut used));
+        for (n, t) in triples[idx..group_end].iter().enumerate() {
+            if n > 0 {
+                body.push_str(" ;\n   ");
+            } else {
+                body.push(' ');
+            }
+            let pred = if t.predicate.as_str() == crate::ns::RDF.iri("type").as_str() {
+                "a".to_string()
+            } else {
+                render_iri(&t.predicate, prefixes, &mut used)
+            };
+            let _ = write!(body, "{pred} {}", render_term(&t.object, prefixes, &mut used));
+        }
+        body.push_str(" .\n");
+        idx = group_end;
+    }
+
+    let mut out = String::new();
+    for (prefix, base) in prefixes.iter() {
+        if used.contains(prefix) {
+            let _ = writeln!(out, "@prefix {prefix}: <{base}> .");
+        }
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&body);
+    out
+}
+
+fn render_term(
+    term: &Term,
+    prefixes: &PrefixMap,
+    used: &mut std::collections::BTreeSet<String>,
+) -> String {
+    match term {
+        Term::Iri(iri) => render_iri(iri, prefixes, used),
+        Term::Blank(b) => b.to_string(),
+        Term::Literal(lit) => {
+            // Datatype IRIs also benefit from compaction.
+            if let Some(dt) = lit.datatype() {
+                if let Some(compact) = prefixes.compact(dt) {
+                    if is_safe_local(&compact) {
+                        used.insert(compact.split(':').next().unwrap_or("").to_string());
+                        return format!(
+                            "\"{}\"^^{compact}",
+                            crate::term::escape_literal(lit.value())
+                        );
+                    }
+                }
+            }
+            lit.to_string()
+        }
+    }
+}
+
+fn render_iri(
+    iri: &Iri,
+    prefixes: &PrefixMap,
+    used: &mut std::collections::BTreeSet<String>,
+) -> String {
+    if let Some(compact) = prefixes.compact(iri) {
+        if is_safe_local(&compact) {
+            used.insert(compact.split(':').next().unwrap_or("").to_string());
+            return compact;
+        }
+    }
+    iri.to_string()
+}
+
+/// Whether a compacted `prefix:local` name can be written without
+/// escaping (conservative: alphanumerics, `_`, `-`, `.` not at ends).
+fn is_safe_local(qname: &str) -> bool {
+    let Some((prefix, local)) = qname.split_once(':') else {
+        return false;
+    };
+    !prefix.is_empty()
+        && !local.is_empty()
+        && local
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    prefixes: PrefixMap,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, prefixes: PrefixMap) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            prefixes,
+            input,
+        }
+    }
+
+    fn parse(mut self) -> Result<Vec<Triple>, RdfError> {
+        let mut triples = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            if self.at_end() {
+                return Ok(triples);
+            }
+            if self.peek_keyword("@prefix") {
+                self.parse_prefix_directive()?;
+                continue;
+            }
+            self.parse_statement(&mut triples)?;
+        }
+    }
+
+    fn parse_prefix_directive(&mut self) -> Result<(), RdfError> {
+        self.consume_keyword("@prefix")?;
+        self.skip_ws_and_comments();
+        let prefix = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        self.expect(':')?;
+        self.skip_ws_and_comments();
+        let iri = self.parse_iri_ref()?;
+        self.skip_ws_and_comments();
+        self.expect('.')?;
+        self.prefixes.insert(prefix, iri.into_string());
+        Ok(())
+    }
+
+    fn parse_statement(&mut self, out: &mut Vec<Triple>) -> Result<(), RdfError> {
+        let subject = self.parse_subject()?;
+        loop {
+            self.skip_ws_and_comments();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_ws_and_comments();
+                let object = self.parse_object()?;
+                out.push(
+                    Triple::new(subject.clone(), predicate.clone(), object)
+                        .map_err(|m| RdfError::syntax(self.line, m))?,
+                );
+                self.skip_ws_and_comments();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            self.skip_ws_and_comments();
+            match self.peek() {
+                Some(';') => {
+                    self.pos += 1;
+                    self.skip_ws_and_comments();
+                    // Turtle allows a trailing ';' before '.'
+                    if self.peek() == Some('.') {
+                        self.pos += 1;
+                        return Ok(());
+                    }
+                }
+                Some('.') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(RdfError::syntax(
+                        self.line,
+                        format!("expected ';' or '.', found {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri_ref()?)),
+            Some('_') => Ok(Term::Blank(self.parse_blank()?)),
+            Some(c) if c.is_ascii_alphabetic() => Ok(Term::Iri(self.parse_prefixed_name()?)),
+            other => Err(RdfError::syntax(
+                self.line,
+                format!("expected subject, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, RdfError> {
+        if self.peek() == Some('a') && !self.peek_at(1).is_some_and(is_name_char) {
+            self.pos += 1;
+            return Ok(crate::ns::RDF.iri("type"));
+        }
+        match self.peek() {
+            Some('<') => self.parse_iri_ref(),
+            Some(c) if c.is_ascii_alphabetic() => self.parse_prefixed_name(),
+            other => Err(RdfError::syntax(
+                self.line,
+                format!("expected predicate, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri_ref()?)),
+            Some('_') => Ok(Term::Blank(self.parse_blank()?)),
+            Some('"') => Ok(Term::Literal(self.parse_quoted_literal()?)),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                Ok(Term::Literal(self.parse_numeric_literal()?))
+            }
+            Some('t') | Some('f') if self.peek_keyword("true") || self.peek_keyword("false") => {
+                let value = self.peek_keyword("true");
+                self.consume_keyword(if value { "true" } else { "false" })?;
+                Ok(Term::Literal(Literal::boolean(value)))
+            }
+            Some(c) if c.is_ascii_alphabetic() => Ok(Term::Iri(self.parse_prefixed_name()?)),
+            other => Err(RdfError::syntax(
+                self.line,
+                format!("expected object, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<Iri, RdfError> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.peek() {
+                Some('>') => {
+                    self.pos += 1;
+                    return Iri::new(iri);
+                }
+                Some('\n') | None => return Err(RdfError::syntax(self.line, "unterminated IRI")),
+                Some(c) => {
+                    iri.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, RdfError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let label = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        BlankNode::new(label)
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Iri, RdfError> {
+        let prefix = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        self.expect(':')?;
+        let local = self.take_while(|c| {
+            c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '%'
+        });
+        // Turtle locals can't end with '.': that dot terminates the
+        // statement instead.
+        let (local, gave_back_dot) = match local.strip_suffix('.') {
+            Some(stripped) => (stripped.to_string(), true),
+            None => (local, false),
+        };
+        if gave_back_dot {
+            self.pos -= 1;
+        }
+        let qname = format!("{prefix}:{local}");
+        self.prefixes
+            .expand(&qname)
+            .ok_or_else(|| RdfError::syntax(self.line, format!("unknown prefix in {qname:?}")))
+    }
+
+    fn parse_quoted_literal(&mut self) -> Result<Literal, RdfError> {
+        self.expect('"')?;
+        let mut raw = String::new();
+        let mut escaped = false;
+        loop {
+            match self.peek() {
+                None => return Err(RdfError::syntax(self.line, "unterminated literal")),
+                Some('\\') if !escaped => {
+                    escaped = true;
+                    raw.push('\\');
+                    self.pos += 1;
+                }
+                Some('"') if !escaped => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c) => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    escaped = false;
+                    raw.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        let value = unescape_literal(&raw).map_err(|m| RdfError::syntax(self.line, m))?;
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let tag = self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
+                Literal::lang(value, tag)
+            }
+            Some('^') => {
+                self.expect('^')?;
+                self.expect('^')?;
+                let dt = match self.peek() {
+                    Some('<') => self.parse_iri_ref()?,
+                    _ => self.parse_prefixed_name()?,
+                };
+                Ok(Literal::typed(value, dt))
+            }
+            _ => Ok(Literal::simple(value)),
+        }
+    }
+
+    fn parse_numeric_literal(&mut self) -> Result<Literal, RdfError> {
+        let text = self.take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'));
+        // A trailing '.' is the statement terminator, not a decimal point.
+        let text = if let Some(stripped) = text.strip_suffix('.') {
+            self.pos -= 1;
+            stripped.to_string()
+        } else {
+            text
+        };
+        if text.parse::<i64>().is_ok() {
+            Ok(Literal::typed(text, Iri::new_unchecked(crate::term::XSD_INTEGER)))
+        } else if text.parse::<f64>().is_ok() {
+            Ok(Literal::typed(text, Iri::new_unchecked(crate::term::XSD_DOUBLE)))
+        } else {
+            Err(RdfError::syntax(self.line, format!("bad number {text:?}")))
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        let kw: Vec<char> = keyword.chars().collect();
+        if self.chars.len() < self.pos + kw.len() {
+            return false;
+        }
+        if self.chars[self.pos..self.pos + kw.len()] != kw[..] {
+            return false;
+        }
+        // Must not run into a longer name.
+        !self.peek_at(kw.len()).is_some_and(is_name_char)
+    }
+
+    fn consume_keyword(&mut self, keyword: &str) -> Result<(), RdfError> {
+        if self.peek_keyword(keyword) {
+            self.pos += keyword.chars().count();
+            Ok(())
+        } else {
+            Err(RdfError::syntax(self.line, format!("expected {keyword:?}")))
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), RdfError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            let context: String = self.input.chars().skip(self.pos.saturating_sub(10)).take(30).collect();
+            Err(RdfError::syntax(
+                self.line,
+                format!("expected '{c}' near {context:?}"),
+            ))
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let start = self.pos;
+        while self.peek().is_some_and(&pred) {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some('\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.pos += 1;
+                }
+                Some('#') => {
+                    while self.peek().is_some_and(|c| c != '\n') {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ns;
+
+    fn defaults() -> PrefixMap {
+        PrefixMap::with_defaults()
+    }
+
+    #[test]
+    fn parses_prefixed_document() {
+        let doc = r#"
+@prefix ex: <http://example.org/> .
+ex:pic1 a sioct:MicroblogPost ;
+    rdfs:label "Mole Antonelliana"@it , "Mole"@en ;
+    rev:rating 4 ;
+    geo:geometry "POINT(7.69 45.07)"^^<http://www.openlinksw.com/schemas/virtrdf#Geometry> .
+"#;
+        let triples = parse_document(doc, &defaults()).unwrap();
+        assert_eq!(triples.len(), 5);
+        assert_eq!(
+            triples[0].object,
+            Term::iri_unchecked("http://rdfs.org/sioc/types#MicroblogPost")
+        );
+        assert_eq!(triples[1].predicate, ns::RDFS.iri("label"));
+        assert_eq!(triples[3].object.as_literal().unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn a_keyword_only_matches_bare_a() {
+        let doc = "@prefix ex: <http://e/> .\nex:s ex:about ex:o .";
+        let triples = parse_document(doc, &defaults()).unwrap();
+        assert_eq!(triples[0].predicate.as_str(), "http://e/about");
+    }
+
+    #[test]
+    fn numeric_shorthand() {
+        let doc = "@prefix ex: <http://e/> .\nex:s ex:p 42 .\nex:s ex:q 1.5 .\nex:s ex:r true .";
+        let triples = parse_document(doc, &defaults()).unwrap();
+        assert_eq!(triples[0].object.as_literal().unwrap().as_i64(), Some(42));
+        assert_eq!(triples[1].object.as_literal().unwrap().as_f64(), Some(1.5));
+        assert_eq!(triples[2].object.as_literal().unwrap().value(), "true");
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let doc = "nope:s rdfs:label \"x\" .";
+        assert!(parse_document(doc, &defaults()).is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let doc = r#"
+@prefix ex: <http://example.org/> .
+ex:pic a sioct:MicroblogPost ;
+    rdfs:label "Torino"@it ;
+    rev:rating 5 .
+ex:user foaf:name "oscar" ;
+    foaf:knows ex:other .
+"#;
+        let mut prefixes = defaults();
+        prefixes.insert("ex", "http://example.org/");
+        let triples = parse_document(doc, &prefixes).unwrap();
+        let rendered = to_string(&triples, &prefixes);
+        let reparsed = parse_document(&rendered, &prefixes).unwrap();
+        assert_eq!(triples, reparsed);
+        assert!(rendered.contains("@prefix foaf:"));
+        assert!(rendered.contains(" a sioct:MicroblogPost"));
+    }
+
+    #[test]
+    fn trailing_semicolon_before_dot() {
+        let doc = "@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .";
+        let triples = parse_document(doc, &defaults()).unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = "# head\n@prefix ex: <http://e/> . # trailing\nex:s ex:p ex:o . # done";
+        assert_eq!(parse_document(doc, &defaults()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn local_name_trailing_dot_terminates_statement() {
+        let doc = "@prefix ex: <http://e/> .\nex:s ex:p ex:o.";
+        let triples = parse_document(doc, &defaults()).unwrap();
+        assert_eq!(triples[0].object, Term::iri_unchecked("http://e/o"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The Coppermine-like UGC schema.
+//!
+//! Table and column names follow the paper's own IRIs (it mints
+//! picture resources under `…/cpg148_pictures/<pid>`). Two *service*
+//! tables (`cpg148_sessions`, `cpg148_config`) are included precisely
+//! so the mapping layer can demonstrate the paper's "avoiding service
+//! tables" rule (§2.1).
+
+use crate::database::Database;
+use crate::error::RelError;
+use crate::schema::{Column, ForeignKey, TableSchema};
+use crate::value::SqlType;
+
+/// Users table name.
+pub const USERS: &str = "cpg148_users";
+/// Albums table name.
+pub const ALBUMS: &str = "cpg148_albums";
+/// Pictures table name.
+pub const PICTURES: &str = "cpg148_pictures";
+/// Comments table name.
+pub const COMMENTS: &str = "cpg148_comments";
+/// Votes (ratings) table name.
+pub const VOTES: &str = "cpg148_votes";
+/// Friendship edges table name.
+pub const FRIENDS: &str = "cpg148_friends";
+/// POI references table name (`poi:recs_id` targets).
+pub const POI_REFS: &str = "cpg148_poi_refs";
+/// Service table: login sessions.
+pub const SESSIONS: &str = "cpg148_sessions";
+/// Service table: platform configuration.
+pub const CONFIG: &str = "cpg148_config";
+
+fn fk(column: &str, ref_table: &str) -> ForeignKey {
+    ForeignKey {
+        column: column.into(),
+        ref_table: ref_table.into(),
+    }
+}
+
+/// Creates all Coppermine tables (content + service) in `db`.
+pub fn create_schema(db: &mut Database) -> Result<(), RelError> {
+    db.create_table(TableSchema::new(
+        USERS,
+        vec![
+            Column::required("user_id", SqlType::Int),
+            Column::required("user_name", SqlType::Text),
+            Column::required("full_name", SqlType::Text),
+            Column::nullable("openid", SqlType::Text),
+            Column::nullable("home_city", SqlType::Text),
+        ],
+        "user_id",
+        vec![],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        ALBUMS,
+        vec![
+            Column::required("album_id", SqlType::Int),
+            Column::required("owner_id", SqlType::Int),
+            Column::required("title", SqlType::Text),
+            Column::nullable("description", SqlType::Text),
+        ],
+        "album_id",
+        vec![fk("owner_id", USERS)],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        PICTURES,
+        vec![
+            Column::required("pid", SqlType::Int),
+            Column::required("aid", SqlType::Int),
+            Column::required("owner_id", SqlType::Int),
+            Column::required("title", SqlType::Text),
+            // Space-separated, exactly as the paper stores them: "all
+            // the keywords of a resource were saved in a single column
+            // (space-separated)" (§2.1.1).
+            Column::required("keywords", SqlType::Text),
+            Column::required("ctime", SqlType::Int),
+            Column::nullable("lon", SqlType::Real),
+            Column::nullable("lat", SqlType::Real),
+            Column::required("filepath", SqlType::Text),
+        ],
+        "pid",
+        vec![fk("aid", ALBUMS), fk("owner_id", USERS)],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        COMMENTS,
+        vec![
+            Column::required("comment_id", SqlType::Int),
+            Column::required("pid", SqlType::Int),
+            Column::required("author_id", SqlType::Int),
+            Column::required("body", SqlType::Text),
+            Column::required("ctime", SqlType::Int),
+        ],
+        "comment_id",
+        vec![fk("pid", PICTURES), fk("author_id", USERS)],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        VOTES,
+        vec![
+            Column::required("vote_id", SqlType::Int),
+            Column::required("pid", SqlType::Int),
+            Column::required("user_id", SqlType::Int),
+            Column::required("rating", SqlType::Int),
+        ],
+        "vote_id",
+        vec![fk("pid", PICTURES), fk("user_id", USERS)],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        FRIENDS,
+        vec![
+            Column::required("friend_id", SqlType::Int),
+            Column::required("user_id", SqlType::Int),
+            Column::required("buddy_id", SqlType::Int),
+        ],
+        "friend_id",
+        vec![fk("user_id", USERS), fk("buddy_id", USERS)],
+    )?)?;
+
+    db.create_table(TableSchema::new(
+        POI_REFS,
+        vec![
+            Column::required("ref_id", SqlType::Int),
+            Column::required("pid", SqlType::Int),
+            Column::required("poi_name", SqlType::Text),
+            Column::required("poi_category", SqlType::Text),
+            Column::required("lon", SqlType::Real),
+            Column::required("lat", SqlType::Real),
+        ],
+        "ref_id",
+        vec![fk("pid", PICTURES)],
+    )?)?;
+
+    db.create_table(
+        TableSchema::new(
+            SESSIONS,
+            vec![
+                Column::required("session_id", SqlType::Int),
+                Column::required("user_id", SqlType::Int),
+                Column::required("token", SqlType::Text),
+                Column::required("atime", SqlType::Int),
+            ],
+            "session_id",
+            vec![fk("user_id", USERS)],
+        )?
+        .service(),
+    )?;
+
+    db.create_table(
+        TableSchema::new(
+            CONFIG,
+            vec![
+                Column::required("config_id", SqlType::Int),
+                Column::required("name", SqlType::Text),
+                Column::required("value", SqlType::Text),
+            ],
+            "config_id",
+            vec![],
+        )?
+        .service(),
+    )?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SqlValue;
+
+    #[test]
+    fn schema_creates_and_accepts_consistent_rows() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        assert_eq!(db.tables().count(), 9);
+
+        db.insert(
+            USERS,
+            vec![
+                1.into(),
+                "oscar".into(),
+                "Oscar Rodriguez".into(),
+                SqlValue::Null,
+                "Turin".into(),
+            ],
+        )
+        .unwrap();
+        db.insert(ALBUMS, vec![1.into(), 1.into(), "Torino 2011".into(), SqlValue::Null])
+            .unwrap();
+        db.insert(
+            PICTURES,
+            vec![
+                1.into(),
+                1.into(),
+                1.into(),
+                "Tramonto alla Mole Antonelliana".into(),
+                "mole torino tramonto".into(),
+                1_300_000_000.into(),
+                SqlValue::Real(7.6933),
+                SqlValue::Real(45.0692),
+                "media/1.jpg".into(),
+            ],
+        )
+        .unwrap();
+        // Dangling picture FK rejected.
+        assert!(db
+            .insert(VOTES, vec![1.into(), 99.into(), 1.into(), 5.into()])
+            .is_err());
+        db.insert(VOTES, vec![1.into(), 1.into(), 1.into(), 5.into()])
+            .unwrap();
+    }
+
+    #[test]
+    fn service_tables_are_flagged() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        let service: Vec<&str> = db
+            .tables()
+            .filter(|t| t.schema().service)
+            .map(|t| t.schema().name.as_str())
+            .collect();
+        assert_eq!(service, vec![CONFIG, SESSIONS]);
+    }
+}

@@ -1,0 +1,241 @@
+//! The database: a set of tables with cross-table FK enforcement.
+
+use std::collections::BTreeMap;
+
+use crate::error::RelError;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::SqlValue;
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table; the referenced FK tables must already exist.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), RelError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(RelError::Schema(format!(
+                "table {:?} already exists",
+                schema.name
+            )));
+        }
+        for fk in &schema.foreign_keys {
+            if !self.tables.contains_key(&fk.ref_table) && fk.ref_table != schema.name {
+                return Err(RelError::Schema(format!(
+                    "{}: FK references unknown table {:?}",
+                    schema.name, fk.ref_table
+                )));
+            }
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a row, enforcing foreign keys (NULL FK cells are
+    /// allowed when the column is nullable — checked by the table).
+    pub fn insert(&mut self, table: &str, row: Vec<SqlValue>) -> Result<i64, RelError> {
+        // FK validation against current state, before the move.
+        let schema = self
+            .tables
+            .get(table)
+            .ok_or_else(|| RelError::NoSuchTable(table.to_string()))?
+            .schema()
+            .clone();
+        for fk in &schema.foreign_keys {
+            let idx = schema.column_index(&fk.column).expect("validated");
+            if let Some(key) = row.get(idx).and_then(SqlValue::as_int) {
+                let target_exists = if fk.ref_table == table {
+                    self.tables[table].contains_key(key)
+                } else {
+                    self.tables
+                        .get(&fk.ref_table)
+                        .is_some_and(|t| t.contains_key(key))
+                };
+                if !target_exists {
+                    return Err(RelError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        column: fk.column.clone(),
+                        ref_table: fk.ref_table.clone(),
+                        key,
+                    });
+                }
+            }
+        }
+        self.tables
+            .get_mut(table)
+            .expect("checked above")
+            .insert(row)
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, RelError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelError::NoSuchTable(name.to_string()))
+    }
+
+    /// Iterates tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ForeignKey};
+    use crate::value::SqlType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "users",
+                vec![
+                    Column::required("user_id", SqlType::Int),
+                    Column::required("name", SqlType::Text),
+                ],
+                "user_id",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "pictures",
+                vec![
+                    Column::required("pid", SqlType::Int),
+                    Column::required("owner_id", SqlType::Int),
+                ],
+                "pid",
+                vec![ForeignKey {
+                    column: "owner_id".into(),
+                    ref_table: "users".into(),
+                }],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fk_enforced() {
+        let mut db = db();
+        db.insert("users", vec![1.into(), "oscar".into()]).unwrap();
+        db.insert("pictures", vec![10.into(), 1.into()]).unwrap();
+        assert!(matches!(
+            db.insert("pictures", vec![11.into(), 99.into()]),
+            Err(RelError::ForeignKeyViolation { key: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn nullable_fk_allows_null() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "a",
+                vec![Column::required("id", SqlType::Int)],
+                "id",
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "b",
+                vec![
+                    Column::required("id", SqlType::Int),
+                    Column::nullable("a_id", SqlType::Int),
+                ],
+                "id",
+                vec![ForeignKey {
+                    column: "a_id".into(),
+                    ref_table: "a".into(),
+                }],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("b", vec![1.into(), SqlValue::Null]).unwrap();
+    }
+
+    #[test]
+    fn create_table_validations() {
+        let mut db = db();
+        assert!(matches!(
+            db.create_table(
+                TableSchema::new("users", vec![Column::required("user_id", SqlType::Int)], "user_id", vec![]).unwrap()
+            ),
+            Err(RelError::Schema(_))
+        ));
+        assert!(matches!(
+            db.create_table(
+                TableSchema::new(
+                    "x",
+                    vec![
+                        Column::required("id", SqlType::Int),
+                        Column::required("y_id", SqlType::Int)
+                    ],
+                    "id",
+                    vec![ForeignKey {
+                        column: "y_id".into(),
+                        ref_table: "ghost".into()
+                    }]
+                )
+                .unwrap()
+            ),
+            Err(RelError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn self_referencing_fk() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "nodes",
+                vec![
+                    Column::required("id", SqlType::Int),
+                    Column::nullable("parent", SqlType::Int),
+                ],
+                "id",
+                vec![ForeignKey {
+                    column: "parent".into(),
+                    ref_table: "nodes".into(),
+                }],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("nodes", vec![1.into(), SqlValue::Null]).unwrap();
+        db.insert("nodes", vec![2.into(), 1.into()]).unwrap();
+        assert!(db.insert("nodes", vec![3.into(), 9.into()]).is_err());
+    }
+
+    #[test]
+    fn totals() {
+        let mut db = db();
+        db.insert("users", vec![1.into(), "a".into()]).unwrap();
+        db.insert("users", vec![2.into(), "b".into()]).unwrap();
+        assert_eq!(db.total_rows(), 2);
+        assert_eq!(db.tables().count(), 2);
+        assert!(db.table("nope").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Relational engine errors.
+
+use std::fmt;
+
+/// Errors from schema definition and data manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table name was not found.
+    NoSuchTable(String),
+    /// A column name was not found in a table.
+    NoSuchColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// Row arity didn't match the schema.
+    Arity {
+        /// Table name.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// A value's type didn't match its column.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Description of the offending value.
+        value: String,
+    },
+    /// NULL provided for a non-nullable column.
+    NullViolation {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Duplicate primary key.
+    DuplicateKey {
+        /// Table name.
+        table: String,
+        /// Key value.
+        key: i64,
+    },
+    /// Foreign key references a missing row.
+    ForeignKeyViolation {
+        /// Referencing table.
+        table: String,
+        /// Referencing column.
+        column: String,
+        /// Referenced table.
+        ref_table: String,
+        /// Dangling key.
+        key: i64,
+    },
+    /// Schema-level problem (bad PK type, duplicate table, …).
+    Schema(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::NoSuchTable(t) => write!(f, "no such table {t:?}"),
+            RelError::NoSuchColumn { table, column } => {
+                write!(f, "no column {column:?} in table {table:?}")
+            }
+            RelError::Arity {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table:?} expects {expected} values, got {got}"),
+            RelError::TypeMismatch {
+                table,
+                column,
+                value,
+            } => write!(f, "type mismatch for {table}.{column}: {value}"),
+            RelError::NullViolation { table, column } => {
+                write!(f, "NULL not allowed in {table}.{column}")
+            }
+            RelError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in {table:?}")
+            }
+            RelError::ForeignKeyViolation {
+                table,
+                column,
+                ref_table,
+                key,
+            } => write!(
+                f,
+                "{table}.{column} = {key} references missing row in {ref_table:?}"
+            ),
+            RelError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

@@ -1,0 +1,36 @@
+//! Relational substrate: the "platform database" the paper
+//! semanticizes.
+//!
+//! The original system sits on a Coppermine Photo Gallery MySQL schema.
+//! This crate provides:
+//!
+//! * a small typed in-memory relational engine ([`SqlValue`],
+//!   [`TableSchema`], [`Table`], [`Database`]) with primary/foreign key
+//!   enforcement — just enough relational machinery for the D2R-style
+//!   mapping (`lodify-d2r`) to have something real to map;
+//! * the Coppermine-like schema ([`coppermine`]) including the
+//!   *service tables* the paper's analysis deliberately skips
+//!   ("avoiding service tables", §2.1);
+//! * a deterministic, seeded **workload generator** ([`workload`])
+//!   producing users, albums, multilingual picture titles/keywords,
+//!   GPS points scattered around real POIs, ratings, comments and a
+//!   social graph — together with per-picture **ground truth** (which
+//!   entity a title is about) that the annotation-quality experiments
+//!   score against.
+
+#![warn(missing_docs)]
+
+pub mod coppermine;
+pub mod database;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod workload;
+
+pub use database::Database;
+pub use error::RelError;
+pub use schema::{Column, ForeignKey, TableSchema};
+pub use table::Table;
+pub use value::{SqlType, SqlValue};
+pub use workload::{GeneratedWorkload, PictureTruth, WorkloadConfig};

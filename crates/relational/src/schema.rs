@@ -1,0 +1,182 @@
+//! Table schemas.
+
+use crate::error::RelError;
+use crate::value::SqlType;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A NOT NULL column.
+    pub fn required(name: &str, ty: SqlType) -> Column {
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: SqlType) -> Column {
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A foreign key: `column` references `ref_table`'s primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column (must be `Int`).
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns, in order.
+    pub columns: Vec<Column>,
+    /// Name of the (integer) primary-key column.
+    pub primary_key: String,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Service tables hold platform plumbing (sessions, config). The
+    /// paper's analysis "avoid\[s\] service tables" (§2.1); the default
+    /// D2R mapping skips them and tests assert that it does.
+    pub service: bool,
+}
+
+impl TableSchema {
+    /// Creates a schema, validating that the primary key exists, is an
+    /// integer, is NOT NULL, and that FK columns exist and are integers.
+    pub fn new(
+        name: &str,
+        columns: Vec<Column>,
+        primary_key: &str,
+        foreign_keys: Vec<ForeignKey>,
+    ) -> Result<TableSchema, RelError> {
+        let schema = TableSchema {
+            name: name.to_string(),
+            columns,
+            primary_key: primary_key.to_string(),
+            foreign_keys,
+            service: false,
+        };
+        let pk = schema
+            .column(primary_key)
+            .ok_or_else(|| RelError::Schema(format!("{name}: primary key {primary_key:?} not a column")))?;
+        if pk.ty != SqlType::Int || pk.nullable {
+            return Err(RelError::Schema(format!(
+                "{name}: primary key {primary_key:?} must be NOT NULL Int"
+            )));
+        }
+        for fk in &schema.foreign_keys {
+            let col = schema.column(&fk.column).ok_or_else(|| {
+                RelError::Schema(format!("{name}: FK column {:?} not a column", fk.column))
+            })?;
+            if col.ty != SqlType::Int {
+                return Err(RelError::Schema(format!(
+                    "{name}: FK column {:?} must be Int",
+                    fk.column
+                )));
+            }
+        }
+        let mut names: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        if names.len() != before {
+            return Err(RelError::Schema(format!("{name}: duplicate column names")));
+        }
+        Ok(schema)
+    }
+
+    /// Marks this schema as a service table.
+    pub fn service(mut self) -> Self {
+        self.service = true;
+        self
+    }
+
+    /// Finds a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// A column's position.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Position of the primary-key column.
+    pub fn pk_index(&self) -> usize {
+        self.column_index(&self.primary_key)
+            .expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<Column> {
+        vec![
+            Column::required("id", SqlType::Int),
+            Column::required("name", SqlType::Text),
+            Column::nullable("age", SqlType::Int),
+        ]
+    }
+
+    #[test]
+    fn valid_schema() {
+        let s = TableSchema::new("t", cols(), "id", vec![]).unwrap();
+        assert_eq!(s.pk_index(), 0);
+        assert_eq!(s.column_index("age"), Some(2));
+        assert!(!s.service);
+        assert!(s.clone().service().service);
+    }
+
+    #[test]
+    fn rejects_bad_primary_keys() {
+        assert!(TableSchema::new("t", cols(), "missing", vec![]).is_err());
+        assert!(TableSchema::new("t", cols(), "name", vec![]).is_err());
+        let nullable_pk = vec![Column::nullable("id", SqlType::Int)];
+        assert!(TableSchema::new("t", nullable_pk, "id", vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_foreign_keys() {
+        let fk_missing = vec![ForeignKey {
+            column: "nope".into(),
+            ref_table: "u".into(),
+        }];
+        assert!(TableSchema::new("t", cols(), "id", fk_missing).is_err());
+        let fk_text = vec![ForeignKey {
+            column: "name".into(),
+            ref_table: "u".into(),
+        }];
+        assert!(TableSchema::new("t", cols(), "id", fk_text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let dup = vec![
+            Column::required("id", SqlType::Int),
+            Column::required("id", SqlType::Text),
+        ];
+        assert!(TableSchema::new("t", dup, "id", vec![]).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! SQL values and types.
+
+use std::fmt;
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Real(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl SqlValue {
+    /// The value's type; `None` for NULL (which matches any column type).
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            SqlValue::Null => None,
+            SqlValue::Int(_) => Some(SqlType::Int),
+            SqlValue::Real(_) => Some(SqlType::Real),
+            SqlValue::Text(_) => Some(SqlType::Text),
+            SqlValue::Bool(_) => Some(SqlType::Bool),
+        }
+    }
+
+    /// Whether the value can live in a column of `ty`.
+    pub fn fits(&self, ty: SqlType) -> bool {
+        match self.sql_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen).
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            SqlValue::Real(v) => Some(*v),
+            SqlValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            SqlValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SqlValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True when NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Convenience text constructor.
+    pub fn text(v: impl Into<String>) -> SqlValue {
+        SqlValue::Text(v.into())
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => f.write_str("NULL"),
+            SqlValue::Int(v) => v.fmt(f),
+            SqlValue::Real(v) => v.fmt(f),
+            SqlValue::Text(v) => write!(f, "{v:?}"),
+            SqlValue::Bool(v) => v.fmt(f),
+        }
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(v: i64) -> Self {
+        SqlValue::Int(v)
+    }
+}
+
+impl From<f64> for SqlValue {
+    fn from(v: f64) -> Self {
+        SqlValue::Real(v)
+    }
+}
+
+impl From<&str> for SqlValue {
+    fn from(v: &str) -> Self {
+        SqlValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for SqlValue {
+    fn from(v: String) -> Self {
+        SqlValue::Text(v)
+    }
+}
+
+impl From<bool> for SqlValue {
+    fn from(v: bool) -> Self {
+        SqlValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_checks() {
+        assert!(SqlValue::Int(1).fits(SqlType::Int));
+        assert!(!SqlValue::Int(1).fits(SqlType::Text));
+        assert!(SqlValue::Null.fits(SqlType::Text));
+        assert!(SqlValue::Null.fits(SqlType::Int));
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(SqlValue::Int(5).as_real(), Some(5.0));
+        assert_eq!(SqlValue::Real(1.5).as_real(), Some(1.5));
+        assert_eq!(SqlValue::text("x").as_text(), Some("x"));
+        assert_eq!(SqlValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(SqlValue::Null.as_int(), None);
+        assert!(SqlValue::Null.is_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SqlValue::Null.to_string(), "NULL");
+        assert_eq!(SqlValue::text("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(SqlValue::Int(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,49 @@
+//! SPARQL error type.
+
+use std::fmt;
+
+/// Errors from parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the query string.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parse error near a token.
+    Parse {
+        /// Token index where parsing failed.
+        position: usize,
+        /// Description including the offending token.
+        message: String,
+    },
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// Evaluation error (type error in a filter, unknown function, …).
+    Eval(String),
+    /// The query uses a feature outside the supported subset.
+    Unsupported(String),
+}
+
+impl SparqlError {
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SparqlError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix {p:?}"),
+            SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SparqlError::Unsupported(m) => write!(f, "unsupported SPARQL feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}

@@ -1,0 +1,900 @@
+//! Query evaluation: index-nested-loop BGP joins with greedy
+//! selectivity ordering, OPTIONAL/UNION/subselects, filters with
+//! SPARQL error semantics, aggregation, and solution modifiers.
+
+use std::collections::{HashMap, HashSet};
+
+use lodify_rdf::{Literal, Term};
+use lodify_store::{Store, TermId};
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::expr::{self, ExprError};
+use crate::results::QueryResults;
+
+/// Evaluator tuning knobs (ablation benches flip these).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Greedy selectivity-based reordering of basic graph patterns.
+    /// When off, triple patterns run in syntactic order — the naive
+    /// plan the E13 ablation compares against.
+    pub reorder_bgp: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { reorder_bgp: true }
+    }
+}
+
+/// Evaluates a parsed query against a store.
+pub fn evaluate(store: &Store, query: &Query) -> Result<QueryResults, SparqlError> {
+    evaluate_with(store, query, EvalOptions::default())
+}
+
+/// Evaluates with explicit tuning options.
+pub fn evaluate_with(
+    store: &Store,
+    query: &Query,
+    options: EvalOptions,
+) -> Result<QueryResults, SparqlError> {
+    let ev = Evaluator { store, options };
+    if query_has_aggregates(query) {
+        ev.evaluate_aggregate(query)
+    } else {
+        let ids = ev.evaluate_ids(query)?;
+        Ok(ids.into_results(store))
+    }
+}
+
+fn query_has_aggregates(query: &Query) -> bool {
+    !query.group_by.is_empty()
+        || matches!(&query.select.projection, Projection::Items(items)
+            if items.iter().any(|i| matches!(i, ProjectionItem::Count { .. })))
+}
+
+/// A partial solution: one optional term id per registry slot.
+type Binding = Vec<Option<TermId>>;
+
+/// Variable-name ↔ slot registry for one query scope.
+#[derive(Debug, Default)]
+struct Registry {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Variables visible to `SELECT *`, in first-seen order.
+    visible: Vec<String>,
+}
+
+impl Registry {
+    fn build(query: &Query) -> Registry {
+        let mut reg = Registry::default();
+        reg.walk_group(&query.where_clause);
+        if let Projection::Items(items) = &query.select.projection {
+            for item in items {
+                match item {
+                    ProjectionItem::Var(v) => {
+                        reg.add(v);
+                    }
+                    ProjectionItem::Count { var, alias, .. } => {
+                        if let Some(v) = var {
+                            reg.add(v);
+                        }
+                        reg.add(alias);
+                    }
+                }
+            }
+        }
+        for v in &query.group_by {
+            reg.add(v);
+        }
+        for key in &query.order_by {
+            let mut vars = Vec::new();
+            key.expr.collect_vars(&mut vars);
+            for v in vars {
+                reg.add(v);
+            }
+        }
+        reg
+    }
+
+    fn add(&mut self, name: &str) -> usize {
+        if let Some(&slot) = self.index.get(name) {
+            return slot;
+        }
+        let slot = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), slot);
+        slot
+    }
+
+    fn add_visible(&mut self, name: &str) -> usize {
+        let slot = self.add(name);
+        if !self.visible.iter().any(|v| v == name) {
+            self.visible.push(name.to_string());
+        }
+        slot
+    }
+
+    fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    fn walk_group(&mut self, group: &Group) {
+        for element in &group.elements {
+            match element {
+                Element::Triple(t) => {
+                    for v in t.vars() {
+                        self.add_visible(v);
+                    }
+                }
+                Element::Filter(e) => {
+                    let mut vars = Vec::new();
+                    e.collect_vars(&mut vars);
+                    for v in vars {
+                        self.add(v);
+                    }
+                }
+                Element::Optional(g) | Element::SubGroup(g) => self.walk_group(g),
+                Element::Union(branches) => {
+                    for b in branches {
+                        self.walk_group(b);
+                    }
+                }
+                Element::SubSelect(q) => {
+                    for v in subquery_projected_vars(q) {
+                        self.add_visible(&v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The variables a subquery projects (visible to the outer scope).
+fn subquery_projected_vars(q: &Query) -> Vec<String> {
+    match &q.select.projection {
+        Projection::Items(items) => items
+            .iter()
+            .map(|i| match i {
+                ProjectionItem::Var(v) => v.clone(),
+                ProjectionItem::Count { alias, .. } => alias.clone(),
+            })
+            .collect(),
+        Projection::All => {
+            let reg = Registry::build(q);
+            reg.visible
+        }
+    }
+}
+
+/// Internal id-level results (used for subselect joins).
+struct IdResults {
+    vars: Vec<String>,
+    rows: Vec<Vec<Option<TermId>>>,
+}
+
+impl IdResults {
+    fn into_results(self, store: &Store) -> QueryResults {
+        let rows = self
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|cell| cell.and_then(|id| store.term_of(id).cloned()))
+                    .collect()
+            })
+            .collect();
+        QueryResults {
+            vars: self.vars,
+            rows,
+        }
+    }
+}
+
+struct Evaluator<'s> {
+    store: &'s Store,
+    options: EvalOptions,
+}
+
+impl<'s> Evaluator<'s> {
+    // ---------- top-level pipelines ----------
+
+    fn evaluate_ids(&self, query: &Query) -> Result<IdResults, SparqlError> {
+        let reg = Registry::build(query);
+        let empty: Binding = vec![None; reg.names.len()];
+        let mut solutions = self.eval_group(&query.where_clause, vec![empty], &reg)?;
+
+        self.sort_solutions(&mut solutions, &query.order_by, &reg)?;
+
+        let projected_vars: Vec<String> = match &query.select.projection {
+            Projection::All => reg.visible.clone(),
+            Projection::Items(items) => items
+                .iter()
+                .map(|i| match i {
+                    ProjectionItem::Var(v) => Ok(v.clone()),
+                    ProjectionItem::Count { .. } => Err(SparqlError::Unsupported(
+                        "COUNT in subquery or non-aggregate path".into(),
+                    )),
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let slots: Vec<usize> = projected_vars
+            .iter()
+            .map(|v| reg.slot(v).expect("projected var registered"))
+            .collect();
+
+        let mut rows: Vec<Vec<Option<TermId>>> = solutions
+            .into_iter()
+            .map(|b| slots.iter().map(|&s| b[s]).collect())
+            .collect();
+
+        if query.select.distinct {
+            let mut seen = HashSet::new();
+            rows.retain(|row| seen.insert(row.clone()));
+        }
+        apply_slice(&mut rows, query.offset, query.limit);
+
+        Ok(IdResults {
+            vars: projected_vars,
+            rows,
+        })
+    }
+
+    fn evaluate_aggregate(&self, query: &Query) -> Result<QueryResults, SparqlError> {
+        let reg = Registry::build(query);
+        let empty: Binding = vec![None; reg.names.len()];
+        let solutions = self.eval_group(&query.where_clause, vec![empty], &reg)?;
+
+        let Projection::Items(items) = &query.select.projection else {
+            return Err(SparqlError::Unsupported(
+                "SELECT * with GROUP BY".into(),
+            ));
+        };
+        let group_slots: Vec<usize> = query
+            .group_by
+            .iter()
+            .map(|v| reg.slot(v).expect("group var registered"))
+            .collect();
+        for item in items {
+            if let ProjectionItem::Var(v) = item {
+                if !query.group_by.contains(v) {
+                    return Err(SparqlError::Eval(format!(
+                        "variable ?{v} projected but not in GROUP BY"
+                    )));
+                }
+            }
+        }
+
+        // Group solutions preserving first-seen group order.
+        let mut order: Vec<Vec<Option<TermId>>> = Vec::new();
+        let mut groups: HashMap<Vec<Option<TermId>>, Vec<Binding>> = HashMap::new();
+        for b in solutions {
+            let key: Vec<Option<TermId>> = group_slots.iter().map(|&s| b[s]).collect();
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(b);
+        }
+        // Aggregates without GROUP BY over zero rows still yield one row.
+        if group_slots.is_empty() && order.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        let vars: Vec<String> = items
+            .iter()
+            .map(|i| match i {
+                ProjectionItem::Var(v) => v.clone(),
+                ProjectionItem::Count { alias, .. } => alias.clone(),
+            })
+            .collect();
+
+        let mut out_rows: Vec<Vec<Option<Term>>> = Vec::with_capacity(order.len());
+        for key in &order {
+            let members = &groups[key];
+            let mut row: Vec<Option<Term>> = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    ProjectionItem::Var(v) => {
+                        let pos = query.group_by.iter().position(|g| g == v).expect("checked");
+                        row.push(key[pos].and_then(|id| self.store.term_of(id).cloned()));
+                    }
+                    ProjectionItem::Count { var, distinct, .. } => {
+                        let n = match var {
+                            None => {
+                                if *distinct {
+                                    members.iter().collect::<HashSet<_>>().len()
+                                } else {
+                                    members.len()
+                                }
+                            }
+                            Some(v) => {
+                                let slot = reg.slot(v).expect("registered");
+                                if *distinct {
+                                    members
+                                        .iter()
+                                        .filter_map(|b| b[slot])
+                                        .collect::<HashSet<_>>()
+                                        .len()
+                                } else {
+                                    members.iter().filter(|b| b[slot].is_some()).count()
+                                }
+                            }
+                        };
+                        row.push(Some(Term::Literal(Literal::integer(n as i64))));
+                    }
+                }
+            }
+            out_rows.push(row);
+        }
+
+        // ORDER BY over the aggregated rows (aliases resolvable).
+        if !query.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<SortKey>, Vec<Option<Term>>)> = out_rows
+                .into_iter()
+                .map(|row| {
+                    let lookup_map: HashMap<&str, &Term> = vars
+                        .iter()
+                        .zip(row.iter())
+                        .filter_map(|(v, c)| c.as_ref().map(|t| (v.as_str(), t)))
+                        .collect();
+                    let keys = query
+                        .order_by
+                        .iter()
+                        .map(|k| {
+                            sort_key(&k.expr, &|name: &str| lookup_map.get(name).copied())
+                        })
+                        .collect();
+                    (keys, row)
+                })
+                .collect();
+            sort_keyed(&mut keyed, &query.order_by);
+            out_rows = keyed.into_iter().map(|(_, row)| row).collect();
+        }
+
+        if query.select.distinct {
+            let mut seen = HashSet::new();
+            out_rows.retain(|row| {
+                let key: Vec<String> = row
+                    .iter()
+                    .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                    .collect();
+                seen.insert(key)
+            });
+        }
+        apply_slice(&mut out_rows, query.offset, query.limit);
+
+        Ok(QueryResults {
+            vars,
+            rows: out_rows,
+        })
+    }
+
+    // ---------- group evaluation ----------
+
+    fn eval_group(
+        &self,
+        group: &Group,
+        input: Vec<Binding>,
+        reg: &Registry,
+    ) -> Result<Vec<Binding>, SparqlError> {
+        // Surely-bound slots: bound in every input binding.
+        let mut bound: HashSet<usize> = match input.first() {
+            None => return Ok(Vec::new()),
+            Some(first) => (0..first.len())
+                .filter(|&s| input.iter().all(|b| b[s].is_some()))
+                .collect(),
+        };
+
+        // Filters wait until their variables are surely bound (or the
+        // end of the group).
+        let mut pending: Vec<(&Expr, HashSet<usize>)> = Vec::new();
+        for element in &group.elements {
+            if let Element::Filter(e) = element {
+                let mut vars = Vec::new();
+                e.collect_vars(&mut vars);
+                let slots = vars
+                    .into_iter()
+                    .filter_map(|v| reg.slot(v))
+                    .collect::<HashSet<_>>();
+                pending.push((e, slots));
+            }
+        }
+        let mut applied = vec![false; pending.len()];
+
+        let mut solutions = input;
+        let elements: Vec<&Element> = group
+            .elements
+            .iter()
+            .filter(|e| !matches!(e, Element::Filter(_)))
+            .collect();
+
+        let mut i = 0;
+        while i < elements.len() {
+            match elements[i] {
+                Element::Triple(_) => {
+                    // Collect the contiguous run of triple patterns and
+                    // order it greedily by estimated selectivity.
+                    let mut run: Vec<&TriplePattern> = Vec::new();
+                    while i < elements.len() {
+                        if let Element::Triple(t) = elements[i] {
+                            run.push(t);
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let ordered = self.order_patterns(&run, &bound, reg);
+                    for pattern in ordered {
+                        solutions = self.match_pattern(pattern, solutions, reg)?;
+                        for v in pattern.vars() {
+                            if let Some(slot) = reg.slot(v) {
+                                bound.insert(slot);
+                            }
+                        }
+                        self.apply_ready_filters(
+                            &mut solutions,
+                            &pending,
+                            &mut applied,
+                            &bound,
+                            reg,
+                        );
+                        if solutions.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                Element::Optional(g) => {
+                    let mut next = Vec::with_capacity(solutions.len());
+                    for b in &solutions {
+                        let extended = self.eval_group(g, vec![b.clone()], reg)?;
+                        if extended.is_empty() {
+                            next.push(b.clone());
+                        } else {
+                            next.extend(extended);
+                        }
+                    }
+                    solutions = next;
+                    i += 1;
+                }
+                Element::Union(branches) => {
+                    let mut next = Vec::new();
+                    for branch in branches {
+                        next.extend(self.eval_group(branch, solutions.clone(), reg)?);
+                    }
+                    solutions = next;
+                    i += 1;
+                }
+                Element::SubGroup(g) => {
+                    solutions = self.eval_group(g, solutions, reg)?;
+                    i += 1;
+                }
+                Element::SubSelect(q) => {
+                    let sub = if query_has_aggregates(q) {
+                        // Aggregated subselect: evaluate to terms, then
+                        // re-intern known terms; synthesized counts that
+                        // were never stored can't join on id, so we
+                        // reject them for safety.
+                        return Err(SparqlError::Unsupported(
+                            "aggregate subqueries are not supported".into(),
+                        ));
+                    } else {
+                        self.evaluate_ids(q)?
+                    };
+                    solutions = join_subselect(solutions, &sub, reg);
+                    i += 1;
+                }
+                Element::Filter(_) => unreachable!("filters were partitioned out"),
+            }
+            self.apply_ready_filters(&mut solutions, &pending, &mut applied, &bound, reg);
+        }
+
+        // Remaining filters apply at group end, whatever is bound.
+        for (idx, (e, _)) in pending.iter().enumerate() {
+            if !applied[idx] {
+                self.retain_filter(&mut solutions, e, reg);
+            }
+        }
+        Ok(solutions)
+    }
+
+    fn apply_ready_filters(
+        &self,
+        solutions: &mut Vec<Binding>,
+        pending: &[(&Expr, HashSet<usize>)],
+        applied: &mut [bool],
+        bound: &HashSet<usize>,
+        reg: &Registry,
+    ) {
+        for (idx, (e, slots)) in pending.iter().enumerate() {
+            if !applied[idx] && slots.is_subset(bound) {
+                self.retain_filter(solutions, e, reg);
+                applied[idx] = true;
+            }
+        }
+    }
+
+    fn retain_filter(&self, solutions: &mut Vec<Binding>, filter: &Expr, reg: &Registry) {
+        solutions.retain(|b| {
+            let lookup = |name: &str| -> Option<&Term> {
+                reg.slot(name)
+                    .and_then(|slot| b[slot])
+                    .and_then(|id| self.store.term_of(id))
+            };
+            match expr::eval(filter, &lookup).and_then(|v| v.ebv()) {
+                Ok(keep) => keep,
+                // SPARQL: filter errors (incl. unbound vars) reject the row.
+                Err(ExprError::Unbound(_)) | Err(ExprError::Type(_)) => false,
+            }
+        });
+    }
+
+    /// Greedy join order: repeatedly pick the pattern with the lowest
+    /// cardinality estimate given the variables bound so far.
+    fn order_patterns<'p>(
+        &self,
+        run: &[&'p TriplePattern],
+        bound: &HashSet<usize>,
+        reg: &Registry,
+    ) -> Vec<&'p TriplePattern> {
+        if !self.options.reorder_bgp {
+            return run.to_vec();
+        }
+        let mut remaining: Vec<&TriplePattern> = run.to_vec();
+        let mut sim_bound = bound.clone();
+        let mut ordered = Vec::with_capacity(run.len());
+        while !remaining.is_empty() {
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(idx, p)| (idx, self.estimate(p, &sim_bound, reg)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            let chosen = remaining.remove(best_idx);
+            for v in chosen.vars() {
+                if let Some(slot) = reg.slot(v) {
+                    sim_bound.insert(slot);
+                }
+            }
+            ordered.push(chosen);
+        }
+        ordered
+    }
+
+    fn estimate(&self, p: &TriplePattern, bound: &HashSet<usize>, reg: &Registry) -> f64 {
+        let is_bound = |tov: &TermOrVar| match tov {
+            TermOrVar::Term(_) => true,
+            TermOrVar::Var(v) => reg.slot(v).is_some_and(|s| bound.contains(&s)),
+        };
+        let pred_id = match &p.predicate {
+            TermOrVar::Term(t) => self.store.id_of(t),
+            TermOrVar::Var(_) => None,
+        };
+        let has_const_pred = matches!(&p.predicate, TermOrVar::Term(_));
+        let estimate = self.store.stats().estimate(
+            is_bound(&p.subject),
+            if has_const_pred { pred_id.or(Some(TermId(u64::MAX))) } else { None },
+            is_bound(&p.object),
+        );
+        // A constant predicate missing from the dictionary means zero rows.
+        if has_const_pred && pred_id.is_none() {
+            return 0.0;
+        }
+        estimate
+    }
+
+    fn match_pattern(
+        &self,
+        pattern: &TriplePattern,
+        solutions: Vec<Binding>,
+        reg: &Registry,
+    ) -> Result<Vec<Binding>, SparqlError> {
+        enum Slot {
+            Const(TermId),
+            Missing,
+            Var(usize),
+        }
+        let prepare = |tov: &TermOrVar| -> Slot {
+            match tov {
+                TermOrVar::Term(t) => match self.store.id_of(t) {
+                    Some(id) => Slot::Const(id),
+                    None => Slot::Missing,
+                },
+                TermOrVar::Var(v) => Slot::Var(reg.slot(v).expect("var registered")),
+            }
+        };
+        let s_slot = prepare(&pattern.subject);
+        let p_slot = prepare(&pattern.predicate);
+        let o_slot = prepare(&pattern.object);
+        if matches!(s_slot, Slot::Missing)
+            || matches!(p_slot, Slot::Missing)
+            || matches!(o_slot, Slot::Missing)
+        {
+            return Ok(Vec::new());
+        }
+
+        let query_pos = |slot: &Slot, b: &Binding| -> Option<TermId> {
+            match slot {
+                Slot::Const(id) => Some(*id),
+                Slot::Var(s) => b[*s],
+                Slot::Missing => unreachable!(),
+            }
+        };
+        let assign = |slot: &Slot, value: TermId, b: &mut Binding| -> bool {
+            match slot {
+                Slot::Const(_) => true,
+                Slot::Var(s) => match b[*s] {
+                    Some(existing) => existing == value,
+                    None => {
+                        b[*s] = Some(value);
+                        true
+                    }
+                },
+                Slot::Missing => unreachable!(),
+            }
+        };
+
+        let mut out = Vec::new();
+        for b in &solutions {
+            let sq = query_pos(&s_slot, b);
+            let pq = query_pos(&p_slot, b);
+            let oq = query_pos(&o_slot, b);
+            for (s, p, o) in self.store.match_ids(sq, pq, oq) {
+                let mut nb = b.clone();
+                if assign(&s_slot, s, &mut nb)
+                    && assign(&p_slot, p, &mut nb)
+                    && assign(&o_slot, o, &mut nb)
+                {
+                    out.push(nb);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn sort_solutions(
+        &self,
+        solutions: &mut [Binding],
+        order_by: &[OrderKey],
+        reg: &Registry,
+    ) -> Result<(), SparqlError> {
+        if order_by.is_empty() {
+            return Ok(());
+        }
+        let mut keyed: Vec<(Vec<SortKey>, Binding)> = std::mem::take(&mut solutions.to_vec())
+            .into_iter()
+            .map(|b| {
+                let lookup = |name: &str| -> Option<&Term> {
+                    reg.slot(name)
+                        .and_then(|slot| b[slot])
+                        .and_then(|id| self.store.term_of(id))
+                };
+                let keys = order_by
+                    .iter()
+                    .map(|k| sort_key(&k.expr, &lookup))
+                    .collect();
+                (keys, b)
+            })
+            .collect();
+        sort_keyed(&mut keyed, order_by);
+        for (dst, (_, b)) in solutions.iter_mut().zip(keyed) {
+            *dst = b;
+        }
+        Ok(())
+    }
+}
+
+/// Joins outer bindings with subselect rows on shared variables.
+fn join_subselect(input: Vec<Binding>, sub: &IdResults, reg: &Registry) -> Vec<Binding> {
+    let slots: Vec<Option<usize>> = sub.vars.iter().map(|v| reg.slot(v)).collect();
+    let mut out = Vec::new();
+    for b in &input {
+        'rows: for row in &sub.rows {
+            let mut nb = b.clone();
+            for (cell, slot) in row.iter().zip(&slots) {
+                let Some(slot) = slot else { continue };
+                match (nb[*slot], cell) {
+                    (Some(existing), Some(value)) if existing != *value => continue 'rows,
+                    (None, Some(value)) => nb[*slot] = Some(*value),
+                    _ => {}
+                }
+            }
+            out.push(nb);
+        }
+    }
+    out
+}
+
+/// Orderable key for ORDER BY: unbound < numbers < strings.
+#[derive(Debug, Clone, PartialEq)]
+enum SortKey {
+    Unbound,
+    Num(f64),
+    Str(String),
+}
+
+fn sort_key<'a, F>(expr: &Expr, lookup: &F) -> SortKey
+where
+    F: Fn(&str) -> Option<&'a Term>,
+{
+    match expr::eval(expr, lookup) {
+        Err(_) => SortKey::Unbound,
+        Ok(v) => match v.as_num() {
+            Some(n) => SortKey::Num(n),
+            None => v.as_str_value().map(SortKey::Str).unwrap_or(SortKey::Unbound),
+        },
+    }
+}
+
+fn cmp_keys(a: &SortKey, b: &SortKey) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    match (a, b) {
+        (SortKey::Unbound, SortKey::Unbound) => Equal,
+        (SortKey::Unbound, _) => Less,
+        (_, SortKey::Unbound) => Greater,
+        (SortKey::Num(x), SortKey::Num(y)) => x.total_cmp(y),
+        (SortKey::Num(_), SortKey::Str(_)) => Less,
+        (SortKey::Str(_), SortKey::Num(_)) => Greater,
+        (SortKey::Str(x), SortKey::Str(y)) => x.cmp(y),
+    }
+}
+
+fn sort_keyed<T>(keyed: &mut [(Vec<SortKey>, T)], order_by: &[OrderKey]) {
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (idx, key) in order_by.iter().enumerate() {
+            let ord = cmp_keys(&ka[idx], &kb[idx]);
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn apply_slice<T>(rows: &mut Vec<T>, offset: Option<usize>, limit: Option<usize>) {
+    if let Some(off) = offset {
+        if off >= rows.len() {
+            rows.clear();
+        } else {
+            rows.drain(..off);
+        }
+    }
+    if let Some(lim) = limit {
+        rows.truncate(lim);
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------
+
+/// Renders the plan the evaluator would run: greedy BGP join order with
+/// per-pattern cardinality estimates, filters, and compound operators.
+pub fn explain(store: &Store, query: &Query) -> String {
+    let ev = Evaluator {
+        store,
+        options: EvalOptions::default(),
+    };
+    let reg = Registry::build(query);
+    let mut out = String::new();
+    let form = match query.form {
+        QueryForm::Select => "SELECT",
+        QueryForm::Ask => "ASK",
+    };
+    out.push_str(&format!("{form} plan:\n"));
+    ev.explain_group(&query.where_clause, &reg, &mut HashSet::new(), 1, &mut out);
+    if !query.order_by.is_empty() {
+        out.push_str(&format!("  sort: {} key(s)\n", query.order_by.len()));
+    }
+    if query.select.distinct {
+        out.push_str("  distinct\n");
+    }
+    if let Some(limit) = query.limit {
+        out.push_str(&format!("  limit {limit}\n"));
+    }
+    out
+}
+
+impl<'s> Evaluator<'s> {
+    fn explain_group(
+        &self,
+        group: &Group,
+        reg: &Registry,
+        bound: &mut HashSet<usize>,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        let elements: Vec<&Element> = group
+            .elements
+            .iter()
+            .filter(|e| !matches!(e, Element::Filter(_)))
+            .collect();
+        let mut i = 0;
+        while i < elements.len() {
+            match elements[i] {
+                Element::Triple(_) => {
+                    let mut run: Vec<&TriplePattern> = Vec::new();
+                    while i < elements.len() {
+                        if let Element::Triple(t) = elements[i] {
+                            run.push(t);
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let ordered = self.order_patterns(&run, bound, reg);
+                    for pattern in ordered {
+                        let est = self.estimate(pattern, bound, reg);
+                        out.push_str(&format!(
+                            "{pad}scan {} (est. {:.0} rows)\n",
+                            describe_pattern(pattern),
+                            est
+                        ));
+                        for v in pattern.vars() {
+                            if let Some(slot) = reg.slot(v) {
+                                bound.insert(slot);
+                            }
+                        }
+                    }
+                }
+                Element::Optional(g) => {
+                    out.push_str(&format!("{pad}optional:\n"));
+                    self.explain_group(g, reg, &mut bound.clone(), depth + 1, out);
+                    i += 1;
+                }
+                Element::Union(branches) => {
+                    out.push_str(&format!("{pad}union ({} branches):\n", branches.len()));
+                    for branch in branches {
+                        self.explain_group(branch, reg, &mut bound.clone(), depth + 1, out);
+                    }
+                    i += 1;
+                }
+                Element::SubGroup(g) => {
+                    out.push_str(&format!("{pad}group:\n"));
+                    self.explain_group(g, reg, bound, depth + 1, out);
+                    i += 1;
+                }
+                Element::SubSelect(q) => {
+                    out.push_str(&format!("{pad}subselect (limit {:?}):\n", q.limit));
+                    let sub_reg = Registry::build(q);
+                    self.explain_group(
+                        &q.where_clause,
+                        &sub_reg,
+                        &mut HashSet::new(),
+                        depth + 1,
+                        out,
+                    );
+                    i += 1;
+                }
+                Element::Filter(_) => unreachable!("filters partitioned out"),
+            }
+        }
+        let filters = group
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::Filter(_)))
+            .count();
+        if filters > 0 {
+            out.push_str(&format!("{pad}apply {filters} filter(s)\n"));
+        }
+    }
+}
+
+fn describe_pattern(pattern: &TriplePattern) -> String {
+    let prefixes = lodify_rdf::ns::PrefixMap::with_defaults();
+    let part = |tov: &TermOrVar| match tov {
+        TermOrVar::Var(v) => format!("?{v}"),
+        TermOrVar::Term(Term::Iri(iri)) => prefixes
+            .compact(iri)
+            .unwrap_or_else(|| iri.to_string()),
+        TermOrVar::Term(t) => t.to_string(),
+    };
+    format!(
+        "{} {} {}",
+        part(&pattern.subject),
+        part(&pattern.predicate),
+        part(&pattern.object)
+    )
+}

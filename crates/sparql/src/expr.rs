@@ -1,0 +1,583 @@
+//! Filter-expression evaluation.
+//!
+//! Expressions evaluate to [`Value`]s over a variable-lookup closure.
+//! Per SPARQL semantics, references to unbound variables raise a
+//! *row-local* error ([`ExprError::Unbound`]) that the caller turns
+//! into "filter rejects this row" rather than failing the query —
+//! except inside `bound()`.
+
+use lodify_rdf::{Point, Term};
+
+use crate::ast::{BinOp, Expr};
+
+/// The result of evaluating an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An RDF term (IRI, blank or literal).
+    Term(Term),
+    /// A boolean.
+    Bool(bool),
+    /// A number (SPARQL numerics are collapsed to f64 here).
+    Num(f64),
+    /// A plain string (from `str()`, `lang()`, …).
+    Str(String),
+}
+
+/// Expression-evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// A referenced variable is unbound in this row (row-local error).
+    Unbound(String),
+    /// Type error or unknown function — row-local too (SPARQL filters
+    /// treat errors as false) but reported distinctly for diagnostics.
+    Type(String),
+}
+
+impl Value {
+    /// SPARQL effective boolean value.
+    pub fn ebv(&self) -> Result<bool, ExprError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Num(n) => Ok(*n != 0.0 && !n.is_nan()),
+            Value::Str(s) => Ok(!s.is_empty()),
+            Value::Term(Term::Literal(lit)) => {
+                if let Some(n) = lit.as_f64() {
+                    Ok(n != 0.0 && !n.is_nan())
+                } else if lit.value() == "true" {
+                    Ok(true)
+                } else if lit.value() == "false" {
+                    Ok(false)
+                } else {
+                    Ok(!lit.value().is_empty())
+                }
+            }
+            Value::Term(t) => Err(ExprError::Type(format!("no boolean value for {t}"))),
+        }
+    }
+
+    /// Numeric view, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Term(Term::Literal(lit)) => lit.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// String view (lexical form for terms).
+    pub fn as_str_value(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
+            Value::Term(t) => Some(t.lexical().to_string()),
+            Value::Bool(b) => Some(b.to_string()),
+            Value::Num(n) => Some(n.to_string()),
+        }
+    }
+}
+
+/// Evaluates `expr` with `lookup` resolving variables to terms
+/// (`Ok(None)` means the variable exists but is unbound).
+pub fn eval<'a, F>(expr: &Expr, lookup: &F) -> Result<Value, ExprError>
+where
+    F: Fn(&str) -> Option<&'a Term>,
+{
+    match expr {
+        Expr::Var(name) => lookup(name)
+            .map(|t| Value::Term(t.clone()))
+            .ok_or_else(|| ExprError::Unbound(name.clone())),
+        Expr::Const(term) => Ok(Value::Term(term.clone())),
+        Expr::Not(inner) => Ok(Value::Bool(!eval(inner, lookup)?.ebv()?)),
+        Expr::Neg(inner) => {
+            let v = eval(inner, lookup)?;
+            let n = v
+                .as_num()
+                .ok_or_else(|| ExprError::Type("negation of non-numeric".into()))?;
+            Ok(Value::Num(-n))
+        }
+        Expr::In(needle, list) => {
+            let v = eval(needle, lookup)?;
+            for item in list {
+                let w = eval(item, lookup)?;
+                if values_equal(&v, &w) {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        Expr::Binary(op, l, r) => eval_binary(*op, l, r, lookup),
+        Expr::Call(name, args) => eval_call(name, args, lookup),
+    }
+}
+
+fn eval_binary<'a, F>(op: BinOp, l: &Expr, r: &Expr, lookup: &F) -> Result<Value, ExprError>
+where
+    F: Fn(&str) -> Option<&'a Term>,
+{
+    match op {
+        BinOp::And => {
+            // SPARQL logical-and error table: false && error = false.
+            let lv = eval(l, lookup).and_then(|v| v.ebv());
+            let rv = eval(r, lookup).and_then(|v| v.ebv());
+            match (lv, rv) {
+                (Ok(false), _) | (_, Ok(false)) => Ok(Value::Bool(false)),
+                (Ok(true), Ok(true)) => Ok(Value::Bool(true)),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        BinOp::Or => {
+            let lv = eval(l, lookup).and_then(|v| v.ebv());
+            let rv = eval(r, lookup).and_then(|v| v.ebv());
+            match (lv, rv) {
+                (Ok(true), _) | (_, Ok(true)) => Ok(Value::Bool(true)),
+                (Ok(false), Ok(false)) => Ok(Value::Bool(false)),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        BinOp::Eq => Ok(Value::Bool(values_equal(
+            &eval(l, lookup)?,
+            &eval(r, lookup)?,
+        ))),
+        BinOp::Ne => Ok(Value::Bool(!values_equal(
+            &eval(l, lookup)?,
+            &eval(r, lookup)?,
+        ))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let lv = eval(l, lookup)?;
+            let rv = eval(r, lookup)?;
+            let ord = compare(&lv, &rv)?;
+            Ok(Value::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let lv = eval(l, lookup)?
+                .as_num()
+                .ok_or_else(|| ExprError::Type("arithmetic on non-numeric".into()))?;
+            let rv = eval(r, lookup)?
+                .as_num()
+                .ok_or_else(|| ExprError::Type("arithmetic on non-numeric".into()))?;
+            Ok(Value::Num(match op {
+                BinOp::Add => lv + rv,
+                BinOp::Sub => lv - rv,
+                BinOp::Mul => lv * rv,
+                BinOp::Div => {
+                    if rv == 0.0 {
+                        return Err(ExprError::Type("division by zero".into()));
+                    }
+                    lv / rv
+                }
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+/// Value equality with numeric coercion, then RDF term equality, then
+/// string comparison for mixed simple-string cases.
+fn values_equal(a: &Value, b: &Value) -> bool {
+    if let (Some(x), Some(y)) = (a.as_num(), b.as_num()) {
+        return x == y;
+    }
+    match (a, b) {
+        (Value::Term(x), Value::Term(y)) => {
+            if x == y {
+                return true;
+            }
+            // Simple literal vs xsd:string / plain match on lexical form
+            // when neither is language-tagged.
+            match (x.as_literal(), y.as_literal()) {
+                (Some(lx), Some(ly)) => {
+                    lx.language().is_none()
+                        && ly.language().is_none()
+                        && lx.value() == ly.value()
+                        && lx.effective_datatype() == ly.effective_datatype()
+                }
+                _ => false,
+            }
+        }
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Str(s), Value::Term(t)) | (Value::Term(t), Value::Str(s)) => t.lexical() == s,
+        (Value::Bool(x), other) | (other, Value::Bool(x)) => {
+            other.ebv().map(|y| *x == y).unwrap_or(false)
+        }
+        _ => false,
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, ExprError> {
+    if let (Some(x), Some(y)) = (a.as_num(), b.as_num()) {
+        return x
+            .partial_cmp(&y)
+            .ok_or_else(|| ExprError::Type("NaN comparison".into()));
+    }
+    let (Some(x), Some(y)) = (a.as_str_value(), b.as_str_value()) else {
+        return Err(ExprError::Type("incomparable values".into()));
+    };
+    Ok(x.cmp(&y))
+}
+
+fn eval_call<'a, F>(name: &str, args: &[Expr], lookup: &F) -> Result<Value, ExprError>
+where
+    F: Fn(&str) -> Option<&'a Term>,
+{
+    match name {
+        "bound" => {
+            let Some(Expr::Var(v)) = args.first() else {
+                return Err(ExprError::Type("bound() takes a variable".into()));
+            };
+            Ok(Value::Bool(lookup(v).is_some()))
+        }
+        "lang" => {
+            let v = eval(arg(args, 0, name)?, lookup)?;
+            match v {
+                Value::Term(Term::Literal(lit)) => {
+                    Ok(Value::Str(lit.language().unwrap_or("").to_string()))
+                }
+                _ => Err(ExprError::Type("lang() of non-literal".into())),
+            }
+        }
+        "langmatches" => {
+            let tag = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("langMatches tag".into()))?;
+            let range = eval(arg(args, 1, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("langMatches range".into()))?;
+            Ok(Value::Bool(lang_matches(&tag, &range)))
+        }
+        "str" => {
+            let v = eval(arg(args, 0, name)?, lookup)?;
+            Ok(Value::Str(v.as_str_value().unwrap_or_default()))
+        }
+        "strlen" => {
+            let v = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("strlen".into()))?;
+            Ok(Value::Num(v.chars().count() as f64))
+        }
+        "ucase" => {
+            let v = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("ucase".into()))?;
+            Ok(Value::Str(v.to_uppercase()))
+        }
+        "lcase" => {
+            let v = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("lcase".into()))?;
+            Ok(Value::Str(v.to_lowercase()))
+        }
+        "contains" => {
+            let hay = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("contains haystack".into()))?;
+            let needle = eval(arg(args, 1, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("contains needle".into()))?;
+            Ok(Value::Bool(hay.contains(&needle)))
+        }
+        "strstarts" => {
+            let hay = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("strstarts".into()))?;
+            let needle = eval(arg(args, 1, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("strstarts".into()))?;
+            Ok(Value::Bool(hay.starts_with(&needle)))
+        }
+        "isiri" | "isuri" => {
+            let v = eval(arg(args, 0, name)?, lookup)?;
+            Ok(Value::Bool(matches!(v, Value::Term(Term::Iri(_)))))
+        }
+        "isliteral" => {
+            let v = eval(arg(args, 0, name)?, lookup)?;
+            Ok(Value::Bool(matches!(v, Value::Term(Term::Literal(_)))))
+        }
+        "regex" => {
+            let hay = eval(arg(args, 0, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("regex input".into()))?;
+            let pattern = eval(arg(args, 1, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("regex pattern".into()))?;
+            let ci = args.len() > 2
+                && eval(&args[2], lookup)?
+                    .as_str_value()
+                    .is_some_and(|f| f.contains('i'));
+            Ok(Value::Bool(simple_regex_match(&hay, &pattern, ci)))
+        }
+        "bif:st_intersects" => {
+            let g1 = geometry_of(eval(arg(args, 0, name)?, lookup)?)?;
+            let g2 = geometry_of(eval(arg(args, 1, name)?, lookup)?)?;
+            let km = eval(arg(args, 2, name)?, lookup)?
+                .as_num()
+                .ok_or_else(|| ExprError::Type("st_intersects distance".into()))?;
+            Ok(Value::Bool(g1.intersects(g2, km)))
+        }
+        "bif:st_distance" => {
+            let g1 = geometry_of(eval(arg(args, 0, name)?, lookup)?)?;
+            let g2 = geometry_of(eval(arg(args, 1, name)?, lookup)?)?;
+            Ok(Value::Num(g1.distance_km(g2)))
+        }
+        "bif:contains" => {
+            let v = eval(arg(args, 0, name)?, lookup)?;
+            let text = v
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("bif:contains input".into()))?;
+            let words = eval(arg(args, 1, name)?, lookup)?
+                .as_str_value()
+                .ok_or_else(|| ExprError::Type("bif:contains pattern".into()))?;
+            let tokens = lodify_store::fulltext::tokenize(&text);
+            let ok = lodify_store::fulltext::tokenize(&words)
+                .iter()
+                .all(|w| tokens.contains(w));
+            Ok(Value::Bool(ok))
+        }
+        other => Err(ExprError::Type(format!("unknown function {other:?}"))),
+    }
+}
+
+fn arg<'e>(args: &'e [Expr], idx: usize, name: &str) -> Result<&'e Expr, ExprError> {
+    args.get(idx)
+        .ok_or_else(|| ExprError::Type(format!("{name}() missing argument {idx}")))
+}
+
+fn geometry_of(value: Value) -> Result<Point, ExprError> {
+    match value {
+        Value::Term(Term::Literal(lit)) => {
+            Point::from_literal(&lit).map_err(|e| ExprError::Type(e.to_string()))
+        }
+        Value::Str(s) => Point::parse_wkt(&s).map_err(|e| ExprError::Type(e.to_string())),
+        other => Err(ExprError::Type(format!("not a geometry: {other:?}"))),
+    }
+}
+
+/// `langMatches` per RFC 4647 basic filtering: `*` matches any
+/// non-empty tag; otherwise the range must equal the tag or be a
+/// hyphen-delimited prefix, case-insensitively.
+pub fn lang_matches(tag: &str, range: &str) -> bool {
+    if tag.is_empty() {
+        return false;
+    }
+    if range == "*" {
+        return true;
+    }
+    let tag = tag.to_ascii_lowercase();
+    let range = range.to_ascii_lowercase();
+    tag == range || (tag.starts_with(&range) && tag.as_bytes().get(range.len()) == Some(&b'-'))
+}
+
+/// Minimal regex dialect: `^`/`$` anchors, `.` (any char), `.*`
+/// wildcard, everything else literal. Enough for label filtering in
+/// the experiment harness; documented as a subset.
+pub fn simple_regex_match(hay: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let (hay, pattern) = if case_insensitive {
+        (hay.to_lowercase(), pattern.to_lowercase())
+    } else {
+        (hay.to_string(), pattern.to_string())
+    };
+    let anchored_start = pattern.starts_with('^');
+    let anchored_end = pattern.ends_with('$') && !pattern.ends_with("\\$");
+    let body: Vec<char> = pattern
+        .trim_start_matches('^')
+        .trim_end_matches('$')
+        .chars()
+        .collect();
+    let hay: Vec<char> = hay.chars().collect();
+
+    fn match_here(pat: &[char], text: &[char], must_end: bool) -> bool {
+        if pat.is_empty() {
+            return !must_end || text.is_empty();
+        }
+        if pat.len() >= 2 && pat[0] == '.' && pat[1] == '*' {
+            // try all suffixes
+            (0..=text.len()).any(|i| match_here(&pat[2..], &text[i..], must_end))
+        } else if !text.is_empty() && (pat[0] == '.' || pat[0] == text[0]) {
+            match_here(&pat[1..], &text[1..], must_end)
+        } else {
+            false
+        }
+    }
+
+    if anchored_start {
+        match_here(&body, &hay, anchored_end)
+    } else {
+        (0..=hay.len()).any(|i| match_here(&body, &hay[i..], anchored_end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lodify_rdf::Literal;
+    use std::collections::HashMap;
+
+    fn eval_filter(query_filter: &str, bindings: &[(&str, Term)]) -> Result<bool, ExprError> {
+        let q = parse_query(&format!("SELECT ?x WHERE {{ ?x ?p ?o . FILTER({query_filter}) }}"))
+            .unwrap();
+        let crate::ast::Element::Filter(expr) = &q.where_clause.elements[1] else {
+            panic!("no filter");
+        };
+        let map: HashMap<String, Term> = bindings
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        eval(expr, &|name: &str| map.get(name)).and_then(|v| v.ebv())
+    }
+
+    fn lit(v: &str) -> Term {
+        Term::literal(v)
+    }
+
+    fn lang_lit(v: &str, l: &str) -> Term {
+        Term::Literal(Literal::lang(v, l).unwrap())
+    }
+
+    fn num(n: i64) -> Term {
+        Term::Literal(Literal::integer(n))
+    }
+
+    #[test]
+    fn comparisons_numeric_and_string() {
+        assert!(eval_filter("?a > 3", &[("a", num(5))]).unwrap());
+        assert!(!eval_filter("?a > 3", &[("a", num(2))]).unwrap());
+        assert!(eval_filter("?a <= ?b", &[("a", num(2)), ("b", num(2))]).unwrap());
+        assert!(eval_filter("?a = \"x\"", &[("a", lit("x"))]).unwrap());
+        assert!(eval_filter("?a != \"y\"", &[("a", lit("x"))]).unwrap());
+        assert!(eval_filter("?a < \"b\"", &[("a", lit("a"))]).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_row_error() {
+        let err = eval_filter("?missing > 3", &[]).unwrap_err();
+        assert!(matches!(err, ExprError::Unbound(v) if v == "missing"));
+    }
+
+    #[test]
+    fn bound_handles_unbound() {
+        assert!(!eval_filter("bound(?missing)", &[]).unwrap());
+        assert!(eval_filter("bound(?a)", &[("a", num(1))]).unwrap());
+    }
+
+    #[test]
+    fn logical_error_table() {
+        // false && error → false ; true || error → true
+        assert!(!eval_filter("?a > 3 && ?missing > 0", &[("a", num(1))]).unwrap());
+        assert!(eval_filter("?a > 0 || ?missing > 0", &[("a", num(1))]).unwrap());
+        assert!(eval_filter("?a > 0 && ?missing > 0", &[("a", num(1))]).is_err());
+    }
+
+    #[test]
+    fn lang_and_langmatches() {
+        assert!(eval_filter(
+            "langMatches(lang(?d), 'it')",
+            &[("d", lang_lit("bella", "it"))]
+        )
+        .unwrap());
+        assert!(!eval_filter(
+            "langMatches(lang(?d), 'it')",
+            &[("d", lang_lit("nice", "en"))]
+        )
+        .unwrap());
+        assert!(eval_filter(
+            "langMatches(lang(?d), 'en')",
+            &[("d", lang_lit("color", "en-US"))]
+        )
+        .unwrap());
+        assert!(eval_filter("langMatches(lang(?d), '*')", &[("d", lang_lit("x", "fr"))]).unwrap());
+        assert!(!eval_filter("langMatches(lang(?d), '*')", &[("d", lit("plain"))]).unwrap());
+    }
+
+    #[test]
+    fn in_operator() {
+        let city = Term::iri_unchecked("http://linkedgeodata.org/ontology/City");
+        assert!(eval_filter("?t in (lgdo:City, lgdo:Restaurant)", &[("t", city)]).unwrap());
+        let other = Term::iri_unchecked("http://linkedgeodata.org/ontology/Pub");
+        assert!(!eval_filter("?t in (lgdo:City, lgdo:Restaurant)", &[("t", other)]).unwrap());
+    }
+
+    #[test]
+    fn st_intersects() {
+        let mole = Point::new(7.6933, 45.0692).unwrap().to_literal();
+        let near = Point::new(7.6933, 45.0692)
+            .unwrap()
+            .offset_km(0.1, 0.1)
+            .to_literal();
+        let milan = Point::new(9.19, 45.4642).unwrap().to_literal();
+        assert!(eval_filter(
+            "bif:st_intersects(?a, ?b, 0.3)",
+            &[("a", Term::Literal(mole.clone())), ("b", Term::Literal(near))]
+        )
+        .unwrap());
+        assert!(!eval_filter(
+            "bif:st_intersects(?a, ?b, 0.3)",
+            &[("a", Term::Literal(mole)), ("b", Term::Literal(milan))]
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn bif_contains() {
+        assert!(eval_filter(
+            "bif:contains(?l, \"roman colosseum\")",
+            &[("l", lit("The Roman Colosseum at dusk"))]
+        )
+        .unwrap());
+        assert!(!eval_filter(
+            "bif:contains(?l, \"roman temple\")",
+            &[("l", lit("The Roman Colosseum at dusk"))]
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        assert!(eval_filter("?a + 1 = 3", &[("a", num(2))]).unwrap());
+        assert!(eval_filter("?a * 2 > ?a", &[("a", num(5))]).unwrap());
+        assert!(eval_filter("?a / 0 > 1", &[("a", num(5))]).is_err());
+        assert!(eval_filter("-?a < 0", &[("a", num(5))]).unwrap());
+    }
+
+    #[test]
+    fn string_functions() {
+        assert!(eval_filter("contains(str(?a), \"oli\")", &[("a", lit("Coliseum"))]).unwrap());
+        assert!(eval_filter("strstarts(?a, \"Col\")", &[("a", lit("Coliseum"))]).unwrap());
+        assert!(eval_filter("strlen(?a) = 8", &[("a", lit("Coliseum"))]).unwrap());
+        assert!(eval_filter("ucase(?a) = \"ABC\"", &[("a", lit("aBc"))]).unwrap());
+        assert!(eval_filter("lcase(?a) = \"abc\"", &[("a", lit("aBc"))]).unwrap());
+    }
+
+    #[test]
+    fn is_iri_is_literal() {
+        let iri = Term::iri_unchecked("http://x");
+        assert!(eval_filter("isIRI(?a)", &[("a", iri.clone())]).unwrap());
+        assert!(!eval_filter("isLiteral(?a)", &[("a", iri)]).unwrap());
+        assert!(eval_filter("isLiteral(?a)", &[("a", lit("x"))]).unwrap());
+    }
+
+    #[test]
+    fn regex_subset() {
+        assert!(simple_regex_match("Mole Antonelliana", "Mole", false));
+        assert!(simple_regex_match("Mole Antonelliana", "^Mole", false));
+        assert!(!simple_regex_match("The Mole", "^Mole", false));
+        assert!(simple_regex_match("Turin", "^T.*n$", false));
+        assert!(simple_regex_match("TURIN", "turin", true));
+        assert!(!simple_regex_match("Turin", "turin", false));
+        assert!(simple_regex_match("abc", "a.c", false));
+        assert!(!simple_regex_match("abbc", "^a.c$", false));
+    }
+
+    #[test]
+    fn unknown_function_is_type_error() {
+        assert!(matches!(
+            eval_filter("mystery(?a)", &[("a", num(1))]),
+            Err(ExprError::Type(_))
+        ));
+    }
+}

@@ -1,0 +1,440 @@
+//! SPARQL tokenizer.
+
+use crate::error::SparqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<iri>`.
+    IriRef(String),
+    /// `prefix:local` (either half may be empty: `:x`, `dbo:`).
+    PName {
+        /// Prefix part (may be empty).
+        prefix: String,
+        /// Local part (may be empty).
+        local: String,
+    },
+    /// `?name` or `$name`.
+    Var(String),
+    /// Quoted string body (unescaped), single or double quotes.
+    String(String),
+    /// `@tag` immediately after a string.
+    LangTag(String),
+    /// `^^` datatype marker.
+    DatatypeMarker,
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal/double literal.
+    Double(f64),
+    /// A bare word: keyword, function name, `a`, `true`, `false`.
+    Word(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// True if this token is the given bare word, case-insensitively.
+    pub fn is_word(&self, word: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(word))
+    }
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < chars.len() {
+        let c = chars[pos];
+        match c {
+            _ if c.is_whitespace() => pos += 1,
+            '#' => {
+                while pos < chars.len() && chars[pos] != '\n' {
+                    pos += 1;
+                }
+            }
+            '<' => {
+                // IRIREF if a '>' appears before any whitespace.
+                let mut end = pos + 1;
+                let mut is_iri = false;
+                while end < chars.len() {
+                    let ch = chars[end];
+                    if ch == '>' {
+                        is_iri = true;
+                        break;
+                    }
+                    if ch.is_whitespace() || ch == '<' {
+                        break;
+                    }
+                    end += 1;
+                }
+                if is_iri {
+                    let iri: String = chars[pos + 1..end].iter().collect();
+                    tokens.push(Token::IriRef(iri));
+                    pos = end + 1;
+                } else if chars.get(pos + 1) == Some(&'=') {
+                    tokens.push(Token::Punct("<="));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct("<"));
+                    pos += 1;
+                }
+            }
+            '?' | '$' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < chars.len() && is_name_char(chars[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(SparqlError::Lex {
+                        position: pos,
+                        message: "empty variable name".into(),
+                    });
+                }
+                tokens.push(Token::Var(chars[start..end].iter().collect()));
+                pos = end;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut value = String::new();
+                let mut i = pos + 1;
+                let mut closed = false;
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch == '\\' {
+                        let next = chars.get(i + 1).copied().ok_or(SparqlError::Lex {
+                            position: i,
+                            message: "dangling escape".into(),
+                        })?;
+                        value.push(match next {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '\\' => '\\',
+                            '"' => '"',
+                            '\'' => '\'',
+                            other => {
+                                return Err(SparqlError::Lex {
+                                    position: i,
+                                    message: format!("unknown escape \\{other}"),
+                                })
+                            }
+                        });
+                        i += 2;
+                    } else if ch == quote {
+                        closed = true;
+                        i += 1;
+                        break;
+                    } else {
+                        value.push(ch);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(SparqlError::Lex {
+                        position: pos,
+                        message: "unterminated string".into(),
+                    });
+                }
+                tokens.push(Token::String(value));
+                pos = i;
+            }
+            '@' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '-') {
+                    end += 1;
+                }
+                tokens.push(Token::LangTag(chars[start..end].iter().collect()));
+                pos = end;
+            }
+            '^' => {
+                if chars.get(pos + 1) == Some(&'^') {
+                    tokens.push(Token::DatatypeMarker);
+                    pos += 2;
+                } else {
+                    return Err(SparqlError::Lex {
+                        position: pos,
+                        message: "lone '^'".into(),
+                    });
+                }
+            }
+            '&' => {
+                if chars.get(pos + 1) == Some(&'&') {
+                    tokens.push(Token::Punct("&&"));
+                    pos += 2;
+                } else {
+                    return Err(SparqlError::Lex {
+                        position: pos,
+                        message: "lone '&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if chars.get(pos + 1) == Some(&'|') {
+                    tokens.push(Token::Punct("||"));
+                    pos += 2;
+                } else {
+                    return Err(SparqlError::Lex {
+                        position: pos,
+                        message: "lone '|'".into(),
+                    });
+                }
+            }
+            '!' => {
+                if chars.get(pos + 1) == Some(&'=') {
+                    tokens.push(Token::Punct("!="));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct("!"));
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if chars.get(pos + 1) == Some(&'=') {
+                    tokens.push(Token::Punct(">="));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct(">"));
+                    pos += 1;
+                }
+            }
+            '{' | '}' | '(' | ')' | '.' | ';' | ',' | '=' | '*' | '+' | '/' => {
+                // '.' could start a decimal; only when followed by a digit
+                // and preceded by non-name (we don't support .5 → treat
+                // '.' as punct always; decimals require a leading digit).
+                tokens.push(Token::Punct(match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '.' => ".",
+                    ';' => ";",
+                    ',' => ",",
+                    '=' => "=",
+                    '*' => "*",
+                    '+' => "+",
+                    '/' => "/",
+                    _ => unreachable!(),
+                }));
+                pos += 1;
+            }
+            '-' => {
+                tokens.push(Token::Punct("-"));
+                pos += 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = pos;
+                let mut end = pos;
+                let mut is_double = false;
+                while end < chars.len() {
+                    let ch = chars[end];
+                    if ch.is_ascii_digit() {
+                        end += 1;
+                    } else if ch == '.' && chars.get(end + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        is_double = true;
+                        end += 1;
+                    } else if (ch == 'e' || ch == 'E')
+                        && chars
+                            .get(end + 1)
+                            .is_some_and(|d| d.is_ascii_digit() || *d == '-' || *d == '+')
+                    {
+                        is_double = true;
+                        end += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..end].iter().collect();
+                if is_double {
+                    let v = text.parse().map_err(|_| SparqlError::Lex {
+                        position: start,
+                        message: format!("bad double {text:?}"),
+                    })?;
+                    tokens.push(Token::Double(v));
+                } else {
+                    let v = text.parse().map_err(|_| SparqlError::Lex {
+                        position: start,
+                        message: format!("bad integer {text:?}"),
+                    })?;
+                    tokens.push(Token::Integer(v));
+                }
+                pos = end;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = pos;
+                let mut end = pos;
+                while end < chars.len() && is_name_char(chars[end]) {
+                    end += 1;
+                }
+                // prefixed name if immediately followed by ':'
+                if end < chars.len() && chars[end] == ':' {
+                    let prefix: String = chars[start..end].iter().collect();
+                    let mut lend = end + 1;
+                    while lend < chars.len() && is_local_char(chars[lend]) {
+                        lend += 1;
+                    }
+                    // local part can't end with '.'
+                    let mut local_end = lend;
+                    while local_end > end + 1 && chars[local_end - 1] == '.' {
+                        local_end -= 1;
+                    }
+                    let local: String = chars[end + 1..local_end].iter().collect();
+                    tokens.push(Token::PName { prefix, local });
+                    pos = local_end;
+                } else {
+                    tokens.push(Token::Word(chars[start..end].iter().collect()));
+                    pos = end;
+                }
+            }
+            ':' => {
+                // PName with empty prefix.
+                let mut lend = pos + 1;
+                while lend < chars.len() && is_local_char(chars[lend]) {
+                    lend += 1;
+                }
+                let mut local_end = lend;
+                while local_end > pos + 1 && chars[local_end - 1] == '.' {
+                    local_end -= 1;
+                }
+                tokens.push(Token::PName {
+                    prefix: String::new(),
+                    local: chars[pos + 1..local_end].iter().collect(),
+                });
+                pos = local_end;
+            }
+            other => {
+                return Err(SparqlError::Lex {
+                    position: pos,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_local_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '%')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_query() {
+        let toks = tokenize("SELECT ?x WHERE { ?x a foaf:Person . }").unwrap();
+        assert!(toks[0].is_word("select"));
+        assert_eq!(toks[1], Token::Var("x".into()));
+        assert!(toks[2].is_word("WHERE"));
+        assert_eq!(toks[3], Token::Punct("{"));
+        assert_eq!(toks[5], Token::Word("a".into()));
+        assert_eq!(
+            toks[6],
+            Token::PName {
+                prefix: "foaf".into(),
+                local: "Person".into()
+            }
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        let toks = tokenize("<http://x> < <= ?a").unwrap();
+        assert_eq!(toks[0], Token::IriRef("http://x".into()));
+        assert_eq!(toks[1], Token::Punct("<"));
+        assert_eq!(toks[2], Token::Punct("<="));
+    }
+
+    #[test]
+    fn strings_both_quote_styles_and_lang() {
+        let toks = tokenize(r#""Mole Antonelliana"@it 'it' "a\"b""#).unwrap();
+        assert_eq!(toks[0], Token::String("Mole Antonelliana".into()));
+        assert_eq!(toks[1], Token::LangTag("it".into()));
+        assert_eq!(toks[2], Token::String("it".into()));
+        assert_eq!(toks[3], Token::String("a\"b".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 0.3 1e3 -5").unwrap();
+        assert_eq!(toks[0], Token::Integer(42));
+        assert_eq!(toks[1], Token::Double(0.3));
+        assert_eq!(toks[2], Token::Double(1000.0));
+        assert_eq!(toks[3], Token::Punct("-"));
+        assert_eq!(toks[4], Token::Integer(5));
+    }
+
+    #[test]
+    fn bif_function_names_are_pnames() {
+        let toks = tokenize("bif:st_intersects(?a, ?b, 0.3)").unwrap();
+        assert_eq!(
+            toks[0],
+            Token::PName {
+                prefix: "bif".into(),
+                local: "st_intersects".into()
+            }
+        );
+        assert_eq!(toks[1], Token::Punct("("));
+    }
+
+    #[test]
+    fn pname_local_does_not_swallow_statement_dot() {
+        let toks = tokenize("?m rdfs:label ?l .").unwrap();
+        assert_eq!(
+            toks[1],
+            Token::PName {
+                prefix: "rdfs".into(),
+                local: "label".into()
+            }
+        );
+        assert_eq!(toks[3], Token::Punct("."));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT # all vars\n *").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Punct("*"));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("&& || ! != >= > =").unwrap();
+        let puncts: Vec<_> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Punct(p) => *p,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(puncts, vec!["&&", "||", "!", "!=", ">=", ">", "="]);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("x ^ y").is_err());
+    }
+
+    #[test]
+    fn empty_prefix_pname() {
+        let toks = tokenize(":local").unwrap();
+        assert_eq!(
+            toks[0],
+            Token::PName {
+                prefix: String::new(),
+                local: "local".into()
+            }
+        );
+    }
+}

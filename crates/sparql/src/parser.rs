@@ -1,0 +1,782 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use lodify_rdf::ns::PrefixMap;
+use lodify_rdf::{Iri, Literal, Term};
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::lexer::{tokenize, Token};
+
+/// Parses a query. The default namespace table
+/// ([`PrefixMap::with_defaults`]) is pre-registered so the paper's
+/// queries run without having to restate every `PREFIX`.
+pub fn parse_query(text: &str) -> Result<Query, SparqlError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: PrefixMap::with_defaults(),
+    };
+    parser.parse_prologue()?;
+    let query = if parser.peek().is_some_and(|t| t.is_word("ask")) {
+        parser.parse_ask_query()?
+    } else {
+        parser.parse_select_query()?
+    };
+    if !parser.at_end() {
+        return Err(parser.error("trailing tokens after query"));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: PrefixMap,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SparqlError {
+        let mut message = message.into();
+        if let Some(tok) = self.peek() {
+            message.push_str(&format!(" (found {tok:?})"));
+        } else {
+            message.push_str(" (at end of input)");
+        }
+        SparqlError::Parse {
+            position: self.pos,
+            message,
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_word(word)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), SparqlError> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {word}")))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), SparqlError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{p}'")))
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), SparqlError> {
+        while self.peek().is_some_and(|t| t.is_word("prefix")) {
+            self.pos += 1;
+            let (prefix, local) = match self.next() {
+                Some(Token::PName { prefix, local }) => (prefix, local),
+                _ => return Err(self.error("expected prefix name after PREFIX")),
+            };
+            if !local.is_empty() {
+                return Err(self.error(format!(
+                    "prefix declaration must end with ':', got local part {local:?}"
+                )));
+            }
+            let iri = match self.next() {
+                Some(Token::IriRef(iri)) => iri,
+                // Tolerate the paper's unbracketed style:
+                // `PREFIX rdfs:http://...` lexes the IRI into the local
+                // part of the *next* pname or as words; we only support
+                // the bracketed form and report it clearly.
+                _ => return Err(self.error("expected <iri> after prefix name")),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        Ok(())
+    }
+
+    /// `ASK [WHERE] { … }` — no projection, no modifiers.
+    fn parse_ask_query(&mut self) -> Result<Query, SparqlError> {
+        self.expect_word("ask")?;
+        let _ = self.eat_word("where");
+        let where_clause = self.parse_group()?;
+        Ok(Query {
+            form: QueryForm::Ask,
+            select: Select {
+                distinct: false,
+                projection: Projection::All,
+            },
+            where_clause,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: Some(1),
+            offset: None,
+        })
+    }
+
+    fn parse_select_query(&mut self) -> Result<Query, SparqlError> {
+        self.expect_word("select")?;
+        let distinct = self.eat_word("distinct");
+        let projection = self.parse_projection()?;
+        // WHERE keyword is optional in SPARQL.
+        let _ = self.eat_word("where");
+        let where_clause = self.parse_group()?;
+
+        let mut group_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut limit = None;
+        let mut offset = None;
+
+        loop {
+            if self.eat_word("group") {
+                self.expect_word("by")?;
+                while let Some(Token::Var(v)) = self.peek() {
+                    group_by.push(v.clone());
+                    self.pos += 1;
+                }
+                if group_by.is_empty() {
+                    return Err(self.error("expected variables after GROUP BY"));
+                }
+            } else if self.eat_word("order") {
+                self.expect_word("by")?;
+                loop {
+                    if self.eat_word("desc") {
+                        self.expect_punct("(")?;
+                        let expr = self.parse_expr()?;
+                        self.expect_punct(")")?;
+                        order_by.push(OrderKey {
+                            expr,
+                            descending: true,
+                        });
+                    } else if self.eat_word("asc") {
+                        self.expect_punct("(")?;
+                        let expr = self.parse_expr()?;
+                        self.expect_punct(")")?;
+                        order_by.push(OrderKey {
+                            expr,
+                            descending: false,
+                        });
+                    } else if matches!(self.peek(), Some(Token::Var(_))) {
+                        let expr = self.parse_expr()?;
+                        order_by.push(OrderKey {
+                            expr,
+                            descending: false,
+                        });
+                    } else {
+                        break;
+                    }
+                }
+                if order_by.is_empty() {
+                    return Err(self.error("expected sort keys after ORDER BY"));
+                }
+            } else if self.eat_word("limit") {
+                match self.next() {
+                    Some(Token::Integer(n)) if n >= 0 => limit = Some(n as usize),
+                    _ => return Err(self.error("expected non-negative integer after LIMIT")),
+                }
+            } else if self.eat_word("offset") {
+                match self.next() {
+                    Some(Token::Integer(n)) if n >= 0 => offset = Some(n as usize),
+                    _ => return Err(self.error("expected non-negative integer after OFFSET")),
+                }
+            } else {
+                break;
+            }
+        }
+
+        Ok(Query {
+            form: QueryForm::Select,
+            select: Select {
+                distinct,
+                projection,
+            },
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection, SparqlError> {
+        if self.eat_punct("*") {
+            return Ok(Projection::All);
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(v)) => {
+                    items.push(ProjectionItem::Var(v.clone()));
+                    self.pos += 1;
+                }
+                Some(Token::Punct("(")) => {
+                    self.pos += 1;
+                    self.expect_word("count")?;
+                    self.expect_punct("(")?;
+                    let distinct = self.eat_word("distinct");
+                    let var = if self.eat_punct("*") {
+                        None
+                    } else {
+                        match self.next() {
+                            Some(Token::Var(v)) => Some(v),
+                            _ => return Err(self.error("expected * or variable in COUNT")),
+                        }
+                    };
+                    self.expect_punct(")")?;
+                    self.expect_word("as")?;
+                    let alias = match self.next() {
+                        Some(Token::Var(v)) => v,
+                        _ => return Err(self.error("expected alias variable after AS")),
+                    };
+                    self.expect_punct(")")?;
+                    items.push(ProjectionItem::Count {
+                        var,
+                        distinct,
+                        alias,
+                    });
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(self.error("expected projection (variables or *)"));
+        }
+        Ok(Projection::Items(items))
+    }
+
+    fn parse_group(&mut self) -> Result<Group, SparqlError> {
+        self.expect_punct("{")?;
+        let mut elements = Vec::new();
+        loop {
+            if self.eat_punct("}") {
+                return Ok(Group { elements });
+            }
+            if self.at_end() {
+                return Err(self.error("unterminated group (missing '}')"));
+            }
+            if self.eat_word("filter") {
+                let expr = self.parse_constraint()?;
+                elements.push(Element::Filter(expr));
+                let _ = self.eat_punct(".");
+                continue;
+            }
+            if self.eat_word("optional") {
+                let group = self.parse_group()?;
+                elements.push(Element::Optional(group));
+                let _ = self.eat_punct(".");
+                continue;
+            }
+            if matches!(self.peek(), Some(Token::Punct("{"))) {
+                // Nested group / subselect, possibly a UNION chain.
+                let first = self.parse_group_or_subselect()?;
+                let mut branches = vec![first];
+                while self.eat_word("union") {
+                    branches.push(self.parse_group_or_subselect()?);
+                }
+                if branches.len() == 1 {
+                    elements.push(branches.pop().expect("one branch"));
+                } else {
+                    let groups = branches
+                        .into_iter()
+                        .map(|e| match e {
+                            Element::SubGroup(g) => g,
+                            other => Group {
+                                elements: vec![other],
+                            },
+                        })
+                        .collect();
+                    elements.push(Element::Union(groups));
+                }
+                let _ = self.eat_punct(".");
+                continue;
+            }
+            // Triples block.
+            self.parse_triples_block(&mut elements)?;
+        }
+    }
+
+    /// Parses `{ … }` where the body may be a nested SELECT.
+    fn parse_group_or_subselect(&mut self) -> Result<Element, SparqlError> {
+        if matches!(self.peek(), Some(Token::Punct("{")))
+            && self.peek_at(1).is_some_and(|t| t.is_word("select"))
+        {
+            self.expect_punct("{")?;
+            let query = self.parse_select_query()?;
+            self.expect_punct("}")?;
+            return Ok(Element::SubSelect(Box::new(query)));
+        }
+        let group = self.parse_group()?;
+        // A nested group containing only a subselect collapses to it.
+        Ok(Element::SubGroup(group))
+    }
+
+    fn parse_triples_block(&mut self, out: &mut Vec<Element>) -> Result<(), SparqlError> {
+        let subject = self.parse_term_or_var(false)?;
+        loop {
+            let predicate = self.parse_term_or_var(true)?;
+            loop {
+                let object = self.parse_term_or_var(false)?;
+                out.push(Element::Triple(TriplePattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                }));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if self.eat_punct(";") {
+                // Allow trailing ';' before '.' or '}'.
+                if matches!(self.peek(), Some(Token::Punct("." | "}"))) {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        let _ = self.eat_punct(".");
+        Ok(())
+    }
+
+    /// Parses a term or variable. `predicate_position` enables the `a`
+    /// keyword.
+    fn parse_term_or_var(&mut self, predicate_position: bool) -> Result<TermOrVar, SparqlError> {
+        match self.peek().cloned() {
+            Some(Token::Var(v)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Var(v))
+            }
+            Some(Token::IriRef(iri)) => {
+                self.pos += 1;
+                let iri = Iri::new(iri).map_err(|e| SparqlError::Eval(e.to_string()))?;
+                Ok(TermOrVar::Term(Term::Iri(iri)))
+            }
+            Some(Token::PName { prefix, local }) => {
+                self.pos += 1;
+                let iri = self.expand(&prefix, &local)?;
+                Ok(TermOrVar::Term(Term::Iri(iri)))
+            }
+            Some(Token::Word(w)) if predicate_position && w == "a" => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::Iri(lodify_rdf::ns::iri::rdf_type())))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::Literal(Literal::boolean(
+                    w.eq_ignore_ascii_case("true"),
+                ))))
+            }
+            Some(Token::String(s)) => {
+                self.pos += 1;
+                let lit = self.finish_literal(s)?;
+                Ok(TermOrVar::Term(Term::Literal(lit)))
+            }
+            Some(Token::Integer(n)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::Literal(Literal::integer(n))))
+            }
+            Some(Token::Double(d)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::Literal(Literal::double(d))))
+            }
+            _ => Err(self.error("expected term or variable")),
+        }
+    }
+
+    /// Applies a trailing `@lang` or `^^datatype` to a string body.
+    fn finish_literal(&mut self, body: String) -> Result<Literal, SparqlError> {
+        match self.peek().cloned() {
+            Some(Token::LangTag(tag)) => {
+                self.pos += 1;
+                Literal::lang(body, tag).map_err(|e| SparqlError::Eval(e.to_string()))
+            }
+            Some(Token::DatatypeMarker) => {
+                self.pos += 1;
+                let dt = match self.next() {
+                    Some(Token::IriRef(iri)) => {
+                        Iri::new(iri).map_err(|e| SparqlError::Eval(e.to_string()))?
+                    }
+                    Some(Token::PName { prefix, local }) => self.expand(&prefix, &local)?,
+                    _ => return Err(self.error("expected datatype IRI after ^^")),
+                };
+                Ok(Literal::typed(body, dt))
+            }
+            _ => Ok(Literal::simple(body)),
+        }
+    }
+
+    fn expand(&self, prefix: &str, local: &str) -> Result<Iri, SparqlError> {
+        self.prefixes
+            .expand(&format!("{prefix}:{local}"))
+            .ok_or_else(|| SparqlError::UnknownPrefix(prefix.to_string()))
+    }
+
+    /// FILTER constraint: `( expr )` or a bare function call.
+    fn parse_constraint(&mut self) -> Result<Expr, SparqlError> {
+        if matches!(self.peek(), Some(Token::Punct("("))) {
+            self.pos += 1;
+            let expr = self.parse_expr()?;
+            self.expect_punct(")")?;
+            Ok(expr)
+        } else {
+            self.parse_primary_expr()
+        }
+    }
+
+    // --- expression parsing, precedence climbing ---
+
+    fn parse_expr(&mut self) -> Result<Expr, SparqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_punct("||") {
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_relational()?;
+        while self.eat_punct("&&") {
+            let right = self.parse_relational()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, SparqlError> {
+        let left = self.parse_additive()?;
+        if self.peek().is_some_and(|t| t.is_word("in")) {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            return Ok(Expr::In(Box::new(left), list));
+        }
+        let op = match self.peek() {
+            Some(Token::Punct("=")) => Some(BinOp::Eq),
+            Some(Token::Punct("!=")) => Some(BinOp::Ne),
+            Some(Token::Punct("<")) => Some(BinOp::Lt),
+            Some(Token::Punct("<=")) => Some(BinOp::Le),
+            Some(Token::Punct(">")) => Some(BinOp::Gt),
+            Some(Token::Punct(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat_punct("+") {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Binary(BinOp::Add, Box::new(left), Box::new(right));
+            } else if self.eat_punct("-") {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Binary(BinOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let right = self.parse_unary()?;
+                left = Expr::Binary(BinOp::Mul, Box::new(left), Box::new(right));
+            } else if self.eat_punct("/") {
+                let right = self.parse_unary()?;
+                left = Expr::Binary(BinOp::Div, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SparqlError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary_expr()
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr, SparqlError> {
+        match self.peek().cloned() {
+            Some(Token::Punct("(")) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::Var(v))
+            }
+            Some(Token::String(s)) => {
+                self.pos += 1;
+                let lit = self.finish_literal(s)?;
+                Ok(Expr::Const(Term::Literal(lit)))
+            }
+            Some(Token::Integer(n)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Term::Literal(Literal::integer(n))))
+            }
+            Some(Token::Double(d)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Term::Literal(Literal::double(d))))
+            }
+            Some(Token::IriRef(iri)) => {
+                self.pos += 1;
+                let iri = Iri::new(iri).map_err(|e| SparqlError::Eval(e.to_string()))?;
+                Ok(Expr::Const(Term::Iri(iri)))
+            }
+            Some(Token::PName { prefix, local }) => {
+                self.pos += 1;
+                // `bif:` names are Virtuoso built-in functions, never IRIs.
+                if prefix.eq_ignore_ascii_case("bif") {
+                    let name = format!("bif:{}", local.to_ascii_lowercase());
+                    self.expect_punct("(")?;
+                    let args = self.parse_call_args()?;
+                    return Ok(Expr::Call(name, args));
+                }
+                let iri = self.expand(&prefix, &local)?;
+                Ok(Expr::Const(Term::Iri(iri)))
+            }
+            Some(Token::Word(w)) => {
+                self.pos += 1;
+                let lower = w.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => Ok(Expr::Const(Term::Literal(Literal::boolean(true)))),
+                    "false" => Ok(Expr::Const(Term::Literal(Literal::boolean(false)))),
+                    _ => {
+                        self.expect_punct("(")?;
+                        let args = self.parse_call_args()?;
+                        Ok(Expr::Call(lower, args))
+                    }
+                }
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    fn parse_call_args(&mut self) -> Result<Vec<Expr>, SparqlError> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr()?);
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(")")?;
+            return Ok(args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_q1() {
+        // Query Q1 from §2.3, verbatim modulo bracketed PREFIX IRIs.
+        let q = parse_query(
+            r#"
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+}
+"#,
+        )
+        .unwrap();
+        assert!(q.select.distinct);
+        assert_eq!(q.where_clause.elements.len(), 6);
+        match &q.where_clause.elements[5] {
+            Element::Filter(Expr::Call(name, args)) => {
+                assert_eq!(name, "bif:st_intersects");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_desc() {
+        let q = parse_query(
+            "SELECT ?r WHERE { ?r rev:rating ?p . } ORDER BY DESC(?p) LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn parses_union_of_subselects() {
+        let q = parse_query(
+            r#"SELECT DISTINCT ?lbl WHERE {
+              { SELECT DISTINCT ?lbl WHERE { ?c rdfs:label ?lbl . } LIMIT 5 }
+              UNION
+              { SELECT DISTINCT ?lbl WHERE { ?r rdfs:label ?lbl . } LIMIT 5 }
+            }"#,
+        )
+        .unwrap();
+        match &q.where_clause.elements[0] {
+            Element::Union(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_optional_and_in_filter() {
+        let q = parse_query(
+            r#"SELECT ?o ?d WHERE {
+                ?o a ?t .
+                OPTIONAL { ?o <http://linkedgeodata.org/property/website> ?d }
+                FILTER (?t in (lgdo:Restaurant, lgdo:Tourism)) .
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause.elements[1], Element::Optional(_)));
+        match &q.where_clause.elements[2] {
+            Element::Filter(Expr::In(_, list)) => assert_eq!(list.len(), 2),
+            other => panic!("expected IN filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_langmatches_with_single_quotes() {
+        let q = parse_query(
+            "SELECT ?d WHERE { ?x dbpo:abstract ?d . FILTER langMatches(lang(?d), 'it') . }",
+        )
+        .unwrap();
+        match &q.where_clause.elements[1] {
+            Element::Filter(Expr::Call(name, args)) => {
+                assert_eq!(name, "langmatches");
+                assert!(matches!(&args[0], Expr::Call(inner, _) if inner == "lang"));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicate_object_lists() {
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s rdfs:label \"a\" , \"b\" ; a sioct:MicroblogPost . }",
+        )
+        .unwrap();
+        let triples: Vec<_> = q
+            .where_clause
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::Triple(_)))
+            .collect();
+        assert_eq!(triples.len(), 3);
+    }
+
+    #[test]
+    fn parses_count_group_by() {
+        let q = parse_query(
+            "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s a ?t . } GROUP BY ?t ORDER BY DESC(?n)",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["t".to_string()]);
+        match &q.select.projection {
+            Projection::Items(items) => {
+                assert!(matches!(&items[1], ProjectionItem::Count { var: None, alias, .. } if alias == "n"));
+            }
+            _ => panic!("expected items"),
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_is_reported() {
+        let err = parse_query("SELECT ?s WHERE { ?s nope:thing ?o . }").unwrap_err();
+        assert!(matches!(err, SparqlError::UnknownPrefix(p) if p == "nope"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o . } garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_projection() {
+        assert!(parse_query("SELECT WHERE { ?s ?p ?o . }").is_err());
+    }
+
+    #[test]
+    fn filter_without_outer_parens() {
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o . FILTER bound(?o) }",
+        )
+        .unwrap();
+        assert!(matches!(
+            &q.where_clause.elements[1],
+            Element::Filter(Expr::Call(name, _)) if name == "bound"
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Query result representation.
+
+use lodify_rdf::Term;
+
+/// A solution sequence: projected variable names plus rows of optional
+/// terms (a `None` cell is an unbound variable, e.g. from OPTIONAL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResults {
+    /// Projected variable names, in SELECT order.
+    pub vars: Vec<String>,
+    /// Rows; each row has exactly `vars.len()` cells.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+/// A borrowed view of one row with name-based access.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    vars: &'a [String],
+    cells: &'a [Option<Term>],
+}
+
+impl QueryResults {
+    /// Empty result set with the given variables.
+    pub fn empty(vars: Vec<String>) -> Self {
+        QueryResults {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows as name-addressable views.
+    pub fn iter(&self) -> impl Iterator<Item = Row<'_>> {
+        self.rows.iter().map(|cells| Row {
+            vars: &self.vars,
+            cells,
+        })
+    }
+
+    /// The first row, if any.
+    pub fn first(&self) -> Option<Row<'_>> {
+        self.iter().next()
+    }
+
+    /// All bound values of one variable, in row order.
+    pub fn column(&self, var: &str) -> Vec<&Term> {
+        let Some(idx) = self.vars.iter().position(|v| v == var) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|row| row[idx].as_ref())
+            .collect()
+    }
+
+    /// Renders a compact table for logs/examples.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.vars.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "—".into()))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+}
+
+impl<'a> Row<'a> {
+    /// The value bound to `var` in this row.
+    pub fn get(&self, var: &str) -> Option<&'a Term> {
+        let idx = self.vars.iter().position(|v| v == var)?;
+        self.cells[idx].as_ref()
+    }
+
+    /// Raw cells.
+    pub fn cells(&self) -> &'a [Option<Term>] {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryResults {
+        QueryResults {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Some(Term::literal("1")), None],
+                vec![Some(Term::literal("2")), Some(Term::literal("x"))],
+            ],
+        }
+    }
+
+    #[test]
+    fn row_access_by_name() {
+        let r = sample();
+        let first = r.first().unwrap();
+        assert_eq!(first.get("a"), Some(&Term::literal("1")));
+        assert_eq!(first.get("b"), None);
+        assert_eq!(first.get("missing"), None);
+    }
+
+    #[test]
+    fn column_skips_unbound() {
+        let r = sample();
+        assert_eq!(r.column("b").len(), 1);
+        assert_eq!(r.column("a").len(), 2);
+        assert!(r.column("zzz").is_empty());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let table = sample().to_table();
+        assert!(table.starts_with("a\tb\n"));
+        assert!(table.contains('—'));
+    }
+}

@@ -1,0 +1,119 @@
+//! Term dictionary: interning of RDF terms into dense ids.
+//!
+//! Ids are dense `u64`s handed out in first-seen order, so they double
+//! as stable insertion timestamps for the indexes. Lookup in both
+//! directions is O(1) amortized.
+
+use std::collections::HashMap;
+
+use lodify_rdf::Term;
+
+/// A dense identifier for an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u64);
+
+impl TermId {
+    /// The largest possible id, used as a range-scan sentinel.
+    pub const MAX: TermId = TermId(u64::MAX);
+    /// The smallest possible id, used as a range-scan sentinel.
+    pub const MIN: TermId = TermId(0);
+}
+
+/// Bidirectional term ↔ id dictionary.
+#[derive(Debug, Default)]
+pub struct Dict {
+    by_term: HashMap<Term, TermId>,
+    by_id: Vec<Term>,
+}
+
+impl Dict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.by_id.len() as u64);
+        self.by_id.push(term.clone());
+        self.by_term.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.by_id.get(id.0 as usize)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u64), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.intern(&Term::literal("x"));
+        let b = d.intern(&Term::literal("x"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_seen() {
+        let mut d = Dict::new();
+        let a = d.intern(&Term::literal("a"));
+        let b = d.intern(&Term::literal("b"));
+        let c = d.intern(&Term::literal("c"));
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = Dict::new();
+        let t = Term::iri_unchecked("http://example.org/x");
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), Some(&t));
+        assert_eq!(d.id(&t), Some(id));
+        assert_eq!(d.term(TermId(99)), None);
+        assert_eq!(d.id(&Term::literal("missing")), None);
+    }
+
+    #[test]
+    fn distinguishes_literal_shapes() {
+        use lodify_rdf::Literal;
+        let mut d = Dict::new();
+        let plain = d.intern(&Term::Literal(Literal::simple("Turin")));
+        let tagged = d.intern(&Term::Literal(Literal::lang("Turin", "en").unwrap()));
+        let iri = d.intern(&Term::iri_unchecked("Turin:x"));
+        assert_ne!(plain, tagged);
+        assert_ne!(plain, iri);
+        assert_eq!(d.len(), 3);
+    }
+}

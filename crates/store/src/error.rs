@@ -1,0 +1,26 @@
+//! Store error type.
+
+use std::fmt;
+
+/// Errors surfaced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A term id was presented that this store never issued.
+    UnknownTermId(u64),
+    /// A graph name was presented that was never registered.
+    UnknownGraph(String),
+    /// Bulk load failed while parsing input.
+    Load(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+            StoreError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            StoreError::Load(msg) => write!(f, "bulk load failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,244 @@
+//! Full-text inverted index over string literals.
+//!
+//! Reproduces the Virtuoso text-search capability the paper's mobile
+//! search box uses: each string literal object is tokenized (Unicode
+//! alphanumeric runs, lowercased) and posted under every token. Two
+//! query modes are exposed:
+//!
+//! * [`FullTextIndex::search_word`] — exact-token match, the semantics
+//!   of SPARQL `bif:contains "word"`;
+//! * [`FullTextIndex::search_prefix`] — token-prefix match, powering
+//!   the incremental AJAX search of §4 (candidates appear while the
+//!   user types "Tur…" → "Turin").
+
+use std::collections::BTreeMap;
+
+use crate::dict::TermId;
+
+/// A posting: which (subject, predicate, object-literal) triple carried
+/// the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Subject of the indexed triple.
+    pub subject: TermId,
+    /// Predicate of the indexed triple.
+    pub predicate: TermId,
+    /// Object (the literal containing the token).
+    pub object: TermId,
+}
+
+/// Token → sorted postings.
+#[derive(Debug, Default)]
+pub struct FullTextIndex {
+    postings: BTreeMap<String, Vec<Posting>>,
+    tokens_indexed: usize,
+}
+
+impl FullTextIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes a literal's lexical form for the given triple.
+    pub fn index_literal(&mut self, subject: TermId, predicate: TermId, object: TermId, text: &str) {
+        for token in tokenize(text) {
+            let entry = self.postings.entry(token).or_default();
+            let posting = Posting {
+                subject,
+                predicate,
+                object,
+            };
+            // Keep postings sorted + deduplicated; lists are short and
+            // insertion-sorted to keep lookups allocation-free.
+            if let Err(pos) = entry.binary_search(&posting) {
+                entry.insert(pos, posting);
+            }
+            self.tokens_indexed += 1;
+        }
+    }
+
+    /// Removes the postings a literal contributed for the given triple
+    /// (inverse of [`FullTextIndex::index_literal`]).
+    pub fn remove_literal(
+        &mut self,
+        subject: TermId,
+        predicate: TermId,
+        object: TermId,
+        text: &str,
+    ) {
+        let posting = Posting {
+            subject,
+            predicate,
+            object,
+        };
+        for token in tokenize(text) {
+            if let Some(entry) = self.postings.get_mut(&token) {
+                if let Ok(pos) = entry.binary_search(&posting) {
+                    entry.remove(pos);
+                }
+                if entry.is_empty() {
+                    self.postings.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// Exact-token lookup (`bif:contains` semantics for a single word).
+    pub fn search_word(&self, word: &str) -> &[Posting] {
+        let needle = word.to_lowercase();
+        self.postings.get(&needle).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All postings for tokens starting with `prefix`, deduplicated by
+    /// subject, capped at `limit` subjects. This is the operation behind
+    /// the incremental search candidates list (Fig. 3).
+    pub fn search_prefix(&self, prefix: &str, limit: usize) -> Vec<Posting> {
+        let needle = prefix.to_lowercase();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for (_, postings) in self
+            .postings
+            .range(needle.clone()..)
+            .take_while(|(token, _)| token.starts_with(&needle))
+        {
+            for p in postings {
+                if seen.insert(p.subject) {
+                    out.push(*p);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Postings matching **all** words (conjunctive `bif:contains "a b"`),
+    /// intersected on subject.
+    pub fn search_all_words(&self, text: &str) -> Vec<Posting> {
+        let words = tokenize(text);
+        let mut iter = words.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut subjects: std::collections::BTreeSet<TermId> =
+            self.search_word(first).iter().map(|p| p.subject).collect();
+        for word in iter {
+            let next: std::collections::BTreeSet<TermId> =
+                self.search_word(word).iter().map(|p| p.subject).collect();
+            subjects = subjects.intersection(&next).copied().collect();
+            if subjects.is_empty() {
+                return Vec::new();
+            }
+        }
+        self.search_word(first)
+            .iter()
+            .filter(|p| subjects.contains(&p.subject))
+            .copied()
+            .collect()
+    }
+
+    /// Number of distinct tokens in the index.
+    pub fn distinct_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total tokens indexed (including repeats).
+    pub fn tokens_indexed(&self) -> usize {
+        self.tokens_indexed
+    }
+}
+
+/// Splits text into lowercase alphanumeric tokens. Apostrophes inside
+/// words split ("dell'arte" → "dell", "arte"), matching how short
+/// multilingual labels behave in the synthetic corpora.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lower in c.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> (TermId, TermId, TermId) {
+        (TermId(n), TermId(n + 100), TermId(n + 200))
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("Mole Antonelliana"), vec!["mole", "antonelliana"]);
+        assert_eq!(tokenize("dell'arte!"), vec!["dell", "arte"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("Città di Torino"), vec!["città", "di", "torino"]);
+    }
+
+    #[test]
+    fn word_search_is_case_insensitive() {
+        let mut idx = FullTextIndex::new();
+        let (s, p, o) = ids(1);
+        idx.index_literal(s, p, o, "Mole Antonelliana");
+        assert_eq!(idx.search_word("MOLE").len(), 1);
+        assert_eq!(idx.search_word("mole")[0].subject, s);
+        assert!(idx.search_word("turin").is_empty());
+    }
+
+    #[test]
+    fn prefix_search_dedups_subjects_and_caps() {
+        let mut idx = FullTextIndex::new();
+        for n in 0..10 {
+            let (s, p, o) = ids(n);
+            idx.index_literal(s, p, o, "Turin Torino");
+        }
+        let hits = idx.search_prefix("t", 5);
+        assert_eq!(hits.len(), 5);
+        let hits = idx.search_prefix("tori", 100);
+        assert_eq!(hits.len(), 10);
+        assert!(idx.search_prefix("x", 10).is_empty());
+    }
+
+    #[test]
+    fn duplicate_postings_collapse() {
+        let mut idx = FullTextIndex::new();
+        let (s, p, o) = ids(1);
+        idx.index_literal(s, p, o, "turin turin turin");
+        assert_eq!(idx.search_word("turin").len(), 1);
+    }
+
+    #[test]
+    fn all_words_intersects_on_subject() {
+        let mut idx = FullTextIndex::new();
+        let (s1, p, o) = ids(1);
+        let (s2, _, _) = ids(2);
+        idx.index_literal(s1, p, o, "roman colosseum");
+        idx.index_literal(s2, p, o, "roman forum");
+        let hits = idx.search_all_words("roman colosseum");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].subject, s1);
+        assert!(idx.search_all_words("roman temple").is_empty());
+        assert!(idx.search_all_words("").is_empty());
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut idx = FullTextIndex::new();
+        let (s, p, o) = ids(1);
+        idx.index_literal(s, p, o, "a b a");
+        assert_eq!(idx.distinct_tokens(), 2);
+        assert_eq!(idx.tokens_indexed(), 3);
+    }
+}

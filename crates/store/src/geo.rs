@@ -1,0 +1,210 @@
+//! Geospatial index over `geo:geometry` point literals.
+//!
+//! A uniform lon/lat grid (default cell ≈ 0.05°, roughly 4–5 km at
+//! Torino's latitude) maps each georeferenced subject to a cell;
+//! radius queries scan only the cells overlapping the bounding box of
+//! the search circle and verify candidates with exact great-circle
+//! distance. This keeps `bif:st_intersects` evaluation out of the
+//! O(n·m) nested-loop regime for the paper's virtual-album queries.
+
+use std::collections::{BTreeMap, HashMap};
+
+use lodify_rdf::Point;
+
+use crate::dict::TermId;
+
+/// Grid cell coordinate.
+type Cell = (i32, i32);
+
+/// Grid-backed point index keyed by subject id.
+#[derive(Debug)]
+pub struct GeoIndex {
+    cell_deg: f64,
+    by_subject: HashMap<TermId, Point>,
+    grid: BTreeMap<Cell, Vec<TermId>>,
+}
+
+impl Default for GeoIndex {
+    fn default() -> Self {
+        GeoIndex::new(0.05)
+    }
+}
+
+impl GeoIndex {
+    /// Creates an index with the given cell size in degrees.
+    pub fn new(cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        GeoIndex {
+            cell_deg,
+            by_subject: HashMap::new(),
+            grid: BTreeMap::new(),
+        }
+    }
+
+    fn cell_of(&self, p: Point) -> Cell {
+        (
+            (p.lon / self.cell_deg).floor() as i32,
+            (p.lat / self.cell_deg).floor() as i32,
+        )
+    }
+
+    /// Registers (or moves) a subject's point.
+    pub fn insert(&mut self, subject: TermId, point: Point) {
+        if let Some(old) = self.by_subject.insert(subject, point) {
+            let old_cell = self.cell_of(old);
+            if let Some(v) = self.grid.get_mut(&old_cell) {
+                v.retain(|&s| s != subject);
+            }
+        }
+        self.grid.entry(self.cell_of(point)).or_default().push(subject);
+    }
+
+    /// Removes a subject's point, if registered.
+    pub fn remove(&mut self, subject: TermId) {
+        if let Some(old) = self.by_subject.remove(&subject) {
+            let cell = self.cell_of(old);
+            if let Some(v) = self.grid.get_mut(&cell) {
+                v.retain(|&s| s != subject);
+            }
+        }
+    }
+
+    /// The point registered for `subject`, if any.
+    pub fn point_of(&self, subject: TermId) -> Option<Point> {
+        self.by_subject.get(&subject).copied()
+    }
+
+    /// Subjects within `radius_km` of `center`, with their distances,
+    /// sorted nearest-first.
+    pub fn within_km(&self, center: Point, radius_km: f64) -> Vec<(TermId, f64)> {
+        // Bounding box in degrees. 1° latitude ≈ 111.195 km; longitude
+        // shrinks by cos(lat). Guard the cosine near the poles.
+        let dlat = radius_km / 111.195;
+        let coslat = center.lat.to_radians().cos().max(0.01);
+        let dlon = radius_km / (111.195 * coslat);
+
+        let min_cell = self.cell_of(Point {
+            lon: (center.lon - dlon).max(-180.0),
+            lat: (center.lat - dlat).max(-90.0),
+        });
+        let max_cell = self.cell_of(Point {
+            lon: (center.lon + dlon).min(180.0),
+            lat: (center.lat + dlat).min(90.0),
+        });
+
+        let mut hits = Vec::new();
+        for cx in min_cell.0..=max_cell.0 {
+            for cy in min_cell.1..=max_cell.1 {
+                if let Some(subjects) = self.grid.get(&(cx, cy)) {
+                    for &s in subjects {
+                        let p = self.by_subject[&s];
+                        let d = center.distance_km(p);
+                        if d <= radius_km {
+                            hits.push((s, d));
+                        }
+                    }
+                }
+            }
+        }
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+
+    /// Number of indexed subjects.
+    pub fn len(&self) -> usize {
+        self.by_subject.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_subject.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lon: f64, lat: f64) -> Point {
+        Point::new(lon, lat).unwrap()
+    }
+
+    #[test]
+    fn radius_query_finds_only_nearby() {
+        let mut idx = GeoIndex::default();
+        let mole = pt(7.6933, 45.0692);
+        idx.insert(TermId(1), mole);
+        idx.insert(TermId(2), mole.offset_km(0.2, 0.0)); // ~200 m east
+        idx.insert(TermId(3), pt(9.19, 45.4642)); // Milan, ~126 km
+        let hits = idx.within_km(mole, 0.3);
+        let ids: Vec<u64> = hits.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        let hits = idx.within_km(mole, 200.0);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn results_sorted_nearest_first() {
+        let mut idx = GeoIndex::default();
+        let c = pt(7.0, 45.0);
+        idx.insert(TermId(1), c.offset_km(3.0, 0.0));
+        idx.insert(TermId(2), c.offset_km(1.0, 0.0));
+        idx.insert(TermId(3), c.offset_km(2.0, 0.0));
+        let hits = idx.within_km(c, 10.0);
+        let ids: Vec<u64> = hits.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn reinsert_moves_subject() {
+        let mut idx = GeoIndex::default();
+        idx.insert(TermId(1), pt(7.0, 45.0));
+        idx.insert(TermId(1), pt(9.0, 46.0));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.within_km(pt(7.0, 45.0), 1.0).is_empty());
+        assert_eq!(idx.within_km(pt(9.0, 46.0), 1.0).len(), 1);
+        assert_eq!(idx.point_of(TermId(1)), Some(pt(9.0, 46.0)));
+    }
+
+    #[test]
+    fn crossing_cell_boundaries_is_transparent() {
+        // Points straddling a cell edge must both be found.
+        let mut idx = GeoIndex::new(0.05);
+        let edge = pt(0.049999, 0.049999);
+        let other = pt(0.050001, 0.050001);
+        idx.insert(TermId(1), edge);
+        idx.insert(TermId(2), other);
+        let hits = idx.within_km(edge, 1.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn grid_agrees_with_linear_scan() {
+        // Deterministic pseudo-random points; compare grid query to a
+        // brute-force filter.
+        let mut idx = GeoIndex::default();
+        let mut points = Vec::new();
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..500 {
+            let p = pt(7.0 + next() * 0.5, 45.0 + next() * 0.5);
+            idx.insert(TermId(i), p);
+            points.push((TermId(i), p));
+        }
+        let center = pt(7.25, 45.25);
+        for radius in [0.5, 2.0, 10.0, 50.0] {
+            let mut expected: Vec<TermId> = points
+                .iter()
+                .filter(|(_, p)| center.distance_km(*p) <= radius)
+                .map(|(s, _)| *s)
+                .collect();
+            expected.sort();
+            let mut got: Vec<TermId> = idx.within_km(center, radius).into_iter().map(|(s, _)| s).collect();
+            got.sort();
+            assert_eq!(got, expected, "radius {radius}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Concurrent store access.
+//!
+//! The paper's Virtuoso instance serves the web interface, the mobile
+//! interface and the annotation pipeline at once. [`SharedStore`]
+//! provides that multi-reader/single-writer discipline over the
+//! in-memory store: cheap clone-able handles, many concurrent readers
+//! (queries), exclusive writers (uploads/semanticization).
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::store::Store;
+
+/// A cloneable, thread-safe handle to a store.
+#[derive(Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<Store>>,
+}
+
+impl SharedStore {
+    /// Wraps a store for shared access.
+    pub fn new(store: Store) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Acquires a read guard (many readers may hold one concurrently).
+    pub fn read(&self) -> RwLockReadGuard<'_, Store> {
+        self.inner.read()
+    }
+
+    /// Acquires the exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Store> {
+        self.inner.write()
+    }
+
+    /// Runs a closure under the read lock.
+    pub fn with_read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs a closure under the write lock.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Some(store) => write!(f, "SharedStore({} triples)", store.len()),
+            None => f.write_str("SharedStore(<locked>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_rdf::{Term, Triple};
+
+    fn t(i: usize) -> Triple {
+        Triple::spo(
+            &format!("http://s/{i}"),
+            "http://p",
+            Term::literal(format!("v{i}")),
+        )
+    }
+
+    #[test]
+    fn concurrent_readers_with_interleaved_writer() {
+        let shared = SharedStore::new(Store::new());
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            for i in 0..100 {
+                store.insert(&t(i), g);
+            }
+        });
+
+        let mut handles = Vec::new();
+        // 4 readers scanning while a writer appends.
+        for _ in 0..4 {
+            let reader = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..50 {
+                    total += reader.with_read(|store| store.len());
+                }
+                total
+            }));
+        }
+        let writer = shared.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 100..200 {
+                writer.with_write(|store| {
+                    let g = store.default_graph();
+                    store.insert(&t(i), g);
+                });
+            }
+            0
+        }));
+        for handle in handles {
+            handle.join().expect("no thread panics");
+        }
+        assert_eq!(shared.read().len(), 200);
+    }
+
+    #[test]
+    fn queries_run_under_the_read_guard() {
+        let shared = SharedStore::new(Store::new());
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            store.insert(&t(1), g);
+        });
+        let guard = shared.read();
+        let results =
+            lodify_sparql_probe(&guard).expect("query under read guard");
+        assert_eq!(results, 1);
+    }
+
+    /// Stand-in for a SPARQL call (the sparql crate depends on this
+    /// one, so here we just exercise pattern matching under the guard).
+    fn lodify_sparql_probe(store: &Store) -> Option<usize> {
+        Some(store.count_pattern(None, None, None))
+    }
+
+    #[test]
+    fn debug_reports_size() {
+        let shared = SharedStore::new(Store::new());
+        assert!(format!("{shared:?}").contains("0 triples"));
+    }
+}

@@ -1,0 +1,594 @@
+//! The triple store facade.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use lodify_rdf::ns::PrefixMap;
+use lodify_rdf::{ntriples, turtle, Iri, Point, Term, Triple};
+
+use crate::dict::{Dict, TermId};
+use crate::error::StoreError;
+use crate::fulltext::FullTextIndex;
+use crate::geo::GeoIndex;
+use crate::stats::Stats;
+
+/// Identifier of a named graph registered in a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(pub u16);
+
+/// Name of the default graph (used when no explicit graph is given).
+pub const DEFAULT_GRAPH: &str = "urn:lodify:graph:default";
+
+type Key = (TermId, TermId, TermId);
+
+/// Dictionary-encoded in-memory triple store with SPO/POS/OSP indexes,
+/// full-text and geo side indexes, and subject-level graph provenance.
+///
+/// All queries run over the **union** of graphs — exactly how the
+/// paper's Virtuoso instance serves SPARQL over the platform data plus
+/// the imported DBpedia/Geonames/LinkedGeoData snapshots — while
+/// [`Store::graph_of_subject`] exposes the provenance the semantic
+/// filter ranks candidates by.
+#[derive(Debug)]
+pub struct Store {
+    dict: Dict,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+    graphs: Vec<String>,
+    graph_ids: HashMap<String, GraphId>,
+    subject_graph: HashMap<TermId, GraphId>,
+    fulltext: FullTextIndex,
+    geo: GeoIndex,
+    stats: Stats,
+    seen_subjects: HashSet<TermId>,
+    seen_objects: HashSet<TermId>,
+    geo_geometry: TermId,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Creates an empty store with the default graph registered.
+    pub fn new() -> Self {
+        let mut dict = Dict::new();
+        let geo_geometry = dict.intern(&Term::Iri(lodify_rdf::ns::iri::geo_geometry()));
+        let mut store = Store {
+            dict,
+            spo: BTreeSet::new(),
+            pos: BTreeSet::new(),
+            osp: BTreeSet::new(),
+            graphs: Vec::new(),
+            graph_ids: HashMap::new(),
+            subject_graph: HashMap::new(),
+            fulltext: FullTextIndex::new(),
+            geo: GeoIndex::default(),
+            stats: Stats::new(),
+            seen_subjects: HashSet::new(),
+            seen_objects: HashSet::new(),
+            geo_geometry,
+        };
+        store.graph(DEFAULT_GRAPH);
+        store
+    }
+
+    /// Registers (or retrieves) a named graph by IRI/name.
+    pub fn graph(&mut self, name: &str) -> GraphId {
+        if let Some(&id) = self.graph_ids.get(name) {
+            return id;
+        }
+        let id = GraphId(self.graphs.len() as u16);
+        self.graphs.push(name.to_string());
+        self.graph_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The default graph's id.
+    pub fn default_graph(&self) -> GraphId {
+        GraphId(0)
+    }
+
+    /// Name of a registered graph.
+    pub fn graph_name(&self, id: GraphId) -> Option<&str> {
+        self.graphs.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// The graph that first introduced `subject`, if any.
+    pub fn graph_of_subject(&self, subject: TermId) -> Option<GraphId> {
+        self.subject_graph.get(&subject).copied()
+    }
+
+    /// Like [`Store::graph_of_subject`] but resolves from a [`Term`].
+    pub fn graph_of_term(&self, term: &Term) -> Option<&str> {
+        let id = self.dict.id(term)?;
+        let g = self.graph_of_subject(id)?;
+        self.graph_name(g)
+    }
+
+    /// Inserts one triple into the given graph. Returns `true` when the
+    /// statement was new to the (union) store.
+    pub fn insert(&mut self, triple: &Triple, graph: GraphId) -> bool {
+        let s = self.dict.intern(&triple.subject);
+        let p = self.dict.intern(&Term::Iri(triple.predicate.clone()));
+        let o = self.dict.intern(&triple.object);
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+
+        let new_subject = self.seen_subjects.insert(s);
+        let new_object = self.seen_objects.insert(o);
+        self.stats.record(p, new_subject, new_object);
+        self.subject_graph.entry(s).or_insert(graph);
+
+        if let Term::Literal(lit) = &triple.object {
+            if p == self.geo_geometry || lit.is_geometry() {
+                if let Ok(point) = Point::from_literal(lit) {
+                    self.geo.insert(s, point);
+                }
+            } else if lit.datatype().is_none() || lit.language().is_some() {
+                self.fulltext.index_literal(s, p, o, lit.value());
+            }
+        }
+        true
+    }
+
+    /// Inserts into the default graph.
+    pub fn insert_default(&mut self, triple: &Triple) -> bool {
+        self.insert(triple, GraphId(0))
+    }
+
+    /// Removes a statement from the union store (all indexes). Returns
+    /// `true` when the statement was present. Dictionary entries and
+    /// subject provenance are retained (ids stay stable).
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id(&triple.subject),
+            self.dict.id(&Term::Iri(triple.predicate.clone())),
+            self.dict.id(&triple.object),
+        ) else {
+            return false;
+        };
+        if !self.spo.remove(&(s, p, o)) {
+            return false;
+        }
+        self.pos.remove(&(p, o, s));
+        self.osp.remove(&(o, s, p));
+        if let Term::Literal(lit) = &triple.object {
+            if p == self.geo_geometry || lit.is_geometry() {
+                // Only clear the point if no other geometry triple remains.
+                if self
+                    .match_ids(Some(s), Some(self.geo_geometry), None)
+                    .next()
+                    .is_none()
+                {
+                    self.geo.remove(s);
+                }
+            } else if lit.datatype().is_none() || lit.language().is_some() {
+                self.fulltext.remove_literal(s, p, o, lit.value());
+            }
+        }
+        true
+    }
+
+    /// Removes every statement matching `(subject, predicate, *)` and
+    /// returns how many were removed. Used when re-deriving a computed
+    /// property (e.g. refreshing a picture's `rev:rating`).
+    pub fn remove_pattern_sp(&mut self, subject: &Term, predicate: &Iri) -> usize {
+        let matches = self.match_terms(Some(subject), Some(predicate), None);
+        matches.iter().filter(|t| self.remove(t)).count()
+    }
+
+    /// Bulk-loads an N-Triples document into `graph`; returns the
+    /// number of *new* statements.
+    pub fn load_ntriples(&mut self, text: &str, graph: GraphId) -> Result<usize, StoreError> {
+        let triples = ntriples::parse_document(text).map_err(|e| StoreError::Load(e.to_string()))?;
+        Ok(triples.iter().filter(|t| self.insert(t, graph)).count())
+    }
+
+    /// Bulk-loads a Turtle document into `graph`.
+    pub fn load_turtle(
+        &mut self,
+        text: &str,
+        prefixes: &PrefixMap,
+        graph: GraphId,
+    ) -> Result<usize, StoreError> {
+        let triples =
+            turtle::parse_document(text, prefixes).map_err(|e| StoreError::Load(e.to_string()))?;
+        Ok(triples.iter().filter(|t| self.insert(t, graph)).count())
+    }
+
+    /// Inserts a batch of triples into `graph`; returns new-statement count.
+    pub fn insert_all<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = &'a Triple>,
+        graph: GraphId,
+    ) -> usize {
+        triples.into_iter().filter(|t| self.insert(t, graph)).count()
+    }
+
+    /// Whether the union store contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id(&triple.subject),
+            self.dict.id(&Term::Iri(triple.predicate.clone())),
+            self.dict.id(&triple.object),
+        ) else {
+            return false;
+        };
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Number of statements in the union store.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when no statements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Interns a term (for query-constant preparation).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Looks up a term's id without interning.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dict.id(term)
+    }
+
+    /// Resolves an id to its term.
+    pub fn term_of(&self, id: TermId) -> Option<&Term> {
+        self.dict.term(id)
+    }
+
+    /// The full-text index.
+    pub fn fulltext(&self) -> &FullTextIndex {
+        &self.fulltext
+    }
+
+    /// The geo index.
+    pub fn geo(&self) -> &GeoIndex {
+        &self.geo
+    }
+
+    /// Join-ordering statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Matches a triple pattern over ids; `None` positions are
+    /// wildcards. Results stream in index order as `(s, p, o)`.
+    pub fn match_ids(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = Key> + '_> {
+        const MIN: TermId = TermId::MIN;
+        const MAX: TermId = TermId::MAX;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&(s, p, o));
+                Box::new(hit.then_some((s, p, o)).into_iter())
+            }
+            (Some(s), Some(p), None) => {
+                Box::new(self.spo.range((s, p, MIN)..=(s, p, MAX)).copied())
+            }
+            (Some(s), None, None) => {
+                Box::new(self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).copied())
+            }
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, s, MIN)..=(o, s, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p, o, MIN)..=(p, o, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p, MIN, MIN)..=(p, MAX, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, MIN, MIN)..=(o, MAX, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
+    /// Term-level pattern matching; convenient for tests and tooling.
+    pub fn match_terms(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Iri>,
+        o: Option<&Term>,
+    ) -> Vec<Triple> {
+        let resolve = |t: Option<&Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                Some(term) => self.dict.id(term).map(Some),
+            }
+        };
+        let Some(s_id) = resolve(s) else { return Vec::new() };
+        let Some(p_id) = resolve(p.map(|i| Term::Iri(i.clone())).as_ref()) else {
+            return Vec::new();
+        };
+        let Some(o_id) = resolve(o) else { return Vec::new() };
+        self.match_ids(s_id, p_id, o_id)
+            .filter_map(|(s, p, o)| {
+                let subject = self.dict.term(s)?.clone();
+                let predicate = self.dict.term(p)?.as_iri()?.clone();
+                let object = self.dict.term(o)?.clone();
+                Some(Triple::new_unchecked(subject, predicate, object))
+            })
+            .collect()
+    }
+
+    /// Count of statements matching a pattern without materializing.
+    pub fn count_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.match_ids(s, p, o).count()
+    }
+
+    /// Iterates every statement as a resolved [`Triple`], in SPO order.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().filter_map(|&(s, p, o)| {
+            Some(Triple::new_unchecked(
+                self.dict.term(s)?.clone(),
+                self.dict.term(p)?.as_iri()?.clone(),
+                self.dict.term(o)?.clone(),
+            ))
+        })
+    }
+
+    /// Serializes the union store (or one named graph) to N-Triples —
+    /// the paper's "semantic platform offering Linked Data
+    /// functionalities and running locally" needs its data exportable.
+    pub fn export_ntriples(&self, graph: Option<GraphId>) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for triple in self.triples() {
+            if let Some(g) = graph {
+                let in_graph = self
+                    .dict
+                    .id(&triple.subject)
+                    .and_then(|s| self.graph_of_subject(s))
+                    == Some(g);
+                if !in_graph {
+                    continue;
+                }
+            }
+            let _ = writeln!(out, "{triple}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_rdf::ns;
+    use lodify_rdf::Literal;
+
+    fn triple(s: &str, p: &str, o: Term) -> Triple {
+        Triple::spo(s, p, o)
+    }
+
+    fn sample_store() -> Store {
+        let mut store = Store::new();
+        let ugc = store.graph("urn:g:ugc");
+        let dbp = store.graph("urn:g:dbpedia");
+        store.insert(
+            &triple(
+                "http://t/pic1",
+                ns::iri::rdf_type().as_str(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
+            ugc,
+        );
+        store.insert(
+            &triple(
+                "http://t/pic1",
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            ugc,
+        );
+        store.insert(
+            &triple(
+                "http://t/pic1",
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(Point::new(7.6933, 45.0692).unwrap().to_literal()),
+            ),
+            ugc,
+        );
+        store.insert(
+            &triple(
+                "http://dbpedia.org/resource/Turin",
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Torino", "it").unwrap()),
+            ),
+            dbp,
+        );
+        store
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut store = Store::new();
+        let t = triple("http://s", "http://p", Term::literal("v"));
+        assert!(store.insert_default(&t));
+        assert!(!store.insert_default(&t));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn pattern_shapes_all_work() {
+        let store = sample_store();
+        let s = store.id_of(&Term::iri_unchecked("http://t/pic1")).unwrap();
+        let p = store
+            .id_of(&Term::Iri(ns::iri::rdfs_label()))
+            .unwrap();
+        let o = store
+            .id_of(&Term::Literal(Literal::lang("Torino", "it").unwrap()))
+            .unwrap();
+
+        assert_eq!(store.count_pattern(Some(s), None, None), 3);
+        assert_eq!(store.count_pattern(Some(s), Some(p), None), 1);
+        assert_eq!(store.count_pattern(None, Some(p), None), 2);
+        assert_eq!(store.count_pattern(None, Some(p), Some(o)), 1);
+        assert_eq!(store.count_pattern(None, None, Some(o)), 1);
+        assert_eq!(store.count_pattern(None, None, None), 4);
+        // s+o bound, p wildcard
+        let turin = store
+            .id_of(&Term::iri_unchecked("http://dbpedia.org/resource/Turin"))
+            .unwrap();
+        assert_eq!(store.count_pattern(Some(turin), None, Some(o)), 1);
+        // fully bound
+        assert_eq!(store.count_pattern(Some(turin), Some(p), Some(o)), 1);
+        assert_eq!(store.count_pattern(Some(s), Some(p), Some(o)), 0);
+    }
+
+    #[test]
+    fn match_terms_resolves() {
+        let store = sample_store();
+        let hits = store.match_terms(None, Some(&ns::iri::rdfs_label()), None);
+        assert_eq!(hits.len(), 2);
+        let none = store.match_terms(Some(&Term::iri_unchecked("http://absent")), None, None);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn geometry_objects_feed_geo_index() {
+        let store = sample_store();
+        assert_eq!(store.geo().len(), 1);
+        let center = Point::new(7.6933, 45.0692).unwrap();
+        assert_eq!(store.geo().within_km(center, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn string_literals_feed_fulltext_index() {
+        let store = sample_store();
+        assert_eq!(store.fulltext().search_word("antonelliana").len(), 1);
+        assert_eq!(store.fulltext().search_word("torino").len(), 1);
+        // Geometry literals must not be text-indexed.
+        assert!(store.fulltext().search_word("point").is_empty());
+    }
+
+    #[test]
+    fn graph_provenance_tracks_first_graph() {
+        let store = sample_store();
+        assert_eq!(
+            store.graph_of_term(&Term::iri_unchecked("http://t/pic1")),
+            Some("urn:g:ugc")
+        );
+        assert_eq!(
+            store.graph_of_term(&Term::iri_unchecked("http://dbpedia.org/resource/Turin")),
+            Some("urn:g:dbpedia")
+        );
+        assert_eq!(store.graph_of_term(&Term::iri_unchecked("http://absent")), None);
+    }
+
+    #[test]
+    fn load_ntriples_counts_new_statements() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let doc = "<http://s> <http://p> \"v\" .\n<http://s> <http://p> \"v\" .\n";
+        assert_eq!(store.load_ntriples(doc, g).unwrap(), 1);
+        assert!(store.load_ntriples("garbage", g).is_err());
+    }
+
+    #[test]
+    fn load_turtle_works() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let prefixes = PrefixMap::with_defaults();
+        let doc = "@prefix ex: <http://e/> .\nex:s a sioct:MicroblogPost .";
+        assert_eq!(store.load_turtle(doc, &prefixes, g).unwrap(), 1);
+        assert!(store.contains(&triple(
+            "http://e/s",
+            ns::iri::rdf_type().as_str(),
+            Term::Iri(ns::iri::microblog_post()),
+        )));
+    }
+
+    #[test]
+    fn remove_clears_all_indexes() {
+        let mut store = sample_store();
+        let label_triple = triple(
+            "http://t/pic1",
+            ns::iri::rdfs_label().as_str(),
+            Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+        );
+        assert!(store.remove(&label_triple));
+        assert!(!store.remove(&label_triple), "second remove is a no-op");
+        assert!(!store.contains(&label_triple));
+        assert!(store.fulltext().search_word("antonelliana").is_empty());
+
+        let geom_triple = triple(
+            "http://t/pic1",
+            ns::iri::geo_geometry().as_str(),
+            Term::Literal(Point::new(7.6933, 45.0692).unwrap().to_literal()),
+        );
+        assert!(store.remove(&geom_triple));
+        assert_eq!(store.geo().len(), 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn remove_pattern_sp_clears_all_objects() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let s = Term::iri_unchecked("http://pic");
+        let pred = ns::iri::rev_rating();
+        for v in [3, 4] {
+            store.insert(
+                &Triple::new_unchecked(s.clone(), pred.clone(), Term::Literal(Literal::integer(v))),
+                g,
+            );
+        }
+        assert_eq!(store.remove_pattern_sp(&s, &pred), 2);
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let store = sample_store();
+        let dump = store.export_ntriples(None);
+        let mut reloaded = Store::new();
+        let g = reloaded.default_graph();
+        assert_eq!(reloaded.load_ntriples(&dump, g).unwrap(), store.len());
+        assert_eq!(reloaded.len(), store.len());
+        // Per-graph export only carries that graph's subjects.
+        let ugc = store.graph_ids["urn:g:ugc"];
+        let partial = store.export_ntriples(Some(ugc));
+        assert!(partial.contains("http://t/pic1"));
+        assert!(!partial.contains("dbpedia.org"));
+    }
+
+    #[test]
+    fn graph_registration_is_idempotent() {
+        let mut store = Store::new();
+        let a = store.graph("urn:g:x");
+        let b = store.graph("urn:g:x");
+        assert_eq!(a, b);
+        assert_eq!(store.graph_name(a), Some("urn:g:x"));
+        assert_eq!(store.graph_name(GraphId(99)), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Concrete- vs abstract-noun classification — the paper's stated
+//! future work, implemented.
+//!
+//! §2.2.2: "We do understand that nouns or verbs can be useful to
+//! describe a peculiar characteristic of the content or the place it
+//! was taken … although a further pruning would be required to restrict
+//! to concrete concepts only, further discarding abstract statements
+//! (e.g. 'difference', 'joyness'). … we intend to use the WordNet sense
+//! annotation capability of FreeLing for this purpose in the future."
+//!
+//! Without WordNet we approximate the concrete/abstract split the way
+//! morphology allows: abstract nouns are overwhelmingly derived with a
+//! small set of nominalizing suffixes (-ness, -ity, -tion, …), per
+//! language, plus a short exception list in each direction. This is the
+//! pruning the paper asks for: good enough to keep "pizza" and "tower"
+//! while dropping "difference" and "joyness".
+
+/// Whether a (lowercased, lemmatized) noun is abstract in `lang`.
+///
+/// Unknown words default to **concrete** — the pipeline would rather
+/// send a borderline noun to the resolvers (where it usually finds no
+/// entity and is dropped) than silently lose a real concept.
+pub fn is_abstract_noun(lemma: &str, lang: &str) -> bool {
+    let w = lemma.to_lowercase();
+    if CONCRETE_EXCEPTIONS.contains(&w.as_str()) {
+        return false;
+    }
+    if ABSTRACT_EXCEPTIONS.contains(&w.as_str()) {
+        return true;
+    }
+    let suffixes: &[&str] = match lang {
+        "it" => &["ezza", "izia", "ità", "tà", "zione", "sione", "ismo", "anza", "enza", "aggine"],
+        "fr" => &["té", "tion", "sion", "isme", "ance", "ence", "itude", "eur"],
+        "es" => &["dad", "ción", "sión", "ismo", "anza", "encia", "itud", "ura"],
+        "de" => &["heit", "keit", "ung", "ismus", "schaft", "tum", "nis"],
+        _ => &[
+            "ness", "ity", "tion", "sion", "ism", "ance", "ence", "ship", "hood", "dom", "ment",
+        ],
+    };
+    suffixes.iter().any(|s| w.ends_with(s) && w.len() > s.len() + 2)
+}
+
+/// Suffix-matching words that are nonetheless concrete things.
+const CONCRETE_EXCEPTIONS: &[&str] = &[
+    "station", "stazione", "mansion", "fountain", "monument", "monumento", "painting",
+    "apartment", "basement", "pavement", "cathedral",
+];
+
+/// Words the suffix rules miss but that are clearly abstract (includes
+/// the paper's own examples).
+const ABSTRACT_EXCEPTIONS: &[&str] = &[
+    "difference", "joyness", "joy", "love", "idea", "thought", "luck", "fun", "hope", "fear",
+    "differenza", "gioia", "idea", "fortuna", "speranza", "paura",
+    "joie", "idée", "espoir", "peur",
+    "alegría", "suerte", "esperanza", "miedo",
+    "freude", "glück", "hoffnung", "angst",
+    "statement",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_are_abstract() {
+        assert!(is_abstract_noun("difference", "en"));
+        assert!(is_abstract_noun("joyness", "en"));
+    }
+
+    #[test]
+    fn suffix_rules_per_language() {
+        assert!(is_abstract_noun("happiness", "en"));
+        assert!(is_abstract_noun("curiosity", "en"));
+        assert!(is_abstract_noun("bellezza", "it"));
+        assert!(is_abstract_noun("felicità", "it"));
+        assert!(is_abstract_noun("liberté", "fr"));
+        assert!(is_abstract_noun("felicidad", "es"));
+        assert!(is_abstract_noun("freiheit", "de"));
+    }
+
+    #[test]
+    fn concrete_nouns_survive() {
+        for (word, lang) in [
+            ("pizza", "en"),
+            ("tower", "en"),
+            ("bridge", "en"),
+            ("castello", "it"),
+            ("chiesa", "it"),
+            ("pont", "fr"),
+            ("puente", "es"),
+            ("brücke", "de"),
+        ] {
+            assert!(!is_abstract_noun(word, lang), "{word} should be concrete");
+        }
+    }
+
+    #[test]
+    fn concrete_exceptions_beat_suffixes() {
+        assert!(!is_abstract_noun("station", "en"));
+        assert!(!is_abstract_noun("stazione", "it"));
+        assert!(!is_abstract_noun("fountain", "en"));
+        // …while the abstract exception list still wins where needed.
+        assert!(is_abstract_noun("statement", "en"));
+    }
+
+    #[test]
+    fn short_words_never_match_suffixes() {
+        // "ity" alone, "ness" alone: too short for the rule.
+        assert!(!is_abstract_noun("ity", "en"));
+        assert!(!is_abstract_noun("ness", "en"));
+    }
+}

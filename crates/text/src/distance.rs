@@ -1,0 +1,163 @@
+//! String similarity measures.
+//!
+//! The semantic filter discards candidates "with Jaro-Winkler distance
+//! lower than 0.8 … unless their DBpedia score is maximum" (§2.2.2).
+
+/// Jaro similarity ∈ [0, 1].
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matched.push(ca);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched sequences in order.
+    let b_matched: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, used)| **used)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1`
+/// and max common-prefix length 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Case-insensitive Jaro–Winkler, the form the semantic filter uses
+/// (user tags are lowercase, resource labels are not).
+pub fn jaro_winkler_ci(a: &str, b: &str) -> f64 {
+    jaro_winkler(&a.to_lowercase(), &b.to_lowercase())
+}
+
+/// Levenshtein edit distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            current[j + 1] = (prev[j + 1] + 1).min(current[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-3, "{a} != {b}");
+    }
+
+    #[test]
+    fn jaro_known_vectors() {
+        close(jaro("MARTHA", "MARHTA"), 0.9444);
+        close(jaro("DIXON", "DICKSONX"), 0.7667);
+        close(jaro("CRATE", "TRACE"), 0.7333);
+        close(jaro("", ""), 1.0);
+        close(jaro("abc", ""), 0.0);
+        close(jaro("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_vectors() {
+        close(jaro_winkler("MARTHA", "MARHTA"), 0.9611);
+        close(jaro_winkler("DIXON", "DICKSONX"), 0.8133);
+        close(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_shared_prefixes() {
+        let with_prefix = jaro_winkler("colosseum", "colosseo");
+        let without = jaro_winkler("colosseum", "mausoleum");
+        assert!(with_prefix > without);
+        assert!(with_prefix > 0.9);
+    }
+
+    #[test]
+    fn ci_variant_ignores_case() {
+        close(
+            jaro_winkler_ci("Coliseum", "coliseum"),
+            1.0,
+        );
+        assert!(jaro_winkler_ci("mole", "Mole Antonelliana") > 0.7);
+    }
+
+    #[test]
+    fn paper_threshold_examples() {
+        // "Coliseum" vs "Colosseum" — the paper's own example of an
+        // easy link — must clear the 0.8 bar.
+        assert!(jaro_winkler_ci("Coliseum", "Colosseum") >= 0.8);
+        // Unrelated labels must not.
+        assert!(jaro_winkler_ci("Coliseum", "Eiffel Tower") < 0.8);
+    }
+
+    #[test]
+    fn levenshtein_known_vectors() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("mole", "molecola"), ("a", "b")] {
+            close(jaro(a, b), jaro(b, a));
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! N-gram language identification (Cavnar & Trenkle 1994).
+//!
+//! The paper's pipeline identifies title language with PEAR's
+//! `Text_LanguageDetect`, itself an implementation of Cavnar &
+//! Trenkle's *N-Gram-Based Text Categorization*: build a rank-ordered
+//! character n-gram profile per language, classify a document by the
+//! minimal *out-of-place* distance between its profile and each
+//! language profile. This module implements the published algorithm
+//! with embedded seed corpora for the five workload languages.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Maximum n-gram length. Cavnar & Trenkle use up to 5; measured on
+/// the workload's titles 4 performs marginally better (E2), so 4 it is.
+const MAX_N: usize = 4;
+/// Profile size (the paper's classic value is 300).
+const PROFILE_SIZE: usize = 300;
+
+/// A rank-ordered n-gram profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    rank: HashMap<String, usize>,
+}
+
+impl Profile {
+    /// Builds a profile from training text.
+    pub fn train(text: &str) -> Profile {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for gram in ngrams(text) {
+            *counts.entry(gram).or_insert(0) += 1;
+        }
+        let mut ordered: Vec<(String, u32)> = counts.into_iter().collect();
+        // Frequency-descending, lexicographic tiebreak for determinism.
+        ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ordered.truncate(PROFILE_SIZE);
+        Profile {
+            rank: ordered
+                .into_iter()
+                .enumerate()
+                .map(|(rank, (gram, _))| (gram, rank))
+                .collect(),
+        }
+    }
+
+    /// Cavnar–Trenkle out-of-place distance from a document profile.
+    /// N-grams absent from this profile pay the maximum penalty.
+    pub fn distance(&self, document: &Profile) -> usize {
+        let max_penalty = PROFILE_SIZE;
+        document
+            .rank
+            .iter()
+            .map(|(gram, &doc_rank)| match self.rank.get(gram) {
+                Some(&lang_rank) => doc_rank.abs_diff(lang_rank),
+                None => max_penalty,
+            })
+            .sum()
+    }
+
+    /// Number of ranked n-grams.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// True when the profile is empty (e.g. trained on "").
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+}
+
+/// Word-padded character n-grams, per the paper: each word is padded
+/// with `_` and n-grams of length `1..=MAX_N` are extracted.
+fn ngrams(text: &str) -> Vec<String> {
+    let mut grams = Vec::new();
+    for word in text.split(|c: char| !c.is_alphabetic()) {
+        if word.is_empty() {
+            continue;
+        }
+        let padded: Vec<char> = std::iter::once('_')
+            .chain(word.to_lowercase().chars())
+            .chain(std::iter::once('_'))
+            .collect();
+        for n in 1..=MAX_N {
+            if padded.len() < n {
+                continue;
+            }
+            for window in padded.windows(n) {
+                let gram: String = window.iter().collect();
+                if gram != "_" {
+                    grams.push(gram);
+                }
+            }
+        }
+    }
+    grams
+}
+
+/// A trained multi-language detector.
+#[derive(Debug)]
+pub struct LanguageDetector {
+    languages: Vec<(&'static str, Profile)>,
+}
+
+impl LanguageDetector {
+    /// The shared detector over the five built-in languages.
+    pub fn global() -> &'static LanguageDetector {
+        static INSTANCE: OnceLock<LanguageDetector> = OnceLock::new();
+        INSTANCE.get_or_init(|| {
+            LanguageDetector::from_corpora(&[
+                ("it", CORPUS_IT),
+                ("en", CORPUS_EN),
+                ("fr", CORPUS_FR),
+                ("es", CORPUS_ES),
+                ("de", CORPUS_DE),
+            ])
+        })
+    }
+
+    /// Trains a detector from `(language, corpus)` pairs.
+    pub fn from_corpora(corpora: &[(&'static str, &str)]) -> LanguageDetector {
+        LanguageDetector {
+            languages: corpora
+                .iter()
+                .map(|(lang, text)| (*lang, Profile::train(text)))
+                .collect(),
+        }
+    }
+
+    /// The supported language tags.
+    pub fn languages(&self) -> Vec<&'static str> {
+        self.languages.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// Identifies the language of `text`. Returns `(language,
+    /// confidence)` where confidence ∈ [0, 1] is the relative margin
+    /// between the best and second-best out-of-place distances.
+    /// Returns `None` for text with no alphabetic content.
+    pub fn detect(&self, text: &str) -> Option<(&'static str, f64)> {
+        let doc = Profile::train(text);
+        if doc.is_empty() {
+            return None;
+        }
+        let mut scored: Vec<(&'static str, usize)> = self
+            .languages
+            .iter()
+            .map(|(lang, profile)| (*lang, profile.distance(&doc)))
+            .collect();
+        scored.sort_by_key(|(_, d)| *d);
+        let (best_lang, best) = scored[0];
+        let confidence = match scored.get(1) {
+            Some((_, second)) if *second > 0 => (second - best) as f64 / *second as f64,
+            _ => 1.0,
+        };
+        Some((best_lang, confidence))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Embedded seed corpora. General prose plus tourism-flavored sentences
+// matching the workload's domain; deliberately avoids the proper nouns
+// the titles contain so classification keys on function words and
+// morphology, not entity names.
+// ---------------------------------------------------------------------
+
+const CORPUS_IT: &str = "
+La giornata era molto bella e siamo andati a fare una passeggiata nel centro della città.
+Abbiamo visitato il museo e poi abbiamo mangiato una pizza in una piccola trattoria vicino alla piazza.
+Il tramonto sulla collina era bellissimo e abbiamo scattato tante fotografie.
+Questa è la chiesa più antica della zona, costruita molti secoli fa dai monaci.
+Domani andremo al mercato per comprare frutta, verdura e un po' di formaggio.
+Mi piace viaggiare in treno perché posso guardare il paesaggio dal finestrino.
+La sera le vie del centro si riempiono di gente che passeggia e chiacchiera.
+Durante le vacanze estive andiamo sempre al mare con gli amici e la famiglia.
+Il palazzo storico ospita una mostra di quadri famosi che vale davvero la pena vedere.
+Dopo la visita guidata ci siamo fermati a bere un caffè sotto i portici.
+Che meraviglia questo panorama, si vede tutta la valle fino alle montagne.
+Le fotografie di questo viaggio sono le più belle che abbia mai fatto.
+";
+
+const CORPUS_EN: &str = "
+The day was beautiful and we went for a walk in the old town center.
+We visited the museum and then had lunch at a small restaurant near the square.
+The sunset over the hills was amazing and we took many photographs.
+This is the oldest church in the area, built many centuries ago by the monks.
+Tomorrow we will go to the market to buy fruit, vegetables and some cheese.
+I like traveling by train because I can watch the landscape from the window.
+In the evening the streets of the center fill with people walking and chatting.
+During the summer holidays we always go to the seaside with friends and family.
+The historic palace hosts an exhibition of famous paintings that is really worth seeing.
+After the guided tour we stopped for a coffee under the arcades.
+What a wonderful view, you can see the whole valley up to the mountains.
+The pictures from this trip are the best ones I have ever taken.
+";
+
+const CORPUS_FR: &str = "
+La journée était très belle et nous sommes allés nous promener dans le centre de la ville.
+Nous avons visité le musée et ensuite nous avons déjeuné dans un petit restaurant près de la place.
+Le coucher de soleil sur les collines était magnifique et nous avons pris beaucoup de photos.
+C'est la plus ancienne église de la région, construite il y a plusieurs siècles par les moines.
+Demain nous irons au marché pour acheter des fruits, des légumes et un peu de fromage.
+J'aime voyager en train parce que je peux regarder le paysage par la fenêtre.
+Le soir, les rues du centre se remplissent de gens qui se promènent et discutent.
+Pendant les vacances d'été nous allons toujours à la mer avec nos amis et la famille.
+Le palais historique accueille une exposition de tableaux célèbres qui vaut vraiment le détour.
+Après la visite guidée nous nous sommes arrêtés pour prendre un café sous les arcades.
+Quelle vue magnifique, on voit toute la vallée jusqu'aux montagnes.
+Les photos de ce voyage sont les plus belles que j'aie jamais prises.
+";
+
+const CORPUS_ES: &str = "
+El día era muy hermoso y fuimos a dar un paseo por el centro de la ciudad.
+Visitamos el museo y luego comimos en un pequeño restaurante cerca de la plaza.
+La puesta de sol sobre las colinas era preciosa y sacamos muchas fotografías.
+Esta es la iglesia más antigua de la zona, construida hace muchos siglos por los monjes.
+Mañana iremos al mercado para comprar fruta, verduras y un poco de queso.
+Me gusta viajar en tren porque puedo mirar el paisaje desde la ventanilla.
+Por la tarde las calles del centro se llenan de gente que pasea y charla.
+Durante las vacaciones de verano siempre vamos a la playa con los amigos y la familia.
+El palacio histórico acoge una exposición de cuadros famosos que realmente merece la pena ver.
+Después de la visita guiada nos detuvimos a tomar un café bajo los soportales.
+Qué vista tan maravillosa, se ve todo el valle hasta las montañas.
+Las fotografías de este viaje son las más bonitas que he hecho nunca.
+";
+
+const CORPUS_DE: &str = "
+Der Tag war sehr schön und wir sind im Zentrum der Altstadt spazieren gegangen.
+Wir haben das Museum besucht und danach in einem kleinen Restaurant am Platz gegessen.
+Der Sonnenuntergang über den Hügeln war wunderschön und wir haben viele Fotos gemacht.
+Das ist die älteste Kirche der Gegend, vor vielen Jahrhunderten von den Mönchen erbaut.
+Morgen gehen wir auf den Markt, um Obst, Gemüse und etwas Käse zu kaufen.
+Ich reise gern mit dem Zug, weil ich die Landschaft aus dem Fenster betrachten kann.
+Am Abend füllen sich die Straßen des Zentrums mit Menschen, die spazieren und plaudern.
+In den Sommerferien fahren wir immer mit Freunden und der Familie ans Meer.
+Der historische Palast beherbergt eine Ausstellung berühmter Gemälde, die wirklich sehenswert ist.
+Nach der Führung haben wir unter den Arkaden einen Kaffee getrunken.
+Was für eine herrliche Aussicht, man sieht das ganze Tal bis zu den Bergen.
+Die Bilder von dieser Reise sind die schönsten, die ich je gemacht habe.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_each_language_on_held_out_sentences() {
+        let det = LanguageDetector::global();
+        let cases = [
+            ("Siamo andati a vedere la mostra con i nostri amici di scuola", "it"),
+            ("We walked along the river and stopped to take some pictures", "en"),
+            ("Nous avons marché le long de la rivière avant de rentrer", "fr"),
+            ("Caminamos por la orilla del río y compramos un helado", "es"),
+            ("Wir sind am Fluss entlang gelaufen und haben ein Eis gekauft", "de"),
+        ];
+        for (text, expected) in cases {
+            let (lang, _) = det.detect(text).expect("alphabetic text");
+            assert_eq!(lang, expected, "misclassified {text:?}");
+        }
+    }
+
+    #[test]
+    fn short_titles_still_classify() {
+        let det = LanguageDetector::global();
+        assert_eq!(det.detect("Tramonto sulla collina stasera").unwrap().0, "it");
+        assert_eq!(det.detect("Sunset over the hills tonight").unwrap().0, "en");
+        assert_eq!(det.detect("Coucher de soleil sur les collines").unwrap().0, "fr");
+    }
+
+    #[test]
+    fn empty_or_numeric_text_is_none() {
+        let det = LanguageDetector::global();
+        assert!(det.detect("").is_none());
+        assert!(det.detect("12345 !!!").is_none());
+    }
+
+    #[test]
+    fn confidence_is_in_range_and_higher_for_longer_text() {
+        let det = LanguageDetector::global();
+        let (_, short_conf) = det.detect("la casa").unwrap();
+        let (_, long_conf) = det
+            .detect("la casa in collina era molto grande e aveva un giardino pieno di fiori")
+            .unwrap();
+        assert!((0.0..=1.0).contains(&short_conf));
+        assert!((0.0..=1.0).contains(&long_conf));
+        assert!(long_conf >= short_conf * 0.5, "long text shouldn't be much worse");
+    }
+
+    #[test]
+    fn profile_distance_is_zero_on_self() {
+        let p = Profile::train("some arbitrary training text goes here");
+        assert_eq!(p.distance(&p), 0);
+        assert!(!p.is_empty());
+        assert!(p.len() <= PROFILE_SIZE);
+    }
+
+    #[test]
+    fn custom_detector_from_corpora() {
+        let det = LanguageDetector::from_corpora(&[
+            ("aa", "aaa aaaa aa aaa aaaa"),
+            ("bb", "bbb bbbb bb bbb bbbb"),
+        ]);
+        assert_eq!(det.detect("aaaa aaa").unwrap().0, "aa");
+        assert_eq!(det.detect("bb bbbb").unwrap().0, "bb");
+        assert_eq!(det.languages(), vec!["aa", "bb"]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Text analysis substrate for the semantic annotation pipeline.
+//!
+//! §2.2.2 of the paper describes the text-analysis half of Figure 1:
+//!
+//! 1. "The title language is initially identified using [PEAR
+//!    Text_LanguageDetect] based on [Cavnar & Trenkle's n-gram-based
+//!    text categorization]" — [`langdetect`] implements exactly that
+//!    algorithm (rank-order n-gram profiles, out-of-place distance)
+//!    over embedded seed corpora for `it`, `en`, `fr`, `es`, `de`.
+//! 2. "a morphological analysis is performed using FreeLing … it
+//!    allows for multiwords lemmas detection" — [`morpho`] is the
+//!    FreeLing stand-in: lexicon-driven multiword detection (fed from
+//!    the shared entity catalog), heuristic POS tagging with
+//!    confidence scores, and suffix-rule lemmatization.
+//! 3. "NP (Proper Nouns) lemmas are extracted whilst other
+//!    part-of-speech are discarded … non-numeric NP lemmas with a
+//!    score of at least 0.2 are preserved and merged with plain tags" —
+//!    [`pipeline::extract_terms`] applies that exact filter and merge.
+//! 4. "candidates with Jaro-Winkler distance lower than 0.8 are
+//!    discarded" — [`distance`] provides Jaro, Jaro–Winkler and
+//!    Levenshtein.
+//!
+//! The paper's *stated future work* — pruning common nouns "to restrict
+//! to concrete concepts only, further discarding abstract statements"
+//! — is implemented in [`concreteness`] and wired into
+//! [`pipeline::extract_terms_with_options`].
+
+#![warn(missing_docs)]
+
+pub mod concreteness;
+pub mod distance;
+pub mod langdetect;
+pub mod morpho;
+pub mod pipeline;
+pub mod stopwords;
+pub mod tokenizer;
+
+pub use langdetect::LanguageDetector;
+pub use morpho::{AnalyzedToken, Morphology, Pos};
+pub use pipeline::{extract_terms, TermList};

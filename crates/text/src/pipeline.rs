@@ -1,0 +1,295 @@
+//! Term extraction: the text-processing front half of Figure 1.
+//!
+//! "Non-numeric NP lemmas with a score of at least 0.2 are preserved
+//! and merged with plain tags to compute a well-defined list of unique
+//! (multi)words. … At this stage, we thus use term frequency to
+//! further process the title and extract other potential relevant
+//! words." (§2.2.2)
+
+use crate::langdetect::LanguageDetector;
+use crate::morpho::{AnalyzedToken, Morphology, Pos};
+use crate::stopwords::is_stopword;
+
+/// The paper's NP-score cutoff.
+pub const NP_SCORE_CUTOFF: f64 = 0.2;
+
+/// A term heading to the semantic broker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// The (multi)word, lexicon-canonical where known.
+    pub text: String,
+    /// Where it came from.
+    pub source: TermSource,
+    /// Analysis confidence (1.0 for plain tags — the user typed them).
+    pub score: f64,
+}
+
+/// Provenance of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermSource {
+    /// NP lemma extracted from the title.
+    TitleNp,
+    /// User-supplied plain tag.
+    PlainTag,
+    /// Term-frequency back-off from the title.
+    TermFrequency,
+    /// Concrete common noun (the future-work extension: nouns kept
+    /// after abstract-statement pruning).
+    ConcreteNoun,
+}
+
+/// Extraction knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractOptions {
+    /// Also extract concrete common nouns from the title (the paper's
+    /// §2.2.2 future work, backed by [`crate::concreteness`]). Off in
+    /// the paper's baseline configuration.
+    pub include_concrete_nouns: bool,
+}
+
+/// The full text-analysis result for one content item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermList {
+    /// Detected title language (None: no alphabetic title text).
+    pub language: Option<&'static str>,
+    /// Language-identification confidence.
+    pub language_confidence: f64,
+    /// Unique terms in extraction order.
+    pub terms: Vec<Term>,
+}
+
+impl TermList {
+    /// Just the term strings.
+    pub fn texts(&self) -> Vec<&str> {
+        self.terms.iter().map(|t| t.text.as_str()).collect()
+    }
+}
+
+/// Runs language identification, morphological analysis, NP filtering,
+/// plain-tag merging and the term-frequency back-off over a title and
+/// its user tags.
+pub fn extract_terms(title: &str, plain_tags: &[String]) -> TermList {
+    extract_terms_with(
+        LanguageDetector::global(),
+        Morphology::global(),
+        title,
+        plain_tags,
+    )
+}
+
+/// Like [`extract_terms`] with explicit [`ExtractOptions`].
+pub fn extract_terms_with_options(
+    title: &str,
+    plain_tags: &[String],
+    options: ExtractOptions,
+) -> TermList {
+    extract_terms_impl(
+        LanguageDetector::global(),
+        Morphology::global(),
+        title,
+        plain_tags,
+        options,
+    )
+}
+
+/// Dependency-injected variant (tests and ablations).
+pub fn extract_terms_with(
+    detector: &LanguageDetector,
+    morphology: &Morphology,
+    title: &str,
+    plain_tags: &[String],
+) -> TermList {
+    extract_terms_impl(detector, morphology, title, plain_tags, ExtractOptions::default())
+}
+
+fn extract_terms_impl(
+    detector: &LanguageDetector,
+    morphology: &Morphology,
+    title: &str,
+    plain_tags: &[String],
+    options: ExtractOptions,
+) -> TermList {
+    let detected = detector.detect(title);
+    let (language, language_confidence) = match detected {
+        Some((lang, conf)) => (Some(lang), conf),
+        None => (None, 0.0),
+    };
+    let lang = language.unwrap_or("en");
+    let analysis = morphology.analyze(title, lang);
+
+    let mut terms: Vec<Term> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |text: &str, source: TermSource, score: f64, terms: &mut Vec<Term>| {
+        let key = text.to_lowercase();
+        if !key.is_empty() && seen.insert(key) {
+            terms.push(Term {
+                text: text.to_string(),
+                source,
+                score,
+            });
+        }
+    };
+
+    // 1. Non-numeric NP lemmas with score ≥ 0.2.
+    for token in &analysis {
+        if token.pos == Pos::ProperNoun
+            && token.score >= NP_SCORE_CUTOFF
+            && !token.lemma.chars().all(|c| c.is_numeric())
+        {
+            push(&token.lemma, TermSource::TitleNp, token.score, &mut terms);
+        }
+    }
+    // 2. Merge with plain tags (full user confidence).
+    for tag in plain_tags {
+        push(tag, TermSource::PlainTag, 1.0, &mut terms);
+    }
+    // 3. Term-frequency back-off: non-NP content words occurring more
+    //    than once in the title.
+    for token in tf_candidates(&analysis, lang) {
+        push(&token, TermSource::TermFrequency, 0.25, &mut terms);
+    }
+    // 4. Future-work extension: concrete common nouns, with abstract
+    //    statements discarded (§2.2.2's "further pruning").
+    if options.include_concrete_nouns {
+        for token in &analysis {
+            if token.pos == Pos::CommonNoun
+                && !is_stopword(lang, &token.lemma)
+                && !crate::concreteness::is_abstract_noun(&token.lemma, lang)
+            {
+                push(&token.lemma, TermSource::ConcreteNoun, 0.3, &mut terms);
+            }
+        }
+    }
+
+    TermList {
+        language,
+        language_confidence,
+        terms,
+    }
+}
+
+/// Content words (not function/number/NP) whose lemma repeats in the
+/// title, ordered by first occurrence.
+fn tf_candidates(analysis: &[AnalyzedToken], lang: &str) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for token in analysis {
+        if matches!(token.pos, Pos::CommonNoun | Pos::Adjective | Pos::Other)
+            && !is_stopword(lang, &token.lemma)
+        {
+            *counts.entry(token.lemma.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for token in analysis {
+        if counts.get(token.lemma.as_str()).copied().unwrap_or(0) >= 2
+            && !out.contains(&token.lemma)
+        {
+            out.push(token.lemma.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_style_title_extracts_entity_and_merges_tags() {
+        let result = extract_terms(
+            "Tramonto alla Mole Antonelliana",
+            &["torino".to_string(), "tramonto".to_string()],
+        );
+        assert_eq!(result.language, Some("it"));
+        let texts = result.texts();
+        assert!(texts.contains(&"Mole Antonelliana"), "{texts:?}");
+        assert!(texts.contains(&"torino"));
+        assert!(texts.contains(&"tramonto"));
+    }
+
+    #[test]
+    fn terms_are_unique_case_insensitively() {
+        let result = extract_terms(
+            "Visiting Turin",
+            &["turin".to_string(), "TURIN".to_string()],
+        );
+        let turins: Vec<&Term> = result
+            .terms
+            .iter()
+            .filter(|t| t.text.to_lowercase() == "turin")
+            .collect();
+        assert_eq!(turins.len(), 1);
+        // The NP lemma (first occurrence) wins over the later tags.
+        assert_eq!(turins[0].source, TermSource::TitleNp);
+    }
+
+    #[test]
+    fn numeric_nps_are_discarded() {
+        // "42" is a Number, never an NP term.
+        let result = extract_terms("Room 42 in Turin", &[]);
+        assert!(!result.texts().contains(&"42"));
+        assert!(result.texts().contains(&"Turin"));
+    }
+
+    #[test]
+    fn term_frequency_backoff_catches_repeated_content_words() {
+        let result = extract_terms("pizza and more pizza", &[]);
+        let tf: Vec<&Term> = result
+            .terms
+            .iter()
+            .filter(|t| t.source == TermSource::TermFrequency)
+            .collect();
+        assert_eq!(tf.len(), 1);
+        assert_eq!(tf[0].text, "pizza");
+    }
+
+    #[test]
+    fn empty_title_still_carries_tags() {
+        let result = extract_terms("", &["colosseum".to_string()]);
+        assert_eq!(result.language, None);
+        assert_eq!(result.texts(), vec!["colosseum"]);
+    }
+
+    #[test]
+    fn alt_name_surfaces_as_canonical_lemma() {
+        let result = extract_terms("Amazing view of the Coliseum", &[]);
+        assert!(result.texts().contains(&"Colosseum"), "{:?}", result.texts());
+    }
+
+    #[test]
+    fn concrete_noun_extension_keeps_pizza_drops_joyness() {
+        let options = ExtractOptions {
+            include_concrete_nouns: true,
+        };
+        let result = extract_terms_with_options(
+            "the pizza was pure joyness, what a difference",
+            &[],
+            options,
+        );
+        let concrete: Vec<&str> = result
+            .terms
+            .iter()
+            .filter(|t| t.source == TermSource::ConcreteNoun)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(concrete.contains(&"pizza"), "{concrete:?}");
+        assert!(!concrete.contains(&"joyness"), "{concrete:?}");
+        assert!(!concrete.contains(&"difference"), "{concrete:?}");
+
+        // The paper-baseline configuration stays noun-free.
+        let baseline = extract_terms("the pizza was pure joyness", &[]);
+        assert!(baseline
+            .terms
+            .iter()
+            .all(|t| t.source != TermSource::ConcreteNoun));
+    }
+
+    #[test]
+    fn plain_tags_have_full_confidence() {
+        let result = extract_terms("x", &["mole".to_string()]);
+        let tag = result.terms.iter().find(|t| t.text == "mole").unwrap();
+        assert_eq!(tag.score, 1.0);
+        assert_eq!(tag.source, TermSource::PlainTag);
+    }
+}

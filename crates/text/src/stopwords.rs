@@ -1,0 +1,85 @@
+//! Per-language stopword lists (function words the NP extractor must
+//! never promote to proper nouns).
+
+/// Stopwords for a language tag; unknown languages get the English list.
+pub fn stopwords(lang: &str) -> &'static [&'static str] {
+    match lang {
+        "it" => IT,
+        "fr" => FR,
+        "es" => ES,
+        "de" => DE,
+        _ => EN,
+    }
+}
+
+/// Whether `word` (lowercased) is a stopword of `lang`.
+pub fn is_stopword(lang: &str, word: &str) -> bool {
+    let lower = word.to_lowercase();
+    stopwords(lang).contains(&lower.as_str())
+}
+
+const EN: &[&str] = &[
+    "a", "an", "the", "and", "or", "but", "of", "in", "on", "at", "to", "for", "with", "by",
+    "from", "about", "as", "is", "are", "was", "were", "be", "been", "my", "our", "your", "his",
+    "her", "its", "their", "this", "that", "these", "those", "i", "you", "he", "she", "it", "we",
+    "they", "not", "no", "so", "very", "over", "under", "into", "out", "up", "down", "today",
+    "tonight", "front",
+];
+
+const IT: &[&str] = &[
+    "il", "lo", "la", "i", "gli", "le", "un", "uno", "una", "e", "o", "ma", "di", "a", "da", "in",
+    "con", "su", "per", "tra", "fra", "del", "dello", "della", "dei", "degli", "delle", "al",
+    "allo", "alla", "ai", "agli", "alle", "dal", "dallo", "dalla", "nel", "nello", "nella", "sul",
+    "sullo", "sulla", "è", "sono", "era", "erano", "mio", "mia", "nostro", "nostra", "questo",
+    "questa", "quello", "quella", "non", "più", "molto", "oggi", "stasera", "che", "davanti",
+    "visita", "vista", "giornata", "notte", "tramonto", "stupenda", "omaggio", "mostra", "statua",
+    "vie", "weekend",
+];
+
+const FR: &[&str] = &[
+    "le", "la", "les", "un", "une", "des", "et", "ou", "mais", "de", "du", "à", "au", "aux", "en",
+    "dans", "avec", "sur", "pour", "par", "est", "sont", "était", "mon", "ma", "notre", "votre",
+    "ce", "cette", "ces", "ne", "pas", "plus", "très", "aujourd'hui", "devant", "visite", "nuit",
+    "coucher", "soleil", "exposition", "statue",
+];
+
+const ES: &[&str] = &[
+    "el", "la", "los", "las", "un", "una", "unos", "unas", "y", "o", "pero", "de", "del", "a",
+    "al", "en", "con", "sobre", "para", "por", "es", "son", "era", "mi", "nuestro", "su", "este",
+    "esta", "estos", "estas", "no", "más", "muy", "hoy", "frente", "visitando", "atardecer",
+    "noche", "estatua", "exposición", "día", "fin", "semana",
+];
+
+const DE: &[&str] = &[
+    "der", "die", "das", "ein", "eine", "einen", "einem", "und", "oder", "aber", "von", "vom",
+    "zu", "zum", "zur", "in", "im", "mit", "auf", "für", "an", "am", "ist", "sind", "war", "mein",
+    "unser", "dieser", "diese", "dieses", "nicht", "mehr", "sehr", "heute", "vor", "bei",
+    "besuch", "nacht", "sonnenuntergang", "ausstellung", "statue", "tag", "wochenende",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn language_specific_lookup() {
+        assert!(is_stopword("en", "the"));
+        assert!(is_stopword("it", "della"));
+        assert!(is_stopword("fr", "dans"));
+        assert!(is_stopword("es", "sobre"));
+        assert!(is_stopword("de", "einem"));
+        assert!(!is_stopword("it", "Antonelliana"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(is_stopword("en", "The"));
+        assert!(is_stopword("it", "DELLA"));
+    }
+
+    #[test]
+    fn unknown_language_falls_back_to_english() {
+        assert!(is_stopword("zz", "the"));
+        assert!(!is_stopword("zz", "della"));
+    }
+}

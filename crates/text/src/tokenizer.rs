@@ -1,0 +1,113 @@
+//! Word tokenizer with source positions.
+
+/// A token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The surface form (original casing preserved).
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+}
+
+/// Splits text into word tokens: maximal runs of alphanumeric
+/// characters plus intra-word apostrophes/hyphens ("dell'arte" and
+/// "Levi-Montalcini" stay whole, since both occur in proper names).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    let mut prev_alnum = false;
+
+    for (idx, c) in text.char_indices() {
+        let is_word_char = c.is_alphanumeric()
+            || ((c == '\'' || c == '-' || c == '’') && prev_alnum && {
+                // join only when followed by a letter
+                text[idx + c.len_utf8()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|n| n.is_alphanumeric())
+            });
+        if is_word_char {
+            if current.is_empty() {
+                start = idx;
+            }
+            current.push(if c == '’' { '\'' } else { c });
+            prev_alnum = c.is_alphanumeric();
+        } else {
+            if !current.is_empty() {
+                tokens.push(Token {
+                    text: std::mem::take(&mut current),
+                    start,
+                });
+            }
+            prev_alnum = false;
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token {
+            text: current,
+            start,
+        });
+    }
+    tokens
+}
+
+/// Lowercased word list (no positions).
+pub fn words_lower(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<String> {
+        tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(
+            texts("Sunset at the Mole Antonelliana!"),
+            vec!["Sunset", "at", "the", "Mole", "Antonelliana"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_and_hyphens_join_words() {
+        assert_eq!(texts("dell'arte"), vec!["dell'arte"]);
+        assert_eq!(texts("Rita Levi-Montalcini"), vec!["Rita", "Levi-Montalcini"]);
+        assert_eq!(texts("l’altro"), vec!["l'altro"]);
+        // Trailing punctuation never joins.
+        assert_eq!(texts("it's a test-"), vec!["it's", "a", "test"]);
+        assert_eq!(texts("- start"), vec!["start"]);
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("Una giornata a Torino");
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[1].start, 4);
+        assert_eq!(&"Una giornata a Torino"[toks[3].start..], "Torino");
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(texts("Città di Torino è bella"), vec!["Città", "di", "Torino", "è", "bella"]);
+        assert_eq!(words_lower("CITTÀ"), vec!["città"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(texts("room 42 floor 3"), vec!["room", "42", "floor", "3"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(texts("").is_empty());
+        assert!(texts("... !!! ---").is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Context-tag generation: [`ContextSnapshot`] → triple tags.
+//!
+//! Reproduces §1.1: "After being uploaded, each content is processed by
+//! the platform, which adds the user's context tags", focused on
+//! location plus nearby people, cell and place labels.
+
+use lodify_context::ContextSnapshot;
+
+use crate::tag::TripleTag;
+
+/// Derives the platform's context triple tags from a snapshot.
+pub fn tags_for(snapshot: &ContextSnapshot) -> Vec<TripleTag> {
+    let mut tags = Vec::new();
+    let tag = |ns: &str, pred: &str, value: &str| {
+        TripleTag::new(ns, pred, value).expect("generated tags are well-formed")
+    };
+
+    if let Some(loc) = &snapshot.location {
+        tags.push(tag("geo", "long", &format!("{:.5}", loc.point.lon)));
+        tags.push(tag("geo", "lat", &format!("{:.5}", loc.point.lat)));
+        tags.push(tag("address", "street", &loc.civic.street));
+        tags.push(tag("address", "city", &loc.civic.city));
+        tags.push(tag("address", "country", &loc.civic.country));
+        tags.push(tag("geonames", "id", &loc.geonames_id.to_string()));
+        if let Some(label) = &loc.place_label {
+            tags.push(tag("place", "label", label));
+        }
+        if let Some(ty) = &loc.place_type {
+            tags.push(tag("place", "is", ty));
+        }
+    }
+    if let Some(cell) = &snapshot.cell {
+        tags.push(tag("cell", "cgi", &cell.to_cgi()));
+    }
+    for buddy in &snapshot.nearby {
+        tags.push(tag("people", "fn", &buddy.full_name));
+        tags.push(tag("people", "user", &buddy.user_name));
+    }
+    for entry in &snapshot.calendar {
+        tags.push(tag("calendar", "event", &entry.title));
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_context::ContextPlatform;
+    use lodify_rdf::Point;
+
+    fn snapshot() -> ContextSnapshot {
+        let mut p = ContextPlatform::new();
+        p.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+        p.buddies_mut().add_user(2, "walter", "Walter Goix");
+        p.buddies_mut().add_friend(1, 2);
+        let here = Point::new(7.6933, 45.0692).unwrap();
+        p.buddies_mut().update_position(2, here);
+        p.calendars_mut().add(1, "holiday in Turin", 0, 1000).unwrap();
+        p.add_place_label(1, here, "the big dome", Some("crowded"));
+        p.contextualize(1, 100, Some(here))
+    }
+
+    #[test]
+    fn full_snapshot_produces_all_namespaces(){
+        let tags = tags_for(&snapshot());
+        let find = |ns: &str, pred: &str| {
+            tags.iter()
+                .find(|t| t.namespace == ns && t.predicate == pred)
+                .map(|t| t.value.as_str())
+        };
+        assert_eq!(find("address", "city"), Some("Turin"));
+        assert_eq!(find("address", "country"), Some("Italy"));
+        assert_eq!(find("people", "fn"), Some("Walter Goix"));
+        assert_eq!(find("place", "is"), Some("crowded"));
+        assert_eq!(find("place", "label"), Some("the big dome"));
+        assert_eq!(find("calendar", "event"), Some("holiday in Turin"));
+        assert!(find("cell", "cgi").is_some());
+        assert!(find("geo", "lat").is_some());
+        assert!(find("geonames", "id").is_some());
+    }
+
+    #[test]
+    fn wire_forms_parse_back() {
+        for t in tags_for(&snapshot()) {
+            assert_eq!(TripleTag::parse(&t.to_wire()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn gpsless_snapshot_only_has_calendar() {
+        let mut p = ContextPlatform::new();
+        p.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+        p.calendars_mut().add(1, "meeting", 0, 1000).unwrap();
+        let tags = tags_for(&p.contextualize(1, 100, None));
+        assert!(tags.iter().all(|t| t.namespace == "calendar"));
+        assert_eq!(tags.len(), 1);
+    }
+}

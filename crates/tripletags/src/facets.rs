@@ -1,0 +1,203 @@
+//! Tag-facet index: the pre-semantic virtual albums.
+//!
+//! "Tagged pictures and videos are organized in virtual albums
+//! generated dynamically. These tag-based collections exploit triple
+//! tags to organize content: it is therefore possible to filter
+//! user-generated pictures by each triple tag namespace, predicate or
+//! value" (§1.1). The index answers exactly those three facet shapes
+//! plus plain-keyword lookup.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::tag::{Tag, TripleTag};
+
+/// Content identifier (the platform's picture id).
+pub type ContentId = i64;
+
+/// Inverted indexes over tags.
+#[derive(Debug, Default)]
+pub struct TagIndex {
+    by_plain: BTreeMap<String, BTreeSet<ContentId>>,
+    by_namespace: BTreeMap<String, BTreeSet<ContentId>>,
+    by_ns_pred: BTreeMap<(String, String), BTreeSet<ContentId>>,
+    by_full: BTreeMap<(String, String, String), BTreeSet<ContentId>>,
+    tags_of: BTreeMap<ContentId, Vec<Tag>>,
+}
+
+impl TagIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes one tag for a content item. Plain keywords are
+    /// lowercased (folksonomy matching is case-insensitive); triple-tag
+    /// values are matched exactly.
+    pub fn insert(&mut self, content: ContentId, tag: Tag) {
+        match &tag {
+            Tag::Plain(word) => {
+                self.by_plain
+                    .entry(word.to_lowercase())
+                    .or_default()
+                    .insert(content);
+            }
+            Tag::Triple(t) => {
+                self.by_namespace
+                    .entry(t.namespace.clone())
+                    .or_default()
+                    .insert(content);
+                self.by_ns_pred
+                    .entry((t.namespace.clone(), t.predicate.clone()))
+                    .or_default()
+                    .insert(content);
+                self.by_full
+                    .entry((t.namespace.clone(), t.predicate.clone(), t.value.clone()))
+                    .or_default()
+                    .insert(content);
+            }
+        }
+        self.tags_of.entry(content).or_default().push(tag);
+    }
+
+    /// Content carrying any tag in `namespace` (facet level 1).
+    pub fn by_namespace(&self, namespace: &str) -> Vec<ContentId> {
+        self.by_namespace
+            .get(namespace)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Content carrying `namespace:predicate=*` (facet level 2).
+    pub fn by_predicate(&self, namespace: &str, predicate: &str) -> Vec<ContentId> {
+        self.by_ns_pred
+            .get(&(namespace.to_string(), predicate.to_string()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Content carrying the exact triple tag (facet level 3) — e.g.
+    /// all pictures with `people:fn=Walter+Goix`.
+    pub fn by_value(&self, tag: &TripleTag) -> Vec<ContentId> {
+        self.by_full
+            .get(&(
+                tag.namespace.clone(),
+                tag.predicate.clone(),
+                tag.value.clone(),
+            ))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Content carrying a plain keyword (case-insensitive).
+    pub fn by_keyword(&self, word: &str) -> Vec<ContentId> {
+        self.by_plain
+            .get(&word.to_lowercase())
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Content carrying **all** the given plain keywords.
+    pub fn by_keywords_all(&self, words: &[&str]) -> Vec<ContentId> {
+        let mut iter = words.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut acc: BTreeSet<ContentId> = self.by_keyword(first).into_iter().collect();
+        for word in iter {
+            let next: BTreeSet<ContentId> = self.by_keyword(word).into_iter().collect();
+            acc = acc.intersection(&next).copied().collect();
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// All tags attached to a content item, in insertion order.
+    pub fn tags_of(&self, content: ContentId) -> &[Tag] {
+        self.tags_of.get(&content).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Distinct values under a `namespace:predicate` facet — what the
+    /// platform GUI shows as album choices ("context tags are displayed
+    /// in a friendly format").
+    pub fn facet_values(&self, namespace: &str, predicate: &str) -> Vec<(&str, usize)> {
+        self.by_full
+            .range(
+                (namespace.to_string(), predicate.to_string(), String::new())
+                    ..(namespace.to_string(), format!("{predicate}\u{10FFFF}"), String::new()),
+            )
+            .filter(|((_, p, _), _)| p == predicate)
+            .map(|((_, _, value), contents)| (value.as_str(), contents.len()))
+            .collect()
+    }
+
+    /// Number of indexed content items.
+    pub fn len(&self) -> usize {
+        self.tags_of.len()
+    }
+
+    /// True when no content is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tags_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> TagIndex {
+        let mut idx = TagIndex::new();
+        let tt = |s: &str| Tag::Triple(TripleTag::parse(s).unwrap());
+        idx.insert(1, Tag::Plain("Sunset".into()));
+        idx.insert(1, tt("people:fn=Walter+Goix"));
+        idx.insert(1, tt("address:city=Turin"));
+        idx.insert(2, tt("people:fn=Walter+Goix"));
+        idx.insert(2, tt("place:is=crowded"));
+        idx.insert(3, tt("people:fn=Carmen+Criminisi"));
+        idx.insert(3, Tag::Plain("sunset".into()));
+        idx.insert(3, Tag::Plain("beach".into()));
+        idx
+    }
+
+    #[test]
+    fn facet_levels() {
+        let idx = index();
+        assert_eq!(idx.by_namespace("people"), vec![1, 2, 3]);
+        assert_eq!(idx.by_predicate("people", "fn"), vec![1, 2, 3]);
+        assert_eq!(
+            idx.by_value(&TripleTag::parse("people:fn=Walter+Goix").unwrap()),
+            vec![1, 2]
+        );
+        assert!(idx.by_namespace("nothing").is_empty());
+    }
+
+    #[test]
+    fn keyword_search_is_case_insensitive() {
+        let idx = index();
+        assert_eq!(idx.by_keyword("SUNSET"), vec![1, 3]);
+        assert_eq!(idx.by_keywords_all(&["sunset", "beach"]), vec![3]);
+        assert!(idx.by_keywords_all(&["sunset", "mountain"]).is_empty());
+        assert!(idx.by_keywords_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn facet_values_enumerates_album_choices() {
+        let idx = index();
+        let values = idx.facet_values("people", "fn");
+        assert_eq!(
+            values,
+            vec![("Carmen Criminisi", 1), ("Walter Goix", 2)]
+        );
+    }
+
+    #[test]
+    fn tags_of_preserves_order() {
+        let idx = index();
+        let tags = idx.tags_of(1);
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags[0], Tag::Plain("Sunset".into()));
+        assert!(idx.tags_of(99).is_empty());
+    }
+}

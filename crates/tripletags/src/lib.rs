@@ -1,0 +1,30 @@
+//! Triple tags — the platform's **pre-semantic** annotation system.
+//!
+//! Before the semantic migration, the paper's platform carried context
+//! as *triple tags* (machine tags), `namespace:predicate=value`,
+//! "generated according to a triple tags specification to carry a
+//! semantic meaning" (§1.1), with brand-new namespaces (`address`,
+//! `people`) next to the widely-used `geo` ones:
+//!
+//! * `people:fn=Walter+Goix` — nearby buddy full names;
+//! * `cell:cgi=460-0-9522-3661` — serving GSM cell;
+//! * `place:is=crowded` — user-defined place type;
+//! * `poi:recs_id=72` — explicit POI reference;
+//! * `address:city=Turin` — reverse-geocoded civil address;
+//! * `geo:lat=… / geo:long=…` — raw coordinates.
+//!
+//! Tag-based virtual albums "exploit triple tags to organize content:
+//! it is therefore possible to filter user-generated pictures by each
+//! triple tag namespace, predicate or value". [`facets::TagIndex`]
+//! implements exactly that facet model; the retrieval-quality
+//! experiment (E8) uses it as the baseline the semantic system is
+//! compared against.
+
+#![warn(missing_docs)]
+
+pub mod context_tags;
+pub mod facets;
+pub mod tag;
+
+pub use facets::TagIndex;
+pub use tag::{Tag, TripleTag};

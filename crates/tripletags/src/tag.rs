@@ -1,0 +1,204 @@
+//! Machine-tag parsing and formatting.
+
+use std::fmt;
+
+/// A triple tag: `namespace:predicate=value`.
+///
+/// Values are stored decoded; the wire form plus-encodes spaces
+/// (`people:fn=Walter+Goix`), matching the paper's examples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TripleTag {
+    /// Namespace (e.g. `people`).
+    pub namespace: String,
+    /// Predicate (e.g. `fn`).
+    pub predicate: String,
+    /// Decoded value (e.g. `Walter Goix`).
+    pub value: String,
+}
+
+impl TripleTag {
+    /// Creates a tag; namespace and predicate must be non-empty
+    /// identifiers (`[a-z0-9_]+`), values non-empty.
+    pub fn new(namespace: &str, predicate: &str, value: &str) -> Result<TripleTag, String> {
+        let ident_ok = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        };
+        if !ident_ok(namespace) {
+            return Err(format!("bad triple tag namespace {namespace:?}"));
+        }
+        if !ident_ok(predicate) {
+            return Err(format!("bad triple tag predicate {predicate:?}"));
+        }
+        if value.is_empty() {
+            return Err("empty triple tag value".to_string());
+        }
+        Ok(TripleTag {
+            namespace: namespace.to_string(),
+            predicate: predicate.to_string(),
+            value: value.to_string(),
+        })
+    }
+
+    /// Parses the wire form `ns:pred=encoded+value`.
+    pub fn parse(text: &str) -> Result<TripleTag, String> {
+        let (head, raw_value) = text
+            .split_once('=')
+            .ok_or_else(|| format!("not a triple tag (no '='): {text:?}"))?;
+        let (ns, pred) = head
+            .split_once(':')
+            .ok_or_else(|| format!("not a triple tag (no ':'): {text:?}"))?;
+        TripleTag::new(ns, pred, &decode_value(raw_value))
+    }
+
+    /// The wire form with plus-encoded value.
+    pub fn to_wire(&self) -> String {
+        format!("{}:{}={}", self.namespace, self.predicate, encode_value(&self.value))
+    }
+}
+
+impl fmt::Display for TripleTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+/// A tag as attached to content: either a plain folksonomy keyword or
+/// a machine tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// Free-form user keyword.
+    Plain(String),
+    /// Machine tag.
+    Triple(TripleTag),
+}
+
+impl Tag {
+    /// Parses either form; anything that doesn't parse as a triple tag
+    /// is a plain keyword ("wild-free vocabulary", §1.2).
+    pub fn parse(text: &str) -> Tag {
+        match TripleTag::parse(text) {
+            Ok(tt) => Tag::Triple(tt),
+            Err(_) => Tag::Plain(text.to_string()),
+        }
+    }
+
+    /// The machine tag, if this is one.
+    pub fn as_triple(&self) -> Option<&TripleTag> {
+        match self {
+            Tag::Triple(t) => Some(t),
+            Tag::Plain(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::Plain(s) => f.write_str(s),
+            Tag::Triple(t) => t.fmt(f),
+        }
+    }
+}
+
+/// Plus-encodes spaces and percent-encodes the reserved characters.
+pub fn encode_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            ' ' => out.push('+'),
+            '+' => out.push_str("%2B"),
+            '%' => out.push_str("%25"),
+            '=' => out.push_str("%3D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`encode_value`]; malformed escapes pass through verbatim.
+pub fn decode_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '+' => {
+                out.push(' ');
+                i += 1;
+            }
+            '%' if i + 2 < chars.len() => {
+                let hex: String = chars[i + 1..i + 3].iter().collect();
+                if let Ok(byte) = u8::from_str_radix(&hex, 16) {
+                    out.push(byte as char);
+                    i += 3;
+                } else {
+                    out.push('%');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        let t = TripleTag::parse("people:fn=Walter+Goix").unwrap();
+        assert_eq!(
+            t,
+            TripleTag::new("people", "fn", "Walter Goix").unwrap()
+        );
+        let t = TripleTag::parse("cell:cgi=460-0-9522-3661").unwrap();
+        assert_eq!(t.value, "460-0-9522-3661");
+        let t = TripleTag::parse("place:is=crowded").unwrap();
+        assert_eq!((t.namespace.as_str(), t.predicate.as_str()), ("place", "is"));
+        let t = TripleTag::parse("poi:recs_id=72").unwrap();
+        assert_eq!(t.value, "72");
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for original in [
+            TripleTag::new("people", "fn", "Walter Goix").unwrap(),
+            TripleTag::new("place", "is", "a+b=c%d").unwrap(),
+            TripleTag::new("address", "city", "Torino").unwrap(),
+        ] {
+            let reparsed = TripleTag::parse(&original.to_wire()).unwrap();
+            assert_eq!(reparsed, original, "wire form {}", original.to_wire());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(TripleTag::parse("plainword").is_err());
+        assert!(TripleTag::parse("noequals:here").is_err());
+        assert!(TripleTag::parse("UPPER:pred=v").is_err());
+        assert!(TripleTag::parse(":pred=v").is_err());
+        assert!(TripleTag::parse("ns:=v").is_err());
+        assert!(TripleTag::parse("ns:pred=").is_err());
+    }
+
+    #[test]
+    fn tag_parse_falls_back_to_plain() {
+        assert_eq!(Tag::parse("sunset"), Tag::Plain("sunset".into()));
+        assert!(matches!(Tag::parse("geo:lat=45.07"), Tag::Triple(_)));
+        assert_eq!(Tag::parse("sunset").as_triple(), None);
+    }
+
+    #[test]
+    fn decode_handles_malformed_escapes() {
+        assert_eq!(decode_value("a%ZZb"), "a%ZZb");
+        assert_eq!(decode_value("100%"), "100%");
+        assert_eq!(decode_value("a%2Bb"), "a+b");
+    }
+}

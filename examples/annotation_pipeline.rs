@@ -1,0 +1,80 @@
+//! Figure 1, step by step: the semantic annotation process applied to
+//! a handful of titles — language identification, morphological
+//! analysis, NP-lemma extraction, semantic brokering and semantic
+//! filtering with every discard reason shown.
+//!
+//! ```sh
+//! cargo run --example annotation_pipeline
+//! ```
+
+use lodify::context::Gazetteer;
+use lodify::lod::datasets::load_lod;
+use lodify::lod::{SemanticBroker, SemanticFilter};
+use lodify::store::Store;
+use lodify::text::pipeline::extract_terms;
+
+fn main() {
+    let mut store = Store::new();
+    let (d, g, l) = load_lod(&mut store, Gazetteer::global());
+    println!("LOD snapshots loaded: DBpedia={d}, Geonames={g}, LinkedGeoData={l} triples\n");
+
+    let broker = SemanticBroker::standard();
+    let filter = SemanticFilter::standard();
+
+    let cases: &[(&str, &[&str])] = &[
+        ("Tramonto alla Mole Antonelliana", &["torino", "tramonto"]),
+        ("Amazing view of the Coliseum", &["roma"]),
+        ("Sunset over the hills", &["mole"]), // ambiguous tag!
+        ("Une journée à Paris", &[]),
+        ("Omaggio a Luciano Pavarotti", &["musica"]),
+    ];
+
+    for (title, tags) in cases {
+        let tags: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+        println!("── title: {title:?}, tags: {tags:?}");
+
+        // 1. text processing: language + morphology + NP extraction.
+        let terms = extract_terms(title, &tags);
+        println!(
+            "   language: {:?} (confidence {:.2})",
+            terms.language, terms.language_confidence
+        );
+        println!("   terms: {:?}", terms.texts());
+
+        // 2. semantic brokering across the resolver set.
+        let term_texts: Vec<String> = terms.terms.iter().map(|t| t.text.clone()).collect();
+        let output = broker.resolve(&store, &term_texts, title, terms.language);
+
+        // 3. semantic filtering per term.
+        for tc in &output.terms {
+            let outcome = filter.filter(&store, &tc.term, &tc.candidates);
+            match &outcome.chosen {
+                Some(c) => println!(
+                    "   {:24} → {} [{:?}, score {:.2}]",
+                    tc.term,
+                    c.resource.as_str(),
+                    c.graph,
+                    c.score
+                ),
+                None if outcome.survivors.len() > 1 => println!(
+                    "   {:24} → AMBIGUOUS ({} survivors — user-assisted UI would take over)",
+                    tc.term,
+                    outcome.survivors.len()
+                ),
+                None => println!(
+                    "   {:24} → no annotation ({} candidates, all discarded)",
+                    tc.term,
+                    tc.candidates.len()
+                ),
+            }
+            for (candidate, reason) in outcome.discarded.iter().take(3) {
+                println!(
+                    "        discarded {} — {:?}",
+                    candidate.resource.local_name(),
+                    reason
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,103 @@
+//! The §6 future-work architecture, running: two home-network nodes,
+//! WebFinger identities, FOAF profile exchange, PubSubHubbub
+//! subscriptions, SparqlPuSH queries, ActivityStreams timelines and a
+//! Salmon reply.
+//!
+//! ```sh
+//! cargo run --example federated_sharing
+//! ```
+
+use lodify::core::federation::{Federation, Notification, PhotoFrame};
+
+fn main() {
+    let mut fed = Federation::new();
+    let casa_oscar = fed.add_node("casa-oscar.example").expect("node");
+    let casa_walter = fed.add_node("casa-walter.example").expect("node");
+
+    let oscar = fed
+        .register_user(casa_oscar, "oscar", "Oscar Rodriguez")
+        .expect("user");
+    let walter = fed
+        .register_user(casa_walter, "walter", "Walter Goix")
+        .expect("user");
+    println!("accounts: {oscar} and {walter}");
+
+    // WebFinger resolution across the federation.
+    let (node, profile) = fed.webfinger("acct:walter@casa-walter.example").expect("webfinger");
+    println!("webfinger: walter lives on node {node}, profile {}", profile.as_str());
+
+    // Oscar follows Walter: profile import + foaf:knows + hub topic.
+    fed.subscribe(casa_oscar, &oscar, &walter).expect("subscribe");
+    println!("oscar now follows walter (FOAF profile imported)");
+
+    // Oscar also registers a SparqlPuSH query on Walter's node.
+    fed.sparql_subscribe(
+        casa_oscar,
+        casa_walter,
+        "SELECT ?m ?t WHERE { ?m a sioct:MicroblogPost . ?m rdfs:label ?t . }",
+    )
+    .expect("sparql subscription");
+
+    // Walter publishes from his holiday.
+    let (media, notifications) = fed
+        .publish(&walter, "Tramonto dalla terrazza", 1_320_800_000)
+        .expect("publish");
+    println!("\nwalter published {}", media.as_str());
+    for n in &notifications {
+        match n {
+            Notification::Activity { to, activity } => {
+                println!("  hub → node {to}: {:?} {:?}", activity.verb, activity.summary)
+            }
+            Notification::SparqlRows { to, rows } => {
+                println!("  sparqlPuSH → node {to}: {} new row(s)", rows.len());
+                for row in rows {
+                    println!("      {row}");
+                }
+            }
+        }
+    }
+
+    // Oscar replies — the Salmon comment swims upstream to Walter's node.
+    fed.reply(&oscar, &media, "che meraviglia!", 1_320_800_100)
+        .expect("reply");
+
+    println!("\ntimeline on walter's node:");
+    for activity in fed.node(casa_walter).expect("node").timeline().entries() {
+        println!(
+            "  [{}] {} {:?}: {}",
+            activity.ts, activity.actor, activity.verb, activity.summary
+        );
+    }
+    println!("\ntimeline on oscar's node (via subscription):");
+    for activity in fed.node(casa_oscar).expect("node").timeline().entries() {
+        println!(
+            "  [{}] {} {:?}: {}",
+            activity.ts, activity.actor, activity.verb, activity.summary
+        );
+    }
+
+    // §6.3: the UPnP photo frame in walter's living room shows the
+    // holiday pictures as they arrive.
+    let mut frame = PhotoFrame::new();
+    let shown = frame
+        .refresh(fed.node(casa_walter).expect("node"))
+        .expect("frame refresh");
+    println!("\nphoto frame now shows {} item(s):", shown.len());
+    for entry in &shown {
+        println!("  [{}] {}", entry.ts, entry.title);
+    }
+
+    // §6.2: embedding walter's media elsewhere via OEmbed.
+    let embed = fed
+        .node(casa_walter)
+        .expect("node")
+        .oembed(&media)
+        .expect("oembed");
+    println!(
+        "\noembed: {} “{}” from {} by {}",
+        embed.kind,
+        embed.title,
+        embed.provider,
+        embed.author.as_deref().unwrap_or("?")
+    );
+}

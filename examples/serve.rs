@@ -1,0 +1,70 @@
+//! Serve the platform's web interface (§3–§4) on localhost and drive
+//! it with a few requests, like a browser would.
+//!
+//! ```sh
+//! cargo run --example serve            # serves on an ephemeral port
+//! PORT=8080 cargo run --example serve  # fixed port; then open /
+//! ```
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use lodify::core::batch::BatchAnnotator;
+use lodify::core::platform::Platform;
+use lodify::core::web::WebServer;
+use lodify::relational::WorkloadConfig;
+
+fn get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nUser-Agent: example\r\n\r\n"
+    )
+    .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn main() {
+    let mut platform = Platform::bootstrap(WorkloadConfig {
+        seed: 5,
+        users: 20,
+        pictures: 300,
+        ..WorkloadConfig::default()
+    })
+    .expect("bootstrap");
+    BatchAnnotator::new()
+        .run_all(&mut platform, 128)
+        .expect("batch annotation");
+
+    let port: u16 = std::env::var("PORT")
+        .ok()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+    let server = WebServer::start(Arc::new(platform), port).expect("server start");
+    let addr = server.addr();
+    println!("serving the TeamLife interface on http://{addr}/");
+
+    for target in [
+        "/",
+        "/search?q=Turi",
+        "/album?monument=Mole+Antonelliana&lang=it&radius=0.3",
+        "/picture/1",
+        "/about/1",
+    ] {
+        let response = get(addr, target);
+        let status = response.lines().next().unwrap_or("");
+        let body_len = response.split("\r\n\r\n").nth(1).map(str::len).unwrap_or(0);
+        println!("GET {target:55} → {status} ({body_len} bytes)");
+    }
+
+    if std::env::var("PORT").is_ok() {
+        println!("\npress Ctrl-C to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
+    }
+    server.stop();
+    println!("done");
+}

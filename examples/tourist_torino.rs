@@ -1,0 +1,93 @@
+//! The §4 tourist scenario, end to end: a mobile user in Torino types
+//! into the search box (2-second AJAX debounce), picks the "Turin"
+//! resource from the candidates (Fig. 3), sees the content associated
+//! with it (Fig. 4), and opens the "About" mashup (§4.1): city
+//! description from DBpedia, nearby restaurants with websites,
+//! touristic attractions and other users' content.
+//!
+//! ```sh
+//! cargo run --example tourist_torino
+//! ```
+
+use lodify::core::batch::BatchAnnotator;
+use lodify::core::mashup::MashupService;
+use lodify::core::platform::Platform;
+use lodify::core::search::{Debouncer, SearchService};
+use lodify::relational::WorkloadConfig;
+
+fn main() {
+    let mut platform = Platform::bootstrap(WorkloadConfig {
+        seed: 7,
+        users: 25,
+        pictures: 400,
+        ..WorkloadConfig::default()
+    })
+    .expect("bootstrap");
+
+    // Legacy content must be batch-annotated before semantic search
+    // shines (§6's batch processing mechanism).
+    let report = BatchAnnotator::new()
+        .run_all(&mut platform, 100)
+        .expect("batch annotation");
+    println!(
+        "batch-annotated {} pictures ({} with at least one annotation)",
+        report.processed, report.with_annotations
+    );
+
+    // --- the search box (Fig. 2/3) ---
+    let mut debouncer = Debouncer::standard();
+    debouncer.keystroke(0.0, "T");
+    debouncer.keystroke(0.4, "Tu");
+    debouncer.keystroke(0.9, "Tur");
+    debouncer.keystroke(1.3, "Turi");
+    // 2 seconds after the last keystroke the query fires.
+    let query = debouncer.poll(3.3).expect("debounced query fires");
+    println!("\nsearch fires for {query:?}");
+
+    let suggestions = SearchService::suggest(platform.store(), &query, 8);
+    println!("candidate resources:");
+    for s in &suggestions {
+        println!("  {:30}  {}", s.label, s.resource.as_str());
+    }
+
+    // --- the user clicks the Geonames/DBpedia Turin resource ---
+    let turin = suggestions
+        .iter()
+        .find(|s| s.label == "Turin")
+        .or_else(|| suggestions.first())
+        .expect("at least one suggestion");
+    println!("\nselected: {}", turin.resource.as_str());
+
+    let hits =
+        SearchService::content_for_resource(platform.store(), &turin.resource, 5.0).expect("content");
+    println!("{} content items associated with the resource:", hits.len());
+    for hit in hits.iter().take(5) {
+        println!(
+            "  {}  {}",
+            hit.title.as_deref().unwrap_or("(untitled)"),
+            hit.link.as_deref().unwrap_or("-")
+        );
+    }
+
+    // --- the "About" button (§4.1) ---
+    let Some(first) = hits.first() else {
+        println!("no content found — try a different seed");
+        return;
+    };
+    let mashup = MashupService::standard()
+        .about(platform.store(), &first.content)
+        .expect("mashup");
+    println!("\nAbout mashup for {}:", first.content.as_str());
+    if let Some((city, abstract_)) = &mashup.city {
+        println!("  city: {city} — {abstract_}");
+    }
+    println!("  restaurants nearby:");
+    for r in &mashup.restaurants {
+        println!("    {} ({})", r.label, r.detail.as_deref().unwrap_or("no website"));
+    }
+    println!("  attractions nearby:");
+    for a in &mashup.attractions {
+        println!("    {}", a.label);
+    }
+    println!("  other UGC at this spot: {} items", mashup.related_content.len());
+}

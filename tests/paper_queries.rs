@@ -1,0 +1,190 @@
+//! The paper's queries, verbatim (modulo bracketed PREFIX IRIs),
+//! executed against a bootstrapped platform — §2.3's three virtual
+//! album queries and §4.1's 4-arm mashup UNION.
+
+use lodify::context::Gazetteer;
+use lodify::core::mashup::MashupService;
+use lodify::core::platform::{Platform, Upload};
+use lodify::relational::WorkloadConfig;
+
+fn platform_with_fixture() -> (Platform, i64) {
+    let mut p = Platform::bootstrap(WorkloadConfig {
+        seed: 99,
+        users: 20,
+        pictures: 250,
+        ..WorkloadConfig::default()
+    })
+    .expect("bootstrap");
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    // "oscar": Q2 filters friends of this user.
+    let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
+    let first_user_name = users
+        .get(1)
+        .and_then(|row| row[1].as_text().map(str::to_string))
+        .unwrap();
+    let receipt = p
+        .upload(Upload {
+            user_id: 2,
+            title: "La Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 5,
+            gps: Some(mole),
+            poi: None,
+        })
+        .unwrap();
+    let _ = first_user_name;
+    (p, receipt.pid)
+}
+
+/// §2.3 Q1, verbatim.
+const Q1: &str = r#"
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+}
+"#;
+
+#[test]
+fn q1_runs_verbatim_and_returns_nearby_content() {
+    let (p, pid) = platform_with_fixture();
+    let results = p.query(Q1).unwrap();
+    assert!(!results.is_empty());
+    let links: Vec<&str> = results.column("link").iter().map(|t| t.lexical()).collect();
+    assert!(links.iter().any(|l| l.contains(&format!("media/{pid}.jpg"))));
+}
+
+/// §2.3 Q2, verbatim (social filter on a user named like the paper's
+/// "oscar" — we pick the platform's user #1 name).
+#[test]
+fn q2_social_filter_is_a_subset_of_q1() {
+    let (p, _) = platform_with_fixture();
+    let user_name = {
+        let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
+        users.get(1).unwrap()[1].as_text().unwrap().to_string()
+    };
+    let q2 = format!(
+        r#"
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?link WHERE
+{{
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "{user_name}" .
+  ?user foaf:knows ?oscar .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}}
+"#
+    );
+    let q1_links: std::collections::BTreeSet<String> = p
+        .query(Q1)
+        .unwrap()
+        .column("link")
+        .iter()
+        .map(|t| t.lexical().to_string())
+        .collect();
+    let q2_links: std::collections::BTreeSet<String> = p
+        .query(&q2)
+        .unwrap()
+        .column("link")
+        .iter()
+        .map(|t| t.lexical().to_string())
+        .collect();
+    assert!(q2_links.is_subset(&q1_links));
+}
+
+/// §2.3 Q3, verbatim: rating-ordered.
+#[test]
+fn q3_orders_by_rating_descending() {
+    let (mut p, pid) = platform_with_fixture();
+    p.rate(pid, 3, 5).unwrap();
+    let user_name = {
+        let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
+        users.get(1).unwrap()[1].as_text().unwrap().to_string()
+    };
+    let q3 = format!(
+        r#"
+SELECT DISTINCT ?link ?points WHERE {{
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "{user_name}" .
+  ?user foaf:knows ?oscar .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}}
+ORDER BY DESC(?points)
+"#
+    );
+    let results = p.query(&q3).unwrap();
+    let points: Vec<f64> = results
+        .column("points")
+        .iter()
+        .map(|t| t.lexical().parse().unwrap())
+        .collect();
+    assert!(
+        points.windows(2).all(|w| w[0] >= w[1]),
+        "not descending: {points:?}"
+    );
+}
+
+/// §4.1: the single 4-arm UNION mashup query, paper shape.
+#[test]
+fn mashup_union_query_runs_with_subselect_limits() {
+    let (p, pid) = platform_with_fixture();
+    let picture = Platform::picture_iri(pid);
+    let service = MashupService::standard();
+    let query = service.combined_query(&picture);
+    // Sanity: the generated text has the paper's four arms.
+    assert_eq!(query.matches("UNION").count(), 3);
+    assert_eq!(query.matches("LIMIT 5").count(), 4);
+    let results = p.query(&query).unwrap();
+    assert!(!results.is_empty());
+    // Each arm is capped at 5, so ≤ 20 rows total.
+    assert!(results.len() <= 20, "{}", results.len());
+}
+
+/// §2.1.1's "Coliseum" walkthrough: the keyword hooks the content to
+/// "The Roman Colosseum" in the external datasets.
+#[test]
+fn coliseum_keyword_links_to_colosseum_resource() {
+    let (mut p, _) = platform_with_fixture();
+    let gaz = Gazetteer::global();
+    let colosseum = gaz.poi("Colosseum").unwrap();
+    let receipt = p
+        .upload(Upload {
+            user_id: 4,
+            title: "A wonderful day".into(),
+            tags: vec!["Coliseum".into()],
+            ts: 7,
+            gps: Some(colosseum.point(gaz)),
+            poi: None,
+        })
+        .unwrap();
+    let annotation = &p.annotations()[&receipt.pid];
+    let coliseum_term = annotation
+        .terms
+        .iter()
+        .find(|t| t.term == "Coliseum")
+        .expect("tag became a term");
+    assert_eq!(
+        coliseum_term.resource.as_ref().map(|i| i.as_str()),
+        Some("http://dbpedia.org/resource/Colosseum"),
+        "the paper's example: keyword \"Coliseum\" → The Roman Colosseum"
+    );
+}

@@ -1,0 +1,232 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use lodify::rdf::{ntriples, Literal, Point, Term, Triple};
+use lodify::store::Store;
+use lodify::text::distance::{jaro, jaro_winkler, levenshtein};
+use lodify::tripletags::TripleTag;
+
+/// Strategy: literal-safe arbitrary strings (any unicode).
+fn any_text() -> impl Strategy<Value = String> {
+    "\\PC{0,40}"
+}
+
+/// Strategy: plausible IRIs.
+fn any_iri() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+        .prop_map(|s| format!("http://example.org/{s}"))
+}
+
+proptest! {
+    // ---------- RDF serialization ----------
+
+    #[test]
+    fn ntriples_round_trips_any_literal(value in any_text(), subject in any_iri(), predicate in any_iri()) {
+        let triple = Triple::spo(&subject, &predicate, Term::Literal(Literal::simple(value)));
+        let text = ntriples::to_string(std::slice::from_ref(&triple));
+        let parsed = ntriples::parse_document(&text).unwrap();
+        prop_assert_eq!(parsed, vec![triple]);
+    }
+
+    #[test]
+    fn ntriples_round_trips_lang_literals(value in any_text(), lang in "[a-z]{2}") {
+        let lit = Literal::lang(value, &lang).unwrap();
+        let triple = Triple::spo("http://s", "http://p", Term::Literal(lit));
+        let text = ntriples::to_string(std::slice::from_ref(&triple));
+        let parsed = ntriples::parse_document(&text).unwrap();
+        prop_assert_eq!(parsed, vec![triple]);
+    }
+
+    // ---------- WKT geometry ----------
+
+    #[test]
+    fn wkt_round_trips(lon in -180.0f64..=180.0, lat in -90.0f64..=90.0) {
+        let p = Point::new(lon, lat).unwrap();
+        let back = Point::parse_wkt(&p.to_wkt()).unwrap();
+        prop_assert!((back.lon - lon).abs() < 1e-12);
+        prop_assert!((back.lat - lat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_a_pseudmetric(
+        lon1 in -10.0f64..=30.0, lat1 in 35.0f64..=60.0,
+        lon2 in -10.0f64..=30.0, lat2 in 35.0f64..=60.0,
+    ) {
+        let a = Point::new(lon1, lat1).unwrap();
+        let b = Point::new(lon2, lat2).unwrap();
+        prop_assert!(a.distance_km(b) >= 0.0);
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        prop_assert!(a.distance_km(a) < 1e-9);
+    }
+
+    // ---------- string distances ----------
+
+    #[test]
+    fn jaro_winkler_bounds_and_symmetry(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j), "jaro {j}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&jw), "jw {jw}");
+        prop_assert!(jw >= j - 1e-12, "winkler boosts, never hurts");
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_identity(a in "\\PC{1,16}") {
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    // ---------- triple tags ----------
+
+    #[test]
+    fn triple_tag_wire_round_trip(
+        ns in "[a-z][a-z0-9_]{0,8}",
+        pred in "[a-z][a-z0-9_]{0,8}",
+        value in "\\PC{1,24}",
+    ) {
+        prop_assume!(!value.is_empty());
+        let tag = TripleTag::new(&ns, &pred, &value).unwrap();
+        let reparsed = TripleTag::parse(&tag.to_wire()).unwrap();
+        prop_assert_eq!(reparsed, tag);
+    }
+
+    // ---------- store invariants ----------
+
+    #[test]
+    fn store_insert_remove_is_identity(entries in proptest::collection::vec((any_iri(), any_iri(), any_text()), 1..20)) {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let triples: Vec<Triple> = entries
+            .iter()
+            .map(|(s, p, o)| Triple::spo(s, p, Term::Literal(Literal::simple(o.clone()))))
+            .collect();
+        for t in &triples {
+            store.insert(t, g);
+        }
+        let len_after_insert = store.len();
+        // Every inserted triple is findable.
+        for t in &triples {
+            prop_assert!(store.contains(t));
+        }
+        // Remove everything (duplicates in input collapse on insert).
+        for t in &triples {
+            store.remove(t);
+        }
+        prop_assert_eq!(store.len(), 0);
+        prop_assert!(len_after_insert <= triples.len());
+    }
+
+    #[test]
+    fn store_pattern_counts_are_consistent(entries in proptest::collection::vec((any_iri(), any_iri()), 1..15)) {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        for (i, (s, p)) in entries.iter().enumerate() {
+            store.insert(&Triple::spo(s, p, Term::literal(format!("v{i}"))), g);
+        }
+        // Sum of per-subject counts equals the total.
+        let subjects: std::collections::BTreeSet<&String> = entries.iter().map(|(s, _)| s).collect();
+        let total: usize = subjects
+            .iter()
+            .map(|s| {
+                let id = store.id_of(&Term::iri_unchecked((*s).clone())).unwrap();
+                store.count_pattern(Some(id), None, None)
+            })
+            .sum();
+        prop_assert_eq!(total, store.len());
+    }
+
+    // ---------- parser robustness (fuzz) ----------
+
+    #[test]
+    fn sparql_parser_never_panics(input in "\\PC{0,120}") {
+        // Arbitrary input must parse or error, never panic.
+        let _ = lodify::sparql::parse(&input);
+    }
+
+    #[test]
+    fn sparql_parser_survives_query_mutations(cut in 0usize..200) {
+        // Truncating a real query at any byte boundary must not panic.
+        let query = r#"SELECT DISTINCT ?link WHERE {
+            ?monument rdfs:label "Mole Antonelliana"@it .
+            ?resource geo:geometry ?location .
+            FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+        } ORDER BY DESC(?points) LIMIT 10"#;
+        let end = query
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([query.len()])
+            .take_while(|&i| i <= cut.min(query.len()))
+            .last()
+            .unwrap_or(0);
+        let _ = lodify::sparql::parse(&query[..end]);
+    }
+
+    #[test]
+    fn ntriples_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = ntriples::parse_document(&input);
+    }
+
+    #[test]
+    fn turtle_parser_never_panics(input in "\\PC{0,120}") {
+        let prefixes = lodify::rdf::ns::PrefixMap::with_defaults();
+        let _ = lodify::rdf::turtle::parse_document(&input, &prefixes);
+    }
+
+    #[test]
+    fn mapping_dsl_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = lodify::d2r::dsl::parse(&input);
+    }
+
+    // ---------- SPARQL solution-modifier laws ----------
+
+    #[test]
+    fn sparql_limit_caps_and_distinct_shrinks(n in 1usize..30, limit in 1usize..10) {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        for i in 0..n {
+            store.insert(
+                &Triple::spo(&format!("http://s/{i}"), "http://p", Term::literal("same")),
+                g,
+            );
+        }
+        let all = lodify::sparql::execute(&store, "SELECT ?o WHERE { ?s <http://p> ?o . }").unwrap();
+        let distinct =
+            lodify::sparql::execute(&store, "SELECT DISTINCT ?o WHERE { ?s <http://p> ?o . }").unwrap();
+        let limited = lodify::sparql::execute(
+            &store,
+            &format!("SELECT ?o WHERE {{ ?s <http://p> ?o . }} LIMIT {limit}"),
+        )
+        .unwrap();
+        prop_assert_eq!(all.len(), n);
+        prop_assert_eq!(distinct.len(), 1);
+        prop_assert_eq!(limited.len(), n.min(limit));
+    }
+}
+
+// ---------- deterministic generation (plain tests, heavier) ----------
+
+#[test]
+fn workload_generation_is_reproducible_across_runs() {
+    use lodify::relational::workload::{generate, WorkloadConfig};
+    let a = generate(WorkloadConfig::small(777));
+    let b = generate(WorkloadConfig::small(777));
+    let titles_a: Vec<&String> = a.truth.iter().map(|t| &t.title).collect();
+    let titles_b: Vec<&String> = b.truth.iter().map(|t| &t.title).collect();
+    assert_eq!(titles_a, titles_b);
+}
+
+#[test]
+fn lod_snapshots_are_deterministic() {
+    use lodify::context::Gazetteer;
+    use lodify::lod::datasets;
+    let a = datasets::dbpedia_graph(Gazetteer::global());
+    let b = datasets::dbpedia_graph(Gazetteer::global());
+    assert_eq!(a, b);
+}
