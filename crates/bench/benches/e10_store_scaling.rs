@@ -3,7 +3,7 @@
 //! Bulk-load throughput, pattern-match latency and SPARQL BGP latency
 //! as the store grows, plus dictionary/index size statistics.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, row, time_once};
 use lodify_rdf::{Literal, Term, Triple};
 use lodify_store::Store;

@@ -4,7 +4,7 @@
 //! category exclusion rule, and the buddy external-linking switch
 //! (off by default — the paper's privacy decision).
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, row};
 use lodify_context::gazetteer::Gazetteer;
 use lodify_lod::annotator::{Annotator, AnnotatorConfig, ContentInput, PoiRefInput};

@@ -3,7 +3,7 @@
 //! Publish → notify fan-out at growing federation sizes, SparqlPuSH
 //! delivery, and timeline consistency across subscribers.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, row, time_once};
 use lodify_core::federation::{Acct, Federation, Notification};
 

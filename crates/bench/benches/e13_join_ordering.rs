@@ -7,7 +7,7 @@
 //! starts from the least selective one (`?resource a
 //! sioct:MicroblogPost`).
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, platform, row, time_once};
 use lodify_sparql::eval::EvalOptions;
 

@@ -1,0 +1,114 @@
+//! E14 — resilience overhead and the breaker's skip saving.
+//!
+//! Two questions: (1) what does the retry/breaker machinery cost on
+//! the healthy path (it should be noise), and (2) what does the
+//! circuit breaker save once a resolver is dead — an open breaker
+//! skips the resolver per term instead of re-polling it, so broker
+//! latency must not scale with the number of dead-resolver calls.
+//! All failures come from a scripted fault plan over a virtual clock:
+//! the measurements time only real work, never injected sleeps.
+
+use lodify_bench::{black_box, Criterion};
+use lodify_bench::{criterion, header, row, time_once};
+use lodify_context::Gazetteer;
+use lodify_lod::broker::BrokerResilienceConfig;
+use lodify_lod::datasets::load_lod;
+use lodify_lod::resolvers::{
+    DbpediaResolver, FaultInjectedResolver, GeonamesResolver, SindiceResolver,
+};
+use lodify_lod::SemanticBroker;
+use lodify_resilience::{FaultPlan, VirtualClock};
+use lodify_store::Store;
+
+fn lod_store() -> Store {
+    let mut s = Store::new();
+    load_lod(&mut s, Gazetteer::global());
+    s
+}
+
+fn plain_broker() -> SemanticBroker {
+    SemanticBroker::new(vec![
+        Box::new(DbpediaResolver),
+        Box::new(GeonamesResolver),
+        Box::new(SindiceResolver),
+    ])
+}
+
+/// All three resolvers fault-injected; `dead_dbpedia` scripts a
+/// permanent DBpedia outage.
+fn resilient_broker(dead_dbpedia: bool) -> SemanticBroker {
+    let clock = VirtualClock::new();
+    let mut builder = FaultPlan::builder();
+    if dead_dbpedia {
+        builder = builder.outage("resolver:dbpedia", 0, u64::MAX);
+    }
+    let plan = builder.build(clock.clone());
+    SemanticBroker::new(vec![
+        Box::new(FaultInjectedResolver::new(DbpediaResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(GeonamesResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(SindiceResolver, plan)),
+    ])
+    .with_resilience(clock, BrokerResilienceConfig::default())
+}
+
+fn terms(n: usize) -> Vec<String> {
+    let pool = [
+        "torino", "mole antonelliana", "parco del valentino", "palazzo madama",
+        "gran madre", "juventus", "po", "superga",
+    ];
+    (0..n).map(|i| pool[i % pool.len()].to_string()).collect()
+}
+
+fn main() {
+    header(
+        "E14",
+        "resilience overhead & breaker skip saving",
+        "retry/breaker machinery is free when healthy; an open breaker stops per-term re-polling of a dead resolver",
+    );
+
+    let store = lod_store();
+    row(&[
+        "terms".into(),
+        "plain ms".into(),
+        "resilient healthy ms".into(),
+        "dbpedia dead ms".into(),
+        "dead calls".into(),
+        "skips".into(),
+    ]);
+    for n in [8usize, 32, 128] {
+        let ts = terms(n);
+        let plain = plain_broker();
+        let healthy = resilient_broker(false);
+        let dead = resilient_broker(true);
+        let (_, t_plain) = time_once(|| black_box(plain.resolve(&store, &ts, "bench", None)));
+        let (_, t_healthy) = time_once(|| black_box(healthy.resolve(&store, &ts, "bench", None)));
+        let (_, t_dead) = time_once(|| black_box(dead.resolve(&store, &ts, "bench", None)));
+        let telemetry = dead.telemetry().unwrap();
+        row(&[
+            n.to_string(),
+            format!("{:.3}", t_plain.as_secs_f64() * 1000.0),
+            format!("{:.3}", t_healthy.as_secs_f64() * 1000.0),
+            format!("{:.3}", t_dead.as_secs_f64() * 1000.0),
+            telemetry.counter("broker.calls.dbpedia").to_string(),
+            telemetry.counter("broker.skipped.dbpedia").to_string(),
+        ]);
+    }
+    println!("\n(dead calls stay at the breaker threshold regardless of term count; skips absorb the rest)");
+
+    // ---- criterion ----
+    let ts = terms(32);
+    let mut c: Criterion = criterion();
+    let plain = plain_broker();
+    c.bench_function("e14/resolve_plain", |b| {
+        b.iter(|| black_box(plain.resolve(&store, &ts, "bench", None)))
+    });
+    let healthy = resilient_broker(false);
+    c.bench_function("e14/resolve_resilient_healthy", |b| {
+        b.iter(|| black_box(healthy.resolve(&store, &ts, "bench", None)))
+    });
+    let dead = resilient_broker(true);
+    c.bench_function("e14/resolve_dbpedia_dead_breaker_open", |b| {
+        b.iter(|| black_box(dead.resolve(&store, &ts, "bench", None)))
+    });
+    c.final_summary();
+}

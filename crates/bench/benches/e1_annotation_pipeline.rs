@@ -4,7 +4,7 @@
 //! latency and end-to-end throughput over the workload's multilingual
 //! titles.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, row, time_once};
 use lodify_context::Gazetteer;
 use lodify_lod::annotator::{Annotator, ContentInput};

@@ -4,7 +4,7 @@
 //! classifier; we report the confusion matrix over the workload's
 //! ground-truth-labeled titles plus a title-length sweep.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, row};
 use lodify_relational::workload::{generate, WorkloadConfig};
 use lodify_text::LanguageDetector;

@@ -8,7 +8,7 @@
 //! against workload ground truth, checking that 0.8 sits on the sweet
 //! part of the curve and that false positives indeed persist.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, row};
 use lodify_context::Gazetteer;
 use lodify_core::metrics::{score_run, PrCounts};

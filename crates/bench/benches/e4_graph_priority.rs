@@ -6,7 +6,7 @@
 //! discarded." We compare the paper's order against alternatives and
 //! against disabling validation.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, row};
 use lodify_context::Gazetteer;
 use lodify_core::metrics::score_run;

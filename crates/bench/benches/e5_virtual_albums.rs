@@ -4,7 +4,7 @@
 //! store sizes, cross-checked against the hand-coded relational
 //! baseline (same semantics, no SPARQL).
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, platform, row, time_once};
 use lodify_context::Gazetteer;
 use lodify_core::albums::{relational_baseline, AlbumSpec};

@@ -3,7 +3,7 @@
 //! Candidate counts and latency per prefix of "Turin", with the
 //! full-text index compared against a naive label scan.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, platform, row, time_once};
 use lodify_core::search::{Debouncer, SearchService};
 use lodify_rdf::Term;

@@ -4,7 +4,7 @@
 //! sizes, both in the structured (per-arm) and the paper's combined
 //! form.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, platform, row, time_once};
 use lodify_context::Gazetteer;
 use lodify_core::mashup::MashupService;

@@ -5,7 +5,7 @@
 //! such approach is the ambiguity". We measure precision/recall/F1 of
 //! the three retrieval systems on ambiguity-loaded entities.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, f3, header, platform, row};
 use lodify_core::batch::BatchAnnotator;
 use lodify_core::platform::Platform;

@@ -3,7 +3,7 @@
 //! Rows/s and triples/s of the D2R dump at growing database sizes,
 //! plus the triples-per-table census.
 
-use criterion::{black_box, Criterion};
+use lodify_bench::{black_box, Criterion};
 use lodify_bench::{criterion, header, row, time_once};
 use lodify_d2r::defaults::coppermine_mapping;
 use lodify_d2r::dump_rdf;

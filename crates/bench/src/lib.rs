@@ -8,7 +8,9 @@
 
 use std::time::Duration;
 
-use criterion::Criterion;
+mod timing;
+
+pub use timing::{black_box, Bencher, Criterion};
 use lodify_core::platform::Platform;
 use lodify_relational::WorkloadConfig;
 

@@ -1,0 +1,169 @@
+//! Minimal, dependency-free stand-in for the slice of the Criterion
+//! API the experiment benches use.
+//!
+//! The real Criterion crate cannot be vendored into this offline
+//! workspace, and the benches only need a small surface: a builder
+//! (`sample_size`/`warm_up_time`/`measurement_time`/`without_plots`),
+//! `bench_function` with a `Bencher::iter` body, `final_summary`, and
+//! `black_box`. This module reimplements exactly that surface with
+//! `std::time` so `cargo bench` keeps printing per-target timing
+//! tables alongside the experiment tables.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up period before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget for the sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f`, printing `name  time: [min median max]`.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        // Warm-up: run the body repeatedly until the window elapses,
+        // and let the observed cost size the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < self.warm_up {
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let per_iter = if warm_iters == 0 {
+            Duration::from_millis(1)
+        } else {
+            warm_start.elapsed() / warm_iters.max(1) as u32
+        };
+        let budget_per_sample = self.measurement / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = samples_ns.first().copied().unwrap_or(0.0);
+        let max = samples_ns.last().copied().unwrap_or(0.0);
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        self
+    }
+
+    /// End-of-suite marker (the real Criterion writes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to the benchmark body; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+            .without_plots();
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        c.final_summary();
+        assert!(runs > 0, "routine executed at least once");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}

@@ -8,24 +8,81 @@
 //! The queue holds uploads while the (simulated) device is offline and
 //! flushes them in capture order when connectivity returns — the
 //! capture timestamp inside [`Upload`] is what keeps context tagging
-//! correct even for late uploads.
+//! correct even for late uploads. Uploads that fail during a flush are
+//! **re-enqueued** (still in capture-timestamp order) and retried on
+//! the next flush, up to a per-item attempt cap; items past the cap
+//! are surfaced in the [`FlushReport`] instead of silently dropped.
 
 use crate::error::PlatformError;
 use crate::platform::{Platform, Upload, UploadReceipt};
 
-/// Client-side deferred upload queue.
+/// One queued upload plus how often it has been tried.
+#[derive(Debug, Clone)]
+struct PendingUpload {
+    upload: Upload,
+    attempts: u32,
+}
+
+/// An upload the queue gave up on (attempt cap reached).
+#[derive(Debug)]
+pub struct AbandonedUpload {
+    /// The upload itself — the caller still owns the content.
+    pub upload: Upload,
+    /// Upload attempts made, equal to the queue's cap.
+    pub attempts: u32,
+    /// The final error.
+    pub error: PlatformError,
+}
+
+/// Outcome of one [`UploadQueue::flush`].
 #[derive(Debug, Default)]
+pub struct FlushReport {
+    /// Receipts for uploads that succeeded, in capture order.
+    pub receipts: Vec<UploadReceipt>,
+    /// Uploads that failed but were re-enqueued for the next flush
+    /// (capture timestamp and latest error).
+    pub retried: Vec<(i64, PlatformError)>,
+    /// Uploads that hit the attempt cap and left the queue.
+    pub abandoned: Vec<AbandonedUpload>,
+}
+
+impl FlushReport {
+    /// Whether every queued upload went through.
+    pub fn is_clean(&self) -> bool {
+        self.retried.is_empty() && self.abandoned.is_empty()
+    }
+}
+
+/// Client-side deferred upload queue.
+#[derive(Debug)]
 pub struct UploadQueue {
     online: bool,
-    pending: Vec<Upload>,
+    pending: Vec<PendingUpload>,
+    max_attempts: u32,
+}
+
+impl Default for UploadQueue {
+    fn default() -> Self {
+        UploadQueue::new()
+    }
 }
 
 impl UploadQueue {
-    /// A new queue, offline.
+    /// Default per-item attempt cap.
+    pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+    /// A new queue, offline, with the default attempt cap.
     pub fn new() -> UploadQueue {
+        UploadQueue::with_max_attempts(Self::DEFAULT_MAX_ATTEMPTS)
+    }
+
+    /// A queue that abandons an upload after `max_attempts` failures.
+    pub fn with_max_attempts(max_attempts: u32) -> UploadQueue {
+        assert!(max_attempts >= 1);
         UploadQueue {
             online: false,
             pending: Vec::new(),
+            max_attempts,
         }
     }
 
@@ -41,16 +98,24 @@ impl UploadQueue {
     }
 
     /// Captures content: uploads immediately when online, queues
-    /// otherwise. Returns the receipt for immediate uploads.
+    /// otherwise. Returns the receipt for immediate uploads. An
+    /// immediate upload that fails is queued for the next flush rather
+    /// than lost (the error is still returned).
     pub fn capture(
         &mut self,
         platform: &mut Platform,
         upload: Upload,
     ) -> Result<Option<UploadReceipt>, PlatformError> {
         if self.online {
-            platform.upload(upload).map(Some)
+            match platform.upload(upload.clone()) {
+                Ok(receipt) => Ok(Some(receipt)),
+                Err(e) => {
+                    self.pending.push(PendingUpload { upload, attempts: 1 });
+                    Err(e)
+                }
+            }
         } else {
-            self.pending.push(upload);
+            self.pending.push(PendingUpload { upload, attempts: 0 });
             Ok(None)
         }
     }
@@ -60,26 +125,41 @@ impl UploadQueue {
         self.pending.len()
     }
 
+    /// The per-item attempt cap.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
     /// Flushes the queue in capture-timestamp order. Items that fail
-    /// individually are reported but don't block the rest.
-    pub fn flush(
-        &mut self,
-        platform: &mut Platform,
-    ) -> (Vec<UploadReceipt>, Vec<(Upload, PlatformError)>) {
+    /// individually don't block the rest: they are re-enqueued (keeping
+    /// timestamp order for the next flush) until the attempt cap moves
+    /// them into [`FlushReport::abandoned`].
+    pub fn flush(&mut self, platform: &mut Platform) -> FlushReport {
+        let mut report = FlushReport::default();
         if !self.online {
-            return (Vec::new(), Vec::new());
+            return report;
         }
         let mut queued = std::mem::take(&mut self.pending);
-        queued.sort_by_key(|u| u.ts);
-        let mut receipts = Vec::new();
-        let mut failures = Vec::new();
-        for upload in queued {
-            match platform.upload(upload.clone()) {
-                Ok(receipt) => receipts.push(receipt),
-                Err(e) => failures.push((upload, e)),
+        queued.sort_by_key(|p| p.upload.ts);
+        for mut item in queued {
+            match platform.upload(item.upload.clone()) {
+                Ok(receipt) => report.receipts.push(receipt),
+                Err(e) => {
+                    item.attempts += 1;
+                    if item.attempts >= self.max_attempts {
+                        report.abandoned.push(AbandonedUpload {
+                            upload: item.upload,
+                            attempts: item.attempts,
+                            error: e,
+                        });
+                    } else {
+                        report.retried.push((item.upload.ts, e));
+                        self.pending.push(item);
+                    }
+                }
             }
         }
-        (receipts, failures)
+        report
     }
 }
 
@@ -99,6 +179,13 @@ mod tests {
         }
     }
 
+    fn bad_upload(ts: i64, title: &str) -> Upload {
+        Upload {
+            user_id: 9999, // missing user → upload fails
+            ..upload(ts, title)
+        }
+    }
+
     #[test]
     fn offline_captures_queue_then_flush_in_timestamp_order() {
         let mut platform = Platform::bootstrap(WorkloadConfig::small(1)).unwrap();
@@ -110,17 +197,18 @@ mod tests {
         assert_eq!(queue.pending(), 3);
 
         // Flush while offline is a no-op.
-        let (receipts, failures) = queue.flush(&mut platform);
-        assert!(receipts.is_empty() && failures.is_empty());
+        let report = queue.flush(&mut platform);
+        assert!(report.receipts.is_empty() && report.is_clean());
         assert_eq!(queue.pending(), 3);
 
         queue.set_online(true);
-        let (receipts, failures) = queue.flush(&mut platform);
-        assert_eq!(receipts.len(), 3);
-        assert!(failures.is_empty());
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.receipts.len(), 3);
+        assert!(report.is_clean());
         assert_eq!(queue.pending(), 0);
         // Capture order preserved: pids ascend with timestamps.
-        let titles: Vec<String> = receipts
+        let titles: Vec<String> = report
+            .receipts
             .iter()
             .map(|r| {
                 let q = format!(
@@ -147,23 +235,62 @@ mod tests {
     }
 
     #[test]
-    fn failed_items_are_reported_not_fatal() {
+    fn failed_items_are_requeued_not_dropped() {
         let mut platform = Platform::bootstrap(WorkloadConfig::small(3)).unwrap();
         let mut queue = UploadQueue::new();
         queue.capture(&mut platform, upload(1, "good")).unwrap();
-        queue
-            .capture(
-                &mut platform,
-                Upload {
-                    user_id: 9999, // missing user → upload fails
-                    ..upload(2, "bad")
-                },
-            )
-            .unwrap();
+        queue.capture(&mut platform, bad_upload(2, "bad")).unwrap();
         queue.set_online(true);
-        let (receipts, failures) = queue.flush(&mut platform);
-        assert_eq!(receipts.len(), 1);
-        assert_eq!(failures.len(), 1);
-        assert!(matches!(failures[0].1, PlatformError::NotFound(_)));
+
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.receipts.len(), 1);
+        assert_eq!(report.retried.len(), 1);
+        assert!(matches!(report.retried[0].1, PlatformError::NotFound(_)));
+        assert!(report.abandoned.is_empty());
+        // The failed item is still queued for the next flush.
+        assert_eq!(queue.pending(), 1);
+    }
+
+    #[test]
+    fn attempt_cap_abandons_with_full_context() {
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(4)).unwrap();
+        let mut queue = UploadQueue::with_max_attempts(2);
+        queue.capture(&mut platform, bad_upload(7, "doomed")).unwrap();
+        queue.set_online(true);
+
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.retried.len(), 1, "first failure re-enqueues");
+        assert_eq!(queue.pending(), 1);
+
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.abandoned.len(), 1, "cap reached");
+        assert_eq!(report.abandoned[0].attempts, 2);
+        assert_eq!(report.abandoned[0].upload.title, "doomed");
+        assert!(matches!(report.abandoned[0].error, PlatformError::NotFound(_)));
+        assert_eq!(queue.pending(), 0);
+    }
+
+    #[test]
+    fn requeued_items_keep_timestamp_order_across_flushes() {
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(5)).unwrap();
+        let mut queue = UploadQueue::new();
+        queue.capture(&mut platform, bad_upload(200, "late-bad")).unwrap();
+        queue.capture(&mut platform, bad_upload(100, "early-bad")).unwrap();
+        queue.set_online(true);
+
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.retried.len(), 2);
+        // Retried list reflects capture order: 100 before 200.
+        assert_eq!(report.retried[0].0, 100);
+        assert_eq!(report.retried[1].0, 200);
+
+        // Mix in a fresh item; next flush still goes by timestamp.
+        queue.set_online(false);
+        queue.capture(&mut platform, upload(150, "mid-good")).unwrap();
+        queue.set_online(true);
+        let report = queue.flush(&mut platform);
+        assert_eq!(report.receipts.len(), 1);
+        assert_eq!(report.retried[0].0, 100);
+        assert_eq!(report.retried[1].0, 200);
     }
 }

@@ -17,6 +17,10 @@ pub enum PlatformError {
     NotFound(String),
     /// Invalid argument (rating out of range, empty title…).
     Invalid(String),
+    /// An I/O deadline elapsed (slow client, stalled socket).
+    Timeout(String),
+    /// A dependency is down or a fault plan injected a failure.
+    Unavailable(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -28,6 +32,8 @@ impl fmt::Display for PlatformError {
             PlatformError::Store(e) => write!(f, "store: {e}"),
             PlatformError::NotFound(what) => write!(f, "not found: {what}"),
             PlatformError::Invalid(what) => write!(f, "invalid request: {what}"),
+            PlatformError::Timeout(what) => write!(f, "timed out: {what}"),
+            PlatformError::Unavailable(what) => write!(f, "unavailable: {what}"),
         }
     }
 }

@@ -26,6 +26,9 @@ use std::collections::HashSet;
 use std::fmt;
 
 use lodify_rdf::{ns, Iri, Literal, Term, Triple};
+use lodify_resilience::{
+    DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry,
+};
 use lodify_store::Store;
 
 use crate::error::PlatformError;
@@ -457,12 +460,25 @@ struct SparqlSubscription {
     seen: HashSet<String>,
 }
 
+/// Delivery resilience: a scripted fault plan judged per receiving
+/// node (`node:<host>`), retries with virtual backoff, and a
+/// dead-letter queue of undeliverable notifications replayed by
+/// [`Federation::redeliver`].
+struct DeliveryResilience {
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    rng: DetRng,
+    dlq: DeadLetterQueue<Notification>,
+    telemetry: Telemetry,
+}
+
 /// The federation: nodes + WebFinger directory + hub.
 pub struct Federation {
     nodes: Vec<Node>,
     /// `(topic acct, subscriber node)` — PubSubHubbub subscriptions.
     subscriptions: Vec<(Acct, NodeId)>,
     sparql_subs: Vec<SparqlSubscription>,
+    resilience: Option<DeliveryResilience>,
 }
 
 impl Default for Federation {
@@ -472,13 +488,45 @@ impl Default for Federation {
 }
 
 impl Federation {
+    /// Attempt cap for a parked notification (initial failure + DLQ
+    /// replays).
+    pub const DELIVERY_MAX_ATTEMPTS: u32 = 8;
+
     /// An empty federation.
     pub fn new() -> Federation {
         Federation {
             nodes: Vec::new(),
             subscriptions: Vec::new(),
             sparql_subs: Vec::new(),
+            resilience: None,
         }
+    }
+
+    /// Installs fault-injected delivery: every PuSH/Salmon notification
+    /// to a node is judged by `plan` under target `node:<host>`,
+    /// retried per `retry` (advancing the plan's virtual clock), and
+    /// parked in a dead-letter queue when retries exhaust.
+    pub fn with_fault_plan(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.resilience = Some(DeliveryResilience {
+            plan,
+            retry,
+            rng: DetRng::seed_from_u64(0).fork("federation-delivery"),
+            dlq: DeadLetterQueue::new(Self::DELIVERY_MAX_ATTEMPTS),
+            telemetry: Telemetry::new(),
+        });
+    }
+
+    /// Undelivered notifications awaiting [`Federation::redeliver`].
+    pub fn undelivered(&self) -> usize {
+        self.resilience.as_ref().map(|r| r.dlq.depth()).unwrap_or(0)
+    }
+
+    /// Delivery telemetry (`None` without a fault plan):
+    /// `federation.delivered` / `federation.retries` /
+    /// `federation.parked` / `federation.redelivered` counters and the
+    /// `federation.dlq.depth` gauge.
+    pub fn delivery_telemetry(&self) -> Option<&Telemetry> {
+        self.resilience.as_ref().map(|r| &r.telemetry)
     }
 
     /// Adds a home node. Host names must be unique.
@@ -641,7 +689,7 @@ impl Federation {
     }
 
     fn fan_out(&mut self, publisher: NodeId, activity: Activity) -> Vec<Notification> {
-        let mut notifications = Vec::new();
+        let mut outbox = Vec::new();
         // PubSubHubbub: everyone subscribed to the actor's topic.
         let receivers: Vec<NodeId> = self
             .subscriptions
@@ -650,8 +698,7 @@ impl Federation {
             .map(|(_, node)| *node)
             .collect();
         for to in receivers {
-            self.nodes[to].timeline.push(activity.clone());
-            notifications.push(Notification::Activity {
+            outbox.push(Notification::Activity {
                 to,
                 activity: activity.clone(),
             });
@@ -677,13 +724,95 @@ impl Federation {
                 }
             }
             if !new_rows.is_empty() {
-                notifications.push(Notification::SparqlRows {
+                outbox.push(Notification::SparqlRows {
                     to: sub.subscriber,
                     rows: new_rows,
                 });
             }
         }
-        notifications
+
+        // Delivery. Without a fault plan every notification lands
+        // directly (the original behaviour); with one, each delivery is
+        // judged + retried, and undeliverable notifications are parked
+        // instead of lost.
+        let mut delivered = Vec::new();
+        for notification in outbox {
+            match self.try_deliver(&notification) {
+                Ok(()) => delivered.push(notification),
+                Err(error) => {
+                    let res = self.resilience.as_mut().expect("fallible only with plan");
+                    res.telemetry.incr("federation.parked");
+                    let now = res.plan.clock().now_ms();
+                    res.dlq.push(notification, error, now);
+                    res.telemetry
+                        .set_gauge("federation.dlq.depth", res.dlq.depth() as u64);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Attempts one notification delivery (with retries when a fault
+    /// plan is installed). Success applies the node-side effect.
+    fn try_deliver(&mut self, notification: &Notification) -> Result<(), String> {
+        let to = match notification {
+            Notification::Activity { to, .. } => *to,
+            Notification::SparqlRows { to, .. } => *to,
+        };
+        if let Some(res) = &mut self.resilience {
+            let target = format!("node:{}", self.nodes[to].host);
+            let plan = res.plan.clone();
+            let clock = plan.clock().clone();
+            res.retry
+                .run(&clock, &mut res.rng, |attempt| {
+                    if attempt > 1 {
+                        res.telemetry.incr("federation.retries");
+                    }
+                    plan.check(&target)
+                })
+                .map_err(|e| e.to_string())?;
+            res.telemetry.incr("federation.delivered");
+        }
+        apply_delivery(&mut self.nodes, notification);
+        Ok(())
+    }
+
+    /// Replays the delivery dead-letter queue: notifications whose node
+    /// is reachable again land now (with their node-side effects);
+    /// still-unreachable ones stay parked until
+    /// [`Federation::DELIVERY_MAX_ATTEMPTS`] exhausts them. Returns the
+    /// notifications delivered by this pass plus the replay report.
+    pub fn redeliver(&mut self) -> (Vec<Notification>, ReplayReport) {
+        let Some(mut res) = self.resilience.take() else {
+            return (Vec::new(), ReplayReport::default());
+        };
+        let mut landed = Vec::new();
+        let nodes = &mut self.nodes;
+        let plan = res.plan.clone();
+        let report = res.dlq.replay(|notification| {
+            let to = match notification {
+                Notification::Activity { to, .. } => *to,
+                Notification::SparqlRows { to, .. } => *to,
+            };
+            let target = format!("node:{}", nodes[to].host);
+            plan.check(&target).map_err(|e| e.to_string())?;
+            apply_delivery(nodes, notification);
+            landed.push(notification.clone());
+            Ok(())
+        });
+        res.telemetry.add("federation.redelivered", report.replayed as u64);
+        res.telemetry
+            .set_gauge("federation.dlq.depth", res.dlq.depth() as u64);
+        self.resilience = Some(res);
+        (landed, report)
+    }
+}
+
+/// Applies a notification's node-side effect (the subscriber's merged
+/// timeline; SparqlPuSH rows carry their payload in the notification).
+fn apply_delivery(nodes: &mut [Node], notification: &Notification) {
+    if let Notification::Activity { to, activity } = notification {
+        nodes[*to].timeline.push(activity.clone());
     }
 }
 
@@ -885,5 +1014,114 @@ mod tests {
         assert!(fed.add_node("same.example").is_err());
         fed.register_user(0, "oscar", "O").unwrap();
         assert!(fed.register_user(0, "oscar", "O2").is_err());
+    }
+
+    #[test]
+    fn node_outage_parks_notifications_for_redelivery() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("node:node1.example", 0, 5_000)
+            .build(clock.clone());
+        fed.with_fault_plan(plan, RetryPolicy::default());
+
+        // Publishing during node1's outage: the activity stays on the
+        // publisher, the subscriber notification parks in the DLQ.
+        let (_, notifications) = fed.publish(&walter, "missed you", 100).unwrap();
+        assert!(notifications.is_empty(), "nothing delivered while down");
+        assert_eq!(fed.undelivered(), 1);
+        assert!(fed.node(0).unwrap().timeline().entries().is_empty());
+        assert_eq!(fed.node(1).unwrap().timeline().entries().len(), 1);
+        let telemetry = fed.delivery_telemetry().unwrap();
+        assert_eq!(telemetry.counter("federation.parked"), 1);
+        assert!(telemetry.counter("federation.retries") >= 1, "retried first");
+
+        // Redelivery while still down re-parks, nothing lands.
+        let (landed, report) = fed.redeliver();
+        assert!(landed.is_empty());
+        assert_eq!(report.requeued, 1);
+        assert_eq!(fed.undelivered(), 1);
+
+        // Outage ends → redelivery applies the node-side effect.
+        clock.set(6_000);
+        let (landed, report) = fed.redeliver();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(landed.len(), 1);
+        assert!(matches!(&landed[0], Notification::Activity { to: 0, .. }));
+        assert_eq!(fed.undelivered(), 0);
+        let timeline = fed.node(0).unwrap().timeline().entries();
+        assert_eq!(timeline.len(), 1, "subscriber caught up");
+        assert_eq!(timeline[0].summary, "missed you");
+        let telemetry = fed.delivery_telemetry().unwrap();
+        assert_eq!(telemetry.counter("federation.redelivered"), 1);
+        assert_eq!(telemetry.gauge("federation.dlq.depth"), Some(0));
+    }
+
+    #[test]
+    fn healthy_nodes_deliver_unchanged_under_a_fault_plan() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        let clock = VirtualClock::new();
+        // A plan with no faults for either node.
+        let plan = FaultPlan::builder().build(clock.clone());
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        let (_, notifications) = fed.publish(&walter, "all clear", 1).unwrap();
+        assert_eq!(notifications.len(), 1);
+        assert_eq!(fed.node(0).unwrap().timeline().entries().len(), 1);
+        assert_eq!(fed.undelivered(), 0);
+        let telemetry = fed.delivery_telemetry().unwrap();
+        assert_eq!(telemetry.counter("federation.delivered"), 1);
+        assert_eq!(telemetry.counter("federation.parked"), 0);
+    }
+
+    #[test]
+    fn sparql_rows_survive_parking_and_redeliver_with_payload() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, _, walter) = two_node_federation();
+        fed.sparql_subscribe(
+            0,
+            1,
+            "SELECT ?m ?t WHERE { ?m a sioct:MicroblogPost . ?m rdfs:label ?t . }",
+        )
+        .unwrap();
+
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("node:node1.example", 0, 1_000)
+            .build(clock.clone());
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        let (_, notifications) = fed.publish(&walter, "row diff", 5).unwrap();
+        assert!(notifications.is_empty());
+        assert_eq!(fed.undelivered(), 1);
+
+        clock.set(2_000);
+        let (landed, _) = fed.redeliver();
+        assert_eq!(landed.len(), 1);
+        // The parked notification kept its row payload — the row is not
+        // re-announced on the next publish (seen-set already updated).
+        let Notification::SparqlRows { to, rows } = &landed[0] else {
+            panic!("expected SparqlRows");
+        };
+        assert_eq!(*to, 0);
+        assert!(rows[0].contains("row diff"));
+        let (_, next) = fed.publish(&walter, "fresh row", 6).unwrap();
+        let diffs: Vec<&Notification> = next
+            .iter()
+            .filter(|n| matches!(n, Notification::SparqlRows { .. }))
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        if let Notification::SparqlRows { rows, .. } = diffs[0] {
+            assert_eq!(rows.len(), 1, "only the new row");
+            assert!(rows[0].contains("fresh row"));
+        }
     }
 }

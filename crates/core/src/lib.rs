@@ -16,7 +16,9 @@
 //!   restaurants, tourism attractions and related UGC;
 //! * [`batch`] — batch re-annotation of legacy content (§6);
 //! * [`metrics`] — precision/recall/F1 scoring of annotations against
-//!   workload ground truth (experiments E3/E4/E8);
+//!   workload ground truth (experiments E3/E4/E8), plus the
+//!   operational [`metrics::OpsSnapshot`] over breakers, retries and
+//!   dead-letter queues;
 //! * [`web`] — the §3/§4 web & mobile interface: routing, HTML
 //!   rendering (incl. the §1.1 friendly-format tag display) and a
 //!   minimal std-only HTTP server;

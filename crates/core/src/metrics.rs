@@ -1,4 +1,5 @@
-//! Annotation- and retrieval-quality metrics.
+//! Annotation- and retrieval-quality metrics, plus the operational
+//! snapshot of the resilience machinery.
 //!
 //! The paper reports no numbers ("Empirical tests proof that such
 //! technique must be further improved as it still provides false
@@ -6,11 +7,17 @@
 //! workload's ground truth, for experiments E3, E4 and E8.
 
 use std::collections::HashSet;
+use std::fmt;
 
 use lodify_context::Gazetteer;
 use lodify_lod::datasets::{dbp, gnr};
+use lodify_lod::reannotate::ReAnnotator;
+use lodify_lod::SemanticBroker;
 use lodify_rdf::Iri;
 use lodify_relational::workload::{PictureTruth, TruthSubject};
+use lodify_resilience::BreakerState;
+
+use crate::federation::Federation;
 
 /// Basic precision/recall counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -145,6 +152,137 @@ pub fn score_run<'a>(
     total
 }
 
+/// One resolver's operational state inside an [`OpsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolverOps {
+    /// Resolver name (`dbpedia`, `geonames`, …).
+    pub name: &'static str,
+    /// Breaker state, if the broker runs with resilience.
+    pub breaker: Option<BreakerState>,
+    /// Calls actually issued (attempts, including retries).
+    pub calls: u64,
+    /// Retries beyond each first attempt.
+    pub retries: u64,
+    /// Failed attempts observed (each feeds the breaker).
+    pub failures: u64,
+    /// Calls skipped because the breaker was open.
+    pub skipped: u64,
+}
+
+/// A point-in-time operational snapshot of the resilience machinery —
+/// breaker states, retry counts and dead-letter depths across the
+/// annotation and federation pipelines. This is the ops-facing
+/// counterpart to the quality metrics above.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpsSnapshot {
+    /// Per-resolver breaker + retry counters from the broker.
+    pub resolvers: Vec<ResolverOps>,
+    /// Degraded items parked for re-annotation.
+    pub reannotate_depth: usize,
+    /// Re-annotation items that hit the attempt cap.
+    pub reannotate_exhausted: usize,
+    /// Items parked over the queue's lifetime.
+    pub reannotate_parked: u64,
+    /// Items successfully re-annotated by replays.
+    pub reannotate_replayed: u64,
+    /// Federation notifications awaiting redelivery.
+    pub federation_dlq_depth: usize,
+    /// Notifications parked over the federation's lifetime.
+    pub federation_parked: u64,
+    /// Notifications delivered by redelivery passes.
+    pub federation_redelivered: u64,
+    /// Delivery retries beyond first attempts.
+    pub federation_retries: u64,
+}
+
+impl OpsSnapshot {
+    /// Collects the current state; `requeue` / `federation` are
+    /// optional because a deployment may run only part of the pipeline.
+    pub fn collect(
+        broker: &SemanticBroker,
+        requeue: Option<&ReAnnotator>,
+        federation: Option<&Federation>,
+    ) -> OpsSnapshot {
+        let mut snapshot = OpsSnapshot::default();
+        let telemetry = broker.telemetry();
+        for name in broker.resolver_names() {
+            let counter = |kind: &str| {
+                telemetry
+                    .map(|t| t.counter(&format!("broker.{kind}.{name}")))
+                    .unwrap_or(0)
+            };
+            snapshot.resolvers.push(ResolverOps {
+                name,
+                breaker: broker.breaker_state(name),
+                calls: counter("calls"),
+                retries: counter("retries"),
+                failures: counter("failures"),
+                skipped: counter("skipped"),
+            });
+        }
+        if let Some(requeue) = requeue {
+            snapshot.reannotate_depth = requeue.depth();
+            snapshot.reannotate_exhausted = requeue.queue().exhausted().len();
+            snapshot.reannotate_parked = requeue.telemetry().counter("reannotate.parked");
+            snapshot.reannotate_replayed = requeue.telemetry().counter("reannotate.replayed");
+        }
+        if let Some(federation) = federation {
+            snapshot.federation_dlq_depth = federation.undelivered();
+            if let Some(t) = federation.delivery_telemetry() {
+                snapshot.federation_parked = t.counter("federation.parked");
+                snapshot.federation_redelivered = t.counter("federation.redelivered");
+                snapshot.federation_retries = t.counter("federation.retries");
+            }
+        }
+        snapshot
+    }
+
+    /// Whether anything is degraded right now: a breaker not closed or
+    /// a non-empty dead-letter queue.
+    pub fn is_degraded(&self) -> bool {
+        self.resolvers
+            .iter()
+            .any(|r| r.breaker.is_some_and(|b| b != BreakerState::Closed))
+            || self.reannotate_depth > 0
+            || self.federation_dlq_depth > 0
+    }
+}
+
+impl fmt::Display for OpsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resilience ops snapshot")?;
+        for r in &self.resolvers {
+            let breaker = match r.breaker {
+                Some(BreakerState::Closed) => "closed",
+                Some(BreakerState::Open) => "OPEN",
+                Some(BreakerState::HalfOpen) => "half-open",
+                None => "-",
+            };
+            writeln!(
+                f,
+                "  resolver {:<10} breaker={:<9} calls={} retries={} failures={} skipped={}",
+                r.name, breaker, r.calls, r.retries, r.failures, r.skipped
+            )?;
+        }
+        writeln!(
+            f,
+            "  reannotate  depth={} exhausted={} parked={} replayed={}",
+            self.reannotate_depth,
+            self.reannotate_exhausted,
+            self.reannotate_parked,
+            self.reannotate_replayed
+        )?;
+        write!(
+            f,
+            "  federation  dlq={} parked={} redelivered={} retries={}",
+            self.federation_dlq_depth,
+            self.federation_parked,
+            self.federation_redelivered,
+            self.federation_retries
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +353,46 @@ mod tests {
         let via_dbp = score_picture(&t, &[dbp("Turin")]);
         assert_eq!(via_gn.tp, 1);
         assert_eq!(via_dbp.tp, 1);
+    }
+
+    #[test]
+    fn ops_snapshot_reports_breakers_and_dlq_depths() {
+        use lodify_lod::broker::BrokerResilienceConfig;
+        use lodify_lod::resolvers::{DbpediaResolver, FaultInjectedResolver, GeonamesResolver};
+        use lodify_resilience::{FaultPlan, VirtualClock};
+
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("resolver:dbpedia", 0, u64::MAX)
+            .build(clock.clone());
+        let broker = lodify_lod::SemanticBroker::new(vec![
+            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
+            Box::new(GeonamesResolver),
+        ])
+        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+
+        // Healthy at rest.
+        let snapshot = OpsSnapshot::collect(&broker, None, None);
+        assert!(!snapshot.is_degraded());
+        assert_eq!(snapshot.resolvers.len(), 2);
+
+        // Trip the dbpedia breaker.
+        let store = lodify_store::Store::new();
+        for _ in 0..4 {
+            broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
+        }
+        let snapshot = OpsSnapshot::collect(&broker, None, None);
+        assert!(snapshot.is_degraded());
+        let dbp_ops = snapshot.resolvers.iter().find(|r| r.name == "dbpedia").unwrap();
+        assert_eq!(dbp_ops.breaker, Some(BreakerState::Open));
+        assert!(dbp_ops.calls >= 3);
+        assert!(dbp_ops.failures >= 1);
+        let gn_ops = snapshot.resolvers.iter().find(|r| r.name == "geonames").unwrap();
+        assert_eq!(gn_ops.breaker, Some(BreakerState::Closed));
+        assert_eq!(gn_ops.failures, 0);
+        let rendered = snapshot.to_string();
+        assert!(rendered.contains("breaker=OPEN"));
+        assert!(rendered.contains("federation  dlq=0"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use lodify_lod::AnnotationResult;
 use lodify_rdf::{ns, Iri, Point, Term, Triple};
 use lodify_relational::workload::{generate, PictureTruth, WorkloadConfig};
 use lodify_relational::{coppermine as cpg, Database, SqlValue};
+use lodify_resilience::FaultPlan;
 use lodify_store::{GraphId, Store};
 use lodify_tripletags::context_tags::tags_for;
 use lodify_tripletags::{Tag, TagIndex};
@@ -81,6 +82,7 @@ pub struct Platform {
     next_pid: i64,
     next_vote: i64,
     next_poi_ref: i64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Platform {
@@ -158,6 +160,7 @@ impl Platform {
             next_pid,
             next_vote,
             next_poi_ref,
+            fault_plan: None,
         };
         platform.rebuild_tag_index()?;
         Ok(platform)
@@ -197,9 +200,29 @@ impl Platform {
         ns::TL_UID.iri(&user_id.to_string())
     }
 
+    /// Installs a scripted fault plan judged on every upload under
+    /// target `platform.upload` (chaos tests, deferred-queue drills).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Processes one upload end-to-end: relational insert, context
     /// tagging, incremental semanticization, automatic annotation.
     pub fn upload(&mut self, upload: Upload) -> Result<UploadReceipt, PlatformError> {
+        if let Some(plan) = &self.fault_plan {
+            plan.check("platform.upload")
+                .map_err(|e| PlatformError::Unavailable(e.to_string()))?;
+        }
         if upload.title.trim().is_empty() && upload.tags.is_empty() {
             return Err(PlatformError::Invalid("upload needs a title or tags".into()));
         }

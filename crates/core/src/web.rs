@@ -413,17 +413,49 @@ fn render_mashup(pid: i64, mashup: &crate::mashup::MashupResult) -> String {
 // the HTTP server
 // ---------------------------------------------------------------------
 
+/// HTTP server tuning. The paper-era seed hardcoded a 2-second read
+/// timeout deep inside the connection handler; both deadlines are now
+/// configurable (and a write timeout exists at all), with timeouts
+/// surfacing as typed [`PlatformError::Timeout`] values.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long a connection may take to deliver its request.
+    pub read_timeout: std::time::Duration,
+    /// How long writing the response may take (slow client).
+    pub write_timeout: std::time::Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: std::time::Duration::from_secs(2),
+            write_timeout: std::time::Duration::from_secs(2),
+        }
+    }
+}
+
 /// A running server handle.
 pub struct WebServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    telemetry: lodify_resilience::Telemetry,
 }
 
 impl WebServer {
     /// Serves `platform` on `127.0.0.1:port` (0 = ephemeral) in a
-    /// background thread. The platform is shared read-only.
+    /// background thread with default timeouts. The platform is shared
+    /// read-only.
     pub fn start(platform: Arc<Platform>, port: u16) -> Result<WebServer, PlatformError> {
+        WebServer::start_with_config(platform, port, ServerConfig::default())
+    }
+
+    /// Serves `platform` with explicit timeout configuration.
+    pub fn start_with_config(
+        platform: Arc<Platform>,
+        port: u16,
+        config: ServerConfig,
+    ) -> Result<WebServer, PlatformError> {
         let listener = TcpListener::bind(("127.0.0.1", port))
             .map_err(|e| PlatformError::Invalid(format!("bind failed: {e}")))?;
         let addr = listener
@@ -434,11 +466,20 @@ impl WebServer {
             .map_err(|e| PlatformError::Invalid(e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
+        let telemetry = lodify_resilience::Telemetry::new();
+        let server_telemetry = telemetry.clone();
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = handle_connection(&platform, stream);
+                        server_telemetry.incr("web.connections");
+                        match handle_connection(&platform, stream, &config) {
+                            Ok(()) => server_telemetry.incr("web.responses"),
+                            Err(PlatformError::Timeout(_)) => {
+                                server_telemetry.incr("web.timeouts")
+                            }
+                            Err(_) => server_telemetry.incr("web.errors"),
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(std::time::Duration::from_millis(5));
@@ -451,7 +492,14 @@ impl WebServer {
             addr,
             stop,
             handle: Some(handle),
+            telemetry,
         })
+    }
+
+    /// Request/timeout counters: `web.connections`, `web.responses`,
+    /// `web.timeouts`, `web.errors`.
+    pub fn telemetry(&self) -> &lodify_resilience::Telemetry {
+        &self.telemetry
     }
 
     /// The bound address.
@@ -478,16 +526,44 @@ impl Drop for WebServer {
     }
 }
 
-fn handle_connection(platform: &Platform, mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// Classifies an I/O error: deadline expiries become the typed
+/// [`PlatformError::Timeout`], everything else stays generic.
+fn io_error(context: &str, e: std::io::Error) -> PlatformError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            PlatformError::Timeout(format!("{context} after deadline: {e}"))
+        }
+        _ => PlatformError::Invalid(format!("{context}: {e}")),
+    }
+}
+
+fn handle_connection(
+    platform: &Platform,
+    mut stream: TcpStream,
+    config: &ServerConfig,
+) -> Result<(), PlatformError> {
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| io_error("configuring socket", e))?;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(|e| io_error("setting read timeout", e))?;
+    stream
+        .set_write_timeout(Some(config.write_timeout))
+        .map_err(|e| io_error("setting write timeout", e))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| io_error("cloning stream", e))?,
+    );
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| io_error("reading request line", e))?;
     let mut headers = Vec::new();
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| io_error("reading headers", e))?;
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -500,7 +576,9 @@ fn handle_connection(platform: &Platform, mut stream: TcpStream) -> std::io::Res
         Some(request) => route(platform, &request),
         None => Response::bad_request("unsupported request"),
     };
-    response.write_to(&mut stream)
+    response
+        .write_to(&mut stream)
+        .map_err(|e| io_error("writing response", e))
 }
 
 /// Percent-decodes a URL component (`+` is a space).
@@ -679,5 +757,42 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("Turin"));
         server.stop();
+    }
+
+    #[test]
+    fn silent_clients_hit_the_configured_read_timeout() {
+        let p = Arc::new(platform());
+        let server = WebServer::start_with_config(
+            p,
+            0,
+            ServerConfig {
+                read_timeout: std::time::Duration::from_millis(40),
+                write_timeout: std::time::Duration::from_millis(40),
+            },
+        )
+        .unwrap();
+        // Connect and send nothing: the read deadline must fire and be
+        // recorded as a typed timeout, not a generic error.
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..200 {
+            if server.telemetry().counter("web.timeouts") >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.telemetry().counter("web.timeouts"), 1);
+        assert_eq!(server.telemetry().counter("web.errors"), 0);
+        drop(stream);
+        server.stop();
+    }
+
+    #[test]
+    fn io_errors_classify_timeouts() {
+        let timeout = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
+        assert!(matches!(io_error("read", timeout), PlatformError::Timeout(_)));
+        let would_block = std::io::Error::new(std::io::ErrorKind::WouldBlock, "w");
+        assert!(matches!(io_error("read", would_block), PlatformError::Timeout(_)));
+        let other = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "b");
+        assert!(matches!(io_error("write", other), PlatformError::Invalid(_)));
     }
 }

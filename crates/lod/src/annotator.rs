@@ -69,6 +69,11 @@ pub struct AnnotationResult {
     pub terms: Vec<TermAnnotation>,
     /// Resolver failures survived during brokering.
     pub resolver_failures: usize,
+    /// Resolvers that were unavailable while this item was annotated
+    /// (breaker open or retries exhausted). Non-empty means the
+    /// annotation is *degraded*: it completed, but with fewer
+    /// candidates than a healthy run would have produced.
+    pub degraded: Vec<&'static str>,
 }
 
 impl AnnotationResult {
@@ -79,6 +84,11 @@ impl AnnotationResult {
             .chain(self.poi.iter())
             .chain(self.terms.iter().filter_map(|t| t.resource.as_ref()))
             .collect()
+    }
+
+    /// Whether any resolver was unavailable during annotation.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 }
 
@@ -164,7 +174,7 @@ impl Annotator {
             .poi_ref
             .as_ref()
             .and_then(|poi_ref| self.poi_analysis(store, poi_ref));
-        let (language, terms, resolver_failures) = self.text_analysis(store, input);
+        let (language, terms, resolver_failures, degraded) = self.text_analysis(store, input);
 
         AnnotationResult {
             language,
@@ -174,7 +184,13 @@ impl Annotator {
             poi,
             terms,
             resolver_failures,
+            degraded,
         }
+    }
+
+    /// The broker backing this annotator (breaker state, telemetry).
+    pub fn broker(&self) -> &SemanticBroker {
+        &self.broker
     }
 
     /// Location analysis (§2.2.1).
@@ -248,7 +264,12 @@ impl Annotator {
         &self,
         store: &Store,
         input: &ContentInput<'_>,
-    ) -> (Option<&'static str>, Vec<TermAnnotation>, usize) {
+    ) -> (
+        Option<&'static str>,
+        Vec<TermAnnotation>,
+        usize,
+        Vec<&'static str>,
+    ) {
         let term_list: TermList = extract_terms(input.title, input.tags);
         let terms: Vec<String> = term_list.terms.iter().map(|t| t.text.clone()).collect();
         let output = self
@@ -269,7 +290,7 @@ impl Annotator {
                 }
             })
             .collect();
-        (term_list.language, annotations, failures)
+        (term_list.language, annotations, failures, output.unavailable)
     }
 }
 

@@ -7,6 +7,11 @@
 //! rely on full-text based resolvers such as Evri and Zemanta to
 //! derive additional candidates." (§2.2.2)
 
+use std::sync::Mutex;
+
+use lodify_resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, DetRng, RetryPolicy, Telemetry, VirtualClock,
+};
 use lodify_store::Store;
 
 use crate::resolvers::{
@@ -31,36 +36,186 @@ pub struct BrokerOutput {
     pub terms: Vec<TermCandidates>,
     /// Resolver failures encountered (the broker never fails whole).
     pub failures: Vec<ResolverError>,
+    /// Resolvers that contributed nothing to this item: their breaker
+    /// was open, or every retried call failed. Items annotated with a
+    /// non-empty list are *degraded* and eligible for re-annotation.
+    pub unavailable: Vec<&'static str>,
+    /// Full-text candidates whose label matched no extracted term.
+    /// They still carry no annotation, but the count is surfaced
+    /// instead of silently dropping them.
+    pub fulltext_unattached: usize,
+}
+
+/// Retry/breaker tuning for a resilient broker.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerResilienceConfig {
+    /// Retry policy applied to each resolver call.
+    pub retry: RetryPolicy,
+    /// Breaker tuning applied per resolver.
+    pub breaker: BreakerConfig,
+    /// Seed for the retry-jitter RNG.
+    pub seed: u64,
+}
+
+/// Per-resolver breakers + retry machinery, over virtual time.
+///
+/// `resolve` takes `&self`, so the mutable pieces (breakers, the
+/// jitter RNG) live behind mutexes; the broker is still `Send + Sync`.
+struct Resilience {
+    clock: VirtualClock,
+    retry: RetryPolicy,
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    rng: Mutex<DetRng>,
+    telemetry: Telemetry,
 }
 
 /// Fans terms out to a resolver set and collects candidates.
 pub struct SemanticBroker {
     resolvers: Vec<Box<dyn Resolver>>,
+    resilience: Option<Resilience>,
 }
 
 impl SemanticBroker {
     /// The paper's resolver set: DBpedia, Geonames, Sindice (term),
     /// Evri, Zemanta (full-text).
     pub fn standard() -> SemanticBroker {
-        SemanticBroker {
-            resolvers: vec![
-                Box::new(DbpediaResolver),
-                Box::new(GeonamesResolver),
-                Box::new(SindiceResolver),
-                Box::new(EvriResolver),
-                Box::new(ZemantaResolver),
-            ],
-        }
+        SemanticBroker::new(vec![
+            Box::new(DbpediaResolver),
+            Box::new(GeonamesResolver),
+            Box::new(SindiceResolver),
+            Box::new(EvriResolver),
+            Box::new(ZemantaResolver),
+        ])
     }
 
     /// A broker over a custom resolver set (ablations, fault injection).
     pub fn new(resolvers: Vec<Box<dyn Resolver>>) -> SemanticBroker {
-        SemanticBroker { resolvers }
+        SemanticBroker {
+            resolvers,
+            resilience: None,
+        }
+    }
+
+    /// Adds retry + per-resolver circuit breakers over `clock`. A
+    /// resolver whose breaker is open is skipped for every remaining
+    /// term instead of being re-polled (and re-timed-out) per term.
+    pub fn with_resilience(
+        mut self,
+        clock: VirtualClock,
+        config: BrokerResilienceConfig,
+    ) -> SemanticBroker {
+        let breakers = self
+            .resolvers
+            .iter()
+            .map(|_| Mutex::new(CircuitBreaker::new(config.breaker.clone())))
+            .collect();
+        self.resilience = Some(Resilience {
+            clock,
+            retry: config.retry,
+            breakers,
+            rng: Mutex::new(DetRng::seed_from_u64(config.seed).fork("broker-retry")),
+            telemetry: Telemetry::new(),
+        });
+        self
     }
 
     /// Resolver names, in order.
     pub fn resolver_names(&self) -> Vec<&'static str> {
         self.resolvers.iter().map(|r| r.name()).collect()
+    }
+
+    /// Breaker state for a resolver (`None` without resilience or for
+    /// unknown names).
+    pub fn breaker_state(&self, resolver: &str) -> Option<BreakerState> {
+        let resilience = self.resilience.as_ref()?;
+        let idx = self.resolvers.iter().position(|r| r.name() == resolver)?;
+        Some(lock(&resilience.breakers[idx]).state())
+    }
+
+    /// Telemetry written by the resilient call path (`None` without
+    /// resilience): `broker.calls.*`, `broker.retries.*`,
+    /// `broker.failures.*`, `broker.skipped.*` counters and
+    /// `breaker.<name>.state` / `breaker.<name>.opened` gauges.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.resilience.as_ref().map(|r| &r.telemetry)
+    }
+
+    /// The virtual clock driving breaker cooldowns (`None` without
+    /// resilience).
+    pub fn clock(&self) -> Option<&VirtualClock> {
+        self.resilience.as_ref().map(|r| &r.clock)
+    }
+
+    /// One guarded resolver call: breaker check, retries with virtual
+    /// backoff, telemetry. Without resilience this is a single bare
+    /// call, preserving the original broker behaviour.
+    fn call(
+        &self,
+        idx: usize,
+        failures: &mut Vec<ResolverError>,
+        unavailable: &mut Vec<&'static str>,
+        mut op: impl FnMut() -> Result<Vec<Candidate>, ResolverError>,
+    ) -> Vec<Candidate> {
+        let name = self.resolvers[idx].name();
+        let Some(res) = &self.resilience else {
+            return match op() {
+                Ok(hits) => hits,
+                Err(e) => {
+                    failures.push(e);
+                    Vec::new()
+                }
+            };
+        };
+
+        let mut breaker = lock(&res.breakers[idx]);
+        if !breaker.allow(res.clock.now_ms()) {
+            res.telemetry.incr(&format!("broker.skipped.{name}"));
+            if !unavailable.contains(&name) {
+                unavailable.push(name);
+            }
+            return Vec::new();
+        }
+
+        let mut rng = lock(&res.rng);
+        let result = res.retry.run(&res.clock, &mut rng, |attempt| {
+            res.telemetry.incr(&format!("broker.calls.{name}"));
+            if attempt > 1 {
+                res.telemetry.incr(&format!("broker.retries.{name}"));
+            }
+            if !breaker.allow(res.clock.now_ms()) {
+                // Tripped open mid-retry (or by a concurrent item):
+                // stop hammering the dependency.
+                return Err(ResolverError {
+                    resolver: name,
+                    message: "circuit open".into(),
+                });
+            }
+            match op() {
+                Ok(hits) => {
+                    breaker.on_success(res.clock.now_ms());
+                    Ok(hits)
+                }
+                Err(e) => {
+                    res.telemetry.incr(&format!("broker.failures.{name}"));
+                    breaker.on_failure(res.clock.now_ms());
+                    Err(e)
+                }
+            }
+        });
+        res.telemetry
+            .set_gauge(&format!("breaker.{name}.state"), breaker_gauge(breaker.state()));
+        res.telemetry
+            .set_gauge(&format!("breaker.{name}.opened"), breaker.times_opened());
+        match result {
+            Ok(outcome) => outcome.value,
+            Err(err) => {
+                if !unavailable.contains(&name) {
+                    unavailable.push(name);
+                }
+                failures.push(err.error);
+                Vec::new()
+            }
+        }
     }
 
     /// Resolves each term individually, then runs full-text resolution
@@ -75,15 +230,20 @@ impl SemanticBroker {
         lang: Option<&str>,
     ) -> BrokerOutput {
         let mut failures = Vec::new();
+        let mut unavailable = Vec::new();
+        // Lowercase every term once up front; the fulltext attach loop
+        // below compares against these instead of re-lowercasing the
+        // term for every candidate.
+        let lowered: Vec<String> = terms.iter().map(|t| t.to_lowercase()).collect();
         let mut out: Vec<TermCandidates> = terms
             .iter()
             .map(|term| {
                 let mut candidates = Vec::new();
-                for resolver in &self.resolvers {
-                    match resolver.resolve_term(store, term, lang) {
-                        Ok(mut hits) => candidates.append(&mut hits),
-                        Err(e) => failures.push(e),
-                    }
+                for idx in 0..self.resolvers.len() {
+                    let mut hits = self.call(idx, &mut failures, &mut unavailable, || {
+                        self.resolvers[idx].resolve_term(store, term, lang)
+                    });
+                    candidates.append(&mut hits);
                 }
                 TermCandidates {
                     term: term.clone(),
@@ -92,28 +252,45 @@ impl SemanticBroker {
             })
             .collect();
 
+        let mut fulltext_unattached = 0;
         if !title.is_empty() {
-            for resolver in &self.resolvers {
-                match resolver.resolve_fulltext(store, title, lang) {
-                    Ok(hits) => {
-                        for candidate in hits {
-                            if let Some(slot) = out.iter_mut().find(|tc| {
-                                tc.term.to_lowercase() == candidate.label.to_lowercase()
-                            }) {
-                                if !slot.candidates.contains(&candidate) {
-                                    slot.candidates.push(candidate);
-                                }
+            for idx in 0..self.resolvers.len() {
+                let hits = self.call(idx, &mut failures, &mut unavailable, || {
+                    self.resolvers[idx].resolve_fulltext(store, title, lang)
+                });
+                for candidate in hits {
+                    let label_lower = candidate.label.to_lowercase();
+                    match lowered.iter().position(|t| *t == label_lower) {
+                        Some(pos) => {
+                            if !out[pos].candidates.contains(&candidate) {
+                                out[pos].candidates.push(candidate);
                             }
                         }
+                        None => fulltext_unattached += 1,
                     }
-                    Err(e) => failures.push(e),
                 }
             }
         }
         BrokerOutput {
             terms: out,
             failures,
+            unavailable,
+            fulltext_unattached,
         }
+    }
+}
+
+/// Poison-tolerant lock (a panicking caller must not wedge the broker).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Breaker state as a gauge value: 0 closed, 1 half-open, 2 open.
+fn breaker_gauge(state: BreakerState) -> u64 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
     }
 }
 
@@ -121,8 +298,9 @@ impl SemanticBroker {
 mod tests {
     use super::*;
     use crate::datasets::load_lod;
-    use crate::resolvers::FlakyResolver;
+    use crate::resolvers::{FaultInjectedResolver, FlakyResolver};
     use lodify_context::gazetteer::Gazetteer;
+    use lodify_resilience::FaultPlan;
 
     fn store() -> Store {
         let mut s = Store::new();
@@ -192,5 +370,103 @@ mod tests {
         let output = broker.resolve(&s, &[], "", None);
         assert!(output.terms.is_empty());
         assert!(output.failures.is_empty());
+        assert!(output.unavailable.is_empty());
+        assert_eq!(output.fulltext_unattached, 0);
+    }
+
+    #[test]
+    fn unattached_fulltext_candidates_are_counted() {
+        let s = store();
+        let broker = SemanticBroker::standard();
+        // Title mentions the monument but the term list doesn't, so the
+        // fulltext candidates have nowhere to attach.
+        let output = broker.resolve(
+            &s,
+            &["tramonto".into()],
+            "Tramonto alla Mole Antonelliana",
+            Some("it"),
+        );
+        assert!(output.fulltext_unattached > 0, "dropped candidates surfaced");
+    }
+
+    #[test]
+    fn breaker_opens_and_stops_polling_a_dead_resolver() {
+        let s = store();
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("resolver:dbpedia", 0, u64::MAX)
+            .build(clock.clone());
+        let broker = SemanticBroker::new(vec![
+            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan.clone())),
+            Box::new(GeonamesResolver),
+        ])
+        .with_resilience(
+            clock.clone(),
+            BrokerResilienceConfig {
+                retry: RetryPolicy {
+                    jitter: 0.0,
+                    ..RetryPolicy::default()
+                },
+                ..BrokerResilienceConfig::default()
+            },
+        );
+        let terms: Vec<String> = (0..10).map(|i| format!("term{i}")).collect();
+        let output = broker.resolve(&s, &terms, "", Some("it"));
+
+        assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Open));
+        assert!(output.unavailable.contains(&"dbpedia"));
+        assert_eq!(broker.breaker_state("geonames"), Some(BreakerState::Closed));
+        // Default policy: 3 attempts/call, breaker trips after 3
+        // consecutive failures → exactly one retried call reaches the
+        // dead resolver; the other 9 terms are skipped by the breaker.
+        let telemetry = broker.telemetry().unwrap();
+        assert_eq!(telemetry.counter("broker.calls.dbpedia"), 3);
+        assert_eq!(telemetry.counter("broker.skipped.dbpedia"), 9);
+        assert_eq!(telemetry.gauge("breaker.dbpedia.state"), Some(2));
+        assert_eq!(telemetry.gauge("breaker.dbpedia.opened"), Some(1));
+        // Dead resolver never starves the healthy one.
+        assert!(output.terms.iter().all(|tc| tc.term.starts_with("term")));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let s = store();
+        let clock = VirtualClock::new();
+        // Fails every 2nd call: each term's first attempt may fail but
+        // a retry lands.
+        let broker = SemanticBroker::new(vec![Box::new(FlakyResolver::new(
+            GeonamesResolver,
+            2,
+        ))])
+        .with_resilience(clock, BrokerResilienceConfig::default());
+        let output = broker.resolve(&s, &["Torino".into(), "Paris".into()], "", None);
+        assert!(output.failures.is_empty(), "retries absorbed the flakiness");
+        assert!(output.unavailable.is_empty());
+        assert!(!output.terms[0].candidates.is_empty());
+        assert!(broker.telemetry().unwrap().counter("broker.retries.geonames") >= 1);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_success() {
+        let s = store();
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("resolver:geonames", 0, 5_000)
+            .build(clock.clone());
+        let broker = SemanticBroker::new(vec![Box::new(FaultInjectedResolver::new(
+            GeonamesResolver,
+            plan,
+        ))])
+        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+
+        broker.resolve(&s, &["Torino".into()], "", None);
+        assert_eq!(broker.breaker_state("geonames"), Some(BreakerState::Open));
+
+        // Cooldown passes *and* the outage window ends → probe succeeds.
+        clock.set(6_000);
+        let output = broker.resolve(&s, &["Torino".into()], "", None);
+        assert_eq!(broker.breaker_state("geonames"), Some(BreakerState::Closed));
+        assert!(output.unavailable.is_empty());
+        assert!(!output.terms[0].candidates.is_empty());
     }
 }

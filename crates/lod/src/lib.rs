@@ -35,9 +35,11 @@ pub mod annotator;
 pub mod broker;
 pub mod datasets;
 pub mod filter;
+pub mod reannotate;
 pub mod resolvers;
 
-pub use annotator::{AnnotationResult, Annotator, TermAnnotation};
-pub use broker::SemanticBroker;
+pub use annotator::{AnnotationResult, Annotator, ContentInput, PoiRefInput, TermAnnotation};
+pub use broker::{BrokerOutput, BrokerResilienceConfig, SemanticBroker};
 pub use filter::{FilterConfig, SemanticFilter};
+pub use reannotate::{OwnedContent, ReAnnotator};
 pub use resolvers::{Candidate, Resolver, ResolverError, SourceGraph};

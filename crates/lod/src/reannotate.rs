@@ -1,0 +1,271 @@
+//! Graceful degradation for the annotation pipeline.
+//!
+//! When resolvers are unavailable, [`Annotator::annotate`] still
+//! completes — the item gets whatever the healthy resolvers produced,
+//! and [`AnnotationResult::degraded`] names the ones that answered
+//! nothing. This module closes the loop: degraded items are parked in
+//! a dead-letter queue and replayed once the outage clears (breakers
+//! half-open, probe, close), so every item eventually receives its
+//! full annotation without any wall-clock waiting.
+
+use lodify_context::ContextSnapshot;
+use lodify_resilience::{DeadLetterQueue, ReplayReport, Telemetry};
+use lodify_store::Store;
+
+use crate::annotator::{AnnotationResult, Annotator, ContentInput, PoiRefInput};
+
+/// An owned copy of one content item's annotation inputs
+/// ([`ContentInput`] borrows; parked items must outlive the caller).
+#[derive(Debug, Clone)]
+pub struct OwnedContent {
+    /// Content identifier in the host platform (picture id, post id…).
+    pub content_id: u64,
+    /// The user-supplied title.
+    pub title: String,
+    /// User-supplied plain tags.
+    pub tags: Vec<String>,
+    /// Context snapshot at capture time, if any.
+    pub context: Option<ContextSnapshot>,
+    /// Explicit POI reference, if any.
+    pub poi_ref: Option<PoiRefInput>,
+}
+
+impl OwnedContent {
+    /// Captures the inputs of one annotation run.
+    pub fn from_input(content_id: u64, input: &ContentInput<'_>) -> OwnedContent {
+        OwnedContent {
+            content_id,
+            title: input.title.to_string(),
+            tags: input.tags.to_vec(),
+            context: input.context.cloned(),
+            poi_ref: input.poi_ref.clone(),
+        }
+    }
+
+    /// Borrows the owned copy back as pipeline input.
+    pub fn as_input(&self) -> ContentInput<'_> {
+        ContentInput {
+            title: &self.title,
+            tags: &self.tags,
+            context: self.context.as_ref(),
+            poi_ref: self.poi_ref.clone(),
+        }
+    }
+}
+
+/// The dead-letter queue of degraded annotations.
+pub struct ReAnnotator {
+    dlq: DeadLetterQueue<OwnedContent>,
+    telemetry: Telemetry,
+}
+
+impl ReAnnotator {
+    /// A queue that abandons an item (into the exhausted bucket, still
+    /// inspectable) after `max_attempts` degraded annotation passes.
+    pub fn new(max_attempts: u32) -> ReAnnotator {
+        ReAnnotator {
+            dlq: DeadLetterQueue::new(max_attempts),
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Parks a degraded item for later re-annotation. No-op when the
+    /// result is complete; returns whether the item was parked.
+    pub fn observe(
+        &mut self,
+        content: OwnedContent,
+        result: &AnnotationResult,
+        now_ms: u64,
+    ) -> bool {
+        if !result.is_degraded() {
+            return false;
+        }
+        self.dlq.push(
+            content,
+            format!("resolvers unavailable: {}", result.degraded.join(", ")),
+            now_ms,
+        );
+        self.telemetry.incr("reannotate.parked");
+        self.telemetry.set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
+        true
+    }
+
+    /// Re-annotates every parked item. Items whose new result is
+    /// complete are handed to `accept` (store the refreshed
+    /// annotations) and leave the queue; still-degraded items are
+    /// re-parked until the attempt cap exhausts them.
+    pub fn replay(
+        &mut self,
+        store: &Store,
+        annotator: &Annotator,
+        mut accept: impl FnMut(&OwnedContent, AnnotationResult),
+    ) -> ReplayReport {
+        let report = self.dlq.replay(|content| {
+            let result = annotator.annotate(store, &content.as_input());
+            if result.is_degraded() {
+                Err(format!(
+                    "still degraded: {}",
+                    result.degraded.join(", ")
+                ))
+            } else {
+                accept(content, result);
+                Ok(())
+            }
+        });
+        self.telemetry.add("reannotate.replayed", report.replayed as u64);
+        self.telemetry.set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
+        self.telemetry
+            .set_gauge("reannotate.dlq.exhausted", self.dlq.exhausted().len() as u64);
+        report
+    }
+
+    /// Parked items awaiting re-annotation.
+    pub fn depth(&self) -> usize {
+        self.dlq.depth()
+    }
+
+    /// The underlying queue (inspection; exhausted bucket).
+    pub fn queue(&self) -> &DeadLetterQueue<OwnedContent> {
+        &self.dlq
+    }
+
+    /// Telemetry: `reannotate.parked` / `reannotate.replayed` counters,
+    /// `reannotate.dlq.depth` / `reannotate.dlq.exhausted` gauges.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{BrokerResilienceConfig, SemanticBroker};
+    use crate::datasets::load_lod;
+    use crate::filter::SemanticFilter;
+    use crate::resolvers::{
+        DbpediaResolver, FaultInjectedResolver, GeonamesResolver, SindiceResolver,
+    };
+    use crate::annotator::AnnotatorConfig;
+    use lodify_context::gazetteer::Gazetteer;
+    use lodify_resilience::{FaultPlan, VirtualClock};
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        load_lod(&mut s, Gazetteer::global());
+        s
+    }
+
+    /// Annotator whose DBpedia resolver is down for `[0, until_ms)`
+    /// (healthy when `until_ms == 0`).
+    fn annotator_with_outage(clock: &VirtualClock, until_ms: u64) -> Annotator {
+        let mut builder = FaultPlan::builder();
+        if until_ms > 0 {
+            builder = builder.outage("resolver:dbpedia", 0, until_ms);
+        }
+        let plan = builder.build(clock.clone());
+        let broker = SemanticBroker::new(vec![
+            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
+            Box::new(GeonamesResolver),
+            Box::new(SindiceResolver),
+        ])
+        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+        Annotator::new(broker, SemanticFilter::standard(), AnnotatorConfig::default())
+    }
+
+    #[test]
+    fn degraded_items_are_parked_and_replayed_to_completion() {
+        let s = store();
+        let clock = VirtualClock::new();
+        let annotator = annotator_with_outage(&clock, 5_000);
+        let mut requeue = ReAnnotator::new(5);
+
+        let tags = vec!["torino".to_string()];
+        let input = ContentInput {
+            title: "Mole Antonelliana",
+            tags: &tags,
+            context: None,
+            poi_ref: None,
+        };
+        let result = annotator.annotate(&s, &input);
+        assert!(result.is_degraded());
+        assert!(result.degraded.contains(&"dbpedia"));
+        assert!(requeue.observe(OwnedContent::from_input(9, &input), &result, clock.now_ms()));
+        assert_eq!(requeue.depth(), 1);
+
+        // Replaying during the outage keeps the item parked (the
+        // breaker is open, so the resolver stays unavailable).
+        let report = requeue.replay(&s, &annotator, |_, _| panic!("not complete yet"));
+        assert_eq!(report.requeued, 1);
+        assert_eq!(requeue.depth(), 1);
+
+        // Outage + breaker cooldown pass → replay completes the item.
+        clock.set(10_000);
+        let mut accepted = Vec::new();
+        let report = requeue.replay(&s, &annotator, |content, result| {
+            accepted.push((content.content_id, result));
+        });
+        assert_eq!(report.replayed, 1);
+        assert_eq!(requeue.depth(), 0);
+        let (id, refreshed) = &accepted[0];
+        assert_eq!(*id, 9);
+        assert!(!refreshed.is_degraded());
+        assert!(
+            refreshed
+                .terms
+                .iter()
+                .any(|t| t.resource.is_some()),
+            "full annotation after recovery"
+        );
+        assert_eq!(
+            requeue.telemetry().gauge("reannotate.dlq.depth"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn complete_results_are_not_parked() {
+        let s = store();
+        let clock = VirtualClock::new();
+        let annotator = annotator_with_outage(&clock, 0);
+        let mut requeue = ReAnnotator::new(3);
+        let input = ContentInput {
+            title: "Torino",
+            tags: &[],
+            context: None,
+            poi_ref: None,
+        };
+        let result = annotator.annotate(&s, &input);
+        assert!(!result.is_degraded());
+        assert!(!requeue.observe(OwnedContent::from_input(1, &input), &result, 0));
+        assert_eq!(requeue.depth(), 0);
+    }
+
+    #[test]
+    fn permanently_degraded_items_exhaust_into_the_bucket() {
+        let s = store();
+        let clock = VirtualClock::new();
+        // Outage never ends; cooldowns elapse so every replay re-probes
+        // (half-open) and fails again.
+        let annotator = annotator_with_outage(&clock, u64::MAX);
+        let mut requeue = ReAnnotator::new(3);
+        let input = ContentInput {
+            title: "Mole Antonelliana",
+            tags: &[],
+            context: None,
+            poi_ref: None,
+        };
+        let result = annotator.annotate(&s, &input);
+        assert!(requeue.observe(OwnedContent::from_input(2, &input), &result, 0));
+        for i in 0..2 {
+            clock.advance(100_000);
+            requeue.replay(&s, &annotator, |_, _| panic!("never completes"));
+            let _ = i;
+        }
+        assert_eq!(requeue.depth(), 0);
+        assert_eq!(requeue.queue().exhausted().len(), 1, "surfaced, not dropped");
+        assert_eq!(
+            requeue.telemetry().gauge("reannotate.dlq.exhausted"),
+            Some(1)
+        );
+    }
+}

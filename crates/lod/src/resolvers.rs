@@ -577,6 +577,63 @@ impl<R: Resolver> Resolver for FlakyResolver<R> {
     }
 }
 
+/// A resolver whose calls are judged by a scripted
+/// [`FaultPlan`](lodify_resilience::FaultPlan) before the real resolver
+/// runs: outage windows and seeded failure rates turn into
+/// [`ResolverError`]s, and injected latency advances the plan's virtual
+/// clock. The plan target is `resolver:<name>`.
+pub struct FaultInjectedResolver<R> {
+    inner: R,
+    plan: lodify_resilience::FaultPlan,
+    target: String,
+}
+
+impl<R: Resolver> FaultInjectedResolver<R> {
+    /// Wraps `inner`, consulting `plan` under target `resolver:<name>`.
+    pub fn new(inner: R, plan: lodify_resilience::FaultPlan) -> Self {
+        let target = format!("resolver:{}", inner.name());
+        FaultInjectedResolver { inner, plan, target }
+    }
+
+    /// The fault-plan target this wrapper consults.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    fn check(&self) -> Result<(), ResolverError> {
+        self.plan.check(&self.target).map_err(|e| ResolverError {
+            resolver: self.inner.name(),
+            message: e.to_string(),
+        })
+    }
+}
+
+impl<R: Resolver> Resolver for FaultInjectedResolver<R> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn resolve_term(
+        &self,
+        store: &Store,
+        term: &str,
+        lang: Option<&str>,
+    ) -> Result<Vec<Candidate>, ResolverError> {
+        self.check()?;
+        self.inner.resolve_term(store, term, lang)
+    }
+
+    fn resolve_fulltext(
+        &self,
+        store: &Store,
+        text: &str,
+        lang: Option<&str>,
+    ) -> Result<Vec<Candidate>, ResolverError> {
+        self.check()?;
+        self.inner.resolve_fulltext(store, text, lang)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,9 @@
 //! * [`context`] — the context-management platform simulation;
 //! * [`lod`] — synthetic LOD, resolvers, broker, filter, annotator;
 //! * [`core`] — the platform, virtual albums, search, mashups,
-//!   batch jobs and federation.
+//!   batch jobs and federation;
+//! * [`resilience`] — fault plans, virtual clock, retries, circuit
+//!   breakers, dead-letter queues and telemetry.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub use lodify_d2r as d2r;
 pub use lodify_lod as lod;
 pub use lodify_rdf as rdf;
 pub use lodify_relational as relational;
+pub use lodify_resilience as resilience;
 pub use lodify_sparql as sparql;
 pub use lodify_store as store;
 pub use lodify_text as text;

@@ -13,8 +13,7 @@
 
 use lodify_context::gazetteer::{Gazetteer, Poi};
 use lodify_rdf::Point;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lodify_resilience::DetRng;
 
 use crate::coppermine;
 use crate::database::Database;
@@ -160,7 +159,7 @@ const LANGS: &[(&str, f64)] = &[("it", 0.40), ("en", 0.30), ("fr", 0.10), ("es",
 /// Generates the workload.
 pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
     let gaz = Gazetteer::global();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = DetRng::seed_from_u64(config.seed);
     let mut db = Database::new();
     coppermine::create_schema(&mut db).expect("static schema is valid");
 
@@ -239,7 +238,7 @@ pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
         let lang = pick_lang(&mut rng);
 
         // Subject selection.
-        let roll: f64 = rng.random();
+        let roll = rng.random_f64();
         let (subject, city_key, anchor): (TruthSubject, String, Point) =
             if roll < config.poi_title_rate {
                 // Only non-commercial POIs are photo *subjects*.
@@ -290,15 +289,15 @@ pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
                 _ => 2.0,
             };
             let p = anchor.offset_km(
-                (rng.random::<f64>() - 0.5) * 2.0 * jitter,
-                (rng.random::<f64>() - 0.5) * 2.0 * jitter,
+                (rng.random_f64() - 0.5) * 2.0 * jitter,
+                (rng.random_f64() - 0.5) * 2.0 * jitter,
             );
             (SqlValue::Real(p.lon), SqlValue::Real(p.lat))
         } else {
             (SqlValue::Null, SqlValue::Null)
         };
 
-        let ctime = base_ts + pid * 137 + rng.random_range(0..120);
+        let ctime = base_ts + pid * 137 + rng.random_range(0..120i64);
         db.insert(
             coppermine::PICTURES,
             vec![
@@ -412,8 +411,8 @@ fn capitalize(s: &str) -> String {
     }
 }
 
-fn pick_lang(rng: &mut StdRng) -> &'static str {
-    let mut roll: f64 = rng.random();
+fn pick_lang(rng: &mut DetRng) -> &'static str {
+    let mut roll = rng.random_f64();
     for (lang, weight) in LANGS {
         if roll < *weight {
             return lang;
@@ -425,11 +424,11 @@ fn pick_lang(rng: &mut StdRng) -> &'static str {
 
 /// Small-mean Poisson-ish sampler (Knuth's method is overkill; a
 /// geometric-style loop keeps the distribution deterministic and cheap).
-fn poissonish(rng: &mut StdRng, mean: f64) -> usize {
+fn poissonish(rng: &mut DetRng, mean: f64) -> usize {
     let mut n = 0;
     let mut budget = mean;
     while budget > 0.0 {
-        if rng.random::<f64>() < budget.min(1.0) {
+        if rng.random_f64() < budget.min(1.0) {
             n += 1;
         }
         budget -= 1.0;
@@ -441,7 +440,7 @@ fn render_title(
     subject: &TruthSubject,
     city_key: &str,
     lang: &'static str,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     alt_name_rate: f64,
 ) -> String {
     let gaz = Gazetteer::global();
@@ -502,7 +501,7 @@ fn render_keywords(
     subject: &TruthSubject,
     city_key: &str,
     lang: &'static str,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     generic_landmark_tag_rate: f64,
 ) -> Vec<String> {
     let gaz = Gazetteer::global();

@@ -1,0 +1,204 @@
+//! Per-dependency circuit breakers.
+//!
+//! Classic three-state machine over virtual time:
+//!
+//! * **Closed** — calls flow; `failure_threshold` *consecutive*
+//!   failures trip the breaker;
+//! * **Open** — calls are refused without touching the dependency;
+//!   after `cooldown_ms` of virtual time the next `allow` moves to
+//!   half-open;
+//! * **HalfOpen** — a limited number of probe calls pass;
+//!   `half_open_successes` consecutive successes close the breaker,
+//!   any failure re-opens it (restarting the cooldown).
+
+use std::fmt;
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Virtual ms an open breaker waits before probing.
+    pub cooldown_ms: u64,
+    /// Consecutive half-open successes required to close.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+            half_open_successes: 1,
+        }
+    }
+}
+
+/// Breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are refused.
+    Open,
+    /// Probe calls are allowed through.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// A circuit breaker over virtual time.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_streak: u32,
+    opened_at_ms: u64,
+    times_opened: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        assert!(config.failure_threshold >= 1);
+        assert!(config.half_open_successes >= 1);
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_streak: 0,
+            opened_at_ms: 0,
+            times_opened: 0,
+        }
+    }
+
+    /// Current state (without the open→half-open time transition).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How often the breaker has tripped open.
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+
+    /// Whether a call may proceed at virtual instant `now_ms`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// allows the probe.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms >= self.opened_at_ms + self.config.cooldown_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.half_open_streak = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn on_success(&mut self, _now_ms: u64) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.half_open_streak += 1;
+                if self.half_open_streak >= self.config.half_open_successes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call.
+    pub fn on_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now_ms),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_ms = now_ms;
+        self.times_opened += 1;
+        self.half_open_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+            half_open_successes: 2,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_failure(1);
+        b.on_success(2); // streak broken
+        b.on_failure(3);
+        b.on_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(5);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 1);
+        assert!(!b.allow(6), "refuses while open");
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        assert!(!b.allow(50));
+        assert!(b.allow(100), "cooldown elapsed → probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success(101);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 successes");
+        b.on_success(102);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_restarts_cooldown() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        assert!(b.allow(100));
+        b.on_failure(100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 2);
+        assert!(!b.allow(150), "cooldown restarted at t=100");
+        assert!(b.allow(200));
+    }
+}

@@ -1,0 +1,69 @@
+//! A shared virtual clock.
+//!
+//! All resilience time — outage windows, backoff delays, breaker
+//! cooldowns — is measured in *virtual milliseconds*. The clock never
+//! reads wall time: it only moves when something advances it (a test
+//! script, or a retry policy standing in for a sleep). That is what
+//! makes every chaos scenario deterministic and instant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable handle to a shared virtual clock (milliseconds).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A clock starting at the given instant.
+    pub fn starting_at(ms: u64) -> VirtualClock {
+        VirtualClock {
+            now_ms: Arc::new(AtomicU64::new(ms)),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Moves time forward and returns the new instant.
+    pub fn advance(&self, ms: u64) -> u64 {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst) + ms
+    }
+
+    /// Jumps to an absolute instant (must not move backwards).
+    pub fn set(&self, ms: u64) {
+        let prev = self.now_ms.swap(ms, Ordering::SeqCst);
+        assert!(ms >= prev, "virtual time cannot move backwards ({prev} → {ms})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let clock = VirtualClock::new();
+        let other = clock.clone();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(250);
+        assert_eq!(other.now_ms(), 250);
+        other.set(1_000);
+        assert_eq!(clock.now_ms(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_rewind() {
+        let clock = VirtualClock::starting_at(100);
+        clock.set(50);
+    }
+}

@@ -1,0 +1,278 @@
+//! Scripted, deterministic fault injection.
+//!
+//! A [`FaultPlan`] decides, per named target (`"resolver:dbpedia"`,
+//! `"platform.upload"`, `"node:home2.example"`), whether a call fails
+//! right now and how much latency it incurs. Decisions come from three
+//! deterministic sources:
+//!
+//! * **outage windows** — `[from, until)` intervals in virtual time
+//!   during which every call to the target fails;
+//! * **failure rates** — a per-target probability drawn from a seeded
+//!   per-target RNG stream (stable under interleaving);
+//! * **latency** — a fixed virtual-ms cost added per call.
+//!
+//! Plans are cheap cloneable handles; every wrapper sharing the plan
+//! (resolvers, the upload path, federation delivery) sees the same
+//! script and the same virtual clock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::VirtualClock;
+use crate::rng::DetRng;
+use crate::telemetry::Telemetry;
+
+/// Why an injected call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The virtual instant fell inside a scripted outage window.
+    Outage,
+    /// The seeded per-target failure rate fired.
+    Random,
+}
+
+/// An injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// Target name the fault was injected for.
+    pub target: String,
+    /// What triggered it.
+    pub kind: FaultKind,
+    /// Virtual instant of the call.
+    pub at_ms: u64,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::Outage => "scripted outage",
+            FaultKind::Random => "injected failure",
+        };
+        write!(f, "{kind} on {} at t={}ms", self.target, self.at_ms)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[derive(Debug, Default, Clone)]
+struct TargetSpec {
+    outages: Vec<(u64, u64)>,
+    failure_rate: f64,
+    latency_ms: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    targets: BTreeMap<String, TargetSpec>,
+    rngs: BTreeMap<String, DetRng>,
+    base_rng: DetRng,
+}
+
+/// Builder for a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    targets: BTreeMap<String, TargetSpec>,
+    seed: u64,
+}
+
+impl FaultPlanBuilder {
+    fn target(&mut self, name: &str) -> &mut TargetSpec {
+        self.targets.entry(name.to_string()).or_default()
+    }
+
+    /// Scripts a total outage of `target` for virtual time
+    /// `[from_ms, until_ms)`.
+    pub fn outage(mut self, target: &str, from_ms: u64, until_ms: u64) -> Self {
+        assert!(from_ms < until_ms, "empty outage window");
+        self.target(target).outages.push((from_ms, until_ms));
+        self
+    }
+
+    /// Makes every call to `target` fail with probability `rate`,
+    /// drawn from a per-target seeded stream.
+    pub fn failure_rate(mut self, target: &str, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.target(target).failure_rate = rate;
+        self
+    }
+
+    /// Adds `ms` of virtual latency to every (successful or failed)
+    /// call to `target`.
+    pub fn latency(mut self, target: &str, ms: u64) -> Self {
+        self.target(target).latency_ms = ms;
+        self
+    }
+
+    /// Seeds the probabilistic streams (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the plan against a virtual clock.
+    pub fn build(self, clock: VirtualClock) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(Mutex::new(Inner {
+                targets: self.targets,
+                rngs: BTreeMap::new(),
+                base_rng: DetRng::seed_from_u64(self.seed),
+            })),
+            clock,
+            telemetry: Telemetry::new(),
+        }
+    }
+}
+
+/// A cloneable, scripted fault-injection plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+    clock: VirtualClock,
+    telemetry: Telemetry,
+}
+
+impl FaultPlan {
+    /// Starts building a plan.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            targets: BTreeMap::new(),
+            seed: 0,
+        }
+    }
+
+    /// A plan that never injects anything (useful as a default).
+    pub fn none(clock: VirtualClock) -> FaultPlan {
+        FaultPlan::builder().build(clock)
+    }
+
+    /// The plan's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Telemetry written by this plan (`fault.injected.<target>`,
+    /// `fault.calls.<target>`).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Judges one call to `target` at the current virtual instant:
+    /// advances the clock by any injected latency, then either passes
+    /// the call or returns the injected failure.
+    pub fn check(&self, target: &str) -> Result<(), FaultError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.telemetry.incr(&format!("fault.calls.{target}"));
+        let Some(spec) = inner.targets.get(target).cloned() else {
+            return Ok(());
+        };
+        if spec.latency_ms > 0 {
+            self.clock.advance(spec.latency_ms);
+        }
+        let now = self.clock.now_ms();
+        if spec.outages.iter().any(|&(from, until)| now >= from && now < until) {
+            self.telemetry.incr(&format!("fault.injected.{target}"));
+            return Err(FaultError {
+                target: target.to_string(),
+                kind: FaultKind::Outage,
+                at_ms: now,
+            });
+        }
+        if spec.failure_rate > 0.0 {
+            let base = inner.base_rng.clone();
+            let rng = inner
+                .rngs
+                .entry(target.to_string())
+                .or_insert_with(|| base.fork(target));
+            if rng.random_bool(spec.failure_rate) {
+                self.telemetry.incr(&format!("fault.injected.{target}"));
+                return Err(FaultError {
+                    target: target.to_string(),
+                    kind: FaultKind::Random,
+                    at_ms: now,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `target` is inside a scripted outage at instant `at_ms`
+    /// (ignores failure rates; used by tests to script scenarios).
+    pub fn in_outage(&self, target: &str, at_ms: u64) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .targets
+            .get(target)
+            .map(|s| s.outages.iter().any(|&(f, u)| at_ms >= f && at_ms < u))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_windows_follow_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("svc", 100, 200)
+            .build(clock.clone());
+        assert!(plan.check("svc").is_ok(), "before the window");
+        clock.set(150);
+        let err = plan.check("svc").unwrap_err();
+        assert_eq!(err.kind, FaultKind::Outage);
+        assert_eq!(err.at_ms, 150);
+        clock.set(200);
+        assert!(plan.check("svc").is_ok(), "window is half-open");
+        assert!(plan.in_outage("svc", 199));
+        assert!(!plan.in_outage("svc", 200));
+    }
+
+    #[test]
+    fn unknown_targets_always_pass() {
+        let plan = FaultPlan::none(VirtualClock::new());
+        for _ in 0..10 {
+            assert!(plan.check("anything").is_ok());
+        }
+    }
+
+    #[test]
+    fn failure_rates_are_deterministic_per_seed() {
+        let run = |seed| {
+            let plan = FaultPlan::builder()
+                .failure_rate("svc", 0.5)
+                .seed(seed)
+                .build(VirtualClock::new());
+            (0..64).map(|_| plan.check("svc").is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+        let failures = run(1).iter().filter(|&&f| f).count();
+        assert!((16..=48).contains(&failures), "failures={failures}");
+    }
+
+    #[test]
+    fn latency_advances_the_shared_clock() {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .latency("slow", 40)
+            .build(clock.clone());
+        plan.check("slow").unwrap();
+        plan.check("slow").unwrap();
+        assert_eq!(clock.now_ms(), 80);
+        assert_eq!(plan.telemetry().counter("fault.calls.slow"), 2);
+    }
+
+    #[test]
+    fn telemetry_counts_injections() {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("svc", 0, 1_000)
+            .build(clock);
+        for _ in 0..3 {
+            let _ = plan.check("svc");
+        }
+        assert_eq!(plan.telemetry().counter("fault.injected.svc"), 3);
+    }
+}

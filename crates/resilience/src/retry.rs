@@ -1,0 +1,257 @@
+//! Retry with exponential backoff and deterministic jitter.
+//!
+//! Delays are *virtual*: instead of sleeping, the policy advances the
+//! shared [`VirtualClock`], so a full backoff sequence "takes" zero
+//! wall time while remaining observable (breaker cooldowns and outage
+//! windows see the elapsed virtual time). Jitter comes from a seeded
+//! [`DetRng`], so a given policy + seed always produces the same
+//! schedule.
+
+use std::fmt;
+
+use crate::clock::VirtualClock;
+use crate::rng::DetRng;
+
+/// A retry policy: exponential backoff, capped per-delay and by a
+/// total virtual-time budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first call). At least 1.
+    pub max_attempts: u32,
+    /// Base delay before the second attempt, in virtual ms.
+    pub base_delay_ms: u64,
+    /// Cap for a single delay.
+    pub max_delay_ms: u64,
+    /// Fraction of each delay randomized away (0 = none, 0.5 = up to
+    /// half). Deterministic given the RNG seed.
+    pub jitter: f64,
+    /// Total virtual time the policy may spend waiting; once exceeded
+    /// no further attempts are made even if `max_attempts` remain.
+    pub budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 50,
+            max_delay_ms: 2_000,
+            jitter: 0.25,
+            budget_ms: 10_000,
+        }
+    }
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryError<E> {
+    /// The last underlying error.
+    pub error: E,
+    /// Attempts actually made.
+    pub attempts: u32,
+    /// Whether the virtual-time budget (rather than the attempt cap)
+    /// stopped the retries.
+    pub budget_exhausted: bool,
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gave up after {} attempt(s){}: {}",
+            self.attempts,
+            if self.budget_exhausted { " (budget exhausted)" } else { "" },
+            self.error
+        )
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RetryError<E> {}
+
+/// A successful retried call plus how much work it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryOutcome<T> {
+    /// The operation's result.
+    pub value: T,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total virtual delay spent backing off.
+    pub waited_ms: u64,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic delay before attempt `attempt + 1` (attempt is
+    /// 1-based; delay after the first failure is `delay(1)`).
+    pub fn delay_ms(&self, attempt: u32, rng: &mut DetRng) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << (attempt - 1).min(32))
+            .min(self.max_delay_ms);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let spread = (exp as f64 * self.jitter) as u64;
+        if spread == 0 {
+            return exp;
+        }
+        exp - spread / 2 + rng.random_range(0..=spread)
+    }
+
+    /// Runs `op` under the policy. Each failed attempt advances the
+    /// virtual clock by the backoff delay; retries stop at the attempt
+    /// cap or when the delay budget runs out.
+    pub fn run<T, E>(
+        &self,
+        clock: &VirtualClock,
+        rng: &mut DetRng,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<RetryOutcome<T>, RetryError<E>> {
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+        let mut waited = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(value) => {
+                    return Ok(RetryOutcome {
+                        value,
+                        attempts: attempt,
+                        waited_ms: waited,
+                    })
+                }
+                Err(error) => {
+                    if attempt >= self.max_attempts {
+                        return Err(RetryError {
+                            error,
+                            attempts: attempt,
+                            budget_exhausted: false,
+                        });
+                    }
+                    let delay = self.delay_ms(attempt, rng);
+                    if waited + delay > self.budget_ms {
+                        return Err(RetryError {
+                            error,
+                            attempts: attempt,
+                            budget_exhausted: true,
+                        });
+                    }
+                    waited += delay;
+                    clock.advance(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_never_waits() {
+        let clock = VirtualClock::new();
+        let mut rng = DetRng::seed_from_u64(1);
+        let out = RetryPolicy::default()
+            .run::<_, ()>(&clock, &mut rng, |_| Ok(42))
+            .unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.waited_ms, 0);
+        assert_eq!(clock.now_ms(), 0);
+    }
+
+    #[test]
+    fn retries_until_success_advancing_virtual_time() {
+        let clock = VirtualClock::new();
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut calls = 0;
+        let out = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        }
+        .run::<_, &str>(&clock, &mut rng, |_| {
+            calls += 1;
+            if calls < 3 {
+                Err("down")
+            } else {
+                Ok("up")
+            }
+        })
+        .unwrap();
+        assert_eq!(out.attempts, 3);
+        // 50 + 100 of pure exponential backoff.
+        assert_eq!(out.waited_ms, 150);
+        assert_eq!(clock.now_ms(), 150);
+    }
+
+    #[test]
+    fn attempt_cap_is_honoured() {
+        let clock = VirtualClock::new();
+        let mut rng = DetRng::seed_from_u64(1);
+        let err = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        }
+        .run::<(), _>(&clock, &mut rng, |_| Err("always"))
+        .unwrap_err();
+        assert_eq!(err.attempts, 4);
+        assert!(!err.budget_exhausted);
+    }
+
+    #[test]
+    fn budget_stops_retries_early() {
+        let clock = VirtualClock::new();
+        let mut rng = DetRng::seed_from_u64(1);
+        let err = RetryPolicy {
+            max_attempts: 100,
+            base_delay_ms: 500,
+            jitter: 0.0,
+            budget_ms: 1_200,
+            ..RetryPolicy::default()
+        }
+        .run::<(), _>(&clock, &mut rng, |_| Err("always"))
+        .unwrap_err();
+        assert!(err.budget_exhausted);
+        // 500 + 1000 would blow the 1200 budget → stop after 2nd wait fails to fit.
+        assert_eq!(err.attempts, 2);
+        assert_eq!(clock.now_ms(), 500);
+    }
+
+    #[test]
+    fn jittered_schedules_are_deterministic() {
+        let schedule = |seed| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let policy = RetryPolicy::default();
+            (1..=5u32).map(|a| policy.delay_ms(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+        // Jitter stays within ±spread/2 of the exponential curve, and
+        // under the per-delay cap.
+        let mut rng = DetRng::seed_from_u64(9);
+        let policy = RetryPolicy::default();
+        for attempt in 1..=10u32 {
+            let d = policy.delay_ms(attempt, &mut rng);
+            assert!(d <= policy.max_delay_ms + policy.max_delay_ms / 8);
+        }
+    }
+
+    #[test]
+    fn no_retry_policy_fails_fast() {
+        let clock = VirtualClock::new();
+        let mut rng = DetRng::seed_from_u64(1);
+        let err = RetryPolicy::no_retry()
+            .run::<(), _>(&clock, &mut rng, |_| Err("down"))
+            .unwrap_err();
+        assert_eq!(err.attempts, 1);
+        assert_eq!(clock.now_ms(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! A seeded, dependency-free deterministic RNG.
+//!
+//! splitmix64 seeds an xoshiro256++ state; both are public-domain
+//! reference algorithms. The point is not cryptographic quality but
+//! *reproducibility without external crates*: the same seed always
+//! yields the same sequence, on every platform, forever — which is
+//! what the fault plans, the retry jitter and the workload generator
+//! all require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Seeds the generator from a single `u64`.
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        let mut s = seed;
+        DetRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives an independent stream for a named sub-component. Used by
+    /// fault plans so each target has its own deterministic sequence
+    /// regardless of call interleaving.
+    pub fn fork(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        DetRng::seed_from_u64(h ^ self.state[0])
+    }
+
+    /// The next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// A uniform value in the given (half-open or inclusive) range.
+    /// Panics on an empty range, matching the standard library idiom.
+    pub fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        range.sample(self)
+    }
+
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Multiply-shift bounded sampling (Lemire); bias is negligible
+        // for the workload sizes here and determinism is what matters.
+        let x = self.next_u64();
+        ((x as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`DetRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.random_range(0..10usize);
+            assert!(x < 10);
+            let y = rng.random_range(1..=5i64);
+            assert!((1..=5).contains(&y));
+            let f = rng.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_stable() {
+        let rng = DetRng::seed_from_u64(9);
+        let mut a1 = rng.fork("dbpedia");
+        let mut a2 = rng.fork("dbpedia");
+        let mut b = rng.fork("sindice");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn full_i64_range_does_not_overflow() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let _ = rng.random_range(i64::MIN..=i64::MAX);
+        let _ = rng.random_range(i64::MIN..0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Named counters and gauges for resilience events.
+//!
+//! Deliberately tiny: a cloneable registry of `name → u64` the breaker,
+//! retry and DLQ layers write into and `core::metrics` reads out. Names
+//! are dotted paths (`broker.retry.dbpedia`, `dlq.reannotate.depth`) so
+//! snapshots sort into readable reports.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+}
+
+/// A cloneable telemetry registry.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds 1 to a counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to an absolute value (e.g. a queue depth).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// A counter's current value (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current value, when set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.lock().counters.clone()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.lock().gauges.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let t = Telemetry::new();
+        t.incr("a.b");
+        t.add("a.b", 4);
+        t.set_gauge("q.depth", 3);
+        t.set_gauge("q.depth", 1);
+        assert_eq!(t.counter("a.b"), 5);
+        assert_eq!(t.counter("missing"), 0);
+        assert_eq!(t.gauge("q.depth"), Some(1));
+        // Clones share the registry.
+        let u = t.clone();
+        u.incr("a.b");
+        assert_eq!(t.counter("a.b"), 6);
+        assert_eq!(t.counters().len(), 1);
+        assert_eq!(t.gauges().len(), 1);
+    }
+}

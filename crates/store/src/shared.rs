@@ -6,9 +6,7 @@
 //! in-memory store: cheap clone-able handles, many concurrent readers
 //! (queries), exclusive writers (uploads/semanticization).
 
-use std::sync::Arc;
-
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::store::Store;
 
@@ -27,31 +25,33 @@ impl SharedStore {
     }
 
     /// Acquires a read guard (many readers may hold one concurrently).
+    /// A poisoned lock (a writer panicked) is recovered rather than
+    /// propagated: the store stays readable.
     pub fn read(&self) -> RwLockReadGuard<'_, Store> {
-        self.inner.read()
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Acquires the exclusive write guard.
+    /// Acquires the exclusive write guard, recovering from poisoning.
     pub fn write(&self) -> RwLockWriteGuard<'_, Store> {
-        self.inner.write()
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Runs a closure under the read lock.
     pub fn with_read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
-        f(&self.inner.read())
+        f(&self.read())
     }
 
     /// Runs a closure under the write lock.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
-        f(&mut self.inner.write())
+        f(&mut self.write())
     }
 }
 
 impl std::fmt::Debug for SharedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.inner.try_read() {
-            Some(store) => write!(f, "SharedStore({} triples)", store.len()),
-            None => f.write_str("SharedStore(<locked>)"),
+            Ok(store) => write!(f, "SharedStore({} triples)", store.len()),
+            Err(_) => f.write_str("SharedStore(<locked>)"),
         }
     }
 }

@@ -1,0 +1,292 @@
+//! Chaos suite: scripted fault plans drive resolver, upload and
+//! federation failures over virtual time. Every scenario is fully
+//! deterministic — seeded RNG, virtual clock, no wall-clock sleeps —
+//! so a failure here is a logic bug, never flake.
+
+use lodify::core::deferred::UploadQueue;
+use lodify::core::federation::{Federation, Notification};
+use lodify::core::metrics::OpsSnapshot;
+use lodify::core::platform::{Platform, Upload};
+use lodify::lod::broker::BrokerResilienceConfig;
+use lodify::lod::datasets::load_lod;
+use lodify::lod::filter::SemanticFilter;
+use lodify::lod::annotator::{Annotator, AnnotatorConfig, ContentInput};
+use lodify::lod::reannotate::{OwnedContent, ReAnnotator};
+use lodify::lod::resolvers::{
+    DbpediaResolver, EvriResolver, FaultInjectedResolver, GeonamesResolver, SindiceResolver,
+    ZemantaResolver,
+};
+use lodify::lod::SemanticBroker;
+use lodify::relational::WorkloadConfig;
+use lodify::resilience::{BreakerState, FaultPlan, RetryPolicy, VirtualClock};
+use lodify::store::Store;
+
+fn lod_store() -> Store {
+    let mut s = Store::new();
+    load_lod(&mut s, lodify::context::Gazetteer::global());
+    s
+}
+
+/// The full resolver set with every resolver wired through one fault
+/// plan (targets `resolver:<name>`).
+fn faulty_annotator(plan: &FaultPlan, clock: &VirtualClock) -> Annotator {
+    let broker = SemanticBroker::new(vec![
+        Box::new(FaultInjectedResolver::new(DbpediaResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(GeonamesResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(SindiceResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(EvriResolver, plan.clone())),
+        Box::new(FaultInjectedResolver::new(ZemantaResolver, plan.clone())),
+    ])
+    .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+    Annotator::new(broker, SemanticFilter::standard(), AnnotatorConfig::default())
+}
+
+#[test]
+fn all_but_one_resolver_down_pipeline_still_completes() {
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("resolver:geonames", 0, u64::MAX)
+        .outage("resolver:sindice", 0, u64::MAX)
+        .outage("resolver:evri", 0, u64::MAX)
+        .outage("resolver:zemanta", 0, u64::MAX)
+        .build(clock.clone());
+    let annotator = faulty_annotator(&plan, &clock);
+    let store = lod_store();
+
+    // Annotate a batch of items. The pipeline must complete every one,
+    // degraded but not stuck, with DBpedia results intact.
+    let titles = ["Mole Antonelliana", "Torino by night", "Parco del Valentino"];
+    let tags = vec!["torino".to_string()];
+    for title in titles {
+        let result = annotator.annotate(
+            &store,
+            &ContentInput { title, tags: &tags, context: None, poi_ref: None },
+        );
+        assert!(result.is_degraded());
+        assert!(!result.degraded.contains(&"dbpedia"), "healthy resolver not blamed");
+        assert!(
+            result.terms.iter().any(|t| t.resource.is_some()),
+            "dbpedia still annotates {title:?}"
+        );
+    }
+
+    let broker = annotator.broker();
+    let telemetry = broker.telemetry().unwrap();
+    let config = BrokerResilienceConfig::default();
+    for dead in ["geonames", "sindice", "evri", "zemanta"] {
+        assert_eq!(broker.breaker_state(dead), Some(BreakerState::Open));
+        // The breaker tripped within `failure_threshold` attempts and
+        // every later term was skipped, not re-polled.
+        assert_eq!(
+            telemetry.counter(&format!("broker.calls.{dead}")),
+            u64::from(config.breaker.failure_threshold),
+            "{dead}: no calls after the breaker opened"
+        );
+        assert!(telemetry.counter(&format!("broker.skipped.{dead}")) > 0);
+    }
+    assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
+    assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
+
+    let snapshot = OpsSnapshot::collect(broker, None, None);
+    assert!(snapshot.is_degraded());
+    assert_eq!(
+        snapshot.resolvers.iter().filter(|r| r.breaker == Some(BreakerState::Open)).count(),
+        4
+    );
+}
+
+#[test]
+fn breaker_walks_open_halfopen_closed_under_a_scripted_plan() {
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("resolver:dbpedia", 0, 3_000)
+        .build(clock.clone());
+    let annotator = faulty_annotator(&plan, &clock);
+    let store = lod_store();
+    let broker = annotator.broker();
+    let config = BrokerResilienceConfig::default();
+    let input = ContentInput { title: "Torino", tags: &[], context: None, poi_ref: None };
+
+    assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
+
+    // Failures trip the breaker open.
+    annotator.annotate(&store, &input);
+    assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Open));
+    let opened = broker.telemetry().unwrap().gauge("breaker.dbpedia.opened");
+    assert_eq!(opened, Some(1));
+
+    // Cooldown elapses while the outage is still on (the breaker
+    // opened a few retry-backoff ms after t=0, so jump well past it):
+    // the half-open probe fails and the breaker re-opens.
+    clock.set(2 * config.breaker.cooldown_ms);
+    assert!(clock.now_ms() < 3_000, "outage still active");
+    annotator.annotate(&store, &input);
+    assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Open));
+    assert_eq!(
+        broker.telemetry().unwrap().gauge("breaker.dbpedia.opened"),
+        Some(2),
+        "half-open probe failed and re-tripped"
+    );
+
+    // Outage over + cooldown: the probe succeeds and the breaker
+    // closes; annotation is whole again.
+    clock.set(3_000 + 2 * config.breaker.cooldown_ms);
+    let result = annotator.annotate(&store, &input);
+    assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
+    assert!(!result.is_degraded());
+    assert!(result.terms.iter().any(|t| t.resource.is_some()));
+}
+
+#[test]
+fn dlq_replay_reaches_eventual_annotation_for_every_parked_item() {
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("resolver:dbpedia", 0, 8_000)
+        .build(clock.clone());
+    let annotator = faulty_annotator(&plan, &clock);
+    let store = lod_store();
+    let mut requeue = ReAnnotator::new(10);
+
+    // Three items arrive during the outage; each annotates degraded and
+    // parks for later.
+    let tags = vec!["torino".to_string()];
+    for (id, title) in [(1u64, "Mole Antonelliana"), (2, "Palazzo Madama"), (3, "Gran Madre")] {
+        let input = ContentInput { title, tags: &tags, context: None, poi_ref: None };
+        let result = annotator.annotate(&store, &input);
+        assert!(result.is_degraded(), "{title:?} degraded during outage");
+        assert!(requeue.observe(OwnedContent::from_input(id, &input), &result, clock.now_ms()));
+    }
+    assert_eq!(requeue.depth(), 3);
+
+    // Mid-outage replay: everything stays parked, nothing is lost.
+    clock.advance(2_000);
+    let report = requeue.replay(&store, &annotator, |_, _| panic!("outage still on"));
+    assert_eq!(report.requeued, 3);
+    assert_eq!(requeue.depth(), 3);
+
+    // Outage + cooldown over: one replay completes every item.
+    clock.set(10_000);
+    let mut accepted = Vec::new();
+    let report = requeue.replay(&store, &annotator, |content, result| {
+        assert!(!result.is_degraded());
+        accepted.push(content.content_id);
+    });
+    assert_eq!(report.replayed, 3);
+    assert_eq!(report.requeued, 0);
+    assert_eq!(requeue.depth(), 0);
+    accepted.sort_unstable();
+    assert_eq!(accepted, vec![1, 2, 3], "every degraded item re-annotated");
+    assert!(requeue.queue().exhausted().is_empty());
+}
+
+#[test]
+fn federation_redelivers_in_order_after_node_outage() {
+    let mut fed = Federation::new();
+    let home = fed.add_node("home.example").unwrap();
+    let frame = fed.add_node("frame.example").unwrap();
+    let walter = fed.register_user(home, "walter", "Walter Goix").unwrap();
+    let viewer = fed.register_user(frame, "viewer", "Photo Frame").unwrap();
+    fed.subscribe(frame, &viewer, &walter).unwrap();
+
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("node:frame.example", 0, 60_000)
+        .build(clock.clone());
+    fed.with_fault_plan(plan, RetryPolicy::default());
+
+    // A holiday's worth of posts while the frame is unreachable.
+    for (i, title) in ["day one", "day two", "day three"].iter().enumerate() {
+        let (_, delivered) = fed.publish(&walter, title, i as i64 + 1).unwrap();
+        assert!(delivered.is_empty(), "{title:?} must park, not deliver");
+    }
+    assert_eq!(fed.undelivered(), 3);
+    assert!(fed.node(frame).unwrap().timeline().entries().is_empty());
+
+    // Back online: one redelivery pass catches the frame up, in
+    // publish order (the DLQ is FIFO).
+    clock.set(120_000);
+    let (landed, report) = fed.redeliver();
+    assert_eq!(report.replayed, 3);
+    assert_eq!(landed.len(), 3);
+    assert!(landed.iter().all(|n| matches!(n, Notification::Activity { to, .. } if *to == frame)));
+    let timeline = fed.node(frame).unwrap().timeline().entries();
+    assert_eq!(timeline.len(), 3);
+    let summaries: Vec<&str> = timeline.iter().map(|a| a.summary.as_str()).collect();
+    assert_eq!(summaries, vec!["day one", "day two", "day three"]);
+    assert_eq!(fed.undelivered(), 0);
+
+    let snapshot = OpsSnapshot::collect(
+        &SemanticBroker::standard(),
+        None,
+        Some(&fed),
+    );
+    assert!(!snapshot.is_degraded());
+    assert_eq!(snapshot.federation_parked, 3);
+    assert_eq!(snapshot.federation_redelivered, 3);
+}
+
+#[test]
+fn deferred_uploads_survive_a_platform_outage() {
+    let mut platform = Platform::bootstrap(WorkloadConfig::small(11)).unwrap();
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("platform.upload", 0, 5_000)
+        .build(clock.clone());
+    platform.set_fault_plan(plan);
+
+    let mut queue = UploadQueue::with_max_attempts(5);
+    for (ts, title) in [(300, "third"), (100, "first"), (200, "second")] {
+        queue
+            .capture(
+                &mut platform,
+                Upload {
+                    user_id: 1,
+                    title: title.to_string(),
+                    tags: vec![],
+                    ts,
+                    gps: None,
+                    poi: None,
+                },
+            )
+            .unwrap();
+    }
+    queue.set_online(true);
+
+    // Flushing during the outage re-enqueues everything in capture
+    // order; nothing is dropped or abandoned.
+    let report = queue.flush(&mut platform);
+    assert!(report.receipts.is_empty());
+    assert_eq!(report.retried.len(), 3);
+    assert_eq!(
+        report.retried.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+        vec![100, 200, 300]
+    );
+    assert!(report.abandoned.is_empty());
+    assert_eq!(queue.pending(), 3);
+
+    // Connectivity restored: the backlog lands in capture order.
+    clock.set(6_000);
+    let report = queue.flush(&mut platform);
+    assert_eq!(report.receipts.len(), 3);
+    assert!(report.is_clean());
+    assert_eq!(queue.pending(), 0);
+
+    platform.clear_fault_plan();
+    assert!(platform.fault_plan().is_none());
+}
+
+#[test]
+fn seeded_fault_plans_are_reproducible() {
+    // Two runs with the same seed inject the identical failure
+    // sequence — chaos tests are replayable bit-for-bit.
+    let run = |seed: u64| -> Vec<bool> {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .failure_rate("resolver:dbpedia", 0.5)
+            .seed(seed)
+            .build(clock.clone());
+        (0..64).map(|_| plan.check("resolver:dbpedia").is_ok()).collect()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8), "different seeds, different chaos");
+}

@@ -1,137 +1,238 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! Formerly driven by proptest; now driven by the workspace's own
+//! deterministic RNG ([`lodify::resilience::DetRng`]) so the suite has
+//! zero external dependencies and every run exercises the exact same
+//! case set. Each property runs a few hundred generated cases.
 
 use lodify::rdf::{ntriples, Literal, Point, Term, Triple};
+use lodify::resilience::DetRng;
 use lodify::store::Store;
 use lodify::text::distance::{jaro, jaro_winkler, levenshtein};
 use lodify::tripletags::TripleTag;
 
-/// Strategy: literal-safe arbitrary strings (any unicode).
-fn any_text() -> impl Strategy<Value = String> {
-    "\\PC{0,40}"
+const CASES: usize = 250;
+
+/// A seeded generator per property, forked off a fixed root so adding
+/// a property never perturbs the others' case streams.
+fn rng(label: &str) -> DetRng {
+    DetRng::seed_from_u64(0x10D1F7).fork(label)
 }
 
-/// Strategy: plausible IRIs.
-fn any_iri() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}"
-        .prop_map(|s| format!("http://example.org/{s}"))
+/// Arbitrary printable text: mixes ASCII, accented Latin, Greek, CJK
+/// and astral-plane characters (the ranges proptest's `\PC` hit most).
+fn any_text(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.random_range(0..=max_len);
+    (0..len).map(|_| any_char(rng)).collect()
 }
 
-proptest! {
-    // ---------- RDF serialization ----------
+fn any_char(rng: &mut DetRng) -> char {
+    match rng.random_range(0..10u32) {
+        // Weight toward ASCII, including the N-Triples-sensitive
+        // characters: quotes, backslashes, angle brackets, newlineish.
+        0..=4 => char::from_u32(rng.random_range(0x20..0x7Fu32)).unwrap(),
+        5 => ['"', '\\', '<', '>', '\t', '\u{7f}'][rng.random_range(0..6usize)],
+        6 => char::from_u32(rng.random_range(0xC0..0x17Fu32)).unwrap(), // Latin ext.
+        7 => char::from_u32(rng.random_range(0x391..0x3A1u32)).unwrap(), // Greek
+        8 => char::from_u32(rng.random_range(0x4E00..0x9FFFu32)).unwrap(), // CJK
+        _ => char::from_u32(rng.random_range(0x1F300..0x1F5FFu32)).unwrap(), // emoji
+    }
+}
 
-    #[test]
-    fn ntriples_round_trips_any_literal(value in any_text(), subject in any_iri(), predicate in any_iri()) {
-        let triple = Triple::spo(&subject, &predicate, Term::Literal(Literal::simple(value)));
+/// Lowercase ASCII identifier of length 1..=max (plausible IRI tails,
+/// namespaces, predicates).
+fn ident(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.random_range(1..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u32) as u8) as char)
+        .collect()
+}
+
+fn any_iri(rng: &mut DetRng) -> String {
+    format!("http://example.org/{}", ident(rng, 8))
+}
+
+// ---------- RDF serialization ----------
+
+#[test]
+fn ntriples_round_trips_any_literal() {
+    let mut rng = rng("ntriples-literal");
+    for _ in 0..CASES {
+        let value = any_text(&mut rng, 40);
+        let subject = any_iri(&mut rng);
+        let predicate = any_iri(&mut rng);
+        let triple =
+            Triple::spo(&subject, &predicate, Term::Literal(Literal::simple(value)));
         let text = ntriples::to_string(std::slice::from_ref(&triple));
         let parsed = ntriples::parse_document(&text).unwrap();
-        prop_assert_eq!(parsed, vec![triple]);
+        assert_eq!(parsed, vec![triple]);
     }
+}
 
-    #[test]
-    fn ntriples_round_trips_lang_literals(value in any_text(), lang in "[a-z]{2}") {
+#[test]
+fn ntriples_round_trips_lang_literals() {
+    let mut rng = rng("ntriples-lang");
+    for _ in 0..CASES {
+        let value = any_text(&mut rng, 40);
+        let lang = ident(&mut rng, 2);
+        let lang = if lang.len() == 1 { format!("{lang}{lang}") } else { lang };
         let lit = Literal::lang(value, &lang).unwrap();
         let triple = Triple::spo("http://s", "http://p", Term::Literal(lit));
         let text = ntriples::to_string(std::slice::from_ref(&triple));
         let parsed = ntriples::parse_document(&text).unwrap();
-        prop_assert_eq!(parsed, vec![triple]);
+        assert_eq!(parsed, vec![triple]);
     }
+}
 
-    // ---------- WKT geometry ----------
+// ---------- WKT geometry ----------
 
-    #[test]
-    fn wkt_round_trips(lon in -180.0f64..=180.0, lat in -90.0f64..=90.0) {
+#[test]
+fn wkt_round_trips() {
+    let mut rng = rng("wkt");
+    for _ in 0..CASES {
+        let lon = rng.random_f64() * 360.0 - 180.0;
+        let lat = rng.random_f64() * 180.0 - 90.0;
         let p = Point::new(lon, lat).unwrap();
         let back = Point::parse_wkt(&p.to_wkt()).unwrap();
-        prop_assert!((back.lon - lon).abs() < 1e-12);
-        prop_assert!((back.lat - lat).abs() < 1e-12);
+        assert!((back.lon - lon).abs() < 1e-12);
+        assert!((back.lat - lat).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn distance_is_a_pseudmetric(
-        lon1 in -10.0f64..=30.0, lat1 in 35.0f64..=60.0,
-        lon2 in -10.0f64..=30.0, lat2 in 35.0f64..=60.0,
-    ) {
+#[test]
+fn distance_is_a_pseudmetric() {
+    let mut rng = rng("distance");
+    let coord = |r: &mut DetRng| {
+        // European bounding box, like the original strategy.
+        (r.random_f64() * 40.0 - 10.0, 35.0 + r.random_f64() * 25.0)
+    };
+    for _ in 0..CASES {
+        let (lon1, lat1) = coord(&mut rng);
+        let (lon2, lat2) = coord(&mut rng);
         let a = Point::new(lon1, lat1).unwrap();
         let b = Point::new(lon2, lat2).unwrap();
-        prop_assert!(a.distance_km(b) >= 0.0);
-        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
-        prop_assert!(a.distance_km(a) < 1e-9);
+        assert!(a.distance_km(b) >= 0.0);
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        assert!(a.distance_km(a) < 1e-9);
     }
+}
 
-    // ---------- string distances ----------
+// ---------- string distances ----------
 
-    #[test]
-    fn jaro_winkler_bounds_and_symmetry(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+#[test]
+fn jaro_winkler_bounds_and_symmetry() {
+    let mut rng = rng("jw");
+    for _ in 0..CASES {
+        let a = any_text(&mut rng, 16);
+        let b = any_text(&mut rng, 16);
         let j = jaro(&a, &b);
         let jw = jaro_winkler(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&j), "jaro {j}");
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&jw), "jw {jw}");
-        prop_assert!(jw >= j - 1e-12, "winkler boosts, never hurts");
-        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&j), "jaro {j}");
+        assert!((0.0..=1.0 + 1e-12).contains(&jw), "jw {jw}");
+        assert!(jw >= j - 1e-12, "winkler boosts, never hurts");
+        assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn jaro_identity(a in "\\PC{1,16}") {
-        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
-        prop_assert_eq!(levenshtein(&a, &a), 0);
+#[test]
+fn jaro_identity() {
+    let mut rng = rng("jaro-id");
+    for _ in 0..CASES {
+        let mut a = any_text(&mut rng, 16);
+        if a.is_empty() {
+            a.push('x');
+        }
+        assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(levenshtein(&a, &a), 0);
     }
+}
 
-    #[test]
-    fn levenshtein_triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+#[test]
+fn levenshtein_triangle_inequality() {
+    let mut rng = rng("lev-triangle");
+    let abc = |r: &mut DetRng| {
+        let len = r.random_range(0..=8usize);
+        (0..len)
+            .map(|_| (b'a' + r.random_range(0..3u32) as u8) as char)
+            .collect::<String>()
+    };
+    for _ in 0..CASES {
+        let a = abc(&mut rng);
+        let b = abc(&mut rng);
+        let c = abc(&mut rng);
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
     }
+}
 
-    // ---------- triple tags ----------
+// ---------- triple tags ----------
 
-    #[test]
-    fn triple_tag_wire_round_trip(
-        ns in "[a-z][a-z0-9_]{0,8}",
-        pred in "[a-z][a-z0-9_]{0,8}",
-        value in "\\PC{1,24}",
-    ) {
-        prop_assume!(!value.is_empty());
+#[test]
+fn triple_tag_wire_round_trip() {
+    let mut rng = rng("tripletag");
+    for _ in 0..CASES {
+        let ns = ident(&mut rng, 8);
+        let pred = ident(&mut rng, 8);
+        let mut value = any_text(&mut rng, 24);
+        if value.is_empty() {
+            value.push('v');
+        }
         let tag = TripleTag::new(&ns, &pred, &value).unwrap();
         let reparsed = TripleTag::parse(&tag.to_wire()).unwrap();
-        prop_assert_eq!(reparsed, tag);
+        assert_eq!(reparsed, tag);
     }
+}
 
-    // ---------- store invariants ----------
+// ---------- store invariants ----------
 
-    #[test]
-    fn store_insert_remove_is_identity(entries in proptest::collection::vec((any_iri(), any_iri(), any_text()), 1..20)) {
+#[test]
+fn store_insert_remove_is_identity() {
+    let mut rng = rng("store-identity");
+    for _ in 0..CASES {
+        let n = rng.random_range(1..20usize);
+        let triples: Vec<Triple> = (0..n)
+            .map(|_| {
+                Triple::spo(
+                    &any_iri(&mut rng),
+                    &any_iri(&mut rng),
+                    Term::Literal(Literal::simple(any_text(&mut rng, 40))),
+                )
+            })
+            .collect();
         let mut store = Store::new();
         let g = store.default_graph();
-        let triples: Vec<Triple> = entries
-            .iter()
-            .map(|(s, p, o)| Triple::spo(s, p, Term::Literal(Literal::simple(o.clone()))))
-            .collect();
         for t in &triples {
             store.insert(t, g);
         }
         let len_after_insert = store.len();
         // Every inserted triple is findable.
         for t in &triples {
-            prop_assert!(store.contains(t));
+            assert!(store.contains(t));
         }
         // Remove everything (duplicates in input collapse on insert).
         for t in &triples {
             store.remove(t);
         }
-        prop_assert_eq!(store.len(), 0);
-        prop_assert!(len_after_insert <= triples.len());
+        assert_eq!(store.len(), 0);
+        assert!(len_after_insert <= triples.len());
     }
+}
 
-    #[test]
-    fn store_pattern_counts_are_consistent(entries in proptest::collection::vec((any_iri(), any_iri()), 1..15)) {
+#[test]
+fn store_pattern_counts_are_consistent() {
+    let mut rng = rng("store-counts");
+    for _ in 0..CASES {
+        let n = rng.random_range(1..15usize);
+        let entries: Vec<(String, String)> = (0..n)
+            .map(|_| (any_iri(&mut rng), any_iri(&mut rng)))
+            .collect();
         let mut store = Store::new();
         let g = store.default_graph();
         for (i, (s, p)) in entries.iter().enumerate() {
             store.insert(&Triple::spo(s, p, Term::literal(format!("v{i}"))), g);
         }
         // Sum of per-subject counts equals the total.
-        let subjects: std::collections::BTreeSet<&String> = entries.iter().map(|(s, _)| s).collect();
+        let subjects: std::collections::BTreeSet<&String> =
+            entries.iter().map(|(s, _)| s).collect();
         let total: usize = subjects
             .iter()
             .map(|s| {
@@ -139,55 +240,67 @@ proptest! {
                 store.count_pattern(Some(id), None, None)
             })
             .sum();
-        prop_assert_eq!(total, store.len());
+        assert_eq!(total, store.len());
     }
+}
 
-    // ---------- parser robustness (fuzz) ----------
+// ---------- parser robustness (fuzz) ----------
 
-    #[test]
-    fn sparql_parser_never_panics(input in "\\PC{0,120}") {
+#[test]
+fn sparql_parser_never_panics() {
+    let mut rng = rng("fuzz-sparql");
+    for _ in 0..CASES {
         // Arbitrary input must parse or error, never panic.
-        let _ = lodify::sparql::parse(&input);
+        let _ = lodify::sparql::parse(&any_text(&mut rng, 120));
     }
+}
 
-    #[test]
-    fn sparql_parser_survives_query_mutations(cut in 0usize..200) {
-        // Truncating a real query at any byte boundary must not panic.
-        let query = r#"SELECT DISTINCT ?link WHERE {
-            ?monument rdfs:label "Mole Antonelliana"@it .
-            ?resource geo:geometry ?location .
-            FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
-        } ORDER BY DESC(?points) LIMIT 10"#;
-        let end = query
-            .char_indices()
-            .map(|(i, _)| i)
-            .chain([query.len()])
-            .take_while(|&i| i <= cut.min(query.len()))
-            .last()
-            .unwrap_or(0);
+#[test]
+fn sparql_parser_survives_query_mutations() {
+    // Truncating a real query at any byte boundary must not panic.
+    let query = r#"SELECT DISTINCT ?link WHERE {
+        ?monument rdfs:label "Mole Antonelliana"@it .
+        ?resource geo:geometry ?location .
+        FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+    } ORDER BY DESC(?points) LIMIT 10"#;
+    for end in query.char_indices().map(|(i, _)| i).chain([query.len()]) {
         let _ = lodify::sparql::parse(&query[..end]);
     }
+}
 
-    #[test]
-    fn ntriples_parser_never_panics(input in "\\PC{0,120}") {
-        let _ = ntriples::parse_document(&input);
+#[test]
+fn ntriples_parser_never_panics() {
+    let mut rng = rng("fuzz-ntriples");
+    for _ in 0..CASES {
+        let _ = ntriples::parse_document(&any_text(&mut rng, 120));
     }
+}
 
-    #[test]
-    fn turtle_parser_never_panics(input in "\\PC{0,120}") {
-        let prefixes = lodify::rdf::ns::PrefixMap::with_defaults();
-        let _ = lodify::rdf::turtle::parse_document(&input, &prefixes);
+#[test]
+fn turtle_parser_never_panics() {
+    let mut rng = rng("fuzz-turtle");
+    let prefixes = lodify::rdf::ns::PrefixMap::with_defaults();
+    for _ in 0..CASES {
+        let _ = lodify::rdf::turtle::parse_document(&any_text(&mut rng, 120), &prefixes);
     }
+}
 
-    #[test]
-    fn mapping_dsl_parser_never_panics(input in "\\PC{0,120}") {
-        let _ = lodify::d2r::dsl::parse(&input);
+#[test]
+fn mapping_dsl_parser_never_panics() {
+    let mut rng = rng("fuzz-d2r");
+    for _ in 0..CASES {
+        let _ = lodify::d2r::dsl::parse(&any_text(&mut rng, 120));
     }
+}
 
-    // ---------- SPARQL solution-modifier laws ----------
+// ---------- SPARQL solution-modifier laws ----------
 
-    #[test]
-    fn sparql_limit_caps_and_distinct_shrinks(n in 1usize..30, limit in 1usize..10) {
+#[test]
+fn sparql_limit_caps_and_distinct_shrinks() {
+    let mut rng = rng("sparql-laws");
+    for _ in 0..60 {
+        let n = rng.random_range(1..30usize);
+        let limit = rng.random_range(1..10usize);
         let mut store = Store::new();
         let g = store.default_graph();
         for i in 0..n {
@@ -196,17 +309,22 @@ proptest! {
                 g,
             );
         }
-        let all = lodify::sparql::execute(&store, "SELECT ?o WHERE { ?s <http://p> ?o . }").unwrap();
-        let distinct =
-            lodify::sparql::execute(&store, "SELECT DISTINCT ?o WHERE { ?s <http://p> ?o . }").unwrap();
+        let all =
+            lodify::sparql::execute(&store, "SELECT ?o WHERE { ?s <http://p> ?o . }")
+                .unwrap();
+        let distinct = lodify::sparql::execute(
+            &store,
+            "SELECT DISTINCT ?o WHERE { ?s <http://p> ?o . }",
+        )
+        .unwrap();
         let limited = lodify::sparql::execute(
             &store,
             &format!("SELECT ?o WHERE {{ ?s <http://p> ?o . }} LIMIT {limit}"),
         )
         .unwrap();
-        prop_assert_eq!(all.len(), n);
-        prop_assert_eq!(distinct.len(), 1);
-        prop_assert_eq!(limited.len(), n.min(limit));
+        assert_eq!(all.len(), n);
+        assert_eq!(distinct.len(), 1);
+        assert_eq!(limited.len(), n.min(limit));
     }
 }
 
