@@ -61,7 +61,11 @@ fn main() {
             None => misses.push(poi.key),
         }
     }
-    let sights = gaz.pois().iter().filter(|p| !p.category.is_commercial()).count();
+    let sights = gaz
+        .pois()
+        .iter()
+        .filter(|p| !p.category.is_commercial())
+        .count();
     row(&["metric".into(), "value".into()]);
     row(&["touristic POIs".into(), sights.to_string()]);
     row(&["linked".into(), linked.to_string()]);
@@ -81,7 +85,9 @@ fn main() {
 
     // ---- buddy external linking: OFF by default, candidates when ON ----
     let mut platform = lodify_context::ContextPlatform::new();
-    platform.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+    platform
+        .buddies_mut()
+        .add_user(1, "oscar", "Oscar Rodriguez");
     platform.buddies_mut().add_user(2, "walter", "Walter Goix");
     platform.buddies_mut().add_friend(1, 2);
     let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);

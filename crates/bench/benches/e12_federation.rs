@@ -28,12 +28,8 @@ fn build(n: usize) -> (Federation, Acct) {
             host: format!("node{i}.example"),
         };
         fed.subscribe(i, &follower, &publisher).unwrap();
-        fed.sparql_subscribe(
-            i,
-            0,
-            "SELECT ?m WHERE { ?m a sioct:MicroblogPost . }",
-        )
-        .unwrap();
+        fed.sparql_subscribe(i, 0, "SELECT ?m WHERE { ?m a sioct:MicroblogPost . }")
+            .unwrap();
     }
     (fed, publisher)
 }
@@ -84,7 +80,10 @@ fn main() {
     // WebFinger resolution cost.
     let (fed, _) = build(25);
     let (_, t_wf) = time_once(|| fed.webfinger("acct:user24@node24.example").unwrap());
-    println!("\nwebfinger resolution across 25 nodes: {:.1} µs", t_wf.as_secs_f64() * 1e6);
+    println!(
+        "\nwebfinger resolution across 25 nodes: {:.1} µs",
+        t_wf.as_secs_f64() * 1e6
+    );
 
     // ---- criterion ----
     let mut c: Criterion = criterion();
@@ -93,12 +92,16 @@ fn main() {
         let mut ts = 1000i64;
         b.iter(|| {
             ts += 1;
-            fed.publish(black_box(&publisher), "bench post", ts).unwrap()
+            fed.publish(black_box(&publisher), "bench post", ts)
+                .unwrap()
         })
     });
     c.bench_function("e12/webfinger_25_nodes", |b| {
         let (fed, _) = build(25);
-        b.iter(|| fed.webfinger(black_box("acct:user24@node24.example")).unwrap())
+        b.iter(|| {
+            fed.webfinger(black_box("acct:user24@node24.example"))
+                .unwrap()
+        })
     });
     c.final_summary();
 }

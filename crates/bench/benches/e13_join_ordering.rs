@@ -56,7 +56,10 @@ fn main() {
     ]);
     for pictures in [1000usize, 2000] {
         let p = platform(130 + pictures as u64, pictures);
-        for (name, query) in [("author's (good)", Q1_GOOD_ORDER), ("hostile (bad)", Q1_BAD_ORDER)] {
+        for (name, query) in [
+            ("author's (good)", Q1_GOOD_ORDER),
+            ("hostile (bad)", Q1_BAD_ORDER),
+        ] {
             let (rows_on, t_on) =
                 time_once(|| lodify_sparql::execute_with(p.store(), query, on).unwrap());
             let (rows_off, t_off) =
@@ -71,7 +74,9 @@ fn main() {
             ]);
         }
     }
-    println!("\n(with reordering ON both orders should cost the same; OFF pays for the hostile order)");
+    println!(
+        "\n(with reordering ON both orders should cost the same; OFF pays for the hostile order)"
+    );
 
     // ---- criterion (small fixture: the OFF plan is quadratic) ----
     let p = platform(133, 500);

@@ -53,8 +53,14 @@ fn resilient_broker(dead_dbpedia: bool) -> SemanticBroker {
 
 fn terms(n: usize) -> Vec<String> {
     let pool = [
-        "torino", "mole antonelliana", "parco del valentino", "palazzo madama",
-        "gran madre", "juventus", "po", "superga",
+        "torino",
+        "mole antonelliana",
+        "parco del valentino",
+        "palazzo madama",
+        "gran madre",
+        "juventus",
+        "po",
+        "superga",
     ];
     (0..n).map(|i| pool[i % pool.len()].to_string()).collect()
 }

@@ -1,0 +1,243 @@
+//! E15 — durability: journaled-insert overhead and group-commit
+//! scaling.
+//!
+//! Three questions. (1) What does the journal cost on the insert path
+//! in real time — per-record flushing versus batched group commit
+//! versus no journal at all? (2) How does group commit scale when each
+//! WAL flush pays a realistic fsync latency? That one is measured in
+//! **virtual time**: a fault plan injects a fixed per-flush latency on
+//! the `wal.flush` target and the virtual clock sums exactly the
+//! barrier cost, so the answer is deterministic and machine
+//! independent. Batching must win by at least 2x. (3) How fast is
+//! crash recovery, from a pure WAL tail and from a compacted
+//! snapshot?
+
+use lodify_bench::{black_box, criterion, f3, header, row, smoke, time_once, Criterion};
+use lodify_durability::{
+    DurabilityOptions, DurableStore, GroupCommitPolicy, MemStorage, TARGET_WAL_FLUSH,
+};
+use lodify_rdf::{Term, Triple};
+use lodify_resilience::{FaultPlan, VirtualClock};
+use lodify_store::Store;
+
+/// Per-flush latency charged in the virtual-time experiment: the
+/// order of an fsync on commodity disks.
+const FSYNC_MS: u64 = 5;
+
+fn triple(i: usize) -> Triple {
+    Triple::spo(
+        &format!("http://ex/pic/{i}"),
+        "http://purl.org/dc/elements/1.1/title",
+        Term::literal(format!("picture number {i} from the holiday set")),
+    )
+}
+
+fn options(policy: GroupCommitPolicy) -> DurabilityOptions {
+    DurabilityOptions {
+        group_commit: policy,
+        snapshot_every_records: None,
+    }
+}
+
+fn journaled(policy: GroupCommitPolicy) -> DurableStore {
+    let (durable, _) = DurableStore::open(Box::new(MemStorage::new()), options(policy))
+        .expect("fresh storage opens");
+    durable
+}
+
+/// `n` journaled inserts with a virtual `FSYNC_MS` charge per WAL
+/// flush; returns (flushes, virtual elapsed ms).
+fn virtual_run(n: usize, policy: GroupCommitPolicy) -> (u64, u64) {
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .latency(TARGET_WAL_FLUSH, FSYNC_MS)
+        .build(clock.clone());
+    let mut durable = journaled(policy);
+    durable.set_fault_plan(plan);
+    let g = durable.graph("urn:bench");
+    for i in 0..n {
+        durable.insert(&triple(i), g).expect("journaled insert");
+    }
+    durable.flush().expect("final flush");
+    (
+        durable.stats().expect("durable stats").flushes,
+        clock.now_ms(),
+    )
+}
+
+fn main() {
+    let n = if smoke() { 500 } else { 20_000 };
+    header(
+        "E15",
+        "durability: journal overhead & group-commit scaling",
+        "journaled inserts stay close to in-memory cost; group commit amortizes the flush barrier >=2x over per-record commit",
+    );
+
+    // ---- real-time insert overhead ----
+    let (_, t_plain) = time_once(|| {
+        let mut store = Store::new();
+        let g = store.graph("urn:bench");
+        for i in 0..n {
+            store.insert(&triple(i), g);
+        }
+        black_box(store.len())
+    });
+    let timed = |policy: GroupCommitPolicy| {
+        let (len, t) = time_once(|| {
+            let mut durable = journaled(policy);
+            let g = durable.graph("urn:bench");
+            for i in 0..n {
+                durable.insert(&triple(i), g).expect("journaled insert");
+            }
+            durable.flush().expect("final flush");
+            black_box(durable.store().len())
+        });
+        assert_eq!(len, n);
+        t
+    };
+    let t_per_record = timed(GroupCommitPolicy::per_record());
+    let t_batched = timed(GroupCommitPolicy::batched(64));
+    row(&[
+        "inserts".into(),
+        "ephemeral ms".into(),
+        "per-record ms".into(),
+        "batched(64) ms".into(),
+        "journal overhead x".into(),
+    ]);
+    row(&[
+        n.to_string(),
+        f3(t_plain.as_secs_f64() * 1000.0),
+        f3(t_per_record.as_secs_f64() * 1000.0),
+        f3(t_batched.as_secs_f64() * 1000.0),
+        f3(t_batched.as_secs_f64() / t_plain.as_secs_f64()),
+    ]);
+
+    // ---- group-commit scaling in virtual time ----
+    println!("\nvirtual time, {FSYNC_MS} ms charged per WAL flush:");
+    row(&[
+        "policy".into(),
+        "flushes".into(),
+        "virtual ms".into(),
+        "speedup vs per-record".into(),
+    ]);
+    let (base_flushes, base_ms) = virtual_run(n, GroupCommitPolicy::per_record());
+    row(&[
+        "per-record".into(),
+        base_flushes.to_string(),
+        base_ms.to_string(),
+        "1.000".into(),
+    ]);
+    for batch in [8usize, 64, 256] {
+        let (flushes, ms) = virtual_run(n, GroupCommitPolicy::batched(batch));
+        let speedup = base_ms as f64 / ms.max(1) as f64;
+        row(&[
+            format!("batched({batch})"),
+            flushes.to_string(),
+            ms.to_string(),
+            f3(speedup),
+        ]);
+        assert!(
+            speedup >= 2.0,
+            "group commit batched({batch}) must amortize the barrier >=2x, got {speedup:.3}"
+        );
+    }
+
+    // ---- recovery latency ----
+    let mem = MemStorage::new();
+    let (mut durable, _) = DurableStore::open(
+        Box::new(mem.clone()),
+        options(GroupCommitPolicy::batched(64)),
+    )
+    .expect("fresh storage opens");
+    let g = durable.graph("urn:bench");
+    for i in 0..n {
+        durable.insert(&triple(i), g).expect("journaled insert");
+    }
+    durable.flush().expect("flush");
+    mem.crash();
+    let (replayed, t_tail) = time_once(|| {
+        let (recovered, report) = DurableStore::open(
+            Box::new(mem.clone()),
+            options(GroupCommitPolicy::batched(64)),
+        )
+        .expect("tail recovery");
+        assert_eq!(recovered.store().len(), n);
+        report.wal_records_replayed
+    });
+    durable.snapshot().expect("compaction");
+    mem.crash();
+    let (_, t_snap) = time_once(|| {
+        let (recovered, report) = DurableStore::open(
+            Box::new(mem.clone()),
+            options(GroupCommitPolicy::batched(64)),
+        )
+        .expect("snapshot recovery");
+        assert_eq!(recovered.store().len(), n);
+        assert_eq!(report.wal_records_replayed, 0);
+    });
+    println!();
+    row(&["recovery".into(), "records replayed".into(), "ms".into()]);
+    row(&[
+        "WAL tail".into(),
+        replayed.to_string(),
+        f3(t_tail.as_secs_f64() * 1000.0),
+    ]);
+    row(&[
+        "snapshot".into(),
+        "0".into(),
+        f3(t_snap.as_secs_f64() * 1000.0),
+    ]);
+
+    if smoke() {
+        println!("\n(smoke mode: criterion timings skipped)");
+        return;
+    }
+
+    // ---- criterion ----
+    let mut c: Criterion = criterion();
+    let m = 2_000;
+    c.bench_function("e15/insert_ephemeral", |b| {
+        b.iter(|| {
+            let mut store = Store::new();
+            let g = store.graph("urn:bench");
+            for i in 0..m {
+                store.insert(&triple(i), g);
+            }
+            black_box(store.len())
+        })
+    });
+    c.bench_function("e15/insert_journaled_batched64", |b| {
+        b.iter(|| {
+            let mut durable = journaled(GroupCommitPolicy::batched(64));
+            let g = durable.graph("urn:bench");
+            for i in 0..m {
+                durable.insert(&triple(i), g).expect("journaled insert");
+            }
+            durable.flush().expect("flush");
+            black_box(durable.store().len())
+        })
+    });
+    let image = MemStorage::new();
+    let (mut durable, _) = DurableStore::open(
+        Box::new(image.clone()),
+        options(GroupCommitPolicy::batched(64)),
+    )
+    .expect("fresh storage opens");
+    let g = durable.graph("urn:bench");
+    for i in 0..m {
+        durable.insert(&triple(i), g).expect("journaled insert");
+    }
+    durable.flush().expect("flush");
+    image.crash();
+    c.bench_function("e15/recover_wal_tail", |b| {
+        b.iter(|| {
+            let (recovered, _) = DurableStore::open(
+                Box::new(image.clone()),
+                options(GroupCommitPolicy::batched(64)),
+            )
+            .expect("recovery");
+            black_box(recovered.store().len())
+        })
+    });
+    c.final_summary();
+}

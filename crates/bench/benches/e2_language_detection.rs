@@ -44,7 +44,10 @@ fn main() {
         .chain(std::iter::once("recall".into()))
         .collect::<Vec<_>>());
     for &t in &langs {
-        let row_total: usize = langs.iter().map(|&p| matrix.get(&(t, p)).copied().unwrap_or(0)).sum();
+        let row_total: usize = langs
+            .iter()
+            .map(|&p| matrix.get(&(t, p)).copied().unwrap_or(0))
+            .sum();
         let mut cells = vec![t.to_string()];
         for &p in &langs {
             cells.push(matrix.get(&(t, p)).copied().unwrap_or(0).to_string());
@@ -53,7 +56,10 @@ fn main() {
         cells.push(f3(recall));
         row(&cells);
     }
-    println!("overall accuracy: {:.3}", correct as f64 / total.max(1) as f64);
+    println!(
+        "overall accuracy: {:.3}",
+        correct as f64 / total.max(1) as f64
+    );
 
     // ---- length sweep: accuracy on truncated titles ----
     println!("\naccuracy vs title length (first N characters):");

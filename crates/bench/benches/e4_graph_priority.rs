@@ -34,10 +34,7 @@ fn main() {
 
     use SourceGraph::*;
     let variants: Vec<(&str, FilterConfig)> = vec![
-        (
-            "paper: GN > DBP > Evri",
-            FilterConfig::default(),
-        ),
+        ("paper: GN > DBP > Evri", FilterConfig::default()),
         (
             "DBP > GN > Evri",
             FilterConfig {

@@ -50,7 +50,10 @@ fn main() {
             suggestions.len().to_string(),
             format!("{:.1}", t_index.as_secs_f64() * 1e6),
             format!("{:.1}", t_scan.as_secs_f64() * 1e6),
-            format!("{:.1}x", t_scan.as_secs_f64() / t_index.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_scan.as_secs_f64() / t_index.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
 
@@ -74,7 +77,11 @@ fn main() {
         "\ndebounce: {} keystrokes → {} fired queries: {:?}",
         keystrokes.len(),
         debouncer.fired().len(),
-        debouncer.fired().iter().map(|(_, q)| q.as_str()).collect::<Vec<_>>()
+        debouncer
+            .fired()
+            .iter()
+            .map(|(_, q)| q.as_str())
+            .collect::<Vec<_>>()
     );
 
     // ---- criterion ----

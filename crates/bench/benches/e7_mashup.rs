@@ -60,7 +60,10 @@ fn main() {
             format!("{:.2}", t_combined.as_secs_f64() * 1000.0),
         ]);
         assert!(result.city.is_some(), "city arm must resolve");
-        assert!(!result.attractions.is_empty(), "the Mole itself is an attraction");
+        assert!(
+            !result.attractions.is_empty(),
+            "the Mole itself is an attraction"
+        );
         assert!(combined.len() <= 20, "4 arms × LIMIT 5");
     }
 

@@ -22,16 +22,40 @@ struct Case {
 }
 
 const CASES: &[Case] = &[
-    Case { name: "Mole Antonelliana", poi_key: "Mole_Antonelliana", keyword: "mole" },
-    Case { name: "Colosseum", poi_key: "Colosseum", keyword: "colosseum" },
-    Case { name: "Louvre", poi_key: "Louvre", keyword: "louvre" },
-    Case { name: "Rialto Bridge", poi_key: "Rialto_Bridge", keyword: "rialto" },
+    Case {
+        name: "Mole Antonelliana",
+        poi_key: "Mole_Antonelliana",
+        keyword: "mole",
+    },
+    Case {
+        name: "Colosseum",
+        poi_key: "Colosseum",
+        keyword: "colosseum",
+    },
+    Case {
+        name: "Louvre",
+        poi_key: "Louvre",
+        keyword: "louvre",
+    },
+    Case {
+        name: "Rialto Bridge",
+        poi_key: "Rialto_Bridge",
+        keyword: "rialto",
+    },
 ];
 
 fn pr(hits: &BTreeSet<i64>, relevant: &BTreeSet<i64>) -> (f64, f64, f64) {
     let tp = hits.intersection(relevant).count() as f64;
-    let precision = if hits.is_empty() { 1.0 } else { tp / hits.len() as f64 };
-    let recall = if relevant.is_empty() { 1.0 } else { tp / relevant.len() as f64 };
+    let precision = if hits.is_empty() {
+        1.0
+    } else {
+        tp / hits.len() as f64
+    };
+    let recall = if relevant.is_empty() {
+        1.0
+    } else {
+        tp / relevant.len() as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {

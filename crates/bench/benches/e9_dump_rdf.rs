@@ -34,8 +34,7 @@ fn main() {
             users: (pictures / 10).clamp(10, 100),
             ..WorkloadConfig::default()
         });
-        let ((triples, stats), elapsed) =
-            time_once(|| dump_rdf(&workload.db, &mapping).unwrap());
+        let ((triples, stats), elapsed) = time_once(|| dump_rdf(&workload.db, &mapping).unwrap());
         let secs = elapsed.as_secs_f64();
         row(&[
             pictures.to_string(),
@@ -52,7 +51,12 @@ fn main() {
 
     let stats = census_source.expect("census at 1000 pictures");
     println!("\ntriples per table (1000 pictures):");
-    row(&["table".into(), "rows".into(), "triples".into(), "triples/row".into()]);
+    row(&[
+        "table".into(),
+        "rows".into(),
+        "triples".into(),
+        "triples/row".into(),
+    ]);
     for (table, rows, triples) in &stats.per_table {
         row(&[
             table.clone(),

@@ -10,9 +10,9 @@ use std::time::Duration;
 
 mod timing;
 
-pub use timing::{black_box, Bencher, Criterion};
 use lodify_core::platform::Platform;
 use lodify_relational::WorkloadConfig;
+pub use timing::{black_box, Bencher, Criterion};
 
 /// Criterion tuned for a 12-experiment suite: small samples, short
 /// measurement windows, no plots.
@@ -52,6 +52,13 @@ pub fn row(cells: &[String]) {
 /// Convenience: format a float to 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// True when `LODIFY_BENCH_SMOKE` is set: benches shrink their
+/// workloads and skip Criterion timings so CI can exercise a target
+/// end to end in seconds.
+pub fn smoke() -> bool {
+    std::env::var_os("LODIFY_BENCH_SMOKE").is_some()
 }
 
 /// Measures wall time of a closure once (for coarse throughput rows

@@ -60,16 +60,15 @@ impl Criterion {
     }
 
     /// Benchmarks `f`, printing `name  time: [min median max]`.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         // Warm-up: run the body repeatedly until the window elapses,
         // and let the observed cost size the per-sample iteration count.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         while warm_start.elapsed() < self.warm_up {
             f(&mut bencher);
             warm_iters += bencher.iters;

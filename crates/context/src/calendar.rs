@@ -42,11 +42,14 @@ impl Calendars {
         if end <= start {
             return Err(format!("empty calendar interval [{start}, {end})"));
         }
-        self.by_user.entry(user_id).or_default().push(CalendarEntry {
-            title: title.to_string(),
-            start,
-            end,
-        });
+        self.by_user
+            .entry(user_id)
+            .or_default()
+            .push(CalendarEntry {
+                title: title.to_string(),
+                start,
+                end,
+            });
         Ok(())
     }
 

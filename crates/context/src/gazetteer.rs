@@ -80,7 +80,10 @@ impl PoiCategory {
     /// DBpedia linking ("commercial categories such as restaurants,
     /// hotels, etc are excluded", §2.2.1).
     pub fn is_commercial(self) -> bool {
-        matches!(self, PoiCategory::Restaurant | PoiCategory::Hotel | PoiCategory::Cafe)
+        matches!(
+            self,
+            PoiCategory::Restaurant | PoiCategory::Hotel | PoiCategory::Cafe
+        )
     }
 
     /// Human-readable label.
@@ -209,7 +212,10 @@ impl Gazetteer {
 
     /// POIs in a city.
     pub fn pois_in(&self, city_key: &str) -> Vec<&Poi> {
-        self.pois.iter().filter(|p| p.city_key == city_key).collect()
+        self.pois
+            .iter()
+            .filter(|p| p.city_key == city_key)
+            .collect()
     }
 
     /// POIs within `radius_km` of `point`, nearest first.
@@ -283,114 +289,750 @@ const STREET_NAMES: &[&str] = &[
 ];
 
 const CITIES: &[City] = &[
-    City { key: "Turin", labels: &[("en", "Turin"), ("it", "Torino"), ("fr", "Turin"), ("es", "Turín"), ("de", "Turin")], country: "Italy", lon: 7.6869, lat: 45.0703, population: 870_000 },
-    City { key: "Milan", labels: &[("en", "Milan"), ("it", "Milano"), ("fr", "Milan"), ("es", "Milán"), ("de", "Mailand")], country: "Italy", lon: 9.1900, lat: 45.4642, population: 1_350_000 },
-    City { key: "Rome", labels: &[("en", "Rome"), ("it", "Roma"), ("fr", "Rome"), ("es", "Roma"), ("de", "Rom")], country: "Italy", lon: 12.4964, lat: 41.9028, population: 2_870_000 },
-    City { key: "Florence", labels: &[("en", "Florence"), ("it", "Firenze"), ("fr", "Florence"), ("es", "Florencia"), ("de", "Florenz")], country: "Italy", lon: 11.2558, lat: 43.7696, population: 380_000 },
-    City { key: "Venice", labels: &[("en", "Venice"), ("it", "Venezia"), ("fr", "Venise"), ("es", "Venecia"), ("de", "Venedig")], country: "Italy", lon: 12.3155, lat: 45.4408, population: 260_000 },
-    City { key: "Naples", labels: &[("en", "Naples"), ("it", "Napoli"), ("fr", "Naples"), ("es", "Nápoles"), ("de", "Neapel")], country: "Italy", lon: 14.2681, lat: 40.8518, population: 960_000 },
-    City { key: "Bologna", labels: &[("en", "Bologna"), ("it", "Bologna")], country: "Italy", lon: 11.3426, lat: 44.4949, population: 390_000 },
-    City { key: "Genoa", labels: &[("en", "Genoa"), ("it", "Genova"), ("fr", "Gênes"), ("es", "Génova"), ("de", "Genua")], country: "Italy", lon: 8.9463, lat: 44.4056, population: 580_000 },
-    City { key: "Palermo", labels: &[("en", "Palermo"), ("it", "Palermo")], country: "Italy", lon: 13.3615, lat: 38.1157, population: 670_000 },
-    City { key: "Verona", labels: &[("en", "Verona"), ("it", "Verona")], country: "Italy", lon: 10.9916, lat: 45.4384, population: 260_000 },
-    City { key: "Paris", labels: &[("en", "Paris"), ("it", "Parigi"), ("fr", "Paris"), ("es", "París"), ("de", "Paris")], country: "France", lon: 2.3522, lat: 48.8566, population: 2_160_000 },
-    City { key: "Lyon", labels: &[("en", "Lyon"), ("it", "Lione"), ("fr", "Lyon")], country: "France", lon: 4.8357, lat: 45.7640, population: 520_000 },
-    City { key: "Marseille", labels: &[("en", "Marseille"), ("it", "Marsiglia"), ("fr", "Marseille")], country: "France", lon: 5.3698, lat: 43.2965, population: 870_000 },
-    City { key: "London", labels: &[("en", "London"), ("it", "Londra"), ("fr", "Londres"), ("es", "Londres"), ("de", "London")], country: "United Kingdom", lon: -0.1276, lat: 51.5072, population: 8_980_000 },
-    City { key: "Manchester", labels: &[("en", "Manchester")], country: "United Kingdom", lon: -2.2426, lat: 53.4808, population: 550_000 },
-    City { key: "Madrid", labels: &[("en", "Madrid"), ("it", "Madrid"), ("es", "Madrid")], country: "Spain", lon: -3.7038, lat: 40.4168, population: 3_220_000 },
-    City { key: "Barcelona", labels: &[("en", "Barcelona"), ("it", "Barcellona"), ("es", "Barcelona")], country: "Spain", lon: 2.1734, lat: 41.3851, population: 1_620_000 },
-    City { key: "Seville", labels: &[("en", "Seville"), ("it", "Siviglia"), ("es", "Sevilla")], country: "Spain", lon: -5.9845, lat: 37.3891, population: 690_000 },
-    City { key: "Berlin", labels: &[("en", "Berlin"), ("it", "Berlino"), ("de", "Berlin")], country: "Germany", lon: 13.4050, lat: 52.5200, population: 3_640_000 },
-    City { key: "Munich", labels: &[("en", "Munich"), ("it", "Monaco di Baviera"), ("de", "München")], country: "Germany", lon: 11.5820, lat: 48.1351, population: 1_470_000 },
-    City { key: "Hamburg", labels: &[("en", "Hamburg"), ("it", "Amburgo"), ("de", "Hamburg")], country: "Germany", lon: 9.9937, lat: 53.5511, population: 1_840_000 },
-    City { key: "Vienna", labels: &[("en", "Vienna"), ("it", "Vienna"), ("de", "Wien")], country: "Austria", lon: 16.3738, lat: 48.2082, population: 1_900_000 },
-    City { key: "Zurich", labels: &[("en", "Zurich"), ("it", "Zurigo"), ("de", "Zürich")], country: "Switzerland", lon: 8.5417, lat: 47.3769, population: 420_000 },
-    City { key: "Amsterdam", labels: &[("en", "Amsterdam"), ("it", "Amsterdam")], country: "Netherlands", lon: 4.9041, lat: 52.3676, population: 870_000 },
-    City { key: "Brussels", labels: &[("en", "Brussels"), ("it", "Bruxelles"), ("fr", "Bruxelles")], country: "Belgium", lon: 4.3517, lat: 50.8503, population: 1_210_000 },
+    City {
+        key: "Turin",
+        labels: &[
+            ("en", "Turin"),
+            ("it", "Torino"),
+            ("fr", "Turin"),
+            ("es", "Turín"),
+            ("de", "Turin"),
+        ],
+        country: "Italy",
+        lon: 7.6869,
+        lat: 45.0703,
+        population: 870_000,
+    },
+    City {
+        key: "Milan",
+        labels: &[
+            ("en", "Milan"),
+            ("it", "Milano"),
+            ("fr", "Milan"),
+            ("es", "Milán"),
+            ("de", "Mailand"),
+        ],
+        country: "Italy",
+        lon: 9.1900,
+        lat: 45.4642,
+        population: 1_350_000,
+    },
+    City {
+        key: "Rome",
+        labels: &[
+            ("en", "Rome"),
+            ("it", "Roma"),
+            ("fr", "Rome"),
+            ("es", "Roma"),
+            ("de", "Rom"),
+        ],
+        country: "Italy",
+        lon: 12.4964,
+        lat: 41.9028,
+        population: 2_870_000,
+    },
+    City {
+        key: "Florence",
+        labels: &[
+            ("en", "Florence"),
+            ("it", "Firenze"),
+            ("fr", "Florence"),
+            ("es", "Florencia"),
+            ("de", "Florenz"),
+        ],
+        country: "Italy",
+        lon: 11.2558,
+        lat: 43.7696,
+        population: 380_000,
+    },
+    City {
+        key: "Venice",
+        labels: &[
+            ("en", "Venice"),
+            ("it", "Venezia"),
+            ("fr", "Venise"),
+            ("es", "Venecia"),
+            ("de", "Venedig"),
+        ],
+        country: "Italy",
+        lon: 12.3155,
+        lat: 45.4408,
+        population: 260_000,
+    },
+    City {
+        key: "Naples",
+        labels: &[
+            ("en", "Naples"),
+            ("it", "Napoli"),
+            ("fr", "Naples"),
+            ("es", "Nápoles"),
+            ("de", "Neapel"),
+        ],
+        country: "Italy",
+        lon: 14.2681,
+        lat: 40.8518,
+        population: 960_000,
+    },
+    City {
+        key: "Bologna",
+        labels: &[("en", "Bologna"), ("it", "Bologna")],
+        country: "Italy",
+        lon: 11.3426,
+        lat: 44.4949,
+        population: 390_000,
+    },
+    City {
+        key: "Genoa",
+        labels: &[
+            ("en", "Genoa"),
+            ("it", "Genova"),
+            ("fr", "Gênes"),
+            ("es", "Génova"),
+            ("de", "Genua"),
+        ],
+        country: "Italy",
+        lon: 8.9463,
+        lat: 44.4056,
+        population: 580_000,
+    },
+    City {
+        key: "Palermo",
+        labels: &[("en", "Palermo"), ("it", "Palermo")],
+        country: "Italy",
+        lon: 13.3615,
+        lat: 38.1157,
+        population: 670_000,
+    },
+    City {
+        key: "Verona",
+        labels: &[("en", "Verona"), ("it", "Verona")],
+        country: "Italy",
+        lon: 10.9916,
+        lat: 45.4384,
+        population: 260_000,
+    },
+    City {
+        key: "Paris",
+        labels: &[
+            ("en", "Paris"),
+            ("it", "Parigi"),
+            ("fr", "Paris"),
+            ("es", "París"),
+            ("de", "Paris"),
+        ],
+        country: "France",
+        lon: 2.3522,
+        lat: 48.8566,
+        population: 2_160_000,
+    },
+    City {
+        key: "Lyon",
+        labels: &[("en", "Lyon"), ("it", "Lione"), ("fr", "Lyon")],
+        country: "France",
+        lon: 4.8357,
+        lat: 45.7640,
+        population: 520_000,
+    },
+    City {
+        key: "Marseille",
+        labels: &[
+            ("en", "Marseille"),
+            ("it", "Marsiglia"),
+            ("fr", "Marseille"),
+        ],
+        country: "France",
+        lon: 5.3698,
+        lat: 43.2965,
+        population: 870_000,
+    },
+    City {
+        key: "London",
+        labels: &[
+            ("en", "London"),
+            ("it", "Londra"),
+            ("fr", "Londres"),
+            ("es", "Londres"),
+            ("de", "London"),
+        ],
+        country: "United Kingdom",
+        lon: -0.1276,
+        lat: 51.5072,
+        population: 8_980_000,
+    },
+    City {
+        key: "Manchester",
+        labels: &[("en", "Manchester")],
+        country: "United Kingdom",
+        lon: -2.2426,
+        lat: 53.4808,
+        population: 550_000,
+    },
+    City {
+        key: "Madrid",
+        labels: &[("en", "Madrid"), ("it", "Madrid"), ("es", "Madrid")],
+        country: "Spain",
+        lon: -3.7038,
+        lat: 40.4168,
+        population: 3_220_000,
+    },
+    City {
+        key: "Barcelona",
+        labels: &[
+            ("en", "Barcelona"),
+            ("it", "Barcellona"),
+            ("es", "Barcelona"),
+        ],
+        country: "Spain",
+        lon: 2.1734,
+        lat: 41.3851,
+        population: 1_620_000,
+    },
+    City {
+        key: "Seville",
+        labels: &[("en", "Seville"), ("it", "Siviglia"), ("es", "Sevilla")],
+        country: "Spain",
+        lon: -5.9845,
+        lat: 37.3891,
+        population: 690_000,
+    },
+    City {
+        key: "Berlin",
+        labels: &[("en", "Berlin"), ("it", "Berlino"), ("de", "Berlin")],
+        country: "Germany",
+        lon: 13.4050,
+        lat: 52.5200,
+        population: 3_640_000,
+    },
+    City {
+        key: "Munich",
+        labels: &[
+            ("en", "Munich"),
+            ("it", "Monaco di Baviera"),
+            ("de", "München"),
+        ],
+        country: "Germany",
+        lon: 11.5820,
+        lat: 48.1351,
+        population: 1_470_000,
+    },
+    City {
+        key: "Hamburg",
+        labels: &[("en", "Hamburg"), ("it", "Amburgo"), ("de", "Hamburg")],
+        country: "Germany",
+        lon: 9.9937,
+        lat: 53.5511,
+        population: 1_840_000,
+    },
+    City {
+        key: "Vienna",
+        labels: &[("en", "Vienna"), ("it", "Vienna"), ("de", "Wien")],
+        country: "Austria",
+        lon: 16.3738,
+        lat: 48.2082,
+        population: 1_900_000,
+    },
+    City {
+        key: "Zurich",
+        labels: &[("en", "Zurich"), ("it", "Zurigo"), ("de", "Zürich")],
+        country: "Switzerland",
+        lon: 8.5417,
+        lat: 47.3769,
+        population: 420_000,
+    },
+    City {
+        key: "Amsterdam",
+        labels: &[("en", "Amsterdam"), ("it", "Amsterdam")],
+        country: "Netherlands",
+        lon: 4.9041,
+        lat: 52.3676,
+        population: 870_000,
+    },
+    City {
+        key: "Brussels",
+        labels: &[("en", "Brussels"), ("it", "Bruxelles"), ("fr", "Bruxelles")],
+        country: "Belgium",
+        lon: 4.3517,
+        lat: 50.8503,
+        population: 1_210_000,
+    },
 ];
 
 const POIS: &[Poi] = &[
     // Torino
-    Poi { key: "Mole_Antonelliana", name: "Mole Antonelliana", alt_names: &["Mole", "la Mole"], city_key: "Turin", category: PoiCategory::Monument, dx_km: 0.5, dy_km: -0.1 },
-    Poi { key: "Palazzo_Madama", name: "Palazzo Madama", alt_names: &[], city_key: "Turin", category: PoiCategory::Monument, dx_km: 0.0, dy_km: 0.1 },
-    Poi { key: "Museo_Egizio", name: "Museo Egizio", alt_names: &["Egyptian Museum"], city_key: "Turin", category: PoiCategory::Museum, dx_km: -0.1, dy_km: -0.1 },
-    Poi { key: "Piazza_Castello", name: "Piazza Castello", alt_names: &[], city_key: "Turin", category: PoiCategory::Square, dx_km: 0.05, dy_km: 0.12 },
-    Poi { key: "Parco_del_Valentino", name: "Parco del Valentino", alt_names: &["Valentino Park"], city_key: "Turin", category: PoiCategory::Park, dx_km: 0.6, dy_km: -1.4 },
-    Poi { key: "Basilica_di_Superga", name: "Basilica di Superga", alt_names: &["Superga"], city_key: "Turin", category: PoiCategory::Church, dx_km: 5.0, dy_km: 0.8 },
+    Poi {
+        key: "Mole_Antonelliana",
+        name: "Mole Antonelliana",
+        alt_names: &["Mole", "la Mole"],
+        city_key: "Turin",
+        category: PoiCategory::Monument,
+        dx_km: 0.5,
+        dy_km: -0.1,
+    },
+    Poi {
+        key: "Palazzo_Madama",
+        name: "Palazzo Madama",
+        alt_names: &[],
+        city_key: "Turin",
+        category: PoiCategory::Monument,
+        dx_km: 0.0,
+        dy_km: 0.1,
+    },
+    Poi {
+        key: "Museo_Egizio",
+        name: "Museo Egizio",
+        alt_names: &["Egyptian Museum"],
+        city_key: "Turin",
+        category: PoiCategory::Museum,
+        dx_km: -0.1,
+        dy_km: -0.1,
+    },
+    Poi {
+        key: "Piazza_Castello",
+        name: "Piazza Castello",
+        alt_names: &[],
+        city_key: "Turin",
+        category: PoiCategory::Square,
+        dx_km: 0.05,
+        dy_km: 0.12,
+    },
+    Poi {
+        key: "Parco_del_Valentino",
+        name: "Parco del Valentino",
+        alt_names: &["Valentino Park"],
+        city_key: "Turin",
+        category: PoiCategory::Park,
+        dx_km: 0.6,
+        dy_km: -1.4,
+    },
+    Poi {
+        key: "Basilica_di_Superga",
+        name: "Basilica di Superga",
+        alt_names: &["Superga"],
+        city_key: "Turin",
+        category: PoiCategory::Church,
+        dx_km: 5.0,
+        dy_km: 0.8,
+    },
     // Roma
-    Poi { key: "Colosseum", name: "Colosseum", alt_names: &["Coliseum", "The Roman Colosseum", "Colosseo"], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.8, dy_km: -0.5 },
-    Poi { key: "Pantheon_Rome", name: "Pantheon", alt_names: &[], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.1, dy_km: 0.1 },
-    Poi { key: "Trevi_Fountain", name: "Trevi Fountain", alt_names: &["Fontana di Trevi"], city_key: "Rome", category: PoiCategory::Monument, dx_km: 0.4, dy_km: 0.2 },
-    Poi { key: "St_Peters_Basilica", name: "St. Peter's Basilica", alt_names: &["Basilica di San Pietro"], city_key: "Rome", category: PoiCategory::Church, dx_km: -2.3, dy_km: 0.4 },
-    Poi { key: "Roman_Forum", name: "Roman Forum", alt_names: &["Foro Romano"], city_key: "Rome", category: PoiCategory::Tourism, dx_km: 0.6, dy_km: -0.4 },
+    Poi {
+        key: "Colosseum",
+        name: "Colosseum",
+        alt_names: &["Coliseum", "The Roman Colosseum", "Colosseo"],
+        city_key: "Rome",
+        category: PoiCategory::Monument,
+        dx_km: 0.8,
+        dy_km: -0.5,
+    },
+    Poi {
+        key: "Pantheon_Rome",
+        name: "Pantheon",
+        alt_names: &[],
+        city_key: "Rome",
+        category: PoiCategory::Monument,
+        dx_km: 0.1,
+        dy_km: 0.1,
+    },
+    Poi {
+        key: "Trevi_Fountain",
+        name: "Trevi Fountain",
+        alt_names: &["Fontana di Trevi"],
+        city_key: "Rome",
+        category: PoiCategory::Monument,
+        dx_km: 0.4,
+        dy_km: 0.2,
+    },
+    Poi {
+        key: "St_Peters_Basilica",
+        name: "St. Peter's Basilica",
+        alt_names: &["Basilica di San Pietro"],
+        city_key: "Rome",
+        category: PoiCategory::Church,
+        dx_km: -2.3,
+        dy_km: 0.4,
+    },
+    Poi {
+        key: "Roman_Forum",
+        name: "Roman Forum",
+        alt_names: &["Foro Romano"],
+        city_key: "Rome",
+        category: PoiCategory::Tourism,
+        dx_km: 0.6,
+        dy_km: -0.4,
+    },
     // Milano
-    Poi { key: "Duomo_di_Milano", name: "Duomo di Milano", alt_names: &["Milan Cathedral", "Duomo"], city_key: "Milan", category: PoiCategory::Church, dx_km: 0.0, dy_km: 0.0 },
-    Poi { key: "Sforza_Castle", name: "Sforza Castle", alt_names: &["Castello Sforzesco"], city_key: "Milan", category: PoiCategory::Monument, dx_km: -0.9, dy_km: 0.6 },
-    Poi { key: "Galleria_Vittorio_Emanuele_II", name: "Galleria Vittorio Emanuele II", alt_names: &["Galleria"], city_key: "Milan", category: PoiCategory::Tourism, dx_km: 0.1, dy_km: 0.1 },
+    Poi {
+        key: "Duomo_di_Milano",
+        name: "Duomo di Milano",
+        alt_names: &["Milan Cathedral", "Duomo"],
+        city_key: "Milan",
+        category: PoiCategory::Church,
+        dx_km: 0.0,
+        dy_km: 0.0,
+    },
+    Poi {
+        key: "Sforza_Castle",
+        name: "Sforza Castle",
+        alt_names: &["Castello Sforzesco"],
+        city_key: "Milan",
+        category: PoiCategory::Monument,
+        dx_km: -0.9,
+        dy_km: 0.6,
+    },
+    Poi {
+        key: "Galleria_Vittorio_Emanuele_II",
+        name: "Galleria Vittorio Emanuele II",
+        alt_names: &["Galleria"],
+        city_key: "Milan",
+        category: PoiCategory::Tourism,
+        dx_km: 0.1,
+        dy_km: 0.1,
+    },
     // Firenze
-    Poi { key: "Uffizi_Gallery", name: "Uffizi Gallery", alt_names: &["Uffizi", "Galleria degli Uffizi"], city_key: "Florence", category: PoiCategory::Museum, dx_km: 0.1, dy_km: -0.2 },
-    Poi { key: "Ponte_Vecchio", name: "Ponte Vecchio", alt_names: &[], city_key: "Florence", category: PoiCategory::Monument, dx_km: -0.1, dy_km: -0.3 },
-    Poi { key: "Florence_Cathedral", name: "Florence Cathedral", alt_names: &["Duomo di Firenze", "Santa Maria del Fiore"], city_key: "Florence", category: PoiCategory::Church, dx_km: 0.1, dy_km: 0.2 },
+    Poi {
+        key: "Uffizi_Gallery",
+        name: "Uffizi Gallery",
+        alt_names: &["Uffizi", "Galleria degli Uffizi"],
+        city_key: "Florence",
+        category: PoiCategory::Museum,
+        dx_km: 0.1,
+        dy_km: -0.2,
+    },
+    Poi {
+        key: "Ponte_Vecchio",
+        name: "Ponte Vecchio",
+        alt_names: &[],
+        city_key: "Florence",
+        category: PoiCategory::Monument,
+        dx_km: -0.1,
+        dy_km: -0.3,
+    },
+    Poi {
+        key: "Florence_Cathedral",
+        name: "Florence Cathedral",
+        alt_names: &["Duomo di Firenze", "Santa Maria del Fiore"],
+        city_key: "Florence",
+        category: PoiCategory::Church,
+        dx_km: 0.1,
+        dy_km: 0.2,
+    },
     // Venezia
-    Poi { key: "St_Marks_Basilica", name: "St Mark's Basilica", alt_names: &["Basilica di San Marco"], city_key: "Venice", category: PoiCategory::Church, dx_km: 0.2, dy_km: -0.1 },
-    Poi { key: "Rialto_Bridge", name: "Rialto Bridge", alt_names: &["Ponte di Rialto"], city_key: "Venice", category: PoiCategory::Monument, dx_km: 0.0, dy_km: 0.1 },
-    Poi { key: "Doges_Palace", name: "Doge's Palace", alt_names: &["Palazzo Ducale"], city_key: "Venice", category: PoiCategory::Monument, dx_km: 0.25, dy_km: -0.15 },
+    Poi {
+        key: "St_Marks_Basilica",
+        name: "St Mark's Basilica",
+        alt_names: &["Basilica di San Marco"],
+        city_key: "Venice",
+        category: PoiCategory::Church,
+        dx_km: 0.2,
+        dy_km: -0.1,
+    },
+    Poi {
+        key: "Rialto_Bridge",
+        name: "Rialto Bridge",
+        alt_names: &["Ponte di Rialto"],
+        city_key: "Venice",
+        category: PoiCategory::Monument,
+        dx_km: 0.0,
+        dy_km: 0.1,
+    },
+    Poi {
+        key: "Doges_Palace",
+        name: "Doge's Palace",
+        alt_names: &["Palazzo Ducale"],
+        city_key: "Venice",
+        category: PoiCategory::Monument,
+        dx_km: 0.25,
+        dy_km: -0.15,
+    },
     // Paris
-    Poi { key: "Eiffel_Tower", name: "Eiffel Tower", alt_names: &["Tour Eiffel"], city_key: "Paris", category: PoiCategory::Monument, dx_km: -3.0, dy_km: -0.5 },
-    Poi { key: "Louvre", name: "Louvre", alt_names: &["Louvre Museum", "Musée du Louvre"], city_key: "Paris", category: PoiCategory::Museum, dx_km: -0.3, dy_km: 0.3 },
-    Poi { key: "Notre_Dame_de_Paris", name: "Notre-Dame de Paris", alt_names: &["Notre Dame"], city_key: "Paris", category: PoiCategory::Church, dx_km: 0.1, dy_km: -0.3 },
+    Poi {
+        key: "Eiffel_Tower",
+        name: "Eiffel Tower",
+        alt_names: &["Tour Eiffel"],
+        city_key: "Paris",
+        category: PoiCategory::Monument,
+        dx_km: -3.0,
+        dy_km: -0.5,
+    },
+    Poi {
+        key: "Louvre",
+        name: "Louvre",
+        alt_names: &["Louvre Museum", "Musée du Louvre"],
+        city_key: "Paris",
+        category: PoiCategory::Museum,
+        dx_km: -0.3,
+        dy_km: 0.3,
+    },
+    Poi {
+        key: "Notre_Dame_de_Paris",
+        name: "Notre-Dame de Paris",
+        alt_names: &["Notre Dame"],
+        city_key: "Paris",
+        category: PoiCategory::Church,
+        dx_km: 0.1,
+        dy_km: -0.3,
+    },
     // London
-    Poi { key: "Big_Ben", name: "Big Ben", alt_names: &[], city_key: "London", category: PoiCategory::Monument, dx_km: -0.2, dy_km: -0.6 },
-    Poi { key: "Tower_Bridge", name: "Tower Bridge", alt_names: &[], city_key: "London", category: PoiCategory::Monument, dx_km: 3.0, dy_km: -0.4 },
-    Poi { key: "British_Museum", name: "British Museum", alt_names: &[], city_key: "London", category: PoiCategory::Museum, dx_km: 0.2, dy_km: 1.0 },
+    Poi {
+        key: "Big_Ben",
+        name: "Big Ben",
+        alt_names: &[],
+        city_key: "London",
+        category: PoiCategory::Monument,
+        dx_km: -0.2,
+        dy_km: -0.6,
+    },
+    Poi {
+        key: "Tower_Bridge",
+        name: "Tower Bridge",
+        alt_names: &[],
+        city_key: "London",
+        category: PoiCategory::Monument,
+        dx_km: 3.0,
+        dy_km: -0.4,
+    },
+    Poi {
+        key: "British_Museum",
+        name: "British Museum",
+        alt_names: &[],
+        city_key: "London",
+        category: PoiCategory::Museum,
+        dx_km: 0.2,
+        dy_km: 1.0,
+    },
     // Madrid / Barcelona
-    Poi { key: "Prado_Museum", name: "Prado Museum", alt_names: &["Museo del Prado"], city_key: "Madrid", category: PoiCategory::Museum, dx_km: 0.9, dy_km: -0.3 },
-    Poi { key: "Royal_Palace_of_Madrid", name: "Royal Palace of Madrid", alt_names: &["Palacio Real"], city_key: "Madrid", category: PoiCategory::Monument, dx_km: -0.8, dy_km: 0.1 },
-    Poi { key: "Sagrada_Familia", name: "Sagrada Família", alt_names: &["Sagrada Familia"], city_key: "Barcelona", category: PoiCategory::Church, dx_km: 1.0, dy_km: 1.2 },
-    Poi { key: "Park_Guell", name: "Park Güell", alt_names: &["Parc Güell"], city_key: "Barcelona", category: PoiCategory::Park, dx_km: 0.3, dy_km: 2.7 },
+    Poi {
+        key: "Prado_Museum",
+        name: "Prado Museum",
+        alt_names: &["Museo del Prado"],
+        city_key: "Madrid",
+        category: PoiCategory::Museum,
+        dx_km: 0.9,
+        dy_km: -0.3,
+    },
+    Poi {
+        key: "Royal_Palace_of_Madrid",
+        name: "Royal Palace of Madrid",
+        alt_names: &["Palacio Real"],
+        city_key: "Madrid",
+        category: PoiCategory::Monument,
+        dx_km: -0.8,
+        dy_km: 0.1,
+    },
+    Poi {
+        key: "Sagrada_Familia",
+        name: "Sagrada Família",
+        alt_names: &["Sagrada Familia"],
+        city_key: "Barcelona",
+        category: PoiCategory::Church,
+        dx_km: 1.0,
+        dy_km: 1.2,
+    },
+    Poi {
+        key: "Park_Guell",
+        name: "Park Güell",
+        alt_names: &["Parc Güell"],
+        city_key: "Barcelona",
+        category: PoiCategory::Park,
+        dx_km: 0.3,
+        dy_km: 2.7,
+    },
     // Berlin / Vienna / Amsterdam
-    Poi { key: "Brandenburg_Gate", name: "Brandenburg Gate", alt_names: &["Brandenburger Tor"], city_key: "Berlin", category: PoiCategory::Monument, dx_km: -0.9, dy_km: -0.3 },
-    Poi { key: "Reichstag", name: "Reichstag", alt_names: &[], city_key: "Berlin", category: PoiCategory::Monument, dx_km: -0.8, dy_km: 0.1 },
-    Poi { key: "Schonbrunn_Palace", name: "Schönbrunn Palace", alt_names: &["Schloss Schönbrunn"], city_key: "Vienna", category: PoiCategory::Monument, dx_km: -4.3, dy_km: -2.0 },
-    Poi { key: "Rijksmuseum", name: "Rijksmuseum", alt_names: &[], city_key: "Amsterdam", category: PoiCategory::Museum, dx_km: -0.5, dy_km: -1.2 },
+    Poi {
+        key: "Brandenburg_Gate",
+        name: "Brandenburg Gate",
+        alt_names: &["Brandenburger Tor"],
+        city_key: "Berlin",
+        category: PoiCategory::Monument,
+        dx_km: -0.9,
+        dy_km: -0.3,
+    },
+    Poi {
+        key: "Reichstag",
+        name: "Reichstag",
+        alt_names: &[],
+        city_key: "Berlin",
+        category: PoiCategory::Monument,
+        dx_km: -0.8,
+        dy_km: 0.1,
+    },
+    Poi {
+        key: "Schonbrunn_Palace",
+        name: "Schönbrunn Palace",
+        alt_names: &["Schloss Schönbrunn"],
+        city_key: "Vienna",
+        category: PoiCategory::Monument,
+        dx_km: -4.3,
+        dy_km: -2.0,
+    },
+    Poi {
+        key: "Rijksmuseum",
+        name: "Rijksmuseum",
+        alt_names: &[],
+        city_key: "Amsterdam",
+        category: PoiCategory::Museum,
+        dx_km: -0.5,
+        dy_km: -1.2,
+    },
     // Commercial POIs, several deliberately homonymous with monuments:
     // they exercise the ambiguity handling of the semantic filter and
     // the commercial-category exclusion rule.
-    Poi { key: "Ristorante_Del_Cambio", name: "Del Cambio", alt_names: &["Ristorante Del Cambio"], city_key: "Turin", category: PoiCategory::Restaurant, dx_km: 0.02, dy_km: 0.05 },
-    Poi { key: "Caffe_Mole", name: "Caffè Mole", alt_names: &["Mole Cafe"], city_key: "Turin", category: PoiCategory::Cafe, dx_km: 0.45, dy_km: -0.12 },
-    Poi { key: "Trattoria_Colosseum", name: "Trattoria Colosseum", alt_names: &["Colosseum"], city_key: "Rome", category: PoiCategory::Restaurant, dx_km: 0.9, dy_km: -0.45 },
-    Poi { key: "Hotel_Torino", name: "Hotel Torino", alt_names: &[], city_key: "Turin", category: PoiCategory::Hotel, dx_km: -0.3, dy_km: -0.5 },
-    Poi { key: "Pizzeria_Rialto", name: "Pizzeria Rialto", alt_names: &["Rialto"], city_key: "Venice", category: PoiCategory::Restaurant, dx_km: 0.05, dy_km: 0.12 },
-    Poi { key: "Brasserie_Louvre", name: "Brasserie du Louvre", alt_names: &["Louvre"], city_key: "Paris", category: PoiCategory::Restaurant, dx_km: -0.25, dy_km: 0.35 },
+    Poi {
+        key: "Ristorante_Del_Cambio",
+        name: "Del Cambio",
+        alt_names: &["Ristorante Del Cambio"],
+        city_key: "Turin",
+        category: PoiCategory::Restaurant,
+        dx_km: 0.02,
+        dy_km: 0.05,
+    },
+    Poi {
+        key: "Caffe_Mole",
+        name: "Caffè Mole",
+        alt_names: &["Mole Cafe"],
+        city_key: "Turin",
+        category: PoiCategory::Cafe,
+        dx_km: 0.45,
+        dy_km: -0.12,
+    },
+    Poi {
+        key: "Trattoria_Colosseum",
+        name: "Trattoria Colosseum",
+        alt_names: &["Colosseum"],
+        city_key: "Rome",
+        category: PoiCategory::Restaurant,
+        dx_km: 0.9,
+        dy_km: -0.45,
+    },
+    Poi {
+        key: "Hotel_Torino",
+        name: "Hotel Torino",
+        alt_names: &[],
+        city_key: "Turin",
+        category: PoiCategory::Hotel,
+        dx_km: -0.3,
+        dy_km: -0.5,
+    },
+    Poi {
+        key: "Pizzeria_Rialto",
+        name: "Pizzeria Rialto",
+        alt_names: &["Rialto"],
+        city_key: "Venice",
+        category: PoiCategory::Restaurant,
+        dx_km: 0.05,
+        dy_km: 0.12,
+    },
+    Poi {
+        key: "Brasserie_Louvre",
+        name: "Brasserie du Louvre",
+        alt_names: &["Louvre"],
+        city_key: "Paris",
+        category: PoiCategory::Restaurant,
+        dx_km: -0.25,
+        dy_km: 0.35,
+    },
 ];
 
 const PEOPLE: &[Person] = &[
-    Person { name: "Leonardo da Vinci", field: "painter" },
-    Person { name: "Galileo Galilei", field: "scientist" },
-    Person { name: "Dante Alighieri", field: "poet" },
-    Person { name: "Giuseppe Garibaldi", field: "general" },
-    Person { name: "Camillo Cavour", field: "statesman" },
-    Person { name: "Alessandro Volta", field: "physicist" },
-    Person { name: "Guglielmo Marconi", field: "inventor" },
-    Person { name: "Enzo Ferrari", field: "entrepreneur" },
-    Person { name: "Sophia Loren", field: "actress" },
-    Person { name: "Federico Fellini", field: "director" },
-    Person { name: "Luciano Pavarotti", field: "tenor" },
-    Person { name: "Umberto Eco", field: "writer" },
-    Person { name: "Primo Levi", field: "writer" },
-    Person { name: "Italo Calvino", field: "writer" },
-    Person { name: "Rita Levi-Montalcini", field: "neurologist" },
-    Person { name: "Napoleon Bonaparte", field: "emperor" },
-    Person { name: "Victor Hugo", field: "writer" },
-    Person { name: "Claude Monet", field: "painter" },
-    Person { name: "William Shakespeare", field: "playwright" },
-    Person { name: "Isaac Newton", field: "physicist" },
-    Person { name: "Miguel de Cervantes", field: "writer" },
-    Person { name: "Johann Wolfgang von Goethe", field: "writer" },
-    Person { name: "Ludwig van Beethoven", field: "composer" },
-    Person { name: "Vincent van Gogh", field: "painter" },
-    Person { name: "Wolfgang Amadeus Mozart", field: "composer" },
+    Person {
+        name: "Leonardo da Vinci",
+        field: "painter",
+    },
+    Person {
+        name: "Galileo Galilei",
+        field: "scientist",
+    },
+    Person {
+        name: "Dante Alighieri",
+        field: "poet",
+    },
+    Person {
+        name: "Giuseppe Garibaldi",
+        field: "general",
+    },
+    Person {
+        name: "Camillo Cavour",
+        field: "statesman",
+    },
+    Person {
+        name: "Alessandro Volta",
+        field: "physicist",
+    },
+    Person {
+        name: "Guglielmo Marconi",
+        field: "inventor",
+    },
+    Person {
+        name: "Enzo Ferrari",
+        field: "entrepreneur",
+    },
+    Person {
+        name: "Sophia Loren",
+        field: "actress",
+    },
+    Person {
+        name: "Federico Fellini",
+        field: "director",
+    },
+    Person {
+        name: "Luciano Pavarotti",
+        field: "tenor",
+    },
+    Person {
+        name: "Umberto Eco",
+        field: "writer",
+    },
+    Person {
+        name: "Primo Levi",
+        field: "writer",
+    },
+    Person {
+        name: "Italo Calvino",
+        field: "writer",
+    },
+    Person {
+        name: "Rita Levi-Montalcini",
+        field: "neurologist",
+    },
+    Person {
+        name: "Napoleon Bonaparte",
+        field: "emperor",
+    },
+    Person {
+        name: "Victor Hugo",
+        field: "writer",
+    },
+    Person {
+        name: "Claude Monet",
+        field: "painter",
+    },
+    Person {
+        name: "William Shakespeare",
+        field: "playwright",
+    },
+    Person {
+        name: "Isaac Newton",
+        field: "physicist",
+    },
+    Person {
+        name: "Miguel de Cervantes",
+        field: "writer",
+    },
+    Person {
+        name: "Johann Wolfgang von Goethe",
+        field: "writer",
+    },
+    Person {
+        name: "Ludwig van Beethoven",
+        field: "composer",
+    },
+    Person {
+        name: "Vincent van Gogh",
+        field: "painter",
+    },
+    Person {
+        name: "Wolfgang Amadeus Mozart",
+        field: "composer",
+    },
 ];
 
 #[cfg(test)]
@@ -404,7 +1046,11 @@ mod tests {
         assert!(g.pois().len() >= 35);
         assert!(g.people().len() >= 20);
         for poi in g.pois() {
-            assert!(g.city(poi.city_key).is_some(), "dangling city {:?}", poi.city_key);
+            assert!(
+                g.city(poi.city_key).is_some(),
+                "dangling city {:?}",
+                poi.city_key
+            );
         }
         // Keys are unique.
         let mut keys: Vec<_> = g.pois().iter().map(|p| p.key).collect();

@@ -163,7 +163,9 @@ mod tests {
         p.buddies_mut().add_user(2, "walter", "Walter Goix");
         p.buddies_mut().add_friend(1, 2);
         p.buddies_mut().update_position(2, pt(7.687, 45.071));
-        p.calendars_mut().add(1, "holiday in Turin", 0, 10_000).unwrap();
+        p.calendars_mut()
+            .add(1, "holiday in Turin", 0, 10_000)
+            .unwrap();
         p.add_place_label(1, pt(7.6933, 45.0692), "the big dome", Some("crowded"));
         p
     }

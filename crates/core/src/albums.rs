@@ -155,12 +155,16 @@ pub fn relational_baseline(
         let (Some(lon), Some(lat)) = (row[6].as_real(), row[7].as_real()) else {
             continue;
         };
-        let Ok(point) = Point::new(lon, lat) else { continue };
+        let Ok(point) = Point::new(lon, lat) else {
+            continue;
+        };
         if point.distance_km(monument) > radius_km {
             continue;
         }
         if let Some(allowed) = &allowed_makers {
-            let Some(owner) = row[2].as_int() else { continue };
+            let Some(owner) = row[2].as_int() else {
+                continue;
+            };
             if !allowed.contains(&owner) {
                 continue;
             }
@@ -217,8 +221,7 @@ mod tests {
         let p = platform();
         let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
         let mut semantic = spec.execute(p.store()).unwrap();
-        let mut baseline =
-            relational_baseline(p.db(), mole_point(), 0.3, None, false).unwrap();
+        let mut baseline = relational_baseline(p.db(), mole_point(), 0.3, None, false).unwrap();
         semantic.sort();
         baseline.sort();
         assert_eq!(semantic, baseline);
@@ -238,8 +241,8 @@ mod tests {
             .next()
             .and_then(|(_, row)| row[1].as_text().map(str::to_string))
             .unwrap();
-        let q2_spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3)
-            .friends_of(&some_user);
+        let q2_spec =
+            AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3).friends_of(&some_user);
         let mut q2 = q2_spec.execute(p.store()).unwrap();
         assert!(q2.len() <= q1.len());
         let mut baseline =

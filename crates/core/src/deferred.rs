@@ -110,12 +110,18 @@ impl UploadQueue {
             match platform.upload(upload.clone()) {
                 Ok(receipt) => Ok(Some(receipt)),
                 Err(e) => {
-                    self.pending.push(PendingUpload { upload, attempts: 1 });
+                    self.pending.push(PendingUpload {
+                        upload,
+                        attempts: 1,
+                    });
                     Err(e)
                 }
             }
         } else {
-            self.pending.push(PendingUpload { upload, attempts: 0 });
+            self.pending.push(PendingUpload {
+                upload,
+                attempts: 0,
+            });
             Ok(None)
         }
     }
@@ -215,7 +221,9 @@ mod tests {
                     "SELECT ?t WHERE {{ <{}> rdfs:label ?t . }}",
                     r.resource.as_str()
                 );
-                platform.query(&q).unwrap().column("t")[0].lexical().to_string()
+                platform.query(&q).unwrap().column("t")[0]
+                    .lexical()
+                    .to_string()
             })
             .collect();
         assert_eq!(titles, vec!["first", "second", "third"]);
@@ -255,7 +263,9 @@ mod tests {
     fn attempt_cap_abandons_with_full_context() {
         let mut platform = Platform::bootstrap(WorkloadConfig::small(4)).unwrap();
         let mut queue = UploadQueue::with_max_attempts(2);
-        queue.capture(&mut platform, bad_upload(7, "doomed")).unwrap();
+        queue
+            .capture(&mut platform, bad_upload(7, "doomed"))
+            .unwrap();
         queue.set_online(true);
 
         let report = queue.flush(&mut platform);
@@ -266,7 +276,10 @@ mod tests {
         assert_eq!(report.abandoned.len(), 1, "cap reached");
         assert_eq!(report.abandoned[0].attempts, 2);
         assert_eq!(report.abandoned[0].upload.title, "doomed");
-        assert!(matches!(report.abandoned[0].error, PlatformError::NotFound(_)));
+        assert!(matches!(
+            report.abandoned[0].error,
+            PlatformError::NotFound(_)
+        ));
         assert_eq!(queue.pending(), 0);
     }
 
@@ -274,8 +287,12 @@ mod tests {
     fn requeued_items_keep_timestamp_order_across_flushes() {
         let mut platform = Platform::bootstrap(WorkloadConfig::small(5)).unwrap();
         let mut queue = UploadQueue::new();
-        queue.capture(&mut platform, bad_upload(200, "late-bad")).unwrap();
-        queue.capture(&mut platform, bad_upload(100, "early-bad")).unwrap();
+        queue
+            .capture(&mut platform, bad_upload(200, "late-bad"))
+            .unwrap();
+        queue
+            .capture(&mut platform, bad_upload(100, "early-bad"))
+            .unwrap();
         queue.set_online(true);
 
         let report = queue.flush(&mut platform);
@@ -286,7 +303,9 @@ mod tests {
 
         // Mix in a fresh item; next flush still goes by timestamp.
         queue.set_online(false);
-        queue.capture(&mut platform, upload(150, "mid-good")).unwrap();
+        queue
+            .capture(&mut platform, upload(150, "mid-good"))
+            .unwrap();
         queue.set_online(true);
         let report = queue.flush(&mut platform);
         assert_eq!(report.receipts.len(), 1);

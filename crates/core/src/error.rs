@@ -13,6 +13,8 @@ pub enum PlatformError {
     Sparql(lodify_sparql::SparqlError),
     /// Store error.
     Store(lodify_store::StoreError),
+    /// Persistence engine error (WAL, snapshot, recovery).
+    Durability(lodify_durability::DurabilityError),
     /// Referenced entity missing (user, picture, album, node…).
     NotFound(String),
     /// Invalid argument (rating out of range, empty title…).
@@ -30,6 +32,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Mapping(e) => write!(f, "mapping: {e}"),
             PlatformError::Sparql(e) => write!(f, "sparql: {e}"),
             PlatformError::Store(e) => write!(f, "store: {e}"),
+            PlatformError::Durability(e) => write!(f, "durability: {e}"),
             PlatformError::NotFound(what) => write!(f, "not found: {what}"),
             PlatformError::Invalid(what) => write!(f, "invalid request: {what}"),
             PlatformError::Timeout(what) => write!(f, "timed out: {what}"),
@@ -61,5 +64,11 @@ impl From<lodify_sparql::SparqlError> for PlatformError {
 impl From<lodify_store::StoreError> for PlatformError {
     fn from(e: lodify_store::StoreError) -> Self {
         PlatformError::Store(e)
+    }
+}
+
+impl From<lodify_durability::DurabilityError> for PlatformError {
+    fn from(e: lodify_durability::DurabilityError) -> Self {
+        PlatformError::Durability(e)
     }
 }

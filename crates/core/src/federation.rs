@@ -26,9 +26,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use lodify_rdf::{ns, Iri, Literal, Term, Triple};
-use lodify_resilience::{
-    DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry,
-};
+use lodify_resilience::{DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry};
 use lodify_store::Store;
 
 use crate::error::PlatformError;
@@ -103,9 +101,7 @@ pub struct Timeline {
 impl Timeline {
     /// Appends an activity keeping timestamp order (stable for ties).
     pub fn push(&mut self, activity: Activity) {
-        let idx = self
-            .entries
-            .partition_point(|a| a.ts <= activity.ts);
+        let idx = self.entries.partition_point(|a| a.ts <= activity.ts);
         self.entries.insert(idx, activity);
     }
 
@@ -196,8 +192,7 @@ impl Node {
     /// Exports a user's FOAF profile for cross-node sharing.
     pub fn profile_document(&self, acct: &Acct) -> Vec<Triple> {
         let subject = Term::Iri(acct.profile_iri());
-        self.store
-            .match_terms(Some(&subject), None, None)
+        self.store.match_terms(Some(&subject), None, None)
     }
 
     /// Imports a remote profile document ("Profile data sharing and
@@ -272,7 +267,11 @@ impl Node {
             g,
         );
         self.store.insert(
-            &Triple::new_unchecked(subject, ns::iri::foaf_maker(), Term::Iri(author.profile_iri())),
+            &Triple::new_unchecked(
+                subject,
+                ns::iri::foaf_maker(),
+                Term::Iri(author.profile_iri()),
+            ),
             g,
         );
         iri
@@ -626,11 +625,7 @@ impl Federation {
     ) -> Result<(), PlatformError> {
         // Validate the query and seed the seen-set with current rows.
         let results = lodify_sparql::execute(&self.node(publisher)?.store, query)?;
-        let seen = results
-            .rows
-            .iter()
-            .map(|row| format!("{row:?}"))
-            .collect();
+        let seen = results.rows.iter().map(|row| format!("{row:?}")).collect();
         self.sparql_subs.push(SparqlSubscription {
             publisher,
             subscriber,
@@ -800,7 +795,8 @@ impl Federation {
             landed.push(notification.clone());
             Ok(())
         });
-        res.telemetry.add("federation.redelivered", report.replayed as u64);
+        res.telemetry
+            .add("federation.redelivered", report.replayed as u64);
         res.telemetry
             .set_gauge("federation.dlq.depth", res.dlq.depth() as u64);
         self.resilience = Some(res);
@@ -824,7 +820,9 @@ mod tests {
         let mut fed = Federation::new();
         let home1 = fed.add_node("node1.example").unwrap();
         let home2 = fed.add_node("node2.example").unwrap();
-        let oscar = fed.register_user(home1, "oscar", "Oscar Rodriguez").unwrap();
+        let oscar = fed
+            .register_user(home1, "oscar", "Oscar Rodriguez")
+            .unwrap();
         let walter = fed.register_user(home2, "walter", "Walter Goix").unwrap();
         (fed, oscar, walter)
     }
@@ -870,19 +868,23 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(knows.column("x")[0].lexical(), walter.profile_iri().as_str());
+        assert_eq!(
+            knows.column("x")[0].lexical(),
+            walter.profile_iri().as_str()
+        );
     }
 
     #[test]
     fn publish_fans_out_to_subscribers_timelines() {
         let (mut fed, oscar, walter) = two_node_federation();
         fed.subscribe(0, &oscar, &walter).unwrap();
-        let (media, notifications) = fed
-            .publish(&walter, "Sunset from home", 1000)
-            .unwrap();
+        let (media, notifications) = fed.publish(&walter, "Sunset from home", 1000).unwrap();
         assert!(media.as_str().starts_with("http://node2.example/media/"));
         assert_eq!(notifications.len(), 1);
-        assert!(matches!(&notifications[0], Notification::Activity { to: 0, .. }));
+        assert!(matches!(
+            &notifications[0],
+            Notification::Activity { to: 0, .. }
+        ));
         // Both timelines carry the activity.
         assert_eq!(fed.node(0).unwrap().timeline().entries().len(), 1);
         assert_eq!(fed.node(1).unwrap().timeline().entries().len(), 1);
@@ -999,10 +1001,7 @@ mod tests {
         assert_eq!(embed.kind, "photo");
         assert_eq!(embed.title, "embeddable sunset");
         assert_eq!(embed.provider, "node2.example");
-        assert_eq!(
-            embed.author.as_deref(),
-            Some(walter.profile_iri().as_str())
-        );
+        assert_eq!(embed.author.as_deref(), Some(walter.profile_iri().as_str()));
         let ghost = Iri::new("http://node2.example/media/999").unwrap();
         assert!(fed.node(1).unwrap().oembed(&ghost).is_err());
     }
@@ -1038,7 +1037,10 @@ mod tests {
         assert_eq!(fed.node(1).unwrap().timeline().entries().len(), 1);
         let telemetry = fed.delivery_telemetry().unwrap();
         assert_eq!(telemetry.counter("federation.parked"), 1);
-        assert!(telemetry.counter("federation.retries") >= 1, "retried first");
+        assert!(
+            telemetry.counter("federation.retries") >= 1,
+            "retried first"
+        );
 
         // Redelivery while still down re-parks, nothing lands.
         let (landed, report) = fed.redeliver();

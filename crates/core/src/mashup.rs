@@ -147,7 +147,10 @@ impl MashupService {
             r = c.ugc_radius_km,
             limit = c.per_arm_limit + 1, // the picture itself may appear
         );
-        let own_link_q = format!("SELECT ?l WHERE {{ <{}> comm:image-data ?l . }}", picture.as_str());
+        let own_link_q = format!(
+            "SELECT ?l WHERE {{ <{}> comm:image-data ?l . }}",
+            picture.as_str()
+        );
         let own_link: Option<String> = lodify_sparql::execute(store, &own_link_q)?
             .column("l")
             .first()
@@ -261,7 +264,10 @@ impl MashupService {
         store: &Store,
         picture: &Iri,
     ) -> Result<QueryResults, PlatformError> {
-        Ok(lodify_sparql::execute(store, &self.combined_query(picture))?)
+        Ok(lodify_sparql::execute(
+            store,
+            &self.combined_query(picture),
+        )?)
     }
 }
 
@@ -301,7 +307,10 @@ mod tests {
         let mashup = MashupService::standard().about(p.store(), &pic).unwrap();
 
         let (city_label, city_abstract) = mashup.city.expect("city arm");
-        assert!(city_label.contains("Torino") || city_label.contains("Turin"), "{city_label}");
+        assert!(
+            city_label.contains("Torino") || city_label.contains("Turin"),
+            "{city_label}"
+        );
         assert!(!city_abstract.is_empty());
 
         // Caffè Mole sits ~50 m from the Mole; Del Cambio ~600 m — but
@@ -312,7 +321,10 @@ mod tests {
             mashup.restaurants
         );
         assert!(
-            mashup.attractions.iter().any(|a| a.label == "Mole Antonelliana"),
+            mashup
+                .attractions
+                .iter()
+                .any(|a| a.label == "Mole Antonelliana"),
             "{:?}",
             mashup.attractions
         );
@@ -330,14 +342,23 @@ mod tests {
             .iter()
             .find(|r| r.label == "Del Cambio")
             .expect("restaurant found");
-        assert!(cambio.detail.as_deref().unwrap_or("").contains("example.com"));
+        assert!(cambio
+            .detail
+            .as_deref()
+            .unwrap_or("")
+            .contains("example.com"));
     }
 
     #[test]
     fn own_picture_excluded_from_related_content() {
         let (p, pic) = platform_with_mole_picture();
-        let own_link_q = format!("SELECT ?l WHERE {{ <{}> comm:image-data ?l . }}", pic.as_str());
-        let own = p.query(&own_link_q).unwrap().column("l")[0].lexical().to_string();
+        let own_link_q = format!(
+            "SELECT ?l WHERE {{ <{}> comm:image-data ?l . }}",
+            pic.as_str()
+        );
+        let own = p.query(&own_link_q).unwrap().column("l")[0]
+            .lexical()
+            .to_string();
         let mashup = MashupService::standard().about(p.store(), &pic).unwrap();
         assert!(!mashup.related_content.contains(&own));
     }
@@ -371,7 +392,9 @@ mod tests {
                 poi: None,
             })
             .unwrap();
-        let mashup = MashupService::standard().about(p.store(), &receipt.resource).unwrap();
+        let mashup = MashupService::standard()
+            .about(p.store(), &receipt.resource)
+            .unwrap();
         assert!(mashup.city.is_none());
         assert!(mashup.restaurants.is_empty());
         assert!(mashup.related_content.is_empty());

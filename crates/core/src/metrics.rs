@@ -10,6 +10,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use lodify_context::Gazetteer;
+use lodify_durability::DurabilityStats;
 use lodify_lod::datasets::{dbp, gnr};
 use lodify_lod::reannotate::ReAnnotator;
 use lodify_lod::SemanticBroker;
@@ -193,15 +194,20 @@ pub struct OpsSnapshot {
     pub federation_redelivered: u64,
     /// Delivery retries beyond first attempts.
     pub federation_retries: u64,
+    /// Persistence engine counters (WAL depth, snapshot age, replay
+    /// stats), when the store is journal-backed.
+    pub durability: Option<DurabilityStats>,
 }
 
 impl OpsSnapshot {
-    /// Collects the current state; `requeue` / `federation` are
-    /// optional because a deployment may run only part of the pipeline.
+    /// Collects the current state; `requeue` / `federation` /
+    /// `durability` are optional because a deployment may run only
+    /// part of the pipeline (and an ephemeral store has no journal).
     pub fn collect(
         broker: &SemanticBroker,
         requeue: Option<&ReAnnotator>,
         federation: Option<&Federation>,
+        durability: Option<DurabilityStats>,
     ) -> OpsSnapshot {
         let mut snapshot = OpsSnapshot::default();
         let telemetry = broker.telemetry();
@@ -234,6 +240,7 @@ impl OpsSnapshot {
                 snapshot.federation_retries = t.counter("federation.retries");
             }
         }
+        snapshot.durability = durability;
         snapshot
     }
 
@@ -279,7 +286,20 @@ impl fmt::Display for OpsSnapshot {
             self.federation_parked,
             self.federation_redelivered,
             self.federation_retries
-        )
+        )?;
+        if let Some(d) = &self.durability {
+            write!(
+                f,
+                "\n  durability  gen={} wal_records={} pending={} flushes={} snapshots={} replayed={}",
+                d.generation,
+                d.wal_records,
+                d.wal_pending,
+                d.flushes,
+                d.snapshots_written,
+                d.records_replayed
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -304,7 +324,14 @@ mod tests {
     fn perfect_prediction_scores_tp() {
         let t = truth(TruthSubject::Poi("Mole_Antonelliana".into()));
         let counts = score_picture(&t, &[dbp("Mole_Antonelliana")]);
-        assert_eq!(counts, PrCounts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            counts,
+            PrCounts {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
         assert_eq!(counts.precision(), 1.0);
         assert_eq!(counts.recall(), 1.0);
         assert_eq!(counts.f1(), 1.0);
@@ -314,7 +341,14 @@ mod tests {
     fn wrong_entity_is_fp_and_fn() {
         let t = truth(TruthSubject::Poi("Mole_Antonelliana".into()));
         let counts = score_picture(&t, &[dbp("Mole_(animal)")]);
-        assert_eq!(counts, PrCounts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            counts,
+            PrCounts {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(counts.precision(), 0.0);
         assert_eq!(counts.recall(), 0.0);
     }
@@ -325,7 +359,14 @@ mod tests {
         let gaz = Gazetteer::global();
         let turin_gn = gnr(gaz.city("Turin").unwrap().geonames_id());
         let counts = score_picture(&t, &[dbp("Mole_Antonelliana"), turin_gn]);
-        assert_eq!(counts, PrCounts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            counts,
+            PrCounts {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -341,7 +382,14 @@ mod tests {
     fn missing_prediction_is_fn() {
         let t = truth(TruthSubject::City("Turin".into()));
         let counts = score_picture(&t, &[]);
-        assert_eq!(counts, PrCounts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(
+            counts,
+            PrCounts {
+                tp: 0,
+                fp: 0,
+                fn_: 1
+            }
+        );
         assert_eq!(counts.recall(), 0.0);
     }
 
@@ -372,7 +420,7 @@ mod tests {
         .with_resilience(clock.clone(), BrokerResilienceConfig::default());
 
         // Healthy at rest.
-        let snapshot = OpsSnapshot::collect(&broker, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None);
         assert!(!snapshot.is_degraded());
         assert_eq!(snapshot.resolvers.len(), 2);
 
@@ -381,13 +429,21 @@ mod tests {
         for _ in 0..4 {
             broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
         }
-        let snapshot = OpsSnapshot::collect(&broker, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None);
         assert!(snapshot.is_degraded());
-        let dbp_ops = snapshot.resolvers.iter().find(|r| r.name == "dbpedia").unwrap();
+        let dbp_ops = snapshot
+            .resolvers
+            .iter()
+            .find(|r| r.name == "dbpedia")
+            .unwrap();
         assert_eq!(dbp_ops.breaker, Some(BreakerState::Open));
         assert!(dbp_ops.calls >= 3);
         assert!(dbp_ops.failures >= 1);
-        let gn_ops = snapshot.resolvers.iter().find(|r| r.name == "geonames").unwrap();
+        let gn_ops = snapshot
+            .resolvers
+            .iter()
+            .find(|r| r.name == "geonames")
+            .unwrap();
         assert_eq!(gn_ops.breaker, Some(BreakerState::Closed));
         assert_eq!(gn_ops.failures, 0);
         let rendered = snapshot.to_string();

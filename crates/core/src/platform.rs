@@ -6,6 +6,9 @@ use std::collections::BTreeMap;
 use lodify_context::{ContextPlatform, ContextSnapshot};
 use lodify_d2r::defaults::coppermine_mapping;
 use lodify_d2r::{dump, Mapping};
+use lodify_durability::{
+    DurabilityOptions, DurabilityStats, DurableStore, RecoveryReport, Storage,
+};
 use lodify_lod::annotator::{Annotator, ContentInput, PoiRefInput};
 use lodify_lod::datasets::{load_lod, GRAPH_UGC};
 use lodify_lod::AnnotationResult;
@@ -71,7 +74,7 @@ pub struct UploadReceipt {
 /// The LODified platform.
 pub struct Platform {
     db: Database,
-    store: Store,
+    store: DurableStore,
     ugc_graph: GraphId,
     mapping: Mapping,
     context: ContextPlatform,
@@ -94,6 +97,39 @@ impl Platform {
     /// exactly the situation §6 describes ("a huge amount of content already
     /// present in our platform … remains to be semantically annotated").
     pub fn bootstrap(config: WorkloadConfig) -> Result<Platform, PlatformError> {
+        Self::assemble(config, |store| {
+            Ok((DurableStore::ephemeral(store), RecoveryReport::default()))
+        })
+        .map(|(platform, _)| platform)
+    }
+
+    /// Bootstraps a platform whose semantic store is backed by the
+    /// durability engine. On fresh storage the freshly semanticized
+    /// seed store is *adopted* (written as the initial snapshot
+    /// generation); on later boots the store — triple indexes,
+    /// fulltext, geo, stats — is **recovered** from the journal to the
+    /// last acknowledged state instead of being rebuilt, and the
+    /// [`RecoveryReport`] says what was replayed. The relational base,
+    /// context platform and tag index are deterministic functions of
+    /// the workload config and are re-derived on every boot; the
+    /// journal covers the semantic store, where all post-bootstrap
+    /// platform state (uploads, annotations, votes) lands.
+    pub fn bootstrap_durable(
+        config: WorkloadConfig,
+        storage: Box<dyn Storage>,
+        options: DurabilityOptions,
+    ) -> Result<(Platform, RecoveryReport), PlatformError> {
+        Self::assemble(config, move |store| {
+            Ok(DurableStore::open_or_adopt(storage, options, move || {
+                store
+            })?)
+        })
+    }
+
+    fn assemble(
+        config: WorkloadConfig,
+        persist: impl FnOnce(Store) -> Result<(DurableStore, RecoveryReport), PlatformError>,
+    ) -> Result<(Platform, RecoveryReport), PlatformError> {
         let workload = generate(config);
         let mut store = Store::new();
         load_lod(&mut store, lodify_context::Gazetteer::global());
@@ -103,13 +139,20 @@ impl Platform {
         let (triples, _stats) = dump::dump_rdf(&workload.db, &mapping)?;
         store.insert_all(&triples, ugc_graph);
 
+        // Hand the seed store to the persistence layer; a recovery
+        // replaces it wholesale with the journaled one.
+        let (mut store, report) = persist(store)?;
+        let ugc_graph = store.graph(GRAPH_UGC);
+
         // Context platform from relational state.
         let mut context = ContextPlatform::new();
         let users = workload.db.table(cpg::USERS)?;
         for (uid, row) in users.scan() {
             let user_name = row[1].as_text().unwrap_or_default();
             let full_name = row[2].as_text().unwrap_or_default();
-            context.buddies_mut().add_user(uid as u64, user_name, full_name);
+            context
+                .buddies_mut()
+                .add_user(uid as u64, user_name, full_name);
         }
         let friends = workload.db.table(cpg::FRIENDS)?;
         for (_, row) in friends.scan() {
@@ -163,7 +206,7 @@ impl Platform {
             fault_plan: None,
         };
         platform.rebuild_tag_index()?;
-        Ok(platform)
+        Ok((platform, report))
     }
 
     /// Rebuilds the triple-tag baseline index from relational state:
@@ -202,12 +245,16 @@ impl Platform {
 
     /// Installs a scripted fault plan judged on every upload under
     /// target `platform.upload` (chaos tests, deferred-queue drills).
+    /// The plan is also forwarded to the durability engine, which
+    /// honors the `wal.flush` and `snapshot.write` targets.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.store.set_fault_plan(plan.clone());
         self.fault_plan = Some(plan);
     }
 
     /// Removes the installed fault plan.
     pub fn clear_fault_plan(&mut self) {
+        self.store.clear_fault_plan();
         self.fault_plan = None;
     }
 
@@ -224,7 +271,9 @@ impl Platform {
                 .map_err(|e| PlatformError::Unavailable(e.to_string()))?;
         }
         if upload.title.trim().is_empty() && upload.tags.is_empty() {
-            return Err(PlatformError::Invalid("upload needs a title or tags".into()));
+            return Err(PlatformError::Invalid(
+                "upload needs a title or tags".into(),
+            ));
         }
         let users = self.db.table(cpg::USERS)?;
         if users.get(upload.user_id).is_none() {
@@ -275,7 +324,7 @@ impl Platform {
                 ],
             )?;
             let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
-            self.store.insert_all(&poi_triples, self.ugc_graph);
+            self.store.insert_all(&poi_triples, self.ugc_graph)?;
             poi_input = Some(PoiRefInput {
                 name: name.clone(),
                 category: category.clone(),
@@ -285,7 +334,7 @@ impl Platform {
 
         // Incremental semanticization of the new picture (§2.1).
         let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
-        let mut triples_added = self.store.insert_all(&triples, self.ugc_graph);
+        let mut triples_added = self.store.insert_all(&triples, self.ugc_graph)?;
 
         // Context tagging (§1.1) — both the triple-tag index and the
         // buddy model's last-seen position.
@@ -306,13 +355,10 @@ impl Platform {
         }
 
         // Automatic semantic annotation (§2.2).
-        let result = self.annotate_picture(pid, &upload.title, &upload.tags, Some(&snapshot), poi_input);
-        triples_added += self.record_annotation(pid, &result);
-        let auto_annotations = result
-            .terms
-            .iter()
-            .filter(|t| t.resource.is_some())
-            .count();
+        let result =
+            self.annotate_picture(pid, &upload.title, &upload.tags, Some(&snapshot), poi_input);
+        triples_added += self.record_annotation(pid, &result)?;
+        let auto_annotations = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
 
         Ok(UploadReceipt {
@@ -338,12 +384,16 @@ impl Platform {
             context: snapshot,
             poi_ref,
         };
-        self.annotator.annotate(&self.store, &input)
+        self.annotator.annotate(self.store.store(), &input)
     }
 
     /// Writes an annotation result into the UGC graph; returns the
     /// number of new triples.
-    fn record_annotation(&mut self, pid: i64, result: &AnnotationResult) -> usize {
+    fn record_annotation(
+        &mut self,
+        pid: i64,
+        result: &AnnotationResult,
+    ) -> Result<usize, PlatformError> {
         let subject = Term::Iri(Self::picture_iri(pid));
         let mut triples = Vec::new();
         if let Some(city) = &result.location {
@@ -376,7 +426,7 @@ impl Platform {
                 ));
             }
         }
-        self.store.insert_all(&triples, self.ugc_graph)
+        Ok(self.store.insert_all(&triples, self.ugc_graph)?)
     }
 
     /// Annotates one legacy picture (used by the batch job). Returns
@@ -413,7 +463,7 @@ impl Platform {
             });
         let snapshot = gps.map(|p| self.context.contextualize(owner, ts, Some(p)));
         let result = self.annotate_picture(pid, &title, &tags, snapshot.as_ref(), poi_input);
-        self.record_annotation(pid, &result);
+        self.record_annotation(pid, &result)?;
         let fired = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
         Ok(fired)
@@ -422,7 +472,9 @@ impl Platform {
     /// Records a vote and refreshes the picture's `rev:rating`.
     pub fn rate(&mut self, pid: i64, user_id: i64, rating: i64) -> Result<(), PlatformError> {
         if !(1..=5).contains(&rating) {
-            return Err(PlatformError::Invalid(format!("rating {rating} out of 1..=5")));
+            return Err(PlatformError::Invalid(format!(
+                "rating {rating} out of 1..=5"
+            )));
         }
         let vote_id = self.next_vote;
         self.next_vote += 1;
@@ -432,9 +484,9 @@ impl Platform {
         )?;
         let agg = self.mapping.aggregate_maps[0].clone();
         let subject = Term::Iri(Self::picture_iri(pid));
-        self.store.remove_pattern_sp(&subject, &agg.predicate);
+        self.store.remove_pattern_sp(&subject, &agg.predicate)?;
         if let Some(triple) = dump::aggregate_for(&self.db, &self.mapping, &agg, pid)? {
-            self.store.insert(&triple, self.ugc_graph);
+            self.store.insert(&triple, self.ugc_graph)?;
         }
         Ok(())
     }
@@ -449,7 +501,26 @@ impl Platform {
 
     /// The semantic store (LOD + semanticized UGC + annotations).
     pub fn store(&self) -> &Store {
-        &self.store
+        self.store.store()
+    }
+
+    /// Durability counters, when the store is journal-backed
+    /// (`None` for ephemeral platforms).
+    pub fn durability(&self) -> Option<DurabilityStats> {
+        self.store.stats()
+    }
+
+    /// Forces the WAL durability barrier: every mutation so far is
+    /// acknowledged once this returns `Ok`. No-op for ephemeral
+    /// platforms.
+    pub fn flush_store(&mut self) -> Result<(), PlatformError> {
+        Ok(self.store.flush()?)
+    }
+
+    /// Forces log compaction into a fresh snapshot generation. No-op
+    /// for ephemeral platforms.
+    pub fn snapshot_store(&mut self) -> Result<(), PlatformError> {
+        Ok(self.store.snapshot()?)
     }
 
     /// The relational database.
@@ -489,7 +560,7 @@ impl Platform {
 
     /// Runs a SPARQL query against the platform store.
     pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
-        Ok(lodify_sparql::execute(&self.store, sparql)?)
+        Ok(lodify_sparql::execute(self.store.store(), sparql)?)
     }
 }
 
@@ -531,7 +602,11 @@ mod tests {
                 tags: vec!["torino".into(), "tramonto".into()],
                 ts: 1_320_500_000,
                 gps: Some(mole.point(gaz)),
-                poi: Some(("Mole Antonelliana".into(), "monument".into(), mole.point(gaz))),
+                poi: Some((
+                    "Mole Antonelliana".into(),
+                    "monument".into(),
+                    mole.point(gaz),
+                )),
             })
             .expect("upload");
 
@@ -559,7 +634,9 @@ mod tests {
         );
         let results = p.query(&q).unwrap();
         assert_eq!(results.len(), 1);
-        assert!(results.column("c")[0].lexical().starts_with("http://sws.geonames.org/"));
+        assert!(results.column("c")[0]
+            .lexical()
+            .starts_with("http://sws.geonames.org/"));
         // Triple-tag index got the context tags.
         let cities = p.tags().by_predicate("address", "city");
         assert!(cities.contains(&receipt.pid));
@@ -606,10 +683,7 @@ mod tests {
         assert_eq!(results.len(), 1, "exactly one rating triple");
         let value: f64 = results.column("r")[0].lexical().parse().unwrap();
         assert!((1.0..=5.0).contains(&value));
-        assert!(matches!(
-            p.rate(pid, 1, 9),
-            Err(PlatformError::Invalid(_))
-        ));
+        assert!(matches!(p.rate(pid, 1, 9), Err(PlatformError::Invalid(_))));
     }
 
     #[test]

@@ -232,7 +232,9 @@ mod tests {
         let suggestions = SearchService::suggest(p.store(), "Turi", 10);
         assert!(!suggestions.is_empty());
         assert!(
-            suggestions.iter().all(|s| !s.resource.as_str().contains("teamlife")),
+            suggestions
+                .iter()
+                .all(|s| !s.resource.as_str().contains("teamlife")),
             "UGC must not appear as a concept suggestion"
         );
         assert!(
@@ -267,7 +269,8 @@ mod tests {
                 poi: None,
             })
             .unwrap();
-        let mole_res = lodify_rdf::Iri::new("http://dbpedia.org/resource/Mole_Antonelliana").unwrap();
+        let mole_res =
+            lodify_rdf::Iri::new("http://dbpedia.org/resource/Mole_Antonelliana").unwrap();
         let hits = SearchService::content_for_resource(p.store(), &mole_res, 0.3).unwrap();
         assert!(
             hits.iter().any(|h| h.content == receipt.resource),
@@ -276,13 +279,17 @@ mod tests {
         // Hits carry links and titles.
         let mine = hits.iter().find(|h| h.content == receipt.resource).unwrap();
         assert!(mine.link.as_deref().unwrap_or("").contains("media/"));
-        assert_eq!(mine.title.as_deref(), Some("Tramonto alla Mole Antonelliana"));
+        assert_eq!(
+            mine.title.as_deref(),
+            Some("Tramonto alla Mole Antonelliana")
+        );
     }
 
     #[test]
     fn geo_fallback_finds_unannotated_content_nearby() {
         let p = platform();
-        let mole_res = lodify_rdf::Iri::new("http://dbpedia.org/resource/Mole_Antonelliana").unwrap();
+        let mole_res =
+            lodify_rdf::Iri::new("http://dbpedia.org/resource/Mole_Antonelliana").unwrap();
         // No annotations have been run; everything found comes from geo.
         let hits = SearchService::content_for_resource(p.store(), &mole_res, 0.3).unwrap();
         let q = crate::albums::AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3)

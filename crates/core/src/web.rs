@@ -172,7 +172,11 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
             let Some(monument) = request.query.get("monument") else {
                 return Response::bad_request("missing monument parameter");
             };
-            let lang = request.query.get("lang").map(String::as_str).unwrap_or("it");
+            let lang = request
+                .query
+                .get("lang")
+                .map(String::as_str)
+                .unwrap_or("it");
             let radius: f64 = request
                 .query
                 .get("radius")
@@ -296,7 +300,10 @@ fn render_content_list(iri: &str, hits: &[crate::search::ContentHit], mobile: bo
 fn render_album(monument: &str, links: &[String]) -> String {
     let mut items = String::new();
     for link in links {
-        items.push_str(&format!("<li><img src=\"{}\" alt=\"\"></li>", escape_html(link)));
+        items.push_str(&format!(
+            "<li><img src=\"{}\" alt=\"\"></li>",
+            escape_html(link)
+        ));
     }
     page(
         &format!("virtual album — near {monument}"),
@@ -337,7 +344,10 @@ fn render_picture(platform: &Platform, pid: i64) -> Option<String> {
     for tag in platform.tags().tags_of(pid) {
         match tag {
             Tag::Plain(word) => {
-                user_tags.push_str(&format!("<span class=\"tag\">{}</span> ", escape_html(word)));
+                user_tags.push_str(&format!(
+                    "<span class=\"tag\">{}</span> ",
+                    escape_html(word)
+                ));
             }
             Tag::Triple(tt) => {
                 context_tags.push_str(&format!(
@@ -403,7 +413,10 @@ fn render_mashup(pid: i64, mashup: &crate::mashup::MashupResult) -> String {
     }
     body.push_str("</ul></section><section class=\"ugc\"><h2>Nearby content</h2><ul>");
     for link in &mashup.related_content {
-        body.push_str(&format!("<li><img src=\"{}\" alt=\"\"></li>", escape_html(link)));
+        body.push_str(&format!(
+            "<li><img src=\"{}\" alt=\"\"></li>",
+            escape_html(link)
+        ));
     }
     body.push_str("</ul></section>");
     page(&format!("About picture {pid}"), &body, false)
@@ -475,9 +488,7 @@ impl WebServer {
                         server_telemetry.incr("web.connections");
                         match handle_connection(&platform, stream, &config) {
                             Ok(()) => server_telemetry.incr("web.responses"),
-                            Err(PlatformError::Timeout(_)) => {
-                                server_telemetry.incr("web.timeouts")
-                            }
+                            Err(PlatformError::Timeout(_)) => server_telemetry.incr("web.timeouts"),
                             Err(_) => server_telemetry.incr("web.errors"),
                         }
                     }
@@ -552,7 +563,9 @@ fn handle_connection(
         .set_write_timeout(Some(config.write_timeout))
         .map_err(|e| io_error("setting write timeout", e))?;
     let mut reader = BufReader::new(
-        stream.try_clone().map_err(|e| io_error("cloning stream", e))?,
+        stream
+            .try_clone()
+            .map_err(|e| io_error("cloning stream", e))?,
     );
     let mut request_line = String::new();
     reader
@@ -594,9 +607,10 @@ pub fn url_decode(text: &str) -> String {
             }
             b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
                 if i + 2 < bytes.len() {
-                    if let Ok(byte) =
-                        u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""), 16)
-                    {
+                    if let Ok(byte) = u8::from_str_radix(
+                        std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""),
+                        16,
+                    ) {
                         out.push(byte);
                         i += 3;
                         continue;
@@ -639,9 +653,15 @@ mod tests {
 
     fn get(platform: &Platform, target: &str, mobile: bool) -> Response {
         let headers = if mobile {
-            vec![("User-Agent".to_string(), "Mozilla/5.0 (iPhone) Mobile".to_string())]
+            vec![(
+                "User-Agent".to_string(),
+                "Mozilla/5.0 (iPhone) Mobile".to_string(),
+            )]
         } else {
-            vec![("User-Agent".to_string(), "Mozilla/5.0 (X11; Linux)".to_string())]
+            vec![(
+                "User-Agent".to_string(),
+                "Mozilla/5.0 (X11; Linux)".to_string(),
+            )]
         };
         let request = Request::parse(&format!("GET {target} HTTP/1.1"), &headers).unwrap();
         route(platform, &request)
@@ -657,7 +677,10 @@ mod tests {
         assert!(Request::parse("POST / HTTP/1.1", &[]).is_none());
         // plus + percent decoding
         let r = Request::parse("GET /search?q=Mole+Antonelliana%21 HTTP/1.1", &[]).unwrap();
-        assert_eq!(r.query.get("q").map(String::as_str), Some("Mole Antonelliana!"));
+        assert_eq!(
+            r.query.get("q").map(String::as_str),
+            Some("Mole Antonelliana!")
+        );
     }
 
     #[test]
@@ -705,7 +728,11 @@ mod tests {
     #[test]
     fn album_route_runs_q1() {
         let p = platform();
-        let resp = get(&p, "/album?monument=Mole+Antonelliana&lang=it&radius=0.3", false);
+        let resp = get(
+            &p,
+            "/album?monument=Mole+Antonelliana&lang=it&radius=0.3",
+            false,
+        );
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("virtual album"));
     }
@@ -720,9 +747,15 @@ mod tests {
     fn friendly_tags_read_like_phrases() {
         let tt = |s: &str| lodify_tripletags::TripleTag::parse(s).unwrap();
         assert_eq!(friendly_tag(&tt("address:city=Turin")), "in Turin");
-        assert_eq!(friendly_tag(&tt("people:fn=Walter+Goix")), "with Walter Goix");
+        assert_eq!(
+            friendly_tag(&tt("people:fn=Walter+Goix")),
+            "with Walter Goix"
+        );
         assert_eq!(friendly_tag(&tt("place:is=crowded")), "a crowded place");
-        assert_eq!(friendly_tag(&tt("cell:cgi=460-0-9522-3661")), "cell 460-0-9522-3661");
+        assert_eq!(
+            friendly_tag(&tt("cell:cgi=460-0-9522-3661")),
+            "cell 460-0-9522-3661"
+        );
         // Unknown namespaces fall back to wire form.
         assert_eq!(friendly_tag(&tt("custom:x=1")), "custom:x=1");
     }
@@ -736,7 +769,10 @@ mod tests {
 
     #[test]
     fn html_escaping() {
-        assert_eq!(escape_html("<b>&\"x\"</b>"), "&lt;b&gt;&amp;&quot;x&quot;&lt;/b&gt;");
+        assert_eq!(
+            escape_html("<b>&\"x\"</b>"),
+            "&lt;b&gt;&amp;&quot;x&quot;&lt;/b&gt;"
+        );
     }
 
     #[test]
@@ -789,10 +825,19 @@ mod tests {
     #[test]
     fn io_errors_classify_timeouts() {
         let timeout = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
-        assert!(matches!(io_error("read", timeout), PlatformError::Timeout(_)));
+        assert!(matches!(
+            io_error("read", timeout),
+            PlatformError::Timeout(_)
+        ));
         let would_block = std::io::Error::new(std::io::ErrorKind::WouldBlock, "w");
-        assert!(matches!(io_error("read", would_block), PlatformError::Timeout(_)));
+        assert!(matches!(
+            io_error("read", would_block),
+            PlatformError::Timeout(_)
+        ));
         let other = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "b");
-        assert!(matches!(io_error("write", other), PlatformError::Invalid(_)));
+        assert!(matches!(
+            io_error("write", other),
+            PlatformError::Invalid(_)
+        ));
     }
 }

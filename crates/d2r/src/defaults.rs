@@ -260,7 +260,14 @@ mod tests {
                 .filter(|t| t.predicate == kw_pred && t.subject.lexical() == uri)
                 .map(|t| t.object.lexical())
                 .collect();
-            assert_eq!(dumped, truth.keywords.iter().map(String::as_str).collect::<Vec<_>>());
+            assert_eq!(
+                dumped,
+                truth
+                    .keywords
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+            );
         }
     }
 }

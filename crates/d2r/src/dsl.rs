@@ -164,8 +164,9 @@ pub fn parse(text: &str) -> Result<Mapping, D2rError> {
                         let object_tok = tokens
                             .get(2)
                             .ok_or_else(|| err("expected object after predicate".into()))?;
-                        let object = if let Some(text) =
-                            object_tok.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
+                        let object = if let Some(text) = object_tok
+                            .strip_prefix('"')
+                            .and_then(|t| t.strip_suffix('"'))
                         {
                             Term::literal(text)
                         } else {
@@ -181,7 +182,9 @@ pub fn parse(text: &str) -> Result<Mapping, D2rError> {
             "rel" => {
                 // rel <table> <s_col> <s_table> <pred> <o_col> <o_table>
                 if tokens.len() != 7 {
-                    return Err(err("expected `rel table s_col s_table pred o_col o_table`".into()));
+                    return Err(err(
+                        "expected `rel table s_col s_table pred o_col o_table`".into()
+                    ));
                 }
                 let predicate = resolve_iri(Some(&tokens[4]), &prefixes)
                     .ok_or_else(|| err("cannot resolve relation predicate".into()))?;
@@ -197,9 +200,9 @@ pub fn parse(text: &str) -> Result<Mapping, D2rError> {
             "agg" => {
                 // agg <table> group=<col> master=<table> value=<col> -> <pred>
                 let get_kv = |key: &str| {
-                    tokens.iter().find_map(|t| {
-                        t.strip_prefix(key).and_then(|rest| rest.strip_prefix('='))
-                    })
+                    tokens
+                        .iter()
+                        .find_map(|t| t.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
                 };
                 let table = tokens
                     .get(1)
@@ -254,10 +257,7 @@ pub fn serialize(mapping: &Mapping) -> String {
                     predicate,
                     lang,
                 } => {
-                    let suffix = lang
-                        .as_ref()
-                        .map(|l| format!(" @{l}"))
-                        .unwrap_or_default();
+                    let suffix = lang.as_ref().map(|l| format!(" @{l}")).unwrap_or_default();
                     let _ = writeln!(out, "  col {column} -> {}{suffix}", compact(predicate));
                 }
                 Bridge::Ref {
@@ -326,7 +326,11 @@ pub fn serialize(mapping: &Mapping) -> String {
         let _ = writeln!(
             out,
             "agg {} group={} master={} value={} -> {}",
-            agg.table, agg.group_column, agg.master_table, agg.value_column, compact(&agg.predicate)
+            agg.table,
+            agg.group_column,
+            agg.master_table,
+            agg.value_column,
+            compact(&agg.predicate)
         );
     }
     out
@@ -455,11 +459,17 @@ agg votes group=pid master=pics value=rating -> rev:rating
         assert_eq!(m.relation_maps.len(), 1);
         assert_eq!(m.aggregate_maps.len(), 1);
         let users = m.class_map("users").unwrap();
-        assert_eq!(users.class.as_ref().unwrap().as_str(), "http://xmlns.com/foaf/0.1/Person");
+        assert_eq!(
+            users.class.as_ref().unwrap().as_str(),
+            "http://xmlns.com/foaf/0.1/Person"
+        );
         assert!(matches!(&users.bridges[1], Bridge::Column { lang: Some(l), .. } if l == "en"));
         let pics = m.class_map("pics").unwrap();
         assert_eq!(pics.bridges.len(), 6);
-        assert!(matches!(&pics.bridges[2], Bridge::Split { separator: ' ', .. }));
+        assert!(matches!(
+            &pics.bridges[2],
+            Bridge::Split { separator: ' ', .. }
+        ));
     }
 
     #[test]

@@ -177,7 +177,9 @@ fn dump_row(
                 target_table,
             } => {
                 let idx = index(column).expect("validated");
-                let Some(key) = row[idx].as_int() else { continue };
+                let Some(key) = row[idx].as_int() else {
+                    continue;
+                };
                 let object = uri_for_pk(db, mapping, target_table, key)?;
                 out.push(Triple::new_unchecked(
                     Term::Iri(subject.clone()),
@@ -191,7 +193,9 @@ fn dump_row(
                 separator,
             } => {
                 let idx = index(column).expect("validated");
-                let Some(text) = row[idx].as_text() else { continue };
+                let Some(text) = row[idx].as_text() else {
+                    continue;
+                };
                 for piece in text.split(*separator).filter(|p| !p.is_empty()) {
                     out.push(Triple::new_unchecked(
                         Term::Iri(subject.clone()),
@@ -318,12 +322,7 @@ pub fn aggregate_for(
 /// Mints the URI a class map gives to the row with primary key `pk`.
 /// Requires the target's template to reference only its PK column
 /// (true of every catalog mapping; validated here at use time).
-pub fn uri_for_pk(
-    db: &Database,
-    mapping: &Mapping,
-    table: &str,
-    pk: i64,
-) -> Result<Iri, D2rError> {
+pub fn uri_for_pk(db: &Database, mapping: &Mapping, table: &str, pk: i64) -> Result<Iri, D2rError> {
     let map = mapping
         .class_map(table)
         .ok_or_else(|| D2rError::UnmappedRefTarget {
@@ -336,13 +335,11 @@ pub fn uri_for_pk(
     let row = t.get(pk).ok_or_else(|| {
         D2rError::Relational(format!("{table}: no row with pk {pk} while minting URI"))
     })?;
-    let uri = fill_template(&map.uri_template, row, |name| {
-        t.schema().column_index(name)
-    })?
-    .ok_or_else(|| D2rError::Template {
-        template: map.uri_template.clone(),
-        message: "URI template hit NULL for referenced row".into(),
-    })?;
+    let uri = fill_template(&map.uri_template, row, |name| t.schema().column_index(name))?
+        .ok_or_else(|| D2rError::Template {
+            template: map.uri_template.clone(),
+            message: "URI template hit NULL for referenced row".into(),
+        })?;
     Iri::new(uri).map_err(|e| D2rError::Rdf(e.to_string()))
 }
 
@@ -475,7 +472,9 @@ mod tests {
         assert_eq!(stats.per_table.len(), 2);
 
         let nt = ntriples::to_string(&triples);
-        assert!(nt.contains("<http://t/p/10> <http://www.w3.org/2000/01/rdf-schema#label> \"Mole by night\""));
+        assert!(nt.contains(
+            "<http://t/p/10> <http://www.w3.org/2000/01/rdf-schema#label> \"Mole by night\""
+        ));
         assert!(nt.contains("<http://t/p/10> <http://xmlns.com/foaf/0.1/maker> <http://t/u/1>"));
         assert!(nt.contains("\"mole\""));
         assert!(nt.contains("POINT(7.69 45.07)"));
@@ -514,8 +513,10 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.insert("votes", vec![1.into(), 10.into(), 5.into()]).unwrap();
-        db.insert("votes", vec![2.into(), 10.into(), 2.into()]).unwrap();
+        db.insert("votes", vec![1.into(), 10.into(), 5.into()])
+            .unwrap();
+        db.insert("votes", vec![2.into(), 10.into(), 2.into()])
+            .unwrap();
         db.create_table(
             TableSchema::new(
                 "follows",
@@ -531,7 +532,8 @@ mod tests {
         )
         .unwrap();
         db.insert("users", vec![2.into(), "walter".into()]).unwrap();
-        db.insert("follows", vec![1.into(), 1.into(), 2.into()]).unwrap();
+        db.insert("follows", vec![1.into(), 1.into(), 2.into()])
+            .unwrap();
 
         let mut mapping = sample_mapping();
         mapping.relation_maps.push(crate::mapping::RelationMap {
@@ -573,7 +575,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.insert("votes", vec![1.into(), 999.into(), 5.into()]).unwrap();
+        db.insert("votes", vec![1.into(), 999.into(), 5.into()])
+            .unwrap();
         let mut mapping = sample_mapping();
         mapping.aggregate_maps.push(crate::mapping::AggregateMap {
             table: "votes".into(),

@@ -324,7 +324,10 @@ mod tests {
             fill_template("http://x/{id}/{path}", &row, idx).unwrap(),
             Some("http://x/7/a%20b/c".to_string())
         );
-        assert_eq!(fill_template("http://x/{missing}", &row, idx).unwrap(), None);
+        assert_eq!(
+            fill_template("http://x/{missing}", &row, idx).unwrap(),
+            None
+        );
         assert!(fill_template("http://x/{nope}", &row, idx).is_err());
         assert!(fill_template("http://x/{broken", &row, idx).is_err());
     }
@@ -351,7 +354,10 @@ mod tests {
             }],
             ..Default::default()
         };
-        assert!(matches!(bad_table.validate(&db), Err(D2rError::UnknownTable(_))));
+        assert!(matches!(
+            bad_table.validate(&db),
+            Err(D2rError::UnknownTable(_))
+        ));
 
         let bad_column = Mapping {
             class_maps: vec![ClassMap {

@@ -1,0 +1,35 @@
+//! Durability error type.
+
+use std::fmt;
+
+/// Errors from the persistence engine.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// A record failed to decode (bad tag, bad UTF-8, malformed term).
+    Codec(String),
+    /// The underlying storage failed (missing file, I/O error).
+    Storage(String),
+    /// A flush or snapshot was refused by an injected fault.
+    Unavailable(String),
+    /// Recovery found no usable snapshot generation.
+    Unrecoverable(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Codec(what) => write!(f, "codec: {what}"),
+            DurabilityError::Storage(what) => write!(f, "storage: {what}"),
+            DurabilityError::Unavailable(what) => write!(f, "unavailable: {what}"),
+            DurabilityError::Unrecoverable(what) => write!(f, "unrecoverable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Storage(e.to_string())
+    }
+}

@@ -202,10 +202,7 @@ impl Annotator {
         let Some(context) = input.context else {
             return (None, Vec::new(), Vec::new());
         };
-        let location = context
-            .location
-            .as_ref()
-            .map(|loc| gnr(loc.geonames_id));
+        let location = context.location.as_ref().map(|loc| gnr(loc.geonames_id));
         let buddies: Vec<Iri> = context
             .nearby
             .iter()
@@ -253,8 +250,7 @@ impl Annotator {
             .into_iter()
             .filter_map(|t| t.as_iri())
             .find(|iri| {
-                store.graph_of_term(&lodify_rdf::Term::Iri((*iri).clone()))
-                    == Some(GRAPH_DBPEDIA)
+                store.graph_of_term(&lodify_rdf::Term::Iri((*iri).clone())) == Some(GRAPH_DBPEDIA)
             })
             .cloned()
     }
@@ -290,7 +286,12 @@ impl Annotator {
                 }
             })
             .collect();
-        (term_list.language, annotations, failures, output.unavailable)
+        (
+            term_list.language,
+            annotations,
+            failures,
+            output.unavailable,
+        )
     }
 }
 
@@ -314,7 +315,9 @@ mod tests {
 
     fn context_at_mole() -> ContextSnapshot {
         let mut platform = ContextPlatform::new();
-        platform.buddies_mut().add_user(1, "oscar", "Oscar Rodriguez");
+        platform
+            .buddies_mut()
+            .add_user(1, "oscar", "Oscar Rodriguez");
         platform.buddies_mut().add_user(2, "walter", "Walter Goix");
         platform.buddies_mut().add_friend(1, 2);
         platform.buddies_mut().update_position(2, mole_point());

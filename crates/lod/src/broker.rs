@@ -202,8 +202,10 @@ impl SemanticBroker {
                 }
             }
         });
-        res.telemetry
-            .set_gauge(&format!("breaker.{name}.state"), breaker_gauge(breaker.state()));
+        res.telemetry.set_gauge(
+            &format!("breaker.{name}.state"),
+            breaker_gauge(breaker.state()),
+        );
         res.telemetry
             .set_gauge(&format!("breaker.{name}.opened"), breaker.times_opened());
         match result {
@@ -320,14 +322,14 @@ mod tests {
         );
         assert!(output.failures.is_empty());
         assert_eq!(output.terms.len(), 2);
-        assert!(!output.terms[0].candidates.is_empty(), "monument candidates");
+        assert!(
+            !output.terms[0].candidates.is_empty(),
+            "monument candidates"
+        );
         assert!(!output.terms[1].candidates.is_empty(), "city candidates");
         // City term collects both Geonames and DBpedia candidates.
-        let graphs: std::collections::HashSet<_> = output.terms[1]
-            .candidates
-            .iter()
-            .map(|c| c.graph)
-            .collect();
+        let graphs: std::collections::HashSet<_> =
+            output.terms[1].candidates.iter().map(|c| c.graph).collect();
         assert!(graphs.contains(&crate::resolvers::SourceGraph::Geonames));
         assert!(graphs.contains(&crate::resolvers::SourceGraph::DBpedia));
     }
@@ -360,7 +362,10 @@ mod tests {
         ]);
         let output = broker.resolve(&s, &["Torino".into()], "", Some("it"));
         assert_eq!(output.failures.len(), 1);
-        assert!(!output.terms[0].candidates.is_empty(), "geonames still answered");
+        assert!(
+            !output.terms[0].candidates.is_empty(),
+            "geonames still answered"
+        );
     }
 
     #[test]
@@ -386,7 +391,10 @@ mod tests {
             "Tramonto alla Mole Antonelliana",
             Some("it"),
         );
-        assert!(output.fulltext_unattached > 0, "dropped candidates surfaced");
+        assert!(
+            output.fulltext_unattached > 0,
+            "dropped candidates surfaced"
+        );
     }
 
     #[test]
@@ -434,16 +442,19 @@ mod tests {
         let clock = VirtualClock::new();
         // Fails every 2nd call: each term's first attempt may fail but
         // a retry lands.
-        let broker = SemanticBroker::new(vec![Box::new(FlakyResolver::new(
-            GeonamesResolver,
-            2,
-        ))])
-        .with_resilience(clock, BrokerResilienceConfig::default());
+        let broker = SemanticBroker::new(vec![Box::new(FlakyResolver::new(GeonamesResolver, 2))])
+            .with_resilience(clock, BrokerResilienceConfig::default());
         let output = broker.resolve(&s, &["Torino".into(), "Paris".into()], "", None);
         assert!(output.failures.is_empty(), "retries absorbed the flakiness");
         assert!(output.unavailable.is_empty());
         assert!(!output.terms[0].candidates.is_empty());
-        assert!(broker.telemetry().unwrap().counter("broker.retries.geonames") >= 1);
+        assert!(
+            broker
+                .telemetry()
+                .unwrap()
+                .counter("broker.retries.geonames")
+                >= 1
+        );
     }
 
     #[test]

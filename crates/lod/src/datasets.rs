@@ -44,7 +44,10 @@ pub fn gnr(id: u64) -> Iri {
 
 /// LinkedGeoData node IRI for a catalog key.
 pub fn lgd(key: &str) -> Iri {
-    ns::LGD.iri(&format!("node{}", lodify_context::gazetteer::stable_hash(key) % 100_000_000))
+    ns::LGD.iri(&format!(
+        "node{}",
+        lodify_context::gazetteer::stable_hash(key) % 100_000_000
+    ))
 }
 
 fn label(iri: &Iri, text: &str, lang: &str) -> Triple {
@@ -56,7 +59,11 @@ fn label(iri: &Iri, text: &str, lang: &str) -> Triple {
 }
 
 fn typed(iri: &Iri, class: Iri) -> Triple {
-    Triple::new_unchecked(Term::Iri(iri.clone()), ns::iri::rdf_type(), Term::Iri(class))
+    Triple::new_unchecked(
+        Term::Iri(iri.clone()),
+        ns::iri::rdf_type(),
+        Term::Iri(class),
+    )
 }
 
 fn geometry(iri: &Iri, point: lodify_rdf::Point) -> Triple {
@@ -90,12 +97,54 @@ struct Homonym {
 }
 
 const HOMONYMS: &[Homonym] = &[
-    Homonym { key: "Mole_(animal)", label: "Mole", class: "Animal", abstract_en: "Moles are small burrowing mammals.", ref_count: 40, collides_with: "Mole_Antonelliana" },
-    Homonym { key: "Mole_(unit)", label: "Mole", class: "Unit", abstract_en: "The mole is the SI unit of amount of substance.", ref_count: 35, collides_with: "Mole_Antonelliana" },
-    Homonym { key: "Colosseum_(band)", label: "Colosseum", class: "Band", abstract_en: "Colosseum are an English progressive rock band.", ref_count: 25, collides_with: "Colosseum" },
-    Homonym { key: "Paris_(mythology)", label: "Paris", class: "Person", abstract_en: "Paris is a figure of Greek mythology.", ref_count: 30, collides_with: "Paris" },
-    Homonym { key: "Pantheon_(religion)", label: "Pantheon", class: "Concept", abstract_en: "A pantheon is the set of gods of a religion.", ref_count: 28, collides_with: "Pantheon_Rome" },
-    Homonym { key: "Galleria_(film)", label: "Galleria", class: "Film", abstract_en: "Galleria is a short film.", ref_count: 10, collides_with: "Galleria_Vittorio_Emanuele_II" },
+    Homonym {
+        key: "Mole_(animal)",
+        label: "Mole",
+        class: "Animal",
+        abstract_en: "Moles are small burrowing mammals.",
+        ref_count: 40,
+        collides_with: "Mole_Antonelliana",
+    },
+    Homonym {
+        key: "Mole_(unit)",
+        label: "Mole",
+        class: "Unit",
+        abstract_en: "The mole is the SI unit of amount of substance.",
+        ref_count: 35,
+        collides_with: "Mole_Antonelliana",
+    },
+    Homonym {
+        key: "Colosseum_(band)",
+        label: "Colosseum",
+        class: "Band",
+        abstract_en: "Colosseum are an English progressive rock band.",
+        ref_count: 25,
+        collides_with: "Colosseum",
+    },
+    Homonym {
+        key: "Paris_(mythology)",
+        label: "Paris",
+        class: "Person",
+        abstract_en: "Paris is a figure of Greek mythology.",
+        ref_count: 30,
+        collides_with: "Paris",
+    },
+    Homonym {
+        key: "Pantheon_(religion)",
+        label: "Pantheon",
+        class: "Concept",
+        abstract_en: "A pantheon is the set of gods of a religion.",
+        ref_count: 28,
+        collides_with: "Pantheon_Rome",
+    },
+    Homonym {
+        key: "Galleria_(film)",
+        label: "Galleria",
+        class: "Film",
+        abstract_en: "Galleria is a short film.",
+        ref_count: 10,
+        collides_with: "Galleria_Vittorio_Emanuele_II",
+    },
 ];
 
 /// Builds the DBpedia snapshot.
@@ -141,11 +190,8 @@ pub fn dbpedia_graph(gaz: &Gazetteer) -> Vec<Triple> {
                 Term::Iri(iri.clone()),
                 ns::iri::dbpo_abstract(),
                 Term::Literal(
-                    Literal::lang(
-                        synthetic_abstract(poi.name, city.label(lang), lang),
-                        lang,
-                    )
-                    .expect("valid lang"),
+                    Literal::lang(synthetic_abstract(poi.name, city.label(lang), lang), lang)
+                        .expect("valid lang"),
                 ),
             ));
         }

@@ -58,7 +58,11 @@ pub struct FilterConfig {
 impl Default for FilterConfig {
     fn default() -> Self {
         FilterConfig {
-            graph_priority: vec![SourceGraph::Geonames, SourceGraph::DBpedia, SourceGraph::Evri],
+            graph_priority: vec![
+                SourceGraph::Geonames,
+                SourceGraph::DBpedia,
+                SourceGraph::Evri,
+            ],
             jw_threshold: 0.8,
             max_score_exemption: true,
             validate: true,
@@ -256,13 +260,14 @@ mod tests {
         let outcome = SemanticFilter::standard().filter(&s, "Torino", &cands);
         let chosen = outcome.chosen.expect("city resolves");
         assert_eq!(chosen.graph, SourceGraph::Geonames);
-        assert!(chosen.resource.as_str().starts_with("http://sws.geonames.org/"));
+        assert!(chosen
+            .resource
+            .as_str()
+            .starts_with("http://sws.geonames.org/"));
         // The DBpedia copy was discarded as lower priority.
-        assert!(outcome
-            .discarded
-            .iter()
-            .any(|(c, r)| c.graph == SourceGraph::DBpedia
-                && *r == DiscardReason::LowerPriorityGraph));
+        assert!(outcome.discarded.iter().any(
+            |(c, r)| c.graph == SourceGraph::DBpedia && *r == DiscardReason::LowerPriorityGraph
+        ));
     }
 
     #[test]
@@ -305,10 +310,7 @@ mod tests {
             .discarded
             .iter()
             .any(|(_, r)| matches!(r, DiscardReason::JaroWinkler(_))));
-        assert_eq!(
-            outcome.chosen.map(|c| c.resource),
-            Some(dbp("Colosseum"))
-        );
+        assert_eq!(outcome.chosen.map(|c| c.resource), Some(dbp("Colosseum")));
 
         // Without the exemption nothing survives.
         let strict = SemanticFilter::with_config(FilterConfig {

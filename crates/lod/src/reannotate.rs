@@ -86,7 +86,8 @@ impl ReAnnotator {
             now_ms,
         );
         self.telemetry.incr("reannotate.parked");
-        self.telemetry.set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
+        self.telemetry
+            .set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
         true
     }
 
@@ -103,19 +104,20 @@ impl ReAnnotator {
         let report = self.dlq.replay(|content| {
             let result = annotator.annotate(store, &content.as_input());
             if result.is_degraded() {
-                Err(format!(
-                    "still degraded: {}",
-                    result.degraded.join(", ")
-                ))
+                Err(format!("still degraded: {}", result.degraded.join(", ")))
             } else {
                 accept(content, result);
                 Ok(())
             }
         });
-        self.telemetry.add("reannotate.replayed", report.replayed as u64);
-        self.telemetry.set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
         self.telemetry
-            .set_gauge("reannotate.dlq.exhausted", self.dlq.exhausted().len() as u64);
+            .add("reannotate.replayed", report.replayed as u64);
+        self.telemetry
+            .set_gauge("reannotate.dlq.depth", self.dlq.depth() as u64);
+        self.telemetry.set_gauge(
+            "reannotate.dlq.exhausted",
+            self.dlq.exhausted().len() as u64,
+        );
         report
     }
 
@@ -139,13 +141,13 @@ impl ReAnnotator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::annotator::AnnotatorConfig;
     use crate::broker::{BrokerResilienceConfig, SemanticBroker};
     use crate::datasets::load_lod;
     use crate::filter::SemanticFilter;
     use crate::resolvers::{
         DbpediaResolver, FaultInjectedResolver, GeonamesResolver, SindiceResolver,
     };
-    use crate::annotator::AnnotatorConfig;
     use lodify_context::gazetteer::Gazetteer;
     use lodify_resilience::{FaultPlan, VirtualClock};
 
@@ -169,7 +171,11 @@ mod tests {
             Box::new(SindiceResolver),
         ])
         .with_resilience(clock.clone(), BrokerResilienceConfig::default());
-        Annotator::new(broker, SemanticFilter::standard(), AnnotatorConfig::default())
+        Annotator::new(
+            broker,
+            SemanticFilter::standard(),
+            AnnotatorConfig::default(),
+        )
     }
 
     #[test]
@@ -210,16 +216,10 @@ mod tests {
         assert_eq!(*id, 9);
         assert!(!refreshed.is_degraded());
         assert!(
-            refreshed
-                .terms
-                .iter()
-                .any(|t| t.resource.is_some()),
+            refreshed.terms.iter().any(|t| t.resource.is_some()),
             "full annotation after recovery"
         );
-        assert_eq!(
-            requeue.telemetry().gauge("reannotate.dlq.depth"),
-            Some(0)
-        );
+        assert_eq!(requeue.telemetry().gauge("reannotate.dlq.depth"), Some(0));
     }
 
     #[test]
@@ -262,7 +262,11 @@ mod tests {
             let _ = i;
         }
         assert_eq!(requeue.depth(), 0);
-        assert_eq!(requeue.queue().exhausted().len(), 1, "surfaced, not dropped");
+        assert_eq!(
+            requeue.queue().exhausted().len(),
+            1,
+            "surfaced, not dropped"
+        );
         assert_eq!(
             requeue.telemetry().gauge("reannotate.dlq.exhausted"),
             Some(1)

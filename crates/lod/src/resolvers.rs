@@ -406,7 +406,9 @@ fn fulltext_matches(
     for window in 1..=3usize {
         for chunk in words.windows(window) {
             let phrase = chunk.join(" ");
-            for (subject, label) in subjects_with_label(store, &phrase, graph_filter, LabelMatch::Exact) {
+            for (subject, label) in
+                subjects_with_label(store, &phrase, graph_filter, LabelMatch::Exact)
+            {
                 if seen.insert(subject) {
                     out.push((subject, label));
                 }
@@ -434,10 +436,12 @@ impl Resolver for EvriResolver {
     ) -> Result<Vec<Candidate>, ResolverError> {
         // Term queries match the whole term as an entity label; window
         // scanning is reserved for full-text over titles.
-        Ok(subjects_with_label(store, term, Some(GRAPH_DBPEDIA), LabelMatch::Exact)
-            .into_iter()
-            .map(|(_, label)| evri_candidate(label))
-            .collect())
+        Ok(
+            subjects_with_label(store, term, Some(GRAPH_DBPEDIA), LabelMatch::Exact)
+                .into_iter()
+                .map(|(_, label)| evri_candidate(label))
+                .collect(),
+        )
     }
 
     fn resolve_fulltext(
@@ -481,10 +485,12 @@ impl Resolver for ZemantaResolver {
         term: &str,
         _lang: Option<&str>,
     ) -> Result<Vec<Candidate>, ResolverError> {
-        Ok(subjects_with_label(store, term, Some(GRAPH_DBPEDIA), LabelMatch::Exact)
-            .into_iter()
-            .filter_map(|(subject, label)| zemanta_candidate(store, subject, label))
-            .collect())
+        Ok(
+            subjects_with_label(store, term, Some(GRAPH_DBPEDIA), LabelMatch::Exact)
+                .into_iter()
+                .filter_map(|(subject, label)| zemanta_candidate(store, subject, label))
+                .collect(),
+        )
     }
 
     fn resolve_fulltext(
@@ -592,7 +598,11 @@ impl<R: Resolver> FaultInjectedResolver<R> {
     /// Wraps `inner`, consulting `plan` under target `resolver:<name>`.
     pub fn new(inner: R, plan: lodify_resilience::FaultPlan) -> Self {
         let target = format!("resolver:{}", inner.name());
-        FaultInjectedResolver { inner, plan, target }
+        FaultInjectedResolver {
+            inner,
+            plan,
+            target,
+        }
     }
 
     /// The fault-plan target this wrapper consults.
@@ -649,14 +659,13 @@ mod tests {
     #[test]
     fn dbpedia_resolves_and_scores() {
         let s = store();
-        let hits = DbpediaResolver.resolve_term(&s, "Turin", Some("en")).unwrap();
+        let hits = DbpediaResolver
+            .resolve_term(&s, "Turin", Some("en"))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].resource, dbp("Turin"));
         assert_eq!(hits[0].score, 1.0);
-        assert!(hits[0]
-            .types
-            .iter()
-            .any(|t| t.as_str().ends_with("Place")));
+        assert!(hits[0].types.iter().any(|t| t.as_str().ends_with("Place")));
     }
 
     #[test]
@@ -679,7 +688,9 @@ mod tests {
         let hits = DbpediaResolver.resolve_term(&s, "Mole", None).unwrap();
         // Animal, unit, and the Mole→Mole_Antonelliana redirect — the
         // disambiguation page is gone.
-        assert!(hits.iter().all(|c| !c.resource.as_str().contains("disambiguation")));
+        assert!(hits
+            .iter()
+            .all(|c| !c.resource.as_str().contains("disambiguation")));
         assert!(hits.len() >= 3);
         // The monument (refCount 60) outranks animal (40) and unit (35).
         let top = hits
@@ -707,8 +718,7 @@ mod tests {
     fn sindice_returns_mixed_graphs_including_junk() {
         let s = store();
         let hits = SindiceResolver.resolve_term(&s, "Turin", None).unwrap();
-        let graphs: std::collections::HashSet<SourceGraph> =
-            hits.iter().map(|c| c.graph).collect();
+        let graphs: std::collections::HashSet<SourceGraph> = hits.iter().map(|c| c.graph).collect();
         assert!(graphs.contains(&SourceGraph::DBpedia));
         assert!(graphs.contains(&SourceGraph::Geonames));
         // LGD candidates come back as Other (to be discarded downstream).
@@ -725,7 +735,9 @@ mod tests {
         assert!(labels.contains(&"Mole Antonelliana"), "{labels:?}");
         assert!(labels.contains(&"Turin"));
         assert!(hits.iter().all(|c| c.graph == SourceGraph::Evri));
-        assert!(hits.iter().all(|c| c.resource.as_str().starts_with("http://www.evri.com/")));
+        assert!(hits
+            .iter()
+            .all(|c| c.resource.as_str().starts_with("http://www.evri.com/")));
     }
 
     #[test]
@@ -760,7 +772,10 @@ mod tests {
             &SindiceResolver,
         ] {
             assert!(
-                resolver.resolve_term(&s, "zzzunknownzzz", None).unwrap().is_empty(),
+                resolver
+                    .resolve_term(&s, "zzzunknownzzz", None)
+                    .unwrap()
+                    .is_empty(),
                 "{}",
                 resolver.name()
             );

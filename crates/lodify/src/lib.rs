@@ -14,6 +14,7 @@
 //!
 //! * [`rdf`] — RDF model and serialization;
 //! * [`store`] — the triple store (Virtuoso stand-in);
+//! * [`durability`] — WAL, snapshots and crash recovery for the store;
 //! * [`sparql`] — the SPARQL subset engine;
 //! * [`relational`] — relational engine + Coppermine workload;
 //! * [`tripletags`] — the machine-tag baseline;
@@ -31,6 +32,7 @@
 pub use lodify_context as context;
 pub use lodify_core as core;
 pub use lodify_d2r as d2r;
+pub use lodify_durability as durability;
 pub use lodify_lod as lod;
 pub use lodify_rdf as rdf;
 pub use lodify_relational as relational;

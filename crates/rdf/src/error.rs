@@ -39,7 +39,9 @@ impl fmt::Display for RdfError {
             RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri:?}"),
             RdfError::InvalidLanguageTag(tag) => write!(f, "invalid language tag: {tag:?}"),
             RdfError::InvalidBlankNode(label) => write!(f, "invalid blank node label: {label:?}"),
-            RdfError::Syntax { line, message } => write!(f, "syntax error at line {line}: {message}"),
+            RdfError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
             RdfError::InvalidGeometry(wkt) => write!(f, "invalid WKT geometry: {wkt:?}"),
         }
     }

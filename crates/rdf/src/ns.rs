@@ -264,7 +264,10 @@ mod tests {
             FOAF.iri("knows").as_str(),
             "http://xmlns.com/foaf/0.1/knows"
         );
-        assert_eq!(iri::rdf_type().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        assert_eq!(
+            iri::rdf_type().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
     }
 
     #[test]

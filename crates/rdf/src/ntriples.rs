@@ -109,7 +109,10 @@ impl<'a> Cursor<'a> {
         match self.peek() {
             Some(b'<') => Ok(Term::Iri(self.parse_iri()?)),
             Some(b'_') => Ok(Term::Blank(self.parse_blank()?)),
-            _ => Err(RdfError::syntax(self.line, "expected IRI or blank node subject")),
+            _ => Err(RdfError::syntax(
+                self.line,
+                "expected IRI or blank node subject",
+            )),
         }
     }
 
@@ -118,7 +121,10 @@ impl<'a> Cursor<'a> {
             Some(b'<') => Ok(Term::Iri(self.parse_iri()?)),
             Some(b'_') => Ok(Term::Blank(self.parse_blank()?)),
             Some(b'"') => Ok(Term::Literal(self.parse_literal()?)),
-            _ => Err(RdfError::syntax(self.line, "expected IRI, blank node or literal")),
+            _ => Err(RdfError::syntax(
+                self.line,
+                "expected IRI, blank node or literal",
+            )),
         }
     }
 
@@ -216,10 +222,7 @@ mod tests {
         assert_eq!(t.object, Term::literal("hello"));
 
         let t = parse_line("<http://s> <http://p> \"ciao\"@it .", 1).unwrap();
-        assert_eq!(
-            t.object.as_literal().unwrap().language(),
-            Some("it")
-        );
+        assert_eq!(t.object.as_literal().unwrap().language(), Some("it"));
 
         let t = parse_line(
             "<http://s> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .",

@@ -51,7 +51,10 @@ impl Iri {
     pub fn new_unchecked(iri: impl Into<String>) -> Self {
         let iri = iri.into();
         debug_assert!(
-            !iri.is_empty() && !iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '>'),
+            !iri.is_empty()
+                && !iri
+                    .chars()
+                    .any(|c| c.is_whitespace() || c == '<' || c == '>'),
             "invalid IRI literal: {iri:?}"
         );
         Iri(iri)
@@ -243,7 +246,9 @@ impl Literal {
     /// True if this literal carries WKT geometry (the `virtrdf:Geometry`
     /// datatype used by our `geo:geometry` property).
     pub fn is_geometry(&self) -> bool {
-        self.datatype.as_ref().is_some_and(|d| d.as_str() == GEO_WKT)
+        self.datatype
+            .as_ref()
+            .is_some_and(|d| d.as_str() == GEO_WKT)
     }
 }
 
@@ -251,7 +256,11 @@ impl Literal {
 /// a decimal point or exponent).
 fn format_double(value: f64) -> String {
     let s = value.to_string();
-    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") || s.contains("NaN")
+    if s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.contains("inf")
+        || s.contains("NaN")
     {
         s
     } else {
@@ -304,12 +313,14 @@ pub fn unescape_literal(value: &str) -> Result<String, String> {
             Some('t') => out.push('\t'),
             Some('u') => {
                 let hex: String = chars.by_ref().take(4).collect();
-                let cp = u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
+                let cp =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
                 out.push(char::from_u32(cp).ok_or_else(|| format!("bad code point {cp:#x}"))?);
             }
             Some('U') => {
                 let hex: String = chars.by_ref().take(8).collect();
-                let cp = u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\U escape: {hex}"))?;
+                let cp =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\U escape: {hex}"))?;
                 out.push(char::from_u32(cp).ok_or_else(|| format!("bad code point {cp:#x}"))?);
             }
             other => return Err(format!("unknown escape: \\{other:?}")),
@@ -428,8 +439,14 @@ mod tests {
 
     #[test]
     fn iri_local_name() {
-        assert_eq!(Iri::new_unchecked("http://ex.org/res#frag").local_name(), "frag");
-        assert_eq!(Iri::new_unchecked("http://ex.org/res/Turin").local_name(), "Turin");
+        assert_eq!(
+            Iri::new_unchecked("http://ex.org/res#frag").local_name(),
+            "frag"
+        );
+        assert_eq!(
+            Iri::new_unchecked("http://ex.org/res/Turin").local_name(),
+            "Turin"
+        );
         assert_eq!(Iri::new_unchecked("urn:isbn:123").local_name(), "123");
     }
 

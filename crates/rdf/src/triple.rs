@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn display_ntriples_line() {
-        let t = Triple::spo(
-            "http://ex.org/s",
-            "http://ex.org/p",
-            Term::literal("v"),
-        );
+        let t = Triple::spo("http://ex.org/s", "http://ex.org/p", Term::literal("v"));
         assert_eq!(t.to_string(), "<http://ex.org/s> <http://ex.org/p> \"v\" .");
     }
 
@@ -136,7 +132,13 @@ mod tests {
     fn quad_display_includes_graph() {
         let t = Triple::spo("http://s", "http://p", iri("http://o"));
         let q = Quad::in_graph(t.clone(), Iri::new_unchecked("http://g"));
-        assert_eq!(q.to_string(), "<http://s> <http://p> <http://o> <http://g> .");
-        assert_eq!(Quad::in_default(t).to_string(), "<http://s> <http://p> <http://o> .");
+        assert_eq!(
+            q.to_string(),
+            "<http://s> <http://p> <http://o> <http://g> ."
+        );
+        assert_eq!(
+            Quad::in_default(t).to_string(),
+            "<http://s> <http://p> <http://o> ."
+        );
     }
 }

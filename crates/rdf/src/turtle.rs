@@ -49,7 +49,11 @@ pub fn to_string<'a>(
             } else {
                 render_iri(&t.predicate, prefixes, &mut used)
             };
-            let _ = write!(body, "{pred} {}", render_term(&t.object, prefixes, &mut used));
+            let _ = write!(
+                body,
+                "{pred} {}",
+                render_term(&t.object, prefixes, &mut used)
+            );
         }
         body.push_str(" .\n");
         idx = group_end;
@@ -354,7 +358,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_numeric_literal(&mut self) -> Result<Literal, RdfError> {
-        let text = self.take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'));
+        let text =
+            self.take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'));
         // A trailing '.' is the statement terminator, not a decimal point.
         let text = if let Some(stripped) = text.strip_suffix('.') {
             self.pos -= 1;
@@ -363,9 +368,15 @@ impl<'a> Parser<'a> {
             text
         };
         if text.parse::<i64>().is_ok() {
-            Ok(Literal::typed(text, Iri::new_unchecked(crate::term::XSD_INTEGER)))
+            Ok(Literal::typed(
+                text,
+                Iri::new_unchecked(crate::term::XSD_INTEGER),
+            ))
         } else if text.parse::<f64>().is_ok() {
-            Ok(Literal::typed(text, Iri::new_unchecked(crate::term::XSD_DOUBLE)))
+            Ok(Literal::typed(
+                text,
+                Iri::new_unchecked(crate::term::XSD_DOUBLE),
+            ))
         } else {
             Err(RdfError::syntax(self.line, format!("bad number {text:?}")))
         }
@@ -409,7 +420,12 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            let context: String = self.input.chars().skip(self.pos.saturating_sub(10)).take(30).collect();
+            let context: String = self
+                .input
+                .chars()
+                .skip(self.pos.saturating_sub(10))
+                .take(30)
+                .collect();
             Err(RdfError::syntax(
                 self.line,
                 format!("expected '{c}' near {context:?}"),

@@ -31,7 +31,11 @@ pub struct Point {
 impl Point {
     /// Creates a point, validating coordinate ranges.
     pub fn new(lon: f64, lat: f64) -> Result<Self, RdfError> {
-        if !(-180.0..=180.0).contains(&lon) || !(-90.0..=90.0).contains(&lat) || lon.is_nan() || lat.is_nan() {
+        if !(-180.0..=180.0).contains(&lon)
+            || !(-90.0..=90.0).contains(&lat)
+            || lon.is_nan()
+            || lat.is_nan()
+        {
             return Err(RdfError::InvalidGeometry(format!("POINT({lon} {lat})")));
         }
         Ok(Point { lon, lat })
@@ -129,7 +133,10 @@ mod tests {
     #[test]
     fn parse_canonical_and_sloppy_forms() {
         assert_eq!(Point::parse_wkt("POINT(7.6933 45.0692)").unwrap(), mole());
-        assert_eq!(Point::parse_wkt("  point( 7.6933   45.0692 ) ").unwrap(), mole());
+        assert_eq!(
+            Point::parse_wkt("  point( 7.6933   45.0692 ) ").unwrap(),
+            mole()
+        );
     }
 
     #[test]

@@ -188,8 +188,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert(ALBUMS, vec![1.into(), 1.into(), "Torino 2011".into(), SqlValue::Null])
-            .unwrap();
+        db.insert(
+            ALBUMS,
+            vec![1.into(), 1.into(), "Torino 2011".into(), SqlValue::Null],
+        )
+        .unwrap();
         db.insert(
             PICTURES,
             vec![

@@ -181,7 +181,13 @@ mod tests {
         let mut db = db();
         assert!(matches!(
             db.create_table(
-                TableSchema::new("users", vec![Column::required("user_id", SqlType::Int)], "user_id", vec![]).unwrap()
+                TableSchema::new(
+                    "users",
+                    vec![Column::required("user_id", SqlType::Int)],
+                    "user_id",
+                    vec![]
+                )
+                .unwrap()
             ),
             Err(RelError::Schema(_))
         ));

@@ -76,9 +76,9 @@ impl TableSchema {
             foreign_keys,
             service: false,
         };
-        let pk = schema
-            .column(primary_key)
-            .ok_or_else(|| RelError::Schema(format!("{name}: primary key {primary_key:?} not a column")))?;
+        let pk = schema.column(primary_key).ok_or_else(|| {
+            RelError::Schema(format!("{name}: primary key {primary_key:?} not a column"))
+        })?;
         if pk.ty != SqlType::Int || pk.nullable {
             return Err(RelError::Schema(format!(
                 "{name}: primary key {primary_key:?} must be NOT NULL Int"

@@ -159,7 +159,8 @@ mod tests {
             t.insert(vec![1.into(), SqlValue::Null, SqlValue::Null]),
             Err(RelError::NullViolation { .. })
         ));
-        t.insert(vec![1.into(), "a".into(), SqlValue::Null]).unwrap();
+        t.insert(vec![1.into(), "a".into(), SqlValue::Null])
+            .unwrap();
         assert!(matches!(
             t.insert(vec![1.into(), "b".into(), SqlValue::Null]),
             Err(RelError::DuplicateKey { .. })
@@ -170,7 +171,8 @@ mod tests {
     fn scan_is_key_ordered() {
         let mut t = table();
         for id in [5, 1, 3] {
-            t.insert(vec![id.into(), "x".into(), SqlValue::Null]).unwrap();
+            t.insert(vec![id.into(), "x".into(), SqlValue::Null])
+                .unwrap();
         }
         let keys: Vec<i64> = t.scan().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![1, 3, 5]);
@@ -191,7 +193,8 @@ mod tests {
     #[test]
     fn cell_lookup_by_name() {
         let mut t = table();
-        t.insert(vec![1.into(), "ada".into(), SqlValue::Null]).unwrap();
+        t.insert(vec![1.into(), "ada".into(), SqlValue::Null])
+            .unwrap();
         let row = t.get(1).unwrap();
         assert_eq!(t.cell(row, "name").unwrap().as_text(), Some("ada"));
         assert!(t.cell(row, "ghost").is_err());

@@ -137,12 +137,36 @@ const FIRST_NAMES: &[&str] = &[
     "andrea", "chiara", "davide", "marta", "simone", "laura", "pierre", "claire", "hans", "anna",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Rossi", "Bianchi", "Goix", "Criminisi", "Mondin", "Ferrari", "Esposito", "Ricci", "Marino",
-    "Greco", "Dubois", "Martin", "Schmidt", "Fischer", "Garcia", "Lopez",
+    "Rossi",
+    "Bianchi",
+    "Goix",
+    "Criminisi",
+    "Mondin",
+    "Ferrari",
+    "Esposito",
+    "Ricci",
+    "Marino",
+    "Greco",
+    "Dubois",
+    "Martin",
+    "Schmidt",
+    "Fischer",
+    "Garcia",
+    "Lopez",
 ];
 const GENERIC_TAGS: &[&str] = &[
-    "travel", "holiday", "art", "food", "friends", "architecture", "night", "summer", "museum",
-    "street", "panorama", "vacanze",
+    "travel",
+    "holiday",
+    "art",
+    "food",
+    "friends",
+    "architecture",
+    "night",
+    "summer",
+    "museum",
+    "street",
+    "panorama",
+    "vacanze",
 ];
 const COMMENT_BODIES: &[&str] = &[
     "bella!",
@@ -154,7 +178,13 @@ const COMMENT_BODIES: &[&str] = &[
     "amazing place",
     "I was there last year",
 ];
-const LANGS: &[(&str, f64)] = &[("it", 0.40), ("en", 0.30), ("fr", 0.10), ("es", 0.10), ("de", 0.10)];
+const LANGS: &[(&str, f64)] = &[
+    ("it", 0.40),
+    ("en", 0.30),
+    ("fr", 0.10),
+    ("es", 0.10),
+    ("de", 0.10),
+];
 
 /// Generates the workload.
 pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
@@ -239,41 +269,48 @@ pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
 
         // Subject selection.
         let roll = rng.random_f64();
-        let (subject, city_key, anchor): (TruthSubject, String, Point) =
-            if roll < config.poi_title_rate {
-                // Only non-commercial POIs are photo *subjects*.
-                let sights: Vec<&Poi> = gaz
-                    .pois()
-                    .iter()
-                    .filter(|p| !p.category.is_commercial())
-                    .collect();
-                let poi = sights[rng.random_range(0..sights.len())];
-                (
-                    TruthSubject::Poi(poi.key.to_string()),
-                    poi.city_key.to_string(),
-                    poi.point(gaz),
-                )
-            } else if roll < config.poi_title_rate + config.person_title_rate {
-                let person = &gaz.people()[rng.random_range(0..gaz.people().len())];
-                let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
-                (
-                    TruthSubject::Person(person.name.to_string()),
-                    city.key.to_string(),
-                    city.point(),
-                )
-            } else if roll < config.poi_title_rate + config.person_title_rate + config.city_title_rate {
-                let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
-                (
-                    TruthSubject::City(city.key.to_string()),
-                    city.key.to_string(),
-                    city.point(),
-                )
-            } else {
-                let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
-                (TruthSubject::Generic, city.key.to_string(), city.point())
-            };
+        let (subject, city_key, anchor): (TruthSubject, String, Point) = if roll
+            < config.poi_title_rate
+        {
+            // Only non-commercial POIs are photo *subjects*.
+            let sights: Vec<&Poi> = gaz
+                .pois()
+                .iter()
+                .filter(|p| !p.category.is_commercial())
+                .collect();
+            let poi = sights[rng.random_range(0..sights.len())];
+            (
+                TruthSubject::Poi(poi.key.to_string()),
+                poi.city_key.to_string(),
+                poi.point(gaz),
+            )
+        } else if roll < config.poi_title_rate + config.person_title_rate {
+            let person = &gaz.people()[rng.random_range(0..gaz.people().len())];
+            let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
+            (
+                TruthSubject::Person(person.name.to_string()),
+                city.key.to_string(),
+                city.point(),
+            )
+        } else if roll < config.poi_title_rate + config.person_title_rate + config.city_title_rate {
+            let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
+            (
+                TruthSubject::City(city.key.to_string()),
+                city.key.to_string(),
+                city.point(),
+            )
+        } else {
+            let city = &gaz.cities()[rng.random_range(0..gaz.cities().len())];
+            (TruthSubject::Generic, city.key.to_string(), city.point())
+        };
 
-        let title = render_title(&subject, city_key.as_str(), lang, &mut rng, config.alt_name_rate);
+        let title = render_title(
+            &subject,
+            city_key.as_str(),
+            lang,
+            &mut rng,
+            config.alt_name_rate,
+        );
         let keywords = render_keywords(
             &subject,
             city_key.as_str(),
@@ -397,8 +434,11 @@ pub fn generate(config: WorkloadConfig) -> GeneratedWorkload {
         )
         .expect("generated session row is valid");
     }
-    db.insert(coppermine::CONFIG, vec![1.into(), "gallery_name".into(), "TeamLife".into()])
-        .expect("generated config row is valid");
+    db.insert(
+        coppermine::CONFIG,
+        vec![1.into(), "gallery_name".into(), "TeamLife".into()],
+    )
+    .expect("generated config row is valid");
 
     GeneratedWorkload { db, truth, config }
 }
@@ -444,7 +484,10 @@ fn render_title(
     alt_name_rate: f64,
 ) -> String {
     let gaz = Gazetteer::global();
-    let city_label = gaz.city(city_key).map(|c| c.label(lang)).unwrap_or(city_key);
+    let city_label = gaz
+        .city(city_key)
+        .map(|c| c.label(lang))
+        .unwrap_or(city_key);
     match subject {
         TruthSubject::Poi(key) => {
             let poi = gaz.poi(key).expect("catalog key");
@@ -454,11 +497,38 @@ fn render_title(
                 poi.name
             };
             let templates: &[&str] = match lang {
-                "it" => &["Tramonto alla {n}", "Visita a {n}", "Davanti alla {n}", "{n} di notte", "Vista stupenda della {n}"],
-                "fr" => &["Coucher de soleil sur {n}", "Visite de {n}", "Devant {n}", "{n} la nuit"],
-                "es" => &["Atardecer en {n}", "Visitando {n}", "Frente a {n}", "{n} de noche"],
-                "de" => &["Sonnenuntergang an {n}", "Besuch von {n}", "Vor dem {n}", "{n} bei Nacht"],
-                _ => &["Sunset at {n}", "Visiting {n}", "In front of the {n}", "{n} by night", "Amazing view of {n}"],
+                "it" => &[
+                    "Tramonto alla {n}",
+                    "Visita a {n}",
+                    "Davanti alla {n}",
+                    "{n} di notte",
+                    "Vista stupenda della {n}",
+                ],
+                "fr" => &[
+                    "Coucher de soleil sur {n}",
+                    "Visite de {n}",
+                    "Devant {n}",
+                    "{n} la nuit",
+                ],
+                "es" => &[
+                    "Atardecer en {n}",
+                    "Visitando {n}",
+                    "Frente a {n}",
+                    "{n} de noche",
+                ],
+                "de" => &[
+                    "Sonnenuntergang an {n}",
+                    "Besuch von {n}",
+                    "Vor dem {n}",
+                    "{n} bei Nacht",
+                ],
+                _ => &[
+                    "Sunset at {n}",
+                    "Visiting {n}",
+                    "In front of the {n}",
+                    "{n} by night",
+                    "Amazing view of {n}",
+                ],
             };
             templates[rng.random_range(0..templates.len())].replace("{n}", name)
         }
@@ -468,7 +538,11 @@ fn render_title(
                 "fr" => &["Exposition sur {p} à {c}", "La statue de {p}"],
                 "es" => &["Exposición sobre {p} en {c}", "La estatua de {p}"],
                 "de" => &["Ausstellung über {p} in {c}", "Die Statue von {p}"],
-                _ => &["Exhibition about {p} in {c}", "Statue of {p}", "Tribute to {p}"],
+                _ => &[
+                    "Exhibition about {p} in {c}",
+                    "Statue of {p}",
+                    "Tribute to {p}",
+                ],
             };
             templates[rng.random_range(0..templates.len())]
                 .replace("{p}", name)
@@ -486,11 +560,20 @@ fn render_title(
         }
         TruthSubject::Generic => {
             let templates: &[&str] = match lang {
-                "it" => &["Il mio pranzo di oggi", "Momenti felici", "La pizza migliore"],
+                "it" => &[
+                    "Il mio pranzo di oggi",
+                    "Momenti felici",
+                    "La pizza migliore",
+                ],
                 "fr" => &["Mon déjeuner", "Moments heureux"],
                 "es" => &["Mi almuerzo de hoy", "Momentos felices"],
                 "de" => &["Mein Mittagessen", "Schöne Momente"],
-                _ => &["My lunch today", "Happy moments", "Friends forever", "Best pizza ever"],
+                _ => &[
+                    "My lunch today",
+                    "Happy moments",
+                    "Friends forever",
+                    "Best pizza ever",
+                ],
             };
             templates[rng.random_range(0..templates.len())].to_string()
         }
@@ -598,7 +681,10 @@ mod tests {
         let cfg = WorkloadConfig::small(3);
         let w = generate(cfg.clone());
         assert_eq!(w.db.table(coppermine::USERS).unwrap().len(), cfg.users);
-        assert_eq!(w.db.table(coppermine::PICTURES).unwrap().len(), cfg.pictures);
+        assert_eq!(
+            w.db.table(coppermine::PICTURES).unwrap().len(),
+            cfg.pictures
+        );
         assert_eq!(w.truth.len(), cfg.pictures);
     }
 
@@ -608,10 +694,26 @@ mod tests {
             pictures: 300,
             ..WorkloadConfig::default()
         });
-        let poi = w.truth.iter().filter(|t| matches!(t.subject, TruthSubject::Poi(_))).count();
-        let person = w.truth.iter().filter(|t| matches!(t.subject, TruthSubject::Person(_))).count();
-        let city = w.truth.iter().filter(|t| matches!(t.subject, TruthSubject::City(_))).count();
-        let generic = w.truth.iter().filter(|t| matches!(t.subject, TruthSubject::Generic)).count();
+        let poi = w
+            .truth
+            .iter()
+            .filter(|t| matches!(t.subject, TruthSubject::Poi(_)))
+            .count();
+        let person = w
+            .truth
+            .iter()
+            .filter(|t| matches!(t.subject, TruthSubject::Person(_)))
+            .count();
+        let city = w
+            .truth
+            .iter()
+            .filter(|t| matches!(t.subject, TruthSubject::City(_)))
+            .count();
+        let generic = w
+            .truth
+            .iter()
+            .filter(|t| matches!(t.subject, TruthSubject::Generic))
+            .count();
         assert!(poi > 100, "poi={poi}");
         assert!(person > 10, "person={person}");
         assert!(city > 10, "city={city}");
@@ -629,9 +731,7 @@ mod tests {
         assert!((400..=500).contains(&with_gps), "with_gps={with_gps}");
         // DB agrees with truth.
         let pics = w.db.table(coppermine::PICTURES).unwrap();
-        let non_null = pics
-            .select(|row| !row[6].is_null())
-            .count();
+        let non_null = pics.select(|row| !row[6].is_null()).count();
         assert_eq!(non_null, with_gps);
     }
 

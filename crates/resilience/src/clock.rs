@@ -41,7 +41,10 @@ impl VirtualClock {
     /// Jumps to an absolute instant (must not move backwards).
     pub fn set(&self, ms: u64) {
         let prev = self.now_ms.swap(ms, Ordering::SeqCst);
-        assert!(ms >= prev, "virtual time cannot move backwards ({prev} → {ms})");
+        assert!(
+            ms >= prev,
+            "virtual time cannot move backwards ({prev} → {ms})"
+        );
     }
 }
 

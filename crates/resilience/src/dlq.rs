@@ -85,10 +85,7 @@ impl<T> DeadLetterQueue<T> {
     /// Replays every parked item through `process`. `Ok` removes the
     /// item; `Err` re-parks it (or exhausts it at the cap). Items added
     /// during the pass are not replayed until the next pass.
-    pub fn replay(
-        &mut self,
-        mut process: impl FnMut(&T) -> Result<(), String>,
-    ) -> ReplayReport {
+    pub fn replay(&mut self, mut process: impl FnMut(&T) -> Result<(), String>) -> ReplayReport {
         let mut report = ReplayReport::default();
         let batch = std::mem::take(&mut self.letters);
         for mut letter in batch {
@@ -122,8 +119,21 @@ mod tests {
         dlq.push("b", "down", 11);
         assert_eq!(dlq.depth(), 2);
 
-        let report = dlq.replay(|item| if *item == "a" { Ok(()) } else { Err("still down".into()) });
-        assert_eq!(report, ReplayReport { replayed: 1, requeued: 1, exhausted: 0 });
+        let report = dlq.replay(|item| {
+            if *item == "a" {
+                Ok(())
+            } else {
+                Err("still down".into())
+            }
+        });
+        assert_eq!(
+            report,
+            ReplayReport {
+                replayed: 1,
+                requeued: 1,
+                exhausted: 0
+            }
+        );
         assert_eq!(dlq.depth(), 1);
         assert_eq!(dlq.letters()[0].item, "b");
         assert_eq!(dlq.letters()[0].attempts, 2);

@@ -170,7 +170,11 @@ impl FaultPlan {
             self.clock.advance(spec.latency_ms);
         }
         let now = self.clock.now_ms();
-        if spec.outages.iter().any(|&(from, until)| now >= from && now < until) {
+        if spec
+            .outages
+            .iter()
+            .any(|&(from, until)| now >= from && now < until)
+        {
             self.telemetry.incr(&format!("fault.injected.{target}"));
             return Err(FaultError {
                 target: target.to_string(),
@@ -244,7 +248,9 @@ mod tests {
                 .failure_rate("svc", 0.5)
                 .seed(seed)
                 .build(VirtualClock::new());
-            (0..64).map(|_| plan.check("svc").is_err()).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| plan.check("svc").is_err())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
@@ -267,9 +273,7 @@ mod tests {
     #[test]
     fn telemetry_counts_injections() {
         let clock = VirtualClock::new();
-        let plan = FaultPlan::builder()
-            .outage("svc", 0, 1_000)
-            .build(clock);
+        let plan = FaultPlan::builder().outage("svc", 0, 1_000).build(clock);
         for _ in 0..3 {
             let _ = plan.check("svc");
         }

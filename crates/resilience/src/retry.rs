@@ -60,7 +60,11 @@ impl<E: fmt::Display> fmt::Display for RetryError<E> {
             f,
             "gave up after {} attempt(s){}: {}",
             self.attempts,
-            if self.budget_exhausted { " (budget exhausted)" } else { "" },
+            if self.budget_exhausted {
+                " (budget exhausted)"
+            } else {
+                ""
+            },
             self.error
         )
     }
@@ -230,7 +234,9 @@ mod tests {
         let schedule = |seed| {
             let mut rng = DetRng::seed_from_u64(seed);
             let policy = RetryPolicy::default();
-            (1..=5u32).map(|a| policy.delay_ms(a, &mut rng)).collect::<Vec<_>>()
+            (1..=5u32)
+                .map(|a| policy.delay_ms(a, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(schedule(7), schedule(7));
         assert_ne!(schedule(7), schedule(8));

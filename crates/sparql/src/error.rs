@@ -27,8 +27,7 @@ pub enum SparqlError {
     Unsupported(String),
 }
 
-impl SparqlError {
-}
+impl SparqlError {}
 
 impl fmt::Display for SparqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

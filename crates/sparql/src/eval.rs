@@ -246,9 +246,7 @@ impl<'s> Evaluator<'s> {
         let solutions = self.eval_group(&query.where_clause, vec![empty], &reg)?;
 
         let Projection::Items(items) = &query.select.projection else {
-            return Err(SparqlError::Unsupported(
-                "SELECT * with GROUP BY".into(),
-            ));
+            return Err(SparqlError::Unsupported("SELECT * with GROUP BY".into()));
         };
         let group_slots: Vec<usize> = query
             .group_by
@@ -341,9 +339,7 @@ impl<'s> Evaluator<'s> {
                     let keys = query
                         .order_by
                         .iter()
-                        .map(|k| {
-                            sort_key(&k.expr, &|name: &str| lookup_map.get(name).copied())
-                        })
+                        .map(|k| sort_key(&k.expr, &|name: &str| lookup_map.get(name).copied()))
                         .collect();
                     (keys, row)
                 })
@@ -573,7 +569,11 @@ impl<'s> Evaluator<'s> {
         let has_const_pred = matches!(&p.predicate, TermOrVar::Term(_));
         let estimate = self.store.stats().estimate(
             is_bound(&p.subject),
-            if has_const_pred { pred_id.or(Some(TermId(u64::MAX))) } else { None },
+            if has_const_pred {
+                pred_id.or(Some(TermId(u64::MAX)))
+            } else {
+                None
+            },
             is_bound(&p.object),
         );
         // A constant predicate missing from the dictionary means zero rows.
@@ -721,7 +721,10 @@ where
         Err(_) => SortKey::Unbound,
         Ok(v) => match v.as_num() {
             Some(n) => SortKey::Num(n),
-            None => v.as_str_value().map(SortKey::Str).unwrap_or(SortKey::Unbound),
+            None => v
+                .as_str_value()
+                .map(SortKey::Str)
+                .unwrap_or(SortKey::Unbound),
         },
     }
 }
@@ -886,9 +889,7 @@ fn describe_pattern(pattern: &TriplePattern) -> String {
     let prefixes = lodify_rdf::ns::PrefixMap::with_defaults();
     let part = |tov: &TermOrVar| match tov {
         TermOrVar::Var(v) => format!("?{v}"),
-        TermOrVar::Term(Term::Iri(iri)) => prefixes
-            .compact(iri)
-            .unwrap_or_else(|| iri.to_string()),
+        TermOrVar::Term(Term::Iri(iri)) => prefixes.compact(iri).unwrap_or_else(|| iri.to_string()),
         TermOrVar::Term(t) => t.to_string(),
     };
     format!(

@@ -419,8 +419,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn eval_filter(query_filter: &str, bindings: &[(&str, Term)]) -> Result<bool, ExprError> {
-        let q = parse_query(&format!("SELECT ?x WHERE {{ ?x ?p ?o . FILTER({query_filter}) }}"))
-            .unwrap();
+        let q = parse_query(&format!(
+            "SELECT ?x WHERE {{ ?x ?p ?o . FILTER({query_filter}) }}"
+        ))
+        .unwrap();
         let crate::ast::Element::Filter(expr) = &q.where_clause.elements[1] else {
             panic!("no filter");
         };
@@ -512,7 +514,10 @@ mod tests {
         let milan = Point::new(9.19, 45.4642).unwrap().to_literal();
         assert!(eval_filter(
             "bif:st_intersects(?a, ?b, 0.3)",
-            &[("a", Term::Literal(mole.clone())), ("b", Term::Literal(near))]
+            &[
+                ("a", Term::Literal(mole.clone())),
+                ("b", Term::Literal(near))
+            ]
         )
         .unwrap());
         assert!(!eval_filter(

@@ -144,7 +144,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
             '@' => {
                 let start = pos + 1;
                 let mut end = start;
-                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '-') {
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '-')
+                {
                     end += 1;
                 }
                 tokens.push(Token::LangTag(chars[start..end].iter().collect()));

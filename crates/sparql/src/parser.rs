@@ -393,7 +393,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(TermOrVar::Term(Term::Iri(lodify_rdf::ns::iri::rdf_type())))
             }
-            Some(Token::Word(w)) if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") => {
+            Some(Token::Word(w))
+                if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") =>
+            {
                 self.pos += 1;
                 Ok(TermOrVar::Term(Term::Literal(Literal::boolean(
                     w.eq_ignore_ascii_case("true"),
@@ -746,7 +748,9 @@ SELECT DISTINCT ?link WHERE {
         assert_eq!(q.group_by, vec!["t".to_string()]);
         match &q.select.projection {
             Projection::Items(items) => {
-                assert!(matches!(&items[1], ProjectionItem::Count { var: None, alias, .. } if alias == "n"));
+                assert!(
+                    matches!(&items[1], ProjectionItem::Count { var: None, alias, .. } if alias == "n")
+                );
             }
             _ => panic!("expected items"),
         }
@@ -770,10 +774,7 @@ SELECT DISTINCT ?link WHERE {
 
     #[test]
     fn filter_without_outer_parens() {
-        let q = parse_query(
-            "SELECT ?s WHERE { ?s ?p ?o . FILTER bound(?o) }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s WHERE { ?s ?p ?o . FILTER bound(?o) }").unwrap();
         assert!(matches!(
             &q.where_clause.elements[1],
             Element::Filter(Expr::Call(name, _)) if name == "bound"

@@ -70,7 +70,11 @@ impl QueryResults {
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
-                .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "—".into()))
+                .map(|c| {
+                    c.as_ref()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "—".into())
+                })
                 .collect();
             let _ = writeln!(out, "{}", cells.join("\t"));
         }

@@ -36,7 +36,11 @@ fn paper_store() -> Store {
 
     let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
     store.insert(
-        &Triple::spo(monument, ns::iri::rdfs_label().as_str(), lang("Mole Antonelliana", "it")),
+        &Triple::spo(
+            monument,
+            ns::iri::rdfs_label().as_str(),
+            lang("Mole Antonelliana", "it"),
+        ),
         dbp,
     );
     store.insert(
@@ -74,19 +78,35 @@ fn paper_store() -> Store {
     for (id, maker, dist, rating) in pics {
         let iri = format!("http://t/pictures/{id}");
         store.insert(
-            &Triple::spo(&iri, ns::iri::rdf_type().as_str(), Term::Iri(ns::iri::microblog_post())),
+            &Triple::spo(
+                &iri,
+                ns::iri::rdf_type().as_str(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
             ugc,
         );
         store.insert(
-            &Triple::spo(&iri, ns::iri::geo_geometry().as_str(), geom(mole().offset_km(dist, 0.0))),
+            &Triple::spo(
+                &iri,
+                ns::iri::geo_geometry().as_str(),
+                geom(mole().offset_km(dist, 0.0)),
+            ),
             ugc,
         );
         store.insert(
-            &Triple::spo(&iri, ns::iri::image_data().as_str(), lit(&format!("http://t/media/{id}.jpg"))),
+            &Triple::spo(
+                &iri,
+                ns::iri::image_data().as_str(),
+                lit(&format!("http://t/media/{id}.jpg")),
+            ),
             ugc,
         );
         store.insert(
-            &Triple::spo(&iri, ns::iri::foaf_maker().as_str(), Term::iri_unchecked(maker)),
+            &Triple::spo(
+                &iri,
+                ns::iri::foaf_maker().as_str(),
+                Term::iri_unchecked(maker),
+            ),
             ugc,
         );
         store.insert(
@@ -275,11 +295,19 @@ fn langmatches_filters_by_language() {
     let mut store = Store::new();
     let g = store.default_graph();
     store.insert(
-        &Triple::spo("http://city/turin", ns::iri::dbpo_abstract().as_str(), lang("Torino è una città", "it")),
+        &Triple::spo(
+            "http://city/turin",
+            ns::iri::dbpo_abstract().as_str(),
+            lang("Torino è una città", "it"),
+        ),
         g,
     );
     store.insert(
-        &Triple::spo("http://city/turin", ns::iri::dbpo_abstract().as_str(), lang("Turin is a city", "en")),
+        &Triple::spo(
+            "http://city/turin",
+            ns::iri::dbpo_abstract().as_str(),
+            lang("Turin is a city", "en"),
+        ),
         g,
     );
     let results = execute(
@@ -401,11 +429,7 @@ fn filter_rejecting_all_rows_yields_empty() {
 #[test]
 fn constant_not_in_store_matches_nothing() {
     let store = paper_store();
-    let results = execute(
-        &store,
-        "SELECT ?o WHERE { <http://never/seen> ?p ?o . }",
-    )
-    .unwrap();
+    let results = execute(&store, "SELECT ?o WHERE { <http://never/seen> ?p ?o . }").unwrap();
     assert!(results.is_empty());
 }
 
@@ -426,7 +450,10 @@ fn unsupported_feature_is_a_clear_error() {
     // CONSTRUCT is outside the subset.
     let err = execute(&store, "CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }").unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("expected SELECT") || msg.to_lowercase().contains("parse"), "{msg}");
+    assert!(
+        msg.contains("expected SELECT") || msg.to_lowercase().contains("parse"),
+        "{msg}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -487,7 +514,10 @@ fn union_joins_with_surrounding_patterns() {
         store.insert(&Triple::spo(s, "http://p/kind", lit(kind)), g);
         store.insert(&Triple::spo(s, "http://p/city", lit("Turin")), g);
     }
-    store.insert(&Triple::spo("http://m/3", "http://p/kind", lit("museum")), g);
+    store.insert(
+        &Triple::spo("http://m/3", "http://p/kind", lit("museum")),
+        g,
+    );
     let results = execute(
         &store,
         r#"SELECT ?s WHERE {
@@ -504,7 +534,11 @@ fn union_joins_with_surrounding_patterns() {
 fn order_by_mixed_bound_and_unbound_sorts_unbound_first() {
     let mut store = Store::new();
     let g = store.default_graph();
-    for (s, rating) in [("http://r/1", Some(3i64)), ("http://r/2", None), ("http://r/3", Some(1))] {
+    for (s, rating) in [
+        ("http://r/1", Some(3i64)),
+        ("http://r/2", None),
+        ("http://r/3", Some(1)),
+    ] {
         store.insert(&Triple::spo(s, "http://p/type", lit("x")), g);
         if let Some(v) = rating {
             store.insert(&Triple::spo(s, "http://p/rating", int(v)), g);
@@ -518,7 +552,10 @@ fn order_by_mixed_bound_and_unbound_sorts_unbound_first() {
         } ORDER BY ?r"#,
     )
     .unwrap();
-    let order: Vec<&str> = results.iter().map(|row| row.get("s").unwrap().lexical()).collect();
+    let order: Vec<&str> = results
+        .iter()
+        .map(|row| row.get("s").unwrap().lexical())
+        .collect();
     assert_eq!(order, vec!["http://r/2", "http://r/3", "http://r/1"]);
 }
 
@@ -581,16 +618,12 @@ fn deeply_nested_groups_evaluate() {
 #[test]
 fn ask_queries_reduce_to_booleans() {
     let store = paper_store();
-    assert!(lodify_sparql::ask(
-        &store,
-        r#"ASK { ?m rdfs:label "Mole Antonelliana"@it . }"#,
-    )
-    .unwrap());
-    assert!(!lodify_sparql::ask(
-        &store,
-        r#"ASK WHERE { ?m rdfs:label "Tour Eiffel"@fr . }"#,
-    )
-    .unwrap());
+    assert!(
+        lodify_sparql::ask(&store, r#"ASK { ?m rdfs:label "Mole Antonelliana"@it . }"#,).unwrap()
+    );
+    assert!(
+        !lodify_sparql::ask(&store, r#"ASK WHERE { ?m rdfs:label "Tour Eiffel"@fr . }"#,).unwrap()
+    );
     // The paper's validation shape: does the resource have any binding?
     assert!(lodify_sparql::ask(
         &store,

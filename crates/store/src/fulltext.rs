@@ -41,7 +41,13 @@ impl FullTextIndex {
     }
 
     /// Indexes a literal's lexical form for the given triple.
-    pub fn index_literal(&mut self, subject: TermId, predicate: TermId, object: TermId, text: &str) {
+    pub fn index_literal(
+        &mut self,
+        subject: TermId,
+        predicate: TermId,
+        object: TermId,
+        text: &str,
+    ) {
         for token in tokenize(text) {
             let entry = self.postings.entry(token).or_default();
             let posting = Posting {

@@ -56,7 +56,10 @@ impl GeoIndex {
                 v.retain(|&s| s != subject);
             }
         }
-        self.grid.entry(self.cell_of(point)).or_default().push(subject);
+        self.grid
+            .entry(self.cell_of(point))
+            .or_default()
+            .push(subject);
     }
 
     /// Removes a subject's point, if registered.
@@ -186,7 +189,9 @@ mod tests {
         let mut points = Vec::new();
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for i in 0..500 {
@@ -202,7 +207,11 @@ mod tests {
                 .map(|(s, _)| *s)
                 .collect();
             expected.sort();
-            let mut got: Vec<TermId> = idx.within_km(center, radius).into_iter().map(|(s, _)| s).collect();
+            let mut got: Vec<TermId> = idx
+                .within_km(center, radius)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
             got.sort();
             assert_eq!(got, expected, "radius {radius}");
         }

@@ -115,8 +115,7 @@ mod tests {
             store.insert(&t(1), g);
         });
         let guard = shared.read();
-        let results =
-            lodify_sparql_probe(&guard).expect("query under read guard");
+        let results = lodify_sparql_probe(&guard).expect("query under read guard");
         assert_eq!(results, 1);
     }
 

@@ -36,6 +36,25 @@ impl Stats {
         }
     }
 
+    /// Un-records one removed statement — the exact inverse of
+    /// [`Stats::record`]. The booleans say whether the removal left the
+    /// subject/object with no remaining statements in that position.
+    pub fn unrecord(&mut self, predicate: TermId, subject_gone: bool, object_gone: bool) {
+        self.total = self.total.saturating_sub(1);
+        if let Some(count) = self.by_predicate.get_mut(&predicate) {
+            *count -= 1;
+            if *count == 0 {
+                self.by_predicate.remove(&predicate);
+            }
+        }
+        if subject_gone {
+            self.distinct_subjects = self.distinct_subjects.saturating_sub(1);
+        }
+        if object_gone {
+            self.distinct_objects = self.distinct_objects.saturating_sub(1);
+        }
+    }
+
     /// Total statements recorded.
     pub fn total(&self) -> usize {
         self.total

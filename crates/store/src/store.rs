@@ -1,6 +1,7 @@
 //! The triple store facade.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
 
 use lodify_rdf::ns::PrefixMap;
 use lodify_rdf::{ntriples, turtle, Iri, Point, Term, Triple};
@@ -96,6 +97,16 @@ impl Store {
         self.graphs.get(id.0 as usize).map(String::as_str)
     }
 
+    /// Number of registered graphs (ids are dense, `0..count`).
+    pub fn graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Registered graph names in [`GraphId`] order.
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> {
+        self.graphs.iter().map(String::as_str)
+    }
+
     /// The graph that first introduced `subject`, if any.
     pub fn graph_of_subject(&self, subject: TermId) -> Option<GraphId> {
         self.subject_graph.get(&subject).copied()
@@ -158,6 +169,30 @@ impl Store {
         }
         self.pos.remove(&(p, o, s));
         self.osp.remove(&(o, s, p));
+
+        // Keep join-ordering statistics exact under deletes: a term
+        // leaves the distinct-subject/object population only when its
+        // last statement in that position goes.
+        const MIN: TermId = TermId::MIN;
+        const MAX: TermId = TermId::MAX;
+        let subject_gone = self
+            .spo
+            .range((s, MIN, MIN)..=(s, MAX, MAX))
+            .next()
+            .is_none();
+        let object_gone = self
+            .osp
+            .range((o, MIN, MIN)..=(o, MAX, MAX))
+            .next()
+            .is_none();
+        if subject_gone {
+            self.seen_subjects.remove(&s);
+        }
+        if object_gone {
+            self.seen_objects.remove(&o);
+        }
+        self.stats.unrecord(p, subject_gone, object_gone);
+
         if let Term::Literal(lit) = &triple.object {
             if p == self.geo_geometry || lit.is_geometry() {
                 // Only clear the point if no other geometry triple remains.
@@ -186,7 +221,8 @@ impl Store {
     /// Bulk-loads an N-Triples document into `graph`; returns the
     /// number of *new* statements.
     pub fn load_ntriples(&mut self, text: &str, graph: GraphId) -> Result<usize, StoreError> {
-        let triples = ntriples::parse_document(text).map_err(|e| StoreError::Load(e.to_string()))?;
+        let triples =
+            ntriples::parse_document(text).map_err(|e| StoreError::Load(e.to_string()))?;
         Ok(triples.iter().filter(|t| self.insert(t, graph)).count())
     }
 
@@ -208,7 +244,10 @@ impl Store {
         triples: impl IntoIterator<Item = &'a Triple>,
         graph: GraphId,
     ) -> usize {
-        triples.into_iter().filter(|t| self.insert(t, graph)).count()
+        triples
+            .into_iter()
+            .filter(|t| self.insert(t, graph))
+            .count()
     }
 
     /// Whether the union store contains the triple.
@@ -314,23 +353,22 @@ impl Store {
     }
 
     /// Term-level pattern matching; convenient for tests and tooling.
-    pub fn match_terms(
-        &self,
-        s: Option<&Term>,
-        p: Option<&Iri>,
-        o: Option<&Term>,
-    ) -> Vec<Triple> {
+    pub fn match_terms(&self, s: Option<&Term>, p: Option<&Iri>, o: Option<&Term>) -> Vec<Triple> {
         let resolve = |t: Option<&Term>| -> Option<Option<TermId>> {
             match t {
                 None => Some(None),
                 Some(term) => self.dict.id(term).map(Some),
             }
         };
-        let Some(s_id) = resolve(s) else { return Vec::new() };
+        let Some(s_id) = resolve(s) else {
+            return Vec::new();
+        };
         let Some(p_id) = resolve(p.map(|i| Term::Iri(i.clone())).as_ref()) else {
             return Vec::new();
         };
-        let Some(o_id) = resolve(o) else { return Vec::new() };
+        let Some(o_id) = resolve(o) else {
+            return Vec::new();
+        };
         self.match_ids(s_id, p_id, o_id)
             .filter_map(|(s, p, o)| {
                 let subject = self.dict.term(s)?.clone();
@@ -357,25 +395,41 @@ impl Store {
         })
     }
 
-    /// Serializes the union store (or one named graph) to N-Triples —
-    /// the paper's "semantic platform offering Linked Data
-    /// functionalities and running locally" needs its data exportable.
-    pub fn export_ntriples(&self, graph: Option<GraphId>) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        for triple in self.triples() {
+    /// Streams the union store (or one named graph) as N-Triples into
+    /// any [`fmt::Write`] sink — a `String`, a growable buffer behind
+    /// an HTTP response, a line counter — without materializing the
+    /// whole document.
+    pub fn export_ntriples_to(
+        &self,
+        out: &mut impl fmt::Write,
+        graph: Option<GraphId>,
+    ) -> fmt::Result {
+        for (s, p, o) in self.match_ids(None, None, None) {
             if let Some(g) = graph {
-                let in_graph = self
-                    .dict
-                    .id(&triple.subject)
-                    .and_then(|s| self.graph_of_subject(s))
-                    == Some(g);
-                if !in_graph {
+                if self.graph_of_subject(s) != Some(g) {
                     continue;
                 }
             }
-            let _ = writeln!(out, "{triple}");
+            let (Some(subject), Some(predicate), Some(object)) = (
+                self.dict.term(s),
+                self.dict.term(p).and_then(Term::as_iri),
+                self.dict.term(o),
+            ) else {
+                continue;
+            };
+            writeln!(out, "{subject} {predicate} {object} .")?;
         }
+        Ok(())
+    }
+
+    /// Serializes the union store (or one named graph) to N-Triples —
+    /// the paper's "semantic platform offering Linked Data
+    /// functionalities and running locally" needs its data exportable.
+    /// Allocating convenience over [`Store::export_ntriples_to`].
+    pub fn export_ntriples(&self, graph: Option<GraphId>) -> String {
+        let mut out = String::new();
+        self.export_ntriples_to(&mut out, graph)
+            .expect("writing to a String cannot fail");
         out
     }
 }
@@ -442,9 +496,7 @@ mod tests {
     fn pattern_shapes_all_work() {
         let store = sample_store();
         let s = store.id_of(&Term::iri_unchecked("http://t/pic1")).unwrap();
-        let p = store
-            .id_of(&Term::Iri(ns::iri::rdfs_label()))
-            .unwrap();
+        let p = store.id_of(&Term::Iri(ns::iri::rdfs_label())).unwrap();
         let o = store
             .id_of(&Term::Literal(Literal::lang("Torino", "it").unwrap()))
             .unwrap();
@@ -502,7 +554,10 @@ mod tests {
             store.graph_of_term(&Term::iri_unchecked("http://dbpedia.org/resource/Turin")),
             Some("urn:g:dbpedia")
         );
-        assert_eq!(store.graph_of_term(&Term::iri_unchecked("http://absent")), None);
+        assert_eq!(
+            store.graph_of_term(&Term::iri_unchecked("http://absent")),
+            None
+        );
     }
 
     #[test]
@@ -568,6 +623,42 @@ mod tests {
     }
 
     #[test]
+    fn remove_unwinds_statistics() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let label = ns::iri::rdfs_label();
+        let t1 = triple("http://a", label.as_str(), Term::literal("one"));
+        let t2 = triple("http://a", label.as_str(), Term::literal("two"));
+        let t3 = triple("http://b", label.as_str(), Term::literal("one"));
+        store.insert(&t1, g);
+        store.insert(&t2, g);
+        store.insert(&t3, g);
+        let p = store.id_of(&Term::Iri(label.clone())).unwrap();
+        assert_eq!(store.stats().total(), 3);
+        assert_eq!(store.stats().predicate_count(p), 3);
+
+        // "http://a" keeps a statement, so only the object "two" leaves
+        // the distinct populations.
+        store.remove(&t2);
+        assert_eq!(store.stats().total(), 2);
+        assert_eq!(store.stats().predicate_count(p), 2);
+        assert_eq!(store.stats().estimate(false, Some(p), false), 2.0);
+
+        // Removing the rest must drain the stats back to empty — the
+        // drift this guards against made estimates grow monotonically.
+        store.remove(&t1);
+        store.remove(&t3);
+        assert_eq!(store.stats().total(), 0);
+        assert_eq!(store.stats().predicate_count(p), 0);
+        assert_eq!(store.stats().estimate(false, Some(p), false), 0.0);
+
+        // Re-inserting counts the terms as distinct again, exactly once.
+        store.insert(&t1, g);
+        assert_eq!(store.stats().total(), 1);
+        assert_eq!(store.stats().predicate_count(p), 1);
+    }
+
+    #[test]
     fn export_round_trips_through_the_parser() {
         let store = sample_store();
         let dump = store.export_ntriples(None);
@@ -580,6 +671,26 @@ mod tests {
         let partial = store.export_ntriples(Some(ugc));
         assert!(partial.contains("http://t/pic1"));
         assert!(!partial.contains("dbpedia.org"));
+    }
+
+    #[test]
+    fn streaming_export_matches_the_allocating_one() {
+        let store = sample_store();
+        let mut streamed = String::new();
+        store.export_ntriples_to(&mut streamed, None).unwrap();
+        assert_eq!(streamed, store.export_ntriples(None));
+
+        // Any fmt::Write sink works — count lines without buffering.
+        struct LineCount(usize);
+        impl std::fmt::Write for LineCount {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0 += s.bytes().filter(|&b| b == b'\n').count();
+                Ok(())
+            }
+        }
+        let mut sink = LineCount(0);
+        store.export_ntriples_to(&mut sink, None).unwrap();
+        assert_eq!(sink.0, store.len());
     }
 
     #[test]

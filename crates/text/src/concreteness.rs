@@ -29,31 +29,69 @@ pub fn is_abstract_noun(lemma: &str, lang: &str) -> bool {
         return true;
     }
     let suffixes: &[&str] = match lang {
-        "it" => &["ezza", "izia", "ità", "tà", "zione", "sione", "ismo", "anza", "enza", "aggine"],
+        "it" => &[
+            "ezza", "izia", "ità", "tà", "zione", "sione", "ismo", "anza", "enza", "aggine",
+        ],
         "fr" => &["té", "tion", "sion", "isme", "ance", "ence", "itude", "eur"],
-        "es" => &["dad", "ción", "sión", "ismo", "anza", "encia", "itud", "ura"],
+        "es" => &[
+            "dad", "ción", "sión", "ismo", "anza", "encia", "itud", "ura",
+        ],
         "de" => &["heit", "keit", "ung", "ismus", "schaft", "tum", "nis"],
         _ => &[
             "ness", "ity", "tion", "sion", "ism", "ance", "ence", "ship", "hood", "dom", "ment",
         ],
     };
-    suffixes.iter().any(|s| w.ends_with(s) && w.len() > s.len() + 2)
+    suffixes
+        .iter()
+        .any(|s| w.ends_with(s) && w.len() > s.len() + 2)
 }
 
 /// Suffix-matching words that are nonetheless concrete things.
 const CONCRETE_EXCEPTIONS: &[&str] = &[
-    "station", "stazione", "mansion", "fountain", "monument", "monumento", "painting",
-    "apartment", "basement", "pavement", "cathedral",
+    "station",
+    "stazione",
+    "mansion",
+    "fountain",
+    "monument",
+    "monumento",
+    "painting",
+    "apartment",
+    "basement",
+    "pavement",
+    "cathedral",
 ];
 
 /// Words the suffix rules miss but that are clearly abstract (includes
 /// the paper's own examples).
 const ABSTRACT_EXCEPTIONS: &[&str] = &[
-    "difference", "joyness", "joy", "love", "idea", "thought", "luck", "fun", "hope", "fear",
-    "differenza", "gioia", "idea", "fortuna", "speranza", "paura",
-    "joie", "idée", "espoir", "peur",
-    "alegría", "suerte", "esperanza", "miedo",
-    "freude", "glück", "hoffnung", "angst",
+    "difference",
+    "joyness",
+    "joy",
+    "love",
+    "idea",
+    "thought",
+    "luck",
+    "fun",
+    "hope",
+    "fear",
+    "differenza",
+    "gioia",
+    "idea",
+    "fortuna",
+    "speranza",
+    "paura",
+    "joie",
+    "idée",
+    "espoir",
+    "peur",
+    "alegría",
+    "suerte",
+    "esperanza",
+    "miedo",
+    "freude",
+    "glück",
+    "hoffnung",
+    "angst",
     "statement",
 ];
 

@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn ci_variant_ignores_case() {
-        close(
-            jaro_winkler_ci("Coliseum", "coliseum"),
-            1.0,
-        );
+        close(jaro_winkler_ci("Coliseum", "coliseum"), 1.0);
         assert!(jaro_winkler_ci("mole", "Mole Antonelliana") > 0.7);
     }
 

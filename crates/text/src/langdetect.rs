@@ -245,11 +245,26 @@ mod tests {
     fn detects_each_language_on_held_out_sentences() {
         let det = LanguageDetector::global();
         let cases = [
-            ("Siamo andati a vedere la mostra con i nostri amici di scuola", "it"),
-            ("We walked along the river and stopped to take some pictures", "en"),
-            ("Nous avons marché le long de la rivière avant de rentrer", "fr"),
-            ("Caminamos por la orilla del río y compramos un helado", "es"),
-            ("Wir sind am Fluss entlang gelaufen und haben ein Eis gekauft", "de"),
+            (
+                "Siamo andati a vedere la mostra con i nostri amici di scuola",
+                "it",
+            ),
+            (
+                "We walked along the river and stopped to take some pictures",
+                "en",
+            ),
+            (
+                "Nous avons marché le long de la rivière avant de rentrer",
+                "fr",
+            ),
+            (
+                "Caminamos por la orilla del río y compramos un helado",
+                "es",
+            ),
+            (
+                "Wir sind am Fluss entlang gelaufen und haben ein Eis gekauft",
+                "de",
+            ),
         ];
         for (text, expected) in cases {
             let (lang, _) = det.detect(text).expect("alphabetic text");
@@ -260,9 +275,15 @@ mod tests {
     #[test]
     fn short_titles_still_classify() {
         let det = LanguageDetector::global();
-        assert_eq!(det.detect("Tramonto sulla collina stasera").unwrap().0, "it");
+        assert_eq!(
+            det.detect("Tramonto sulla collina stasera").unwrap().0,
+            "it"
+        );
         assert_eq!(det.detect("Sunset over the hills tonight").unwrap().0, "en");
-        assert_eq!(det.detect("Coucher de soleil sur les collines").unwrap().0, "fr");
+        assert_eq!(
+            det.detect("Coucher de soleil sur les collines").unwrap().0,
+            "fr"
+        );
     }
 
     #[test]
@@ -281,7 +302,10 @@ mod tests {
             .unwrap();
         assert!((0.0..=1.0).contains(&short_conf));
         assert!((0.0..=1.0).contains(&long_conf));
-        assert!(long_conf >= short_conf * 0.5, "long text shouldn't be much worse");
+        assert!(
+            long_conf >= short_conf * 0.5,
+            "long text shouldn't be much worse"
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl Morphology {
         // Longest-first so greedy matching prefers "Mole Antonelliana"
         // over "Mole".
         entries.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
-        Morphology { multiwords: entries }
+        Morphology {
+            multiwords: entries,
+        }
     }
 
     /// An analyzer with an empty lexicon (heuristics only).
@@ -265,7 +267,13 @@ pub fn lemmatize(word: &str, lang: &str) -> String {
         "en" => strip("ies", "y")
             .or_else(|| strip("sses", "ss"))
             .or_else(|| strip("es", "e"))
-            .or_else(|| if w.ends_with("ss") { None } else { strip("s", "") })
+            .or_else(|| {
+                if w.ends_with("ss") {
+                    None
+                } else {
+                    strip("s", "")
+                }
+            })
             .unwrap_or(w),
         "it" => strip("zioni", "zione")
             .or_else(|| strip("ità", "ità"))
@@ -318,16 +326,23 @@ mod tests {
     #[test]
     fn city_labels_in_any_language_map_to_english_canonical() {
         let tokens = analyzer().analyze("Una giornata a Torino", "it");
-        let hit = tokens.iter().find(|t| t.lemma == "Turin").expect("Torino→Turin");
+        let hit = tokens
+            .iter()
+            .find(|t| t.lemma == "Turin")
+            .expect("Torino→Turin");
         assert_eq!(hit.pos, Pos::ProperNoun);
     }
 
     #[test]
     fn person_names_including_surname_only() {
         let full = analyzer().analyze("Omaggio a Luciano Pavarotti", "it");
-        assert!(full.iter().any(|t| t.lemma == "Luciano Pavarotti" && t.score == SCORE_LEXICON));
+        assert!(full
+            .iter()
+            .any(|t| t.lemma == "Luciano Pavarotti" && t.score == SCORE_LEXICON));
         let surname = analyzer().analyze("mostra su pavarotti", "it");
-        assert!(surname.iter().any(|t| t.lemma == "Luciano Pavarotti" && t.score == SCORE_ALT_NAME));
+        assert!(surname
+            .iter()
+            .any(|t| t.lemma == "Luciano Pavarotti" && t.score == SCORE_ALT_NAME));
     }
 
     #[test]

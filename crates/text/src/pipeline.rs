@@ -99,7 +99,13 @@ pub fn extract_terms_with(
     title: &str,
     plain_tags: &[String],
 ) -> TermList {
-    extract_terms_impl(detector, morphology, title, plain_tags, ExtractOptions::default())
+    extract_terms_impl(
+        detector,
+        morphology,
+        title,
+        plain_tags,
+        ExtractOptions::default(),
+    )
 }
 
 fn extract_terms_impl(
@@ -254,7 +260,11 @@ mod tests {
     #[test]
     fn alt_name_surfaces_as_canonical_lemma() {
         let result = extract_terms("Amazing view of the Coliseum", &[]);
-        assert!(result.texts().contains(&"Colosseum"), "{:?}", result.texts());
+        assert!(
+            result.texts().contains(&"Colosseum"),
+            "{:?}",
+            result.texts()
+        );
     }
 
     #[test]

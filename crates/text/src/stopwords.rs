@@ -37,24 +37,140 @@ const IT: &[&str] = &[
 ];
 
 const FR: &[&str] = &[
-    "le", "la", "les", "un", "une", "des", "et", "ou", "mais", "de", "du", "à", "au", "aux", "en",
-    "dans", "avec", "sur", "pour", "par", "est", "sont", "était", "mon", "ma", "notre", "votre",
-    "ce", "cette", "ces", "ne", "pas", "plus", "très", "aujourd'hui", "devant", "visite", "nuit",
-    "coucher", "soleil", "exposition", "statue",
+    "le",
+    "la",
+    "les",
+    "un",
+    "une",
+    "des",
+    "et",
+    "ou",
+    "mais",
+    "de",
+    "du",
+    "à",
+    "au",
+    "aux",
+    "en",
+    "dans",
+    "avec",
+    "sur",
+    "pour",
+    "par",
+    "est",
+    "sont",
+    "était",
+    "mon",
+    "ma",
+    "notre",
+    "votre",
+    "ce",
+    "cette",
+    "ces",
+    "ne",
+    "pas",
+    "plus",
+    "très",
+    "aujourd'hui",
+    "devant",
+    "visite",
+    "nuit",
+    "coucher",
+    "soleil",
+    "exposition",
+    "statue",
 ];
 
 const ES: &[&str] = &[
-    "el", "la", "los", "las", "un", "una", "unos", "unas", "y", "o", "pero", "de", "del", "a",
-    "al", "en", "con", "sobre", "para", "por", "es", "son", "era", "mi", "nuestro", "su", "este",
-    "esta", "estos", "estas", "no", "más", "muy", "hoy", "frente", "visitando", "atardecer",
-    "noche", "estatua", "exposición", "día", "fin", "semana",
+    "el",
+    "la",
+    "los",
+    "las",
+    "un",
+    "una",
+    "unos",
+    "unas",
+    "y",
+    "o",
+    "pero",
+    "de",
+    "del",
+    "a",
+    "al",
+    "en",
+    "con",
+    "sobre",
+    "para",
+    "por",
+    "es",
+    "son",
+    "era",
+    "mi",
+    "nuestro",
+    "su",
+    "este",
+    "esta",
+    "estos",
+    "estas",
+    "no",
+    "más",
+    "muy",
+    "hoy",
+    "frente",
+    "visitando",
+    "atardecer",
+    "noche",
+    "estatua",
+    "exposición",
+    "día",
+    "fin",
+    "semana",
 ];
 
 const DE: &[&str] = &[
-    "der", "die", "das", "ein", "eine", "einen", "einem", "und", "oder", "aber", "von", "vom",
-    "zu", "zum", "zur", "in", "im", "mit", "auf", "für", "an", "am", "ist", "sind", "war", "mein",
-    "unser", "dieser", "diese", "dieses", "nicht", "mehr", "sehr", "heute", "vor", "bei",
-    "besuch", "nacht", "sonnenuntergang", "ausstellung", "statue", "tag", "wochenende",
+    "der",
+    "die",
+    "das",
+    "ein",
+    "eine",
+    "einen",
+    "einem",
+    "und",
+    "oder",
+    "aber",
+    "von",
+    "vom",
+    "zu",
+    "zum",
+    "zur",
+    "in",
+    "im",
+    "mit",
+    "auf",
+    "für",
+    "an",
+    "am",
+    "ist",
+    "sind",
+    "war",
+    "mein",
+    "unser",
+    "dieser",
+    "diese",
+    "dieses",
+    "nicht",
+    "mehr",
+    "sehr",
+    "heute",
+    "vor",
+    "bei",
+    "besuch",
+    "nacht",
+    "sonnenuntergang",
+    "ausstellung",
+    "statue",
+    "tag",
+    "wochenende",
 ];
 
 #[cfg(test)]

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn apostrophes_and_hyphens_join_words() {
         assert_eq!(texts("dell'arte"), vec!["dell'arte"]);
-        assert_eq!(texts("Rita Levi-Montalcini"), vec!["Rita", "Levi-Montalcini"]);
+        assert_eq!(
+            texts("Rita Levi-Montalcini"),
+            vec!["Rita", "Levi-Montalcini"]
+        );
         assert_eq!(texts("l’altro"), vec!["l'altro"]);
         // Trailing punctuation never joins.
         assert_eq!(texts("it's a test-"), vec!["it's", "a", "test"]);
@@ -96,7 +99,10 @@ mod tests {
 
     #[test]
     fn unicode_words_survive() {
-        assert_eq!(texts("Città di Torino è bella"), vec!["Città", "di", "Torino", "è", "bella"]);
+        assert_eq!(
+            texts("Città di Torino è bella"),
+            vec!["Città", "di", "Torino", "è", "bella"]
+        );
         assert_eq!(words_lower("CITTÀ"), vec!["città"]);
     }
 

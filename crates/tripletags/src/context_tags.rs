@@ -55,13 +55,15 @@ mod tests {
         p.buddies_mut().add_friend(1, 2);
         let here = Point::new(7.6933, 45.0692).unwrap();
         p.buddies_mut().update_position(2, here);
-        p.calendars_mut().add(1, "holiday in Turin", 0, 1000).unwrap();
+        p.calendars_mut()
+            .add(1, "holiday in Turin", 0, 1000)
+            .unwrap();
         p.add_place_label(1, here, "the big dome", Some("crowded"));
         p.contextualize(1, 100, Some(here))
     }
 
     #[test]
-    fn full_snapshot_produces_all_namespaces(){
+    fn full_snapshot_produces_all_namespaces() {
         let tags = tags_for(&snapshot());
         let find = |ns: &str, pred: &str| {
             tags.iter()

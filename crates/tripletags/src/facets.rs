@@ -125,7 +125,11 @@ impl TagIndex {
         self.by_full
             .range(
                 (namespace.to_string(), predicate.to_string(), String::new())
-                    ..(namespace.to_string(), format!("{predicate}\u{10FFFF}"), String::new()),
+                    ..(
+                        namespace.to_string(),
+                        format!("{predicate}\u{10FFFF}"),
+                        String::new(),
+                    ),
             )
             .filter(|((_, p, _), _)| p == predicate)
             .map(|((_, _, value), contents)| (value.as_str(), contents.len()))
@@ -186,10 +190,7 @@ mod tests {
     fn facet_values_enumerates_album_choices() {
         let idx = index();
         let values = idx.facet_values("people", "fn");
-        assert_eq!(
-            values,
-            vec![("Carmen Criminisi", 1), ("Walter Goix", 2)]
-        );
+        assert_eq!(values, vec![("Carmen Criminisi", 1), ("Walter Goix", 2)]);
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl TripleTag {
 
     /// The wire form with plus-encoded value.
     pub fn to_wire(&self) -> String {
-        format!("{}:{}={}", self.namespace, self.predicate, encode_value(&self.value))
+        format!(
+            "{}:{}={}",
+            self.namespace,
+            self.predicate,
+            encode_value(&self.value)
+        )
     }
 }
 
@@ -154,14 +159,14 @@ mod tests {
     #[test]
     fn parses_paper_examples() {
         let t = TripleTag::parse("people:fn=Walter+Goix").unwrap();
-        assert_eq!(
-            t,
-            TripleTag::new("people", "fn", "Walter Goix").unwrap()
-        );
+        assert_eq!(t, TripleTag::new("people", "fn", "Walter Goix").unwrap());
         let t = TripleTag::parse("cell:cgi=460-0-9522-3661").unwrap();
         assert_eq!(t.value, "460-0-9522-3661");
         let t = TripleTag::parse("place:is=crowded").unwrap();
-        assert_eq!((t.namespace.as_str(), t.predicate.as_str()), ("place", "is"));
+        assert_eq!(
+            (t.namespace.as_str(), t.predicate.as_str()),
+            ("place", "is")
+        );
         let t = TripleTag::parse("poi:recs_id=72").unwrap();
         assert_eq!(t.value, "72");
     }

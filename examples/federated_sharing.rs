@@ -23,11 +23,17 @@ fn main() {
     println!("accounts: {oscar} and {walter}");
 
     // WebFinger resolution across the federation.
-    let (node, profile) = fed.webfinger("acct:walter@casa-walter.example").expect("webfinger");
-    println!("webfinger: walter lives on node {node}, profile {}", profile.as_str());
+    let (node, profile) = fed
+        .webfinger("acct:walter@casa-walter.example")
+        .expect("webfinger");
+    println!(
+        "webfinger: walter lives on node {node}, profile {}",
+        profile.as_str()
+    );
 
     // Oscar follows Walter: profile import + foaf:knows + hub topic.
-    fed.subscribe(casa_oscar, &oscar, &walter).expect("subscribe");
+    fed.subscribe(casa_oscar, &oscar, &walter)
+        .expect("subscribe");
     println!("oscar now follows walter (FOAF profile imported)");
 
     // Oscar also registers a SparqlPuSH query on Walter's node.
@@ -46,7 +52,10 @@ fn main() {
     for n in &notifications {
         match n {
             Notification::Activity { to, activity } => {
-                println!("  hub → node {to}: {:?} {:?}", activity.verb, activity.summary)
+                println!(
+                    "  hub → node {to}: {:?} {:?}",
+                    activity.verb, activity.summary
+                )
             }
             Notification::SparqlRows { to, rows } => {
                 println!("  sparqlPuSH → node {to}: {} new row(s)", rows.len());

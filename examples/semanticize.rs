@@ -25,7 +25,11 @@ fn main() {
             "  {:24} {:>5} rows{}",
             table.schema().name,
             table.len(),
-            if table.schema().service { "  (service table — not mapped)" } else { "" }
+            if table.schema().service {
+                "  (service table — not mapped)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -36,10 +40,7 @@ fn main() {
 
     // 3. dump-rdf → N-Triples.
     let (ntriples, stats) = dump_to_ntriples(&workload.db, &mapping).expect("dump");
-    println!(
-        "dump-rdf: {} rows → {} triples",
-        stats.rows, stats.triples
-    );
+    println!("dump-rdf: {} rows → {} triples", stats.rows, stats.triples);
     for (table, rows, triples) in &stats.per_table {
         println!("  {table:24} {rows:>5} rows → {triples:>6} triples");
     }

@@ -58,8 +58,8 @@ fn main() {
         .expect("at least one suggestion");
     println!("\nselected: {}", turin.resource.as_str());
 
-    let hits =
-        SearchService::content_for_resource(platform.store(), &turin.resource, 5.0).expect("content");
+    let hits = SearchService::content_for_resource(platform.store(), &turin.resource, 5.0)
+        .expect("content");
     println!("{} content items associated with the resource:", hits.len());
     for hit in hits.iter().take(5) {
         println!(
@@ -83,11 +83,18 @@ fn main() {
     }
     println!("  restaurants nearby:");
     for r in &mashup.restaurants {
-        println!("    {} ({})", r.label, r.detail.as_deref().unwrap_or("no website"));
+        println!(
+            "    {} ({})",
+            r.label,
+            r.detail.as_deref().unwrap_or("no website")
+        );
     }
     println!("  attractions nearby:");
     for a in &mashup.attractions {
         println!("    {}", a.label);
     }
-    println!("  other UGC at this spot: {} items", mashup.related_content.len());
+    println!(
+        "  other UGC at this spot: {} items",
+        mashup.related_content.len()
+    );
 }

@@ -7,10 +7,10 @@ use lodify::core::deferred::UploadQueue;
 use lodify::core::federation::{Federation, Notification};
 use lodify::core::metrics::OpsSnapshot;
 use lodify::core::platform::{Platform, Upload};
+use lodify::lod::annotator::{Annotator, AnnotatorConfig, ContentInput};
 use lodify::lod::broker::BrokerResilienceConfig;
 use lodify::lod::datasets::load_lod;
 use lodify::lod::filter::SemanticFilter;
-use lodify::lod::annotator::{Annotator, AnnotatorConfig, ContentInput};
 use lodify::lod::reannotate::{OwnedContent, ReAnnotator};
 use lodify::lod::resolvers::{
     DbpediaResolver, EvriResolver, FaultInjectedResolver, GeonamesResolver, SindiceResolver,
@@ -38,7 +38,11 @@ fn faulty_annotator(plan: &FaultPlan, clock: &VirtualClock) -> Annotator {
         Box::new(FaultInjectedResolver::new(ZemantaResolver, plan.clone())),
     ])
     .with_resilience(clock.clone(), BrokerResilienceConfig::default());
-    Annotator::new(broker, SemanticFilter::standard(), AnnotatorConfig::default())
+    Annotator::new(
+        broker,
+        SemanticFilter::standard(),
+        AnnotatorConfig::default(),
+    )
 }
 
 #[test]
@@ -55,15 +59,27 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
 
     // Annotate a batch of items. The pipeline must complete every one,
     // degraded but not stuck, with DBpedia results intact.
-    let titles = ["Mole Antonelliana", "Torino by night", "Parco del Valentino"];
+    let titles = [
+        "Mole Antonelliana",
+        "Torino by night",
+        "Parco del Valentino",
+    ];
     let tags = vec!["torino".to_string()];
     for title in titles {
         let result = annotator.annotate(
             &store,
-            &ContentInput { title, tags: &tags, context: None, poi_ref: None },
+            &ContentInput {
+                title,
+                tags: &tags,
+                context: None,
+                poi_ref: None,
+            },
         );
         assert!(result.is_degraded());
-        assert!(!result.degraded.contains(&"dbpedia"), "healthy resolver not blamed");
+        assert!(
+            !result.degraded.contains(&"dbpedia"),
+            "healthy resolver not blamed"
+        );
         assert!(
             result.terms.iter().any(|t| t.resource.is_some()),
             "dbpedia still annotates {title:?}"
@@ -87,10 +103,14 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
     assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
 
-    let snapshot = OpsSnapshot::collect(broker, None, None);
+    let snapshot = OpsSnapshot::collect(broker, None, None, None);
     assert!(snapshot.is_degraded());
     assert_eq!(
-        snapshot.resolvers.iter().filter(|r| r.breaker == Some(BreakerState::Open)).count(),
+        snapshot
+            .resolvers
+            .iter()
+            .filter(|r| r.breaker == Some(BreakerState::Open))
+            .count(),
         4
     );
 }
@@ -105,7 +125,12 @@ fn breaker_walks_open_halfopen_closed_under_a_scripted_plan() {
     let store = lod_store();
     let broker = annotator.broker();
     let config = BrokerResilienceConfig::default();
-    let input = ContentInput { title: "Torino", tags: &[], context: None, poi_ref: None };
+    let input = ContentInput {
+        title: "Torino",
+        tags: &[],
+        context: None,
+        poi_ref: None,
+    };
 
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
 
@@ -150,11 +175,24 @@ fn dlq_replay_reaches_eventual_annotation_for_every_parked_item() {
     // Three items arrive during the outage; each annotates degraded and
     // parks for later.
     let tags = vec!["torino".to_string()];
-    for (id, title) in [(1u64, "Mole Antonelliana"), (2, "Palazzo Madama"), (3, "Gran Madre")] {
-        let input = ContentInput { title, tags: &tags, context: None, poi_ref: None };
+    for (id, title) in [
+        (1u64, "Mole Antonelliana"),
+        (2, "Palazzo Madama"),
+        (3, "Gran Madre"),
+    ] {
+        let input = ContentInput {
+            title,
+            tags: &tags,
+            context: None,
+            poi_ref: None,
+        };
         let result = annotator.annotate(&store, &input);
         assert!(result.is_degraded(), "{title:?} degraded during outage");
-        assert!(requeue.observe(OwnedContent::from_input(id, &input), &result, clock.now_ms()));
+        assert!(requeue.observe(
+            OwnedContent::from_input(id, &input),
+            &result,
+            clock.now_ms()
+        ));
     }
     assert_eq!(requeue.depth(), 3);
 
@@ -208,18 +246,16 @@ fn federation_redelivers_in_order_after_node_outage() {
     let (landed, report) = fed.redeliver();
     assert_eq!(report.replayed, 3);
     assert_eq!(landed.len(), 3);
-    assert!(landed.iter().all(|n| matches!(n, Notification::Activity { to, .. } if *to == frame)));
+    assert!(landed
+        .iter()
+        .all(|n| matches!(n, Notification::Activity { to, .. } if *to == frame)));
     let timeline = fed.node(frame).unwrap().timeline().entries();
     assert_eq!(timeline.len(), 3);
     let summaries: Vec<&str> = timeline.iter().map(|a| a.summary.as_str()).collect();
     assert_eq!(summaries, vec!["day one", "day two", "day three"]);
     assert_eq!(fed.undelivered(), 0);
 
-    let snapshot = OpsSnapshot::collect(
-        &SemanticBroker::standard(),
-        None,
-        Some(&fed),
-    );
+    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, Some(&fed), None);
     assert!(!snapshot.is_degraded());
     assert_eq!(snapshot.federation_parked, 3);
     assert_eq!(snapshot.federation_redelivered, 3);
@@ -285,8 +321,375 @@ fn seeded_fault_plans_are_reproducible() {
             .failure_rate("resolver:dbpedia", 0.5)
             .seed(seed)
             .build(clock.clone());
-        (0..64).map(|_| plan.check("resolver:dbpedia").is_ok()).collect()
+        (0..64)
+            .map(|_| plan.check("resolver:dbpedia").is_ok())
+            .collect()
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7), run(8), "different seeds, different chaos");
+}
+
+// ------------------------------------------------ durability chaos
+
+use lodify::durability::codec::{read_frame, FrameOutcome};
+use lodify::durability::{
+    DurabilityOptions, DurableStore, GroupCommitPolicy, MemStorage, Storage, TARGET_SNAPSHOT_WRITE,
+    TARGET_WAL_FLUSH,
+};
+use lodify::rdf::{Iri, Point, Term, Triple};
+
+/// Options that push every record straight to durable storage and
+/// never auto-compact — each acknowledged mutation ends at a known
+/// WAL byte offset.
+fn eager_options() -> DurabilityOptions {
+    DurabilityOptions {
+        group_commit: GroupCommitPolicy::per_record(),
+        snapshot_every_records: None,
+    }
+}
+
+/// The disk image a restarted process would find: durable bytes only.
+fn disk_copy(src: &MemStorage) -> MemStorage {
+    src.crash();
+    let copy = MemStorage::new();
+    for name in src.list() {
+        copy.plant(&name, src.read(&name).unwrap());
+    }
+    copy
+}
+
+/// A store's full triple content plus its derived-index footprint —
+/// recovery must reproduce all three exactly.
+fn store_fingerprint(store: &Store) -> (Vec<String>, usize, usize) {
+    let mut lines: Vec<String> = store
+        .export_ntriples(None)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.sort();
+    (lines, store.fulltext().tokens_indexed(), store.geo().len())
+}
+
+#[test]
+fn recovery_is_exact_at_every_wal_kill_point() {
+    let mem = MemStorage::new();
+    let (mut durable, report) = DurableStore::open(Box::new(mem.clone()), eager_options()).unwrap();
+    assert!(!report.recovered, "fresh storage starts empty");
+    let wal = "wal-0000000001";
+
+    // Mirror every mutation on a plain store and checkpoint the
+    // expected fingerprint at each acknowledged WAL offset.
+    let mut reference = Store::new();
+    let albums = durable.graph("urn:graph:albums");
+    assert_eq!(albums, reference.graph("urn:graph:albums"));
+    let title = "http://purl.org/dc/elements/1.1/title";
+    let wkt = "http://www.opengis.net/ont/geosparql#asWKT";
+    let mole = Triple::spo(
+        "http://ex/pic/1",
+        title,
+        Term::literal("Mole Antonelliana by night"),
+    );
+    let mole_point = Triple::spo(
+        "http://ex/pic/1",
+        wkt,
+        Term::Literal(Point::new(7.6934, 45.0686).unwrap().to_literal()),
+    );
+    let parco = Triple::spo(
+        "http://ex/pic/2",
+        title,
+        Term::literal("Parco del Valentino"),
+    );
+    let tag = Triple::spo(
+        "http://ex/pic/2",
+        "http://ex/taggedWith",
+        Term::iri("http://dbpedia.org/resource/Turin").unwrap(),
+    );
+    let gran_madre = Triple::spo("http://ex/pic/3", title, Term::literal("Gran Madre di Dio"));
+
+    let mut checkpoints = vec![(0usize, store_fingerprint(&reference))];
+    let mut step = |durable: &mut DurableStore,
+                    reference: &mut Store,
+                    op: &dyn Fn(&mut DurableStore),
+                    mirror: &dyn Fn(&mut Store)| {
+        op(durable);
+        mirror(reference);
+        durable.flush().unwrap();
+        checkpoints.push((mem.durable_len(wal), store_fingerprint(reference)));
+    };
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.insert(&mole, albums).unwrap();
+        },
+        &|r| {
+            r.insert(&mole, albums);
+        },
+    );
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.insert(&mole_point, albums).unwrap();
+        },
+        &|r| {
+            r.insert(&mole_point, albums);
+        },
+    );
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.insert(&parco, albums).unwrap();
+        },
+        &|r| {
+            r.insert(&parco, albums);
+        },
+    );
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.insert(&tag, albums).unwrap();
+        },
+        &|r| {
+            r.insert(&tag, albums);
+        },
+    );
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.remove(&mole).unwrap();
+        },
+        &|r| {
+            r.remove(&mole);
+        },
+    );
+    let g0 = reference.default_graph();
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            let g = d.store().default_graph();
+            d.insert(&gran_madre, g).unwrap();
+        },
+        &|r| {
+            r.insert(&gran_madre, g0);
+        },
+    );
+    let parco_subject = Term::iri("http://ex/pic/2").unwrap();
+    let title_iri = Iri::new(title).unwrap();
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            assert_eq!(d.remove_pattern_sp(&parco_subject, &title_iri).unwrap(), 1);
+        },
+        &|r| {
+            r.remove_pattern_sp(&parco_subject, &title_iri);
+        },
+    );
+    step(
+        &mut durable,
+        &mut reference,
+        &|d| {
+            d.insert(&mole, albums).unwrap();
+        },
+        &|r| {
+            r.insert(&mole, albums);
+        },
+    );
+
+    // Every frame boundary in the finished log.
+    let full = mem.read(wal).unwrap();
+    assert_eq!(
+        mem.durable_len(wal),
+        full.len(),
+        "per-record mode leaves nothing buffered"
+    );
+    let snap = mem.read("snap-0000000001").unwrap();
+    let mut boundaries = vec![0usize];
+    let mut offset = 0usize;
+    while let FrameOutcome::Frame { next, .. } = read_frame(&full, offset) {
+        offset = next;
+        boundaries.push(offset);
+    }
+    assert_eq!(offset, full.len(), "the healthy log parses to the end");
+
+    // Kill the process at EVERY byte of the WAL. Recovery must land on
+    // the newest acknowledged state whose final record survived whole —
+    // triples, fulltext and geo indexes all rebuilt to match.
+    for cut in 0..=full.len() {
+        let disk = MemStorage::new();
+        disk.plant("snap-0000000001", snap.clone());
+        disk.plant(wal, full[..cut].to_vec());
+        let (recovered, report) = DurableStore::open(Box::new(disk), eager_options())
+            .unwrap_or_else(|e| panic!("kill at byte {cut}: recovery failed: {e}"));
+        assert!(report.recovered, "kill at byte {cut}");
+        let expected = &checkpoints
+            .iter()
+            .rev()
+            .find(|(off, _)| *off <= cut)
+            .unwrap()
+            .1;
+        assert_eq!(
+            &store_fingerprint(recovered.store()),
+            expected,
+            "kill at byte {cut}"
+        );
+        let frame_end = *boundaries.iter().rfind(|b| **b <= cut).unwrap();
+        assert_eq!(
+            report.tail.valid_bytes, frame_end as u64,
+            "kill at byte {cut}"
+        );
+        assert_eq!(report.tail.clean(), frame_end == cut, "kill at byte {cut}");
+    }
+
+    // The fully recovered store answers index queries, not just scans.
+    let disk = MemStorage::new();
+    disk.plant("snap-0000000001", snap.clone());
+    disk.plant(wal, full.clone());
+    let (recovered, _) = DurableStore::open(Box::new(disk), eager_options()).unwrap();
+    assert!(!recovered
+        .store()
+        .fulltext()
+        .search_word("antonelliana")
+        .is_empty());
+    let torino = Point::new(7.686, 45.07).unwrap();
+    assert_eq!(recovered.store().geo().within_km(torino, 5.0).len(), 1);
+}
+
+#[test]
+fn unacknowledged_records_die_with_the_process_acknowledged_ones_survive() {
+    let clock = VirtualClock::new();
+    let mem = MemStorage::new();
+    let options = DurabilityOptions {
+        group_commit: GroupCommitPolicy::batched(4),
+        snapshot_every_records: None,
+    };
+    let (mut durable, _) = DurableStore::open(Box::new(mem.clone()), options).unwrap();
+    let g = durable.graph("urn:graph:ugc");
+    let pic = |i: i64| {
+        Triple::spo(
+            &format!("http://ex/pic/{i}"),
+            "http://purl.org/dc/elements/1.1/title",
+            Term::literal(format!("picture {i}")),
+        )
+    };
+
+    // Four inserts, then an explicit group flush: all acknowledged.
+    for i in 0..4 {
+        durable.insert(&pic(i), g).unwrap();
+    }
+    durable.flush().unwrap();
+    assert_eq!(durable.stats().unwrap().wal_pending, 0);
+
+    // The log device goes down. Inserts keep mutating memory but the
+    // due group flush fails — those records are never acknowledged.
+    let plan = FaultPlan::builder()
+        .outage(TARGET_WAL_FLUSH, 0, 5_000)
+        .build(clock.clone());
+    durable.set_fault_plan(plan);
+    let failed = (4..8)
+        .filter(|i| durable.insert(&pic(*i), g).is_err())
+        .count();
+    assert!(failed >= 1, "a due group flush must surface the outage");
+    assert_eq!(
+        durable.store().len(),
+        8,
+        "the memory image keeps everything"
+    );
+    let stats = durable.stats().unwrap();
+    assert!(
+        stats.wal_pending >= 4,
+        "unflushed records stay pending, got {}",
+        stats.wal_pending
+    );
+    assert!(durable.flush().is_err(), "outage still active");
+
+    // A crash now loses exactly the unacknowledged tail.
+    let (lost_tail, report) = DurableStore::open(Box::new(disk_copy(&mem)), options).unwrap();
+    assert!(report.recovered && report.tail.clean());
+    assert_eq!(
+        lost_tail.store().len(),
+        4,
+        "only acknowledged inserts survive"
+    );
+
+    // Outage over: one flush retry drains the whole backlog, after
+    // which a crash loses nothing.
+    clock.set(10_000);
+    durable.flush().unwrap();
+    assert_eq!(durable.stats().unwrap().wal_pending, 0);
+    let (recovered, _) = DurableStore::open(Box::new(disk_copy(&mem)), options).unwrap();
+    assert_eq!(
+        recovered.store().len(),
+        8,
+        "the retried flush acknowledged the backlog"
+    );
+}
+
+#[test]
+fn platform_survives_crashed_compaction_and_reports_durability_health() {
+    let mem = MemStorage::new();
+    let options = DurabilityOptions::default();
+    let (mut platform, report) =
+        Platform::bootstrap_durable(WorkloadConfig::small(11), Box::new(mem.clone()), options)
+            .unwrap();
+    assert!(!report.recovered, "first boot adopts the bootstrap corpus");
+    assert!(report.snapshot_triples > 0);
+
+    // Live traffic on top of the bootstrap corpus.
+    let receipt = platform
+        .upload(Upload {
+            user_id: 1,
+            title: "Crash test at the Mole".to_string(),
+            tags: vec!["torino".to_string()],
+            ts: 1_700_000_000,
+            gps: None,
+            poi: None,
+        })
+        .unwrap();
+    platform.rate(receipt.pid, 2, 5).unwrap();
+    platform.flush_store().unwrap();
+    let before = store_fingerprint(platform.store());
+    let generation = platform.durability().unwrap().generation;
+
+    // Compaction dies: the snapshot device is unreachable. The old
+    // generation must stay authoritative.
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage(TARGET_SNAPSHOT_WRITE, 0, u64::MAX)
+        .build(clock.clone());
+    platform.set_fault_plan(plan);
+    assert!(
+        platform.snapshot_store().is_err(),
+        "compaction must fail under the outage"
+    );
+    platform.clear_fault_plan();
+    assert_eq!(platform.durability().unwrap().generation, generation);
+    drop(platform);
+
+    // The host dies; a rebooted platform recovers the exact semantic
+    // store — bootstrap corpus plus the journaled live traffic.
+    let (revived, report) = Platform::bootstrap_durable(
+        WorkloadConfig::small(11),
+        Box::new(disk_copy(&mem)),
+        options,
+    )
+    .unwrap();
+    assert!(report.recovered, "second boot recovers, not re-bootstraps");
+    assert!(report.wal_records_replayed > 0);
+    assert_eq!(store_fingerprint(revived.store()), before);
+
+    // Durability health flows into the ops snapshot.
+    let stats = revived.durability().unwrap();
+    assert!(stats.records_replayed > 0);
+    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, None, Some(stats));
+    let rendered = snapshot.to_string();
+    assert!(
+        rendered.contains("durability"),
+        "ops report shows the journal: {rendered}"
+    );
 }

@@ -43,7 +43,11 @@ fn full_lifecycle_bootstrap_annotate_retrieve() {
             .map(|a| a.resources().into_iter().cloned().collect())
             .unwrap_or_default()
     });
-    assert!(counts.precision() > 0.9, "precision {:.3}", counts.precision());
+    assert!(
+        counts.precision() > 0.9,
+        "precision {:.3}",
+        counts.precision()
+    );
     assert!(counts.recall() > 0.5, "recall {:.3}", counts.recall());
 
     // All three retrieval paths return consistent data.
@@ -103,7 +107,9 @@ fn upload_then_every_view_sees_it() {
     let album = AlbumSpec::near_monument("Colosseum", "it", 0.3)
         .execute(p.store())
         .unwrap();
-    assert!(album.iter().any(|l| l.contains(&format!("media/{}.jpg", receipt.pid))));
+    assert!(album
+        .iter()
+        .any(|l| l.contains(&format!("media/{}.jpg", receipt.pid))));
 
     // Search by annotation sees it.
     let colosseum_res = lodify::rdf::Iri::new("http://dbpedia.org/resource/Colosseum").unwrap();
@@ -111,7 +117,9 @@ fn upload_then_every_view_sees_it() {
     assert!(hits.iter().any(|h| h.content == receipt.resource));
 
     // Mashup around the new picture names Rome.
-    let mashup = MashupService::standard().about(p.store(), &receipt.resource).unwrap();
+    let mashup = MashupService::standard()
+        .about(p.store(), &receipt.resource)
+        .unwrap();
     let (label, _) = mashup.city.expect("city arm");
     assert!(label.contains("Roma") || label.contains("Rome"), "{label}");
 }
@@ -175,18 +183,23 @@ fn semantic_beats_keyword_baseline_on_ambiguous_tags() {
 fn triple_tag_facets_work_as_pre_semantic_albums() {
     let p = platform();
     // Facet by address:city (the §1.1 tag-based virtual albums).
-    let turin_pictures = p.tags().by_value(
-        &lodify::tripletags::TripleTag::new("address", "city", "Turin").unwrap(),
-    );
+    let turin_pictures = p
+        .tags()
+        .by_value(&lodify::tripletags::TripleTag::new("address", "city", "Turin").unwrap());
     // Every faceted picture really is near Turin.
     let gaz = Gazetteer::global();
     let turin = gaz.city("Turin").unwrap().point();
-    let pictures = p.db().table(lodify::relational::coppermine::PICTURES).unwrap();
+    let pictures = p
+        .db()
+        .table(lodify::relational::coppermine::PICTURES)
+        .unwrap();
     for pid in &turin_pictures {
         let row = pictures.get(*pid).unwrap();
         let lon = row[6].as_real().unwrap();
         let lat = row[7].as_real().unwrap();
-        let d = lodify::rdf::Point::new(lon, lat).unwrap().distance_km(turin);
+        let d = lodify::rdf::Point::new(lon, lat)
+            .unwrap()
+            .distance_km(turin);
         assert!(d < 60.0, "pid {pid} is {d:.1} km from Turin");
     }
     // Cell facets exist too.

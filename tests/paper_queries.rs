@@ -59,23 +59,17 @@ fn q1_runs_verbatim_and_returns_nearby_content() {
     let results = p.query(Q1).unwrap();
     assert!(!results.is_empty());
     let links: Vec<&str> = results.column("link").iter().map(|t| t.lexical()).collect();
-    assert!(links.iter().any(|l| l.contains(&format!("media/{pid}.jpg"))));
+    assert!(links
+        .iter()
+        .any(|l| l.contains(&format!("media/{pid}.jpg"))));
 }
 
-/// §2.3 Q2, verbatim (social filter on a user named like the paper's
-/// "oscar" — we pick the platform's user #1 name).
-#[test]
-fn q2_social_filter_is_a_subset_of_q1() {
-    let (p, _) = platform_with_fixture();
-    let user_name = {
-        let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
-        users.get(1).unwrap()[1].as_text().unwrap().to_string()
-    };
-    let q2 = format!(
-        r#"
+/// §2.3 Q2, verbatim — social filter on a user named like the paper's
+/// "oscar". `{user_name}` is substituted by [`instantiate`].
+const Q2: &str = r#"
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT DISTINCT ?link WHERE
-{{
+{
   ?monument rdfs:label "Mole Antonelliana"@it .
   ?monument geo:geometry ?sourceGEO .
   ?resource geo:geometry ?location .
@@ -85,9 +79,41 @@ SELECT DISTINCT ?link WHERE
   ?oscar foaf:name "{user_name}" .
   ?user foaf:knows ?oscar .
   FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
-}}
-"#
-    );
+}
+"#;
+
+/// §2.3 Q3, verbatim — Q2 plus rating order. `{user_name}` as in [`Q2`].
+const Q3: &str = r#"
+SELECT DISTINCT ?link ?points WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "{user_name}" .
+  ?user foaf:knows ?oscar .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}
+ORDER BY DESC(?points)
+"#;
+
+/// Substitutes the paper's "oscar" placeholder.
+fn instantiate(query: &str, user_name: &str) -> String {
+    query.replace("{user_name}", user_name)
+}
+
+/// The platform's user #1 name — the stand-in for the paper's "oscar".
+fn oscar(p: &Platform) -> String {
+    let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
+    users.get(1).unwrap()[1].as_text().unwrap().to_string()
+}
+
+#[test]
+fn q2_social_filter_is_a_subset_of_q1() {
+    let (p, _) = platform_with_fixture();
+    let q2 = instantiate(Q2, &oscar(&p));
     let q1_links: std::collections::BTreeSet<String> = p
         .query(Q1)
         .unwrap()
@@ -105,32 +131,11 @@ SELECT DISTINCT ?link WHERE
     assert!(q2_links.is_subset(&q1_links));
 }
 
-/// §2.3 Q3, verbatim: rating-ordered.
 #[test]
 fn q3_orders_by_rating_descending() {
     let (mut p, pid) = platform_with_fixture();
     p.rate(pid, 3, 5).unwrap();
-    let user_name = {
-        let users = p.db().table(lodify::relational::coppermine::USERS).unwrap();
-        users.get(1).unwrap()[1].as_text().unwrap().to_string()
-    };
-    let q3 = format!(
-        r#"
-SELECT DISTINCT ?link ?points WHERE {{
-  ?monument rdfs:label "Mole Antonelliana"@it .
-  ?monument geo:geometry ?sourceGEO .
-  ?resource geo:geometry ?location .
-  ?resource a sioct:MicroblogPost .
-  ?resource comm:image-data ?link .
-  ?resource foaf:maker ?user .
-  ?oscar foaf:name "{user_name}" .
-  ?user foaf:knows ?oscar .
-  ?resource rev:rating ?points .
-  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
-}}
-ORDER BY DESC(?points)
-"#
-    );
+    let q3 = instantiate(Q3, &oscar(&p));
     let results = p.query(&q3).unwrap();
     let points: Vec<f64> = results
         .column("points")
@@ -186,5 +191,71 @@ fn coliseum_keyword_links_to_colosseum_resource() {
         coliseum_term.resource.as_ref().map(|i| i.as_str()),
         Some("http://dbpedia.org/resource/Colosseum"),
         "the paper's example: keyword \"Coliseum\" → The Roman Colosseum"
+    );
+}
+
+/// Durability tentpole, end to end: a crash between the paper's
+/// queries must not change a single answer. The fixture platform runs
+/// journaled, takes live traffic, dies, and the rebooted platform
+/// answers Q1–Q3 identically (rendered tables compared verbatim).
+#[test]
+fn crash_recovery_preserves_every_paper_query_answer() {
+    use lodify::durability::{DurabilityOptions, MemStorage};
+
+    let config = WorkloadConfig {
+        seed: 99,
+        users: 20,
+        pictures: 250,
+        ..WorkloadConfig::default()
+    };
+    let mem = MemStorage::new();
+    let (mut p, report) = Platform::bootstrap_durable(
+        config.clone(),
+        Box::new(mem.clone()),
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    assert!(!report.recovered, "first boot adopts the bootstrap corpus");
+
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let receipt = p
+        .upload(Upload {
+            user_id: 2,
+            title: "La Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 5,
+            gps: Some(mole),
+            poi: None,
+        })
+        .unwrap();
+    p.rate(receipt.pid, 3, 5).unwrap();
+    p.flush_store().unwrap();
+
+    let user_name = oscar(&p);
+    let queries = [
+        Q1.to_string(),
+        instantiate(Q2, &user_name),
+        instantiate(Q3, &user_name),
+    ];
+    let before: Vec<String> = queries
+        .iter()
+        .map(|q| p.query(q).unwrap().to_table())
+        .collect();
+    assert!(!p.query(Q1).unwrap().is_empty(), "the fixture answers Q1");
+    drop(p);
+    mem.crash();
+
+    let (revived, report) =
+        Platform::bootstrap_durable(config, Box::new(mem.clone()), DurabilityOptions::default())
+            .unwrap();
+    assert!(report.recovered, "second boot replays the journal");
+    let after: Vec<String> = queries
+        .iter()
+        .map(|q| revived.query(q).unwrap().to_table())
+        .collect();
+    assert_eq!(
+        before, after,
+        "Q1–Q3 answers identical across crash recovery"
     );
 }

@@ -61,8 +61,7 @@ fn ntriples_round_trips_any_literal() {
         let value = any_text(&mut rng, 40);
         let subject = any_iri(&mut rng);
         let predicate = any_iri(&mut rng);
-        let triple =
-            Triple::spo(&subject, &predicate, Term::Literal(Literal::simple(value)));
+        let triple = Triple::spo(&subject, &predicate, Term::Literal(Literal::simple(value)));
         let text = ntriples::to_string(std::slice::from_ref(&triple));
         let parsed = ntriples::parse_document(&text).unwrap();
         assert_eq!(parsed, vec![triple]);
@@ -75,7 +74,11 @@ fn ntriples_round_trips_lang_literals() {
     for _ in 0..CASES {
         let value = any_text(&mut rng, 40);
         let lang = ident(&mut rng, 2);
-        let lang = if lang.len() == 1 { format!("{lang}{lang}") } else { lang };
+        let lang = if lang.len() == 1 {
+            format!("{lang}{lang}")
+        } else {
+            lang
+        };
         let lit = Literal::lang(value, &lang).unwrap();
         let triple = Triple::spo("http://s", "http://p", Term::Literal(lit));
         let text = ntriples::to_string(std::slice::from_ref(&triple));
@@ -310,13 +313,10 @@ fn sparql_limit_caps_and_distinct_shrinks() {
             );
         }
         let all =
-            lodify::sparql::execute(&store, "SELECT ?o WHERE { ?s <http://p> ?o . }")
+            lodify::sparql::execute(&store, "SELECT ?o WHERE { ?s <http://p> ?o . }").unwrap();
+        let distinct =
+            lodify::sparql::execute(&store, "SELECT DISTINCT ?o WHERE { ?s <http://p> ?o . }")
                 .unwrap();
-        let distinct = lodify::sparql::execute(
-            &store,
-            "SELECT DISTINCT ?o WHERE { ?s <http://p> ?o . }",
-        )
-        .unwrap();
         let limited = lodify::sparql::execute(
             &store,
             &format!("SELECT ?o WHERE {{ ?s <http://p> ?o . }} LIMIT {limit}"),
@@ -325,6 +325,145 @@ fn sparql_limit_caps_and_distinct_shrinks() {
         assert_eq!(all.len(), n);
         assert_eq!(distinct.len(), 1);
         assert_eq!(limited.len(), n.min(limit));
+    }
+}
+
+// ---------- durability codec ----------
+
+use lodify::durability::codec::{put_frame, read_frame, FrameOutcome};
+use lodify::durability::{scan_log, Record};
+use lodify::rdf::{BlankNode, Iri};
+
+/// Arbitrary RDF term covering every codec tag: IRI, blank node,
+/// simple / language-tagged / typed literal, and WKT geometry.
+fn any_term(rng: &mut DetRng) -> Term {
+    match rng.random_range(0..6u32) {
+        0 => Term::Iri(Iri::new(any_iri(rng)).unwrap()),
+        1 => Term::Blank(BlankNode::new(ident(rng, 8)).unwrap()),
+        2 => Term::Literal(Literal::simple(any_text(rng, 32))),
+        3 => {
+            let tag = ident(rng, 2);
+            let tag = if tag.len() == 1 {
+                format!("{tag}{tag}")
+            } else {
+                tag
+            };
+            Term::Literal(Literal::lang(any_text(rng, 32), tag).unwrap())
+        }
+        4 => Term::Literal(Literal::typed(
+            any_text(rng, 16),
+            Iri::new(any_iri(rng)).unwrap(),
+        )),
+        _ => {
+            let lon = rng.random_f64() * 360.0 - 180.0;
+            let lat = rng.random_f64() * 180.0 - 90.0;
+            Term::Literal(Point::new(lon, lat).unwrap().to_literal())
+        }
+    }
+}
+
+fn any_record(rng: &mut DetRng) -> Record {
+    match rng.random_range(0..6u32) {
+        0 => Record::GraphDecl {
+            gid: rng.random_range(0..u16::MAX as u32) as u16,
+            name: format!("urn:g:{}", ident(rng, 10)),
+        },
+        1 => Record::DictAdd {
+            id: rng.next_u64(),
+            term: any_term(rng),
+        },
+        2 => Record::Insert {
+            s: rng.next_u64(),
+            p: rng.next_u64(),
+            o: rng.next_u64(),
+            gid: rng.random_range(0..u16::MAX as u32) as u16,
+        },
+        3 => Record::Remove {
+            s: rng.next_u64(),
+            p: rng.next_u64(),
+            o: rng.next_u64(),
+        },
+        4 => Record::SnapshotHeader {
+            last_seq: rng.next_u64(),
+            graphs: rng.next_u64(),
+            terms: rng.next_u64(),
+            triples: rng.next_u64(),
+        },
+        _ => Record::SnapshotFooter {
+            last_seq: rng.next_u64(),
+            records: rng.next_u64(),
+        },
+    }
+}
+
+#[test]
+fn codec_round_trips_any_record() {
+    let mut rng = rng("codec-roundtrip");
+    for _ in 0..CASES {
+        let record = any_record(&mut rng);
+        let seq = rng.next_u64() >> 1;
+        let mut bytes = Vec::new();
+        put_frame(&mut bytes, seq, &record);
+        match read_frame(&bytes, 0) {
+            FrameOutcome::Frame {
+                seq: got_seq,
+                record: got,
+                next,
+            } => {
+                assert_eq!(got_seq, seq);
+                assert_eq!(got, record);
+                assert_eq!(next, bytes.len());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn codec_detects_any_single_byte_corruption() {
+    let mut rng = rng("codec-corrupt");
+    for _ in 0..CASES {
+        let record = any_record(&mut rng);
+        let mut bytes = Vec::new();
+        put_frame(&mut bytes, 7, &record);
+        let offset = rng.random_range(0..bytes.len() as u32) as usize;
+        let flip = 1u8 << rng.random_range(0..8u32);
+        bytes[offset] ^= flip;
+        // A flipped bit must never round-trip silently: either the
+        // frame is rejected, or (length-field growth only) it reads as
+        // truncated. Decoding to a *different valid record* is the
+        // failure mode CRC framing exists to prevent.
+        match read_frame(&bytes, 0) {
+            FrameOutcome::Frame { record: got, .. } => {
+                panic!("corrupt frame decoded as {got:?}")
+            }
+            FrameOutcome::Corrupt { .. } | FrameOutcome::Truncated { .. } => {}
+            FrameOutcome::End => panic!("corrupt frame read as clean end"),
+        }
+    }
+}
+
+#[test]
+fn wal_scan_survives_truncation_at_every_byte() {
+    let mut rng = rng("codec-truncate");
+    for _ in 0..24 {
+        let records: Vec<Record> = (0..rng.random_range(1..6usize))
+            .map(|_| any_record(&mut rng))
+            .collect();
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, record) in records.iter().enumerate() {
+            put_frame(&mut bytes, i as u64 + 1, record);
+            boundaries.push(bytes.len());
+        }
+        for cut in 0..=bytes.len() {
+            let (scanned, report) = scan_log(&bytes[..cut]);
+            // Exactly the records whose frames fit the prefix survive.
+            let expect = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(scanned.len(), expect, "cut at {cut}");
+            assert_eq!(report.valid_bytes as usize, boundaries[expect]);
+            assert_eq!(report.clean(), cut == boundaries[expect]);
+        }
     }
 }
 
