@@ -44,8 +44,11 @@ fn main() {
         "greedy selectivity ordering makes query latency independent of how the author wrote the BGP",
     );
 
-    let on = EvalOptions { reorder_bgp: true };
-    let off = EvalOptions { reorder_bgp: false };
+    let on = EvalOptions::default();
+    let off = EvalOptions {
+        reorder_bgp: false,
+        ..EvalOptions::default()
+    };
 
     row(&[
         "pictures".into(),

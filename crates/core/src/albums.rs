@@ -14,14 +14,48 @@
 //! the relational database — the "already possible by means of
 //! relational DB technology" baseline the paper contrasts with — and
 //! the E5 experiment cross-checks both.
+//!
+//! # Materialized albums
+//!
+//! Re-running the full SPARQL query on every album view is the hot
+//! path the paper's Virtuoso deployment would melt under. An
+//! [`AlbumCache`] memoizes each album's solved links as a
+//! [`MaterializedAlbum`] keyed by the store's **mutation epoch**
+//! ([`Store::epoch`]): an entry stays valid while none of the
+//! predicates its query reads ([`AlbumSpec::predicates`]) has seen a
+//! mutation ([`Store::predicate_epoch`]). Invalidation is therefore
+//! *incremental* — rating a picture (a `rev:rating` mutation)
+//! invalidates Q3 albums but leaves Q1 albums cached. Hit, miss and
+//! invalidation counters surface through
+//! [`OpsSnapshot`](crate::metrics::OpsSnapshot).
 
-use lodify_rdf::Point;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lodify_rdf::{ns, Iri, Point, Term};
 use lodify_relational::{coppermine as cpg, Database};
 use lodify_store::Store;
 
 use crate::error::PlatformError;
 
 /// Declarative spec of a virtual album.
+///
+/// The builder mirrors the paper's query ladder — each call adds one
+/// of §2.3's refinements:
+///
+/// ```
+/// use lodify_core::albums::AlbumSpec;
+///
+/// // Q3 = Q1 (geo proximity) + Q2 (social filter) + rating order.
+/// let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3)
+///     .friends_of("oscar")
+///     .rated();
+/// let sparql = q3.to_sparql();
+/// assert!(sparql.contains("?monument rdfs:label \"Mole Antonelliana\"@it ."));
+/// assert!(sparql.contains("?user foaf:knows ?friend ."));
+/// assert!(sparql.ends_with("ORDER BY DESC(?points)\n"));
+/// ```
 #[derive(Debug, Clone)]
 pub struct AlbumSpec {
     /// The monument's label, e.g. `Mole Antonelliana`.
@@ -113,6 +147,215 @@ impl AlbumSpec {
             .into_iter()
             .map(|t| t.lexical().to_string())
             .collect())
+    }
+
+    /// The constant predicates the generated query reads. A cached
+    /// answer stays valid while none of them has seen a mutation —
+    /// the incremental-invalidation contract of [`AlbumCache`].
+    pub fn predicates(&self) -> Vec<Iri> {
+        let mut preds = vec![
+            ns::iri::rdfs_label(),
+            ns::iri::geo_geometry(),
+            ns::iri::rdf_type(),
+            ns::iri::image_data(),
+        ];
+        if self.friend_of.is_some() {
+            preds.extend([
+                ns::iri::foaf_maker(),
+                ns::iri::foaf_name(),
+                ns::iri::foaf_knows(),
+            ]);
+        }
+        if self.order_by_rating {
+            preds.push(ns::iri::rev_rating());
+        }
+        preds
+    }
+}
+
+/// Max per-predicate epoch over the query's predicates: the album's
+/// validity fingerprint. Epochs only grow, so an unchanged fingerprint
+/// proves no statement any of these predicates could reach was added
+/// or removed since the album was solved.
+fn fingerprint(spec: &AlbumSpec, store: &Store) -> u64 {
+    spec.predicates()
+        .iter()
+        .map(|iri| {
+            store
+                .id_of(&Term::Iri(iri.clone()))
+                .map(|id| store.predicate_epoch(id))
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// One solved virtual album: the result links plus the epoch
+/// fingerprint they are valid for.
+#[derive(Debug, Clone)]
+pub struct MaterializedAlbum {
+    /// Media links, in query result order.
+    pub links: Vec<String>,
+    /// [`Store::epoch`] when the album was solved (diagnostics).
+    pub solved_at: u64,
+    /// Validity fingerprint (see [`fingerprint`]).
+    valid_for: u64,
+}
+
+impl MaterializedAlbum {
+    /// Runs the album query and records the epoch fingerprint it is
+    /// valid for.
+    pub fn solve(spec: &AlbumSpec, store: &Store) -> Result<MaterializedAlbum, PlatformError> {
+        Ok(MaterializedAlbum {
+            links: spec.execute(store)?,
+            solved_at: store.epoch(),
+            valid_for: fingerprint(spec, store),
+        })
+    }
+
+    /// Whether the solved links still answer `spec` over `store`: true
+    /// iff no predicate the query reads mutated since [`Self::solve`].
+    pub fn is_fresh(&self, spec: &AlbumSpec, store: &Store) -> bool {
+        fingerprint(spec, store) == self.valid_for
+    }
+}
+
+/// Album-cache counters, surfaced through
+/// [`OpsSnapshot`](crate::metrics::OpsSnapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlbumCacheStats {
+    /// Views served straight from a fresh materialized album.
+    pub hits: u64,
+    /// Views that had to solve the query (cold or invalidated).
+    pub misses: u64,
+    /// Entries dropped because a relevant predicate mutated.
+    pub invalidations: u64,
+    /// Materialized albums currently held.
+    pub entries: usize,
+}
+
+/// Epoch-validated memo of solved virtual albums.
+///
+/// Interior mutability (a mutex around the entry map, atomics for the
+/// counters) lets the cache serve and admit entries through `&self`,
+/// so read paths — the web `/album` route holds the platform
+/// immutably — stay lock-friendly.
+///
+/// ```
+/// use lodify_core::albums::{AlbumCache, AlbumSpec};
+/// use lodify_rdf::{ns, Literal, Point, Term, Triple};
+/// use lodify_store::Store;
+///
+/// let mut store = Store::new();
+/// let g = store.default_graph();
+/// let mole = Point::new(7.6933, 45.0692)?;
+/// let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+/// store.insert(
+///     &Triple::spo(
+///         monument,
+///         ns::iri::rdfs_label().as_str(),
+///         Term::Literal(Literal::lang("Mole Antonelliana", "it")?),
+///     ),
+///     g,
+/// );
+/// store.insert(
+///     &Triple::spo(
+///         monument,
+///         ns::iri::geo_geometry().as_str(),
+///         Term::Literal(mole.to_literal()),
+///     ),
+///     g,
+/// );
+/// let pic = "http://t/pictures/1";
+/// store.insert(
+///     &Triple::spo(pic, ns::iri::rdf_type().as_str(), Term::Iri(ns::iri::microblog_post())),
+///     g,
+/// );
+/// store.insert(
+///     &Triple::spo(
+///         pic,
+///         ns::iri::geo_geometry().as_str(),
+///         Term::Literal(mole.offset_km(0.05, 0.0).to_literal()),
+///     ),
+///     g,
+/// );
+/// store.insert(
+///     &Triple::spo(pic, ns::iri::image_data().as_str(), Term::literal("http://t/media/1.jpg")),
+///     g,
+/// );
+///
+/// let cache = AlbumCache::new();
+/// let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+/// let cold = cache.view(&store, &spec)?; // solves the SPARQL query
+/// let warm = cache.view(&store, &spec)?; // epoch unchanged: served from cache
+/// assert_eq!(cold, vec!["http://t/media/1.jpg".to_string()]);
+/// assert_eq!(warm, cold);
+/// assert_eq!((cache.stats().misses, cache.stats().hits), (1, 1));
+///
+/// // Mutating a predicate the query reads invalidates the entry.
+/// store.insert(
+///     &Triple::spo(
+///         "http://t/pictures/2",
+///         ns::iri::image_data().as_str(),
+///         Term::literal("http://t/media/2.jpg"),
+///     ),
+///     g,
+/// );
+/// cache.view(&store, &spec)?;
+/// assert_eq!(cache.stats().invalidations, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AlbumCache {
+    entries: Mutex<HashMap<String, MaterializedAlbum>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl AlbumCache {
+    /// An empty cache.
+    pub fn new() -> AlbumCache {
+        AlbumCache::default()
+    }
+
+    /// Serves an album view: a fresh materialized album is returned
+    /// as-is (hit); a stale one is dropped (invalidation) and, like a
+    /// cold view, re-solved and admitted (miss).
+    pub fn view(&self, store: &Store, spec: &AlbumSpec) -> Result<Vec<String>, PlatformError> {
+        let key = spec.to_sparql();
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.get(&key) {
+            if entry.is_fresh(spec, store) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.links.clone());
+            }
+            entries.remove(&key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let album = MaterializedAlbum::solve(spec, store)?;
+        let links = album.links.clone();
+        entries.insert(key, album);
+        Ok(links)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AlbumCacheStats {
+        AlbumCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
+    }
+
+    /// Drops every materialized album (counters are kept).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 
@@ -318,5 +561,173 @@ mod tests {
             relational_baseline(p.db(), mole_point(), 0.3, Some("nobody"), false),
             Err(PlatformError::NotFound(_))
         ));
+    }
+
+    // ----- materialized album cache -----
+
+    use lodify_rdf::{Literal, Triple};
+
+    /// A minimal hand-built store answering Q1/Q3 near the Mole.
+    fn tiny_store() -> (Store, Triple) {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let mole = mole_point();
+        let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole.to_literal()),
+            ),
+            g,
+        );
+        let pic = "http://t/pictures/1";
+        store.insert(
+            &Triple::spo(
+                pic,
+                ns::iri::rdf_type().as_str(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                pic,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole.offset_km(0.05, 0.0).to_literal()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                pic,
+                ns::iri::image_data().as_str(),
+                Term::literal("http://t/media/1.jpg"),
+            ),
+            g,
+        );
+        let rating = Triple::spo(
+            pic,
+            ns::iri::rev_rating().as_str(),
+            Term::Literal(Literal::integer(4)),
+        );
+        store.insert(&rating, g);
+        (store, rating)
+    }
+
+    #[test]
+    fn cache_serves_hits_until_a_relevant_mutation() {
+        let (mut store, _) = tiny_store();
+        let cache = AlbumCache::new();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+
+        let cold = cache.view(&store, &spec).unwrap();
+        assert_eq!(cold, vec!["http://t/media/1.jpg"]);
+        let warm = cache.view(&store, &spec).unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(
+            cache.stats(),
+            AlbumCacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0,
+                entries: 1
+            }
+        );
+
+        // A mutation on a predicate the query reads invalidates.
+        let g = store.default_graph();
+        store.insert(
+            &Triple::spo(
+                "http://t/pictures/2",
+                ns::iri::image_data().as_str(),
+                Term::literal("http://t/media/2.jpg"),
+            ),
+            g,
+        );
+        let _ = cache.view(&store, &spec).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn invalidation_is_incremental_per_predicate() {
+        let (mut store, _) = tiny_store();
+        let cache = AlbumCache::new();
+        let q1 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+        let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3).rated();
+        cache.view(&store, &q1).unwrap();
+        cache.view(&store, &q3).unwrap();
+
+        // A rating mutation touches only rev:rating — Q3 reads it,
+        // Q1 does not.
+        let g = store.default_graph();
+        store.insert(
+            &Triple::spo(
+                "http://t/pictures/1",
+                ns::iri::rev_rating().as_str(),
+                Term::Literal(Literal::integer(5)),
+            ),
+            g,
+        );
+        cache.view(&store, &q1).unwrap();
+        cache.view(&store, &q3).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "Q1 stays cached across a rating change");
+        assert_eq!(stats.invalidations, 1, "Q3 is re-solved");
+    }
+
+    /// Regression (the stats-drift bug class from the durability PR):
+    /// `Store::remove` must advance the epoch and fire invalidation,
+    /// not just inserts.
+    #[test]
+    fn cache_invalidation_fires_on_store_remove() {
+        let (mut store, rating) = tiny_store();
+        let cache = AlbumCache::new();
+        let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3).rated();
+        let before = cache.view(&store, &q3).unwrap();
+        assert_eq!(before, vec!["http://t/media/1.jpg"]);
+
+        assert!(store.remove(&rating));
+        let after = cache.view(&store, &q3).unwrap();
+        assert!(
+            after.is_empty(),
+            "removing the rating drops the picture from Q3"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn materialized_album_reports_freshness() {
+        let (mut store, rating) = tiny_store();
+        let q3 = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3).rated();
+        let album = MaterializedAlbum::solve(&q3, &store).unwrap();
+        assert_eq!(album.solved_at, store.epoch());
+        assert!(album.is_fresh(&q3, &store));
+        store.remove(&rating);
+        assert!(!album.is_fresh(&q3, &store));
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let (store, _) = tiny_store();
+        let cache = AlbumCache::new();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+        cache.view(&store, &spec).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
     }
 }

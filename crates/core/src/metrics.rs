@@ -18,6 +18,7 @@ use lodify_rdf::Iri;
 use lodify_relational::workload::{PictureTruth, TruthSubject};
 use lodify_resilience::BreakerState;
 
+use crate::albums::AlbumCacheStats;
 use crate::federation::Federation;
 
 /// Basic precision/recall counts.
@@ -197,17 +198,22 @@ pub struct OpsSnapshot {
     /// Persistence engine counters (WAL depth, snapshot age, replay
     /// stats), when the store is journal-backed.
     pub durability: Option<DurabilityStats>,
+    /// Materialized-album cache counters (hits, misses, epoch-driven
+    /// invalidations), when the platform serves cached views.
+    pub album_cache: Option<AlbumCacheStats>,
 }
 
 impl OpsSnapshot {
     /// Collects the current state; `requeue` / `federation` /
-    /// `durability` are optional because a deployment may run only
-    /// part of the pipeline (and an ephemeral store has no journal).
+    /// `durability` / `album_cache` are optional because a deployment
+    /// may run only part of the pipeline (an ephemeral store has no
+    /// journal, a headless ingest run serves no album views).
     pub fn collect(
         broker: &SemanticBroker,
         requeue: Option<&ReAnnotator>,
         federation: Option<&Federation>,
         durability: Option<DurabilityStats>,
+        album_cache: Option<AlbumCacheStats>,
     ) -> OpsSnapshot {
         let mut snapshot = OpsSnapshot::default();
         let telemetry = broker.telemetry();
@@ -241,6 +247,7 @@ impl OpsSnapshot {
             }
         }
         snapshot.durability = durability;
+        snapshot.album_cache = album_cache;
         snapshot
     }
 
@@ -297,6 +304,13 @@ impl fmt::Display for OpsSnapshot {
                 d.flushes,
                 d.snapshots_written,
                 d.records_replayed
+            )?;
+        }
+        if let Some(c) = &self.album_cache {
+            write!(
+                f,
+                "\n  album cache hits={} misses={} invalidations={} entries={}",
+                c.hits, c.misses, c.invalidations, c.entries
             )?;
         }
         Ok(())
@@ -420,7 +434,7 @@ mod tests {
         .with_resilience(clock.clone(), BrokerResilienceConfig::default());
 
         // Healthy at rest.
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None);
         assert!(!snapshot.is_degraded());
         assert_eq!(snapshot.resolvers.len(), 2);
 
@@ -429,7 +443,7 @@ mod tests {
         for _ in 0..4 {
             broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
         }
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None);
         assert!(snapshot.is_degraded());
         let dbp_ops = snapshot
             .resolvers
@@ -449,6 +463,24 @@ mod tests {
         let rendered = snapshot.to_string();
         assert!(rendered.contains("breaker=OPEN"));
         assert!(rendered.contains("federation  dlq=0"));
+    }
+
+    #[test]
+    fn ops_snapshot_renders_album_cache_counters() {
+        let broker = lodify_lod::SemanticBroker::standard();
+        let stats = AlbumCacheStats {
+            hits: 7,
+            misses: 2,
+            invalidations: 1,
+            entries: 2,
+        };
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, Some(stats));
+        assert_eq!(snapshot.album_cache, Some(stats));
+        let rendered = snapshot.to_string();
+        assert!(
+            rendered.contains("album cache hits=7 misses=2 invalidations=1 entries=2"),
+            "{rendered}"
+        );
     }
 
     #[test]

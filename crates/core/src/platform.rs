@@ -20,6 +20,7 @@ use lodify_store::{GraphId, Store};
 use lodify_tripletags::context_tags::tags_for;
 use lodify_tripletags::{Tag, TagIndex};
 
+use crate::albums::{AlbumCache, AlbumCacheStats, AlbumSpec};
 use crate::error::PlatformError;
 
 /// Annotation predicate: content → LOD resource it is about.
@@ -86,6 +87,7 @@ pub struct Platform {
     next_vote: i64,
     next_poi_ref: i64,
     fault_plan: Option<FaultPlan>,
+    album_cache: AlbumCache,
 }
 
 impl Platform {
@@ -204,6 +206,7 @@ impl Platform {
             next_vote,
             next_poi_ref,
             fault_plan: None,
+            album_cache: AlbumCache::new(),
         };
         platform.rebuild_tag_index()?;
         Ok((platform, report))
@@ -562,6 +565,25 @@ impl Platform {
     pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
         Ok(lodify_sparql::execute(self.store.store(), sparql)?)
     }
+
+    /// Serves a virtual album through the materialized-album cache:
+    /// a fresh cached answer is returned without touching the SPARQL
+    /// engine; stale or cold albums are solved and admitted. Because
+    /// WAL recovery replays `Store::insert`/`remove`, store epochs —
+    /// and with them cache validity — repopulate correctly on reboot.
+    pub fn view_album(&self, spec: &AlbumSpec) -> Result<Vec<String>, PlatformError> {
+        self.album_cache.view(self.store.store(), spec)
+    }
+
+    /// The materialized-album cache (counters, manual clear).
+    pub fn album_cache(&self) -> &AlbumCache {
+        &self.album_cache
+    }
+
+    /// Album-cache counter snapshot (for [`crate::metrics`]).
+    pub fn album_cache_stats(&self) -> AlbumCacheStats {
+        self.album_cache.stats()
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +706,42 @@ mod tests {
         let value: f64 = results.column("r")[0].lexical().parse().unwrap();
         assert!((1.0..=5.0).contains(&value));
         assert!(matches!(p.rate(pid, 1, 9), Err(PlatformError::Invalid(_))));
+    }
+
+    #[test]
+    fn view_album_caches_until_an_upload_invalidates() {
+        let mut p = small_platform();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+        let cold = p.view_album(&spec).unwrap();
+        let warm = p.view_album(&spec).unwrap();
+        assert_eq!(cold, warm);
+        let stats = p.album_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // An upload semanticizes new picture triples (rdf:type,
+        // comm:image-data, geo:geometry, …) — the cache must notice.
+        let gaz = Gazetteer::global();
+        let mole = gaz.poi("Mole_Antonelliana").unwrap();
+        let receipt = p
+            .upload(Upload {
+                user_id: 1,
+                title: "Davanti alla Mole".into(),
+                tags: vec!["torino".into()],
+                ts: 7,
+                gps: Some(mole.point(gaz)),
+                poi: None,
+            })
+            .unwrap();
+        let refreshed = p.view_album(&spec).unwrap();
+        assert!(
+            refreshed
+                .iter()
+                .any(|l| l.contains(&format!("media/{}.jpg", receipt.pid))),
+            "the cached album refreshed to include the new upload"
+        );
+        let stats = p.album_cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]

@@ -183,7 +183,10 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
                 .and_then(|r| r.parse().ok())
                 .unwrap_or(0.3);
             let spec = crate::albums::AlbumSpec::near_monument(monument, lang, radius);
-            match spec.execute(platform.store()) {
+            // Served through the materialized-album cache: repeated
+            // hits on the same spec skip SPARQL evaluation entirely
+            // until a relevant store mutation bumps a predicate epoch.
+            match platform.view_album(&spec) {
                 Ok(links) => Response::html(render_album(monument, &links)),
                 Err(e) => Response::bad_request(&e.to_string()),
             }
@@ -735,6 +738,19 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("virtual album"));
+    }
+
+    #[test]
+    fn album_route_serves_repeats_from_the_cache() {
+        let p = platform();
+        let target = "/album?monument=Mole+Antonelliana&lang=it&radius=0.3";
+        let cold = get(&p, target, false);
+        let warm = get(&p, target, false);
+        assert_eq!(cold.body, warm.body, "cached view must render identically");
+        let stats = p.album_cache_stats();
+        assert_eq!(stats.misses, 1, "first request solves the album");
+        assert_eq!(stats.hits, 1, "second request is a cache hit");
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

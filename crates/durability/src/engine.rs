@@ -21,14 +21,14 @@
 //!
 //! Records reference terms by *wire id*, a dictionary owned by the
 //! journal and rebuilt from the log on recovery. Wire ids are
-//! deliberately decoupled from the store's own [`TermId`]s: the store
+//! deliberately decoupled from the store's own [`lodify_store::TermId`]s: the store
 //! re-interns terms in replay order, so its ids are not stable across
 //! recoveries — the wire dictionary is.
 //!
 //! ## Fault injection
 //!
 //! The durability barriers honor an optional
-//! [`FaultPlan`](lodify_resilience::FaultPlan): `wal.flush` guards the
+//! [`lodify_resilience::FaultPlan`]: `wal.flush` guards the
 //! WAL flush barrier and `snapshot.write` guards snapshot segment
 //! writes. Injected latency on those targets advances the plan's
 //! virtual clock, which is how the E15 benchmark measures group-commit
@@ -788,6 +788,51 @@ mod tests {
             .search_word("picture")
             .is_empty());
         assert_eq!(recovered.store().stats().total(), 40);
+    }
+
+    #[test]
+    fn recovery_repopulates_store_mutation_epochs() {
+        // The materialized-album cache keys freshness on per-predicate
+        // store epochs. Recovery replays the WAL through
+        // `Store::insert`/`Store::remove`, so a revived store must
+        // carry non-zero epochs for every journaled predicate —
+        // otherwise a pre-crash cache fingerprint would wrongly read
+        // as fresh after reboot.
+        let mem = MemStorage::new();
+        let (mut engine, _) = open_mem(&mem);
+        let g = engine.graph("urn:g:ugc");
+        for n in 0..4 {
+            engine.insert(&label(n), g).unwrap();
+            engine.insert(&geo(n), g).unwrap();
+        }
+        engine.remove(&label(1)).unwrap();
+        engine.flush().unwrap();
+        mem.crash();
+        let (recovered, report) = open_mem(&mem);
+        assert!(report.recovered);
+        let store = recovered.store();
+        assert!(store.epoch() > 0, "global epoch advances during replay");
+        for predicate in [
+            "http://www.w3.org/2000/01/rdf-schema#label",
+            "http://www.opengis.net/ont/geosparql#geometry",
+        ] {
+            let id = store
+                .id_of(&Term::iri(predicate).unwrap())
+                .expect("replayed predicate is interned");
+            assert!(
+                store.predicate_epoch(id) > 0,
+                "{predicate} must have a replay epoch"
+            );
+        }
+        // The replayed remove is the newest label mutation, so the
+        // label predicate's epoch is the most recent of the two.
+        let label_id = store
+            .id_of(&Term::iri("http://www.w3.org/2000/01/rdf-schema#label").unwrap())
+            .unwrap();
+        let geo_id = store
+            .id_of(&Term::iri("http://www.opengis.net/ont/geosparql#geometry").unwrap())
+            .unwrap();
+        assert!(store.predicate_epoch(label_id) > store.predicate_epoch(geo_id));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! wrapper mirrors `lodify_store::SharedStore`'s poison-tolerant
 //! locking idiom.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use lodify_rdf::{Iri, Term, Triple};
@@ -19,13 +20,19 @@ use crate::error::DurabilityError;
 #[derive(Clone)]
 pub struct SharedDurableStore {
     inner: Arc<RwLock<DurableStore>>,
+    /// Last statement count observed outside the lock; keeps `Debug`
+    /// informative while a writer holds the lock (same idiom as
+    /// `lodify_store::SharedStore`).
+    len_hint: Arc<AtomicUsize>,
 }
 
 impl SharedDurableStore {
     /// Wraps an engine for shared use.
     pub fn new(engine: DurableStore) -> SharedDurableStore {
+        let len_hint = Arc::new(AtomicUsize::new(engine.store().len()));
         SharedDurableStore {
             inner: Arc::new(RwLock::new(engine)),
+            len_hint,
         }
     }
 
@@ -42,9 +49,13 @@ impl SharedDurableStore {
         f(self.read_guard().store())
     }
 
-    /// Runs a closure against the engine (exclusive lock).
+    /// Runs a closure against the engine (exclusive lock), refreshing
+    /// the `Debug` size hint afterwards.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut DurableStore) -> T) -> T {
-        f(&mut self.write_guard())
+        let mut guard = self.write_guard();
+        let out = f(&mut guard);
+        self.len_hint.store(guard.store().len(), Ordering::Relaxed);
+        out
     }
 
     /// Registers (or retrieves) a named graph.
@@ -54,7 +65,7 @@ impl SharedDurableStore {
 
     /// Journaled insert (see [`DurableStore::insert`]).
     pub fn insert(&self, triple: &Triple, graph: GraphId) -> Result<bool, DurabilityError> {
-        self.write_guard().insert(triple, graph)
+        self.with_write(|engine| engine.insert(triple, graph))
     }
 
     /// Journaled bulk insert.
@@ -63,12 +74,12 @@ impl SharedDurableStore {
         triples: impl IntoIterator<Item = &'a Triple>,
         graph: GraphId,
     ) -> Result<usize, DurabilityError> {
-        self.write_guard().insert_all(triples, graph)
+        self.with_write(|engine| engine.insert_all(triples, graph))
     }
 
     /// Journaled remove.
     pub fn remove(&self, triple: &Triple) -> Result<bool, DurabilityError> {
-        self.write_guard().remove(triple)
+        self.with_write(|engine| engine.remove(triple))
     }
 
     /// Journaled `(subject, predicate, *)` removal.
@@ -77,7 +88,7 @@ impl SharedDurableStore {
         subject: &Term,
         predicate: &Iri,
     ) -> Result<usize, DurabilityError> {
-        self.write_guard().remove_pattern_sp(subject, predicate)
+        self.with_write(|engine| engine.remove_pattern_sp(subject, predicate))
     }
 
     /// Forces the durability barrier.
@@ -93,6 +104,19 @@ impl SharedDurableStore {
     /// Durability counters (`None` in ephemeral mode).
     pub fn stats(&self) -> Option<DurabilityStats> {
         self.read_guard().stats()
+    }
+}
+
+impl std::fmt::Debug for SharedDurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Ok(engine) => write!(f, "SharedDurableStore({} triples)", engine.store().len()),
+            Err(_) => write!(
+                f,
+                "SharedDurableStore(~{} triples, write-locked)",
+                self.len_hint.load(Ordering::Relaxed)
+            ),
+        }
     }
 }
 
@@ -150,5 +174,28 @@ mod tests {
         let (recovered, _) =
             DurableStore::open(Box::new(mem.clone()), DurabilityOptions::default()).unwrap();
         assert_eq!(recovered.store().len(), 200);
+    }
+
+    #[test]
+    fn debug_reports_size_even_while_write_locked() {
+        let shared = SharedDurableStore::new(DurableStore::ephemeral(lodify_store::Store::new()));
+        let g = shared.graph("urn:g:ugc");
+        shared
+            .insert(
+                &Triple::spo("http://t/p", "http://p", Term::literal("v")),
+                g,
+            )
+            .unwrap();
+        assert_eq!(format!("{shared:?}"), "SharedDurableStore(1 triples)");
+        shared.with_write(|_engine| {
+            // Deadlock-free and still informative under the write lock.
+        });
+        let contender = shared.clone();
+        let mut guard = shared.inner.write().unwrap();
+        let _ = &mut guard;
+        assert_eq!(
+            format!("{contender:?}"),
+            "SharedDurableStore(~1 triples, write-locked)"
+        );
     }
 }

@@ -1,8 +1,27 @@
 //! Query evaluation: index-nested-loop BGP joins with greedy
 //! selectivity ordering, OPTIONAL/UNION/subselects, filters with
 //! SPARQL error semantics, aggregation, and solution modifiers.
+//!
+//! # Parallel execution
+//!
+//! With [`EvalOptions::workers`] > 1 the evaluator partitions the
+//! candidate bindings of a basic graph pattern across a scoped-thread
+//! worker pool ([`crate::pool`]). The split point is picked from the
+//! store's index cardinalities (the same counts that feed
+//! [`lodify_store::stats`]): walking the greedily ordered run, the
+//! first pattern whose subject is a still-unbound variable with at
+//! least [`EvalOptions::parallel_threshold`] matching triples is the
+//! *split pattern*, and that subject is the *split variable* — the
+//! bindings it produces are what get partitioned, so every later probe
+//! and every CPU-heavy `FILTER` (e.g. `bif:st_intersects`) runs on all
+//! workers. Chunks are contiguous and merged in chunk order, which
+//! makes parallel output **byte-identical** to the sequential engine —
+//! asserted by the identity tests in `tests/paper_queries.rs` and the
+//! property corpus.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
 use lodify_rdf::{Literal, Term};
 use lodify_store::{Store, TermId};
@@ -10,6 +29,7 @@ use lodify_store::{Store, TermId};
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::expr::{self, ExprError};
+use crate::pool;
 use crate::results::QueryResults;
 
 /// Evaluator tuning knobs (ablation benches flip these).
@@ -19,11 +39,85 @@ pub struct EvalOptions {
     /// When off, triple patterns run in syntactic order — the naive
     /// plan the E13 ablation compares against.
     pub reorder_bgp: bool,
+    /// Number of partitions for BGP probing and filter application.
+    /// `1` (the default) is the sequential engine; `n > 1` splits
+    /// candidate bindings into `n` contiguous chunks with a
+    /// deterministic in-order merge.
+    pub workers: usize,
+    /// Minimum statistics-estimated cardinality a pattern in a BGP run
+    /// must reach before the run is considered worth partitioning.
+    /// Identity tests set this to 0 to force the parallel path on
+    /// small fixtures.
+    pub parallel_threshold: usize,
+    /// Execute partitions on scoped OS threads (default). When off,
+    /// partitions run inline on the calling thread — identical
+    /// results and accounting without thread overhead, which benches
+    /// use to time each partition honestly on hosts with fewer cores
+    /// than workers.
+    pub spawn_threads: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_bgp: true }
+        EvalOptions {
+            reorder_bgp: true,
+            workers: 1,
+            parallel_threshold: 64,
+            spawn_threads: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Sequential defaults with `workers` partitions.
+    pub fn parallel(workers: usize) -> Self {
+        EvalOptions {
+            workers,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// What the parallel executor did for one query: section counts, item
+/// counts, and two time aggregates that let a bench compute speedup
+/// without needing as many physical cores as workers.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Parallel sections run (pattern probes + filter applications).
+    pub parallel_sections: u64,
+    /// Candidate bindings processed across all parallel sections.
+    pub parallel_items: u64,
+    /// Sum over sections of the largest per-worker item share — the
+    /// item-count critical path. `parallel_items / critical_items`
+    /// is the partition-balance upper bound on speedup.
+    pub critical_items: u64,
+    /// Total busy time summed over every partition (≈ sequential work).
+    pub busy: Duration,
+    /// Sum over sections of the slowest partition's busy time: the
+    /// time a perfectly scheduled `workers`-core machine would need.
+    pub critical_path: Duration,
+    /// The split variable chosen from join statistics for the last
+    /// partitioned BGP run, if any.
+    pub split_variable: Option<String>,
+}
+
+impl EvalReport {
+    /// Measured-time speedup bound: total partition work divided by the
+    /// slowest-partition critical path (1.0 when nothing ran parallel).
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.critical_path.is_zero() {
+            return 1.0;
+        }
+        self.busy.as_secs_f64() / self.critical_path.as_secs_f64()
+    }
+
+    /// Item-count balance bound on speedup (1.0 when nothing ran
+    /// parallel): how evenly the bindings split across workers.
+    pub fn balance(&self) -> f64 {
+        if self.critical_items == 0 {
+            return 1.0;
+        }
+        self.parallel_items as f64 / self.critical_items as f64
     }
 }
 
@@ -38,13 +132,24 @@ pub fn evaluate_with(
     query: &Query,
     options: EvalOptions,
 ) -> Result<QueryResults, SparqlError> {
-    let ev = Evaluator { store, options };
-    if query_has_aggregates(query) {
-        ev.evaluate_aggregate(query)
+    Ok(evaluate_with_report(store, query, options)?.0)
+}
+
+/// Like [`evaluate_with`], also returning the parallel-execution
+/// report benches use to measure speedup and partition balance.
+pub fn evaluate_with_report(
+    store: &Store,
+    query: &Query,
+    options: EvalOptions,
+) -> Result<(QueryResults, EvalReport), SparqlError> {
+    let ev = Evaluator::new(store, options);
+    let results = if query_has_aggregates(query) {
+        ev.evaluate_aggregate(query)?
     } else {
         let ids = ev.evaluate_ids(query)?;
-        Ok(ids.into_results(store))
-    }
+        ids.into_results(store)
+    };
+    Ok((results, ev.report.into_inner()))
 }
 
 fn query_has_aggregates(query: &Query) -> bool {
@@ -194,9 +299,37 @@ impl IdResults {
 struct Evaluator<'s> {
     store: &'s Store,
     options: EvalOptions,
+    report: RefCell<EvalReport>,
 }
 
 impl<'s> Evaluator<'s> {
+    fn new(store: &'s Store, options: EvalOptions) -> Evaluator<'s> {
+        Evaluator {
+            store,
+            options,
+            report: RefCell::new(EvalReport::default()),
+        }
+    }
+
+    /// Folds one fork/join section's per-chunk accounting into the
+    /// query report (called on the coordinating thread after merge).
+    fn note_section<T>(&self, outcomes: &[pool::ChunkOutcome<T>]) {
+        let mut report = self.report.borrow_mut();
+        report.parallel_sections += 1;
+        report.parallel_items += outcomes.iter().map(|o| o.items as u64).sum::<u64>();
+        report.critical_items += outcomes.iter().map(|o| o.items as u64).max().unwrap_or(0);
+        report.busy += outcomes.iter().map(|o| o.busy).sum::<Duration>();
+        report.critical_path += outcomes.iter().map(|o| o.busy).max().unwrap_or_default();
+    }
+
+    /// Whether a batch of this size can fork at all: something to
+    /// split, and parallelism enabled. (The pool clamps the partition
+    /// count to the batch size; the statistics threshold in
+    /// [`Evaluator::pick_split`] is the cost-based gate.)
+    fn should_fork(&self, batch: usize) -> bool {
+        self.options.workers > 1 && batch >= 2
+    }
+
     // ---------- top-level pipelines ----------
 
     fn evaluate_ids(&self, query: &Query) -> Result<IdResults, SparqlError> {
@@ -421,8 +554,17 @@ impl<'s> Evaluator<'s> {
                         }
                     }
                     let ordered = self.order_patterns(&run, &bound, reg);
-                    for pattern in ordered {
-                        solutions = self.match_pattern(pattern, solutions, reg)?;
+                    // Join statistics decide whether (and where) this
+                    // run is worth partitioning: probes after the
+                    // split pattern see its bindings fan out and run
+                    // on the worker pool.
+                    let split = self.pick_split(&ordered, &bound, reg);
+                    if let Some((_, var)) = &split {
+                        self.report.borrow_mut().split_variable = Some(var.clone());
+                    }
+                    for (k, pattern) in ordered.iter().enumerate() {
+                        let fork = split.as_ref().is_some_and(|&(idx, _)| k > idx);
+                        solutions = self.match_pattern(pattern, solutions, reg, fork)?;
                         for v in pattern.vars() {
                             if let Some(slot) = reg.slot(v) {
                                 bound.insert(slot);
@@ -434,6 +576,7 @@ impl<'s> Evaluator<'s> {
                             &mut applied,
                             &bound,
                             reg,
+                            fork,
                         );
                         if solutions.is_empty() {
                             break;
@@ -482,13 +625,13 @@ impl<'s> Evaluator<'s> {
                 }
                 Element::Filter(_) => unreachable!("filters were partitioned out"),
             }
-            self.apply_ready_filters(&mut solutions, &pending, &mut applied, &bound, reg);
+            self.apply_ready_filters(&mut solutions, &pending, &mut applied, &bound, reg, false);
         }
 
         // Remaining filters apply at group end, whatever is bound.
         for (idx, (e, _)) in pending.iter().enumerate() {
             if !applied[idx] {
-                self.retain_filter(&mut solutions, e, reg);
+                self.retain_filter(&mut solutions, e, reg, false);
             }
         }
         Ok(solutions)
@@ -501,17 +644,24 @@ impl<'s> Evaluator<'s> {
         applied: &mut [bool],
         bound: &HashSet<usize>,
         reg: &Registry,
+        fork: bool,
     ) {
         for (idx, (e, slots)) in pending.iter().enumerate() {
             if !applied[idx] && slots.is_subset(bound) {
-                self.retain_filter(solutions, e, reg);
+                self.retain_filter(solutions, e, reg, fork);
                 applied[idx] = true;
             }
         }
     }
 
-    fn retain_filter(&self, solutions: &mut Vec<Binding>, filter: &Expr, reg: &Registry) {
-        solutions.retain(|b| {
+    fn retain_filter(
+        &self,
+        solutions: &mut Vec<Binding>,
+        filter: &Expr,
+        reg: &Registry,
+        fork: bool,
+    ) {
+        let keep_row = |b: &Binding| -> bool {
             let lookup = |name: &str| -> Option<&Term> {
                 reg.slot(name)
                     .and_then(|slot| b[slot])
@@ -522,7 +672,84 @@ impl<'s> Evaluator<'s> {
                 // SPARQL: filter errors (incl. unbound vars) reject the row.
                 Err(ExprError::Unbound(_)) | Err(ExprError::Type(_)) => false,
             }
-        });
+        };
+        if fork && self.should_fork(solutions.len()) {
+            // Evaluate the predicate on all workers, then apply the
+            // keep-mask in order — identical to a sequential retain.
+            let outcomes = pool::run_partitioned(
+                solutions,
+                self.options.workers,
+                self.options.spawn_threads,
+                |chunk| chunk.iter().map(keep_row).collect(),
+            );
+            self.note_section(&outcomes);
+            let keep: Vec<bool> = outcomes.into_iter().flat_map(|o| o.out).collect();
+            let mut verdicts = keep.into_iter();
+            solutions.retain(|_| verdicts.next().expect("one verdict per row"));
+        } else {
+            solutions.retain(|b| keep_row(b));
+        }
+    }
+
+    /// Picks the parallel split point for an ordered BGP run from the
+    /// store's index cardinalities: the first pattern whose subject is
+    /// a still-unbound variable and whose exact match count reaches
+    /// [`EvalOptions::parallel_threshold`]. Returns its index and that
+    /// subject variable — the bindings it produces are what later
+    /// probes partition. `None` disables forking for the run.
+    fn pick_split(
+        &self,
+        ordered: &[&TriplePattern],
+        bound: &HashSet<usize>,
+        reg: &Registry,
+    ) -> Option<(usize, String)> {
+        if self.options.workers <= 1 {
+            return None;
+        }
+        let mut sim_bound = bound.clone();
+        for (idx, pattern) in ordered.iter().enumerate() {
+            // Only a pattern whose subject is still unbound scans the
+            // index and multiplies the batch; a bound-subject probe
+            // yields O(1) rows per binding and is not worth splitting.
+            let fresh_subject = match &pattern.subject {
+                TermOrVar::Var(v) if reg.slot(v).is_some_and(|s| !sim_bound.contains(&s)) => {
+                    Some(v)
+                }
+                _ => None,
+            };
+            if let Some(var) = fresh_subject {
+                if self.exact_count(pattern) >= self.options.parallel_threshold {
+                    return Some((idx, var.to_string()));
+                }
+            }
+            for v in pattern.vars() {
+                if let Some(slot) = reg.slot(v) {
+                    sim_bound.insert(slot);
+                }
+            }
+        }
+        None
+    }
+
+    /// Exact index cardinality of a pattern's constant positions — the
+    /// fan-out a probe of this pattern can produce. Unlike the
+    /// selectivity heuristic in [`Evaluator::estimate`] (which shrinks
+    /// as variables bind, by design), this is the true number of
+    /// candidate bindings the pattern feeds downstream, so it is the
+    /// honest quantity to weigh against the parallel threshold.
+    fn exact_count(&self, p: &TriplePattern) -> usize {
+        let id = |tov: &TermOrVar| match tov {
+            TermOrVar::Term(t) => match self.store.id_of(t) {
+                Some(id) => Ok(Some(id)),
+                None => Err(()),
+            },
+            TermOrVar::Var(_) => Ok(None),
+        };
+        match (id(&p.subject), id(&p.predicate), id(&p.object)) {
+            (Ok(s), Ok(pr), Ok(o)) => self.store.count_pattern(s, pr, o),
+            // A constant missing from the dictionary matches nothing.
+            _ => 0,
+        }
     }
 
     /// Greedy join order: repeatedly pick the pattern with the lowest
@@ -588,6 +815,7 @@ impl<'s> Evaluator<'s> {
         pattern: &TriplePattern,
         solutions: Vec<Binding>,
         reg: &Registry,
+        fork: bool,
     ) -> Result<Vec<Binding>, SparqlError> {
         enum Slot {
             Const(TermId),
@@ -634,22 +862,38 @@ impl<'s> Evaluator<'s> {
             }
         };
 
-        let mut out = Vec::new();
-        for b in &solutions {
-            let sq = query_pos(&s_slot, b);
-            let pq = query_pos(&p_slot, b);
-            let oq = query_pos(&o_slot, b);
-            for (s, p, o) in self.store.match_ids(sq, pq, oq) {
-                let mut nb = b.clone();
-                if assign(&s_slot, s, &mut nb)
-                    && assign(&p_slot, p, &mut nb)
-                    && assign(&o_slot, o, &mut nb)
-                {
-                    out.push(nb);
+        let probe = |chunk: &[Binding]| -> Vec<Binding> {
+            let mut out = Vec::new();
+            for b in chunk {
+                let sq = query_pos(&s_slot, b);
+                let pq = query_pos(&p_slot, b);
+                let oq = query_pos(&o_slot, b);
+                for (s, p, o) in self.store.match_ids(sq, pq, oq) {
+                    let mut nb = b.clone();
+                    if assign(&s_slot, s, &mut nb)
+                        && assign(&p_slot, p, &mut nb)
+                        && assign(&o_slot, o, &mut nb)
+                    {
+                        out.push(nb);
+                    }
                 }
             }
+            out
+        };
+        if fork && self.should_fork(solutions.len()) {
+            let outcomes = pool::run_partitioned(
+                &solutions,
+                self.options.workers,
+                self.options.spawn_threads,
+                probe,
+            );
+            self.note_section(&outcomes);
+            // Deterministic merge: chunk order == input order, so the
+            // concatenation equals the sequential probe output.
+            Ok(outcomes.into_iter().flat_map(|o| o.out).collect())
+        } else {
+            Ok(probe(&solutions))
         }
-        Ok(out)
     }
 
     fn sort_solutions(
@@ -775,10 +1019,7 @@ fn apply_slice<T>(rows: &mut Vec<T>, offset: Option<usize>, limit: Option<usize>
 /// Renders the plan the evaluator would run: greedy BGP join order with
 /// per-pattern cardinality estimates, filters, and compound operators.
 pub fn explain(store: &Store, query: &Query) -> String {
-    let ev = Evaluator {
-        store,
-        options: EvalOptions::default(),
-    };
+    let ev = Evaluator::new(store, EvalOptions::default());
     let reg = Registry::build(query);
     let mut out = String::new();
     let form = match query.form {

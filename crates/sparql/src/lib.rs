@@ -45,9 +45,11 @@ pub mod eval;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod pool;
 pub mod results;
 
 pub use error::SparqlError;
+pub use eval::{EvalOptions, EvalReport};
 pub use results::{QueryResults, Row};
 
 use lodify_store::Store;
@@ -88,4 +90,17 @@ pub fn execute_with(
 ) -> Result<QueryResults, SparqlError> {
     let parsed = parse(query)?;
     eval::evaluate_with(store, &parsed, options)
+}
+
+/// Parses and evaluates with explicit options, also returning the
+/// parallel-execution report (sections, partition balance, busy vs
+/// critical-path time). Benches use this to measure speedup without
+/// needing as many physical cores as configured workers.
+pub fn execute_with_report(
+    store: &Store,
+    query: &str,
+    options: eval::EvalOptions,
+) -> Result<(QueryResults, eval::EvalReport), SparqlError> {
+    let parsed = parse(query)?;
+    eval::evaluate_with_report(store, &parsed, options)
 }

@@ -645,3 +645,58 @@ fn explain_shows_greedy_join_order() {
     assert!(plan.contains("apply 1 filter(s)"));
     assert!(plan.contains("distinct"));
 }
+
+// ---------------------------------------------------------------------
+// Parallel execution: byte-identical to the sequential engine.
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_evaluation_is_byte_identical_on_paper_queries() {
+    use lodify_sparql::{execute_with_report, EvalOptions};
+    let store = paper_store();
+    for query in [Q1, Q2, Q3] {
+        let sequential = execute(&store, query).unwrap();
+        for spawn_threads in [true, false] {
+            for workers in [2, 3, 4, 7] {
+                let options = EvalOptions {
+                    workers,
+                    // Tiny fixture: force the parallel path regardless
+                    // of what the statistics estimate.
+                    parallel_threshold: 0,
+                    spawn_threads,
+                    ..EvalOptions::default()
+                };
+                let (parallel, report) = execute_with_report(&store, query, options).unwrap();
+                assert_eq!(sequential.vars, parallel.vars);
+                assert_eq!(
+                    sequential.rows, parallel.rows,
+                    "workers={workers} spawn_threads={spawn_threads}"
+                );
+                assert!(
+                    report.parallel_sections > 0,
+                    "threshold 0 must engage the pool (workers={workers})"
+                );
+                assert!(report.split_variable.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_report_stays_quiet_below_the_stats_threshold() {
+    use lodify_sparql::{execute_with_report, EvalOptions};
+    let store = paper_store();
+    // The fixture's statistics never reach a huge threshold, so the
+    // split picker must keep the whole run sequential.
+    let options = EvalOptions {
+        workers: 4,
+        parallel_threshold: 1_000_000,
+        ..EvalOptions::default()
+    };
+    let (results, report) = execute_with_report(&store, Q1, options).unwrap();
+    assert_eq!(results.rows, execute(&store, Q1).unwrap().rows);
+    assert_eq!(report.parallel_sections, 0);
+    assert_eq!(report.modeled_speedup(), 1.0);
+    assert_eq!(report.balance(), 1.0);
+    assert!(report.split_variable.is_none());
+}

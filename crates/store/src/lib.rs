@@ -31,5 +31,5 @@ pub mod store;
 
 pub use dict::{Dict, TermId};
 pub use error::StoreError;
-pub use shared::SharedStore;
+pub use shared::{SharedStore, StoreWriteGuard};
 pub use store::{GraphId, Store, DEFAULT_GRAPH};

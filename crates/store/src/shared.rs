@@ -6,6 +6,8 @@
 //! in-memory store: cheap clone-able handles, many concurrent readers
 //! (queries), exclusive writers (uploads/semanticization).
 
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::store::Store;
@@ -14,13 +16,19 @@ use crate::store::Store;
 #[derive(Clone, Default)]
 pub struct SharedStore {
     inner: Arc<RwLock<Store>>,
+    /// Last statement count observed outside the lock, so diagnostics
+    /// ([`std::fmt::Debug`]) stay informative even while a writer holds
+    /// the lock. Updated when a write guard drops.
+    len_hint: Arc<AtomicUsize>,
 }
 
 impl SharedStore {
     /// Wraps a store for shared access.
     pub fn new(store: Store) -> SharedStore {
+        let len_hint = Arc::new(AtomicUsize::new(store.len()));
         SharedStore {
             inner: Arc::new(RwLock::new(store)),
+            len_hint,
         }
     }
 
@@ -32,8 +40,12 @@ impl SharedStore {
     }
 
     /// Acquires the exclusive write guard, recovering from poisoning.
-    pub fn write(&self) -> RwLockWriteGuard<'_, Store> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    /// The guard refreshes the size hint used by `Debug` when dropped.
+    pub fn write(&self) -> StoreWriteGuard<'_> {
+        StoreWriteGuard {
+            guard: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            len_hint: &self.len_hint,
+        }
     }
 
     /// Runs a closure under the read lock.
@@ -47,11 +59,45 @@ impl SharedStore {
     }
 }
 
+/// Write guard returned by [`SharedStore::write`]; dereferences to the
+/// [`Store`] and records the final statement count on drop so
+/// contended `Debug` output reports a size instead of `<locked>`.
+pub struct StoreWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, Store>,
+    len_hint: &'a AtomicUsize,
+}
+
+impl Deref for StoreWriteGuard<'_> {
+    type Target = Store;
+    fn deref(&self) -> &Store {
+        &self.guard
+    }
+}
+
+impl DerefMut for StoreWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Store {
+        &mut self.guard
+    }
+}
+
+impl Drop for StoreWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.len_hint.store(self.guard.len(), Ordering::Relaxed);
+    }
+}
+
 impl std::fmt::Debug for SharedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `try_read` consistently: never block (Debug may run from a
+        // panic handler holding the lock), never lose the size either —
+        // under contention report the last observed count.
         match self.inner.try_read() {
             Ok(store) => write!(f, "SharedStore({} triples)", store.len()),
-            Err(_) => f.write_str("SharedStore(<locked>)"),
+            Err(_) => write!(
+                f,
+                "SharedStore(~{} triples, write-locked)",
+                self.len_hint.load(Ordering::Relaxed)
+            ),
         }
     }
 }
@@ -129,5 +175,28 @@ mod tests {
     fn debug_reports_size() {
         let shared = SharedStore::new(Store::new());
         assert!(format!("{shared:?}").contains("0 triples"));
+    }
+
+    #[test]
+    fn debug_reports_size_even_under_write_contention() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        for i in 0..7 {
+            store.insert(&t(i), g);
+        }
+        let shared = SharedStore::new(store);
+        // Uncontended: the exact count.
+        assert_eq!(format!("{shared:?}"), "SharedStore(7 triples)");
+        // A writer holds the lock: Debug must not report "<locked>" —
+        // it falls back to the last observed count.
+        let mut guard = shared.write();
+        let contended = format!("{shared:?}");
+        assert_eq!(contended, "SharedStore(~7 triples, write-locked)");
+        assert!(!contended.contains("<locked>"));
+        let g = guard.default_graph();
+        guard.insert(&t(100), g);
+        drop(guard);
+        // The guard's drop refreshed the hint.
+        assert_eq!(format!("{shared:?}"), "SharedStore(8 triples)");
     }
 }

@@ -44,6 +44,8 @@ pub struct Store {
     seen_subjects: HashSet<TermId>,
     seen_objects: HashSet<TermId>,
     geo_geometry: TermId,
+    epoch: u64,
+    predicate_epochs: HashMap<TermId, u64>,
 }
 
 impl Default for Store {
@@ -71,6 +73,8 @@ impl Store {
             seen_subjects: HashSet::new(),
             seen_objects: HashSet::new(),
             geo_geometry,
+            epoch: 0,
+            predicate_epochs: HashMap::new(),
         };
         store.graph(DEFAULT_GRAPH);
         store
@@ -130,6 +134,7 @@ impl Store {
         }
         self.pos.insert((p, o, s));
         self.osp.insert((o, s, p));
+        self.bump_epoch(p);
 
         let new_subject = self.seen_subjects.insert(s);
         let new_object = self.seen_objects.insert(o);
@@ -169,6 +174,7 @@ impl Store {
         }
         self.pos.remove(&(p, o, s));
         self.osp.remove(&(o, s, p));
+        self.bump_epoch(p);
 
         // Keep join-ordering statistics exact under deletes: a term
         // leaves the distinct-subject/object population only when its
@@ -305,6 +311,31 @@ impl Store {
     /// Join-ordering statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Advances the mutation epoch after a successful insert/remove of
+    /// a statement with predicate `p`. Because WAL recovery rebuilds a
+    /// store by replaying `insert`/`remove`, epochs repopulate on boot
+    /// without any journal support.
+    fn bump_epoch(&mut self, p: TermId) {
+        self.epoch += 1;
+        self.predicate_epochs.insert(p, self.epoch);
+    }
+
+    /// Monotone mutation counter: increments on every *successful*
+    /// [`Store::insert`] or [`Store::remove`]. Cached query results are
+    /// keyed by this value — equal epochs guarantee equal answers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of the last mutation touching predicate `p` (0 when
+    /// the predicate never appeared). A query reading only predicates
+    /// `P` stays valid while `max(predicate_epoch(p) for p in P)` is
+    /// unchanged — the incremental-invalidation rule used by the
+    /// materialized album cache.
+    pub fn predicate_epoch(&self, p: TermId) -> u64 {
+        self.predicate_epochs.get(&p).copied().unwrap_or(0)
     }
 
     /// Matches a triple pattern over ids; `None` positions are
@@ -691,6 +722,43 @@ mod tests {
         let mut sink = LineCount(0);
         store.export_ntriples_to(&mut sink, None).unwrap();
         assert_eq!(sink.0, store.len());
+    }
+
+    #[test]
+    fn epoch_advances_only_on_effective_mutations() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        assert_eq!(store.epoch(), 0);
+        let t = triple("http://s", "http://p", Term::literal("v"));
+        assert!(store.insert(&t, g));
+        assert_eq!(store.epoch(), 1);
+        // Duplicate insert and no-op remove leave the epoch alone.
+        assert!(!store.insert(&t, g));
+        assert!(!store.remove(&triple("http://s", "http://p", Term::literal("absent"))));
+        assert_eq!(store.epoch(), 1);
+        assert!(store.remove(&t));
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn predicate_epochs_track_per_predicate_mutations() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let ta = triple("http://s", "http://p/a", Term::literal("1"));
+        let tb = triple("http://s", "http://p/b", Term::literal("2"));
+        store.insert(&ta, g);
+        store.insert(&tb, g);
+        let pa = store.id_of(&Term::iri_unchecked("http://p/a")).unwrap();
+        let pb = store.id_of(&Term::iri_unchecked("http://p/b")).unwrap();
+        assert_eq!(store.predicate_epoch(pa), 1);
+        assert_eq!(store.predicate_epoch(pb), 2);
+        // A mutation under predicate b leaves a's epoch untouched.
+        store.remove(&tb);
+        assert_eq!(store.predicate_epoch(pa), 1);
+        assert_eq!(store.predicate_epoch(pb), 3);
+        // Unknown predicates report epoch 0.
+        let absent = store.id_of(&Term::iri_unchecked("http://s")).unwrap();
+        assert_eq!(store.predicate_epoch(absent), 0);
     }
 
     #[test]

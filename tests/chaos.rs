@@ -103,7 +103,7 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
     assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
 
-    let snapshot = OpsSnapshot::collect(broker, None, None, None);
+    let snapshot = OpsSnapshot::collect(broker, None, None, None, None);
     assert!(snapshot.is_degraded());
     assert_eq!(
         snapshot
@@ -255,7 +255,7 @@ fn federation_redelivers_in_order_after_node_outage() {
     assert_eq!(summaries, vec!["day one", "day two", "day three"]);
     assert_eq!(fed.undelivered(), 0);
 
-    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, Some(&fed), None);
+    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, Some(&fed), None, None);
     assert!(!snapshot.is_degraded());
     assert_eq!(snapshot.federation_parked, 3);
     assert_eq!(snapshot.federation_redelivered, 3);
@@ -686,10 +686,20 @@ fn platform_survives_crashed_compaction_and_reports_durability_health() {
     // Durability health flows into the ops snapshot.
     let stats = revived.durability().unwrap();
     assert!(stats.records_replayed > 0);
-    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, None, Some(stats));
+    let snapshot = OpsSnapshot::collect(
+        &SemanticBroker::standard(),
+        None,
+        None,
+        Some(stats),
+        Some(revived.album_cache_stats()),
+    );
     let rendered = snapshot.to_string();
     assert!(
         rendered.contains("durability"),
         "ops report shows the journal: {rendered}"
+    );
+    assert!(
+        rendered.contains("album cache"),
+        "ops report shows the view cache: {rendered}"
     );
 }

@@ -259,3 +259,118 @@ fn crash_recovery_preserves_every_paper_query_answer() {
         "Q1–Q3 answers identical across crash recovery"
     );
 }
+
+/// Parallel-evaluation tentpole, at paper scale: Q1–Q3 evaluated with
+/// a forked worker pool must return byte-identical tables to the
+/// sequential engine, in both threaded and inline-partition modes.
+#[test]
+fn parallel_evaluation_matches_sequential_on_the_paper_fixture() {
+    use lodify::sparql::{execute_with_report, EvalOptions};
+
+    let (p, _) = platform_with_fixture();
+    let user_name = oscar(&p);
+    let queries = [
+        Q1.to_string(),
+        instantiate(Q2, &user_name),
+        instantiate(Q3, &user_name),
+    ];
+    for query in &queries {
+        let sequential = p.query(query).unwrap().to_table();
+        for spawn_threads in [true, false] {
+            for workers in [2, 4] {
+                let options = EvalOptions {
+                    workers,
+                    parallel_threshold: 0,
+                    spawn_threads,
+                    ..EvalOptions::default()
+                };
+                let (results, report) = execute_with_report(p.store(), query, options).unwrap();
+                assert_eq!(
+                    results.to_table(),
+                    sequential,
+                    "workers={workers} spawn={spawn_threads}"
+                );
+                assert!(
+                    report.parallel_sections > 0,
+                    "threshold 0 must engage the pool on the paper fixture"
+                );
+            }
+        }
+    }
+}
+
+/// Album-cache tentpole across the durability boundary: WAL replay
+/// flows through `Store::insert`/`Store::remove`, so a recovered
+/// store carries live mutation epochs and the revived platform's view
+/// cache caches, hits, and invalidates exactly as before the crash.
+#[test]
+fn album_cache_invalidates_correctly_after_crash_recovery() {
+    use lodify::core::albums::AlbumSpec;
+    use lodify::durability::{DurabilityOptions, MemStorage};
+
+    let config = WorkloadConfig {
+        seed: 99,
+        users: 20,
+        pictures: 250,
+        ..WorkloadConfig::default()
+    };
+    let mem = MemStorage::new();
+    let (mut p, _) = Platform::bootstrap_durable(
+        config.clone(),
+        Box::new(mem.clone()),
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let receipt = p
+        .upload(Upload {
+            user_id: 2,
+            title: "La Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 5,
+            gps: Some(mole),
+            poi: None,
+        })
+        .unwrap();
+    p.rate(receipt.pid, 3, 5).unwrap();
+    let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+    let before = p.view_album(&spec).unwrap();
+    assert!(!before.is_empty());
+    p.flush_store().unwrap();
+    drop(p);
+    mem.crash();
+
+    let (mut revived, report) =
+        Platform::bootstrap_durable(config, Box::new(mem.clone()), DurabilityOptions::default())
+            .unwrap();
+    assert!(report.recovered);
+
+    // Cold solve on the revived platform matches the pre-crash view,
+    // and a repeat is a pure hit.
+    assert_eq!(revived.view_album(&spec).unwrap(), before);
+    assert_eq!(revived.view_album(&spec).unwrap(), before);
+    let stats = revived.album_cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+
+    // A relevant mutation on the recovered store must bump replayed
+    // epochs further and invalidate — the view picks up the upload.
+    let receipt = revived
+        .upload(Upload {
+            user_id: 3,
+            title: "Mole again".into(),
+            tags: vec!["torino".into()],
+            ts: 9,
+            gps: Some(mole),
+            poi: None,
+        })
+        .unwrap();
+    let refreshed = revived.view_album(&spec).unwrap();
+    assert!(
+        refreshed
+            .iter()
+            .any(|l| l.contains(&format!("media/{}.jpg", receipt.pid))),
+        "post-recovery upload must appear in the refreshed album"
+    );
+    assert_eq!(revived.album_cache_stats().invalidations, 1);
+}
