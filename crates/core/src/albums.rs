@@ -323,6 +323,24 @@ impl AlbumCache {
     /// as-is (hit); a stale one is dropped (invalidation) and, like a
     /// cold view, re-solved and admitted (miss).
     pub fn view(&self, store: &Store, spec: &AlbumSpec) -> Result<Vec<String>, PlatformError> {
+        self.view_with(store, spec, |spec| spec.execute(store))
+    }
+
+    /// [`Self::view`] with a caller-supplied solver for the miss path.
+    ///
+    /// The solver must answer `spec` over `store` (the epoch
+    /// fingerprint admitted with the result is read from `store`);
+    /// callers use this to route cold/stale solves through an
+    /// instrumented SPARQL entry point instead of the plain engine.
+    pub fn view_with<F>(
+        &self,
+        store: &Store,
+        spec: &AlbumSpec,
+        solve: F,
+    ) -> Result<Vec<String>, PlatformError>
+    where
+        F: FnOnce(&AlbumSpec) -> Result<Vec<String>, PlatformError>,
+    {
         let key = spec.to_sparql();
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = entries.get(&key) {
@@ -334,8 +352,12 @@ impl AlbumCache {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let album = MaterializedAlbum::solve(spec, store)?;
-        let links = album.links.clone();
+        let links = solve(spec)?;
+        let album = MaterializedAlbum {
+            links: links.clone(),
+            solved_at: store.epoch(),
+            valid_for: fingerprint(spec, store),
+        };
         entries.insert(key, album);
         Ok(links)
     }

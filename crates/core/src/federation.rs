@@ -24,7 +24,9 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::time::Instant;
 
+use lodify_obs::Metrics;
 use lodify_rdf::{ns, Iri, Literal, Term, Triple};
 use lodify_resilience::{DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry};
 use lodify_store::Store;
@@ -478,6 +480,7 @@ pub struct Federation {
     subscriptions: Vec<(Acct, NodeId)>,
     sparql_subs: Vec<SparqlSubscription>,
     resilience: Option<DeliveryResilience>,
+    observability: Option<Metrics>,
 }
 
 impl Default for Federation {
@@ -498,7 +501,17 @@ impl Federation {
             subscriptions: Vec::new(),
             sparql_subs: Vec::new(),
             resilience: None,
+            observability: None,
         }
+    }
+
+    /// Attaches a metrics registry (typically the platform's, via
+    /// `platform.obs().metrics().clone()`): successful deliveries are
+    /// timed into the `federation.deliver` histogram and counted under
+    /// `federation.deliveries`; failed attempts under
+    /// `federation.delivery.failures`.
+    pub fn set_observability(&mut self, metrics: Metrics) {
+        self.observability = Some(metrics);
     }
 
     /// Installs fault-injected delivery: every PuSH/Salmon notification
@@ -748,8 +761,27 @@ impl Federation {
     }
 
     /// Attempts one notification delivery (with retries when a fault
-    /// plan is installed). Success applies the node-side effect.
+    /// plan is installed), timed into the `federation.deliver`
+    /// histogram. Success applies the node-side effect.
     fn try_deliver(&mut self, notification: &Notification) -> Result<(), String> {
+        let timed = match &self.observability {
+            Some(metrics) if metrics.is_enabled() => Some((metrics.clone(), Instant::now())),
+            _ => None,
+        };
+        let result = self.try_deliver_inner(notification);
+        if let Some((metrics, start)) = timed {
+            match &result {
+                Ok(()) => {
+                    metrics.observe_duration("federation.deliver", start.elapsed());
+                    metrics.incr("federation.deliveries");
+                }
+                Err(_) => metrics.incr("federation.delivery.failures"),
+            }
+        }
+        result
+    }
+
+    fn try_deliver_inner(&mut self, notification: &Notification) -> Result<(), String> {
         let to = match notification {
             Notification::Activity { to, .. } => *to,
             Notification::SparqlRows { to, .. } => *to,

@@ -251,14 +251,27 @@ impl OpsSnapshot {
         snapshot
     }
 
-    /// Whether anything is degraded right now: a breaker not closed or
-    /// a non-empty dead-letter queue.
+    /// WAL backlog above which the platform counts as degraded: flushes
+    /// are falling behind ingestion (a healthy engine drains to zero at
+    /// every group-commit barrier).
+    pub const WAL_BACKLOG_THRESHOLD: u64 = 512;
+
+    /// Whether anything is degraded right now: a breaker not closed, a
+    /// non-empty dead-letter queue, re-annotation items that exhausted
+    /// their attempt cap (permanently degraded content), or a WAL
+    /// backlog past [`OpsSnapshot::WAL_BACKLOG_THRESHOLD`] (durability
+    /// barrier falling behind).
     pub fn is_degraded(&self) -> bool {
         self.resolvers
             .iter()
             .any(|r| r.breaker.is_some_and(|b| b != BreakerState::Closed))
             || self.reannotate_depth > 0
+            || self.reannotate_exhausted > 0
             || self.federation_dlq_depth > 0
+            || self
+                .durability
+                .as_ref()
+                .is_some_and(|d| d.wal_pending as u64 >= Self::WAL_BACKLOG_THRESHOLD)
     }
 }
 
@@ -481,6 +494,30 @@ mod tests {
             rendered.contains("album cache hits=7 misses=2 invalidations=1 entries=2"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn degradation_covers_exhausted_items_and_wal_backlog() {
+        // Exhausted re-annotation items alone flag degradation, even
+        // with an empty queue: that content is permanently under-
+        // annotated until an operator intervenes.
+        let mut snapshot = OpsSnapshot::default();
+        assert!(!snapshot.is_degraded());
+        snapshot.reannotate_exhausted = 1;
+        assert!(snapshot.is_degraded());
+        snapshot.reannotate_exhausted = 0;
+
+        // A modest unflushed WAL is normal (group commit batches);
+        // a backlog at the threshold means flushes are falling behind.
+        let mut durability = DurabilityStats {
+            wal_pending: OpsSnapshot::WAL_BACKLOG_THRESHOLD as usize - 1,
+            ..DurabilityStats::default()
+        };
+        snapshot.durability = Some(durability.clone());
+        assert!(!snapshot.is_degraded(), "below threshold is healthy");
+        durability.wal_pending = OpsSnapshot::WAL_BACKLOG_THRESHOLD as usize;
+        snapshot.durability = Some(durability);
+        assert!(snapshot.is_degraded(), "backlog at threshold degrades");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! triple tags and automatic annotation.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use lodify_context::{ContextPlatform, ContextSnapshot};
 use lodify_d2r::defaults::coppermine_mapping;
@@ -12,6 +13,7 @@ use lodify_durability::{
 use lodify_lod::annotator::{Annotator, ContentInput, PoiRefInput};
 use lodify_lod::datasets::{load_lod, GRAPH_UGC};
 use lodify_lod::AnnotationResult;
+use lodify_obs::Obs;
 use lodify_rdf::{ns, Iri, Point, Term, Triple};
 use lodify_relational::workload::{generate, PictureTruth, WorkloadConfig};
 use lodify_relational::{coppermine as cpg, Database, SqlValue};
@@ -88,6 +90,7 @@ pub struct Platform {
     next_poi_ref: i64,
     fault_plan: Option<FaultPlan>,
     album_cache: AlbumCache,
+    obs: Obs,
 }
 
 impl Platform {
@@ -207,9 +210,35 @@ impl Platform {
             next_poi_ref,
             fault_plan: None,
             album_cache: AlbumCache::new(),
+            obs: Obs::new(),
         };
+        platform.wire_observability();
         platform.rebuild_tag_index()?;
         Ok((platform, report))
+    }
+
+    /// Forwards the current observability bundle's metrics registry to
+    /// the layers that record their own histograms (annotator + broker,
+    /// durability engine).
+    fn wire_observability(&mut self) {
+        self.annotator.set_observability(self.obs.metrics().clone());
+        self.store.set_observability(self.obs.metrics().clone());
+    }
+
+    /// The observability bundle: metrics registry, tracer, slow-query
+    /// and access logs. Clone handles out of it to wire external
+    /// components (e.g. [`crate::federation::Federation`]) into the
+    /// same `/metrics` exposition.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Replaces the observability bundle (tests install one backed by
+    /// a `VirtualClock` for deterministic traces) and re-wires the
+    /// annotator and durability engine onto it.
+    pub fn set_observability(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.wire_observability();
     }
 
     /// Rebuilds the triple-tag baseline index from relational state:
@@ -268,7 +297,27 @@ impl Platform {
 
     /// Processes one upload end-to-end: relational insert, context
     /// tagging, incremental semanticization, automatic annotation.
+    ///
+    /// The whole pipeline runs under an `upload` trace with one child
+    /// span per stage (`upload.relational`, `upload.semanticize`,
+    /// `upload.context`, `upload.annotate`, `upload.record`); span
+    /// durations feed same-named histograms in the metrics registry.
     pub fn upload(&mut self, upload: Upload) -> Result<UploadReceipt, PlatformError> {
+        let root = self.obs.tracer().start("upload");
+        let result = self.upload_staged(upload, &root);
+        root.finish();
+        match &result {
+            Ok(_) => self.obs.metrics().incr("upload.accepted"),
+            Err(_) => self.obs.metrics().incr("upload.errors"),
+        }
+        result
+    }
+
+    fn upload_staged(
+        &mut self,
+        upload: Upload,
+        root: &lodify_obs::Span,
+    ) -> Result<UploadReceipt, PlatformError> {
         if let Some(plan) = &self.fault_plan {
             plan.check("platform.upload")
                 .map_err(|e| PlatformError::Unavailable(e.to_string()))?;
@@ -290,6 +339,7 @@ impl Platform {
             .next()
             .ok_or_else(|| PlatformError::NotFound(format!("album for user {}", upload.user_id)))?;
 
+        let relational = root.child("upload.relational");
         let pid = self.next_pid;
         self.next_pid += 1;
         let (lon, lat) = match upload.gps {
@@ -310,8 +360,7 @@ impl Platform {
                 format!("media/{pid}.jpg").into(),
             ],
         )?;
-
-        let mut poi_input: Option<PoiRefInput> = None;
+        let mut poi_ref_id = None;
         if let Some((name, category, point)) = &upload.poi {
             let ref_id = self.next_poi_ref;
             self.next_poi_ref += 1;
@@ -326,21 +375,30 @@ impl Platform {
                     SqlValue::Real(point.lat),
                 ],
             )?;
+            poi_ref_id = Some(ref_id);
+        }
+        relational.finish();
+
+        // Incremental semanticization of the new rows (§2.1).
+        let semanticize = root.child("upload.semanticize");
+        let mut poi_input: Option<PoiRefInput> = None;
+        if let Some(ref_id) = poi_ref_id {
             let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
             self.store.insert_all(&poi_triples, self.ugc_graph)?;
+            let (name, category, point) = upload.poi.as_ref().expect("poi row was just inserted");
             poi_input = Some(PoiRefInput {
                 name: name.clone(),
                 category: category.clone(),
                 point: *point,
             });
         }
-
-        // Incremental semanticization of the new picture (§2.1).
         let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
         let mut triples_added = self.store.insert_all(&triples, self.ugc_graph)?;
+        semanticize.finish();
 
         // Context tagging (§1.1) — both the triple-tag index and the
         // buddy model's last-seen position.
+        let context_span = root.child("upload.context");
         if let Some(point) = upload.gps {
             self.context
                 .buddies_mut()
@@ -356,11 +414,18 @@ impl Platform {
         for tag in &context_tags {
             self.tags.insert(pid, Tag::Triple(tag.clone()));
         }
+        context_span.finish();
 
         // Automatic semantic annotation (§2.2).
+        let annotate = root.child("upload.annotate");
         let result =
             self.annotate_picture(pid, &upload.title, &upload.tags, Some(&snapshot), poi_input);
+        annotate.finish();
+
+        let record = root.child("upload.record");
         triples_added += self.record_annotation(pid, &result)?;
+        record.finish();
+
         let auto_annotations = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
 
@@ -547,8 +612,10 @@ impl Platform {
     }
 
     /// Replaces the annotator (ablations and fault-injection tests).
+    /// The replacement inherits the platform's metrics registry.
     pub fn set_annotator(&mut self, annotator: Annotator) {
         self.annotator = annotator;
+        self.annotator.set_observability(self.obs.metrics().clone());
     }
 
     /// Workload ground truth (experiment scoring).
@@ -562,8 +629,62 @@ impl Platform {
     }
 
     /// Runs a SPARQL query against the platform store.
+    ///
+    /// Execution is traced (`sparql` root span, `sparql.parse` /
+    /// `sparql.eval` children). The evaluator's [`lodify_sparql::EvalReport`] feeds
+    /// the `sparql.busy` and `sparql.critical_path` histograms when
+    /// parallel sections ran, and executions crossing the slow-query
+    /// threshold are aggregated in the slow-query log under the
+    /// query's normalized fingerprint.
     pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
-        Ok(lodify_sparql::execute(self.store.store(), sparql)?)
+        if !self.obs.is_enabled() {
+            return Ok(lodify_sparql::execute(self.store.store(), sparql)?);
+        }
+        let started = Instant::now();
+        let root = self.obs.tracer().start("sparql");
+
+        let parse_span = root.child("sparql.parse");
+        let parsed = lodify_sparql::parse(sparql);
+        parse_span.finish();
+        let parsed = match parsed {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.obs.metrics().incr("sparql.parse.errors");
+                root.finish();
+                return Err(e.into());
+            }
+        };
+
+        let eval_span = root.child("sparql.eval");
+        let evaluated = lodify_sparql::eval::evaluate_with_report(
+            self.store.store(),
+            &parsed,
+            lodify_sparql::EvalOptions::default(),
+        );
+        eval_span.finish();
+        root.finish();
+        let (results, report) = match evaluated {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.obs.metrics().incr("sparql.eval.errors");
+                return Err(e.into());
+            }
+        };
+        let metrics = self.obs.metrics();
+        metrics.incr("sparql.queries");
+        if report.parallel_sections > 0 {
+            metrics.observe_duration("sparql.busy", report.busy);
+            metrics.observe_duration("sparql.critical_path", report.critical_path);
+        }
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        if elapsed_us >= self.obs.slow_queries().threshold_us() {
+            let fingerprint = lodify_sparql::fingerprint(sparql);
+            self.obs
+                .slow_queries()
+                .record(&fingerprint, sparql, elapsed_us);
+            metrics.incr("sparql.slow");
+        }
+        Ok(results)
     }
 
     /// Serves a virtual album through the materialized-album cache:
@@ -571,8 +692,37 @@ impl Platform {
     /// engine; stale or cold albums are solved and admitted. Because
     /// WAL recovery replays `Store::insert`/`remove`, store epochs —
     /// and with them cache validity — repopulate correctly on reboot.
+    ///
+    /// With observability enabled, cold/stale solves run through
+    /// [`Self::query`], so album misses show up in the `sparql.parse`
+    /// / `sparql.eval` histograms and the slow-query log like any
+    /// other query.
     pub fn view_album(&self, spec: &AlbumSpec) -> Result<Vec<String>, PlatformError> {
-        self.album_cache.view(self.store.store(), spec)
+        if !self.obs.is_enabled() {
+            return self.album_cache.view(self.store.store(), spec);
+        }
+        let before = self.album_cache.stats();
+        let span = self.obs.tracer().start("album.view");
+        let out = self
+            .album_cache
+            .view_with(self.store.store(), spec, |spec| {
+                let results = self.query(&spec.to_sparql())?;
+                Ok(results
+                    .column("link")
+                    .into_iter()
+                    .map(|t| t.lexical().to_string())
+                    .collect())
+            });
+        span.finish();
+        let after = self.album_cache.stats();
+        let metrics = self.obs.metrics();
+        metrics.add("album.cache.hits", after.hits - before.hits);
+        metrics.add("album.cache.misses", after.misses - before.misses);
+        metrics.add(
+            "album.cache.invalidations",
+            after.invalidations - before.invalidations,
+        );
+        out
     }
 
     /// The materialized-album cache (counters, manual clear).
@@ -583,6 +733,36 @@ impl Platform {
     /// Album-cache counter snapshot (for [`crate::metrics`]).
     pub fn album_cache_stats(&self) -> AlbumCacheStats {
         self.album_cache.stats()
+    }
+
+    /// Collects the platform-local operational snapshot: broker and
+    /// breaker state, durability counters, album-cache counters.
+    /// Callers holding a re-annotation queue or a federation wire
+    /// those in via [`crate::metrics::OpsSnapshot::collect`] directly.
+    pub fn ops_snapshot(&self) -> crate::metrics::OpsSnapshot {
+        crate::metrics::OpsSnapshot::collect(
+            self.annotator.broker(),
+            None,
+            None,
+            self.durability(),
+            Some(self.album_cache_stats()),
+        )
+    }
+
+    /// Refreshes registry gauges from current platform state (store
+    /// size, WAL depth, album-cache entries). Called by the web layer
+    /// before rendering `/metrics` so point-in-time values are current
+    /// without per-mutation bookkeeping.
+    pub fn publish_gauges(&self) {
+        let metrics = self.obs.metrics();
+        metrics.set_gauge("store.triples", self.store.store().len() as u64);
+        let cache = self.album_cache_stats();
+        metrics.set_gauge("album.cache.entries", cache.entries as u64);
+        if let Some(stats) = self.durability() {
+            metrics.set_gauge("wal.pending", stats.wal_pending as u64);
+            metrics.set_gauge("wal.records", stats.wal_records);
+            metrics.set_gauge("wal.generation", stats.generation);
+        }
     }
 }
 

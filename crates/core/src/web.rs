@@ -91,6 +91,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body.
     pub body: String,
+    /// Request id assigned by [`handle_request`], echoed to the client
+    /// as an `X-Request-Id` header and recorded in the access log.
+    pub request_id: Option<u64>,
 }
 
 impl Response {
@@ -100,6 +103,17 @@ impl Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body,
+            request_id: None,
+        }
+    }
+
+    /// 200 with an explicit content type (plain-text expositions).
+    pub fn text(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+            request_id: None,
         }
     }
 
@@ -109,6 +123,7 @@ impl Response {
             status: 404,
             content_type: "text/plain; charset=utf-8",
             body: format!("not found: {what}\n"),
+            request_id: None,
         }
     }
 
@@ -118,6 +133,7 @@ impl Response {
             status: 400,
             content_type: "text/plain; charset=utf-8",
             body: format!("bad request: {message}\n"),
+            request_id: None,
         }
     }
 
@@ -128,13 +144,18 @@ impl Response {
             404 => "Not Found",
             _ => "Internal Server Error",
         };
+        let request_id = self
+            .request_id
+            .map(|id| format!("X-Request-Id: {id}\r\n"))
+            .unwrap_or_default();
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
+            request_id,
             self.body
         )
     }
@@ -209,8 +230,55 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
                 Err(e) => Response::bad_request(&e.to_string()),
             }
         }
+        "/metrics" => {
+            // Refresh point-in-time gauges (store size, cache entries,
+            // WAL depth) right before scraping, then expose everything
+            // in Prometheus text format.
+            platform.publish_gauges();
+            Response::text(
+                lodify_obs::prometheus::CONTENT_TYPE,
+                platform.obs().render_prometheus(),
+            )
+        }
+        "/ops" => Response::text("text/plain; charset=utf-8", render_ops(platform)),
         other => Response::not_found(other),
     }
+}
+
+/// Routes a request with full observability: issues a request id,
+/// times the handler into the `web.request` histogram, and appends an
+/// [`lodify_obs::AccessEntry`] to the platform's access log. The id is
+/// echoed back on the response (`X-Request-Id`). [`route`] stays pure
+/// for tests that don't care about the plumbing.
+pub fn handle_request(platform: &Platform, request: &Request) -> Response {
+    let obs = platform.obs();
+    let request_id = obs.access_log().begin();
+    let start = std::time::Instant::now();
+    let mut response = route(platform, request);
+    let elapsed = start.elapsed();
+    obs.metrics().observe_duration("web.request", elapsed);
+    obs.access_log().record(lodify_obs::AccessEntry {
+        request_id,
+        target: request_target(request),
+        status: response.status,
+        duration_us: elapsed.as_micros() as u64,
+    });
+    response.request_id = Some(request_id);
+    response
+}
+
+/// Reconstructs `path?k=v&…` for the access log (parameters in sorted
+/// order — [`Request`] keeps them in a map).
+fn request_target(request: &Request) -> String {
+    if request.query.is_empty() {
+        return request.path.clone();
+    }
+    let params: Vec<String> = request
+        .query
+        .iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect();
+    format!("{}?{}", request.path, params.join("&"))
 }
 
 // ---------------------------------------------------------------------
@@ -388,6 +456,83 @@ fn render_picture(platform: &Platform, pid: i64) -> Option<String> {
         ),
         false,
     ))
+}
+
+/// The `/ops` page: the resilience snapshot, recent traces rendered as
+/// indented span trees, slow-query aggregates and the access-log tail.
+/// Plain text on purpose — it is read over `curl` during incidents.
+fn render_ops(platform: &Platform) -> String {
+    use std::fmt::Write as _;
+    let obs = platform.obs();
+    let snapshot = platform.ops_snapshot();
+    let mut out = String::new();
+    let status = if snapshot.is_degraded() {
+        "DEGRADED"
+    } else {
+        "healthy"
+    };
+    let _ = writeln!(out, "status: {status}");
+    let _ = writeln!(out, "{snapshot}");
+
+    let traces = obs.tracer().recent_traces(8);
+    let _ = writeln!(out, "\nrecent traces ({}):", traces.len());
+    for trace in &traces {
+        // Spans arrive in completion order (children before parents);
+        // indent by chasing parent links, and show start order.
+        let parents: BTreeMap<u64, Option<u64>> =
+            trace.iter().map(|s| (s.span_id, s.parent_id)).collect();
+        let _ = writeln!(
+            out,
+            "  trace {:016x}",
+            trace.first().map_or(0, |s| s.trace_id)
+        );
+        let mut ordered: Vec<_> = trace.iter().collect();
+        ordered.sort_by_key(|s| (s.start_us, s.span_id));
+        for span in ordered {
+            let mut d = 0usize;
+            let mut cursor = span.parent_id;
+            while let Some(p) = cursor {
+                d += 1;
+                cursor = parents.get(&p).copied().flatten();
+            }
+            let _ = writeln!(
+                out,
+                "  {}{} {}us",
+                "  ".repeat(d + 1),
+                span.name,
+                span.duration_us()
+            );
+        }
+    }
+
+    let slow = obs.slow_queries().entries();
+    let _ = writeln!(
+        out,
+        "\nslow queries (threshold {}us, {} fingerprints):",
+        obs.slow_queries().threshold_us(),
+        slow.len()
+    );
+    for (fingerprint, entry) in slow.iter().take(16) {
+        let _ = writeln!(
+            out,
+            "  count={} mean={}us max={}us  {}",
+            entry.count,
+            entry.mean_us(),
+            entry.max_us,
+            fingerprint
+        );
+    }
+
+    let accesses = obs.access_log().recent(16);
+    let _ = writeln!(out, "\nrecent requests ({}):", accesses.len());
+    for entry in &accesses {
+        let _ = writeln!(
+            out,
+            "  #{} {} {} {}us",
+            entry.request_id, entry.status, entry.target, entry.duration_us
+        );
+    }
+    out
 }
 
 fn render_mashup(pid: i64, mashup: &crate::mashup::MashupResult) -> String {
@@ -589,7 +734,7 @@ fn handle_connection(
         }
     }
     let response = match Request::parse(request_line.trim_end(), &headers) {
-        Some(request) => route(platform, &request),
+        Some(request) => handle_request(platform, &request),
         None => Response::bad_request("unsupported request"),
     };
     response
@@ -754,6 +899,121 @@ mod tests {
     }
 
     #[test]
+    fn metrics_route_renders_the_golden_exposition() {
+        use crate::platform::Upload;
+        use lodify_context::Gazetteer;
+
+        let mut p = platform();
+        let gaz = Gazetteer::global();
+        let mole = gaz.poi("Mole_Antonelliana").unwrap();
+        p.upload(Upload {
+            user_id: 1,
+            title: "Tramonto alla Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 1_320_500_000,
+            gps: Some(mole.point(gaz)),
+            poi: None,
+        })
+        .unwrap();
+        p.query("SELECT ?s WHERE { ?s a sioct:MicroblogPost . } LIMIT 3")
+            .unwrap();
+        let _ = get(
+            &p,
+            "/album?monument=Mole+Antonelliana&lang=it&radius=0.3",
+            false,
+        );
+
+        let resp = get(&p, "/metrics", false);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, lodify_obs::prometheus::CONTENT_TYPE);
+        // Golden structure: one TYPE line per family, histogram series
+        // with cumulative buckets, +Inf, sum and count.
+        for line in [
+            "# TYPE lodify_upload_accepted_total counter",
+            "# TYPE lodify_sparql_queries_total counter",
+            "# TYPE lodify_store_triples gauge",
+            "# TYPE lodify_upload_seconds histogram",
+            "# TYPE lodify_sparql_seconds histogram",
+            "# TYPE lodify_album_view_seconds histogram",
+            "lodify_upload_accepted_total 1",
+            "lodify_upload_seconds_bucket{le=\"+Inf\"} 1",
+            "lodify_upload_seconds_count 1",
+            "lodify_sparql_parse_seconds_count",
+            "lodify_sparql_eval_seconds_count",
+            "lodify_upload_relational_seconds_count 1",
+            "lodify_upload_semanticize_seconds_count 1",
+            "lodify_upload_annotate_seconds_count 1",
+            "lodify_album_cache_misses_total 1",
+        ] {
+            assert!(
+                resp.body.contains(line),
+                "missing {line:?} in:\n{}",
+                resp.body
+            );
+        }
+    }
+
+    #[test]
+    fn ops_route_reports_a_tripped_breaker() {
+        use lodify_lod::annotator::{Annotator, AnnotatorConfig};
+        use lodify_lod::broker::BrokerResilienceConfig;
+        use lodify_lod::resolvers::{DbpediaResolver, FaultInjectedResolver, GeonamesResolver};
+        use lodify_lod::{SemanticBroker, SemanticFilter};
+        use lodify_resilience::{FaultPlan, VirtualClock};
+
+        let mut p = platform();
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("resolver:dbpedia", 0, u64::MAX)
+            .build(clock.clone());
+        let broker = SemanticBroker::new(vec![
+            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
+            Box::new(GeonamesResolver),
+        ])
+        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+        // Trip the dbpedia breaker before installing the annotator.
+        let scratch = lodify_store::Store::new();
+        for _ in 0..4 {
+            broker.resolve(&scratch, &["torino".to_string()], "torino", Some("en"));
+        }
+        p.set_annotator(Annotator::new(
+            broker,
+            SemanticFilter::standard(),
+            AnnotatorConfig::default(),
+        ));
+
+        let resp = get(&p, "/ops", false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("status: DEGRADED"), "{}", resp.body);
+        assert!(resp.body.contains("breaker=OPEN"), "{}", resp.body);
+        assert!(resp.body.contains("slow queries"), "{}", resp.body);
+        assert!(resp.body.contains("recent requests"), "{}", resp.body);
+    }
+
+    #[test]
+    fn request_ids_propagate_into_the_access_log() {
+        let p = platform();
+        let request = Request::parse("GET /search?q=Turi HTTP/1.1", &[]).unwrap();
+        let first = handle_request(&p, &request);
+        let second = handle_request(&p, &request);
+        let (a, b) = (first.request_id.unwrap(), second.request_id.unwrap());
+        assert_ne!(a, b, "each request gets a fresh id");
+
+        let recent = p.obs().access_log().recent(8);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].request_id, a);
+        assert_eq!(recent[1].request_id, b);
+        assert_eq!(recent[0].target, "/search?q=Turi");
+        assert_eq!(recent[0].status, 200);
+        // The handler latency feeds the web.request histogram too.
+        let histogram = p.obs().metrics().histogram("web.request").unwrap();
+        assert_eq!(histogram.count(), 2);
+        // And the ids come back over the wire via X-Request-Id.
+        let bad = Response::bad_request("x");
+        assert_eq!(bad.request_id, None, "pure constructors carry no id");
+    }
+
+    #[test]
     fn unknown_route_404s() {
         let p = platform();
         assert_eq!(get(&p, "/nope", false).status, 404);
@@ -807,6 +1067,7 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("X-Request-Id: "), "{response}");
         assert!(response.contains("Turin"));
         server.stop();
     }

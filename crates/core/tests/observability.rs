@@ -1,0 +1,141 @@
+//! End-to-end observability acceptance test: a durable platform with a
+//! federation wired into the same metrics registry, driven through the
+//! web routes, must expose series for **every** pipeline layer on
+//! `/metrics` — upload stages, SPARQL evaluation, WAL flushes, the
+//! album cache, and federation delivery — plus traces and the access
+//! log on `/ops`.
+
+use lodify_core::federation::Federation;
+use lodify_core::platform::{Platform, Upload};
+use lodify_core::web::{handle_request, Request};
+use lodify_durability::{DurabilityOptions, MemStorage};
+use lodify_relational::WorkloadConfig;
+
+fn get(platform: &Platform, target: &str) -> lodify_core::web::Response {
+    let request = Request::parse(&format!("GET {target} HTTP/1.1"), &[]).unwrap();
+    handle_request(platform, &request)
+}
+
+#[test]
+fn metrics_cover_every_pipeline_layer() {
+    let (mut platform, report) = Platform::bootstrap_durable(
+        WorkloadConfig::small(31),
+        Box::new(MemStorage::new()),
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    assert!(!report.recovered, "fresh storage adopts the seed");
+
+    // A federation sharing the platform's metrics registry: delivery
+    // latencies land in the same exposition.
+    let mut federation = Federation::new();
+    federation.set_observability(platform.obs().metrics().clone());
+    let n0 = federation.add_node("home.example").unwrap();
+    let n1 = federation.add_node("remote.example").unwrap();
+    let publisher = federation.register_user(n0, "alice", "Alice").unwrap();
+    let follower = federation.register_user(n1, "bob", "Bob").unwrap();
+    federation.subscribe(n1, &follower, &publisher).unwrap();
+    federation
+        .publish(&publisher, "federated sunset", 1_320_500_000)
+        .unwrap();
+
+    // Drive every layer: an upload (relational → semanticize → context
+    // → annotate stages + WAL records), a SPARQL query, an album view,
+    // and an explicit durability barrier.
+    let gaz = lodify_context::Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap();
+    platform
+        .upload(Upload {
+            user_id: 1,
+            title: "Tramonto alla Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 1_320_500_000,
+            gps: Some(mole.point(gaz)),
+            poi: None,
+        })
+        .unwrap();
+    platform
+        .query("SELECT ?s WHERE { ?s a sioct:MicroblogPost . } LIMIT 3")
+        .unwrap();
+    platform.flush_store().unwrap();
+    let album = get(
+        &platform,
+        "/album?monument=Mole+Antonelliana&lang=it&radius=0.3",
+    );
+    assert_eq!(album.status, 200);
+
+    let resp = get(&platform, "/metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, lodify_obs::prometheus::CONTENT_TYPE);
+    // One series per layer, as the acceptance criteria demand.
+    for series in [
+        // upload pipeline stages
+        "lodify_upload_seconds_count 1",
+        "lodify_upload_relational_seconds_count 1",
+        "lodify_upload_semanticize_seconds_count 1",
+        "lodify_upload_context_seconds_count 1",
+        "lodify_upload_annotate_seconds_count 1",
+        "lodify_upload_record_seconds_count 1",
+        // SPARQL execution: the explicit query plus the /album cache
+        // miss, whose solve routes through the instrumented path too
+        "lodify_sparql_queries_total 2",
+        "lodify_sparql_parse_seconds_count 2",
+        "lodify_sparql_eval_seconds_count 2",
+        // durability: the upload journals records, flush_store forces
+        // the barrier, and the gauge refresh publishes WAL depth
+        "lodify_wal_flush_seconds_count",
+        "lodify_wal_pending 0",
+        // album cache
+        "lodify_album_view_seconds_count 1",
+        "lodify_album_cache_misses_total 1",
+        // federation delivery
+        "lodify_federation_deliveries_total 1",
+        "lodify_federation_deliver_seconds_count 1",
+        // web layer
+        "lodify_web_request_seconds_count",
+    ] {
+        assert!(
+            resp.body.contains(series),
+            "missing series {series:?} in:\n{}",
+            resp.body
+        );
+    }
+
+    // /ops shows the same world: healthy status, traces for the upload
+    // and query, and the access log with the ids handed out above.
+    let ops = get(&platform, "/ops");
+    assert_eq!(ops.status, 200);
+    assert!(ops.body.contains("status: healthy"), "{}", ops.body);
+    assert!(ops.body.contains("upload.semanticize"), "{}", ops.body);
+    assert!(ops.body.contains("sparql.eval"), "{}", ops.body);
+    assert!(ops.body.contains("durability  gen="), "{}", ops.body);
+    assert!(
+        ops.body.contains("GET") || ops.body.contains("/album"),
+        "{}",
+        ops.body
+    );
+
+    // Request ids were issued monotonically across the three routed
+    // requests and each landed in the access log.
+    let log = platform.obs().access_log().recent(8);
+    assert_eq!(log.len(), 3);
+    assert!(log.windows(2).all(|w| w[0].request_id < w[1].request_id));
+}
+
+#[test]
+fn disabling_observability_silences_the_exposition() {
+    let platform = Platform::bootstrap(WorkloadConfig::small(24)).unwrap();
+    platform.obs().set_enabled(false);
+    platform
+        .query("SELECT ?s WHERE { ?s a sioct:MicroblogPost . } LIMIT 1")
+        .unwrap();
+    assert_eq!(platform.obs().metrics().counter("sparql.queries"), 0);
+    assert!(platform.obs().tracer().recent_spans(8).is_empty());
+
+    platform.obs().set_enabled(true);
+    platform
+        .query("SELECT ?s WHERE { ?s a sioct:MicroblogPost . } LIMIT 1")
+        .unwrap();
+    assert_eq!(platform.obs().metrics().counter("sparql.queries"), 1);
+    assert!(!platform.obs().tracer().recent_spans(8).is_empty());
+}

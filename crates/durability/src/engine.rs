@@ -35,7 +35,9 @@
 //! scaling in deterministic virtual time.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
+use lodify_obs::Metrics;
 use lodify_rdf::{Iri, Term, Triple};
 use lodify_resilience::FaultPlan;
 use lodify_store::store::Store;
@@ -178,6 +180,7 @@ struct Journal {
     declared_graphs: usize,
     options: DurabilityOptions,
     fault_plan: Option<FaultPlan>,
+    observability: Option<Metrics>,
     snapshots_written: u64,
     last_snapshot_ms: Option<u64>,
     records_replayed: u64,
@@ -260,6 +263,29 @@ impl Journal {
         Ok(())
     }
 
+    /// Times a durability barrier into the named histogram (and keeps
+    /// the `wal.pending` gauge current) when a registry is attached.
+    fn timed<T, E>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Self) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let timed = match &self.observability {
+            Some(metrics) if metrics.is_enabled() => Some((metrics.clone(), Instant::now())),
+            _ => None,
+        };
+        let out = f(self);
+        if let Some((metrics, start)) = timed {
+            if out.is_ok() {
+                metrics.observe_duration(name, start.elapsed());
+            } else {
+                metrics.incr(&format!("{name}.errors"));
+            }
+            metrics.set_gauge("wal.pending", self.wal.pending() as u64);
+        }
+        out
+    }
+
     /// The durability barrier: pushes buffered records to storage.
     /// On failure the records stay pending (a later flush retries) and
     /// the mutations are *not* acknowledged.
@@ -267,10 +293,12 @@ impl Journal {
         if self.wal.pending() == 0 {
             return Ok(());
         }
-        self.check_fault(TARGET_WAL_FLUSH)?;
-        self.wal.flush(self.storage.as_mut())?;
-        self.flushes_total += 1;
-        Ok(())
+        self.timed("wal.flush", |journal| {
+            journal.check_fault(TARGET_WAL_FLUSH)?;
+            journal.wal.flush(journal.storage.as_mut())?;
+            journal.flushes_total += 1;
+            Ok(())
+        })
     }
 
     fn maybe_auto_snapshot(&mut self, store: &Store) -> Result<(), DurabilityError> {
@@ -287,6 +315,10 @@ impl Journal {
     /// point recovers — either to the old generation (new snapshot not
     /// yet durable) or to the new one.
     fn snapshot(&mut self, store: &Store) -> Result<(), DurabilityError> {
+        self.timed("wal.snapshot", |journal| journal.snapshot_inner(store))
+    }
+
+    fn snapshot_inner(&mut self, store: &Store) -> Result<(), DurabilityError> {
         self.flush()?;
         self.check_fault(TARGET_SNAPSHOT_WRITE)?;
         let next = self.generation + 1;
@@ -390,6 +422,7 @@ impl DurableStore {
             declared_graphs: store.graph_count(),
             options,
             fault_plan: None,
+            observability: None,
             snapshots_written: 1,
             last_snapshot_ms: None,
             records_replayed: 0,
@@ -517,6 +550,16 @@ impl DurableStore {
     pub fn set_group_commit(&mut self, policy: GroupCommitPolicy) {
         if let Some(journal) = self.journal.as_mut() {
             journal.wal.set_policy(policy);
+        }
+    }
+
+    /// Attaches a metrics registry: successful durability barriers are
+    /// timed into `wal.flush` / `wal.snapshot` histograms, failed ones
+    /// counted under `<name>.errors`, and the `wal.pending` gauge
+    /// tracks unacknowledged records. A no-op in ephemeral mode.
+    pub fn set_observability(&mut self, metrics: Metrics) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.observability = Some(metrics);
         }
     }
 
@@ -683,6 +726,7 @@ fn finish_open(
         declared_graphs,
         options,
         fault_plan: None,
+        observability: None,
         snapshots_written: 0,
         last_snapshot_ms: None,
         records_replayed: replayed,

@@ -16,7 +16,10 @@
 //!   morphological analysis → NP-lemma extraction → semantic broker →
 //!   semantic filter → automatic annotation.
 
+use std::time::Instant;
+
 use lodify_context::ContextSnapshot;
+use lodify_obs::Metrics;
 use lodify_rdf::{ns, Iri, Point};
 use lodify_store::Store;
 use lodify_text::pipeline::{extract_terms, TermList};
@@ -141,6 +144,7 @@ pub struct Annotator {
     broker: SemanticBroker,
     filter: SemanticFilter,
     config: AnnotatorConfig,
+    observability: Option<Metrics>,
 }
 
 impl Annotator {
@@ -150,6 +154,7 @@ impl Annotator {
             broker: SemanticBroker::standard(),
             filter: SemanticFilter::standard(),
             config: AnnotatorConfig::default(),
+            observability: None,
         }
     }
 
@@ -159,6 +164,29 @@ impl Annotator {
             broker,
             filter,
             config,
+            observability: None,
+        }
+    }
+
+    /// Attaches a metrics registry: the three analyses are timed into
+    /// `annotate.location` / `annotate.poi` / `annotate.text`
+    /// histograms, and the registry is forwarded to the broker for
+    /// per-resolver `broker.call.<name>` timing.
+    pub fn set_observability(&mut self, metrics: Metrics) {
+        self.broker.set_observability(metrics.clone());
+        self.observability = Some(metrics);
+    }
+
+    /// Times `f` into the named histogram when observability is on.
+    fn timed<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        match &self.observability {
+            Some(metrics) if metrics.is_enabled() => {
+                let start = Instant::now();
+                let out = f();
+                metrics.observe_duration(name, start.elapsed());
+                out
+            }
+            _ => f(),
         }
     }
 
@@ -169,12 +197,16 @@ impl Annotator {
 
     /// Runs the full pipeline over one content item.
     pub fn annotate(&self, store: &Store, input: &ContentInput<'_>) -> AnnotationResult {
-        let (location, buddies, buddy_external) = self.location_analysis(store, input);
-        let poi = input
-            .poi_ref
-            .as_ref()
-            .and_then(|poi_ref| self.poi_analysis(store, poi_ref));
-        let (language, terms, resolver_failures, degraded) = self.text_analysis(store, input);
+        let (location, buddies, buddy_external) =
+            self.timed("annotate.location", || self.location_analysis(store, input));
+        let poi = self.timed("annotate.poi", || {
+            input
+                .poi_ref
+                .as_ref()
+                .and_then(|poi_ref| self.poi_analysis(store, poi_ref))
+        });
+        let (language, terms, resolver_failures, degraded) =
+            self.timed("annotate.text", || self.text_analysis(store, input));
 
         AnnotationResult {
             language,

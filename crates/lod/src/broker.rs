@@ -8,7 +8,9 @@
 //! derive additional candidates." (§2.2.2)
 
 use std::sync::Mutex;
+use std::time::Instant;
 
+use lodify_obs::Metrics;
 use lodify_resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, DetRng, RetryPolicy, Telemetry, VirtualClock,
 };
@@ -73,6 +75,10 @@ struct Resilience {
 pub struct SemanticBroker {
     resolvers: Vec<Box<dyn Resolver>>,
     resilience: Option<Resilience>,
+    observability: Option<Metrics>,
+    /// Precomputed `broker.call.<name>` histogram keys, one per
+    /// resolver — the call hot path must not allocate per timing.
+    call_metric_names: Vec<String>,
 }
 
 impl SemanticBroker {
@@ -90,10 +96,29 @@ impl SemanticBroker {
 
     /// A broker over a custom resolver set (ablations, fault injection).
     pub fn new(resolvers: Vec<Box<dyn Resolver>>) -> SemanticBroker {
+        let call_metric_names = resolvers
+            .iter()
+            .map(|r| format!("broker.call.{}", r.name()))
+            .collect();
         SemanticBroker {
             resolvers,
             resilience: None,
+            observability: None,
+            call_metric_names,
         }
+    }
+
+    /// Attaches a metrics registry: every guarded resolver call (with
+    /// or without resilience) is timed into a `broker.call.<name>`
+    /// histogram.
+    pub fn set_observability(&mut self, metrics: Metrics) {
+        self.observability = Some(metrics);
+    }
+
+    /// Builder form of [`SemanticBroker::set_observability`].
+    pub fn with_observability(mut self, metrics: Metrics) -> SemanticBroker {
+        self.set_observability(metrics);
+        self
     }
 
     /// Adds retry + per-resolver circuit breakers over `clock`. A
@@ -146,10 +171,30 @@ impl SemanticBroker {
         self.resilience.as_ref().map(|r| &r.clock)
     }
 
-    /// One guarded resolver call: breaker check, retries with virtual
-    /// backoff, telemetry. Without resilience this is a single bare
-    /// call, preserving the original broker behaviour.
+    /// One guarded resolver call, timed into `broker.call.<name>` when
+    /// a metrics registry is attached.
     fn call(
+        &self,
+        idx: usize,
+        failures: &mut Vec<ResolverError>,
+        unavailable: &mut Vec<&'static str>,
+        op: impl FnMut() -> Result<Vec<Candidate>, ResolverError>,
+    ) -> Vec<Candidate> {
+        let timed = match &self.observability {
+            Some(metrics) if metrics.is_enabled() => Some((metrics, Instant::now())),
+            _ => None,
+        };
+        let hits = self.call_guarded(idx, failures, unavailable, op);
+        if let Some((metrics, start)) = timed {
+            metrics.observe_duration(&self.call_metric_names[idx], start.elapsed());
+        }
+        hits
+    }
+
+    /// The guard itself: breaker check, retries with virtual backoff,
+    /// telemetry. Without resilience this is a single bare call,
+    /// preserving the original broker behaviour.
+    fn call_guarded(
         &self,
         idx: usize,
         failures: &mut Vec<ResolverError>,

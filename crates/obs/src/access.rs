@@ -1,0 +1,135 @@
+//! Per-request access log with request IDs.
+//!
+//! [`AccessLog::begin`] issues a monotonically increasing request id;
+//! the web layer echoes it back as `X-Request-Id` and, when the
+//! request completes, records an [`AccessEntry`] into a bounded ring
+//! (oldest evicted first). `/ops` renders the tail for operators
+//! correlating a client-reported id with server-side latency.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One completed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// The id issued by [`AccessLog::begin`] for this request.
+    pub request_id: u64,
+    /// Request target (method + path).
+    pub target: String,
+    /// Response status code.
+    pub status: u16,
+    /// Handling latency in microseconds.
+    pub duration_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    entries: VecDeque<AccessEntry>,
+}
+
+/// A cloneable bounded access log.
+#[derive(Debug, Clone)]
+pub struct AccessLog {
+    next_id: Arc<AtomicU64>,
+    ring: Arc<Mutex<Ring>>,
+    capacity: usize,
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        AccessLog::new(256)
+    }
+}
+
+impl AccessLog {
+    /// A log keeping the last `capacity` requests.
+    pub fn new(capacity: usize) -> AccessLog {
+        AccessLog {
+            next_id: Arc::new(AtomicU64::new(1)),
+            ring: Arc::new(Mutex::new(Ring::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Issues the next request id.
+    pub fn begin(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a completed request.
+    pub fn record(&self, entry: AccessEntry) {
+        let mut ring = lock(&self.ring);
+        if ring.entries.len() == self.capacity {
+            ring.entries.pop_front();
+        }
+        ring.entries.push_back(entry);
+    }
+
+    /// The most recent entries, oldest first, capped at `n`.
+    pub fn recent(&self, n: usize) -> Vec<AccessEntry> {
+        let ring = lock(&self.ring);
+        let skip = ring.entries.len().saturating_sub(n);
+        ring.entries.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total entries currently retained.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.ring).entries.is_empty()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let log = AccessLog::default();
+        let a = log.begin();
+        let b = log.begin();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let log = AccessLog::new(3);
+        for i in 0..5 {
+            let id = log.begin();
+            log.record(AccessEntry {
+                request_id: id,
+                target: format!("GET /p{i}"),
+                status: 200,
+                duration_us: i,
+            });
+        }
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].target, "GET /p2");
+        assert_eq!(recent[2].target, "GET /p4");
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let log = AccessLog::default();
+        let clone = log.clone();
+        let id = clone.begin();
+        clone.record(AccessEntry {
+            request_id: id,
+            target: "GET /".to_string(),
+            status: 404,
+            duration_us: 12,
+        });
+        assert_eq!(log.recent(1)[0].status, 404);
+    }
+}

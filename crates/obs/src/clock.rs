@@ -1,0 +1,84 @@
+//! Time sources for tracing.
+//!
+//! Spans are timestamped in *microseconds* from an abstract clock so
+//! the same tracer works in two modes: production uses [`WallClock`]
+//! (a monotonic `Instant` origin), while chaos and property tests hand
+//! in a [`lodify_resilience::VirtualClock`] and get byte-identical
+//! traces on every run — virtual time only moves when the test moves
+//! it.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lodify_resilience::VirtualClock;
+
+/// An abstract microsecond clock.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since the clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// A shareable clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Monotonic wall time, measured from construction.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is *now*.
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Virtual time: the resilience clock counts milliseconds, so spans
+/// timed against it advance in 1000 µs steps — deterministically.
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        self.now_ms().saturating_mul(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_converts_ms_to_micros() {
+        let clock = VirtualClock::new();
+        assert_eq!(Clock::now_micros(&clock), 0);
+        clock.advance(3);
+        assert_eq!(Clock::now_micros(&clock), 3_000);
+    }
+
+    #[test]
+    fn clocks_share_through_arc() {
+        let clock: SharedClock = Arc::new(VirtualClock::starting_at(5));
+        assert_eq!(clock.now_micros(), 5_000);
+    }
+}

@@ -1,0 +1,176 @@
+//! Observability substrate for the lodify pipeline.
+//!
+//! Pure-std building blocks, composed by [`Obs`]:
+//!
+//! - [`trace`]: trace-id'd nested spans in a bounded ring buffer,
+//!   timed through a [`Clock`] so `VirtualClock` chaos tests get
+//!   deterministic traces;
+//! - [`histogram`]: fixed-bucket latency histograms with p50/p95/p99
+//!   estimation;
+//! - [`registry`]: the [`Metrics`] registry merging those histograms
+//!   with the resilience `Telemetry` counters and gauges;
+//! - [`prometheus`]: `/metrics` text exposition;
+//! - [`slowlog`]: slow-query aggregation keyed by normalized query
+//!   fingerprints;
+//! - [`access`]: per-request ids and a bounded access log.
+//!
+//! The whole surface can be switched off at runtime
+//! ([`Obs::set_enabled`]); bench E17 uses that to measure
+//! instrumentation overhead within a single binary.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod clock;
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use access::{AccessEntry, AccessLog};
+pub use clock::{Clock, SharedClock, WallClock};
+pub use histogram::{Histogram, BUCKET_BOUNDS};
+pub use registry::Metrics;
+pub use slowlog::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_THRESHOLD_US};
+pub use trace::{Span, SpanRecord, Tracer};
+
+use std::sync::Arc;
+
+use lodify_resilience::Telemetry;
+
+/// Default span ring capacity for [`Obs::new`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 512;
+
+/// Default access-log capacity for [`Obs::new`].
+pub const DEFAULT_ACCESS_CAPACITY: usize = 256;
+
+/// The full observability bundle one platform instance carries:
+/// metrics registry, tracer, slow-query log and access log, all
+/// cloneable handles over shared state.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    metrics: Metrics,
+    tracer: Tracer,
+    slow_queries: SlowQueryLog,
+    access_log: AccessLog,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A wall-clock bundle with default capacities and slow threshold.
+    pub fn new() -> Obs {
+        Obs::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// A bundle timing spans against an explicit clock (tests pass a
+    /// `VirtualClock` for deterministic traces).
+    pub fn with_clock(clock: SharedClock) -> Obs {
+        let metrics = Metrics::new();
+        let tracer = Tracer::with_clock(clock, DEFAULT_SPAN_CAPACITY).with_metrics(metrics.clone());
+        Obs {
+            metrics,
+            tracer,
+            slow_queries: SlowQueryLog::default(),
+            access_log: AccessLog::new(DEFAULT_ACCESS_CAPACITY),
+        }
+    }
+
+    /// Rebinds the counter/gauge side onto an existing `Telemetry`
+    /// registry, so series already written by breakers and retries
+    /// show up in the same exposition.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Obs {
+        let enabled = self.metrics.is_enabled();
+        let metrics = Metrics::with_telemetry(telemetry);
+        metrics.set_enabled(enabled);
+        self.tracer = self.tracer.with_metrics(metrics.clone());
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The slow-query log.
+    pub fn slow_queries(&self) -> &SlowQueryLog {
+        &self.slow_queries
+    }
+
+    /// The request access log.
+    pub fn access_log(&self) -> &AccessLog {
+        &self.access_log
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// Turns metric and span recording on or off across the bundle
+    /// (shared by all clones).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Renders the registry in Prometheus text format under the
+    /// standard `lodify` prefix.
+    pub fn render_prometheus(&self) -> String {
+        prometheus::render("lodify", &self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_resilience::VirtualClock;
+
+    #[test]
+    fn bundle_wires_spans_into_histograms() {
+        let clock = Arc::new(VirtualClock::new());
+        let obs = Obs::with_clock(clock.clone());
+        let span = obs.tracer().start("stage");
+        clock.advance(4);
+        span.finish();
+        assert_eq!(obs.metrics().histogram("stage").unwrap().sum(), 4_000);
+        assert!(obs.render_prometheus().contains("lodify_stage_seconds_sum"));
+    }
+
+    #[test]
+    fn set_enabled_silences_the_whole_bundle() {
+        let obs = Obs::new();
+        obs.set_enabled(false);
+        assert!(!obs.is_enabled());
+        obs.tracer().start("s").finish();
+        obs.metrics().incr("c");
+        assert!(obs.tracer().recent_spans(8).is_empty());
+        assert_eq!(obs.metrics().counter("c"), 0);
+        obs.set_enabled(true);
+        obs.metrics().incr("c");
+        assert_eq!(obs.metrics().counter("c"), 1);
+    }
+
+    #[test]
+    fn with_telemetry_merges_existing_series() {
+        let telemetry = Telemetry::new();
+        telemetry.incr("broker.calls.geo");
+        let obs = Obs::new().with_telemetry(telemetry);
+        let span = obs.tracer().start("op");
+        span.finish();
+        let text = obs.render_prometheus();
+        assert!(text.contains("lodify_broker_calls_geo_total 1"));
+        assert!(text.contains("lodify_op_seconds_count 1"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`render`] serializes a [`Metrics`] registry: counters become
+//! `<prefix>_<name>_total`, gauges `<prefix>_<name>`, and each latency
+//! histogram a `<prefix>_<name>_seconds` family with cumulative
+//! `_bucket{le="..."}` lines, `_sum` and `_count`. Internal names are
+//! dotted µs-valued series; exposition converts to seconds and maps
+//! every non-alphanumeric character to `_`, per the Prometheus data
+//! model.
+
+use crate::registry::Metrics;
+
+/// The Content-Type a `/metrics` endpoint should answer with.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders the whole registry in Prometheus text format.
+pub fn render(prefix: &str, metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let metric = format!("{}_{}_total", sanitize(prefix), sanitize(&name));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+    }
+    for (name, value) in metrics.gauges() {
+        let metric = format!("{}_{}", sanitize(prefix), sanitize(&name));
+        out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+    }
+    for (name, histogram) in metrics.histograms() {
+        let metric = format!("{}_{}_seconds", sanitize(prefix), sanitize(&name));
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        for (bound_us, cumulative) in histogram.cumulative_buckets() {
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                seconds(bound_us)
+            ));
+        }
+        out.push_str(&format!(
+            "{metric}_bucket{{le=\"+Inf\"}} {}\n",
+            histogram.count()
+        ));
+        out.push_str(&format!("{metric}_sum {}\n", seconds(histogram.sum())));
+        out.push_str(&format!("{metric}_count {}\n", histogram.count()));
+    }
+    out
+}
+
+/// Maps a dotted internal name onto the Prometheus charset: every
+/// character outside `[A-Za-z0-9]` becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Formats a microsecond quantity as decimal seconds without float
+/// round-off (bucket bounds must serialize exactly).
+fn seconds(micros: u64) -> String {
+    let whole = micros / 1_000_000;
+    let frac = micros % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let digits = format!("{frac:06}");
+        format!("{whole}.{}", digits.trim_end_matches('0'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(sanitize("upload.annotate"), "upload_annotate");
+        assert_eq!(sanitize("broker-call/geo"), "broker_call_geo");
+    }
+
+    #[test]
+    fn seconds_serialize_exactly() {
+        assert_eq!(seconds(0), "0");
+        assert_eq!(seconds(1), "0.000001");
+        assert_eq!(seconds(700), "0.0007");
+        assert_eq!(seconds(1_000_000), "1");
+        assert_eq!(seconds(2_500_000), "2.5");
+        assert_eq!(seconds(700_000_000), "700");
+    }
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let metrics = Metrics::new();
+        metrics.add("uploads", 3);
+        metrics.set_gauge("wal.pending", 7);
+        metrics.observe("sparql.eval", 700);
+        metrics.observe("sparql.eval", 1_500);
+        let text = render("lodify", &metrics);
+        assert!(text.contains("# TYPE lodify_uploads_total counter\n"));
+        assert!(text.contains("lodify_uploads_total 3\n"));
+        assert!(text.contains("# TYPE lodify_wal_pending gauge\n"));
+        assert!(text.contains("lodify_wal_pending 7\n"));
+        assert!(text.contains("# TYPE lodify_sparql_eval_seconds histogram\n"));
+        assert!(text.contains("lodify_sparql_eval_seconds_bucket{le=\"0.0007\"} 1\n"));
+        assert!(text.contains("lodify_sparql_eval_seconds_bucket{le=\"0.002\"} 2\n"));
+        assert!(text.contains("lodify_sparql_eval_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lodify_sparql_eval_seconds_sum 0.0022\n"));
+        assert!(text.contains("lodify_sparql_eval_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_complete() {
+        let metrics = Metrics::new();
+        metrics.observe("h", 5);
+        let text = render("p", &metrics);
+        let buckets = text
+            .lines()
+            .filter(|l| l.starts_with("p_h_seconds_bucket"))
+            .count();
+        assert_eq!(buckets, crate::histogram::BUCKET_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render("x", &Metrics::new()), "");
+    }
+}

@@ -1,0 +1,190 @@
+//! The metrics registry: counters + gauges + latency histograms.
+//!
+//! [`Metrics`] wraps the resilience [`Telemetry`] registry (so every
+//! counter the breakers, retries and DLQs already write keeps its
+//! name) and adds named [`Histogram`]s beside them. Clones share the
+//! registry; a shared *enabled* flag turns the whole surface into
+//! near-free no-ops so bench E17 can measure instrumentation overhead
+//! against the exact same binary.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lodify_resilience::Telemetry;
+
+use crate::histogram::Histogram;
+
+/// A cloneable registry of counters, gauges and latency histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    telemetry: Telemetry,
+    histograms: Arc<Mutex<BTreeMap<String, Histogram>>>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Metrics {
+    /// An empty, enabled registry.
+    pub fn new() -> Metrics {
+        let metrics = Metrics::default();
+        metrics.enabled.store(true, Ordering::Relaxed);
+        metrics
+    }
+
+    /// Wraps an existing telemetry registry (its counters and gauges
+    /// appear in the exposition alongside the histograms).
+    pub fn with_telemetry(telemetry: Telemetry) -> Metrics {
+        Metrics {
+            telemetry,
+            ..Metrics::new()
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns all recording on or off (shared across clones).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The underlying counter/gauge registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Adds 1 to a counter.
+    pub fn incr(&self, name: &str) {
+        if self.is_enabled() {
+            self.telemetry.incr(name);
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        if self.is_enabled() {
+            self.telemetry.add(name, delta);
+        }
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.telemetry.set_gauge(name, value);
+        }
+    }
+
+    /// Records a microsecond observation into a named histogram.
+    pub fn observe(&self, name: &str, micros: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut histograms = lock(&self.histograms);
+        match histograms.get_mut(name) {
+            Some(histogram) => histogram.observe(micros),
+            None => {
+                let mut histogram = Histogram::new();
+                histogram.observe(micros);
+                histograms.insert(name.to_string(), histogram);
+            }
+        }
+    }
+
+    /// Records a duration observation (truncated to µs).
+    pub fn observe_duration(&self, name: &str, elapsed: Duration) {
+        self.observe(name, elapsed.as_micros() as u64);
+    }
+
+    /// A counter's current value (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.telemetry.counter(name)
+    }
+
+    /// A gauge's current value, when set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.telemetry.gauge(name)
+    }
+
+    /// A histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.histograms).get(name).cloned()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.telemetry.counters()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.telemetry.gauges()
+    }
+
+    /// All histogram snapshots, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        lock(&self.histograms).clone()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_every_surface() {
+        let metrics = Metrics::new();
+        let other = metrics.clone();
+        metrics.incr("a");
+        other.set_gauge("g", 7);
+        metrics.observe("lat", 120);
+        other.observe("lat", 480);
+        assert_eq!(other.counter("a"), 1);
+        assert_eq!(metrics.gauge("g"), Some(7));
+        let histogram = metrics.histogram("lat").unwrap();
+        assert_eq!(histogram.count(), 2);
+        assert_eq!(histogram.sum(), 600);
+        assert_eq!(metrics.histograms().len(), 1);
+    }
+
+    #[test]
+    fn disabling_stops_all_recording() {
+        let metrics = Metrics::new();
+        metrics.set_enabled(false);
+        metrics.incr("a");
+        metrics.set_gauge("g", 1);
+        metrics.observe("lat", 5);
+        assert_eq!(metrics.counter("a"), 0);
+        assert_eq!(metrics.gauge("g"), None);
+        assert!(metrics.histogram("lat").is_none());
+        // The flag is shared by clones and reversible.
+        let other = metrics.clone();
+        assert!(!other.is_enabled());
+        other.set_enabled(true);
+        metrics.incr("a");
+        assert_eq!(metrics.counter("a"), 1);
+    }
+
+    #[test]
+    fn wraps_an_existing_telemetry() {
+        let telemetry = Telemetry::new();
+        telemetry.incr("pre.existing");
+        let metrics = Metrics::with_telemetry(telemetry.clone());
+        assert_eq!(metrics.counter("pre.existing"), 1);
+        metrics.incr("pre.existing");
+        assert_eq!(telemetry.counter("pre.existing"), 2);
+    }
+
+    #[test]
+    fn observe_duration_truncates_to_micros() {
+        let metrics = Metrics::new();
+        metrics.observe_duration("d", Duration::from_micros(1500));
+        assert_eq!(metrics.histogram("d").unwrap().sum(), 1500);
+    }
+}

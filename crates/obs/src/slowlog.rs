@@ -1,0 +1,169 @@
+//! Slow-query log keyed by normalized query fingerprints.
+//!
+//! Queries slower than a configurable threshold are aggregated under a
+//! *fingerprint* (the caller normalizes literals away, so `?name =
+//! "alice"` and `?name = "bob"` share an entry). Each entry keeps the
+//! hit count, total and worst latency, and one sample query text for
+//! the operator to reproduce with.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Aggregated statistics for one query fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// How many executions crossed the threshold.
+    pub count: u64,
+    /// Sum of slow execution latencies (µs).
+    pub total_us: u64,
+    /// Worst execution latency seen (µs).
+    pub max_us: u64,
+    /// One representative raw query text.
+    pub sample: String,
+}
+
+impl SlowQueryEntry {
+    /// Mean slow-execution latency in µs.
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A cloneable, threshold-gated slow-query log.
+#[derive(Debug, Clone)]
+pub struct SlowQueryLog {
+    threshold_us: Arc<AtomicU64>,
+    entries: Arc<Mutex<BTreeMap<String, SlowQueryEntry>>>,
+}
+
+/// Default slow threshold: 50 ms.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 50_000;
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        SlowQueryLog::new(DEFAULT_SLOW_THRESHOLD_US)
+    }
+}
+
+impl SlowQueryLog {
+    /// A log recording executions at or above `threshold_us`.
+    pub fn new(threshold_us: u64) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_us: Arc::new(AtomicU64::new(threshold_us)),
+            entries: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The current threshold in µs.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Changes the threshold (shared across clones).
+    pub fn set_threshold_us(&self, threshold_us: u64) {
+        self.threshold_us.store(threshold_us, Ordering::Relaxed);
+    }
+
+    /// Records an execution; a no-op below the threshold. Returns
+    /// `true` when the query was logged as slow.
+    pub fn record(&self, fingerprint: &str, query: &str, elapsed_us: u64) -> bool {
+        if elapsed_us < self.threshold_us() {
+            return false;
+        }
+        let mut entries = lock(&self.entries);
+        match entries.get_mut(fingerprint) {
+            Some(entry) => {
+                entry.count += 1;
+                entry.total_us = entry.total_us.saturating_add(elapsed_us);
+                entry.max_us = entry.max_us.max(elapsed_us);
+            }
+            None => {
+                entries.insert(
+                    fingerprint.to_string(),
+                    SlowQueryEntry {
+                        count: 1,
+                        total_us: elapsed_us,
+                        max_us: elapsed_us,
+                        sample: query.to_string(),
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// All entries, worst-first (by max latency).
+    pub fn entries(&self) -> Vec<(String, SlowQueryEntry)> {
+        let mut out: Vec<(String, SlowQueryEntry)> = lock(&self.entries)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1.max_us));
+        out
+    }
+
+    /// Number of distinct slow fingerprints.
+    pub fn len(&self) -> usize {
+        lock(&self.entries).len()
+    }
+
+    /// Whether no slow query has been recorded.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.entries).is_empty()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_is_ignored() {
+        let log = SlowQueryLog::new(1_000);
+        assert!(!log.record("fp", "SELECT ...", 999));
+        assert!(log.is_empty());
+        assert!(log.record("fp", "SELECT ...", 1_000));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn same_fingerprint_aggregates() {
+        let log = SlowQueryLog::new(100);
+        log.record("fp", "SELECT 'a'", 200);
+        log.record("fp", "SELECT 'b'", 600);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0].1;
+        assert_eq!(entry.count, 2);
+        assert_eq!(entry.total_us, 800);
+        assert_eq!(entry.max_us, 600);
+        assert_eq!(entry.mean_us(), 400);
+        assert_eq!(entry.sample, "SELECT 'a'", "first sample kept");
+    }
+
+    #[test]
+    fn entries_sort_worst_first() {
+        let log = SlowQueryLog::new(1);
+        log.record("fast", "q1", 10);
+        log.record("slow", "q2", 1_000);
+        let entries = log.entries();
+        assert_eq!(entries[0].0, "slow");
+        assert_eq!(entries[1].0, "fast");
+    }
+
+    #[test]
+    fn threshold_is_shared_and_adjustable() {
+        let log = SlowQueryLog::default();
+        assert_eq!(log.threshold_us(), DEFAULT_SLOW_THRESHOLD_US);
+        let clone = log.clone();
+        clone.set_threshold_us(5);
+        assert_eq!(log.threshold_us(), 5);
+        log.record("fp", "q", 6);
+        assert_eq!(clone.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Structured tracing: trace IDs, nested spans, a bounded ring buffer.
+//!
+//! A [`Tracer`] hands out [`Span`]s. Every span carries a trace id
+//! (shared by the whole request), its own span id and an optional
+//! parent link, so completed spans reassemble into a tree. Finished
+//! spans land in a bounded ring buffer (oldest evicted first) and —
+//! when the tracer carries a [`Metrics`] handle — their duration is
+//! also observed into the histogram named after the span, which is how
+//! one instrumentation point feeds both `/ops` traces and `/metrics`
+//! percentiles.
+//!
+//! Timing goes through the [`Clock`](crate::clock::Clock)
+//! abstraction: production tracers
+//! read wall time, chaos tests install a
+//! [`lodify_resilience::VirtualClock`] and get deterministic traces.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{SharedClock, WallClock};
+use crate::registry::Metrics;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the tracer).
+    pub span_id: u64,
+    /// Parent span id, `None` for a trace root.
+    pub parent_id: Option<u64>,
+    /// Span name (dotted stage path, e.g. `upload.annotate`).
+    pub name: String,
+    /// Start instant (µs from the tracer's clock origin).
+    pub start_us: u64,
+    /// End instant (µs).
+    pub end_us: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    spans: VecDeque<SpanRecord>,
+}
+
+/// A cloneable tracer over a shared span ring buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    clock: SharedClock,
+    metrics: Option<Metrics>,
+    ring: Arc<Mutex<Ring>>,
+    next_id: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A wall-clock tracer keeping the last `capacity` spans.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer::with_clock(Arc::new(WallClock::new()), capacity)
+    }
+
+    /// A tracer over an explicit clock (deterministic tests pass a
+    /// virtual clock).
+    pub fn with_clock(clock: SharedClock, capacity: usize) -> Tracer {
+        Tracer {
+            clock,
+            metrics: None,
+            ring: Arc::new(Mutex::new(Ring::default())),
+            next_id: Arc::new(AtomicU64::new(1)),
+            enabled: Arc::new(AtomicBool::new(true)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Also observes every finished span's duration into `metrics`
+    /// under the span's name.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Tracer {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns span recording on or off (shared across clones).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Starts a new trace: a root span with a fresh trace id.
+    pub fn start(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::inert(self.clone());
+        }
+        let trace_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.span_with(trace_id, None, name)
+    }
+
+    fn span_with(&self, trace_id: u64, parent_id: Option<u64>, name: &str) -> Span {
+        let span_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            tracer: self.clone(),
+            trace_id,
+            span_id,
+            parent_id,
+            name: name.to_string(),
+            start_us: self.clock.now_micros(),
+            live: true,
+        }
+    }
+
+    /// The most recent completed spans, oldest first, capped at `n`.
+    pub fn recent_spans(&self, n: usize) -> Vec<SpanRecord> {
+        let ring = lock(&self.ring);
+        let skip = ring.spans.len().saturating_sub(n);
+        ring.spans.iter().skip(skip).cloned().collect()
+    }
+
+    /// Recent completed spans grouped into traces (by trace id, in
+    /// first-seen order): the shape `/ops` renders.
+    pub fn recent_traces(&self, max_traces: usize) -> Vec<Vec<SpanRecord>> {
+        let spans = self.recent_spans(self.capacity);
+        let mut order: Vec<u64> = Vec::new();
+        for span in &spans {
+            if !order.contains(&span.trace_id) {
+                order.push(span.trace_id);
+            }
+        }
+        let keep: Vec<u64> = order.iter().rev().take(max_traces).rev().copied().collect();
+        keep.iter()
+            .map(|&trace_id| {
+                spans
+                    .iter()
+                    .filter(|s| s.trace_id == trace_id)
+                    .cloned()
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn record(&self, record: SpanRecord) {
+        if let Some(metrics) = &self.metrics {
+            metrics.observe(&record.name, record.duration_us());
+        }
+        let mut ring = lock(&self.ring);
+        if ring.spans.len() == self.capacity {
+            ring.spans.pop_front();
+        }
+        ring.spans.push_back(record);
+    }
+}
+
+/// A live span; finishing (or dropping) it records a [`SpanRecord`].
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    name: String,
+    start_us: u64,
+    live: bool,
+}
+
+impl Span {
+    fn inert(tracer: Tracer) -> Span {
+        Span {
+            tracer,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: None,
+            name: String::new(),
+            start_us: 0,
+            live: false,
+        }
+    }
+
+    /// The trace id (0 for an inert span from a disabled tracer).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// This span's id.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Starts a child span within the same trace.
+    pub fn child(&self, name: &str) -> Span {
+        if !self.live {
+            return Span::inert(self.tracer.clone());
+        }
+        self.tracer
+            .span_with(self.trace_id, Some(self.span_id), name)
+    }
+
+    /// Ends the span, recording it.
+    pub fn finish(mut self) {
+        self.finish_in_place();
+    }
+
+    fn finish_in_place(&mut self) {
+        if !self.live {
+            return;
+        }
+        self.live = false;
+        let record = SpanRecord {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            name: std::mem::take(&mut self.name),
+            start_us: self.start_us,
+            end_us: self.tracer.clock.now_micros(),
+        };
+        self.tracer.record(record);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_in_place();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_resilience::VirtualClock;
+
+    #[test]
+    fn spans_nest_and_share_the_trace_id() {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::with_clock(clock.clone(), 16);
+        let root = tracer.start("upload");
+        clock.advance(2);
+        let child = root.child("upload.annotate");
+        clock.advance(3);
+        let root_trace = root.trace_id();
+        let root_span = root.span_id();
+        child.finish();
+        clock.advance(1);
+        root.finish();
+
+        let spans = tracer.recent_spans(10);
+        assert_eq!(spans.len(), 2);
+        let child_rec = &spans[0];
+        let root_rec = &spans[1];
+        assert_eq!(child_rec.name, "upload.annotate");
+        assert_eq!(child_rec.trace_id, root_trace);
+        assert_eq!(child_rec.parent_id, Some(root_span));
+        assert_eq!(child_rec.start_us, 2_000);
+        assert_eq!(child_rec.duration_us(), 3_000);
+        assert_eq!(root_rec.parent_id, None);
+        assert_eq!(root_rec.duration_us(), 6_000);
+    }
+
+    #[test]
+    fn virtual_clock_traces_are_deterministic() {
+        let run = || {
+            let clock = Arc::new(VirtualClock::new());
+            let tracer = Tracer::with_clock(clock.clone(), 16);
+            for _ in 0..3 {
+                let root = tracer.start("op");
+                clock.advance(5);
+                root.child("op.step").finish();
+                clock.advance(5);
+                root.finish();
+            }
+            tracer.recent_spans(16)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let tracer = Tracer::new(4);
+        for i in 0..10 {
+            tracer.start(&format!("op{i}")).finish();
+        }
+        let spans = tracer.recent_spans(100);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name, "op6");
+        assert_eq!(spans[3].name, "op9");
+    }
+
+    #[test]
+    fn finished_spans_feed_metrics_histograms() {
+        let clock = Arc::new(VirtualClock::new());
+        let metrics = Metrics::new();
+        let tracer = Tracer::with_clock(clock.clone(), 8).with_metrics(metrics.clone());
+        let span = tracer.start("stage");
+        clock.advance(7);
+        span.finish();
+        let histogram = metrics.histogram("stage").unwrap();
+        assert_eq!(histogram.count(), 1);
+        assert_eq!(histogram.sum(), 7_000);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(8);
+        tracer.set_enabled(false);
+        let root = tracer.start("op");
+        let child = root.child("op.step");
+        child.finish();
+        root.finish();
+        assert!(tracer.recent_spans(8).is_empty());
+    }
+
+    #[test]
+    fn traces_group_by_trace_id() {
+        let tracer = Tracer::new(16);
+        for i in 0..3 {
+            let root = tracer.start(&format!("t{i}"));
+            root.child(&format!("t{i}.a")).finish();
+            root.finish();
+        }
+        let traces = tracer.recent_traces(2);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0][0].name, "t1.a");
+        assert_eq!(traces[1][1].name, "t2");
+    }
+
+    #[test]
+    fn dropping_a_span_records_it() {
+        let tracer = Tracer::new(8);
+        {
+            let _span = tracer.start("dropped");
+        }
+        assert_eq!(tracer.recent_spans(8)[0].name, "dropped");
+    }
+}

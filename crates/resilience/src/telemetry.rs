@@ -35,14 +35,29 @@ impl Telemetry {
         self.add(name, 1);
     }
 
-    /// Adds `delta` to a counter.
+    /// Adds `delta` to a counter. The common case — the counter already
+    /// exists — looks up by `&str` and allocates nothing; only the
+    /// first write of a name pays for the `String` key.
     pub fn add(&self, name: &str, delta: u64) {
-        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(value) => *value += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
     }
 
     /// Sets a gauge to an absolute value (e.g. a queue depth).
+    /// Allocation-free once the gauge exists, like [`Telemetry::add`].
     pub fn set_gauge(&self, name: &str, value: u64) {
-        self.lock().gauges.insert(name.to_string(), value);
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
     }
 
     /// A counter's current value (0 when never written).

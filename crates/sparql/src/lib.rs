@@ -92,6 +92,49 @@ pub fn execute_with(
     eval::evaluate_with(store, &parsed, options)
 }
 
+/// Normalizes a query into a fingerprint for slow-query aggregation:
+/// string literals become `?`, numbers become `N`, and whitespace
+/// collapses, so executions differing only in constants share one
+/// fingerprint. Unlexable input falls back to whitespace collapsing.
+pub fn fingerprint(query: &str) -> String {
+    use lexer::Token;
+    let Ok(tokens) = lexer::tokenize(query) else {
+        return query.split_whitespace().collect::<Vec<_>>().join(" ");
+    };
+    let mut out = String::new();
+    for token in &tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match token {
+            Token::IriRef(iri) => {
+                out.push('<');
+                out.push_str(iri);
+                out.push('>');
+            }
+            Token::PName { prefix, local } => {
+                out.push_str(prefix);
+                out.push(':');
+                out.push_str(local);
+            }
+            Token::Var(name) => {
+                out.push('?');
+                out.push_str(name);
+            }
+            Token::String(_) => out.push('?'),
+            Token::LangTag(tag) => {
+                out.push('@');
+                out.push_str(tag);
+            }
+            Token::DatatypeMarker => out.push_str("^^"),
+            Token::Integer(_) | Token::Double(_) => out.push('N'),
+            Token::Word(word) => out.push_str(&word.to_uppercase()),
+            Token::Punct(p) => out.push_str(p),
+        }
+    }
+    out
+}
+
 /// Parses and evaluates with explicit options, also returning the
 /// parallel-execution report (sections, partition balance, busy vs
 /// critical-path time). Benches use this to measure speedup without
@@ -103,4 +146,38 @@ pub fn execute_with_report(
 ) -> Result<(QueryResults, eval::EvalReport), SparqlError> {
     let parsed = parse(query)?;
     eval::evaluate_with_report(store, &parsed, options)
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use super::fingerprint;
+
+    #[test]
+    fn literals_and_numbers_normalize_away() {
+        let a = fingerprint(r#"SELECT ?x WHERE { ?x rdfs:label "alice" . } LIMIT 10"#);
+        let b = fingerprint("SELECT  ?x\nWHERE { ?x rdfs:label \"bob\" . }\tLIMIT 99");
+        assert_eq!(a, b);
+        assert!(a.contains('?'), "literal replaced by placeholder");
+        assert!(a.ends_with("LIMIT N"));
+    }
+
+    #[test]
+    fn different_shapes_keep_distinct_fingerprints() {
+        let a = fingerprint("SELECT ?x WHERE { ?x a sioct:MicroblogPost . }");
+        let b = fingerprint("SELECT ?y WHERE { ?y a sioct:MicroblogPost . }");
+        assert_ne!(a, b, "variable names are part of the shape");
+    }
+
+    #[test]
+    fn keywords_casefold() {
+        assert_eq!(
+            fingerprint("select ?x where { ?x a foaf:Person }"),
+            fingerprint("SELECT ?x WHERE { ?x a foaf:Person }"),
+        );
+    }
+
+    #[test]
+    fn unlexable_input_collapses_whitespace() {
+        assert_eq!(fingerprint("broken \x00 'query"), "broken \x00 'query");
+    }
 }
