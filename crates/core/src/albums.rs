@@ -524,7 +524,7 @@ mod tests {
         let semantic = spec.execute(p.store()).unwrap();
         let baseline = relational_baseline(p.db(), mole_point(), 0.5, None, true).unwrap();
         let mut a = semantic.clone();
-        let mut b = baseline.clone();
+        let mut b = baseline;
         a.sort();
         b.sort();
         assert_eq!(a, b, "same membership");

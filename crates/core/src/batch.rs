@@ -5,8 +5,14 @@
 //! requires to create and introduce new automatic batch processing
 //! mechanisms." (§6) — this is that mechanism: resumable chunked
 //! processing over all not-yet-annotated pictures, with a report.
+//!
+//! Each chunk runs through the [`IngestPool`]: staging and commits
+//! stay sequential (so the result is identical to annotating one
+//! picture at a time) while the read-only annotation stage fans out
+//! across worker threads.
 
 use crate::error::PlatformError;
+use crate::ingest::IngestPool;
 use crate::platform::Platform;
 
 /// Summary of a batch run.
@@ -24,17 +30,24 @@ pub struct BatchReport {
     pub failed: usize,
 }
 
-/// Chunked batch annotator. Holds only a cursor, so it can be driven
+/// Chunked batch annotator. Holds a cursor plus the ingest pool that
+/// fans each chunk's annotation stage out, so it can be driven
 /// incrementally (one chunk per scheduler tick) or to completion.
 #[derive(Debug, Default)]
 pub struct BatchAnnotator {
     cursor: usize,
+    pool: IngestPool,
 }
 
 impl BatchAnnotator {
-    /// A fresh batch job.
+    /// A fresh batch job with a default-sized [`IngestPool`].
     pub fn new() -> BatchAnnotator {
         BatchAnnotator::default()
+    }
+
+    /// A fresh batch job annotating through `pool`.
+    pub fn with_pool(pool: IngestPool) -> BatchAnnotator {
+        BatchAnnotator { cursor: 0, pool }
     }
 
     /// Processes up to `chunk` pending pictures. Returns the report for
@@ -48,22 +61,22 @@ impl BatchAnnotator {
         let ids = platform.picture_ids();
         let mut report = BatchReport::default();
         let end = (self.cursor + chunk).min(ids.len());
-        for &pid in &ids[self.cursor..end] {
-            if platform.annotations().contains_key(&pid) {
-                report.skipped += 1;
-                continue;
-            }
-            match platform.annotate_legacy(pid) {
-                Ok(fired) => {
-                    report.processed += 1;
-                    report.annotations_fired += fired;
-                    if fired > 0 {
-                        report.with_annotations += 1;
-                    }
+        let pending: Vec<i64> = ids[self.cursor..end]
+            .iter()
+            .copied()
+            .filter(|pid| {
+                let done = platform.annotations().contains_key(pid);
+                if done {
+                    report.skipped += 1;
                 }
-                Err(_) => report.failed += 1,
-            }
-        }
+                !done
+            })
+            .collect();
+        let outcome = self.pool.annotate_legacy_batch(platform, &pending)?;
+        report.processed = outcome.processed;
+        report.with_annotations = outcome.with_annotations;
+        report.annotations_fired = outcome.annotations_fired;
+        report.failed = outcome.failed;
         self.cursor = end;
         Ok(report)
     }

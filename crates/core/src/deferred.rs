@@ -14,6 +14,7 @@
 //! are surfaced in the [`FlushReport`] instead of silently dropped.
 
 use crate::error::PlatformError;
+use crate::ingest::IngestPool;
 use crate::platform::{Platform, Upload, UploadReceipt};
 
 /// One queued upload plus how often it has been tried.
@@ -44,21 +45,29 @@ pub struct FlushReport {
     pub retried: Vec<(i64, PlatformError)>,
     /// Uploads that hit the attempt cap and left the queue.
     pub abandoned: Vec<AbandonedUpload>,
+    /// Error from the batch's end-of-flush durability barrier, if the
+    /// WAL flush failed (the uploads are applied in memory; durability
+    /// is degraded until the next successful flush).
+    pub flush_error: Option<PlatformError>,
 }
 
 impl FlushReport {
-    /// Whether every queued upload went through.
+    /// Whether every queued upload went through and the durability
+    /// barrier held.
     pub fn is_clean(&self) -> bool {
-        self.retried.is_empty() && self.abandoned.is_empty()
+        self.retried.is_empty() && self.abandoned.is_empty() && self.flush_error.is_none()
     }
 }
 
-/// Client-side deferred upload queue.
+/// Client-side deferred upload queue. Flushes go through an
+/// [`IngestPool`], so a backlog accumulated offline is annotated
+/// concurrently while committing in capture order.
 #[derive(Debug)]
 pub struct UploadQueue {
     online: bool,
     pending: Vec<PendingUpload>,
     max_attempts: u32,
+    pool: IngestPool,
 }
 
 impl Default for UploadQueue {
@@ -83,7 +92,13 @@ impl UploadQueue {
             online: false,
             pending: Vec::new(),
             max_attempts,
+            pool: IngestPool::default(),
         }
+    }
+
+    /// Replaces the ingest pool used by [`UploadQueue::flush`].
+    pub fn set_pool(&mut self, pool: IngestPool) {
+        self.pool = pool;
     }
 
     /// Sets connectivity. Going online does not flush by itself — the
@@ -136,33 +151,38 @@ impl UploadQueue {
         self.max_attempts
     }
 
-    /// Flushes the queue in capture-timestamp order. Items that fail
-    /// individually don't block the rest: they are re-enqueued (keeping
-    /// timestamp order for the next flush) until the attempt cap moves
-    /// them into [`FlushReport::abandoned`].
+    /// Flushes the queue in capture-timestamp order through the
+    /// ingest pool: items stage and commit sequentially in capture
+    /// order (so results are identical to uploading one at a time)
+    /// while the annotation stage fans out across workers. Items that
+    /// fail individually don't block the rest: they are re-enqueued
+    /// (keeping timestamp order for the next flush) until the attempt
+    /// cap moves them into [`FlushReport::abandoned`].
     pub fn flush(&mut self, platform: &mut Platform) -> FlushReport {
         let mut report = FlushReport::default();
-        if !self.online {
+        if !self.online || self.pending.is_empty() {
             return report;
         }
         let mut queued = std::mem::take(&mut self.pending);
         queued.sort_by_key(|p| p.upload.ts);
-        for mut item in queued {
-            match platform.upload(item.upload.clone()) {
-                Ok(receipt) => report.receipts.push(receipt),
-                Err(e) => {
-                    item.attempts += 1;
-                    if item.attempts >= self.max_attempts {
-                        report.abandoned.push(AbandonedUpload {
-                            upload: item.upload,
-                            attempts: item.attempts,
-                            error: e,
-                        });
-                    } else {
-                        report.retried.push((item.upload.ts, e));
-                        self.pending.push(item);
-                    }
-                }
+        let uploads: Vec<Upload> = queued.iter().map(|p| p.upload.clone()).collect();
+        let ingest = self.pool.ingest(platform, uploads);
+        report.receipts = ingest.receipts;
+        report.flush_error = ingest.flush_error;
+        // Failure indices point into `uploads` = `queued`, already in
+        // timestamp order, so `retried` stays in capture order too.
+        for (i, e) in ingest.failures {
+            let mut item = queued[i].clone();
+            item.attempts += 1;
+            if item.attempts >= self.max_attempts {
+                report.abandoned.push(AbandonedUpload {
+                    upload: item.upload,
+                    attempts: item.attempts,
+                    error: e,
+                });
+            } else {
+                report.retried.push((item.upload.ts, e));
+                self.pending.push(item);
             }
         }
         report

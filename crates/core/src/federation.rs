@@ -332,7 +332,7 @@ impl Node {
             .into_iter()
             .filter_map(|t| {
                 let iri = t.subject.as_iri()?.clone();
-                let subject = t.subject.clone();
+                let subject = t.subject;
                 let title = self
                     .store
                     .match_terms(Some(&subject), Some(&ns::iri::rdfs_label()), None)
@@ -1103,7 +1103,7 @@ mod tests {
         fed.subscribe(0, &oscar, &walter).unwrap();
         let clock = VirtualClock::new();
         // A plan with no faults for either node.
-        let plan = FaultPlan::builder().build(clock.clone());
+        let plan = FaultPlan::builder().build(clock);
         fed.with_fault_plan(plan, RetryPolicy::no_retry());
 
         let (_, notifications) = fed.publish(&walter, "all clear", 1).unwrap();

@@ -1,0 +1,311 @@
+//! Concurrent annotation pipeline: batched ingest over the
+//! prepare / annotate / commit split.
+//!
+//! One upload spends most of its wall-clock inside semantic
+//! annotation — broker fan-out, filtering, POI analysis — which only
+//! *reads* the store. The [`IngestPool`] exploits that: for a batch of
+//! uploads it runs the sequential **prepare** stage
+//! ([`Platform::stage_upload`]) in capture-timestamp order, fans the
+//! read-only **annotation** stage out across scoped worker threads
+//! (the [`lodify_sparql::pool`] partitioning, so chunk order
+//! reproduces the sequential order exactly), and then drains the
+//! short **commit** stage ([`Platform::commit_staged`]) through a
+//! single committer, again in capture-timestamp order, with WAL
+//! appends amortized under a group-commit policy that is restored —
+//! and flushed — when the batch ends.
+//!
+//! # Determinism
+//!
+//! Batched ingest produces receipts and store state byte-identical to
+//! feeding the same uploads one by one through
+//! [`Platform::upload`]:
+//!
+//! * prepare and commit run sequentially in capture-timestamp order,
+//!   so pid allocation, relational rows, tag-index entries and the
+//!   per-item store-write order (POI triples, picture triples,
+//!   annotation triples) are exactly the serial path's;
+//! * annotation reads the pre-batch store. The only graph a commit
+//!   grows is the UGC graph, and [`lodify_lod::SemanticFilter`]
+//!   discards every UGC-graph candidate before any other rule runs,
+//!   so the *chosen* annotations cannot observe whether earlier batch
+//!   items have committed yet. (Diagnostic counters such as
+//!   `candidates_considered` may differ; they never reach receipts or
+//!   the store.)
+//!
+//! The identity is asserted by tests in `crates/core/tests/ingest.rs`
+//! and measured by bench E18.
+
+use std::time::{Duration, Instant};
+
+use lodify_durability::GroupCommitPolicy;
+use lodify_sparql::pool::run_partitioned;
+
+use crate::error::PlatformError;
+use crate::platform::{Platform, StagedLegacy, StagedUpload, Upload, UploadReceipt};
+
+/// Outcome of one [`IngestPool::ingest`] batch.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Receipts for accepted uploads, in capture-timestamp order.
+    pub receipts: Vec<UploadReceipt>,
+    /// Failures keyed by the upload's index in the *input* batch
+    /// (not the timestamp-sorted order), sorted by that index.
+    pub failures: Vec<(usize, PlatformError)>,
+    /// Error from the end-of-batch durability barrier, if the WAL
+    /// flush that restores the prior group-commit policy failed. The
+    /// in-memory state is still consistent; durability is degraded
+    /// until the next successful flush.
+    pub flush_error: Option<PlatformError>,
+    /// Wall-clock spent in the sequential prepare stage.
+    pub stage: Duration,
+    /// Total busy time across annotation workers.
+    pub annotate_busy: Duration,
+    /// The slowest annotation partition — the parallel critical path.
+    pub annotate_critical: Duration,
+    /// Wall-clock spent in the sequential commit stage.
+    pub commit: Duration,
+}
+
+impl IngestReport {
+    /// Whether every upload in the batch was accepted and the
+    /// durability barrier held.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.flush_error.is_none()
+    }
+
+    /// Partition-limited modeled speedup over sequential ingest, the
+    /// E16 methodology: sequential cost is prepare + *total* annotation
+    /// busy + commit; parallel cost replaces total busy with the
+    /// slowest partition. Independent of how many cores the host
+    /// actually has, so CI smoke runs measure the same thing as a
+    /// 16-core box.
+    pub fn modeled_speedup(&self) -> f64 {
+        let sequential = self.stage + self.annotate_busy + self.commit;
+        let parallel = self.stage + self.annotate_critical + self.commit;
+        if parallel.is_zero() {
+            1.0
+        } else {
+            sequential.as_secs_f64() / parallel.as_secs_f64()
+        }
+    }
+}
+
+/// Outcome of one [`IngestPool::annotate_legacy_batch`] run, with the
+/// same counters as [`crate::batch::BatchReport`] (which it feeds).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LegacyBatchOutcome {
+    /// Pictures annotated and committed.
+    pub processed: usize,
+    /// Pictures for which at least one term auto-annotated.
+    pub with_annotations: usize,
+    /// Total term annotations fired.
+    pub annotations_fired: usize,
+    /// Pictures that failed to stage or commit.
+    pub failed: usize,
+}
+
+/// A worker pool that ingests batches of uploads through the
+/// prepare / annotate / commit pipeline, fanning the read-only
+/// annotation stage out across scoped OS threads.
+///
+/// Configuration is plain data — the pool spawns threads only for the
+/// duration of a batch ([`std::thread::scope`]), so it holds no
+/// handles and is cheap to construct per call site.
+#[derive(Debug, Clone)]
+pub struct IngestPool {
+    workers: usize,
+    spawn_threads: bool,
+    commit_policy: GroupCommitPolicy,
+}
+
+impl Default for IngestPool {
+    /// A pool sized to the host's available parallelism, spawning
+    /// threads, with the default group-commit batching.
+    fn default() -> IngestPool {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        IngestPool::new(workers)
+    }
+}
+
+impl IngestPool {
+    /// A pool with `workers` annotation workers (clamped to at least
+    /// one), spawning threads, with the default group-commit batching.
+    pub fn new(workers: usize) -> IngestPool {
+        IngestPool {
+            workers: workers.max(1),
+            spawn_threads: true,
+            commit_policy: GroupCommitPolicy::default(),
+        }
+    }
+
+    /// Disables (or re-enables) thread spawning: partitions run inline
+    /// one after another with identical accounting. Benches use this
+    /// to measure the partition-limited critical path on hosts with
+    /// fewer cores than workers.
+    pub fn with_spawn_threads(mut self, spawn_threads: bool) -> IngestPool {
+        self.spawn_threads = spawn_threads;
+        self
+    }
+
+    /// Overrides the group-commit policy installed for the commit
+    /// stage (the prior policy is restored — and flushed — when the
+    /// batch ends).
+    pub fn with_commit_policy(mut self, policy: GroupCommitPolicy) -> IngestPool {
+        self.commit_policy = policy;
+        self
+    }
+
+    /// The configured number of annotation workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Ingests a batch of uploads. Receipts come back in
+    /// capture-timestamp order; failures keep their index into the
+    /// input `uploads` so callers (the deferred queue) can re-enqueue
+    /// exactly the items that failed.
+    ///
+    /// Traced as an `ingest` root span with `ingest.prepare` (staging
+    /// plus the annotation fan-out) and `ingest.commit` children;
+    /// every item still counts toward the `upload.accepted` /
+    /// `upload.errors` counters, and `ingest.pool.workers` /
+    /// `ingest.pool.depth` gauges record the batch shape.
+    pub fn ingest(&self, platform: &mut Platform, uploads: Vec<Upload>) -> IngestReport {
+        let mut report = IngestReport::default();
+        if uploads.is_empty() {
+            return report;
+        }
+        let metrics = platform.obs().metrics().clone();
+        metrics.set_gauge("ingest.pool.workers", self.workers as u64);
+        metrics.set_gauge("ingest.pool.depth", uploads.len() as u64);
+        let root = platform.obs().tracer().start("ingest");
+
+        // Prepare: sequential, in capture-timestamp order (stable on
+        // input index for equal timestamps), exactly like flushing the
+        // deferred queue item by item.
+        let prepare = root.child("ingest.prepare");
+        let started = Instant::now();
+        let mut order: Vec<usize> = (0..uploads.len()).collect();
+        order.sort_by_key(|&i| uploads[i].ts);
+        let mut uploads: Vec<Option<Upload>> = uploads.into_iter().map(Some).collect();
+        let mut staged: Vec<(usize, StagedUpload)> = Vec::with_capacity(order.len());
+        for i in order {
+            let upload = uploads[i].take().expect("each index staged once");
+            match platform.stage_upload(upload) {
+                Ok(s) => staged.push((i, s)),
+                Err(e) => report.failures.push((i, e)),
+            }
+        }
+        report.stage = started.elapsed();
+
+        // Annotate: read-only against the pre-batch store, fanned out
+        // across contiguous partitions. Merging in chunk order keeps
+        // the results aligned with `staged`.
+        let annotator = platform.annotator();
+        let store = platform.store();
+        let outcomes = run_partitioned(&staged, self.workers, self.spawn_threads, |chunk| {
+            chunk
+                .iter()
+                .map(|(_, s)| annotator.annotate(store, &s.content_input()))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(staged.len());
+        for outcome in outcomes {
+            report.annotate_busy += outcome.busy;
+            report.annotate_critical = report.annotate_critical.max(outcome.busy);
+            results.extend(outcome.out);
+        }
+        prepare.finish();
+
+        // Commit: sequential, single committer, WAL appends amortized
+        // under the batch group-commit policy. The restore at the end
+        // flushes, so the batch is exactly as durable as the same
+        // uploads issued one by one.
+        let commit_span = root.child("ingest.commit");
+        let started = Instant::now();
+        let prior = platform.swap_group_commit(self.commit_policy);
+        for ((i, staged), result) in staged.into_iter().zip(results) {
+            match platform.commit_staged(staged, result, None) {
+                Ok(receipt) => report.receipts.push(receipt),
+                Err(e) => report.failures.push((i, e)),
+            }
+        }
+        if let Err(e) = platform.restore_group_commit(prior) {
+            report.flush_error = Some(e);
+        }
+        report.commit = started.elapsed();
+        commit_span.finish();
+        root.finish();
+
+        report.failures.sort_by_key(|(i, _)| *i);
+        let accepted = report.receipts.len() as u64;
+        let errors = report.failures.len() as u64;
+        if accepted > 0 {
+            metrics.add("upload.accepted", accepted);
+        }
+        if errors > 0 {
+            metrics.add("upload.errors", errors);
+        }
+        report
+    }
+
+    /// Runs legacy batch annotation ([`Platform::annotate_legacy`])
+    /// for `pids` with the annotation stage fanned out, committing in
+    /// input order under the batch group-commit policy. Feeds
+    /// [`crate::batch::BatchAnnotator`].
+    ///
+    /// Returns the durability-barrier error, if the end-of-batch WAL
+    /// flush failed; per-picture failures are survived and counted.
+    pub fn annotate_legacy_batch(
+        &self,
+        platform: &mut Platform,
+        pids: &[i64],
+    ) -> Result<LegacyBatchOutcome, PlatformError> {
+        let mut outcome = LegacyBatchOutcome::default();
+        if pids.is_empty() {
+            return Ok(outcome);
+        }
+        let root = platform.obs().tracer().start("ingest");
+
+        let prepare = root.child("ingest.prepare");
+        let mut staged: Vec<StagedLegacy> = Vec::with_capacity(pids.len());
+        for &pid in pids {
+            match platform.stage_legacy(pid) {
+                Ok(s) => staged.push(s),
+                Err(_) => outcome.failed += 1,
+            }
+        }
+        let annotator = platform.annotator();
+        let store = platform.store();
+        let outcomes = run_partitioned(&staged, self.workers, self.spawn_threads, |chunk| {
+            chunk
+                .iter()
+                .map(|s| annotator.annotate(store, &s.content_input()))
+                .collect()
+        });
+        let results: Vec<_> = outcomes.into_iter().flat_map(|o| o.out).collect();
+        prepare.finish();
+
+        let commit_span = root.child("ingest.commit");
+        let prior = platform.swap_group_commit(self.commit_policy);
+        for (staged, result) in staged.into_iter().zip(results) {
+            match platform.commit_legacy(staged.pid(), result) {
+                Ok(fired) => {
+                    outcome.processed += 1;
+                    outcome.annotations_fired += fired;
+                    if fired > 0 {
+                        outcome.with_annotations += 1;
+                    }
+                }
+                Err(_) => outcome.failed += 1,
+            }
+        }
+        let restored = platform.restore_group_commit(prior);
+        commit_span.finish();
+        root.finish();
+        restored?;
+        Ok(outcome)
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`mashup`] — the "About" mashup (§4.1): city abstract, nearby
 //!   restaurants, tourism attractions and related UGC;
 //! * [`batch`] — batch re-annotation of legacy content (§6);
+//! * [`ingest`] — the concurrent annotation pipeline: batched ingest
+//!   over the prepare/annotate/commit split, fanning the read-only
+//!   annotation stage across worker threads while staying
+//!   byte-identical to sequential ingest;
 //! * [`metrics`] — precision/recall/F1 scoring of annotations against
 //!   workload ground truth (experiments E3/E4/E8), plus the
 //!   operational [`metrics::OpsSnapshot`] over breakers, retries and
@@ -34,6 +38,7 @@ pub mod batch;
 pub mod deferred;
 pub mod error;
 pub mod federation;
+pub mod ingest;
 pub mod mashup;
 pub mod metrics;
 pub mod platform;
@@ -42,6 +47,7 @@ pub mod web;
 
 pub use albums::AlbumSpec;
 pub use error::PlatformError;
+pub use ingest::{IngestPool, IngestReport};
 pub use mashup::{MashupConfig, MashupResult, MashupService};
 pub use platform::{Platform, Upload};
 pub use search::SearchService;

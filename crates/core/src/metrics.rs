@@ -11,6 +11,7 @@ use std::fmt;
 
 use lodify_context::Gazetteer;
 use lodify_durability::DurabilityStats;
+use lodify_lod::cache::SemanticCacheStats;
 use lodify_lod::datasets::{dbp, gnr};
 use lodify_lod::reannotate::ReAnnotator;
 use lodify_lod::SemanticBroker;
@@ -201,19 +202,25 @@ pub struct OpsSnapshot {
     /// Materialized-album cache counters (hits, misses, epoch-driven
     /// invalidations), when the platform serves cached views.
     pub album_cache: Option<AlbumCacheStats>,
+    /// Semantic-resolution cache counters (hits, misses, epoch-driven
+    /// invalidations, LRU evictions), when the broker memoizes
+    /// per-term fan-outs.
+    pub semantic_cache: Option<SemanticCacheStats>,
 }
 
 impl OpsSnapshot {
     /// Collects the current state; `requeue` / `federation` /
-    /// `durability` / `album_cache` are optional because a deployment
-    /// may run only part of the pipeline (an ephemeral store has no
-    /// journal, a headless ingest run serves no album views).
+    /// `durability` / `album_cache` / `semantic_cache` are optional
+    /// because a deployment may run only part of the pipeline (an
+    /// ephemeral store has no journal, a headless ingest run serves no
+    /// album views, a cache-less broker memoizes nothing).
     pub fn collect(
         broker: &SemanticBroker,
         requeue: Option<&ReAnnotator>,
         federation: Option<&Federation>,
         durability: Option<DurabilityStats>,
         album_cache: Option<AlbumCacheStats>,
+        semantic_cache: Option<SemanticCacheStats>,
     ) -> OpsSnapshot {
         let mut snapshot = OpsSnapshot::default();
         let telemetry = broker.telemetry();
@@ -248,6 +255,7 @@ impl OpsSnapshot {
         }
         snapshot.durability = durability;
         snapshot.album_cache = album_cache;
+        snapshot.semantic_cache = semantic_cache;
         snapshot
     }
 
@@ -324,6 +332,13 @@ impl fmt::Display for OpsSnapshot {
                 f,
                 "\n  album cache hits={} misses={} invalidations={} entries={}",
                 c.hits, c.misses, c.invalidations, c.entries
+            )?;
+        }
+        if let Some(c) = &self.semantic_cache {
+            write!(
+                f,
+                "\n  semantic cache hits={} misses={} invalidations={} evictions={} entries={}",
+                c.hits, c.misses, c.invalidations, c.evictions, c.entries
             )?;
         }
         Ok(())
@@ -444,10 +459,10 @@ mod tests {
             Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
             Box::new(GeonamesResolver),
         ])
-        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+        .with_resilience(clock, BrokerResilienceConfig::default());
 
         // Healthy at rest.
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None);
         assert!(!snapshot.is_degraded());
         assert_eq!(snapshot.resolvers.len(), 2);
 
@@ -456,7 +471,7 @@ mod tests {
         for _ in 0..4 {
             broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
         }
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None);
         assert!(snapshot.is_degraded());
         let dbp_ops = snapshot
             .resolvers
@@ -487,7 +502,7 @@ mod tests {
             invalidations: 1,
             entries: 2,
         };
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, Some(stats));
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, Some(stats), None);
         assert_eq!(snapshot.album_cache, Some(stats));
         let rendered = snapshot.to_string();
         assert!(

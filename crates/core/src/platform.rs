@@ -2,15 +2,17 @@
 //! triple tags and automatic annotation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use lodify_context::{ContextPlatform, ContextSnapshot};
 use lodify_d2r::defaults::coppermine_mapping;
 use lodify_d2r::{dump, Mapping};
 use lodify_durability::{
-    DurabilityOptions, DurabilityStats, DurableStore, RecoveryReport, Storage,
+    DurabilityOptions, DurabilityStats, DurableStore, GroupCommitPolicy, RecoveryReport, Storage,
 };
 use lodify_lod::annotator::{Annotator, ContentInput, PoiRefInput};
+use lodify_lod::cache::{SemanticCache, SemanticCacheStats};
 use lodify_lod::datasets::{load_lod, GRAPH_UGC};
 use lodify_lod::AnnotationResult;
 use lodify_obs::Obs;
@@ -20,7 +22,7 @@ use lodify_relational::{coppermine as cpg, Database, SqlValue};
 use lodify_resilience::FaultPlan;
 use lodify_store::{GraphId, Store};
 use lodify_tripletags::context_tags::tags_for;
-use lodify_tripletags::{Tag, TagIndex};
+use lodify_tripletags::{Tag, TagIndex, TripleTag};
 
 use crate::albums::{AlbumCache, AlbumCacheStats, AlbumSpec};
 use crate::error::PlatformError;
@@ -60,7 +62,7 @@ pub struct Upload {
 }
 
 /// Per-upload processing summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UploadReceipt {
     /// The new picture id.
     pub pid: i64,
@@ -72,6 +74,69 @@ pub struct UploadReceipt {
     pub context_tags: usize,
     /// Term annotations that fired.
     pub auto_annotations: usize,
+}
+
+/// An upload that has passed the *prepare* stage: validated, context
+/// analyzed, and ready for read-only annotation followed by the short
+/// commit stage. Produced by [`Platform::stage_upload`], consumed by
+/// [`Platform::commit_staged`]; [`crate::ingest::IngestPool`] runs the
+/// annotation of many staged uploads concurrently because that stage
+/// only reads the store.
+#[derive(Debug, Clone)]
+pub struct StagedUpload {
+    pub(crate) upload: Upload,
+    pub(crate) aid: i64,
+    pub(crate) snapshot: ContextSnapshot,
+    pub(crate) context_tags: Vec<TripleTag>,
+    pub(crate) poi_input: Option<PoiRefInput>,
+}
+
+impl StagedUpload {
+    /// The annotation-pipeline input for this staged upload. Borrows
+    /// only the staged data, so annotation can run against a shared
+    /// store reference on any thread.
+    pub(crate) fn content_input(&self) -> ContentInput<'_> {
+        ContentInput {
+            title: &self.upload.title,
+            tags: &self.upload.tags,
+            context: Some(&self.snapshot),
+            poi_ref: self.poi_input.clone(),
+        }
+    }
+
+    /// Capture timestamp (commit order of batched ingest).
+    pub fn ts(&self) -> i64 {
+        self.upload.ts
+    }
+}
+
+/// A legacy picture staged for batch (re-)annotation: everything the
+/// read-only annotation stage needs, extracted from relational state
+/// by [`Platform::stage_legacy`].
+#[derive(Debug, Clone)]
+pub struct StagedLegacy {
+    pub(crate) pid: i64,
+    pub(crate) title: String,
+    pub(crate) tags: Vec<String>,
+    pub(crate) snapshot: Option<ContextSnapshot>,
+    pub(crate) poi_input: Option<PoiRefInput>,
+}
+
+impl StagedLegacy {
+    /// The annotation-pipeline input for this staged picture.
+    pub(crate) fn content_input(&self) -> ContentInput<'_> {
+        ContentInput {
+            title: &self.title,
+            tags: &self.tags,
+            context: self.snapshot.as_ref(),
+            poi_ref: self.poi_input.clone(),
+        }
+    }
+
+    /// The picture id being (re-)annotated.
+    pub fn pid(&self) -> i64 {
+        self.pid
+    }
 }
 
 /// The LODified platform.
@@ -90,6 +155,7 @@ pub struct Platform {
     next_poi_ref: i64,
     fault_plan: Option<FaultPlan>,
     album_cache: AlbumCache,
+    semantic_cache: Arc<SemanticCache>,
     obs: Obs,
 }
 
@@ -210,6 +276,7 @@ impl Platform {
             next_poi_ref,
             fault_plan: None,
             album_cache: AlbumCache::new(),
+            semantic_cache: Arc::new(SemanticCache::new()),
             obs: Obs::new(),
         };
         platform.wire_observability();
@@ -219,9 +286,12 @@ impl Platform {
 
     /// Forwards the current observability bundle's metrics registry to
     /// the layers that record their own histograms (annotator + broker,
-    /// durability engine).
+    /// durability engine), and the platform's semantic-resolution
+    /// cache to the broker.
     fn wire_observability(&mut self) {
         self.annotator.set_observability(self.obs.metrics().clone());
+        self.annotator
+            .set_semantic_cache(self.semantic_cache.clone());
         self.store.set_observability(self.obs.metrics().clone());
     }
 
@@ -295,13 +365,19 @@ impl Platform {
         self.fault_plan.as_ref()
     }
 
-    /// Processes one upload end-to-end: relational insert, context
-    /// tagging, incremental semanticization, automatic annotation.
+    /// Processes one upload end-to-end through the prepare/commit
+    /// split: validation and context analysis
+    /// ([`Platform::stage_upload`]), read-only semantic annotation
+    /// ([`Platform::annotate_staged`]), then the short commit stage
+    /// ([`Platform::commit_staged`]) that alone mutates the relational
+    /// base and the store.
     ///
     /// The whole pipeline runs under an `upload` trace with one child
-    /// span per stage (`upload.relational`, `upload.semanticize`,
-    /// `upload.context`, `upload.annotate`, `upload.record`); span
-    /// durations feed same-named histograms in the metrics registry.
+    /// span per stage (`upload.context`, `upload.annotate`,
+    /// `upload.relational`, `upload.semanticize`, `upload.record`);
+    /// span durations feed same-named histograms in the metrics
+    /// registry. Batched ingest ([`crate::ingest::IngestPool`]) runs
+    /// the same three stages, annotating many uploads concurrently.
     pub fn upload(&mut self, upload: Upload) -> Result<UploadReceipt, PlatformError> {
         let root = self.obs.tracer().start("upload");
         let result = self.upload_staged(upload, &root);
@@ -318,6 +394,24 @@ impl Platform {
         upload: Upload,
         root: &lodify_obs::Span,
     ) -> Result<UploadReceipt, PlatformError> {
+        let context_span = root.child("upload.context");
+        let staged = self.stage_upload(upload);
+        context_span.finish();
+        let staged = staged?;
+
+        let annotate = root.child("upload.annotate");
+        let result = self.annotate_staged(&staged);
+        annotate.finish();
+
+        self.commit_staged(staged, result, Some(root))
+    }
+
+    /// **Prepare stage.** Validates the upload, updates the uploader's
+    /// last-seen position and derives the context snapshot and triple
+    /// tags (§1.1). No store write happens here; the returned
+    /// [`StagedUpload`] carries everything the read-only annotation
+    /// stage and the commit stage need.
+    pub fn stage_upload(&mut self, upload: Upload) -> Result<StagedUpload, PlatformError> {
         if let Some(plan) = &self.fault_plan {
             plan.check("platform.upload")
                 .map_err(|e| PlatformError::Unavailable(e.to_string()))?;
@@ -339,7 +433,66 @@ impl Platform {
             .next()
             .ok_or_else(|| PlatformError::NotFound(format!("album for user {}", upload.user_id)))?;
 
-        let relational = root.child("upload.relational");
+        // Context analysis — including the buddy model's last-seen
+        // position, which is why staging is sequential (in capture
+        // order) even when annotation then runs concurrently.
+        if let Some(point) = upload.gps {
+            self.context
+                .buddies_mut()
+                .update_position(upload.user_id as u64, point);
+        }
+        let snapshot = self
+            .context
+            .contextualize(upload.user_id as u64, upload.ts, upload.gps);
+        let context_tags = tags_for(&snapshot);
+        let poi_input = upload
+            .poi
+            .as_ref()
+            .map(|(name, category, point)| PoiRefInput {
+                name: name.clone(),
+                category: category.clone(),
+                point: *point,
+            });
+        Ok(StagedUpload {
+            upload,
+            aid,
+            snapshot,
+            context_tags,
+            poi_input,
+        })
+    }
+
+    /// **Annotation stage.** Runs the full semantic-annotation
+    /// pipeline (§2.2) for a staged upload against the current store
+    /// snapshot. Takes `&self` and only reads — safe to fan out
+    /// across threads for a batch of staged uploads.
+    pub fn annotate_staged(&self, staged: &StagedUpload) -> AnnotationResult {
+        self.annotator
+            .annotate(self.store.store(), &staged.content_input())
+    }
+
+    /// **Commit stage.** The only stage that takes exclusive access:
+    /// allocates the pid, inserts the relational rows, semanticizes
+    /// them into the UGC graph (§2.1), indexes the tags and records
+    /// the annotation result. Store writes are ordered exactly as the
+    /// serial path always ordered them (POI triples, picture triples,
+    /// annotation triples), so batched and sequential ingest journal
+    /// byte-identical WAL streams.
+    pub fn commit_staged(
+        &mut self,
+        staged: StagedUpload,
+        result: AnnotationResult,
+        root: Option<&lodify_obs::Span>,
+    ) -> Result<UploadReceipt, PlatformError> {
+        let StagedUpload {
+            upload,
+            aid,
+            snapshot: _,
+            context_tags,
+            poi_input: _,
+        } = staged;
+
+        let relational = root.map(|r| r.child("upload.relational"));
         let pid = self.next_pid;
         self.next_pid += 1;
         let (lon, lat) = match upload.gps {
@@ -377,54 +530,34 @@ impl Platform {
             )?;
             poi_ref_id = Some(ref_id);
         }
-        relational.finish();
+        if let Some(span) = relational {
+            span.finish();
+        }
 
         // Incremental semanticization of the new rows (§2.1).
-        let semanticize = root.child("upload.semanticize");
-        let mut poi_input: Option<PoiRefInput> = None;
+        let semanticize = root.map(|r| r.child("upload.semanticize"));
         if let Some(ref_id) = poi_ref_id {
             let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
             self.store.insert_all(&poi_triples, self.ugc_graph)?;
-            let (name, category, point) = upload.poi.as_ref().expect("poi row was just inserted");
-            poi_input = Some(PoiRefInput {
-                name: name.clone(),
-                category: category.clone(),
-                point: *point,
-            });
         }
         let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
         let mut triples_added = self.store.insert_all(&triples, self.ugc_graph)?;
-        semanticize.finish();
-
-        // Context tagging (§1.1) — both the triple-tag index and the
-        // buddy model's last-seen position.
-        let context_span = root.child("upload.context");
-        if let Some(point) = upload.gps {
-            self.context
-                .buddies_mut()
-                .update_position(upload.user_id as u64, point);
+        if let Some(span) = semanticize {
+            span.finish();
         }
-        let snapshot = self
-            .context
-            .contextualize(upload.user_id as u64, upload.ts, upload.gps);
-        let context_tags = tags_for(&snapshot);
+
         for keyword in &upload.tags {
             self.tags.insert(pid, Tag::Plain(keyword.clone()));
         }
         for tag in &context_tags {
             self.tags.insert(pid, Tag::Triple(tag.clone()));
         }
-        context_span.finish();
 
-        // Automatic semantic annotation (§2.2).
-        let annotate = root.child("upload.annotate");
-        let result =
-            self.annotate_picture(pid, &upload.title, &upload.tags, Some(&snapshot), poi_input);
-        annotate.finish();
-
-        let record = root.child("upload.record");
+        let record = root.map(|r| r.child("upload.record"));
         triples_added += self.record_annotation(pid, &result)?;
-        record.finish();
+        if let Some(span) = record {
+            span.finish();
+        }
 
         let auto_annotations = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
@@ -436,23 +569,6 @@ impl Platform {
             context_tags: context_tags.len(),
             auto_annotations,
         })
-    }
-
-    fn annotate_picture(
-        &self,
-        _pid: i64,
-        title: &str,
-        tags: &[String],
-        snapshot: Option<&ContextSnapshot>,
-        poi_ref: Option<PoiRefInput>,
-    ) -> AnnotationResult {
-        let input = ContentInput {
-            title,
-            tags,
-            context: snapshot,
-            poi_ref,
-        };
-        self.annotator.annotate(self.store.store(), &input)
     }
 
     /// Writes an annotation result into the UGC graph; returns the
@@ -498,8 +614,20 @@ impl Platform {
     }
 
     /// Annotates one legacy picture (used by the batch job). Returns
-    /// the number of term annotations that fired.
+    /// the number of term annotations that fired. Equivalent to
+    /// [`Platform::stage_legacy`], [`Platform::annotate_legacy_staged`],
+    /// and [`Platform::commit_legacy`], which the batched path runs
+    /// with the annotation stage fanned out across workers.
     pub fn annotate_legacy(&mut self, pid: i64) -> Result<usize, PlatformError> {
+        let staged = self.stage_legacy(pid)?;
+        let result = self.annotate_legacy_staged(&staged);
+        self.commit_legacy(pid, result)
+    }
+
+    /// **Prepare stage** of legacy batch annotation: extracts the
+    /// picture's title, tags, context snapshot and POI reference from
+    /// relational state. Read-only.
+    pub fn stage_legacy(&self, pid: i64) -> Result<StagedLegacy, PlatformError> {
         let pictures = self.db.table(cpg::PICTURES)?;
         let row = pictures
             .get(pid)
@@ -530,7 +658,30 @@ impl Platform {
                 })
             });
         let snapshot = gps.map(|p| self.context.contextualize(owner, ts, Some(p)));
-        let result = self.annotate_picture(pid, &title, &tags, snapshot.as_ref(), poi_input);
+        Ok(StagedLegacy {
+            pid,
+            title,
+            tags,
+            snapshot,
+            poi_input,
+        })
+    }
+
+    /// **Annotation stage** of legacy batch annotation: read-only, so
+    /// a batch of staged pictures can be annotated concurrently.
+    pub fn annotate_legacy_staged(&self, staged: &StagedLegacy) -> AnnotationResult {
+        self.annotator
+            .annotate(self.store.store(), &staged.content_input())
+    }
+
+    /// **Commit stage** of legacy batch annotation: records the
+    /// annotation triples into the UGC graph and stores the result.
+    /// Returns the number of term annotations that fired.
+    pub fn commit_legacy(
+        &mut self,
+        pid: i64,
+        result: AnnotationResult,
+    ) -> Result<usize, PlatformError> {
         self.record_annotation(pid, &result)?;
         let fired = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
@@ -612,10 +763,47 @@ impl Platform {
     }
 
     /// Replaces the annotator (ablations and fault-injection tests).
-    /// The replacement inherits the platform's metrics registry.
+    /// The replacement inherits the platform's metrics registry and
+    /// semantic-resolution cache.
     pub fn set_annotator(&mut self, annotator: Annotator) {
         self.annotator = annotator;
         self.annotator.set_observability(self.obs.metrics().clone());
+        self.annotator
+            .set_semantic_cache(self.semantic_cache.clone());
+    }
+
+    /// The annotator (read-only; the ingest pool shares it across
+    /// prepare-stage workers).
+    pub(crate) fn annotator(&self) -> &Annotator {
+        &self.annotator
+    }
+
+    /// Swaps the durability engine's group-commit policy for the
+    /// batched-ingest commit stage; returns the prior policy to hand
+    /// back to [`Platform::restore_group_commit`]. `None` when the
+    /// store is ephemeral (nothing to restore).
+    pub(crate) fn swap_group_commit(
+        &mut self,
+        policy: GroupCommitPolicy,
+    ) -> Option<GroupCommitPolicy> {
+        let prior = self.store.group_commit();
+        self.store.set_group_commit(policy);
+        prior
+    }
+
+    /// Restores a group-commit policy swapped out by
+    /// [`Platform::swap_group_commit`] and runs the durability barrier,
+    /// so a batch is exactly as durable at its end as the same
+    /// mutations issued one by one.
+    pub(crate) fn restore_group_commit(
+        &mut self,
+        prior: Option<GroupCommitPolicy>,
+    ) -> Result<(), PlatformError> {
+        if let Some(prior) = prior {
+            self.store.set_group_commit(prior);
+            self.store.flush()?;
+        }
+        Ok(())
     }
 
     /// Workload ground truth (experiment scoring).
@@ -735,10 +923,22 @@ impl Platform {
         self.album_cache.stats()
     }
 
+    /// The semantic-resolution cache shared with the broker (counters,
+    /// manual clear).
+    pub fn semantic_cache(&self) -> &SemanticCache {
+        &self.semantic_cache
+    }
+
+    /// Semantic-cache counter snapshot (for [`crate::metrics`]).
+    pub fn semantic_cache_stats(&self) -> SemanticCacheStats {
+        self.semantic_cache.stats()
+    }
+
     /// Collects the platform-local operational snapshot: broker and
-    /// breaker state, durability counters, album-cache counters.
-    /// Callers holding a re-annotation queue or a federation wire
-    /// those in via [`crate::metrics::OpsSnapshot::collect`] directly.
+    /// breaker state, durability counters, album-cache and
+    /// semantic-cache counters. Callers holding a re-annotation queue
+    /// or a federation wire those in via
+    /// [`crate::metrics::OpsSnapshot::collect`] directly.
     pub fn ops_snapshot(&self) -> crate::metrics::OpsSnapshot {
         crate::metrics::OpsSnapshot::collect(
             self.annotator.broker(),
@@ -746,18 +946,26 @@ impl Platform {
             None,
             self.durability(),
             Some(self.album_cache_stats()),
+            Some(self.semantic_cache_stats()),
         )
     }
 
     /// Refreshes registry gauges from current platform state (store
-    /// size, WAL depth, album-cache entries). Called by the web layer
-    /// before rendering `/metrics` so point-in-time values are current
-    /// without per-mutation bookkeeping.
+    /// size, WAL depth, album-cache entries, semantic-cache state).
+    /// Called by the web layer before rendering `/metrics` so
+    /// point-in-time values are current without per-mutation
+    /// bookkeeping.
     pub fn publish_gauges(&self) {
         let metrics = self.obs.metrics();
         metrics.set_gauge("store.triples", self.store.store().len() as u64);
         let cache = self.album_cache_stats();
         metrics.set_gauge("album.cache.entries", cache.entries as u64);
+        let semantic = self.semantic_cache_stats();
+        metrics.set_gauge("semantic.cache.entries", semantic.entries as u64);
+        metrics.set_gauge(
+            "semantic.cache.hit.ratio.permille",
+            (semantic.hit_ratio() * 1000.0) as u64,
+        );
         if let Some(stats) = self.durability() {
             metrics.set_gauge("wal.pending", stats.wal_pending as u64);
             metrics.set_gauge("wal.records", stats.wal_records);

@@ -970,7 +970,7 @@ mod tests {
             Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
             Box::new(GeonamesResolver),
         ])
-        .with_resilience(clock.clone(), BrokerResilienceConfig::default());
+        .with_resilience(clock, BrokerResilienceConfig::default());
         // Trip the dbpedia breaker before installing the annotator.
         let scratch = lodify_store::Store::new();
         for _ in 0..4 {

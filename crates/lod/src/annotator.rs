@@ -30,7 +30,7 @@ use crate::filter::{FilterOutcome, SemanticFilter};
 use crate::resolvers::{Candidate, Resolver, SindiceResolver, SourceGraph};
 
 /// Annotation of one extracted term.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TermAnnotation {
     /// The term.
     pub term: String,
@@ -46,7 +46,7 @@ pub struct TermAnnotation {
 
 /// External-identity candidates for one nearby buddy (only populated
 /// when the privacy switch is ON).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuddyExternalLink {
     /// The buddy's full name as queried.
     pub full_name: String,
@@ -56,7 +56,7 @@ pub struct BuddyExternalLink {
 }
 
 /// The complete annotation result for one content item.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnotationResult {
     /// Detected title language.
     pub language: Option<&'static str>,
@@ -175,6 +175,13 @@ impl Annotator {
     pub fn set_observability(&mut self, metrics: Metrics) {
         self.broker.set_observability(metrics.clone());
         self.observability = Some(metrics);
+    }
+
+    /// Installs a semantic-resolution cache on the backing broker
+    /// (see [`crate::cache::SemanticCache`]): repeated terms skip the
+    /// resolver fan-out until the store epoch changes.
+    pub fn set_semantic_cache(&mut self, cache: std::sync::Arc<crate::cache::SemanticCache>) {
+        self.broker.set_cache(cache);
     }
 
     /// Times `f` into the named histogram when observability is on.

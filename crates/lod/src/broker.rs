@@ -7,7 +7,7 @@
 //! rely on full-text based resolvers such as Evri and Zemanta to
 //! derive additional candidates." (§2.2.2)
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lodify_obs::Metrics;
@@ -16,6 +16,7 @@ use lodify_resilience::{
 };
 use lodify_store::Store;
 
+use crate::cache::SemanticCache;
 use crate::resolvers::{
     Candidate, DbpediaResolver, EvriResolver, GeonamesResolver, Resolver, ResolverError,
     SindiceResolver, ZemantaResolver,
@@ -79,6 +80,9 @@ pub struct SemanticBroker {
     /// Precomputed `broker.call.<name>` histogram keys, one per
     /// resolver — the call hot path must not allocate per timing.
     call_metric_names: Vec<String>,
+    /// Optional memoization of per-term fan-outs (off by default so
+    /// resolver-call telemetry stays exact for tests that count calls).
+    cache: Option<Arc<SemanticCache>>,
 }
 
 impl SemanticBroker {
@@ -105,7 +109,28 @@ impl SemanticBroker {
             resilience: None,
             observability: None,
             call_metric_names,
+            cache: None,
         }
+    }
+
+    /// Installs a semantic-resolution cache: per-term fan-outs are
+    /// memoized by `(lowercased term, lang)` and served back as long
+    /// as the store epoch they were resolved against is unchanged.
+    /// Degraded resolutions (any failure or open breaker during the
+    /// term's fan-out) are never admitted.
+    pub fn set_cache(&mut self, cache: Arc<SemanticCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Builder form of [`SemanticBroker::set_cache`].
+    pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> SemanticBroker {
+        self.set_cache(cache);
+        self
+    }
+
+    /// The installed semantic-resolution cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SemanticCache>> {
+        self.cache.as_ref()
     }
 
     /// Attaches a metrics registry: every guarded resolver call (with
@@ -169,6 +194,16 @@ impl SemanticBroker {
     /// resilience).
     pub fn clock(&self) -> Option<&VirtualClock> {
         self.resilience.as_ref().map(|r| &r.clock)
+    }
+
+    /// Mirrors a cache hit/miss into the metrics registry, when one is
+    /// attached (the cache keeps its own exact counters regardless).
+    fn count_cache(&self, name: &str) {
+        if let Some(metrics) = &self.observability {
+            if metrics.is_enabled() {
+                metrics.incr(name);
+            }
+        }
     }
 
     /// One guarded resolver call, timed into `broker.call.<name>` when
@@ -282,22 +317,45 @@ impl SemanticBroker {
         // below compares against these instead of re-lowercasing the
         // term for every candidate.
         let lowered: Vec<String> = terms.iter().map(|t| t.to_lowercase()).collect();
-        let mut out: Vec<TermCandidates> = terms
-            .iter()
-            .map(|term| {
-                let mut candidates = Vec::new();
-                for idx in 0..self.resolvers.len() {
-                    let mut hits = self.call(idx, &mut failures, &mut unavailable, || {
-                        self.resolvers[idx].resolve_term(store, term, lang)
+        // The cache key includes the store mutation epoch the fan-out
+        // ran against: any store change between resolutions makes every
+        // older entry stale, so candidates never outlive the data they
+        // were derived from.
+        let epoch = store.epoch();
+        let mut out: Vec<TermCandidates> = Vec::with_capacity(terms.len());
+        for (term, term_lower) in terms.iter().zip(&lowered) {
+            if let Some(cache) = &self.cache {
+                if let Some(candidates) = cache.lookup(term_lower, lang, epoch) {
+                    self.count_cache("semantic.cache.hits");
+                    out.push(TermCandidates {
+                        term: term.clone(),
+                        candidates,
                     });
-                    candidates.append(&mut hits);
+                    continue;
                 }
-                TermCandidates {
-                    term: term.clone(),
-                    candidates,
+                self.count_cache("semantic.cache.misses");
+            }
+            let failures_before = failures.len();
+            let mut candidates = Vec::new();
+            for idx in 0..self.resolvers.len() {
+                let mut hits = self.call(idx, &mut failures, &mut unavailable, || {
+                    self.resolvers[idx].resolve_term(store, term, lang)
+                });
+                candidates.append(&mut hits);
+            }
+            if let Some(cache) = &self.cache {
+                // Only complete fan-outs are admitted: a term resolved
+                // while a resolver was failing or skipped would pin its
+                // degraded candidate set past the outage.
+                if failures.len() == failures_before && unavailable.is_empty() {
+                    cache.admit(term_lower.clone(), lang, epoch, candidates.clone());
                 }
-            })
-            .collect();
+            }
+            out.push(TermCandidates {
+                term: term.clone(),
+                candidates,
+            });
+        }
 
         let mut fulltext_unattached = 0;
         if !title.is_empty() {
@@ -450,11 +508,11 @@ mod tests {
             .outage("resolver:dbpedia", 0, u64::MAX)
             .build(clock.clone());
         let broker = SemanticBroker::new(vec![
-            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan.clone())),
+            Box::new(FaultInjectedResolver::new(DbpediaResolver, plan)),
             Box::new(GeonamesResolver),
         ])
         .with_resilience(
-            clock.clone(),
+            clock,
             BrokerResilienceConfig {
                 retry: RetryPolicy {
                     jitter: 0.0,
@@ -500,6 +558,99 @@ mod tests {
                 .counter("broker.retries.geonames")
                 >= 1
         );
+    }
+
+    #[test]
+    fn cached_resolution_matches_cold_and_skips_resolver_calls() {
+        let s = store();
+        let cache = Arc::new(SemanticCache::new());
+        let clock = VirtualClock::new();
+        let broker =
+            SemanticBroker::new(vec![Box::new(DbpediaResolver), Box::new(GeonamesResolver)])
+                .with_resilience(clock, BrokerResilienceConfig::default())
+                .with_cache(cache.clone());
+        let terms: Vec<String> = vec!["Mole Antonelliana".into(), "torino".into()];
+        let cold = broker.resolve(&s, &terms, "", Some("it"));
+        let telemetry = broker.telemetry().unwrap();
+        let calls_cold =
+            telemetry.counter("broker.calls.dbpedia") + telemetry.counter("broker.calls.geonames");
+        let warm = broker.resolve(&s, &terms, "", Some("it"));
+        let calls_warm =
+            telemetry.counter("broker.calls.dbpedia") + telemetry.counter("broker.calls.geonames");
+        assert_eq!(
+            calls_cold, calls_warm,
+            "warm resolve made no resolver calls"
+        );
+        for (c, w) in cold.terms.iter().zip(&warm.terms) {
+            assert_eq!(c.term, w.term);
+            assert_eq!(c.candidates, w.candidates, "warm candidates equal cold");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+    }
+
+    #[test]
+    fn store_mutation_invalidates_cached_resolutions() {
+        use lodify_rdf::{ns, Term, Triple};
+        let mut s = store();
+        let cache = Arc::new(SemanticCache::new());
+        let broker = SemanticBroker::standard().with_cache(cache.clone());
+        broker.resolve(&s, &["torino".into()], "", Some("it"));
+        assert_eq!(cache.stats().entries, 1);
+        // Any store mutation bumps the epoch; the next resolve must
+        // re-run the fan-out instead of serving the stale entry.
+        s.insert_default(&Triple::spo(
+            "http://t/new",
+            ns::iri::rdf_type().as_str(),
+            Term::Iri(ns::iri::microblog_post()),
+        ));
+        broker.resolve(&s, &["torino".into()], "", Some("it"));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "stale entry never served");
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1, "re-admitted at the new epoch");
+    }
+
+    #[test]
+    fn outage_resolutions_are_never_cached_and_recovery_warms() {
+        let s = store();
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("resolver:geonames", 0, 5_000)
+            .build(clock.clone());
+        let cache = Arc::new(SemanticCache::new());
+        let broker = SemanticBroker::new(vec![Box::new(FaultInjectedResolver::new(
+            GeonamesResolver,
+            plan,
+        ))])
+        .with_resilience(clock.clone(), BrokerResilienceConfig::default())
+        .with_cache(cache.clone());
+
+        // Mid-outage: the fan-out fails, the breaker opens — nothing
+        // may be admitted, or the degraded answer would outlive the
+        // outage.
+        broker.resolve(&s, &["Torino".into()], "", None);
+        assert_eq!(broker.breaker_state("geonames"), Some(BreakerState::Open));
+        assert_eq!(cache.stats().entries, 0, "failed fan-out not cached");
+        // Breaker-skipped terms are equally uncacheable.
+        broker.resolve(&s, &["Torino".into()], "", None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "skipped fan-out not cached");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+
+        // Outage and cooldown pass: the probe succeeds, the complete
+        // resolution is admitted, and repeats hit without new calls.
+        clock.set(6_000);
+        let recovered = broker.resolve(&s, &["Torino".into()], "", None);
+        assert!(!recovered.terms[0].candidates.is_empty());
+        assert_eq!(cache.stats().entries, 1);
+        let telemetry = broker.telemetry().unwrap();
+        let calls = telemetry.counter("broker.calls.geonames");
+        let warm = broker.resolve(&s, &["Torino".into()], "", None);
+        assert_eq!(telemetry.counter("broker.calls.geonames"), calls);
+        assert_eq!(warm.terms[0].candidates, recovered.terms[0].candidates);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

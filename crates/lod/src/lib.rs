@@ -21,6 +21,9 @@
 //! * [`broker`] — the semantic brokering component that fans a term
 //!   list out to every resolver and collects candidates, surviving
 //!   individual resolver failures;
+//! * [`cache`] — a sharded LRU memoizing per-term broker resolutions,
+//!   invalidated by store-epoch mismatch, so the repeat-heavy upload
+//!   workload (same cities, POIs, friends) skips resolver fan-out;
 //! * [`filter`] — the semantic filtering/disambiguation step: graph
 //!   priority (Geonames > DBpedia > Evri, everything else discarded),
 //!   per-ontology validation, the Jaro–Winkler ≥ 0.8 rule, and the
@@ -33,6 +36,7 @@
 
 pub mod annotator;
 pub mod broker;
+pub mod cache;
 pub mod datasets;
 pub mod filter;
 pub mod reannotate;
@@ -40,6 +44,7 @@ pub mod resolvers;
 
 pub use annotator::{AnnotationResult, Annotator, ContentInput, PoiRefInput, TermAnnotation};
 pub use broker::{BrokerOutput, BrokerResilienceConfig, SemanticBroker};
+pub use cache::{SemanticCache, SemanticCacheStats};
 pub use filter::{FilterConfig, SemanticFilter};
 pub use reannotate::{OwnedContent, ReAnnotator};
 pub use resolvers::{Candidate, Resolver, ResolverError, SourceGraph};

@@ -460,19 +460,36 @@ impl<'s> Evaluator<'s> {
         }
 
         // ORDER BY over the aggregated rows (aliases resolvable).
+        // Key variables resolve to projected-column indices once, not
+        // through a per-row name → term map.
         if !query.order_by.is_empty() {
+            let compiled: Vec<Vec<(&str, Option<usize>)>> = query
+                .order_by
+                .iter()
+                .map(|k| {
+                    let mut names = Vec::new();
+                    k.expr.collect_vars(&mut names);
+                    names.sort_unstable();
+                    names.dedup();
+                    names
+                        .into_iter()
+                        .map(|n| (n, vars.iter().position(|v| v.as_str() == n)))
+                        .collect()
+                })
+                .collect();
             let mut keyed: Vec<(Vec<SortKey>, Vec<Option<Term>>)> = out_rows
                 .into_iter()
                 .map(|row| {
-                    let lookup_map: HashMap<&str, &Term> = vars
-                        .iter()
-                        .zip(row.iter())
-                        .filter_map(|(v, c)| c.as_ref().map(|t| (v.as_str(), t)))
-                        .collect();
                     let keys = query
                         .order_by
                         .iter()
-                        .map(|k| sort_key(&k.expr, &|name: &str| lookup_map.get(name).copied()))
+                        .zip(&compiled)
+                        .map(|(k, cols)| {
+                            let lookup = |name: &str| -> Option<&Term> {
+                                compiled_slot(cols, name).and_then(|c| row[c].as_ref())
+                            };
+                            sort_key(&k.expr, &lookup)
+                        })
                         .collect();
                     (keys, row)
                 })
@@ -661,9 +678,13 @@ impl<'s> Evaluator<'s> {
         reg: &Registry,
         fork: bool,
     ) {
+        // Variable → slot resolution happens once per filter, not once
+        // per row: per-row lookups are a scan of this (tiny) table
+        // instead of a string hash into the registry.
+        let slots = compile_slots(filter, reg);
         let keep_row = |b: &Binding| -> bool {
             let lookup = |name: &str| -> Option<&Term> {
-                reg.slot(name)
+                compiled_slot(&slots, name)
                     .and_then(|slot| b[slot])
                     .and_then(|id| self.store.term_of(id))
             };
@@ -683,8 +704,7 @@ impl<'s> Evaluator<'s> {
                 |chunk| chunk.iter().map(keep_row).collect(),
             );
             self.note_section(&outcomes);
-            let keep: Vec<bool> = outcomes.into_iter().flat_map(|o| o.out).collect();
-            let mut verdicts = keep.into_iter();
+            let mut verdicts = outcomes.into_iter().flat_map(|o| o.out);
             solutions.retain(|_| verdicts.next().expect("one verdict per row"));
         } else {
             solutions.retain(|b| keep_row(b));
@@ -905,17 +925,28 @@ impl<'s> Evaluator<'s> {
         if order_by.is_empty() {
             return Ok(());
         }
-        let mut keyed: Vec<(Vec<SortKey>, Binding)> = std::mem::take(&mut solutions.to_vec())
-            .into_iter()
-            .map(|b| {
-                let lookup = |name: &str| -> Option<&Term> {
-                    reg.slot(name)
-                        .and_then(|slot| b[slot])
-                        .and_then(|id| self.store.term_of(id))
-                };
+        // Slots compile once per key; each binding is *moved* into the
+        // keyed vector (`mem::take` leaves an empty Vec behind) and
+        // moved back after the sort — no full-batch clone.
+        let compiled: Vec<Vec<(&str, Option<usize>)>> = order_by
+            .iter()
+            .map(|k| compile_slots(&k.expr, reg))
+            .collect();
+        let mut keyed: Vec<(Vec<SortKey>, Binding)> = solutions
+            .iter_mut()
+            .map(|slot| {
+                let b = std::mem::take(slot);
                 let keys = order_by
                     .iter()
-                    .map(|k| sort_key(&k.expr, &lookup))
+                    .zip(&compiled)
+                    .map(|(k, slots)| {
+                        let lookup = |name: &str| -> Option<&Term> {
+                            compiled_slot(slots, name)
+                                .and_then(|slot| b[slot])
+                                .and_then(|id| self.store.term_of(id))
+                        };
+                        sort_key(&k.expr, &lookup)
+                    })
                     .collect();
                 (keys, b)
             })
@@ -947,6 +978,26 @@ fn join_subselect(input: Vec<Binding>, sub: &IdResults, reg: &Registry) -> Vec<B
         }
     }
     out
+}
+
+/// Resolves an expression's variables to registry slots **once**, so
+/// row-level lookups scan this (tiny, deduplicated) table instead of
+/// hashing the variable name per row. An expression references one or
+/// two variables in practice; the scan beats the hash.
+fn compile_slots<'a>(expr: &'a Expr, reg: &Registry) -> Vec<(&'a str, Option<usize>)> {
+    let mut names = Vec::new();
+    expr.collect_vars(&mut names);
+    names.sort_unstable();
+    names.dedup();
+    names.into_iter().map(|n| (n, reg.slot(n))).collect()
+}
+
+/// Looks a variable up in a compiled slot table.
+fn compiled_slot(slots: &[(&str, Option<usize>)], name: &str) -> Option<usize> {
+    slots
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, slot)| *slot)
 }
 
 /// Orderable key for ORDER BY: unbound < numbers < strings.

@@ -5,6 +5,7 @@
 //! directions is O(1) amortized.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lodify_rdf::Term;
 
@@ -20,10 +21,13 @@ impl TermId {
 }
 
 /// Bidirectional term ↔ id dictionary.
+///
+/// Both directions share one `Arc<Term>` allocation per distinct
+/// term — interning clones the term once, not once per index.
 #[derive(Debug, Default)]
 pub struct Dict {
-    by_term: HashMap<Term, TermId>,
-    by_id: Vec<Term>,
+    by_term: HashMap<Arc<Term>, TermId>,
+    by_id: Vec<Arc<Term>>,
 }
 
 impl Dict {
@@ -34,12 +38,15 @@ impl Dict {
 
     /// Interns `term`, returning its (possibly pre-existing) id.
     pub fn intern(&mut self, term: &Term) -> TermId {
+        // `Arc<Term>: Borrow<Term>` lets the hit path look up by
+        // reference, allocating nothing.
         if let Some(&id) = self.by_term.get(term) {
             return id;
         }
         let id = TermId(self.by_id.len() as u64);
-        self.by_id.push(term.clone());
-        self.by_term.insert(term.clone(), id);
+        let shared = Arc::new(term.clone());
+        self.by_id.push(Arc::clone(&shared));
+        self.by_term.insert(shared, id);
         id
     }
 
@@ -50,7 +57,7 @@ impl Dict {
 
     /// Resolves an id back to its term.
     pub fn term(&self, id: TermId) -> Option<&Term> {
-        self.by_id.get(id.0 as usize)
+        self.by_id.get(id.0 as usize).map(|t| &**t)
     }
 
     /// Number of distinct interned terms.
@@ -68,7 +75,7 @@ impl Dict {
         self.by_id
             .iter()
             .enumerate()
-            .map(|(i, t)| (TermId(i as u64), t))
+            .map(|(i, t)| (TermId(i as u64), &**t))
     }
 }
 

@@ -103,7 +103,7 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
     assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
 
-    let snapshot = OpsSnapshot::collect(broker, None, None, None, None);
+    let snapshot = OpsSnapshot::collect(broker, None, None, None, None, None);
     assert!(snapshot.is_degraded());
     assert_eq!(
         snapshot
@@ -255,7 +255,14 @@ fn federation_redelivers_in_order_after_node_outage() {
     assert_eq!(summaries, vec!["day one", "day two", "day three"]);
     assert_eq!(fed.undelivered(), 0);
 
-    let snapshot = OpsSnapshot::collect(&SemanticBroker::standard(), None, Some(&fed), None, None);
+    let snapshot = OpsSnapshot::collect(
+        &SemanticBroker::standard(),
+        None,
+        Some(&fed),
+        None,
+        None,
+        None,
+    );
     assert!(!snapshot.is_degraded());
     assert_eq!(snapshot.federation_parked, 3);
     assert_eq!(snapshot.federation_redelivered, 3);
@@ -692,6 +699,7 @@ fn platform_survives_crashed_compaction_and_reports_durability_health() {
         None,
         Some(stats),
         Some(revived.album_cache_stats()),
+        None,
     );
     let rendered = snapshot.to_string();
     assert!(
