@@ -1,0 +1,156 @@
+//! E19 — emission-level replication across home nodes.
+//!
+//! Convergence wall-time as the mesh grows, and the cost of catching
+//! up after a lossy partition: a 50%-drop plan parks and drops half
+//! the shipments, then pump/redeliver rounds repair the difference.
+
+use lodify_bench::{black_box, Criterion};
+use lodify_bench::{criterion, f3, header, row, smoke, time_once};
+use lodify_core::federation::{Acct, Federation};
+use lodify_core::replication::{Replicator, SharePolicy, TransportChaos};
+use lodify_durability::MemStorage;
+use lodify_resilience::{FaultPlan, RetryPolicy, VirtualClock};
+
+/// A hub mesh: node 0 publishes, every other node subscribes to it.
+fn build(n: usize) -> (Federation, Replicator, Acct, VirtualClock) {
+    let mut fed = Federation::new();
+    for i in 0..n {
+        fed.add_node(&format!("node{i}.example")).unwrap();
+    }
+    let author = fed.register_user(0, "oscar", "Oscar W.").unwrap();
+    let clock = VirtualClock::new();
+    let mut repl = Replicator::new();
+    for i in 0..n {
+        repl.attach(&fed, i, Box::new(MemStorage::new())).unwrap();
+    }
+    for i in 1..n {
+        repl.subscribe(0, i, SharePolicy::Everything).unwrap();
+    }
+    (fed, repl, author, clock)
+}
+
+/// Publishes `emissions` media items, committing each one.
+fn publish_stream(fed: &mut Federation, repl: &mut Replicator, author: &Acct, emissions: usize) {
+    for i in 0..emissions {
+        fed.publish(author, &format!("media #{i}"), 1_000 + i as i64)
+            .unwrap();
+        repl.commit(fed, author, None).unwrap();
+    }
+}
+
+/// Pump/redeliver rounds until the mesh converges; returns the rounds.
+fn converge(fed: &mut Federation, repl: &mut Replicator, clock: &VirtualClock) -> usize {
+    let mut rounds = 0;
+    while !repl.converged() {
+        rounds += 1;
+        assert!(rounds <= 200, "mesh failed to converge");
+        clock.advance(5_000);
+        repl.pump(fed).unwrap();
+        repl.redeliver(fed).unwrap();
+    }
+    rounds
+}
+
+fn main() {
+    header(
+        "E19",
+        "replication: emission shipping and convergence",
+        "§6 federation of home devices: replicated personal LOD stays consistent across peers",
+    );
+
+    let emissions = if smoke() { 10 } else { 50 };
+
+    // ---- convergence wall-time vs node count (clean transport) -----
+    println!("\nconvergence vs mesh size ({emissions} emissions, clean transport):");
+    row(&[
+        "nodes".into(),
+        "total ms".into(),
+        "ms/emission/link".into(),
+        "applied".into(),
+    ]);
+    for n in [2usize, 4, 8] {
+        let (mut fed, mut repl, author, _clock) = build(n);
+        let (_, elapsed) = time_once(|| publish_stream(&mut fed, &mut repl, &author, emissions));
+        assert!(repl.converged(), "eager shipping keeps the mesh converged");
+        let applied = repl.telemetry().counter("replication.applied");
+        assert_eq!(applied, (emissions * (n - 1)) as u64);
+        let per = elapsed.as_secs_f64() * 1000.0 / (emissions * (n - 1)) as f64;
+        row(&[
+            n.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0),
+            f3(per),
+            applied.to_string(),
+        ]);
+    }
+
+    // ---- catch-up cost after a 50%-drop partition ------------------
+    println!("\ncatch-up after a lossy partition ({emissions} emissions, 4 nodes):");
+    row(&[
+        "drop rate".into(),
+        "parked".into(),
+        "catchups".into(),
+        "rounds".into(),
+        "repair ms".into(),
+    ]);
+    for drop_rate in [0.0f64, 0.5] {
+        let (mut fed, mut repl, author, clock) = build(4);
+        // Every link to node 1 is partitioned during the stream, and
+        // the surviving links drop half their deliveries.
+        let plan = FaultPlan::builder()
+            .outage("repl:node0.example->node1.example", 0, 60_000)
+            .seed(19)
+            .build(clock.clone());
+        repl.with_fault_plan(plan, RetryPolicy::no_retry());
+        repl.set_transport_chaos(Some(TransportChaos {
+            drop_rate,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            seed: 19,
+        }));
+        publish_stream(&mut fed, &mut repl, &author, emissions);
+        let parked = repl.telemetry().counter("replication.parked");
+        clock.set(70_000); // partition over, breaker cooled down
+        let (rounds, elapsed) = time_once(|| converge(&mut fed, &mut repl, &clock));
+        assert_eq!(repl.lag(), 0);
+        row(&[
+            format!("{drop_rate:.1}"),
+            parked.to_string(),
+            repl.telemetry().counter("replication.catchups").to_string(),
+            rounds.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0),
+        ]);
+    }
+    println!("\n(drops are silent, so anti-entropy reconciliation pulls the gap; parked shipments replay from the dead-letter queue)");
+
+    if smoke() {
+        return;
+    }
+
+    // ---- criterion -------------------------------------------------
+    let mut c: Criterion = criterion();
+    c.bench_function("e19/commit_ship_4_nodes", |b| {
+        let (mut fed, mut repl, author, _clock) = build(4);
+        let mut ts = 10_000i64;
+        b.iter(|| {
+            ts += 1;
+            fed.publish(black_box(&author), "bench media", ts).unwrap();
+            repl.commit(&mut fed, &author, None).unwrap()
+        })
+    });
+    c.bench_function("e19/partition_stream_and_repair_50", |b| {
+        // Setup is part of the measured cycle: stream 50 emissions
+        // into a partition, then repair once it heals.
+        b.iter(|| {
+            let (mut fed, mut repl, author, clock) = build(2);
+            let plan = FaultPlan::builder()
+                .outage("repl:node0.example->node1.example", 0, 60_000)
+                .build(clock.clone());
+            repl.with_fault_plan(plan, RetryPolicy::no_retry());
+            publish_stream(&mut fed, &mut repl, &author, black_box(50));
+            clock.set(70_000);
+            converge(&mut fed, &mut repl, &clock);
+            repl.telemetry().counter("replication.applied")
+        })
+    });
+    c.final_summary();
+}

@@ -24,9 +24,9 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::time::Instant;
+use std::sync::Arc;
 
-use lodify_obs::Metrics;
+use lodify_obs::{Metrics, SharedClock, WallClock};
 use lodify_rdf::{ns, Iri, Literal, Term, Triple};
 use lodify_resilience::{DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry};
 use lodify_store::Store;
@@ -44,15 +44,29 @@ pub struct Acct {
 
 impl Acct {
     /// Parses `acct:user@host`.
+    ///
+    /// Both parts must be non-empty and free of whitespace, embedded
+    /// `@`/`:`, and `/` (these characters would corrupt the IRIs minted
+    /// from the account). The host is lowercased — DNS names are
+    /// case-insensitive, so `acct:Oscar@Node1.example` and
+    /// `acct:Oscar@node1.example` resolve to the same account on every
+    /// node.
     pub fn parse(text: &str) -> Option<Acct> {
         let rest = text.strip_prefix("acct:")?;
         let (user, host) = rest.split_once('@')?;
         if user.is_empty() || host.is_empty() {
             return None;
         }
+        let clean = |s: &str| {
+            !s.chars()
+                .any(|c| c.is_whitespace() || matches!(c, '@' | ':' | '/'))
+        };
+        if !clean(user) || !clean(host) {
+            return None;
+        }
         Some(Acct {
             user: user.to_string(),
-            host: host.to_string(),
+            host: host.to_ascii_lowercase(),
         })
     }
 
@@ -113,6 +127,18 @@ impl Timeline {
     }
 }
 
+/// One journaled content mutation on a node's store — the unit the
+/// replication layer packages into emissions. Only *content* (media,
+/// comments, retractions) is journaled; profile documents travel via
+/// the dedicated FOAF sharing flow instead.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NodeOp {
+    /// A triple inserted into the node's default graph.
+    Insert(Triple),
+    /// A triple removed from the node's default graph.
+    Remove(Triple),
+}
+
 /// A home-network node: "a generic NAS server attached to the user's
 /// home network … it will run the platform, store and stream users'
 /// content".
@@ -123,6 +149,8 @@ pub struct Node {
     users: Vec<Acct>,
     timeline: Timeline,
     next_media: u64,
+    /// Content mutations since the last replication commit.
+    ops: Vec<NodeOp>,
 }
 
 impl Node {
@@ -133,6 +161,7 @@ impl Node {
             users: Vec::new(),
             timeline: Timeline::default(),
             next_media: 1,
+            ops: Vec::new(),
         }
     }
 
@@ -204,43 +233,62 @@ impl Node {
         self.store.insert_all(triples, g)
     }
 
+    /// Inserts a *content* triple into the default graph and journals
+    /// it for the replication layer.
+    fn insert_content(&mut self, triple: Triple) {
+        let g = self.store.default_graph();
+        if self.store.insert(&triple, g) {
+            self.ops.push(NodeOp::Insert(triple));
+        }
+    }
+
+    /// Removes a content triple, journaling the removal.
+    fn remove_content(&mut self, triple: Triple) -> bool {
+        if self.store.remove(&triple) {
+            self.ops.push(NodeOp::Remove(triple));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains the content mutations accumulated since the last call —
+    /// the payload of the next emission.
+    pub(crate) fn drain_ops(&mut self) -> Vec<NodeOp> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Mutable store access for the replication layer. Remote applies
+    /// go straight to the store and are *not* journaled as local ops,
+    /// so replicated content never echoes back to its origin.
+    pub(crate) fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
     fn publish_media(&mut self, acct: &Acct, title: &str, ts: i64) -> Iri {
         let iri = Iri::new_unchecked(format!("http://{}/media/{}", self.host, self.next_media));
         self.next_media += 1;
-        let g = self.store.default_graph();
         let subject = Term::Iri(iri.clone());
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject.clone(),
-                ns::iri::rdf_type(),
-                Term::Iri(ns::iri::microblog_post()),
-            ),
-            g,
-        );
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject.clone(),
-                ns::iri::rdfs_label(),
-                Term::Literal(Literal::simple(title)),
-            ),
-            g,
-        );
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject.clone(),
-                ns::iri::foaf_maker(),
-                Term::Iri(acct.profile_iri()),
-            ),
-            g,
-        );
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject,
-                ns::DCTERMS.iri("created"),
-                Term::Literal(Literal::integer(ts)),
-            ),
-            g,
-        );
+        self.insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::rdf_type(),
+            Term::Iri(ns::iri::microblog_post()),
+        ));
+        self.insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::rdfs_label(),
+            Term::Literal(Literal::simple(title)),
+        ));
+        self.insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::foaf_maker(),
+            Term::Iri(acct.profile_iri()),
+        ));
+        self.insert_content(Triple::new_unchecked(
+            subject,
+            ns::DCTERMS.iri("created"),
+            Term::Literal(Literal::integer(ts)),
+        ));
         iri
     }
 
@@ -250,32 +298,22 @@ impl Node {
             self.host, self.next_media, ts
         ));
         self.next_media += 1;
-        let g = self.store.default_graph();
         let subject = Term::Iri(iri.clone());
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject.clone(),
-                ns::SIOC.iri("reply_of"),
-                Term::Iri(target.clone()),
-            ),
-            g,
-        );
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject.clone(),
-                ns::SIOC.iri("content"),
-                Term::Literal(Literal::simple(text)),
-            ),
-            g,
-        );
-        self.store.insert(
-            &Triple::new_unchecked(
-                subject,
-                ns::iri::foaf_maker(),
-                Term::Iri(author.profile_iri()),
-            ),
-            g,
-        );
+        self.insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::SIOC.iri("reply_of"),
+            Term::Iri(target.clone()),
+        ));
+        self.insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::SIOC.iri("content"),
+            Term::Literal(Literal::simple(text)),
+        ));
+        self.insert_content(Triple::new_unchecked(
+            subject,
+            ns::iri::foaf_maker(),
+            Term::Iri(author.profile_iri()),
+        ));
         iri
     }
 }
@@ -481,6 +519,10 @@ pub struct Federation {
     sparql_subs: Vec<SparqlSubscription>,
     resilience: Option<DeliveryResilience>,
     observability: Option<Metrics>,
+    /// Clock for delivery timing — wall by default, the fault plan's
+    /// virtual clock once one is installed, so latency histograms are
+    /// deterministic under scripted time.
+    clock: SharedClock,
 }
 
 impl Default for Federation {
@@ -502,7 +544,16 @@ impl Federation {
             sparql_subs: Vec::new(),
             resilience: None,
             observability: None,
+            clock: Arc::new(WallClock::new()),
         }
+    }
+
+    /// Overrides the clock used to time deliveries (any
+    /// [`lodify_obs::Clock`], e.g. a shared
+    /// [`lodify_resilience::VirtualClock`]). [`Federation::with_fault_plan`]
+    /// binds the plan's virtual clock automatically.
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
     }
 
     /// Attaches a metrics registry (typically the platform's, via
@@ -519,6 +570,7 @@ impl Federation {
     /// retried per `retry` (advancing the plan's virtual clock), and
     /// parked in a dead-letter queue when retries exhaust.
     pub fn with_fault_plan(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.clock = Arc::new(plan.clock().clone());
         self.resilience = Some(DeliveryResilience {
             plan,
             retry,
@@ -531,6 +583,16 @@ impl Federation {
     /// Undelivered notifications awaiting [`Federation::redeliver`].
     pub fn undelivered(&self) -> usize {
         self.resilience.as_ref().map(|r| r.dlq.depth()).unwrap_or(0)
+    }
+
+    /// Notifications abandoned after
+    /// [`Federation::DELIVERY_MAX_ATTEMPTS`] attempts — surfaced for
+    /// operators, never silently dropped.
+    pub fn exhausted_deliveries(&self) -> usize {
+        self.resilience
+            .as_ref()
+            .map(|r| r.dlq.exhausted().len())
+            .unwrap_or(0)
     }
 
     /// Delivery telemetry (`None` without a fault plan):
@@ -555,6 +617,23 @@ impl Federation {
         self.nodes
             .get(id)
             .ok_or_else(|| PlatformError::NotFound(format!("node {id}")))
+    }
+
+    /// Mutable node access for the replication layer.
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, PlatformError> {
+        self.nodes
+            .get_mut(id)
+            .ok_or_else(|| PlatformError::NotFound(format!("node {id}")))
+    }
+
+    /// The number of nodes in the federation.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the federation has no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 
     /// Registers a user on a node; the account becomes WebFinger-
@@ -670,6 +749,37 @@ impl Federation {
         Ok((media, notifications))
     }
 
+    /// Retracts previously published media: every triple whose subject
+    /// is `media` is removed from the owning node's store, and the
+    /// removals are journaled so replication ships them to peers (a
+    /// "delete propagates" emission). Returns the number of triples
+    /// removed.
+    pub fn retract(&mut self, author: &Acct, media: &Iri) -> Result<usize, PlatformError> {
+        let (node_id, _) = self.webfinger(&author.to_string())?;
+        let node = &mut self.nodes[node_id];
+        if !media
+            .as_str()
+            .starts_with(&format!("http://{}/", node.host))
+        {
+            return Err(PlatformError::Invalid(format!(
+                "{} does not own {media}",
+                node.host
+            )));
+        }
+        let subject = Term::Iri(media.clone());
+        let triples = node.store.match_terms(Some(&subject), None, None);
+        if triples.is_empty() {
+            return Err(PlatformError::NotFound(format!("media {media}")));
+        }
+        let mut removed = 0;
+        for triple in triples {
+            if node.remove_content(triple) {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// Salmon: a reply posted anywhere swims upstream to the node that
     /// owns the target content.
     pub fn reply(
@@ -765,14 +875,17 @@ impl Federation {
     /// histogram. Success applies the node-side effect.
     fn try_deliver(&mut self, notification: &Notification) -> Result<(), String> {
         let timed = match &self.observability {
-            Some(metrics) if metrics.is_enabled() => Some((metrics.clone(), Instant::now())),
+            Some(metrics) if metrics.is_enabled() => {
+                Some((metrics.clone(), self.clock.now_micros()))
+            }
             _ => None,
         };
         let result = self.try_deliver_inner(notification);
         if let Some((metrics, start)) = timed {
             match &result {
                 Ok(()) => {
-                    metrics.observe_duration("federation.deliver", start.elapsed());
+                    let elapsed = self.clock.now_micros().saturating_sub(start);
+                    metrics.observe("federation.deliver", elapsed);
                     metrics.incr("federation.deliveries");
                 }
                 Err(_) => metrics.incr("federation.delivery.failures"),
@@ -867,6 +980,47 @@ mod tests {
         assert!(Acct::parse("oscar@node1").is_none());
         assert!(Acct::parse("acct:@host").is_none());
         assert!(Acct::parse("acct:user@").is_none());
+    }
+
+    #[test]
+    fn acct_parse_rejects_whitespace_and_embedded_separators() {
+        for bad in [
+            "acct: oscar@node1.example",
+            "acct:oscar @node1.example",
+            "acct:oscar@node1 .example",
+            "acct:oscar@node1.example ",
+            "acct:os car@node1.example",
+            "acct:oscar@node1.example\t",
+            "acct:oscar@node1\n.example",
+            "acct:oscar@node1@node2.example",
+            "acct:os@car@node1.example",
+            "acct:oscar:8080@node1.example",
+            "acct:oscar@node1.example:8080",
+            "acct:oscar@node1.example/path",
+            "acct:os/car@node1.example",
+        ] {
+            assert!(Acct::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn acct_parse_normalizes_host_case() {
+        let mixed = Acct::parse("acct:Oscar@Node1.EXAMPLE").unwrap();
+        assert_eq!(mixed.user, "Oscar", "user part stays case-sensitive");
+        assert_eq!(mixed.host, "node1.example");
+        assert_eq!(mixed.to_string(), "acct:Oscar@node1.example");
+        // The same account written with different host casing is one
+        // identity (hash + equality).
+        let lower = Acct::parse("acct:Oscar@node1.example").unwrap();
+        assert_eq!(mixed, lower);
+    }
+
+    #[test]
+    fn webfinger_resolves_mixed_case_hosts() {
+        let (fed, _, walter) = two_node_federation();
+        let (node, profile) = fed.webfinger("acct:walter@Node2.EXAMPLE").unwrap();
+        assert_eq!(node, 1);
+        assert_eq!(profile, walter.profile_iri());
     }
 
     #[test]
@@ -1157,5 +1311,121 @@ mod tests {
             assert_eq!(rows.len(), 1, "only the new row");
             assert!(rows[0].contains("fresh row"));
         }
+    }
+
+    #[test]
+    fn redeliver_exhausts_at_the_attempt_cap() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        // node1 never comes back.
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("node:node1.example", 0, u64::MAX)
+            .build(clock);
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        fed.publish(&walter, "doomed", 1).unwrap();
+        assert_eq!(fed.undelivered(), 1);
+
+        // The initial park counts as attempt 1; each failed replay adds
+        // one more until DELIVERY_MAX_ATTEMPTS exhausts the letter.
+        for round in 1..Federation::DELIVERY_MAX_ATTEMPTS {
+            let (landed, report) = fed.redeliver();
+            assert!(landed.is_empty());
+            if round < Federation::DELIVERY_MAX_ATTEMPTS - 1 {
+                assert_eq!((report.requeued, report.exhausted), (1, 0), "round {round}");
+            } else {
+                assert_eq!((report.requeued, report.exhausted), (0, 1), "round {round}");
+            }
+        }
+        assert_eq!(fed.undelivered(), 0, "no longer parked");
+        assert_eq!(fed.exhausted_deliveries(), 1, "surfaced, not dropped");
+        // Exhausted letters are never replayed again.
+        let (landed, report) = fed.redeliver();
+        assert!(landed.is_empty());
+        assert_eq!(report, ReplayReport::default());
+        assert_eq!(fed.exhausted_deliveries(), 1);
+    }
+
+    #[test]
+    fn redeliver_reports_mixed_outcomes_per_node() {
+        use lodify_resilience::VirtualClock;
+
+        let mut fed = Federation::new();
+        let home1 = fed.add_node("node1.example").unwrap();
+        let home2 = fed.add_node("node2.example").unwrap();
+        let home3 = fed.add_node("node3.example").unwrap();
+        let a = fed.register_user(home1, "a", "A").unwrap();
+        let b = fed.register_user(home2, "b", "B").unwrap();
+        let w = fed.register_user(home3, "w", "W").unwrap();
+        fed.subscribe(home1, &a, &w).unwrap();
+        fed.subscribe(home2, &b, &w).unwrap();
+
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("node:node1.example", 0, 5_000)
+            .outage("node:node2.example", 0, u64::MAX)
+            .build(clock.clone());
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        fed.publish(&w, "two receivers down", 1).unwrap();
+        assert_eq!(fed.undelivered(), 2);
+
+        // node1 recovers, node2 stays dark: one replayed, one requeued.
+        clock.set(6_000);
+        let (landed, report) = fed.redeliver();
+        assert_eq!(landed.len(), 1);
+        assert!(matches!(&landed[0], Notification::Activity { to: 0, .. }));
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.requeued, 1);
+        assert_eq!(report.exhausted, 0);
+        assert_eq!(fed.undelivered(), 1);
+        let telemetry = fed.delivery_telemetry().unwrap();
+        assert_eq!(telemetry.counter("federation.redelivered"), 1);
+        assert_eq!(telemetry.gauge("federation.dlq.depth"), Some(1));
+    }
+
+    #[test]
+    fn delivery_histogram_is_deterministic_under_virtual_clock() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, oscar, walter) = two_node_federation();
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        let clock = VirtualClock::new();
+        // 40ms of scripted latency per delivery attempt; with the clock
+        // routed through the plan, the histogram records exactly that.
+        let plan = FaultPlan::builder()
+            .latency("node:node1.example", 40)
+            .build(clock);
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+        let metrics = Metrics::new();
+        fed.set_observability(metrics.clone());
+
+        fed.publish(&walter, "timed", 1).unwrap();
+        let histogram = metrics.histogram("federation.deliver").unwrap();
+        assert_eq!(histogram.count(), 1);
+        assert_eq!(histogram.sum(), 40_000, "40ms in µs, exactly");
+        assert_eq!(metrics.counter("federation.deliveries"), 1);
+    }
+
+    #[test]
+    fn retract_removes_media_and_rejects_foreign_targets() {
+        let (mut fed, oscar, walter) = two_node_federation();
+        let (media, _) = fed.publish(&walter, "regrets", 5).unwrap();
+        // Oscar cannot retract Walter's media.
+        assert!(fed.retract(&oscar, &media).is_err());
+        let removed = fed.retract(&walter, &media).unwrap();
+        assert_eq!(removed, 4, "type + label + maker + created");
+        let subject = Term::Iri(media.clone());
+        assert!(fed
+            .node(1)
+            .unwrap()
+            .store()
+            .match_terms(Some(&subject), None, None)
+            .is_empty());
+        // Retracting again: nothing left to remove.
+        assert!(fed.retract(&walter, &media).is_err());
     }
 }

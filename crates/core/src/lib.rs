@@ -29,7 +29,11 @@
 //! * [`federation`] — the future-work architecture of §6: home-network
 //!   nodes, WebFinger identities, FOAF profile exchange,
 //!   PubSubHubbub/SparqlPuSH notification and ActivityStreams
-//!   timelines, simulated in-process.
+//!   timelines, simulated in-process;
+//! * [`replication`] — emission-level state replication between home
+//!   nodes: CRC-framed per-node emission journals, policy-filtered
+//!   links, idempotent apply with sequence-gap catch-up, and
+//!   chaos-verified convergence (ROADMAP item 3).
 
 #![warn(missing_docs)]
 
@@ -42,6 +46,7 @@ pub mod ingest;
 pub mod mashup;
 pub mod metrics;
 pub mod platform;
+pub mod replication;
 pub mod search;
 pub mod web;
 
@@ -50,4 +55,5 @@ pub use error::PlatformError;
 pub use ingest::{IngestPool, IngestReport};
 pub use mashup::{MashupConfig, MashupResult, MashupService};
 pub use platform::{Platform, Upload};
+pub use replication::{Emission, EmissionOutbox, Replicator, SharePolicy};
 pub use search::SearchService;

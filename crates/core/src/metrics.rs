@@ -172,6 +172,25 @@ pub struct ResolverOps {
     pub skipped: u64,
 }
 
+/// Replication-mesh counters inside an [`OpsSnapshot`]: how far behind
+/// subscribed replicas are and what the emission dead-letter queue
+/// holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationOps {
+    /// Maximum link lag (origin head seq minus receiver cursor).
+    pub lag: u64,
+    /// Shipments parked awaiting redelivery.
+    pub dlq_depth: usize,
+    /// Shipments parked over the replicator's lifetime.
+    pub parked: u64,
+    /// Shipments delivered by redelivery passes.
+    pub redelivered: u64,
+    /// Emissions committed by local nodes.
+    pub emissions: u64,
+    /// Emissions applied at replicas.
+    pub applied: u64,
+}
+
 /// A point-in-time operational snapshot of the resilience machinery —
 /// breaker states, retry counts and dead-letter depths across the
 /// annotation and federation pipelines. This is the ops-facing
@@ -196,6 +215,9 @@ pub struct OpsSnapshot {
     pub federation_redelivered: u64,
     /// Delivery retries beyond first attempts.
     pub federation_retries: u64,
+    /// Emission-replication lag and dead-letter counters, when a
+    /// replication mesh (or platform emission outbox) is running.
+    pub replication: Option<ReplicationOps>,
     /// Persistence engine counters (WAL depth, snapshot age, replay
     /// stats), when the store is journal-backed.
     pub durability: Option<DurabilityStats>,
@@ -218,6 +240,7 @@ impl OpsSnapshot {
         broker: &SemanticBroker,
         requeue: Option<&ReAnnotator>,
         federation: Option<&Federation>,
+        replication: Option<ReplicationOps>,
         durability: Option<DurabilityStats>,
         album_cache: Option<AlbumCacheStats>,
         semantic_cache: Option<SemanticCacheStats>,
@@ -253,11 +276,17 @@ impl OpsSnapshot {
                 snapshot.federation_retries = t.counter("federation.retries");
             }
         }
+        snapshot.replication = replication;
         snapshot.durability = durability;
         snapshot.album_cache = album_cache;
         snapshot.semantic_cache = semantic_cache;
         snapshot
     }
+
+    /// Replication lag at or above which the platform counts as
+    /// degraded: subscribed replicas are falling this many emissions
+    /// behind their origins (a converged mesh sits at zero).
+    pub const REPLICATION_LAG_THRESHOLD: u64 = 64;
 
     /// WAL backlog above which the platform counts as degraded: flushes
     /// are falling behind ingestion (a healthy engine drains to zero at
@@ -276,6 +305,10 @@ impl OpsSnapshot {
             || self.reannotate_depth > 0
             || self.reannotate_exhausted > 0
             || self.federation_dlq_depth > 0
+            || self
+                .replication
+                .as_ref()
+                .is_some_and(|r| r.dlq_depth > 0 || r.lag >= Self::REPLICATION_LAG_THRESHOLD)
             || self
                 .durability
                 .as_ref()
@@ -315,6 +348,13 @@ impl fmt::Display for OpsSnapshot {
             self.federation_redelivered,
             self.federation_retries
         )?;
+        if let Some(r) = &self.replication {
+            write!(
+                f,
+                "\n  replication lag={} dlq={} parked={} redelivered={} emissions={} applied={}",
+                r.lag, r.dlq_depth, r.parked, r.redelivered, r.emissions, r.applied
+            )?;
+        }
         if let Some(d) = &self.durability {
             write!(
                 f,
@@ -462,7 +502,7 @@ mod tests {
         .with_resilience(clock, BrokerResilienceConfig::default());
 
         // Healthy at rest.
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None, None);
         assert!(!snapshot.is_degraded());
         assert_eq!(snapshot.resolvers.len(), 2);
 
@@ -471,7 +511,7 @@ mod tests {
         for _ in 0..4 {
             broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
         }
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None, None);
         assert!(snapshot.is_degraded());
         let dbp_ops = snapshot
             .resolvers
@@ -502,7 +542,7 @@ mod tests {
             invalidations: 1,
             entries: 2,
         };
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, Some(stats), None);
+        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, Some(stats), None);
         assert_eq!(snapshot.album_cache, Some(stats));
         let rendered = snapshot.to_string();
         assert!(

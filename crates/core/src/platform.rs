@@ -26,6 +26,8 @@ use lodify_tripletags::{Tag, TagIndex, TripleTag};
 
 use crate::albums::{AlbumCache, AlbumCacheStats, AlbumSpec};
 use crate::error::PlatformError;
+use crate::federation::Acct;
+use crate::replication::{Emission, EmissionOutbox, EmissionQuad};
 
 /// Annotation predicate: content → LOD resource it is about.
 pub fn subject_pred() -> Iri {
@@ -157,6 +159,7 @@ pub struct Platform {
     album_cache: AlbumCache,
     semantic_cache: Arc<SemanticCache>,
     obs: Obs,
+    outbox: Option<EmissionOutbox>,
 }
 
 impl Platform {
@@ -278,6 +281,7 @@ impl Platform {
             album_cache: AlbumCache::new(),
             semantic_cache: Arc::new(SemanticCache::new()),
             obs: Obs::new(),
+            outbox: None,
         };
         platform.wire_observability();
         platform.rebuild_tag_index()?;
@@ -536,12 +540,19 @@ impl Platform {
 
         // Incremental semanticization of the new rows (§2.1).
         let semanticize = root.map(|r| r.child("upload.semanticize"));
+        let mut emitted: Vec<Triple> = Vec::new();
         if let Some(ref_id) = poi_ref_id {
             let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
             self.store.insert_all(&poi_triples, self.ugc_graph)?;
+            if self.outbox.is_some() {
+                emitted.extend(poi_triples);
+            }
         }
         let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
         let mut triples_added = self.store.insert_all(&triples, self.ugc_graph)?;
+        if self.outbox.is_some() {
+            emitted.extend(triples);
+        }
         if let Some(span) = semanticize {
             span.finish();
         }
@@ -554,9 +565,25 @@ impl Platform {
         }
 
         let record = root.map(|r| r.child("upload.record"));
-        triples_added += self.record_annotation(pid, &result)?;
+        let annotation = Self::annotation_triples(pid, &result);
+        triples_added += self.store.insert_all(&annotation, self.ugc_graph)?;
+        if self.outbox.is_some() {
+            emitted.extend(annotation);
+        }
         if let Some(span) = record {
             span.finish();
+        }
+
+        if let Some(outbox) = &mut self.outbox {
+            let additions = emitted
+                .into_iter()
+                .map(|triple| EmissionQuad {
+                    triple,
+                    graph: Some(GRAPH_UGC.to_string()),
+                })
+                .collect();
+            outbox.record(self.store.store().epoch(), None, additions, Vec::new())?;
+            self.obs.metrics().incr("replication.emissions");
         }
 
         let auto_annotations = result.terms.iter().filter(|t| t.resource.is_some()).count();
@@ -578,6 +605,14 @@ impl Platform {
         pid: i64,
         result: &AnnotationResult,
     ) -> Result<usize, PlatformError> {
+        let triples = Self::annotation_triples(pid, result);
+        Ok(self.store.insert_all(&triples, self.ugc_graph)?)
+    }
+
+    /// The store triples an annotation result contributes for `pid` —
+    /// shared by the commit path and the emission outbox so replicated
+    /// state matches local state exactly.
+    fn annotation_triples(pid: i64, result: &AnnotationResult) -> Vec<Triple> {
         let subject = Term::Iri(Self::picture_iri(pid));
         let mut triples = Vec::new();
         if let Some(city) = &result.location {
@@ -610,7 +645,7 @@ impl Platform {
                 ));
             }
         }
-        Ok(self.store.insert_all(&triples, self.ugc_graph)?)
+        triples
     }
 
     /// Annotates one legacy picture (used by the batch job). Returns
@@ -944,10 +979,50 @@ impl Platform {
             self.annotator.broker(),
             None,
             None,
+            self.outbox
+                .as_ref()
+                .map(|o| crate::metrics::ReplicationOps {
+                    lag: o.lag(),
+                    emissions: o.len() as u64,
+                    ..Default::default()
+                }),
             self.durability(),
             Some(self.album_cache_stats()),
             Some(self.semantic_cache_stats()),
         )
+    }
+
+    /// Switches the platform into emission-producing mode: every
+    /// [`Platform::commit_staged`] from now on journals its committed
+    /// UGC delta as an [`Emission`] from `origin`, durably on
+    /// `storage` (beside the WAL when they share a directory). On
+    /// recycled storage the sequence resumes exactly where the journal
+    /// left off; returns how many emissions were recovered.
+    pub fn enable_emissions(
+        &mut self,
+        origin: Acct,
+        storage: Box<dyn Storage>,
+    ) -> Result<usize, PlatformError> {
+        let outbox = EmissionOutbox::open(origin, storage)?;
+        let recovered = outbox.len();
+        self.outbox = Some(outbox);
+        Ok(recovered)
+    }
+
+    /// The emission outbox, when [`Platform::enable_emissions`] ran.
+    pub fn outbox(&self) -> Option<&EmissionOutbox> {
+        self.outbox.as_ref()
+    }
+
+    /// Hands every undrained emission to a replication agent. The
+    /// drain position is in-memory consumer state: after a restart the
+    /// journal re-offers everything and downstream idempotent apply
+    /// absorbs the overlap.
+    pub fn drain_emissions(&mut self) -> Vec<Emission> {
+        self.outbox
+            .as_mut()
+            .map(EmissionOutbox::drain)
+            .unwrap_or_default()
     }
 
     /// Refreshes registry gauges from current platform state (store
@@ -970,6 +1045,9 @@ impl Platform {
             metrics.set_gauge("wal.pending", stats.wal_pending as u64);
             metrics.set_gauge("wal.records", stats.wal_records);
             metrics.set_gauge("wal.generation", stats.generation);
+        }
+        if let Some(outbox) = &self.outbox {
+            metrics.set_gauge("replication.outbox.lag", outbox.lag());
         }
     }
 }

@@ -1,0 +1,1482 @@
+//! Emission-level replication across home nodes — ROADMAP item 3.
+//!
+//! `core::federation` fans out *notifications*; nothing replicates, so
+//! a peer that misses a push has diverged forever. This module ships
+//! the state itself: every federation commit produces a self-contained
+//! [`Emission`] — the content quads added and removed, plus provenance
+//! (origin account, store epoch, per-node monotonic sequence number) —
+//! encoded with the durability crate's CRC-framed codec and persisted
+//! in a per-node **emission journal** beside the node's WAL.
+//!
+//! A [`Replicator`] drives the mesh:
+//!
+//! * each directed link filters emissions through a per-peer
+//!   [`SharePolicy`] (by user, album, or predicate namespace); a
+//!   filtered-out emission still ships as an *empty* sequence marker,
+//!   so policy never punches holes in the sequence space;
+//! * transport is simulated, judged per link by a
+//!   `lodify-resilience` fault plan (target `repl:<from>-><to>`) with
+//!   retry/backoff, a per-peer circuit breaker, and a dead-letter
+//!   queue replayed by [`Replicator::redeliver`];
+//! * receivers apply idempotently: a duplicate (`seq ≤ cursor`) or a
+//!   stale epoch is a no-op; a sequence gap triggers a **catch-up
+//!   pull** from the origin's emission journal; [`Replicator::pump`]
+//!   finishes with an anti-entropy pass that repairs silently dropped
+//!   deliveries — but only over links the fault plan currently allows;
+//! * the journal is flushed on every append, so a crashed replica
+//!   re-attached via [`Replicator::attach`] recovers its replication
+//!   cursors exactly: nothing is re-applied (a retracted triple can
+//!   never resurrect) and nothing is lost (gaps are pulled).
+//!
+//! Convergence argument: per origin node, emissions are applied in
+//! strict sequence order at every replica (duplicates and stale epochs
+//! rejected by the cursor, gaps filled from the origin journal), so
+//! every replica applies the same ordered prefix of the same log; once
+//! lag reaches zero all replicas have applied *exactly* the origin's
+//! log, and identical ordered set operations on identical initial
+//! (empty) shared subsets yield identical stores. The chaos suite
+//! asserts this byte-for-byte against a single-node oracle.
+//!
+//! Only *content* (media, comments, retractions) is journaled and
+//! replicated; FOAF profile documents travel via the dedicated
+//! federation profile-sharing flow.
+
+use std::collections::BTreeMap;
+
+use lodify_durability::codec::{self, PayloadOutcome};
+use lodify_durability::Storage;
+use lodify_obs::{Metrics, Obs, Tracer};
+use lodify_rdf::{Iri, Triple};
+use lodify_resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, DeadLetterQueue, DetRng, FaultPlan, ReplayReport,
+    RetryPolicy, Telemetry,
+};
+
+use crate::error::PlatformError;
+use crate::federation::{Acct, Federation, NodeId, NodeOp};
+use crate::metrics::ReplicationOps;
+
+/// Journal file name inside a replica's storage (lives beside the
+/// node's WAL files when they share a directory).
+pub const EMISSIONS_FILE: &str = "emissions";
+
+/// Attempt cap for a parked shipment (initial failure + replays).
+pub const REPLICATION_MAX_ATTEMPTS: u32 = 8;
+
+// ------------------------------------------------------------ emissions
+
+/// One replicated statement: a triple plus the named graph it lands in
+/// (`None` = the default graph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmissionQuad {
+    /// The statement.
+    pub triple: Triple,
+    /// Target graph name (`None` = default graph).
+    pub graph: Option<String>,
+}
+
+/// A self-contained, serializable replication unit: one commit's
+/// content delta plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// The account whose commit produced this emission.
+    pub origin: Acct,
+    /// Per-origin-node monotonic sequence number, starting at 1.
+    pub seq: u64,
+    /// Origin store epoch at commit time (stale-epoch guard).
+    pub epoch: u64,
+    /// Topical album tag, if the commit was scoped to one (drives
+    /// [`SharePolicy::Albums`]).
+    pub album: Option<String>,
+    /// Statements added by the commit.
+    pub additions: Vec<EmissionQuad>,
+    /// Statements removed by the commit.
+    pub removals: Vec<Triple>,
+}
+
+impl Emission {
+    /// Encodes the emission body (everything but `seq`, which travels
+    /// in the frame header) with the durability codec primitives.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        codec::put_str(&mut out, &self.origin.user);
+        codec::put_str(&mut out, &self.origin.host);
+        codec::put_varint(&mut out, self.epoch);
+        match &self.album {
+            Some(album) => {
+                out.push(1);
+                codec::put_str(&mut out, album);
+            }
+            None => out.push(0),
+        }
+        codec::put_varint(&mut out, self.additions.len() as u64);
+        for quad in &self.additions {
+            match &quad.graph {
+                Some(name) => {
+                    out.push(1);
+                    codec::put_str(&mut out, name);
+                }
+                None => out.push(0),
+            }
+            codec::put_term(&mut out, &quad.triple.subject);
+            codec::put_str(&mut out, quad.triple.predicate.as_str());
+            codec::put_term(&mut out, &quad.triple.object);
+        }
+        codec::put_varint(&mut out, self.removals.len() as u64);
+        for triple in &self.removals {
+            codec::put_term(&mut out, &triple.subject);
+            codec::put_str(&mut out, triple.predicate.as_str());
+            codec::put_term(&mut out, &triple.object);
+        }
+        out
+    }
+
+    /// Decodes an emission body; `seq` comes from the frame. Validates
+    /// the origin account and every IRI, so a corrupted-but-CRC-passing
+    /// journal can never smuggle malformed identity into a store.
+    pub fn decode(seq: u64, bytes: &[u8]) -> Result<Emission, PlatformError> {
+        let cursor = &mut 0usize;
+        let user = codec::get_str(bytes, cursor)?;
+        let host = codec::get_str(bytes, cursor)?;
+        let origin = Acct::parse(&format!("acct:{user}@{host}"))
+            .ok_or_else(|| PlatformError::Invalid(format!("bad emission origin {user}@{host}")))?;
+        let epoch = codec::get_varint(bytes, cursor)?;
+        let album = match next_byte(bytes, cursor)? {
+            0 => None,
+            _ => Some(codec::get_str(bytes, cursor)?),
+        };
+        let bad_iri =
+            |e: lodify_rdf::RdfError| PlatformError::Invalid(format!("bad emission IRI: {e}"));
+        let n_add = codec::get_varint(bytes, cursor)? as usize;
+        let mut additions = Vec::with_capacity(n_add.min(1024));
+        for _ in 0..n_add {
+            let graph = match next_byte(bytes, cursor)? {
+                0 => None,
+                _ => Some(codec::get_str(bytes, cursor)?),
+            };
+            let subject = codec::get_term(bytes, cursor)?;
+            let predicate = Iri::new(codec::get_str(bytes, cursor)?).map_err(bad_iri)?;
+            let object = codec::get_term(bytes, cursor)?;
+            additions.push(EmissionQuad {
+                triple: Triple::new_unchecked(subject, predicate, object),
+                graph,
+            });
+        }
+        let n_rm = codec::get_varint(bytes, cursor)? as usize;
+        let mut removals = Vec::with_capacity(n_rm.min(1024));
+        for _ in 0..n_rm {
+            let subject = codec::get_term(bytes, cursor)?;
+            let predicate = Iri::new(codec::get_str(bytes, cursor)?).map_err(bad_iri)?;
+            let object = codec::get_term(bytes, cursor)?;
+            removals.push(Triple::new_unchecked(subject, predicate, object));
+        }
+        if *cursor != bytes.len() {
+            return Err(PlatformError::Invalid(
+                "trailing bytes after emission body".into(),
+            ));
+        }
+        Ok(Emission {
+            origin,
+            seq,
+            epoch,
+            album,
+            additions,
+            removals,
+        })
+    }
+
+    /// Whether the emission carries no statements (a policy-filtered
+    /// sequence marker).
+    pub fn is_marker(&self) -> bool {
+        self.additions.is_empty() && self.removals.is_empty()
+    }
+}
+
+fn next_byte(bytes: &[u8], cursor: &mut usize) -> Result<u8, PlatformError> {
+    let b = *bytes
+        .get(*cursor)
+        .ok_or_else(|| PlatformError::Invalid("emission body truncated".into()))?;
+    *cursor += 1;
+    Ok(b)
+}
+
+/// Frames an emission for the journal / wire.
+fn frame_emission(emission: &Emission) -> Vec<u8> {
+    let body = emission.encode();
+    let mut out = Vec::with_capacity(body.len() + 12);
+    codec::put_payload_frame(&mut out, emission.seq, &body);
+    out
+}
+
+/// Scans a journal byte image. Returns the decoded emissions and the
+/// clean prefix length; a truncated tail (crash mid-append) is
+/// dropped, a corrupt frame is an error.
+fn scan_emissions(bytes: &[u8]) -> Result<(Vec<Emission>, usize), PlatformError> {
+    let mut emissions = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        match codec::read_payload_frame(bytes, offset) {
+            PayloadOutcome::Frame { seq, body, next } => {
+                emissions.push(Emission::decode(seq, &body)?);
+                offset = next;
+            }
+            PayloadOutcome::End | PayloadOutcome::Truncated { .. } => {
+                return Ok((emissions, offset))
+            }
+            PayloadOutcome::Corrupt { at, reason } => {
+                return Err(PlatformError::Invalid(format!(
+                    "corrupt emission journal at byte {at}: {reason}"
+                )))
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- share policy
+
+/// What a node shares with one peer. Filtering never consumes a
+/// sequence number: a withheld emission ships as an empty marker, so
+/// receivers can still detect gaps and converge on the shared subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SharePolicy {
+    /// Share every emission in full.
+    Everything,
+    /// Share only emissions whose origin user is listed.
+    Users(Vec<String>),
+    /// Share only emissions tagged with one of these albums.
+    Albums(Vec<String>),
+    /// Share only statements whose predicate IRI starts with one of
+    /// these namespace prefixes.
+    PredicateNamespaces(Vec<String>),
+}
+
+impl SharePolicy {
+    /// Projects an emission through the policy, preserving provenance
+    /// and the sequence slot.
+    pub fn project(&self, emission: &Emission) -> Emission {
+        let empty = |e: &Emission| Emission {
+            additions: Vec::new(),
+            removals: Vec::new(),
+            ..e.clone()
+        };
+        match self {
+            SharePolicy::Everything => emission.clone(),
+            SharePolicy::Users(users) => {
+                if users.contains(&emission.origin.user) {
+                    emission.clone()
+                } else {
+                    empty(emission)
+                }
+            }
+            SharePolicy::Albums(albums) => {
+                if emission
+                    .album
+                    .as_ref()
+                    .is_some_and(|album| albums.contains(album))
+                {
+                    emission.clone()
+                } else {
+                    empty(emission)
+                }
+            }
+            SharePolicy::PredicateNamespaces(prefixes) => {
+                let keep = |p: &Iri| prefixes.iter().any(|prefix| p.as_str().starts_with(prefix));
+                Emission {
+                    additions: emission
+                        .additions
+                        .iter()
+                        .filter(|q| keep(&q.triple.predicate))
+                        .cloned()
+                        .collect(),
+                    removals: emission
+                        .removals
+                        .iter()
+                        .filter(|t| keep(&t.predicate))
+                        .cloned()
+                        .collect(),
+                    ..empty(emission)
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- replica
+
+/// Applied position of one remote origin at a replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cursor {
+    /// Highest origin sequence number applied.
+    pub seq: u64,
+    /// Origin store epoch of that emission.
+    pub epoch: u64,
+}
+
+/// Per-node replication state: the persisted emission journal (own
+/// emissions and applied remote ones, in arrival order) plus the
+/// cursors derived from it.
+struct Replica {
+    host: String,
+    storage: Box<dyn Storage>,
+    journal: Vec<Emission>,
+    /// Journal indexes of own emissions, by `seq - 1`.
+    own: Vec<usize>,
+    next_seq: u64,
+    cursors: BTreeMap<String, Cursor>,
+}
+
+impl Replica {
+    fn open(host: String, mut storage: Box<dyn Storage>) -> Result<Replica, PlatformError> {
+        let bytes = if storage.list().iter().any(|f| f == EMISSIONS_FILE) {
+            storage.read(EMISSIONS_FILE)?
+        } else {
+            storage.create(EMISSIONS_FILE)?;
+            Vec::new()
+        };
+        let (emissions, clean_len) = scan_emissions(&bytes)?;
+        if clean_len < bytes.len() {
+            // Chop the torn tail so future appends frame cleanly.
+            storage.truncate(EMISSIONS_FILE, clean_len as u64)?;
+            storage.flush(EMISSIONS_FILE)?;
+        }
+        let mut replica = Replica {
+            host,
+            storage,
+            journal: Vec::with_capacity(emissions.len()),
+            own: Vec::new(),
+            next_seq: 1,
+            cursors: BTreeMap::new(),
+        };
+        for emission in emissions {
+            replica.index(emission);
+        }
+        Ok(replica)
+    }
+
+    /// Records an emission in the in-memory index (journal already
+    /// holds its bytes).
+    fn index(&mut self, emission: Emission) {
+        if emission.origin.host == self.host {
+            debug_assert_eq!(emission.seq as usize, self.own.len() + 1);
+            self.own.push(self.journal.len());
+            self.next_seq = self.next_seq.max(emission.seq + 1);
+        } else {
+            self.cursors.insert(
+                emission.origin.host.clone(),
+                Cursor {
+                    seq: emission.seq,
+                    epoch: emission.epoch,
+                },
+            );
+        }
+        self.journal.push(emission);
+    }
+
+    /// Appends an emission durably (framed, flushed) and indexes it.
+    fn append(&mut self, emission: Emission) -> Result<(), PlatformError> {
+        self.storage
+            .append(EMISSIONS_FILE, &frame_emission(&emission))?;
+        self.storage.flush(EMISSIONS_FILE)?;
+        self.index(emission);
+        Ok(())
+    }
+
+    /// One of this node's own emissions by sequence number.
+    fn own_emission(&self, seq: u64) -> Option<&Emission> {
+        let idx = *self.own.get((seq as usize).checked_sub(1)?)?;
+        self.journal.get(idx)
+    }
+
+    fn cursor(&self, origin_host: &str) -> Cursor {
+        self.cursors.get(origin_host).copied().unwrap_or_default()
+    }
+
+    fn head(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+/// What [`Replicator::attach`] found in the journal it opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttachReport {
+    /// Emissions recovered from the journal (own + applied remote).
+    pub recovered: usize,
+    /// Next own sequence number the node will emit.
+    pub next_seq: u64,
+    /// Remote origins with a recovered cursor.
+    pub origins: usize,
+}
+
+// ---------------------------------------------------------- transport
+
+/// Seeded transport misbehavior: each delivery that passes the fault
+/// plan may still be silently dropped, duplicated, or reordered
+/// (held back and released on the next [`Replicator::pump`]).
+#[derive(Debug, Clone)]
+pub struct TransportChaos {
+    /// Probability a delivery is silently lost.
+    pub drop_rate: f64,
+    /// Probability a delivery arrives twice.
+    pub dup_rate: f64,
+    /// Probability a delivery is delayed past later ones.
+    pub reorder_rate: f64,
+    /// RNG seed (deterministic per seed).
+    pub seed: u64,
+}
+
+struct ChaosState {
+    config: TransportChaos,
+    rng: DetRng,
+}
+
+enum ChaosCall {
+    Deliver,
+    Drop,
+    Duplicate,
+    Reorder,
+}
+
+impl ChaosState {
+    fn decide(&mut self) -> ChaosCall {
+        if self.rng.random_bool(self.config.drop_rate) {
+            ChaosCall::Drop
+        } else if self.rng.random_bool(self.config.dup_rate) {
+            ChaosCall::Duplicate
+        } else if self.rng.random_bool(self.config.reorder_rate) {
+            ChaosCall::Reorder
+        } else {
+            ChaosCall::Deliver
+        }
+    }
+}
+
+/// A parked shipment: link endpoints plus the origin sequence number
+/// (the emission itself is refetched from the origin journal on
+/// replay, so the DLQ never holds stale payloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shipment {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Origin sequence number.
+    pub seq: u64,
+}
+
+struct Link {
+    from: NodeId,
+    to: NodeId,
+    policy: SharePolicy,
+    /// Highest origin seq this link has shipped (or handed to the DLQ).
+    acked: u64,
+    breaker: CircuitBreaker,
+}
+
+/// Judges one transport call over a link: per-peer breaker first, then
+/// the fault plan (with retry/backoff in virtual time).
+fn judge_transport(
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    rng: &mut DetRng,
+    telemetry: &Telemetry,
+    link: &mut Link,
+    target: &str,
+) -> Result<(), String> {
+    let now = plan.map(|p| p.clock().now_ms()).unwrap_or(0);
+    if !link.breaker.allow(now) {
+        telemetry.incr("replication.breaker.rejections");
+        return Err(format!("breaker open for {target}"));
+    }
+    let outcome = match plan {
+        None => Ok(()),
+        Some(plan) => {
+            let clock = plan.clock().clone();
+            retry
+                .run(&clock, rng, |attempt| {
+                    if attempt > 1 {
+                        telemetry.incr("replication.retries");
+                    }
+                    plan.check(target)
+                })
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+    };
+    let now = plan.map(|p| p.clock().now_ms()).unwrap_or(0);
+    match &outcome {
+        Ok(()) => link.breaker.on_success(now),
+        Err(_) => link.breaker.on_failure(now),
+    }
+    outcome
+}
+
+// ----------------------------------------------------------- replicator
+
+/// The replication mesh: per-node journals, policy-filtered directed
+/// links, simulated faulty transport, and idempotent receivers.
+pub struct Replicator {
+    replicas: BTreeMap<NodeId, Replica>,
+    links: Vec<Link>,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    rng: DetRng,
+    dlq: DeadLetterQueue<Shipment>,
+    chaos: Option<ChaosState>,
+    /// Reordered deliveries held for the next pump: `(link, emission)`.
+    delayed: Vec<(usize, Emission)>,
+    telemetry: Telemetry,
+    metrics: Option<Metrics>,
+    tracer: Option<Tracer>,
+    breaker_config: BreakerConfig,
+}
+
+impl Default for Replicator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Replicator {
+    /// An empty mesh with perfect transport.
+    pub fn new() -> Replicator {
+        Replicator {
+            replicas: BTreeMap::new(),
+            links: Vec::new(),
+            plan: None,
+            retry: RetryPolicy::no_retry(),
+            rng: DetRng::seed_from_u64(0).fork("replication-transport"),
+            dlq: DeadLetterQueue::new(REPLICATION_MAX_ATTEMPTS),
+            chaos: None,
+            delayed: Vec::new(),
+            telemetry: Telemetry::new(),
+            metrics: None,
+            tracer: None,
+            breaker_config: BreakerConfig::default(),
+        }
+    }
+
+    /// Installs fault-injected transport: every shipment over the link
+    /// `from → to` is judged by `plan` under target
+    /// `repl:<from_host>-><to_host>`, retried per `retry`.
+    pub fn with_fault_plan(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.plan = Some(plan);
+        self.retry = retry;
+    }
+
+    /// Installs (or clears) seeded drop/duplicate/reorder misbehavior
+    /// on deliveries that pass the fault plan.
+    pub fn set_transport_chaos(&mut self, chaos: Option<TransportChaos>) {
+        self.chaos = chaos.map(|config| ChaosState {
+            rng: DetRng::seed_from_u64(config.seed).fork("replication-chaos"),
+            config,
+        });
+    }
+
+    /// Overrides the per-peer circuit breaker configuration for links
+    /// created after this call.
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) {
+        self.breaker_config = config;
+    }
+
+    /// Attaches observability: `replication.ship` / `replication.apply`
+    /// spans and mirrored counters + the `replication.lag` gauge.
+    pub fn set_observability(&mut self, obs: &Obs) {
+        self.metrics = Some(obs.metrics().clone());
+        self.tracer = Some(obs.tracer().clone());
+    }
+
+    /// Replication telemetry (`replication.*` counters and gauges).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Attaches (or re-attaches) a node's replica state, opening its
+    /// emission journal on `storage` and recovering the replication
+    /// cursors exactly. Re-attaching after [`Replicator::kill`] is the
+    /// crash-recovery path.
+    pub fn attach(
+        &mut self,
+        fed: &Federation,
+        node: NodeId,
+        storage: Box<dyn Storage>,
+    ) -> Result<AttachReport, PlatformError> {
+        let host = fed.node(node)?.host().to_string();
+        let replica = Replica::open(host, storage)?;
+        let report = AttachReport {
+            recovered: replica.journal.len(),
+            next_seq: replica.next_seq,
+            origins: replica.cursors.len(),
+        };
+        self.replicas.insert(node, replica);
+        Ok(report)
+    }
+
+    /// Simulates a replica process crash: all in-memory replication
+    /// state for `node` is dropped (the persisted journal survives in
+    /// its storage). Returns whether the node had a replica.
+    pub fn kill(&mut self, node: NodeId) -> bool {
+        self.replicas.remove(&node).is_some()
+    }
+
+    /// Adds a directed replication link `from → to` under `policy`.
+    pub fn subscribe(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        policy: SharePolicy,
+    ) -> Result<(), PlatformError> {
+        if from == to {
+            return Err(PlatformError::Invalid("self-replication link".into()));
+        }
+        if self.links.iter().any(|l| l.from == from && l.to == to) {
+            return Err(PlatformError::Invalid(format!(
+                "duplicate link {from} -> {to}"
+            )));
+        }
+        self.links.push(Link {
+            from,
+            to,
+            policy,
+            acked: 0,
+            breaker: CircuitBreaker::new(self.breaker_config.clone()),
+        });
+        Ok(())
+    }
+
+    /// Packages the content ops accumulated on `author`'s node since
+    /// the last commit into an [`Emission`] (journaled durably), then
+    /// eagerly ships it over the node's outgoing links. Returns the
+    /// emission's sequence number, or `None` when there was nothing to
+    /// commit.
+    pub fn commit(
+        &mut self,
+        fed: &mut Federation,
+        author: &Acct,
+        album: Option<&str>,
+    ) -> Result<Option<u64>, PlatformError> {
+        let (node_id, _) = fed.webfinger(&author.to_string())?;
+        if !self.replicas.contains_key(&node_id) {
+            return Err(PlatformError::Invalid(format!(
+                "no replica attached for node {node_id}"
+            )));
+        }
+        let node = fed.node_mut(node_id)?;
+        let ops = node.drain_ops();
+        if ops.is_empty() {
+            return Ok(None);
+        }
+        let epoch = node.store().epoch();
+        let mut additions = Vec::new();
+        let mut removals = Vec::new();
+        for op in ops {
+            match op {
+                NodeOp::Insert(triple) => additions.push(EmissionQuad {
+                    triple,
+                    graph: None,
+                }),
+                NodeOp::Remove(triple) => removals.push(triple),
+            }
+        }
+        let replica = self.replicas.get_mut(&node_id).expect("checked above");
+        let emission = Emission {
+            origin: author.clone(),
+            seq: replica.next_seq,
+            epoch,
+            album: album.map(str::to_string),
+            additions,
+            removals,
+        };
+        let seq = emission.seq;
+        replica.append(emission)?;
+        self.telemetry.incr("replication.emissions");
+        if let Some(metrics) = &self.metrics {
+            metrics.incr("replication.emissions");
+        }
+        self.ship_from(fed, node_id)?;
+        self.publish_gauges();
+        Ok(Some(seq))
+    }
+
+    /// Ships everything pending: releases reorder-delayed deliveries,
+    /// drains every link's backlog, then runs an anti-entropy pass that
+    /// pulls any remaining gap (e.g. a silently dropped final emission)
+    /// over links the fault plan currently allows.
+    pub fn pump(&mut self, fed: &mut Federation) -> Result<(), PlatformError> {
+        let delayed = std::mem::take(&mut self.delayed);
+        for (idx, emission) in delayed {
+            self.deliver(fed, idx, emission)?;
+        }
+        for idx in 0..self.links.len() {
+            self.ship_link(fed, idx)?;
+        }
+        self.reconcile(fed)?;
+        self.publish_gauges();
+        Ok(())
+    }
+
+    fn ship_from(&mut self, fed: &mut Federation, from: NodeId) -> Result<(), PlatformError> {
+        for idx in 0..self.links.len() {
+            if self.links[idx].from == from {
+                self.ship_link(fed, idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships the link's backlog (acked → origin head). Failures park
+    /// the shipment in the DLQ and move on; chaos may drop, duplicate,
+    /// or delay individual deliveries.
+    fn ship_link(&mut self, fed: &mut Federation, idx: usize) -> Result<(), PlatformError> {
+        loop {
+            let (from, to) = (self.links[idx].from, self.links[idx].to);
+            let Some(origin) = self.replicas.get(&from) else {
+                return Ok(()); // sender down; nothing to ship
+            };
+            let head = origin.head();
+            let seq = self.links[idx].acked + 1;
+            if seq > head {
+                return Ok(());
+            }
+            let emission = origin
+                .own_emission(seq)
+                .ok_or_else(|| {
+                    PlatformError::Invalid(format!("emission {seq} missing from node {from}"))
+                })?
+                .clone();
+            let shipped = self.links[idx].policy.project(&emission);
+            let span = self.tracer.as_ref().map(|t| t.start("replication.ship"));
+            let target = self.link_target(fed, idx)?;
+            let verdict = if self.replicas.contains_key(&to) {
+                judge_transport(
+                    self.plan.as_ref(),
+                    &self.retry,
+                    &mut self.rng,
+                    &self.telemetry,
+                    &mut self.links[idx],
+                    &target,
+                )
+            } else {
+                Err(format!("replica {to} down"))
+            };
+            match verdict {
+                Err(error) => {
+                    self.park(Shipment { from, to, seq }, error);
+                }
+                Ok(()) => {
+                    self.telemetry.incr("replication.shipped");
+                    if let Some(metrics) = &self.metrics {
+                        metrics.incr("replication.shipped");
+                    }
+                    match self.chaos.as_mut().map(|c| c.decide()) {
+                        Some(ChaosCall::Drop) => {
+                            self.telemetry.incr("replication.transport.dropped");
+                        }
+                        Some(ChaosCall::Duplicate) => {
+                            self.telemetry.incr("replication.transport.duplicated");
+                            self.deliver(fed, idx, shipped.clone())?;
+                            self.deliver(fed, idx, shipped)?;
+                        }
+                        Some(ChaosCall::Reorder) => {
+                            self.telemetry.incr("replication.transport.reordered");
+                            self.delayed.push((idx, shipped));
+                        }
+                        Some(ChaosCall::Deliver) | None => {
+                            self.deliver(fed, idx, shipped)?;
+                        }
+                    }
+                }
+            }
+            // Parked or delivered, the slot is accounted for; the DLQ
+            // or the receiver's gap detection owns it from here.
+            self.links[idx].acked = seq;
+            if let Some(span) = span {
+                span.finish();
+            }
+        }
+    }
+
+    /// Applies one delivered emission at the link's receiver:
+    /// duplicates and stale epochs are no-ops, a gap triggers a
+    /// catch-up pull from the origin journal.
+    fn deliver(
+        &mut self,
+        fed: &mut Federation,
+        idx: usize,
+        emission: Emission,
+    ) -> Result<(), PlatformError> {
+        let (from, to) = (self.links[idx].from, self.links[idx].to);
+        let Some(receiver) = self.replicas.get(&to) else {
+            // A delayed delivery can land after the replica died.
+            self.park(
+                Shipment {
+                    from,
+                    to,
+                    seq: emission.seq,
+                },
+                format!("replica {to} down"),
+            );
+            return Ok(());
+        };
+        let cursor = receiver.cursor(&emission.origin.host);
+        if emission.seq <= cursor.seq {
+            self.telemetry.incr("replication.duplicates");
+            return Ok(());
+        }
+        if emission.epoch <= cursor.epoch {
+            self.telemetry.incr("replication.stale");
+            return Ok(());
+        }
+        if emission.seq > cursor.seq + 1 {
+            // Sequence gap: pull the missing range from the origin's
+            // journal (we are mid-delivery, so the pipe is open).
+            self.telemetry.incr("replication.catchups");
+            if let Some(metrics) = &self.metrics {
+                metrics.incr("replication.catchups");
+            }
+            let missing: Vec<Emission> = {
+                let Some(origin) = self.replicas.get(&from) else {
+                    return Ok(()); // origin down; a later pump repairs
+                };
+                (cursor.seq + 1..emission.seq)
+                    .filter_map(|s| origin.own_emission(s))
+                    .map(|e| self.links[idx].policy.project(e))
+                    .collect()
+            };
+            for pulled in missing {
+                self.apply_one(fed, to, pulled)?;
+            }
+        }
+        self.apply_one(fed, to, emission)
+    }
+
+    /// Applies an in-order emission at `to`: mutates the store,
+    /// journals the applied emission durably, and advances the cursor.
+    fn apply_one(
+        &mut self,
+        fed: &mut Federation,
+        to: NodeId,
+        emission: Emission,
+    ) -> Result<(), PlatformError> {
+        let span = self.tracer.as_ref().map(|t| t.start("replication.apply"));
+        {
+            let store = fed.node_mut(to)?.store_mut();
+            for quad in &emission.additions {
+                let g = match &quad.graph {
+                    None => store.default_graph(),
+                    Some(name) => store.graph(name),
+                };
+                store.insert(&quad.triple, g);
+            }
+            for triple in &emission.removals {
+                store.remove(triple);
+            }
+        }
+        let replica = self
+            .replicas
+            .get_mut(&to)
+            .ok_or_else(|| PlatformError::NotFound(format!("replica {to}")))?;
+        replica.append(emission)?;
+        self.telemetry.incr("replication.applied");
+        if let Some(metrics) = &self.metrics {
+            metrics.incr("replication.applied");
+        }
+        if let Some(span) = span {
+            span.finish();
+        }
+        Ok(())
+    }
+
+    /// Anti-entropy: for every link whose receiver is behind the
+    /// origin head (a silently dropped delivery leaves no later
+    /// emission to trip gap detection), pull the missing range — but
+    /// only if the transport currently allows it.
+    fn reconcile(&mut self, fed: &mut Federation) -> Result<(), PlatformError> {
+        for idx in 0..self.links.len() {
+            loop {
+                let (from, to) = (self.links[idx].from, self.links[idx].to);
+                let (Some(origin), Some(receiver)) =
+                    (self.replicas.get(&from), self.replicas.get(&to))
+                else {
+                    break;
+                };
+                let head = origin.head();
+                let cursor = receiver.cursor(&origin.host);
+                if cursor.seq >= head {
+                    break;
+                }
+                let target = self.link_target(fed, idx)?;
+                if judge_transport(
+                    self.plan.as_ref(),
+                    &self.retry,
+                    &mut self.rng,
+                    &self.telemetry,
+                    &mut self.links[idx],
+                    &target,
+                )
+                .is_err()
+                {
+                    break; // partitioned; a later pump retries
+                }
+                let origin = self.replicas.get(&from).expect("checked above");
+                let Some(next) = origin.own_emission(cursor.seq + 1) else {
+                    break;
+                };
+                let pulled = self.links[idx].policy.project(next);
+                self.telemetry.incr("replication.catchups");
+                if let Some(metrics) = &self.metrics {
+                    metrics.incr("replication.catchups");
+                }
+                self.apply_one(fed, to, pulled)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays the shipment dead-letter queue; still-failing shipments
+    /// are re-parked until [`REPLICATION_MAX_ATTEMPTS`] exhausts them.
+    pub fn redeliver(&mut self, fed: &mut Federation) -> Result<ReplayReport, PlatformError> {
+        let mut dlq = std::mem::replace(
+            &mut self.dlq,
+            DeadLetterQueue::new(REPLICATION_MAX_ATTEMPTS),
+        );
+        let mut failure: Option<PlatformError> = None;
+        let report = dlq.replay(|shipment| {
+            let idx = self
+                .links
+                .iter()
+                .position(|l| l.from == shipment.from && l.to == shipment.to)
+                .ok_or_else(|| "link removed".to_string())?;
+            if !self.replicas.contains_key(&shipment.to) {
+                return Err(format!("replica {} down", shipment.to));
+            }
+            let target = match self.link_target(fed, idx) {
+                Ok(target) => target,
+                Err(e) => {
+                    failure = Some(e);
+                    return Err("internal error".into());
+                }
+            };
+            judge_transport(
+                self.plan.as_ref(),
+                &self.retry,
+                &mut self.rng,
+                &self.telemetry,
+                &mut self.links[idx],
+                &target,
+            )?;
+            let emission = {
+                let origin = self
+                    .replicas
+                    .get(&shipment.from)
+                    .ok_or_else(|| format!("origin {} down", shipment.from))?;
+                let own = origin
+                    .own_emission(shipment.seq)
+                    .ok_or_else(|| format!("emission {} missing", shipment.seq))?;
+                self.links[idx].policy.project(own)
+            };
+            if let Err(e) = self.deliver(fed, idx, emission) {
+                failure = Some(e);
+                return Err("internal error".into());
+            }
+            Ok(())
+        });
+        self.dlq = dlq;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        self.telemetry
+            .add("replication.redelivered", report.replayed as u64);
+        self.telemetry
+            .set_gauge("replication.dlq.depth", self.dlq.depth() as u64);
+        self.publish_gauges();
+        Ok(report)
+    }
+
+    fn link_target(&self, fed: &Federation, idx: usize) -> Result<String, PlatformError> {
+        let link = &self.links[idx];
+        Ok(format!(
+            "repl:{}->{}",
+            fed.node(link.from)?.host(),
+            fed.node(link.to)?.host()
+        ))
+    }
+
+    fn park(&mut self, shipment: Shipment, error: String) {
+        self.telemetry.incr("replication.parked");
+        let now = self.plan.as_ref().map(|p| p.clock().now_ms()).unwrap_or(0);
+        self.dlq.push(shipment, error, now);
+        self.telemetry
+            .set_gauge("replication.dlq.depth", self.dlq.depth() as u64);
+    }
+
+    /// Maximum replication lag over all links: origin head sequence
+    /// minus the receiver's applied cursor.
+    pub fn lag(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|link| {
+                let Some(origin) = self.replicas.get(&link.from) else {
+                    return 0;
+                };
+                let applied = self
+                    .replicas
+                    .get(&link.to)
+                    .map(|r| r.cursor(&origin.host).seq)
+                    .unwrap_or(0);
+                origin.head().saturating_sub(applied)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every link is fully applied with nothing in flight or
+    /// parked.
+    pub fn converged(&self) -> bool {
+        self.lag() == 0 && self.delayed.is_empty() && self.dlq.depth() == 0
+    }
+
+    /// A node's own emission log, in sequence order — what a
+    /// single-node oracle replays to verify convergence, and what a
+    /// peer pulls from during catch-up.
+    pub fn emission_log(&self, node: NodeId) -> Result<Vec<Emission>, PlatformError> {
+        let replica = self
+            .replicas
+            .get(&node)
+            .ok_or_else(|| PlatformError::NotFound(format!("replica {node}")))?;
+        Ok((1..replica.next_seq)
+            .filter_map(|seq| replica.own_emission(seq))
+            .cloned()
+            .collect())
+    }
+
+    /// Parked shipments awaiting [`Replicator::redeliver`].
+    pub fn undelivered(&self) -> usize {
+        self.dlq.depth()
+    }
+
+    /// Shipments abandoned after [`REPLICATION_MAX_ATTEMPTS`].
+    pub fn exhausted(&self) -> usize {
+        self.dlq.exhausted().len()
+    }
+
+    /// Breaker state of the link `from → to`, if it exists.
+    pub fn breaker_state(&self, from: NodeId, to: NodeId) -> Option<BreakerState> {
+        self.links
+            .iter()
+            .find(|l| l.from == from && l.to == to)
+            .map(|l| l.breaker.state())
+    }
+
+    /// Point-in-time counters for the `/ops` degradation verdict.
+    pub fn ops(&self) -> ReplicationOps {
+        ReplicationOps {
+            lag: self.lag(),
+            dlq_depth: self.dlq.depth(),
+            parked: self.telemetry.counter("replication.parked"),
+            redelivered: self.telemetry.counter("replication.redelivered"),
+            emissions: self.telemetry.counter("replication.emissions"),
+            applied: self.telemetry.counter("replication.applied"),
+        }
+    }
+
+    fn publish_gauges(&self) {
+        let lag = self.lag();
+        self.telemetry.set_gauge("replication.lag", lag);
+        if let Some(metrics) = &self.metrics {
+            metrics.set_gauge("replication.lag", lag);
+            metrics.set_gauge("replication.dlq.depth", self.dlq.depth() as u64);
+        }
+    }
+}
+
+// -------------------------------------------------------------- outbox
+
+/// A platform-side emission outbox: `Platform::commit_staged` records
+/// each commit's annotated quads here; a replication agent drains it
+/// and ships. The journal persists beside the WAL (its own storage
+/// object) so a restarted platform resumes its sequence numbers; the
+/// drain position is consumer state, so a restart re-offers recovered
+/// emissions and downstream idempotent apply absorbs the overlap.
+pub struct EmissionOutbox {
+    origin: Acct,
+    storage: Box<dyn Storage>,
+    emissions: Vec<Emission>,
+    next_seq: u64,
+    /// Sequence number up to which a consumer has drained.
+    consumed: u64,
+}
+
+impl EmissionOutbox {
+    /// Opens (or creates) an outbox journal on `storage`, recovering
+    /// the emission sequence exactly.
+    pub fn open(
+        origin: Acct,
+        mut storage: Box<dyn Storage>,
+    ) -> Result<EmissionOutbox, PlatformError> {
+        let bytes = if storage.list().iter().any(|f| f == EMISSIONS_FILE) {
+            storage.read(EMISSIONS_FILE)?
+        } else {
+            storage.create(EMISSIONS_FILE)?;
+            Vec::new()
+        };
+        let (emissions, clean_len) = scan_emissions(&bytes)?;
+        if clean_len < bytes.len() {
+            storage.truncate(EMISSIONS_FILE, clean_len as u64)?;
+            storage.flush(EMISSIONS_FILE)?;
+        }
+        let next_seq = emissions.last().map(|e| e.seq + 1).unwrap_or(1);
+        Ok(EmissionOutbox {
+            origin,
+            storage,
+            emissions,
+            next_seq,
+            consumed: 0,
+        })
+    }
+
+    /// Records one commit's delta as an emission (journaled durably).
+    pub fn record(
+        &mut self,
+        epoch: u64,
+        album: Option<&str>,
+        additions: Vec<EmissionQuad>,
+        removals: Vec<Triple>,
+    ) -> Result<u64, PlatformError> {
+        let emission = Emission {
+            origin: self.origin.clone(),
+            seq: self.next_seq,
+            epoch,
+            album: album.map(str::to_string),
+            additions,
+            removals,
+        };
+        self.storage
+            .append(EMISSIONS_FILE, &frame_emission(&emission))?;
+        self.storage.flush(EMISSIONS_FILE)?;
+        self.next_seq += 1;
+        self.emissions.push(emission);
+        Ok(self.next_seq - 1)
+    }
+
+    /// Emissions not yet handed to a consumer.
+    pub fn lag(&self) -> u64 {
+        (self.next_seq - 1).saturating_sub(self.consumed)
+    }
+
+    /// Hands every undrained emission to the consumer, advancing the
+    /// drain position.
+    pub fn drain(&mut self) -> Vec<Emission> {
+        let pending: Vec<Emission> = self
+            .emissions
+            .iter()
+            .filter(|e| e.seq > self.consumed)
+            .cloned()
+            .collect();
+        self.consumed = self.next_seq - 1;
+        pending
+    }
+
+    /// The account this outbox emits as.
+    pub fn origin(&self) -> &Acct {
+        &self.origin
+    }
+
+    /// Total emissions journaled (including drained ones).
+    pub fn len(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.emissions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_durability::MemStorage;
+    use lodify_rdf::Term;
+    use lodify_resilience::VirtualClock;
+
+    fn acct(uri: &str) -> Acct {
+        Acct::parse(uri).expect("valid acct")
+    }
+
+    fn sample_emission() -> Emission {
+        let subject = Term::Iri(Iri::new_unchecked("http://node1.example/media/1"));
+        Emission {
+            origin: acct("acct:oscar@node1.example"),
+            seq: 7,
+            epoch: 42,
+            album: Some("turin-trip".into()),
+            additions: vec![
+                EmissionQuad {
+                    triple: Triple::new_unchecked(
+                        subject.clone(),
+                        Iri::new_unchecked("http://purl.org/dc/terms/title"),
+                        Term::Literal(lodify_rdf::Literal::simple("Mole")),
+                    ),
+                    graph: Some("urn:graph:ugc".into()),
+                },
+                EmissionQuad {
+                    triple: Triple::new_unchecked(
+                        subject.clone(),
+                        Iri::new_unchecked("http://xmlns.com/foaf/0.1/maker"),
+                        Term::Iri(Iri::new_unchecked("http://node1.example/user/oscar")),
+                    ),
+                    graph: None,
+                },
+            ],
+            removals: vec![Triple::new_unchecked(
+                subject,
+                Iri::new_unchecked("http://purl.org/dc/terms/subject"),
+                Term::Iri(Iri::new_unchecked("http://dbpedia.org/resource/Turin")),
+            )],
+        }
+    }
+
+    #[test]
+    fn emission_codec_round_trips() {
+        let emission = sample_emission();
+        let decoded = Emission::decode(emission.seq, &emission.encode()).unwrap();
+        assert_eq!(decoded, emission);
+
+        // Empty (marker) emissions round-trip too.
+        let marker = Emission {
+            additions: Vec::new(),
+            removals: Vec::new(),
+            album: None,
+            ..emission.clone()
+        };
+        let decoded = Emission::decode(marker.seq, &marker.encode()).unwrap();
+        assert_eq!(decoded, marker);
+        assert!(decoded.is_marker());
+
+        // Trailing garbage is rejected, not silently ignored.
+        let mut bytes = emission.encode();
+        bytes.push(0);
+        assert!(Emission::decode(emission.seq, &bytes).is_err());
+
+        // A CRC-passing body with a malformed origin is rejected by
+        // the Acct re-validation.
+        let mut forged = Vec::new();
+        codec::put_str(&mut forged, "os car");
+        codec::put_str(&mut forged, "node1.example");
+        assert!(Emission::decode(1, &forged).is_err());
+    }
+
+    #[test]
+    fn journal_scan_recovers_and_drops_torn_tail() {
+        let emission = sample_emission();
+        let mut bytes = frame_emission(&emission);
+        let clean = bytes.len();
+        bytes.extend_from_slice(&bytes.clone()[..9]); // torn second frame
+        let (recovered, offset) = scan_emissions(&bytes).unwrap();
+        assert_eq!(recovered, vec![emission]);
+        assert_eq!(offset, clean);
+    }
+
+    #[test]
+    fn share_policies_project_into_empty_markers() {
+        let emission = sample_emission();
+        assert_eq!(SharePolicy::Everything.project(&emission), emission);
+
+        let kept = SharePolicy::Users(vec!["oscar".into()]).project(&emission);
+        assert_eq!(kept, emission);
+        let withheld = SharePolicy::Users(vec!["walter".into()]).project(&emission);
+        assert!(withheld.is_marker());
+        assert_eq!(withheld.seq, emission.seq);
+        assert_eq!(withheld.origin, emission.origin);
+
+        assert!(!SharePolicy::Albums(vec!["turin-trip".into()])
+            .project(&emission)
+            .is_marker());
+        assert!(SharePolicy::Albums(vec!["other".into()])
+            .project(&emission)
+            .is_marker());
+
+        let dcterms = SharePolicy::PredicateNamespaces(vec!["http://purl.org/dc/terms/".into()])
+            .project(&emission);
+        assert_eq!(dcterms.additions.len(), 1);
+        assert_eq!(dcterms.removals.len(), 1);
+    }
+
+    fn two_node_mesh() -> (Federation, Replicator, Acct, MemStorage, MemStorage) {
+        let mut fed = Federation::new();
+        let n1 = fed.add_node("node1.example").unwrap();
+        let n2 = fed.add_node("node2.example").unwrap();
+        let oscar = fed.register_user(n1, "oscar", "Oscar").unwrap();
+        let d1 = MemStorage::new();
+        let d2 = MemStorage::new();
+        let mut repl = Replicator::new();
+        repl.attach(&fed, n1, Box::new(d1.clone())).unwrap();
+        repl.attach(&fed, n2, Box::new(d2.clone())).unwrap();
+        repl.subscribe(n1, n2, SharePolicy::Everything).unwrap();
+        (fed, repl, oscar, d1, d2)
+    }
+
+    #[test]
+    fn commit_replicates_and_empty_commits_are_none() {
+        let (mut fed, mut repl, oscar, _, _) = two_node_mesh();
+        let (media, _) = fed.publish(&oscar, "Mole at night", 1000).unwrap();
+        let seq = repl.commit(&mut fed, &oscar, None).unwrap();
+        assert_eq!(seq, Some(1));
+        assert!(repl.converged());
+        let replicated =
+            fed.node(1)
+                .unwrap()
+                .store()
+                .match_terms(Some(&Term::Iri(media.clone())), None, None);
+        assert_eq!(replicated.len(), 4, "all media triples replicated");
+
+        // Nothing staged → no emission, sequence unchanged.
+        assert_eq!(repl.commit(&mut fed, &oscar, None).unwrap(), None);
+
+        // A retraction replicates as removals: the media disappears
+        // from the replica too.
+        fed.retract(&oscar, &media).unwrap();
+        assert_eq!(repl.commit(&mut fed, &oscar, None).unwrap(), Some(2));
+        assert!(repl.converged());
+        let replicated =
+            fed.node(1)
+                .unwrap()
+                .store()
+                .match_terms(Some(&Term::Iri(media)), None, None);
+        assert!(replicated.is_empty(), "retraction propagated");
+        assert_eq!(repl.telemetry().counter("replication.applied"), 2);
+    }
+
+    #[test]
+    fn duplicates_and_stale_epochs_are_no_ops() {
+        let (mut fed, mut repl, oscar, _, _) = two_node_mesh();
+        fed.publish(&oscar, "first", 1000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        let before = fed.node(1).unwrap().store().len();
+
+        // Redeliver the same emission verbatim: cursor rejects it.
+        let emission = repl.replicas[&0].own_emission(1).unwrap().clone();
+        repl.deliver(&mut fed, 0, emission.clone()).unwrap();
+        assert_eq!(repl.telemetry().counter("replication.duplicates"), 1);
+
+        // A later seq carrying an older epoch is stale, not applied.
+        let stale = Emission {
+            seq: 2,
+            epoch: emission.epoch.saturating_sub(1),
+            ..emission
+        };
+        repl.deliver(&mut fed, 0, stale).unwrap();
+        assert_eq!(repl.telemetry().counter("replication.stale"), 1);
+        assert_eq!(fed.node(1).unwrap().store().len(), before);
+    }
+
+    #[test]
+    fn outage_parks_then_gap_catchup_and_redelivery_converge() {
+        let (mut fed, mut repl, oscar, _, _) = two_node_mesh();
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("repl:node1.example->node2.example", 0, 5_000)
+            .build(clock.clone());
+        repl.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        fed.publish(&oscar, "parked", 1000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        assert_eq!(repl.undelivered(), 1, "seq 1 parked during the outage");
+        assert_eq!(repl.lag(), 1);
+
+        // Outage over; the breaker opened during the outage, so let its
+        // cooldown elapse too.
+        clock.set(10_000);
+        fed.publish(&oscar, "after the partition", 2000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+
+        // Seq 2 arrived with cursor at 0 → gap → catch-up pulled seq 1.
+        assert!(repl.telemetry().counter("replication.catchups") >= 1);
+        assert_eq!(repl.lag(), 0);
+
+        // The parked copy of seq 1 replays as a duplicate no-op.
+        let report = repl.redeliver(&mut fed).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert!(repl.converged());
+        assert_eq!(repl.telemetry().counter("replication.duplicates"), 1);
+        assert_eq!(repl.telemetry().gauge("replication.dlq.depth"), Some(0));
+    }
+
+    #[test]
+    fn killed_replica_recovers_cursor_from_its_journal() {
+        let (mut fed, mut repl, oscar, _, d2) = two_node_mesh();
+        fed.publish(&oscar, "one", 1000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        fed.publish(&oscar, "two", 2000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        assert!(repl.converged());
+
+        // Crash the replica process: volatile state gone, journal kept.
+        assert!(repl.kill(1));
+        d2.crash();
+        fed.publish(&oscar, "while dead", 3000).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        assert_eq!(repl.undelivered(), 1, "shipment to the dead replica parked");
+
+        // Recover: the journal yields the exact cursor, so pumping
+        // applies only the missed emission.
+        let report = repl.attach(&fed, 1, Box::new(d2)).unwrap();
+        assert_eq!(report.recovered, 2, "both applied emissions recovered");
+        let applied_before = repl.telemetry().counter("replication.applied");
+        repl.pump(&mut fed).unwrap();
+        repl.redeliver(&mut fed).unwrap();
+        assert!(repl.converged());
+        assert_eq!(
+            repl.telemetry().counter("replication.applied") - applied_before,
+            1,
+            "exactly the missed emission applied — no re-application"
+        );
+    }
+
+    #[test]
+    fn outbox_resumes_sequence_numbers_across_restarts() {
+        let disk = MemStorage::new();
+        let origin = acct("acct:oscar@node1.example");
+        let mut outbox = EmissionOutbox::open(origin.clone(), Box::new(disk.clone())).unwrap();
+        let quad = |s: &str| EmissionQuad {
+            triple: Triple::new_unchecked(
+                Term::Iri(Iri::new_unchecked(s)),
+                Iri::new_unchecked("http://purl.org/dc/terms/title"),
+                Term::Literal(lodify_rdf::Literal::simple("x")),
+            ),
+            graph: Some("urn:graph:ugc".into()),
+        };
+        assert_eq!(
+            outbox
+                .record(10, None, vec![quad("http://node1.example/media/1")], vec![])
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            outbox
+                .record(
+                    11,
+                    Some("trip"),
+                    vec![quad("http://node1.example/media/2")],
+                    vec![]
+                )
+                .unwrap(),
+            2
+        );
+        assert_eq!(outbox.lag(), 2);
+        assert_eq!(outbox.drain().len(), 2);
+        assert_eq!(outbox.lag(), 0);
+
+        // Restart: sequence resumes at 3; the journal re-offers all
+        // emissions (idempotent apply downstream absorbs the overlap).
+        let mut reopened = EmissionOutbox::open(origin, Box::new(disk)).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.lag(), 2);
+        assert_eq!(
+            reopened
+                .record(12, None, vec![quad("http://node1.example/media/3")], vec![])
+                .unwrap(),
+            3
+        );
+    }
+}

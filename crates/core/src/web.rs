@@ -991,6 +991,51 @@ mod tests {
     }
 
     #[test]
+    fn ops_route_reports_replication_outbox_lag() {
+        use crate::Upload;
+        use lodify_durability::MemStorage;
+
+        let mut p = platform();
+        p.enable_emissions(
+            crate::federation::Acct::parse("acct:oscar@node1.example").unwrap(),
+            Box::new(MemStorage::new()),
+        )
+        .unwrap();
+        p.upload(Upload {
+            user_id: 1,
+            title: "Tramonto alla Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 1_320_500_000,
+            gps: None,
+            poi: None,
+        })
+        .unwrap();
+
+        // The commit journaled one emission; nothing drained it yet.
+        let resp = get(&p, "/ops", false);
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.body.contains("replication lag=1 dlq=0"),
+            "{}",
+            resp.body
+        );
+        let metrics = get(&p, "/metrics", false);
+        assert!(
+            metrics.body.contains("lodify_replication_outbox_lag 1"),
+            "{}",
+            metrics.body
+        );
+
+        // Draining hands the committed UGC delta to a replication
+        // agent and clears the lag.
+        let emissions = p.drain_emissions();
+        assert_eq!(emissions.len(), 1);
+        assert!(!emissions[0].additions.is_empty());
+        let resp = get(&p, "/ops", false);
+        assert!(resp.body.contains("replication lag=0"), "{}", resp.body);
+    }
+
+    #[test]
     fn request_ids_propagate_into_the_access_log() {
         let p = platform();
         let request = Request::parse("GET /search?q=Turi HTTP/1.1", &[]).unwrap();

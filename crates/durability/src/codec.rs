@@ -15,6 +15,12 @@
 //! handful of bytes); strings are varint-length-prefixed UTF-8. Terms
 //! are written once as [`Record::DictAdd`] entries and referenced by
 //! id from then on — the *compact* part of the codec.
+//!
+//! Besides [`Record`] frames the codec also offers *opaque payload*
+//! frames ([`put_payload_frame`] / [`read_payload_frame`]) — the same
+//! length+CRC envelope around caller-defined bytes. The replication
+//! layer's emission journals use these so they share the WAL's
+//! corruption detection without consuming record tags.
 
 use lodify_rdf::{BlankNode, Iri, Literal, Term};
 
@@ -163,12 +169,15 @@ pub fn get_varint(bytes: &[u8], cursor: &mut usize) -> Result<u64, DurabilityErr
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Appends a varint-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(bytes: &[u8], cursor: &mut usize) -> Result<String, DurabilityError> {
+/// Reads a varint-length-prefixed UTF-8 string, validating both the
+/// bounds and the encoding.
+pub fn get_str(bytes: &[u8], cursor: &mut usize) -> Result<String, DurabilityError> {
     let len = get_varint(bytes, cursor)? as usize;
     let end = cursor
         .checked_add(len)
@@ -437,6 +446,94 @@ pub fn read_frame(bytes: &[u8], offset: usize) -> FrameOutcome {
     }
 }
 
+// ------------------------------------------------------ payload frames
+
+/// Appends a CRC32-framed, length-prefixed *opaque* payload — the same
+/// wire shape as [`put_frame`], but carrying caller-defined bytes
+/// instead of a [`Record`]. The replication layer frames its emissions
+/// with this so emission journals inherit the WAL's torn-tail and
+/// bit-flip detection without reserving record tags.
+pub fn put_payload_frame(out: &mut Vec<u8>, seq: u64, body: &[u8]) {
+    let mut payload = Vec::with_capacity(body.len() + 4);
+    put_varint(&mut payload, seq);
+    payload.extend_from_slice(body);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Result of scanning one opaque-payload frame at an offset.
+#[derive(Debug)]
+pub enum PayloadOutcome {
+    /// A complete, CRC-verified frame.
+    Frame {
+        /// Sequence number written with the frame.
+        seq: u64,
+        /// The opaque body bytes.
+        body: Vec<u8>,
+        /// Offset of the next frame.
+        next: usize,
+    },
+    /// Clean end of the byte stream.
+    End,
+    /// Bytes remain but do not form a whole frame — a truncated tail.
+    Truncated {
+        /// Offset where the partial frame starts.
+        at: usize,
+    },
+    /// A structurally complete frame whose CRC does not check out.
+    Corrupt {
+        /// Offset of the bad frame.
+        at: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Scans the opaque-payload frame starting at `offset`; the counterpart
+/// of [`read_frame`] for [`put_payload_frame`] streams. Never panics on
+/// malformed input.
+pub fn read_payload_frame(bytes: &[u8], offset: usize) -> PayloadOutcome {
+    if offset >= bytes.len() {
+        return PayloadOutcome::End;
+    }
+    let remaining = &bytes[offset..];
+    if remaining.len() < 8 {
+        return PayloadOutcome::Truncated { at: offset };
+    }
+    let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return PayloadOutcome::Corrupt {
+            at: offset,
+            reason: format!("frame length {len} exceeds cap"),
+        };
+    }
+    let expected_crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+    let body_end = 8 + len as usize;
+    if remaining.len() < body_end {
+        return PayloadOutcome::Truncated { at: offset };
+    }
+    let payload = &remaining[8..body_end];
+    if crc32(payload) != expected_crc {
+        return PayloadOutcome::Corrupt {
+            at: offset,
+            reason: "CRC mismatch".into(),
+        };
+    }
+    let mut cursor = 0usize;
+    match get_varint(payload, &mut cursor) {
+        Ok(seq) => PayloadOutcome::Frame {
+            seq,
+            body: payload[cursor..].to_vec(),
+            next: offset + body_end,
+        },
+        Err(e) => PayloadOutcome::Corrupt {
+            at: offset,
+            reason: e.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +649,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn payload_frames_round_trip_and_detect_damage() {
+        let mut buf = Vec::new();
+        put_payload_frame(&mut buf, 1, b"hello");
+        put_payload_frame(&mut buf, 2, b"");
+        put_payload_frame(&mut buf, 3, &[0xFF, 0x00, 0x7F]);
+        let mut offset = 0;
+        let mut seen = Vec::new();
+        loop {
+            match read_payload_frame(&buf, offset) {
+                PayloadOutcome::Frame { seq, body, next } => {
+                    seen.push((seq, body));
+                    offset = next;
+                }
+                PayloadOutcome::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (1, b"hello".to_vec()),
+                (2, Vec::new()),
+                (3, vec![0xFF, 0x00, 0x7F]),
+            ]
+        );
+        // Truncated tails are reported at every cut point, never parsed.
+        let mut one = Vec::new();
+        put_payload_frame(&mut one, 9, b"payload");
+        for cut in 1..one.len() {
+            match read_payload_frame(&one[..cut], 0) {
+                PayloadOutcome::Truncated { at: 0 } | PayloadOutcome::Corrupt { .. } => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+        // A flipped body bit fails the CRC.
+        let mut bent = one.clone();
+        let last = bent.len() - 1;
+        bent[last] ^= 0x01;
+        assert!(matches!(
+            read_payload_frame(&bent, 0),
+            PayloadOutcome::Corrupt { .. }
+        ));
     }
 
     #[test]

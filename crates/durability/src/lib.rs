@@ -8,7 +8,9 @@
 //!
 //! * [`codec`] — a compact binary codec for dictionary entries and
 //!   `(s, p, o, graph)` statements, framed as length-prefixed,
-//!   CRC32-checked records;
+//!   CRC32-checked records; the same framing is exposed for opaque
+//!   payloads so sibling journals (e.g. `core::replication` emission
+//!   logs) inherit torn-tail and bit-flip detection;
 //! * [`storage`] — an append-only file abstraction with an explicit
 //!   durability barrier; [`MemStorage`] models the durable/volatile
 //!   split so chaos tests can crash the engine at any byte,

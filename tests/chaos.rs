@@ -103,7 +103,7 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
     assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
 
-    let snapshot = OpsSnapshot::collect(broker, None, None, None, None, None);
+    let snapshot = OpsSnapshot::collect(broker, None, None, None, None, None, None);
     assert!(snapshot.is_degraded());
     assert_eq!(
         snapshot
@@ -259,6 +259,7 @@ fn federation_redelivers_in_order_after_node_outage() {
         &SemanticBroker::standard(),
         None,
         Some(&fed),
+        None,
         None,
         None,
         None,
@@ -697,6 +698,7 @@ fn platform_survives_crashed_compaction_and_reports_durability_health() {
         &SemanticBroker::standard(),
         None,
         None,
+        None,
         Some(stats),
         Some(revived.album_cache_stats()),
         None,
@@ -709,5 +711,247 @@ fn platform_survives_crashed_compaction_and_reports_durability_health() {
     assert!(
         rendered.contains("album cache"),
         "ops report shows the view cache: {rendered}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Emission replication (core::replication)
+
+use lodify::core::replication::{Replicator, SharePolicy, TransportChaos};
+
+/// The shared subset a link from `host` replicates: every exported
+/// N-Triples line about that node's media, sorted for byte comparison.
+fn shared_subset(store: &Store, host: &str) -> String {
+    let prefix = format!("<http://{host}/media/");
+    let mut lines: Vec<String> = store
+        .export_ntriples(None)
+        .lines()
+        .filter(|l| l.starts_with(&prefix))
+        .map(str::to_string)
+        .collect();
+    lines.sort_unstable();
+    lines.join("\n")
+}
+
+#[test]
+fn replication_converges_under_partition_reorder_dup_and_replica_crash() {
+    let mut fed = Federation::new();
+    let n1 = fed.add_node("node1.example").unwrap();
+    let n2 = fed.add_node("node2.example").unwrap();
+    let n3 = fed.add_node("node3.example").unwrap();
+    let n4 = fed.add_node("node4.example").unwrap();
+    let oscar = fed.register_user(n1, "oscar", "Oscar W.").unwrap();
+
+    let clock = VirtualClock::new();
+    // node2 is partitioned from node1 for the first 40 virtual seconds.
+    let plan = FaultPlan::builder()
+        .outage("repl:node1.example->node2.example", 0, 40_000)
+        .seed(11)
+        .build(clock.clone());
+
+    let disks: Vec<MemStorage> = (0..4).map(|_| MemStorage::new()).collect();
+    let mut repl = Replicator::new();
+    for (node, disk) in [
+        (n1, &disks[0]),
+        (n2, &disks[1]),
+        (n3, &disks[2]),
+        (n4, &disks[3]),
+    ] {
+        repl.attach(&fed, node, Box::new(disk.clone())).unwrap();
+    }
+    for to in [n2, n3, n4] {
+        repl.subscribe(n1, to, SharePolicy::Everything).unwrap();
+    }
+    repl.with_fault_plan(plan, RetryPolicy::no_retry());
+    repl.set_transport_chaos(Some(TransportChaos {
+        drop_rate: 0.2,
+        dup_rate: 0.15,
+        reorder_rate: 0.15,
+        seed: 7,
+    }));
+
+    // First wave of publishes, during the partition.
+    let mut media = Vec::new();
+    for i in 0..6 {
+        let (iri, _) = fed
+            .publish(&oscar, &format!("wave one #{i}"), 1_000 + i)
+            .unwrap();
+        media.push(iri);
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        clock.advance(1_000);
+    }
+
+    // Kill node3 mid-stream: process state gone, journal survives.
+    assert!(repl.kill(n3));
+    disks[2].crash();
+
+    // Second wave while node3 is dead and node2 partitioned, including
+    // a retraction of already-replicated media.
+    fed.retract(&oscar, &media[1]).unwrap();
+    repl.commit(&mut fed, &oscar, None).unwrap();
+    for i in 6..10 {
+        let (iri, _) = fed
+            .publish(&oscar, &format!("wave two #{i}"), 2_000 + i)
+            .unwrap();
+        media.push(iri);
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        clock.advance(1_000);
+    }
+
+    // Recover node3 from its persisted journal: the cursor survives.
+    let report = repl.attach(&fed, n3, Box::new(disks[2].clone())).unwrap();
+    assert!(
+        report.recovered > 0,
+        "journal recovered applied emissions: {report:?}"
+    );
+
+    // Converge: advance past the partition + breaker cooldowns, pump
+    // delayed/backlogged emissions and replay the dead-letter queue.
+    let mut rounds = 0;
+    while !repl.converged() {
+        rounds += 1;
+        assert!(rounds <= 50, "mesh failed to converge in 50 rounds");
+        clock.advance(5_000);
+        repl.pump(&mut fed).unwrap();
+        repl.redeliver(&mut fed).unwrap();
+    }
+    assert_eq!(repl.lag(), 0);
+    assert_eq!(repl.undelivered(), 0);
+
+    // The single-node oracle: replay node1's own emission log, in
+    // order, into a fresh store.
+    let mut oracle = Store::new();
+    for emission in repl.emission_log(n1).unwrap() {
+        for quad in &emission.additions {
+            let g = match &quad.graph {
+                None => oracle.default_graph(),
+                Some(name) => oracle.graph(name),
+            };
+            oracle.insert(&quad.triple, g);
+        }
+        for triple in &emission.removals {
+            oracle.remove(triple);
+        }
+    }
+    let expected = shared_subset(&oracle, "node1.example");
+    assert!(!expected.is_empty(), "oracle saw the published media");
+    assert!(
+        !expected.contains(&format!("<{}>", media[1].as_str())),
+        "retracted media absent from the oracle"
+    );
+    for to in [n2, n3, n4] {
+        let got = shared_subset(fed.node(to).unwrap().store(), "node1.example");
+        assert_eq!(
+            got, expected,
+            "node {to} shared subset byte-identical to the oracle"
+        );
+    }
+
+    // The chaos plan actually exercised every failure mode.
+    let t = repl.telemetry();
+    assert!(t.counter("replication.transport.dropped") > 0, "drops hit");
+    assert!(
+        t.counter("replication.transport.duplicated") > 0,
+        "dups hit"
+    );
+    assert!(
+        t.counter("replication.transport.reordered") > 0,
+        "reorders hit"
+    );
+    assert!(t.counter("replication.catchups") > 0, "gap catch-up ran");
+    assert!(
+        t.counter("replication.parked") > 0,
+        "partition parked shipments"
+    );
+    assert!(
+        t.counter("replication.redelivered") > 0,
+        "DLQ replay delivered"
+    );
+
+    // And /ops-facing counters agree with the converged state.
+    let ops = repl.ops();
+    assert_eq!(ops.lag, 0);
+    assert_eq!(ops.dlq_depth, 0);
+    assert_eq!(ops.emissions, 11);
+    let snapshot = OpsSnapshot::collect(
+        &SemanticBroker::standard(),
+        None,
+        None,
+        Some(ops),
+        None,
+        None,
+        None,
+    );
+    assert!(!snapshot.is_degraded(), "converged mesh is healthy");
+    assert!(snapshot.to_string().contains("replication lag=0 dlq=0"));
+}
+
+#[test]
+fn replication_recovered_replica_resumes_from_persisted_cursor() {
+    let mut fed = Federation::new();
+    let n1 = fed.add_node("node1.example").unwrap();
+    let n2 = fed.add_node("node2.example").unwrap();
+    let oscar = fed.register_user(n1, "oscar", "Oscar W.").unwrap();
+
+    let disk = MemStorage::new();
+    let mut repl = Replicator::new();
+    repl.attach(&fed, n1, Box::new(MemStorage::new())).unwrap();
+    repl.attach(&fed, n2, Box::new(disk.clone())).unwrap();
+    repl.subscribe(n1, n2, SharePolicy::Everything).unwrap();
+
+    let mut media: Vec<Iri> = Vec::new();
+    for i in 0..3 {
+        let (iri, _) = fed
+            .publish(&oscar, &format!("pre-crash #{i}"), 1_000 + i)
+            .unwrap();
+        media.push(iri);
+        repl.commit(&mut fed, &oscar, None).unwrap();
+    }
+    assert!(repl.converged());
+    let applied_before_crash = repl.telemetry().counter("replication.applied");
+    assert_eq!(applied_before_crash, 3);
+
+    // Crash the replica; its durable journal survives.
+    assert!(repl.kill(n2));
+    disk.crash();
+
+    // While it is down: two more publishes and one retraction of
+    // media the replica already applied.
+    for i in 3..5 {
+        let (iri, _) = fed
+            .publish(&oscar, &format!("post-crash #{i}"), 2_000 + i)
+            .unwrap();
+        media.push(iri);
+        repl.commit(&mut fed, &oscar, None).unwrap();
+    }
+    fed.retract(&oscar, &media[0]).unwrap();
+    repl.commit(&mut fed, &oscar, None).unwrap();
+
+    // Recover from the persisted journal: the cursor is exact, so
+    // pumping applies exactly the three missed emissions — nothing is
+    // re-applied, nothing is lost.
+    let report = repl.attach(&fed, n2, Box::new(disk)).unwrap();
+    assert_eq!(report.recovered, 3, "pre-crash applies recovered");
+    repl.pump(&mut fed).unwrap();
+    repl.redeliver(&mut fed).unwrap();
+    assert!(repl.converged());
+    assert_eq!(
+        repl.telemetry().counter("replication.applied") - applied_before_crash,
+        3,
+        "exactly the missed emissions applied on recovery"
+    );
+
+    // The replica matches the origin, including the retraction: the
+    // removed media did not resurrect from the replay.
+    let expected = shared_subset(fed.node(n1).unwrap().store(), "node1.example");
+    let got = shared_subset(fed.node(n2).unwrap().store(), "node1.example");
+    assert_eq!(got, expected);
+    assert!(
+        fed.node(n2)
+            .unwrap()
+            .store()
+            .match_terms(Some(&Term::Iri(media[0].clone())), None, None)
+            .is_empty(),
+        "retracted media stayed retracted after recovery"
     );
 }
