@@ -54,7 +54,7 @@ use crate::error::PlatformError;
 /// let sparql = q3.to_sparql();
 /// assert!(sparql.contains("?monument rdfs:label \"Mole Antonelliana\"@it ."));
 /// assert!(sparql.contains("?user foaf:knows ?friend ."));
-/// assert!(sparql.ends_with("ORDER BY DESC(?points)\n"));
+/// assert!(sparql.ends_with("ORDER BY DESC(?points) ?link\n"));
 /// ```
 #[derive(Debug, Clone)]
 pub struct AlbumSpec {
@@ -70,6 +70,30 @@ pub struct AlbumSpec {
     pub order_by_rating: bool,
     /// Optional result cap.
     pub limit: Option<usize>,
+    /// Predicates the generated query reads, derived by the builders
+    /// so that every cache probe borrows instead of allocating.
+    preds: Vec<Iri>,
+}
+
+/// The constant predicates a query with the given refinements reads.
+fn derive_predicates(social: bool, rated: bool) -> Vec<Iri> {
+    let mut preds = vec![
+        ns::iri::rdfs_label(),
+        ns::iri::geo_geometry(),
+        ns::iri::rdf_type(),
+        ns::iri::image_data(),
+    ];
+    if social {
+        preds.extend([
+            ns::iri::foaf_maker(),
+            ns::iri::foaf_name(),
+            ns::iri::foaf_knows(),
+        ]);
+    }
+    if rated {
+        preds.push(ns::iri::rev_rating());
+    }
+    preds
 }
 
 impl AlbumSpec {
@@ -82,6 +106,7 @@ impl AlbumSpec {
             friend_of: None,
             order_by_rating: false,
             limit: None,
+            preds: derive_predicates(false, false),
         }
     }
 
@@ -89,12 +114,14 @@ impl AlbumSpec {
     /// user X").
     pub fn friends_of(mut self, user_name: &str) -> AlbumSpec {
         self.friend_of = Some(user_name.to_string());
+        self.preds = derive_predicates(true, self.order_by_rating);
         self
     }
 
     /// Q3: order by rating, best first.
     pub fn rated(mut self) -> AlbumSpec {
         self.order_by_rating = true;
+        self.preds = derive_predicates(self.friend_of.is_some(), true);
         self
     }
 
@@ -130,8 +157,14 @@ impl AlbumSpec {
             self.radius_km
         ));
         let mut query = format!("SELECT DISTINCT ?link WHERE {{\n{body}}}\n");
+        // The trailing `?link` sort key makes the result order a pure
+        // function of (rating, link) — ties no longer depend on join
+        // enumeration order, which is what lets the live standing-query
+        // engine ([`crate::live`]) reproduce the order from a patch.
         if self.order_by_rating {
-            query.push_str("ORDER BY DESC(?points)\n");
+            query.push_str("ORDER BY DESC(?points) ?link\n");
+        } else {
+            query.push_str("ORDER BY ?link\n");
         }
         if let Some(limit) = self.limit {
             query.push_str(&format!("LIMIT {limit}\n"));
@@ -151,25 +184,11 @@ impl AlbumSpec {
 
     /// The constant predicates the generated query reads. A cached
     /// answer stays valid while none of them has seen a mutation —
-    /// the incremental-invalidation contract of [`AlbumCache`].
-    pub fn predicates(&self) -> Vec<Iri> {
-        let mut preds = vec![
-            ns::iri::rdfs_label(),
-            ns::iri::geo_geometry(),
-            ns::iri::rdf_type(),
-            ns::iri::image_data(),
-        ];
-        if self.friend_of.is_some() {
-            preds.extend([
-                ns::iri::foaf_maker(),
-                ns::iri::foaf_name(),
-                ns::iri::foaf_knows(),
-            ]);
-        }
-        if self.order_by_rating {
-            preds.push(ns::iri::rev_rating());
-        }
-        preds
+    /// the incremental-invalidation contract of [`AlbumCache`]. The
+    /// slice is computed once by the builders, so probing it on the
+    /// cache hot path is allocation-free.
+    pub fn predicates(&self) -> &[Iri] {
+        &self.preds
     }
 }
 
@@ -230,6 +249,9 @@ pub struct AlbumCacheStats {
     pub misses: u64,
     /// Entries dropped because a relevant predicate mutated.
     pub invalidations: u64,
+    /// Predicate-epoch fingerprint computations. Memoized per store
+    /// epoch, so a warm view at an unchanged epoch costs zero of these.
+    pub fingerprint_recomputes: u64,
     /// Materialized albums currently held.
     pub entries: usize,
 }
@@ -307,10 +329,21 @@ pub struct AlbumCacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct AlbumCache {
-    entries: Mutex<HashMap<String, MaterializedAlbum>>,
+    entries: Mutex<HashMap<String, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    fingerprint_recomputes: AtomicU64,
+}
+
+/// A cached album plus the fingerprint memo: `fp` is the query's
+/// predicate-epoch fingerprint as of store epoch `fp_epoch`, so a view
+/// at an unchanged epoch skips the per-predicate recomputation.
+#[derive(Debug)]
+struct CacheEntry {
+    album: MaterializedAlbum,
+    fp_epoch: u64,
+    fp: u64,
 }
 
 impl AlbumCache {
@@ -342,24 +375,63 @@ impl AlbumCache {
         F: FnOnce(&AlbumSpec) -> Result<Vec<String>, PlatformError>,
     {
         let key = spec.to_sparql();
+        let epoch = store.epoch();
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = entries.get(&key) {
-            if entry.is_fresh(spec, store) {
+        if let Some(entry) = entries.get_mut(&key) {
+            if entry.fp_epoch != epoch {
+                entry.fp = fingerprint(spec, store);
+                entry.fp_epoch = epoch;
+                self.fingerprint_recomputes.fetch_add(1, Ordering::Relaxed);
+            }
+            if entry.fp == entry.album.valid_for {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(entry.links.clone());
+                return Ok(entry.album.links.clone());
             }
             entries.remove(&key);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let links = solve(spec)?;
-        let album = MaterializedAlbum {
-            links: links.clone(),
-            solved_at: store.epoch(),
-            valid_for: fingerprint(spec, store),
-        };
-        entries.insert(key, album);
+        let fp = fingerprint(spec, store);
+        self.fingerprint_recomputes.fetch_add(1, Ordering::Relaxed);
+        entries.insert(
+            key,
+            CacheEntry {
+                album: MaterializedAlbum {
+                    links: links.clone(),
+                    solved_at: epoch,
+                    valid_for: fp,
+                },
+                fp_epoch: epoch,
+                fp,
+            },
+        );
         Ok(links)
+    }
+
+    /// Installs an externally maintained answer for `spec` — the live
+    /// standing-query engine ([`crate::live`]) patches albums in place
+    /// instead of letting a mutation invalidate them, so the next view
+    /// is a hit rather than a re-solve. Counts as neither hit nor miss.
+    pub fn patch(&self, store: &Store, spec: &AlbumSpec, links: Vec<String>) {
+        let epoch = store.epoch();
+        let fp = fingerprint(spec, store);
+        self.fingerprint_recomputes.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                spec.to_sparql(),
+                CacheEntry {
+                    album: MaterializedAlbum {
+                        links,
+                        solved_at: epoch,
+                        valid_for: fp,
+                    },
+                    fp_epoch: epoch,
+                    fp,
+                },
+            );
     }
 
     /// Counter snapshot.
@@ -368,6 +440,7 @@ impl AlbumCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            fingerprint_recomputes: self.fingerprint_recomputes.load(Ordering::Relaxed),
             entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
         }
     }
@@ -661,6 +734,7 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 invalidations: 0,
+                fingerprint_recomputes: 1,
                 entries: 1
             }
         );
@@ -739,6 +813,71 @@ mod tests {
         assert!(album.is_fresh(&q3, &store));
         store.remove(&rating);
         assert!(!album.is_fresh(&q3, &store));
+    }
+
+    /// Satellite regression: the predicate-epoch fingerprint is
+    /// memoized per store epoch — warm views at an unchanged epoch do
+    /// not rescan the spec's predicates.
+    #[test]
+    fn fingerprint_is_memoized_per_store_epoch() {
+        let (mut store, _) = tiny_store();
+        let cache = AlbumCache::new();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+
+        cache.view(&store, &spec).unwrap();
+        assert_eq!(cache.stats().fingerprint_recomputes, 1, "cold admit");
+        for _ in 0..10 {
+            cache.view(&store, &spec).unwrap();
+        }
+        assert_eq!(
+            cache.stats().fingerprint_recomputes,
+            1,
+            "warm views reuse the memo"
+        );
+
+        // Any epoch bump (even on an irrelevant predicate) costs
+        // exactly one recomputation on the next view.
+        let g = store.default_graph();
+        store.insert(
+            &Triple::spo(
+                "http://t/pictures/1",
+                ns::iri::foaf_maker().as_str(),
+                Term::literal("nobody"),
+            ),
+            g,
+        );
+        cache.view(&store, &spec).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.fingerprint_recomputes, 2);
+        assert_eq!(stats.hits, 11, "irrelevant predicate: still a hit");
+    }
+
+    /// A patched entry serves subsequent views as hits — the live
+    /// engine's contract for skipping invalidation entirely.
+    #[test]
+    fn patched_entry_is_served_as_a_hit() {
+        let (mut store, _) = tiny_store();
+        let cache = AlbumCache::new();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 0.3);
+        cache.view(&store, &spec).unwrap();
+
+        // Mutate, then patch the maintained answer in place.
+        let g = store.default_graph();
+        store.insert(
+            &Triple::spo(
+                "http://t/pictures/2",
+                ns::iri::image_data().as_str(),
+                Term::literal("http://t/media/2.jpg"),
+            ),
+            g,
+        );
+        let fresh = spec.execute(&store).unwrap();
+        cache.patch(&store, &spec, fresh.clone());
+
+        let served = cache.view(&store, &spec).unwrap();
+        assert_eq!(served, fresh);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.invalidations), (1, 1, 0));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! * **Salmon** → [`Federation::reply`]: comments swim upstream to the
 //!   node owning the original content.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -31,7 +31,10 @@ use lodify_rdf::{ns, Iri, Literal, Term, Triple};
 use lodify_resilience::{DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry};
 use lodify_store::Store;
 
+use crate::albums::AlbumSpec;
 use crate::error::PlatformError;
+use crate::live::{LiveAlbumId, PushHub, StandingQueryEngine, SubscriberAlbum, SubscriberId};
+use crate::metrics::LivePushOps;
 
 /// A WebFinger-style account identifier.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -256,6 +259,27 @@ impl Node {
     /// the payload of the next emission.
     pub(crate) fn drain_ops(&mut self) -> Vec<NodeOp> {
         std::mem::take(&mut self.ops)
+    }
+
+    /// Ops journaled so far (a cursor for [`Node::ops_delta`]).
+    pub(crate) fn ops_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The `(additions, removals)` journaled since `from` — a
+    /// non-consuming view of the delta a mutation just produced, fed
+    /// to the live standing-query engines without disturbing the
+    /// replication drain.
+    pub(crate) fn ops_delta(&self, from: usize) -> (Vec<Triple>, Vec<Triple>) {
+        let mut additions = Vec::new();
+        let mut removals = Vec::new();
+        for op in &self.ops[from.min(self.ops.len())..] {
+            match op {
+                NodeOp::Insert(t) => additions.push(t.clone()),
+                NodeOp::Remove(t) => removals.push(t.clone()),
+            }
+        }
+        (additions, removals)
     }
 
     /// Mutable store access for the replication layer. Remote applies
@@ -499,6 +523,16 @@ struct SparqlSubscription {
     seen: HashSet<String>,
 }
 
+/// Live-album state for one publisher node: a standing-query engine
+/// over the node's store plus the SparqlPuSH hub shipping its diffs.
+/// Keyed per node so `LiveAlbumId` spaces stay disjoint between
+/// publishers, and so replication can maintain a replica's live
+/// albums independently of the origin's.
+struct NodeLive {
+    engine: StandingQueryEngine,
+    hub: PushHub,
+}
+
 /// Delivery resilience: a scripted fault plan judged per receiving
 /// node (`node:<host>`), retries with virtual backoff, and a
 /// dead-letter queue of undeliverable notifications replayed by
@@ -517,6 +551,8 @@ pub struct Federation {
     /// `(topic acct, subscriber node)` — PubSubHubbub subscriptions.
     subscriptions: Vec<(Acct, NodeId)>,
     sparql_subs: Vec<SparqlSubscription>,
+    /// Per-publisher live albums (differential SparqlPuSH).
+    live: BTreeMap<NodeId, NodeLive>,
     resilience: Option<DeliveryResilience>,
     observability: Option<Metrics>,
     /// Clock for delivery timing — wall by default, the fault plan's
@@ -542,6 +578,7 @@ impl Federation {
             nodes: Vec::new(),
             subscriptions: Vec::new(),
             sparql_subs: Vec::new(),
+            live: BTreeMap::new(),
             resilience: None,
             observability: None,
             clock: Arc::new(WallClock::new()),
@@ -571,6 +608,11 @@ impl Federation {
     /// parked in a dead-letter queue when retries exhaust.
     pub fn with_fault_plan(&mut self, plan: FaultPlan, retry: RetryPolicy) {
         self.clock = Arc::new(plan.clock().clone());
+        // Live-push hubs share the plan: their deliveries are judged
+        // under `push:<subscriber host>` next to the node outages.
+        for live in self.live.values_mut() {
+            live.hub.with_fault_plan(plan.clone(), retry.clone());
+        }
         self.resilience = Some(DeliveryResilience {
             plan,
             retry,
@@ -689,14 +731,20 @@ impl Federation {
             .ok_or_else(|| PlatformError::NotFound(format!("node {subscriber}")))?;
         sub_node.import_profile(&profile);
         let g = sub_node.store.default_graph();
-        sub_node.store.insert(
-            &Triple::new_unchecked(
-                Term::Iri(follower.profile_iri()),
-                ns::iri::foaf_knows(),
-                Term::Iri(topic.profile_iri()),
-            ),
-            g,
+        let knows = Triple::new_unchecked(
+            Term::Iri(follower.profile_iri()),
+            ns::iri::foaf_knows(),
+            Term::Iri(topic.profile_iri()),
         );
+        sub_node.store.insert(&knows, g);
+        // Profile import and the knows edge bypass the ops journal
+        // (they are not content, so replication must not ship them),
+        // but the subscriber's live Q2-style albums still need the
+        // delta: a new friendship can pull content into a
+        // friends-of album.
+        let mut additions = profile;
+        additions.push(knows);
+        self.live_maintain(subscriber, &additions, &[]);
         if !self
             .subscriptions
             .iter()
@@ -727,6 +775,131 @@ impl Federation {
         Ok(())
     }
 
+    /// Differential SparqlPuSH (ROADMAP item 4): registers `spec` as a
+    /// standing query over `publisher`'s store and subscribes
+    /// `subscriber`'s host to the resulting [`crate::live::AlbumDiff`]
+    /// stream. Unlike [`Federation::sparql_subscribe`], which re-runs
+    /// the whole query on every publish and pushes stringified new
+    /// rows, this ships exact membership diffs maintained in O(delta).
+    /// Deliveries are judged by the installed fault plan under target
+    /// `push:<subscriber host>`.
+    pub fn live_subscribe(
+        &mut self,
+        subscriber: NodeId,
+        publisher: NodeId,
+        spec: &AlbumSpec,
+    ) -> Result<(LiveAlbumId, SubscriberId), PlatformError> {
+        self.node(publisher)?;
+        let callback = self.node(subscriber)?.host.clone();
+        if !self.live.contains_key(&publisher) {
+            let mut hub = PushHub::new();
+            if let Some(res) = &self.resilience {
+                hub.with_fault_plan(res.plan.clone(), res.retry.clone());
+            }
+            self.live.insert(
+                publisher,
+                NodeLive {
+                    engine: StandingQueryEngine::new(),
+                    hub,
+                },
+            );
+        }
+        let Federation { nodes, live, .. } = self;
+        let entry = live.get_mut(&publisher).expect("inserted above");
+        let album = entry.engine.register(&nodes[publisher].store, spec);
+        let sub = entry.hub.subscribe(&callback, album, &entry.engine);
+        entry.hub.pump();
+        Ok((album, sub))
+    }
+
+    /// Feeds a committed delta on `node`'s store to its standing-query
+    /// engine and ships the resulting diffs. Called after every content
+    /// mutation — local publishes/retractions/replies, follow-driven
+    /// profile imports, and replication applying a peer's emission to a
+    /// replica — so live albums stay maintained on replicas too.
+    pub(crate) fn live_maintain(
+        &mut self,
+        node: NodeId,
+        additions: &[Triple],
+        removals: &[Triple],
+    ) {
+        let Federation { nodes, live, .. } = self;
+        let Some(entry) = live.get_mut(&node) else {
+            return;
+        };
+        let Some(n) = nodes.get(node) else { return };
+        let diffs = entry.engine.apply(&n.store, additions, removals);
+        for diff in &diffs {
+            entry.hub.offer(diff);
+        }
+        if !diffs.is_empty() {
+            entry.hub.pump();
+        }
+    }
+
+    /// Publisher-side truth for a live album: the links the standing
+    /// query currently maintains on `publisher`.
+    pub fn live_links(&self, publisher: NodeId, album: LiveAlbumId) -> Vec<String> {
+        self.live
+            .get(&publisher)
+            .map(|l| l.engine.links(album).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// A live subscriber's materialized album (its idempotent
+    /// diff-applied state), if the subscriber is alive.
+    pub fn live_subscriber(
+        &self,
+        publisher: NodeId,
+        sub: SubscriberId,
+    ) -> Option<&SubscriberAlbum> {
+        self.live.get(&publisher)?.hub.subscriber(sub)
+    }
+
+    /// The push hub serving `publisher`'s live albums, if any
+    /// subscription created one.
+    pub fn live_hub(&self, publisher: NodeId) -> Option<&PushHub> {
+        self.live.get(&publisher).map(|l| &l.hub)
+    }
+
+    /// Mutable access to `publisher`'s push hub — chaos tests use this
+    /// to kill/recover subscribers mid-stream.
+    pub fn live_hub_mut(&mut self, publisher: NodeId) -> Option<&mut PushHub> {
+        self.live.get_mut(&publisher).map(|l| &mut l.hub)
+    }
+
+    /// Replays every live-push dead-letter queue (the `push:` analogue
+    /// of [`Federation::redeliver`]), returning the merged report.
+    pub fn live_redeliver(&mut self) -> ReplayReport {
+        let mut total = ReplayReport::default();
+        for live in self.live.values_mut() {
+            let report = live.hub.redeliver();
+            total.replayed += report.replayed;
+            total.requeued += report.requeued;
+            total.exhausted += report.exhausted;
+        }
+        total
+    }
+
+    /// Aggregated live-push counters across every publisher hub, or
+    /// `None` when no live subscription exists.
+    pub fn live_push_ops(&self) -> Option<LivePushOps> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let mut total = LivePushOps::default();
+        for live in self.live.values() {
+            let ops = live.hub.ops();
+            total.subscribers += ops.subscribers;
+            total.delivered += ops.delivered;
+            total.parked += ops.parked;
+            total.redelivered += ops.redelivered;
+            total.lag += ops.lag;
+            total.dlq_depth += ops.dlq_depth;
+        }
+        Some(total)
+    }
+
     /// Publishes media on the author's node and fans out notifications
     /// (PubSubHubbub activities + SparqlPuSH row diffs).
     pub fn publish(
@@ -736,6 +909,7 @@ impl Federation {
         ts: i64,
     ) -> Result<(Iri, Vec<Notification>), PlatformError> {
         let (node_id, _) = self.webfinger(&author.to_string())?;
+        let mark = self.nodes[node_id].ops_len();
         let media = self.nodes[node_id].publish_media(author, title, ts);
         let activity = Activity {
             actor: author.clone(),
@@ -745,6 +919,8 @@ impl Federation {
             ts,
         };
         self.nodes[node_id].timeline.push(activity.clone());
+        let (additions, removals) = self.nodes[node_id].ops_delta(mark);
+        self.live_maintain(node_id, &additions, &removals);
         let notifications = self.fan_out(node_id, activity);
         Ok((media, notifications))
     }
@@ -771,12 +947,15 @@ impl Federation {
         if triples.is_empty() {
             return Err(PlatformError::NotFound(format!("media {media}")));
         }
+        let mark = node.ops_len();
         let mut removed = 0;
         for triple in triples {
             if node.remove_content(triple) {
                 removed += 1;
             }
         }
+        let (additions, removals) = self.nodes[node_id].ops_delta(mark);
+        self.live_maintain(node_id, &additions, &removals);
         Ok(removed)
     }
 
@@ -794,6 +973,7 @@ impl Federation {
             .iter()
             .position(|n| target.as_str().starts_with(&format!("http://{}/", n.host)))
             .ok_or_else(|| PlatformError::NotFound(format!("no node owns {target}")))?;
+        let mark = self.nodes[owner].ops_len();
         let comment = self.nodes[owner].add_comment(target, author, text, ts);
         let activity = Activity {
             actor: author.clone(),
@@ -803,6 +983,8 @@ impl Federation {
             ts,
         };
         self.nodes[owner].timeline.push(activity.clone());
+        let (additions, removals) = self.nodes[owner].ops_delta(mark);
+        self.live_maintain(owner, &additions, &removals);
         Ok(self.fan_out(owner, activity))
     }
 
@@ -1427,5 +1609,145 @@ mod tests {
             .is_empty());
         // Retracting again: nothing left to remove.
         assert!(fed.retract(&walter, &media).is_err());
+    }
+
+    fn mole() -> lodify_rdf::Point {
+        let gaz = lodify_context::Gazetteer::global();
+        gaz.poi("Mole_Antonelliana").unwrap().point(gaz)
+    }
+
+    /// Seeds the Mole monument (label + geometry) on `node` as
+    /// node-local reference data — the anchor every Q1-shaped album
+    /// spec joins against.
+    fn seed_monument(fed: &mut Federation, node: NodeId) {
+        let store = fed.nodes[node].store_mut();
+        let g = store.default_graph();
+        let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole().to_literal()),
+            ),
+            g,
+        );
+    }
+
+    /// Inserts picture-shaped content (the §2.3 album shape: typed,
+    /// geolocated near the Mole, linked, attributed) on `node` through
+    /// the journaled content path, then feeds the delta to the node's
+    /// live engine exactly as `publish`/`retract` do.
+    fn share_picture(fed: &mut Federation, node: NodeId, n: u32, maker: &Acct) -> Iri {
+        let host = fed.nodes[node].host.clone();
+        let iri = Iri::new_unchecked(format!("http://{host}/media/{n}"));
+        let subject = Term::Iri(iri.clone());
+        let mark = fed.nodes[node].ops_len();
+        fed.nodes[node].insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::rdf_type(),
+            Term::Iri(ns::iri::microblog_post()),
+        ));
+        fed.nodes[node].insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::geo_geometry(),
+            Term::Literal(mole().offset_km(0.05, 0.0).to_literal()),
+        ));
+        fed.nodes[node].insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::image_data(),
+            Term::literal(format!("http://{host}/raw/{n}.jpg")),
+        ));
+        fed.nodes[node].insert_content(Triple::new_unchecked(
+            subject,
+            ns::iri::foaf_maker(),
+            Term::Iri(maker.profile_iri()),
+        ));
+        let (additions, removals) = fed.nodes[node].ops_delta(mark);
+        fed.live_maintain(node, &additions, &removals);
+        iri
+    }
+
+    fn live_spec() -> AlbumSpec {
+        AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0).friends_of("walter")
+    }
+
+    #[test]
+    fn live_subscription_tracks_follow_and_retract_diffs() {
+        let (mut fed, oscar, walter) = two_node_federation();
+        seed_monument(&mut fed, 0);
+        let spec = live_spec();
+        let (album, sub) = fed.live_subscribe(1, 0, &spec).unwrap();
+        assert!(fed.live_subscriber(0, sub).unwrap().links().is_empty());
+
+        // Content by oscar exists, but oscar follows nobody yet.
+        let media = share_picture(&mut fed, 0, 90, &oscar);
+        assert!(fed.live_links(0, album).is_empty());
+
+        // Following walter imports his profile and records the knows
+        // edge; that delta pulls oscar's picture into the standing
+        // album and the diff is pushed to node2.
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        let expected = spec.execute(fed.node(0).unwrap().store()).unwrap();
+        assert_eq!(fed.live_links(0, album), expected);
+        assert_eq!(fed.live_subscriber(0, sub).unwrap().links(), expected);
+
+        // Retraction over the public path journals removals; the
+        // member is retracted exactly and the subscriber converges.
+        fed.retract(&oscar, &media).unwrap();
+        assert!(fed.live_links(0, album).is_empty());
+        assert!(fed.live_subscriber(0, sub).unwrap().links().is_empty());
+        assert!(fed.live_hub(0).unwrap().converged());
+    }
+
+    #[test]
+    fn live_push_outage_parks_diffs_and_redelivery_converges() {
+        use lodify_resilience::VirtualClock;
+
+        let (mut fed, oscar, walter) = two_node_federation();
+        seed_monument(&mut fed, 0);
+        let spec = live_spec();
+        // Subscribe while the transport is healthy: the snapshot
+        // frame (empty album) is delivered immediately.
+        let (album, sub) = fed.live_subscribe(1, 0, &spec).unwrap();
+        assert!(fed.live_hub(0).unwrap().converged());
+
+        // Installing a fault plan afterwards reaches the already
+        // created hub; live push is judged under `push:<host>`,
+        // disjoint from the `node:<host>` namespace.
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder()
+            .outage("push:node2.example", 0, 5_000)
+            .build(clock.clone());
+        fed.with_fault_plan(plan, RetryPolicy::no_retry());
+
+        share_picture(&mut fed, 0, 91, &oscar);
+        fed.subscribe(0, &oscar, &walter).unwrap();
+        assert!(
+            !fed.live_links(0, album).is_empty(),
+            "publisher truth intact"
+        );
+        assert!(fed.live_subscriber(0, sub).unwrap().links().is_empty());
+        assert_eq!(fed.live_hub(0).unwrap().undelivered(), 1);
+        assert!(!fed.live_hub(0).unwrap().converged());
+
+        clock.advance(10_000);
+        let report = fed.live_redeliver();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(
+            fed.live_subscriber(0, sub).unwrap().links(),
+            fed.live_links(0, album)
+        );
+        assert!(fed.live_hub(0).unwrap().converged());
+        let ops = fed.live_push_ops().unwrap();
+        assert_eq!(ops.dlq_depth, 0);
+        assert_eq!(ops.redelivered, 1);
     }
 }

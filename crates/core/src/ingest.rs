@@ -34,6 +34,14 @@
 //!
 //! The identity is asserted by tests in `crates/core/tests/ingest.rs`
 //! and measured by bench E18.
+//!
+//! # Live albums
+//!
+//! Standing queries ([`crate::live`]) need no special handling here:
+//! every [`Platform::commit_staged`] drains its committed delta into
+//! the live engine before returning, so a batch maintains registered
+//! albums commit-by-commit — the same per-delta patches, diffs and
+//! push frames the serial upload path produces, in the same order.
 
 use std::time::{Duration, Instant};
 

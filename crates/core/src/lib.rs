@@ -33,7 +33,12 @@
 //! * [`replication`] — emission-level state replication between home
 //!   nodes: CRC-framed per-node emission journals, policy-filtered
 //!   links, idempotent apply with sequence-gap catch-up, and
-//!   chaos-verified convergence (ROADMAP item 3).
+//!   chaos-verified convergence (ROADMAP item 3);
+//! * [`live`] — live albums (ROADMAP item 4): a standing-query engine
+//!   that maintains materialized albums differentially from committed
+//!   deltas instead of invalidating them, and a SparqlPuSH hub that
+//!   ships the resulting diffs to subscribers with at-least-once
+//!   delivery and idempotent apply.
 
 #![warn(missing_docs)]
 
@@ -43,6 +48,7 @@ pub mod deferred;
 pub mod error;
 pub mod federation;
 pub mod ingest;
+pub mod live;
 pub mod mashup;
 pub mod metrics;
 pub mod platform;
@@ -53,6 +59,7 @@ pub mod web;
 pub use albums::AlbumSpec;
 pub use error::PlatformError;
 pub use ingest::{IngestPool, IngestReport};
+pub use live::{LiveService, StandingQueryEngine};
 pub use mashup::{MashupConfig, MashupResult, MashupService};
 pub use platform::{Platform, Upload};
 pub use replication::{Emission, EmissionOutbox, Replicator, SharePolicy};

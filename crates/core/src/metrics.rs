@@ -191,6 +191,42 @@ pub struct ReplicationOps {
     pub applied: u64,
 }
 
+/// Live standing-query maintenance counters inside an
+/// [`OpsSnapshot`]: how much delta-join work the engine did instead of
+/// album recomputes, plus the push leg's delivery state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveOps {
+    /// Registered standing album queries.
+    pub albums: usize,
+    /// Delta triples routed through the engine.
+    pub deltas: u64,
+    /// Albums patched via pair re-evaluation.
+    pub patched_albums: u64,
+    /// Full album refreshes (anchor/friend-set changes, recovery).
+    pub refreshes: u64,
+    /// Non-empty album diffs emitted.
+    pub diffs: u64,
+    /// SparqlPuSH delivery counters.
+    pub push: LivePushOps,
+}
+
+/// Push-delivery counters inside [`LiveOps`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivePushOps {
+    /// Active subscriptions.
+    pub subscribers: usize,
+    /// Frames applied at subscribers.
+    pub delivered: u64,
+    /// Deliveries parked in the dead-letter queue.
+    pub parked: u64,
+    /// Frames delivered by redelivery passes.
+    pub redelivered: u64,
+    /// Maximum outbox backlog over subscribers.
+    pub lag: u64,
+    /// Deliveries currently parked.
+    pub dlq_depth: usize,
+}
+
 /// A point-in-time operational snapshot of the resilience machinery —
 /// breaker states, retry counts and dead-letter depths across the
 /// annotation and federation pipelines. This is the ops-facing
@@ -228,23 +264,46 @@ pub struct OpsSnapshot {
     /// invalidations, LRU evictions), when the broker memoizes
     /// per-term fan-outs.
     pub semantic_cache: Option<SemanticCacheStats>,
+    /// Standing-query maintenance and SparqlPuSH delivery counters,
+    /// when the platform runs live albums.
+    pub live: Option<LiveOps>,
+}
+
+/// The optional inputs to [`OpsSnapshot::collect`]. Every field
+/// defaults to absent because a deployment may run only part of the
+/// pipeline: an ephemeral store has no journal, a headless ingest run
+/// serves no album views, a cache-less broker memoizes nothing.
+#[derive(Default)]
+pub struct OpsSources<'a> {
+    /// The re-annotation queue, when one is draining.
+    pub requeue: Option<&'a ReAnnotator>,
+    /// The federation, when the node participates in one.
+    pub federation: Option<&'a Federation>,
+    /// Replication counters, when a mesh (or emission outbox) runs.
+    pub replication: Option<ReplicationOps>,
+    /// Persistence counters, when the store is journal-backed.
+    pub durability: Option<DurabilityStats>,
+    /// Album-cache counters, when the platform serves cached views.
+    pub album_cache: Option<AlbumCacheStats>,
+    /// Semantic-cache counters, when the broker memoizes fan-outs.
+    pub semantic_cache: Option<SemanticCacheStats>,
+    /// Live-album counters, when standing queries are registered.
+    pub live: Option<LiveOps>,
 }
 
 impl OpsSnapshot {
-    /// Collects the current state; `requeue` / `federation` /
-    /// `durability` / `album_cache` / `semantic_cache` are optional
-    /// because a deployment may run only part of the pipeline (an
-    /// ephemeral store has no journal, a headless ingest run serves no
-    /// album views, a cache-less broker memoizes nothing).
-    pub fn collect(
-        broker: &SemanticBroker,
-        requeue: Option<&ReAnnotator>,
-        federation: Option<&Federation>,
-        replication: Option<ReplicationOps>,
-        durability: Option<DurabilityStats>,
-        album_cache: Option<AlbumCacheStats>,
-        semantic_cache: Option<SemanticCacheStats>,
-    ) -> OpsSnapshot {
+    /// Collects the current state from the broker plus whichever
+    /// optional [`OpsSources`] sections this deployment runs.
+    pub fn collect(broker: &SemanticBroker, sources: OpsSources<'_>) -> OpsSnapshot {
+        let OpsSources {
+            requeue,
+            federation,
+            replication,
+            durability,
+            album_cache,
+            semantic_cache,
+            live,
+        } = sources;
         let mut snapshot = OpsSnapshot::default();
         let telemetry = broker.telemetry();
         for name in broker.resolver_names() {
@@ -280,6 +339,7 @@ impl OpsSnapshot {
         snapshot.durability = durability;
         snapshot.album_cache = album_cache;
         snapshot.semantic_cache = semantic_cache;
+        snapshot.live = live;
         snapshot
     }
 
@@ -287,6 +347,11 @@ impl OpsSnapshot {
     /// degraded: subscribed replicas are falling this many emissions
     /// behind their origins (a converged mesh sits at zero).
     pub const REPLICATION_LAG_THRESHOLD: u64 = 64;
+
+    /// Push lag at or above which the platform counts as degraded:
+    /// live-album subscribers are falling this many diff frames behind
+    /// their outbox heads (a converged hub sits at zero).
+    pub const LIVE_PUSH_LAG_THRESHOLD: u64 = 64;
 
     /// WAL backlog above which the platform counts as degraded: flushes
     /// are falling behind ingestion (a healthy engine drains to zero at
@@ -313,6 +378,9 @@ impl OpsSnapshot {
                 .durability
                 .as_ref()
                 .is_some_and(|d| d.wal_pending as u64 >= Self::WAL_BACKLOG_THRESHOLD)
+            || self.live.as_ref().is_some_and(|l| {
+                l.push.dlq_depth > 0 || l.push.lag >= Self::LIVE_PUSH_LAG_THRESHOLD
+            })
     }
 }
 
@@ -370,8 +438,8 @@ impl fmt::Display for OpsSnapshot {
         if let Some(c) = &self.album_cache {
             write!(
                 f,
-                "\n  album cache hits={} misses={} invalidations={} entries={}",
-                c.hits, c.misses, c.invalidations, c.entries
+                "\n  album cache hits={} misses={} invalidations={} fingerprints={} entries={}",
+                c.hits, c.misses, c.invalidations, c.fingerprint_recomputes, c.entries
             )?;
         }
         if let Some(c) = &self.semantic_cache {
@@ -379,6 +447,24 @@ impl fmt::Display for OpsSnapshot {
                 f,
                 "\n  semantic cache hits={} misses={} invalidations={} evictions={} entries={}",
                 c.hits, c.misses, c.invalidations, c.evictions, c.entries
+            )?;
+        }
+        if let Some(l) = &self.live {
+            write!(
+                f,
+                "\n  live        albums={} deltas={} patched={} refreshes={} diffs={}\
+                 \n  live push   subs={} delivered={} parked={} redelivered={} lag={} dlq={}",
+                l.albums,
+                l.deltas,
+                l.patched_albums,
+                l.refreshes,
+                l.diffs,
+                l.push.subscribers,
+                l.push.delivered,
+                l.push.parked,
+                l.push.redelivered,
+                l.push.lag,
+                l.push.dlq_depth
             )?;
         }
         Ok(())
@@ -502,7 +588,7 @@ mod tests {
         .with_resilience(clock, BrokerResilienceConfig::default());
 
         // Healthy at rest.
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, OpsSources::default());
         assert!(!snapshot.is_degraded());
         assert_eq!(snapshot.resolvers.len(), 2);
 
@@ -511,7 +597,7 @@ mod tests {
         for _ in 0..4 {
             broker.resolve(&store, &["torino".to_string()], "torino", Some("en"));
         }
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, None, None);
+        let snapshot = OpsSnapshot::collect(&broker, OpsSources::default());
         assert!(snapshot.is_degraded());
         let dbp_ops = snapshot
             .resolvers
@@ -540,15 +626,69 @@ mod tests {
             hits: 7,
             misses: 2,
             invalidations: 1,
+            fingerprint_recomputes: 3,
             entries: 2,
         };
-        let snapshot = OpsSnapshot::collect(&broker, None, None, None, None, Some(stats), None);
+        let snapshot = OpsSnapshot::collect(
+            &broker,
+            OpsSources {
+                album_cache: Some(stats),
+                ..OpsSources::default()
+            },
+        );
         assert_eq!(snapshot.album_cache, Some(stats));
         let rendered = snapshot.to_string();
         assert!(
-            rendered.contains("album cache hits=7 misses=2 invalidations=1 entries=2"),
+            rendered
+                .contains("album cache hits=7 misses=2 invalidations=1 fingerprints=3 entries=2"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn ops_snapshot_renders_live_counters_and_flags_push_lag() {
+        let broker = lodify_lod::SemanticBroker::standard();
+        let live = LiveOps {
+            albums: 3,
+            deltas: 40,
+            patched_albums: 5,
+            refreshes: 3,
+            diffs: 4,
+            push: LivePushOps {
+                subscribers: 2,
+                delivered: 4,
+                parked: 0,
+                redelivered: 0,
+                lag: 0,
+                dlq_depth: 0,
+            },
+        };
+        let snapshot = OpsSnapshot::collect(
+            &broker,
+            OpsSources {
+                live: Some(live),
+                ..OpsSources::default()
+            },
+        );
+        assert_eq!(snapshot.live, Some(live));
+        assert!(!snapshot.is_degraded(), "converged push is healthy");
+        let rendered = snapshot.to_string();
+        assert!(
+            rendered.contains("live        albums=3 deltas=40 patched=5 refreshes=3 diffs=4"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("live push   subs=2 delivered=4 parked=0 redelivered=0 lag=0 dlq=0"),
+            "{rendered}"
+        );
+
+        // A parked push delivery or a lag past the threshold degrades.
+        let mut lagging = snapshot.clone();
+        lagging.live.as_mut().unwrap().push.dlq_depth = 1;
+        assert!(lagging.is_degraded(), "parked push delivery degrades");
+        let mut behind = snapshot;
+        behind.live.as_mut().unwrap().push.lag = OpsSnapshot::LIVE_PUSH_LAG_THRESHOLD;
+        assert!(behind.is_degraded(), "push lag at threshold degrades");
     }
 
     #[test]

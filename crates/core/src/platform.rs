@@ -27,6 +27,7 @@ use lodify_tripletags::{Tag, TagIndex, TripleTag};
 use crate::albums::{AlbumCache, AlbumCacheStats, AlbumSpec};
 use crate::error::PlatformError;
 use crate::federation::Acct;
+use crate::live::{LiveAlbumId, LiveService, SubscriberId};
 use crate::replication::{Emission, EmissionOutbox, EmissionQuad};
 
 /// Annotation predicate: content → LOD resource it is about.
@@ -160,6 +161,7 @@ pub struct Platform {
     semantic_cache: Arc<SemanticCache>,
     obs: Obs,
     outbox: Option<EmissionOutbox>,
+    live: LiveService,
 }
 
 impl Platform {
@@ -282,6 +284,7 @@ impl Platform {
             semantic_cache: Arc::new(SemanticCache::new()),
             obs: Obs::new(),
             outbox: None,
+            live: LiveService::new(),
         };
         platform.wire_observability();
         platform.rebuild_tag_index()?;
@@ -297,6 +300,7 @@ impl Platform {
         self.annotator
             .set_semantic_cache(self.semantic_cache.clone());
         self.store.set_observability(self.obs.metrics().clone());
+        self.live.set_observability(&self.obs);
     }
 
     /// The observability bundle: metrics registry, tracer, slow-query
@@ -538,19 +542,23 @@ impl Platform {
             span.finish();
         }
 
-        // Incremental semanticization of the new rows (§2.1).
+        // Incremental semanticization of the new rows (§2.1). The
+        // committed delta is collected whenever a consumer needs it:
+        // the emission outbox (replication) or the standing-query
+        // engine (live albums) — both see exactly what was inserted.
         let semanticize = root.map(|r| r.child("upload.semanticize"));
+        let track_delta = self.outbox.is_some() || !self.live.engine().is_empty();
         let mut emitted: Vec<Triple> = Vec::new();
         if let Some(ref_id) = poi_ref_id {
             let poi_triples = dump::dump_resource(&self.db, &self.mapping, cpg::POI_REFS, ref_id)?;
             self.store.insert_all(&poi_triples, self.ugc_graph)?;
-            if self.outbox.is_some() {
+            if track_delta {
                 emitted.extend(poi_triples);
             }
         }
         let triples = dump::dump_resource(&self.db, &self.mapping, cpg::PICTURES, pid)?;
         let mut triples_added = self.store.insert_all(&triples, self.ugc_graph)?;
-        if self.outbox.is_some() {
+        if track_delta {
             emitted.extend(triples);
         }
         if let Some(span) = semanticize {
@@ -567,12 +575,17 @@ impl Platform {
         let record = root.map(|r| r.child("upload.record"));
         let annotation = Self::annotation_triples(pid, &result);
         triples_added += self.store.insert_all(&annotation, self.ugc_graph)?;
-        if self.outbox.is_some() {
+        if track_delta {
             emitted.extend(annotation);
         }
         if let Some(span) = record {
             span.finish();
         }
+
+        // Maintain live albums from the committed delta before the
+        // outbox consumes it (the engine only borrows the triples).
+        self.live
+            .on_commit(self.store.store(), Some(&self.album_cache), &emitted, &[]);
 
         if let Some(outbox) = &mut self.outbox {
             let additions = emitted
@@ -718,6 +731,11 @@ impl Platform {
         result: AnnotationResult,
     ) -> Result<usize, PlatformError> {
         self.record_annotation(pid, &result)?;
+        if !self.live.engine().is_empty() {
+            let triples = Self::annotation_triples(pid, &result);
+            self.live
+                .on_commit(self.store.store(), Some(&self.album_cache), &triples, &[]);
+        }
         let fired = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
         Ok(fired)
@@ -738,10 +756,27 @@ impl Platform {
         )?;
         let agg = self.mapping.aggregate_maps[0].clone();
         let subject = Term::Iri(Self::picture_iri(pid));
+        // Capture the aggregate triples being replaced so the
+        // standing-query engine sees the removal half of the delta.
+        let removed = if self.live.engine().is_empty() {
+            Vec::new()
+        } else {
+            self.store
+                .store()
+                .match_terms(Some(&subject), Some(&agg.predicate), None)
+        };
         self.store.remove_pattern_sp(&subject, &agg.predicate)?;
+        let mut added = Vec::new();
         if let Some(triple) = dump::aggregate_for(&self.db, &self.mapping, &agg, pid)? {
             self.store.insert(&triple, self.ugc_graph)?;
+            added.push(triple);
         }
+        self.live.on_commit(
+            self.store.store(),
+            Some(&self.album_cache),
+            &added,
+            &removed,
+        );
         Ok(())
     }
 
@@ -977,19 +1012,57 @@ impl Platform {
     pub fn ops_snapshot(&self) -> crate::metrics::OpsSnapshot {
         crate::metrics::OpsSnapshot::collect(
             self.annotator.broker(),
-            None,
-            None,
-            self.outbox
-                .as_ref()
-                .map(|o| crate::metrics::ReplicationOps {
-                    lag: o.lag(),
-                    emissions: o.len() as u64,
-                    ..Default::default()
-                }),
-            self.durability(),
-            Some(self.album_cache_stats()),
-            Some(self.semantic_cache_stats()),
+            crate::metrics::OpsSources {
+                replication: self
+                    .outbox
+                    .as_ref()
+                    .map(|o| crate::metrics::ReplicationOps {
+                        lag: o.lag(),
+                        emissions: o.len() as u64,
+                        ..Default::default()
+                    }),
+                durability: self.durability(),
+                album_cache: Some(self.album_cache_stats()),
+                semantic_cache: Some(self.semantic_cache_stats()),
+                live: (!self.live.engine().is_empty() || !self.live.hub().is_empty())
+                    .then(|| self.live.ops()),
+                ..Default::default()
+            },
         )
+    }
+
+    /// Registers a standing live-album query: from now on every commit
+    /// maintains its materialized answer differentially (and keeps the
+    /// album cache patched), instead of invalidating it.
+    pub fn live_register(&mut self, spec: &AlbumSpec) -> LiveAlbumId {
+        self.live
+            .register(self.store.store(), spec, Some(&self.album_cache))
+    }
+
+    /// Subscribes a callback to a registered live album's diff stream
+    /// (SparqlPuSH). Deliveries are at-least-once; the subscriber's
+    /// idempotent apply absorbs duplicates.
+    pub fn live_subscribe(&mut self, callback: &str, album: LiveAlbumId) -> SubscriberId {
+        self.live.subscribe(callback, album)
+    }
+
+    /// The live-album service (engine + push hub).
+    pub fn live(&self) -> &LiveService {
+        &self.live
+    }
+
+    /// Mutable live-album service (fault plans, chaos controls,
+    /// manual pumps and dead-letter redelivery).
+    pub fn live_mut(&mut self) -> &mut LiveService {
+        &mut self.live
+    }
+
+    /// Rebuilds all standing-query state from the (recovered) store
+    /// and re-seeds the album cache — the crash-recovery counterpart
+    /// to WAL replay for the live subsystem.
+    pub fn live_rebuild(&mut self) {
+        self.live
+            .rebuild(self.store.store(), Some(&self.album_cache));
     }
 
     /// Switches the platform into emission-producing mode: every
@@ -1048,6 +1121,13 @@ impl Platform {
         }
         if let Some(outbox) = &self.outbox {
             metrics.set_gauge("replication.outbox.lag", outbox.lag());
+        }
+        if !self.live.engine().is_empty() {
+            let live = self.live.ops();
+            metrics.set_gauge("live.albums", live.albums as u64);
+            metrics.set_gauge("live.push.subscribers", live.push.subscribers as u64);
+            metrics.set_gauge("live.push.lag", live.push.lag);
+            metrics.set_gauge("live.push.dlq.depth", live.push.dlq_depth as u64);
         }
     }
 }

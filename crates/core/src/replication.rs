@@ -871,6 +871,16 @@ impl Replicator {
                 store.remove(triple);
             }
         }
+        // The replica's live albums see the same delta the store just
+        // absorbed, so standing queries registered against a *replica*
+        // stay maintained — and keep pushing diffs — without ever
+        // re-running their SPARQL.
+        let added: Vec<Triple> = emission
+            .additions
+            .iter()
+            .map(|quad| quad.triple.clone())
+            .collect();
+        fed.live_maintain(to, &added, &emission.removals);
         let replica = self
             .replicas
             .get_mut(&to)
@@ -1478,5 +1488,100 @@ mod tests {
                 .unwrap(),
             3
         );
+    }
+
+    #[test]
+    fn replicated_emissions_maintain_replica_live_albums() {
+        use crate::albums::AlbumSpec;
+        use lodify_rdf::{ns, Literal};
+
+        let (mut fed, mut repl, oscar, _, _) = two_node_mesh();
+
+        // Replica-local reference data: the Mole anchors a Q1 album
+        // registered against *node2*, the receiving side of the link.
+        let gaz = lodify_context::Gazetteer::global();
+        let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+        let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+        {
+            let store = fed.node_mut(1).unwrap().store_mut();
+            let g = store.default_graph();
+            store.insert(
+                &Triple::spo(
+                    monument,
+                    ns::iri::rdfs_label().as_str(),
+                    Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+                ),
+                g,
+            );
+            store.insert(
+                &Triple::spo(
+                    monument,
+                    ns::iri::geo_geometry().as_str(),
+                    Term::Literal(mole.to_literal()),
+                ),
+                g,
+            );
+        }
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0);
+        let (album, sub) = fed.live_subscribe(0, 1, &spec).unwrap();
+        assert!(fed.live_links(1, album).is_empty());
+
+        // An emission carrying a geolocated picture lands on the
+        // replica: `apply_one` feeds the live engine the exact delta
+        // it absorbed, so the standing album updates without ever
+        // re-running its SPARQL on the replica.
+        let pic = "http://node1.example/media/77";
+        let geometry = Triple::spo(
+            pic,
+            ns::iri::geo_geometry().as_str(),
+            Term::Literal(mole.offset_km(0.05, 0.0).to_literal()),
+        );
+        let additions = vec![
+            Triple::spo(
+                pic,
+                ns::iri::rdf_type().as_str(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
+            geometry.clone(),
+            Triple::spo(
+                pic,
+                ns::iri::image_data().as_str(),
+                Term::literal("http://node1.example/raw/77.jpg"),
+            ),
+        ]
+        .into_iter()
+        .map(|triple| EmissionQuad {
+            triple,
+            graph: None,
+        })
+        .collect();
+        let emission = Emission {
+            origin: oscar.clone(),
+            seq: 1,
+            epoch: 1,
+            album: None,
+            additions,
+            removals: Vec::new(),
+        };
+        repl.deliver(&mut fed, 0, emission).unwrap();
+        let expected = spec.execute(fed.node(1).unwrap().store()).unwrap();
+        assert_eq!(expected, ["http://node1.example/raw/77.jpg"]);
+        assert_eq!(fed.live_links(1, album), expected);
+        assert_eq!(fed.live_subscriber(1, sub).unwrap().links(), expected);
+
+        // A later emission retracting the geometry retracts the
+        // member on the replica's live album too.
+        let retraction = Emission {
+            origin: oscar,
+            seq: 2,
+            epoch: 2,
+            album: None,
+            additions: Vec::new(),
+            removals: vec![geometry],
+        };
+        repl.deliver(&mut fed, 0, retraction).unwrap();
+        assert!(fed.live_links(1, album).is_empty());
+        assert!(fed.live_subscriber(1, sub).unwrap().links().is_empty());
+        assert!(fed.live_hub(1).unwrap().converged());
     }
 }

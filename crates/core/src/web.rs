@@ -241,6 +241,9 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
             )
         }
         "/ops" => Response::text("text/plain; charset=utf-8", render_ops(platform)),
+        "/subscriptions" => {
+            Response::text("text/plain; charset=utf-8", render_subscriptions(platform))
+        }
         other => Response::not_found(other),
     }
 }
@@ -456,6 +459,53 @@ fn render_picture(platform: &Platform, pid: i64) -> Option<String> {
         ),
         false,
     ))
+}
+
+/// The `/subscriptions` page: the registered standing albums and, per
+/// SparqlPuSH subscriber, outbox head vs shipped vs applied cursor
+/// plus breaker state — enough to see at a glance who is lagging and
+/// why. Plain text, like `/ops`.
+fn render_subscriptions(platform: &Platform) -> String {
+    use std::fmt::Write as _;
+    let live = platform.live();
+    let engine = live.engine();
+    let mut out = String::new();
+    let _ = writeln!(out, "live albums ({}):", engine.len());
+    for id in 0..engine.len() {
+        let spec = engine.spec(id);
+        let mut shape = format!("\"{}\"@{}", spec.monument_label, spec.label_lang);
+        if let Some(friend) = &spec.friend_of {
+            let _ = write!(shape, " friends-of={friend}");
+        }
+        if spec.order_by_rating {
+            shape.push_str(" rated");
+        }
+        if let Some(n) = spec.limit {
+            let _ = write!(shape, " limit={n}");
+        }
+        let _ = writeln!(
+            out,
+            "  album {id} {shape} members={}",
+            engine.links(id).len()
+        );
+    }
+    let hub = live.hub();
+    let _ = writeln!(out, "subscribers ({}):", hub.len());
+    for (callback, album, head, shipped, cursor, breaker) in hub.rows() {
+        let cursor = cursor.map_or_else(|| "down".to_string(), |c| c.to_string());
+        let _ = writeln!(
+            out,
+            "  {callback} album={album} head={head} shipped={shipped} \
+             cursor={cursor} breaker={breaker}"
+        );
+    }
+    let ops = live.ops();
+    let _ = writeln!(
+        out,
+        "push: delivered={} parked={} redelivered={} lag={} dlq={}",
+        ops.push.delivered, ops.push.parked, ops.push.redelivered, ops.push.lag, ops.push.dlq_depth
+    );
+    out
 }
 
 /// The `/ops` page: the resilience snapshot, recent traces rendered as
@@ -1033,6 +1083,56 @@ mod tests {
         assert!(!emissions[0].additions.is_empty());
         let resp = get(&p, "/ops", false);
         assert!(resp.body.contains("replication lag=0"), "{}", resp.body);
+    }
+
+    #[test]
+    fn subscriptions_route_reports_live_albums_and_push_state() {
+        use crate::Upload;
+
+        let mut p = platform();
+        let spec = crate::albums::AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0);
+        let album = p.live_register(&spec);
+        p.live_subscribe("http://frame.local/push", album);
+        p.upload(Upload {
+            user_id: 1,
+            title: "Tramonto alla Mole".into(),
+            tags: vec!["torino".into()],
+            ts: 1_320_500_000,
+            gps: None,
+            poi: None,
+        })
+        .unwrap();
+
+        let resp = get(&p, "/subscriptions", false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("live albums (1):"), "{}", resp.body);
+        assert!(
+            resp.body
+                .contains("album 0 \"Mole Antonelliana\"@it members="),
+            "{}",
+            resp.body
+        );
+        assert!(
+            resp.body.contains("http://frame.local/push album=0"),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("breaker=closed"), "{}", resp.body);
+        assert!(
+            resp.body.contains("head=1 shipped=1 cursor=1"),
+            "snapshot shipped on subscribe: {}",
+            resp.body
+        );
+
+        // The snapshot on /ops now carries the live section too.
+        let ops = get(&p, "/ops", false);
+        assert!(ops.body.contains("live        albums=1"), "{}", ops.body);
+        let metrics = get(&p, "/metrics", false);
+        assert!(
+            metrics.body.contains("lodify_live_albums 1"),
+            "{}",
+            metrics.body
+        );
     }
 
     #[test]

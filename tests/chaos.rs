@@ -5,7 +5,7 @@
 
 use lodify::core::deferred::UploadQueue;
 use lodify::core::federation::{Federation, Notification};
-use lodify::core::metrics::OpsSnapshot;
+use lodify::core::metrics::{OpsSnapshot, OpsSources};
 use lodify::core::platform::{Platform, Upload};
 use lodify::lod::annotator::{Annotator, AnnotatorConfig, ContentInput};
 use lodify::lod::broker::BrokerResilienceConfig;
@@ -103,7 +103,7 @@ fn all_but_one_resolver_down_pipeline_still_completes() {
     assert_eq!(broker.breaker_state("dbpedia"), Some(BreakerState::Closed));
     assert_eq!(telemetry.counter("broker.failures.dbpedia"), 0);
 
-    let snapshot = OpsSnapshot::collect(broker, None, None, None, None, None, None);
+    let snapshot = OpsSnapshot::collect(broker, OpsSources::default());
     assert!(snapshot.is_degraded());
     assert_eq!(
         snapshot
@@ -257,12 +257,10 @@ fn federation_redelivers_in_order_after_node_outage() {
 
     let snapshot = OpsSnapshot::collect(
         &SemanticBroker::standard(),
-        None,
-        Some(&fed),
-        None,
-        None,
-        None,
-        None,
+        OpsSources {
+            federation: Some(&fed),
+            ..OpsSources::default()
+        },
     );
     assert!(!snapshot.is_degraded());
     assert_eq!(snapshot.federation_parked, 3);
@@ -696,12 +694,11 @@ fn platform_survives_crashed_compaction_and_reports_durability_health() {
     assert!(stats.records_replayed > 0);
     let snapshot = OpsSnapshot::collect(
         &SemanticBroker::standard(),
-        None,
-        None,
-        None,
-        Some(stats),
-        Some(revived.album_cache_stats()),
-        None,
+        OpsSources {
+            durability: Some(stats),
+            album_cache: Some(revived.album_cache_stats()),
+            ..OpsSources::default()
+        },
     );
     let rendered = snapshot.to_string();
     assert!(
@@ -875,12 +872,10 @@ fn replication_converges_under_partition_reorder_dup_and_replica_crash() {
     assert_eq!(ops.emissions, 11);
     let snapshot = OpsSnapshot::collect(
         &SemanticBroker::standard(),
-        None,
-        None,
-        Some(ops),
-        None,
-        None,
-        None,
+        OpsSources {
+            replication: Some(ops),
+            ..OpsSources::default()
+        },
     );
     assert!(!snapshot.is_degraded(), "converged mesh is healthy");
     assert!(snapshot.to_string().contains("replication lag=0 dlq=0"));
@@ -954,4 +949,123 @@ fn replication_recovered_replica_resumes_from_persisted_cursor() {
             .is_empty(),
         "retracted media stayed retracted after recovery"
     );
+}
+
+// ------------------------------------------------ live-album chaos
+
+#[test]
+fn live_push_converges_through_partition_and_subscriber_crash() {
+    use lodify::context::Gazetteer;
+    use lodify::core::albums::AlbumSpec;
+
+    let mut p = Platform::bootstrap(WorkloadConfig::small(17)).unwrap();
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+
+    let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0);
+    let album = p.live_register(&spec);
+    let clock = VirtualClock::new();
+    let plan = FaultPlan::builder()
+        .outage("push:http://frame.local/push", 1_000, 10_000)
+        .build(clock.clone());
+    p.live_mut()
+        .hub_mut()
+        .with_fault_plan(plan, RetryPolicy::no_retry());
+    let sub = p.live_subscribe("http://frame.local/push", album);
+
+    let upload = |p: &mut Platform, n: i64, offset_km: f64| {
+        p.upload(Upload {
+            user_id: 1,
+            title: format!("mole {n}"),
+            tags: vec!["torino".into()],
+            ts: 1_320_000_000 + n,
+            gps: Some(mole.offset_km(offset_km, 0.0)),
+            poi: None,
+        })
+        .unwrap();
+    };
+
+    // Healthy transport: the first upload's diff arrives live.
+    upload(&mut p, 1, 0.02);
+    assert_eq!(
+        p.live().hub().subscriber(sub).unwrap().links(),
+        p.live().engine().links(album).to_vec()
+    );
+
+    // Partition: diffs park in the push DLQ; publisher truth and the
+    // maintained album are unaffected.
+    clock.set(2_000);
+    upload(&mut p, 2, 0.04);
+    upload(&mut p, 3, 0.06);
+    assert!(p.live().hub().undelivered() > 0, "frames parked");
+    assert!(!p.live().hub().converged());
+
+    // Mid-stream subscriber crash: applied state is gone, frames keep
+    // flowing past it (the high-water mark still advances).
+    p.live_mut().hub_mut().kill(sub);
+    upload(&mut p, 4, 0.08);
+    assert!(p.live().hub().subscriber(sub).is_none());
+
+    // Recovery resets the cursor; once the partition heals, the full
+    // outbox replay plus DLQ redelivery (duplicates absorbed by the
+    // idempotent apply) converge the subscriber to an album
+    // byte-identical to a fresh recompute.
+    p.live_mut().hub_mut().recover(sub);
+    clock.set(20_000);
+    p.live_mut().pump();
+    p.live_mut().redeliver();
+    let fresh = spec.execute(p.store()).unwrap();
+    assert!(!fresh.is_empty());
+    assert_eq!(p.live().engine().links(album), fresh);
+    assert_eq!(p.live().hub().subscriber(sub).unwrap().links(), fresh);
+    assert!(p.live().hub().converged());
+    assert_eq!(p.live().ops().push.dlq_depth, 0);
+}
+
+#[test]
+fn live_albums_rebuild_exactly_after_crash_recovery() {
+    use lodify::context::Gazetteer;
+    use lodify::core::albums::AlbumSpec;
+
+    let mem = MemStorage::new();
+    let options = DurabilityOptions::default();
+    let (mut platform, _) =
+        Platform::bootstrap_durable(WorkloadConfig::small(13), Box::new(mem.clone()), options)
+            .unwrap();
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0).rated();
+    let album = platform.live_register(&spec);
+    for n in 0..3i64 {
+        let receipt = platform
+            .upload(Upload {
+                user_id: 1,
+                title: format!("mole {n}"),
+                tags: vec!["torino".into()],
+                ts: 1_700_000_000 + n,
+                gps: Some(mole.offset_km(0.01 * (n + 1) as f64, 0.0)),
+                poi: None,
+            })
+            .unwrap();
+        platform.rate(receipt.pid, 2, n % 5 + 1).unwrap();
+    }
+    platform.flush_store().unwrap();
+    let maintained = platform.live().engine().links(album).to_vec();
+    assert_eq!(maintained, spec.execute(platform.store()).unwrap());
+    drop(platform);
+
+    // The host dies. A rebooted platform recovers the store from the
+    // WAL; re-registering the spec and rebuilding restores the
+    // standing-query state from the recovered store alone, answering
+    // exactly what was maintained before the crash.
+    let (mut revived, report) = Platform::bootstrap_durable(
+        WorkloadConfig::small(13),
+        Box::new(disk_copy(&mem)),
+        options,
+    )
+    .unwrap();
+    assert!(report.recovered, "second boot recovers, not re-bootstraps");
+    let album = revived.live_register(&spec);
+    revived.live_rebuild();
+    assert_eq!(revived.live().engine().links(album), maintained);
 }

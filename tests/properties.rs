@@ -523,3 +523,185 @@ fn lod_snapshots_are_deterministic() {
     let b = datasets::dbpedia_graph(Gazetteer::global());
     assert_eq!(a, b);
 }
+
+// ---------- live standing-query maintenance ----------
+
+/// Differential maintenance is only trustworthy if it agrees with a
+/// from-scratch recompute after *every* delta, not just the happy
+/// paths the unit tests pick. Drive Q1/Q2/Q3-shaped standing albums
+/// through seeded random interleavings of uploads, removals,
+/// re-annotations (re-ratings) and friendship churn, checking the
+/// patched answer against a fresh [`AlbumSpec::execute`] at every
+/// step — then replay crash recovery by rebuilding engines from the
+/// surviving store alone.
+#[test]
+fn live_patching_matches_recompute_under_random_interleavings() {
+    use lodify::context::Gazetteer;
+    use lodify::core::albums::AlbumSpec;
+    use lodify::core::live::StandingQueryEngine;
+    use lodify::rdf::ns;
+
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let users = 4i64;
+
+    let picture = |n: i64, offset_km: f64, maker: i64, rating: Option<i64>| -> Vec<Triple> {
+        let pic = format!("http://t/pictures/{n}");
+        let mut out = vec![
+            Triple::spo(
+                &pic,
+                ns::iri::rdf_type().as_str(),
+                Term::Iri(ns::iri::microblog_post()),
+            ),
+            Triple::spo(
+                &pic,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole.offset_km(offset_km, 0.0).to_literal()),
+            ),
+            Triple::spo(
+                &pic,
+                ns::iri::image_data().as_str(),
+                Term::literal(format!("http://t/media/{n}.jpg")),
+            ),
+            Triple::spo(
+                &pic,
+                ns::iri::foaf_maker().as_str(),
+                Term::iri(format!("http://t/users/{maker}")).unwrap(),
+            ),
+        ];
+        if let Some(r) = rating {
+            out.push(Triple::spo(
+                &pic,
+                ns::iri::rev_rating().as_str(),
+                Term::Literal(Literal::integer(r)),
+            ));
+        }
+        out
+    };
+
+    let mut rng = rng("live-interleavings");
+    for _case in 0..10 {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                monument,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole.to_literal()),
+            ),
+            g,
+        );
+        store.insert(
+            &Triple::spo(
+                "http://t/users/walter",
+                ns::iri::foaf_name().as_str(),
+                Term::literal("walter"),
+            ),
+            g,
+        );
+
+        let specs = [
+            AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0),
+            AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0).friends_of("walter"),
+            AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0)
+                .rated()
+                .limit(5),
+        ];
+        let mut engine = StandingQueryEngine::new();
+        let ids: Vec<_> = specs.iter().map(|s| engine.register(&store, s)).collect();
+
+        let mut present: Vec<i64> = Vec::new();
+        let mut knows = vec![false; users as usize];
+        let mut next_pic = 0i64;
+        for _step in 0..50 {
+            let mut additions: Vec<Triple> = Vec::new();
+            let mut removals: Vec<Triple> = Vec::new();
+            match rng.random_range(0..5u32) {
+                // Upload: a picture somewhere between 10m and 2km out
+                // (half the range falls outside the 1km radius), by a
+                // random maker, usually rated.
+                0 | 1 => {
+                    let n = next_pic;
+                    next_pic += 1;
+                    let offset = rng.random_range(1..=200u32) as f64 * 0.01;
+                    let maker = rng.random_range(0..users);
+                    let rating =
+                        (rng.random_range(0..3u32) > 0).then(|| rng.random_range(1..=5u32) as i64);
+                    additions = picture(n, offset, maker, rating);
+                    present.push(n);
+                }
+                // Removal: every triple of one picture disappears.
+                2 if !present.is_empty() => {
+                    let idx = rng.random_range(0..present.len());
+                    let n = present.swap_remove(idx);
+                    let subject = Term::iri(format!("http://t/pictures/{n}")).unwrap();
+                    removals = store.match_terms(Some(&subject), None, None);
+                }
+                // Re-annotation: the rating aggregate is replaced,
+                // exactly like Platform::rate does.
+                3 if !present.is_empty() => {
+                    let n = present[rng.random_range(0..present.len())];
+                    let subject = Term::iri(format!("http://t/pictures/{n}")).unwrap();
+                    removals =
+                        store.match_terms(Some(&subject), Some(&ns::iri::rev_rating()), None);
+                    additions = vec![Triple::new_unchecked(
+                        subject,
+                        ns::iri::rev_rating(),
+                        Term::Literal(Literal::integer(rng.random_range(1..=5u32) as i64)),
+                    )];
+                }
+                // Friendship churn: toggle maker → walter.
+                _ => {
+                    let u = rng.random_range(0..users) as usize;
+                    let edge = Triple::spo(
+                        &format!("http://t/users/{u}"),
+                        ns::iri::foaf_knows().as_str(),
+                        Term::iri("http://t/users/walter").unwrap(),
+                    );
+                    if knows[u] {
+                        removals = vec![edge];
+                    } else {
+                        additions = vec![edge];
+                    }
+                    knows[u] = !knows[u];
+                }
+            }
+            for t in &additions {
+                store.insert(t, g);
+            }
+            for t in &removals {
+                store.remove(t);
+            }
+            engine.apply(&store, &additions, &removals);
+            for (spec, id) in specs.iter().zip(&ids) {
+                assert_eq!(
+                    engine.links(*id),
+                    spec.execute(&store).unwrap(),
+                    "patched answer diverged from recompute"
+                );
+            }
+        }
+
+        // Crash-recovery replay: a fresh engine registered against the
+        // surviving store alone answers exactly what the maintained
+        // one does, and rebuild() is a fixpoint on the original.
+        let mut recovered = StandingQueryEngine::new();
+        for (spec, id) in specs.iter().zip(&ids) {
+            let rid = recovered.register(&store, spec);
+            assert_eq!(recovered.links(rid), engine.links(*id));
+        }
+        engine.rebuild(&store);
+        for (spec, id) in specs.iter().zip(&ids) {
+            assert_eq!(engine.links(*id), spec.execute(&store).unwrap());
+        }
+    }
+}
