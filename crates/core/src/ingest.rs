@@ -24,7 +24,8 @@
 //!   so pid allocation, relational rows, tag-index entries and the
 //!   per-item store-write order (POI triples, picture triples,
 //!   annotation triples) are exactly the serial path's;
-//! * annotation reads the pre-batch store. The only graph a commit
+//! * annotation reads a pinned MVCC **snapshot** of the pre-batch
+//!   store ([`Platform::store_snapshot`]). The only graph a commit
 //!   grows is the UGC graph, and [`lodify_lod::SemanticFilter`]
 //!   discards every UGC-graph candidate before any other rule runs,
 //!   so the *chosen* annotations cannot observe whether earlier batch
@@ -34,6 +35,42 @@
 //!
 //! The identity is asserted by tests in `crates/core/tests/ingest.rs`
 //! and measured by bench E18.
+//!
+//! # Snapshot reads
+//!
+//! Since the MVCC refactor the annotation workers hold no borrow of
+//! the live store: they pin an immutable
+//! [`StoreSnapshot`](lodify_store::StoreSnapshot) (O(shards) to take)
+//! and read it across the slow broker / semantic-filter calls. Any
+//! caller can do the same — a pin taken before a batch keeps
+//! answering at its epoch while the batch commits:
+//!
+//! ```
+//! use lodify_core::{IngestPool, Platform, Upload};
+//! use lodify_relational::WorkloadConfig;
+//!
+//! let mut platform = Platform::bootstrap(WorkloadConfig::small(42))?;
+//! let before = platform.store_snapshot();
+//!
+//! let pool = IngestPool::new(2);
+//! let report = pool.ingest(
+//!     &mut platform,
+//!     vec![Upload {
+//!         user_id: 1,
+//!         title: "Mole Antonelliana at dusk".into(),
+//!         tags: vec!["torino".into()],
+//!         ts: 1_320_000_000,
+//!         gps: None,
+//!         poi: None,
+//!     }],
+//! );
+//! assert!(report.is_clean());
+//!
+//! // The pinned version is immutable while the platform moved on.
+//! assert!(platform.store_snapshot().epoch() > before.epoch());
+//! assert!(before.len() < platform.store().len());
+//! # Ok::<(), lodify_core::PlatformError>(())
+//! ```
 //!
 //! # Live albums
 //!
@@ -208,15 +245,20 @@ impl IngestPool {
         }
         report.stage = started.elapsed();
 
-        // Annotate: read-only against the pre-batch store, fanned out
-        // across contiguous partitions. Merging in chunk order keeps
-        // the results aligned with `staged`.
+        // Annotate: read-only against a pinned MVCC snapshot of the
+        // pre-batch store, fanned out across contiguous partitions.
+        // The pin (O(shards)) means the workers hold no borrow of the
+        // live store across the slow broker/filter calls — concurrent
+        // commits elsewhere (other platforms sharing a
+        // `SharedDurableStore`) proceed untouched, and the snapshot
+        // guarantees every worker reads the same epoch. Merging in
+        // chunk order keeps the results aligned with `staged`.
         let annotator = platform.annotator();
-        let store = platform.store();
+        let snapshot = platform.store_snapshot();
         let outcomes = run_partitioned(&staged, self.workers, self.spawn_threads, |chunk| {
             chunk
                 .iter()
-                .map(|(_, s)| annotator.annotate(store, &s.content_input()))
+                .map(|(_, s)| annotator.annotate(&snapshot, &s.content_input()))
                 .collect()
         });
         let mut results = Vec::with_capacity(staged.len());
@@ -286,11 +328,11 @@ impl IngestPool {
             }
         }
         let annotator = platform.annotator();
-        let store = platform.store();
+        let snapshot = platform.store_snapshot();
         let outcomes = run_partitioned(&staged, self.workers, self.spawn_threads, |chunk| {
             chunk
                 .iter()
-                .map(|s| annotator.annotate(store, &s.content_input()))
+                .map(|s| annotator.annotate(&snapshot, &s.content_input()))
                 .collect()
         });
         let results: Vec<_> = outcomes.into_iter().flat_map(|o| o.out).collect();

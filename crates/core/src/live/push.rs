@@ -592,7 +592,7 @@ mod tests {
         let clock = VirtualClock::new();
         let plan = FaultPlan::builder()
             .outage("push:http://client/cb", 0, u64::MAX)
-            .build(clock.clone());
+            .build(clock);
         let mut hub = PushHub::new();
         hub.with_fault_plan(plan, RetryPolicy::no_retry());
         hub.subscribe("http://client/cb", 0, &engine);

@@ -20,7 +20,7 @@ use lodify_rdf::{ns, Iri, Point, Term, Triple};
 use lodify_relational::workload::{generate, PictureTruth, WorkloadConfig};
 use lodify_relational::{coppermine as cpg, Database, SqlValue};
 use lodify_resilience::FaultPlan;
-use lodify_store::{GraphId, Store};
+use lodify_store::{GraphId, SnapshotSource, Store, StoreSnapshot};
 use lodify_tripletags::context_tags::tags_for;
 use lodify_tripletags::{Tag, TagIndex, TripleTag};
 
@@ -793,6 +793,16 @@ impl Platform {
         self.store.store()
     }
 
+    /// Pins the current store state as an immutable
+    /// [`StoreSnapshot`]: O(shards) to take, safe to hold across
+    /// broker calls, I/O and threads, and guaranteed never to observe
+    /// a half-commit. This is what the ingest pool's annotation
+    /// workers and any long-running reader should use instead of
+    /// borrowing [`Platform::store`] across slow calls.
+    pub fn store_snapshot(&self) -> StoreSnapshot {
+        self.store.pin()
+    }
+
     /// Durability counters, when the store is journal-backed
     /// (`None` for ephemeral platforms).
     pub fn durability(&self) -> Option<DurabilityStats> {
@@ -1129,6 +1139,16 @@ impl Platform {
             metrics.set_gauge("live.push.lag", live.push.lag);
             metrics.set_gauge("live.push.dlq.depth", live.push.dlq_depth as u64);
         }
+        metrics.set_gauge("store.epoch", self.store.store().epoch());
+        metrics.set_gauge("store.shards", self.store.store().shard_count() as u64);
+    }
+}
+
+impl SnapshotSource for Platform {
+    /// The platform is a [`SnapshotSource`]: readers that should not
+    /// borrow the platform across slow calls pin a version instead.
+    fn pin(&self) -> StoreSnapshot {
+        self.store_snapshot()
     }
 }
 

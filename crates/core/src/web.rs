@@ -522,6 +522,14 @@ fn render_ops(platform: &Platform) -> String {
         "healthy"
     };
     let _ = writeln!(out, "status: {status}");
+    let store = platform.store();
+    let _ = writeln!(
+        out,
+        "store: {} triples @ epoch {} ({} shards)",
+        store.len(),
+        store.epoch(),
+        store.shard_count()
+    );
     let _ = writeln!(out, "{snapshot}");
 
     let traces = obs.tracer().recent_traces(8);

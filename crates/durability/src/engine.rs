@@ -450,6 +450,15 @@ impl DurableStore {
         &self.store
     }
 
+    /// Pins the current store state as an immutable
+    /// [`lodify_store::StoreSnapshot`] — the engine's side of the
+    /// [`lodify_store::SnapshotSource`] seam. Because WAL recovery
+    /// rebuilds the store by replaying inserts/removes, a recovered
+    /// engine pins snapshots with fully repopulated shards and epochs.
+    pub fn pin(&self) -> lodify_store::StoreSnapshot {
+        self.store.snapshot()
+    }
+
     /// Consumes the wrapper, returning the in-memory store.
     pub fn into_store(self) -> Store {
         self.store
@@ -604,6 +613,12 @@ impl DurableStore {
         if let Some(journal) = self.journal.as_mut() {
             journal.fault_plan = None;
         }
+    }
+}
+
+impl lodify_store::SnapshotSource for DurableStore {
+    fn pin(&self) -> lodify_store::StoreSnapshot {
+        DurableStore::pin(self)
     }
 }
 

@@ -1,66 +1,86 @@
-//! Thread-safe handle over a [`DurableStore`].
+//! Thread-safe handle over a [`DurableStore`]: single journaled
+//! writer, MVCC snapshot readers.
 //!
 //! Group commit shines under concurrency: many writer threads append
-//! under the lock while the flush barrier fires once per batch, so the
-//! per-mutation barrier cost is divided across the whole group. This
-//! wrapper mirrors `lodify_store::SharedStore`'s poison-tolerant
-//! locking idiom.
+//! under the writer mutex while the flush barrier fires once per
+//! batch, so the per-mutation barrier cost is divided across the whole
+//! group. Readers never join that queue at all — they pin the last
+//! *published* [`StoreSnapshot`] (same MVCC discipline as
+//! [`lodify_store::SharedStore`]) and evaluate against an immutable
+//! version, so sustained ingest no longer stalls queries and a slow
+//! query no longer stalls ingest.
+//!
+//! Publishing happens after every successful mutating call, once the
+//! journal acknowledged the batch — a reader can only ever observe
+//! states that are durable on the WAL.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use lodify_rdf::{Iri, Term, Triple};
+use lodify_store::snapshot::{SnapshotSource, StoreSnapshot};
 use lodify_store::store::Store;
 use lodify_store::GraphId;
 
 use crate::engine::{DurabilityStats, DurableStore};
 use crate::error::DurabilityError;
 
-/// Cloneable, thread-safe durable store handle.
+/// Cloneable, thread-safe durable store handle (MVCC reads).
 #[derive(Clone)]
 pub struct SharedDurableStore {
-    inner: Arc<RwLock<DurableStore>>,
-    /// Last statement count observed outside the lock; keeps `Debug`
-    /// informative while a writer holds the lock (same idiom as
-    /// `lodify_store::SharedStore`).
-    len_hint: Arc<AtomicUsize>,
+    /// The journaled engine; one writer at a time.
+    writer: Arc<Mutex<DurableStore>>,
+    /// Last published (journal-acknowledged) version.
+    published: Arc<RwLock<StoreSnapshot>>,
 }
 
 impl SharedDurableStore {
-    /// Wraps an engine for shared use.
+    /// Wraps an engine for shared use; the initial published version is
+    /// the recovered store.
     pub fn new(engine: DurableStore) -> SharedDurableStore {
-        let len_hint = Arc::new(AtomicUsize::new(engine.store().len()));
+        let published = Arc::new(RwLock::new(engine.store().snapshot()));
         SharedDurableStore {
-            inner: Arc::new(RwLock::new(engine)),
-            len_hint,
+            writer: Arc::new(Mutex::new(engine)),
+            published,
         }
     }
 
-    fn read_guard(&self) -> RwLockReadGuard<'_, DurableStore> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    fn writer_guard(&self) -> MutexGuard<'_, DurableStore> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_guard(&self) -> RwLockWriteGuard<'_, DurableStore> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    fn publish(&self, engine: &DurableStore) {
+        let snapshot = engine.store().snapshot();
+        *self.published.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
     }
 
-    /// Runs a closure against the underlying store (shared lock).
+    /// Pins the latest published version (lock-free w.r.t. writers).
+    pub fn pin(&self) -> StoreSnapshot {
+        self.published
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Runs a closure against a pinned snapshot. The closure may be
+    /// arbitrarily slow — it holds no lock, only an immutable version.
     pub fn with_read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
-        f(self.read_guard().store())
+        f(&self.pin())
     }
 
-    /// Runs a closure against the engine (exclusive lock), refreshing
-    /// the `Debug` size hint afterwards.
+    /// Runs a closure against the engine (exclusive writer mutex) and
+    /// publishes the resulting version to readers when it returns —
+    /// even on an `Err` outcome, since the engine only applies what the
+    /// journal acknowledged.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut DurableStore) -> T) -> T {
-        let mut guard = self.write_guard();
+        let mut guard = self.writer_guard();
         let out = f(&mut guard);
-        self.len_hint.store(guard.store().len(), Ordering::Relaxed);
+        self.publish(&guard);
         out
     }
 
     /// Registers (or retrieves) a named graph.
     pub fn graph(&self, name: &str) -> GraphId {
-        self.write_guard().graph(name)
+        self.with_write(|engine| engine.graph(name))
     }
 
     /// Journaled insert (see [`DurableStore::insert`]).
@@ -68,7 +88,7 @@ impl SharedDurableStore {
         self.with_write(|engine| engine.insert(triple, graph))
     }
 
-    /// Journaled bulk insert.
+    /// Journaled bulk insert; readers observe the batch as one version.
     pub fn insert_all<'a>(
         &self,
         triples: impl IntoIterator<Item = &'a Triple>,
@@ -91,31 +111,40 @@ impl SharedDurableStore {
         self.with_write(|engine| engine.remove_pattern_sp(subject, predicate))
     }
 
-    /// Forces the durability barrier.
+    /// Forces the durability barrier (no store change; nothing new to
+    /// publish).
     pub fn flush(&self) -> Result<(), DurabilityError> {
-        self.write_guard().flush()
+        self.writer_guard().flush()
     }
 
-    /// Forces log compaction.
+    /// Forces log compaction (store contents unchanged).
     pub fn snapshot(&self) -> Result<(), DurabilityError> {
-        self.write_guard().snapshot()
+        self.writer_guard().snapshot()
     }
 
     /// Durability counters (`None` in ephemeral mode).
     pub fn stats(&self) -> Option<DurabilityStats> {
-        self.read_guard().stats()
+        self.writer_guard().stats()
+    }
+}
+
+impl SnapshotSource for SharedDurableStore {
+    fn pin(&self) -> StoreSnapshot {
+        SharedDurableStore::pin(self)
     }
 }
 
 impl std::fmt::Debug for SharedDurableStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.inner.try_read() {
-            Ok(engine) => write!(f, "SharedDurableStore({} triples)", engine.store().len()),
-            Err(_) => write!(
+        // The published version is always readable, even mid-commit.
+        match self.published.try_read() {
+            Ok(snap) => write!(
                 f,
-                "SharedDurableStore(~{} triples, write-locked)",
-                self.len_hint.load(Ordering::Relaxed)
+                "SharedDurableStore({} triples @ epoch {})",
+                snap.len(),
+                snap.epoch()
             ),
+            Err(_) => write!(f, "SharedDurableStore(publishing)"),
         }
     }
 }
@@ -177,7 +206,7 @@ mod tests {
     }
 
     #[test]
-    fn debug_reports_size_even_while_write_locked() {
+    fn readers_pin_versions_and_never_block_on_the_writer() {
         let shared = SharedDurableStore::new(DurableStore::ephemeral(lodify_store::Store::new()));
         let g = shared.graph("urn:g:ugc");
         shared
@@ -186,16 +215,25 @@ mod tests {
                 g,
             )
             .unwrap();
-        assert_eq!(format!("{shared:?}"), "SharedDurableStore(1 triples)");
-        shared.with_write(|_engine| {
-            // Deadlock-free and still informative under the write lock.
-        });
+        assert!(format!("{shared:?}").starts_with("SharedDurableStore(1 triples"));
+
+        // Pin before the next commit; the pin must not move.
+        let before = shared.pin();
         let contender = shared.clone();
-        let mut guard = shared.inner.write().unwrap();
-        let _ = &mut guard;
-        assert_eq!(
-            format!("{contender:?}"),
-            "SharedDurableStore(~1 triples, write-locked)"
-        );
+        shared.with_write(|engine| {
+            // Mid-commit: the writer mutex is held with work applied to
+            // the engine but not yet published. A concurrent reader
+            // proceeds instantly and still sees the previous version.
+            engine
+                .insert(
+                    &Triple::spo("http://t/p2", "http://p", Term::literal("w")),
+                    g,
+                )
+                .unwrap();
+            assert_eq!(contender.pin().len(), 1);
+            assert!(format!("{contender:?}").starts_with("SharedDurableStore(1 triples"));
+        });
+        assert_eq!(before.len(), 1, "pre-commit pin is immutable");
+        assert_eq!(shared.pin().len(), 2, "commit published one new version");
     }
 }

@@ -99,6 +99,11 @@ pub struct EvalReport {
     /// The split variable chosen from join statistics for the last
     /// partitioned BGP run, if any.
     pub split_variable: Option<String>,
+    /// The store's mutation epoch the query evaluated at. Under MVCC
+    /// this pins the answer's provenance: two evaluations reporting the
+    /// same `store_epoch` are guaranteed byte-identical, and a cache
+    /// keyed on this value revalidates without re-running the query.
+    pub store_epoch: u64,
 }
 
 impl EvalReport {
@@ -149,7 +154,9 @@ pub fn evaluate_with_report(
         let ids = ev.evaluate_ids(query)?;
         ids.into_results(store)
     };
-    Ok((results, ev.report.into_inner()))
+    let mut report = ev.report.into_inner();
+    report.store_epoch = store.epoch();
+    Ok((results, report))
 }
 
 fn query_has_aggregates(query: &Query) -> bool {

@@ -68,6 +68,51 @@ pub fn execute(store: &Store, query: &str) -> Result<QueryResults, SparqlError> 
     eval::evaluate(store, &parsed)
 }
 
+/// Parses and evaluates a query against a pinned MVCC snapshot,
+/// returning the results together with the epoch they are valid at.
+///
+/// Any [`StoreSnapshot`](lodify_store::StoreSnapshot) derefs to
+/// [`Store`], so plain [`execute`] works on snapshots too; this
+/// convenience additionally hands back the pinned epoch so callers can
+/// key caches or tag responses with the version they answered from.
+///
+/// ```
+/// use lodify_rdf::{Term, Triple};
+/// use lodify_store::{SharedStore, SnapshotSource, Store};
+///
+/// let shared = SharedStore::new(Store::new());
+/// shared.with_write(|store| {
+///     let g = store.default_graph();
+///     store.insert(&Triple::spo("http://s", "http://p", Term::literal("v")), g);
+/// });
+///
+/// let snap = shared.pin();
+/// let (rows, epoch) = lodify_sparql::execute_snapshot(
+///     &snap,
+///     "SELECT ?s WHERE { ?s <http://p> ?o . }",
+/// ).unwrap();
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(epoch, snap.epoch());
+///
+/// // A commit after the pin does not disturb the pinned answer.
+/// shared.with_write(|store| {
+///     let g = store.default_graph();
+///     store.insert(&Triple::spo("http://s2", "http://p", Term::literal("w")), g);
+/// });
+/// let (again, epoch_again) = lodify_sparql::execute_snapshot(
+///     &snap,
+///     "SELECT ?s WHERE { ?s <http://p> ?o . }",
+/// ).unwrap();
+/// assert_eq!(again.len(), 1);
+/// assert_eq!(epoch_again, epoch);
+/// ```
+pub fn execute_snapshot(
+    snapshot: &lodify_store::StoreSnapshot,
+    query: &str,
+) -> Result<(QueryResults, u64), SparqlError> {
+    Ok((execute(snapshot, query)?, snapshot.epoch()))
+}
+
 /// Parses and evaluates an `ASK` (or any) query, reducing to a boolean:
 /// true iff at least one solution exists.
 pub fn ask(store: &Store, query: &str) -> Result<bool, SparqlError> {

@@ -3,8 +3,26 @@
 //! Ids are dense `u64`s handed out in first-seen order, so they double
 //! as stable insertion timestamps for the indexes. Lookup in both
 //! directions is O(1) amortized.
+//!
+//! # Snapshot-friendly layout
+//!
+//! Both internal maps are built from [`Arc`]-shared pieces so that
+//! cloning a `Dict` — which happens on every
+//! [`Store::snapshot`](crate::store::Store::snapshot) publish — costs
+//! O(shards + chunks) reference-count bumps instead of O(terms):
+//!
+//! * `by_term` is split into `DICT_SHARDS` hash shards routed by a
+//!   *stable* (non-randomized) term hash, each behind its own `Arc`;
+//! * `by_id` is an append-only chunked vector (`CHUNK` entries per
+//!   chunk), so only the tail chunk is ever rewritten.
+//!
+//! Writers mutate through [`Arc::make_mut`]: the first write after a
+//! snapshot was taken clones only the touched shard/chunk
+//! (copy-on-write), later writes mutate in place. Live snapshots are
+//! therefore physically immutable.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use lodify_rdf::Term;
@@ -20,14 +38,62 @@ impl TermId {
     pub const MIN: TermId = TermId(0);
 }
 
+/// Number of `by_term` hash shards (fixed; routing is internal).
+const DICT_SHARDS: usize = 16;
+
+/// Entries per `by_id` chunk. Power of two so the id → chunk mapping
+/// is a shift.
+const CHUNK: usize = 1024;
+
+/// FNV-1a, used as a *stable* hasher: unlike
+/// [`std::collections::hash_map::RandomState`] it is not seeded per
+/// process, so shard routing is deterministic across runs, replicas,
+/// and WAL replay.
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Stable 64-bit hash of a term (FNV-1a over its `Hash` encoding).
+fn stable_term_hash(term: &Term) -> u64 {
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    term.hash(&mut h);
+    h.finish()
+}
+
 /// Bidirectional term ↔ id dictionary.
 ///
 /// Both directions share one `Arc<Term>` allocation per distinct
-/// term — interning clones the term once, not once per index.
-#[derive(Debug, Default)]
+/// term — interning clones the term once, not once per index. The
+/// dictionary clones in O(shards + chunks), which is what makes
+/// [`Store::snapshot`](crate::store::Store::snapshot) cheap.
+#[derive(Debug, Clone)]
 pub struct Dict {
-    by_term: HashMap<Arc<Term>, TermId>,
-    by_id: Vec<Arc<Term>>,
+    /// Term → id, sharded by [`stable_term_hash`].
+    by_term: Vec<Arc<HashMap<Arc<Term>, TermId>>>,
+    /// Id → term, chunked append-only ([`CHUNK`] entries per chunk).
+    by_id: Vec<Arc<Vec<Arc<Term>>>>,
+    /// Total interned terms (== next id).
+    len: usize,
+}
+
+impl Default for Dict {
+    fn default() -> Self {
+        Dict {
+            by_term: (0..DICT_SHARDS).map(|_| Arc::default()).collect(),
+            by_id: Vec::new(),
+            len: 0,
+        }
+    }
 }
 
 impl Dict {
@@ -36,44 +102,59 @@ impl Dict {
         Self::default()
     }
 
+    fn shard_of(&self, term: &Term) -> usize {
+        (stable_term_hash(term) % DICT_SHARDS as u64) as usize
+    }
+
     /// Interns `term`, returning its (possibly pre-existing) id.
     pub fn intern(&mut self, term: &Term) -> TermId {
+        let shard = self.shard_of(term);
         // `Arc<Term>: Borrow<Term>` lets the hit path look up by
-        // reference, allocating nothing.
-        if let Some(&id) = self.by_term.get(term) {
+        // reference, allocating nothing (and cloning no shard).
+        if let Some(&id) = self.by_term[shard].get(term) {
             return id;
         }
-        let id = TermId(self.by_id.len() as u64);
+        let id = TermId(self.len as u64);
         let shared = Arc::new(term.clone());
-        self.by_id.push(Arc::clone(&shared));
-        self.by_term.insert(shared, id);
+        if self.len % CHUNK == 0 {
+            self.by_id.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let tail = self.by_id.last_mut().expect("tail chunk just ensured");
+        Arc::make_mut(tail).push(Arc::clone(&shared));
+        Arc::make_mut(&mut self.by_term[shard]).insert(shared, id);
+        self.len += 1;
         id
     }
 
     /// Looks up the id of an already-interned term.
     pub fn id(&self, term: &Term) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        self.by_term[self.shard_of(term)].get(term).copied()
     }
 
     /// Resolves an id back to its term.
     pub fn term(&self, id: TermId) -> Option<&Term> {
-        self.by_id.get(id.0 as usize).map(|t| &**t)
+        let idx = id.0 as usize;
+        self.by_id
+            .get(idx / CHUNK)
+            .and_then(|chunk| chunk.get(idx % CHUNK))
+            .map(|t| &**t)
     }
 
     /// Number of distinct interned terms.
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.len
     }
 
     /// True when nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.len == 0
     }
 
     /// Iterates `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
         self.by_id
             .iter()
+            .flat_map(|chunk| chunk.iter())
             .enumerate()
             .map(|(i, t)| (TermId(i as u64), &**t))
     }
@@ -122,5 +203,38 @@ mod tests {
         assert_ne!(plain, tagged);
         assert_ne!(plain, iri);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_structure_and_diverge_on_write() {
+        let mut d = Dict::new();
+        for i in 0..3000 {
+            d.intern(&Term::literal(format!("t{i}")));
+        }
+        let snap = d.clone();
+        // Writing after the clone must not disturb the clone (COW).
+        let id = d.intern(&Term::literal("after"));
+        assert_eq!(id.0, 3000);
+        assert_eq!(snap.len(), 3000);
+        assert_eq!(snap.id(&Term::literal("after")), None);
+        assert_eq!(d.term(id), Some(&Term::literal("after")));
+        // Both still resolve the shared prefix.
+        assert_eq!(snap.term(TermId(2999)), d.term(TermId(2999)));
+    }
+
+    #[test]
+    fn iter_crosses_chunk_boundaries_in_id_order() {
+        let mut d = Dict::new();
+        let n = CHUNK + 10;
+        for i in 0..n {
+            d.intern(&Term::literal(format!("t{i}")));
+        }
+        let ids: Vec<u64> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids.len(), n);
+        assert!(ids.windows(2).all(|w| w[0] + 1 == w[1]));
+        assert_eq!(
+            d.term(TermId(CHUNK as u64)),
+            Some(&Term::literal(format!("t{CHUNK}")))
+        );
     }
 }

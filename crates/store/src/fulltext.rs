@@ -28,7 +28,7 @@ pub struct Posting {
 }
 
 /// Token → sorted postings.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FullTextIndex {
     postings: BTreeMap<String, Vec<Posting>>,
     tokens_indexed: usize,
@@ -143,6 +143,23 @@ impl FullTextIndex {
             .filter(|p| subjects.contains(&p.subject))
             .copied()
             .collect()
+    }
+
+    /// Iterates `(token, postings)` entries whose token starts with
+    /// `needle_lower` (already lowercased), in token order. This is the
+    /// raw stream the cross-shard [`crate::shard::FullTextView`] merges;
+    /// pass `""` to walk the whole index.
+    pub(crate) fn prefix_entries<'b>(
+        &'b self,
+        needle_lower: &'b str,
+    ) -> impl Iterator<Item = (&'b str, &'b [Posting])> + 'b {
+        self.postings
+            .range::<str, _>((
+                std::ops::Bound::Included(needle_lower),
+                std::ops::Bound::Unbounded,
+            ))
+            .take_while(move |(token, _)| token.starts_with(needle_lower))
+            .map(|(t, v)| (t.as_str(), v.as_slice()))
     }
 
     /// Number of distinct tokens in the index.

@@ -17,7 +17,7 @@ use crate::dict::TermId;
 type Cell = (i32, i32);
 
 /// Grid-backed point index keyed by subject id.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GeoIndex {
     cell_deg: f64,
     by_subject: HashMap<TermId, Point>,

@@ -1,70 +1,112 @@
-//! Concurrent store access.
+//! Concurrent store access: single writer, MVCC snapshot readers.
 //!
 //! The paper's Virtuoso instance serves the web interface, the mobile
-//! interface and the annotation pipeline at once. [`SharedStore`]
-//! provides that multi-reader/single-writer discipline over the
-//! in-memory store: cheap clone-able handles, many concurrent readers
-//! (queries), exclusive writers (uploads/semanticization).
+//! interface and the annotation pipeline at once. Early revisions of
+//! this crate modelled that with one global `RwLock<Store>` — readers
+//! and the writer excluded each other, so a batch commit stalled every
+//! query for its full duration. [`SharedStore`] now implements
+//! **multi-version concurrency control** instead:
+//!
+//! * Readers call [`SharedStore::read`] (or the
+//!   [`SnapshotSource::pin`] seam) and get an immutable
+//!   [`StoreSnapshot`] — an O(shards) pin of the last *published*
+//!   version. They hold it as long as they like, across I/O and across
+//!   threads, without ever blocking the writer or each other.
+//! * The single writer at a time (serialized by a [`Mutex`]) mutates
+//!   its working [`Store`] through [`StoreWriteGuard`]; the store
+//!   copy-on-writes any shard a live snapshot still shares. When the
+//!   guard drops normally the new version is **published atomically**
+//!   — a brief write on the publish [`RwLock`] that only swaps two
+//!   words' worth of `Arc`s. If the writer panics, nothing is
+//!   published: readers can never observe a half-commit.
+//!
+//! The old read/write-guard API (`read`, `write`, `with_read`,
+//! `with_write`) is preserved with the same signatures modulo the read
+//! type, which derefs to [`Store`] exactly like the old guard did.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
+use crate::snapshot::{SnapshotSource, StoreSnapshot};
 use crate::store::Store;
 
-/// A cloneable, thread-safe handle to a store.
-#[derive(Clone, Default)]
+/// A cloneable, thread-safe MVCC handle to a store.
+///
+/// Readers pin published snapshots (never blocking); writers queue on
+/// an internal mutex and publish atomically on commit.
+#[derive(Clone)]
 pub struct SharedStore {
-    inner: Arc<RwLock<Store>>,
-    /// Last statement count observed outside the lock, so diagnostics
-    /// ([`std::fmt::Debug`]) stay informative even while a writer holds
-    /// the lock. Updated when a write guard drops.
-    len_hint: Arc<AtomicUsize>,
+    /// The writer's working version (single writer at a time).
+    writer: Arc<Mutex<Store>>,
+    /// The last published version, swapped atomically on commit. The
+    /// lock is held only for the O(shards) pin/swap, never across user
+    /// code.
+    published: Arc<RwLock<StoreSnapshot>>,
+}
+
+impl Default for SharedStore {
+    fn default() -> Self {
+        SharedStore::new(Store::default())
+    }
 }
 
 impl SharedStore {
-    /// Wraps a store for shared access.
+    /// Wraps a store for shared MVCC access; the initial published
+    /// version is the store as handed in.
     pub fn new(store: Store) -> SharedStore {
-        let len_hint = Arc::new(AtomicUsize::new(store.len()));
+        let published = Arc::new(RwLock::new(store.snapshot()));
         SharedStore {
-            inner: Arc::new(RwLock::new(store)),
-            len_hint,
+            writer: Arc::new(Mutex::new(store)),
+            published,
         }
     }
 
-    /// Acquires a read guard (many readers may hold one concurrently).
-    /// A poisoned lock (a writer panicked) is recovered rather than
-    /// propagated: the store stays readable.
-    pub fn read(&self) -> RwLockReadGuard<'_, Store> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    /// Pins the latest published version. Readers never block writers
+    /// (and vice versa); the returned snapshot derefs to [`Store`], so
+    /// existing call sites written against the old read guard compile
+    /// unchanged.
+    pub fn read(&self) -> StoreSnapshot {
+        self.published
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
-    /// Acquires the exclusive write guard, recovering from poisoning.
-    /// The guard refreshes the size hint used by `Debug` when dropped.
+    /// Acquires the exclusive write guard. Mutations become visible to
+    /// readers **only** when the guard drops without panicking, as one
+    /// atomic version publish.
     pub fn write(&self) -> StoreWriteGuard<'_> {
         StoreWriteGuard {
-            guard: self.inner.write().unwrap_or_else(|e| e.into_inner()),
-            len_hint: &self.len_hint,
+            guard: self.writer.lock().unwrap_or_else(|e| e.into_inner()),
+            published: &self.published,
         }
     }
 
-    /// Runs a closure under the read lock.
+    /// Runs a closure over a pinned snapshot.
     pub fn with_read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
         f(&self.read())
     }
 
-    /// Runs a closure under the write lock.
+    /// Runs a closure under the write guard; the combined mutations
+    /// publish as one version when the closure returns.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
         f(&mut self.write())
     }
 }
 
+impl SnapshotSource for SharedStore {
+    fn pin(&self) -> StoreSnapshot {
+        self.read()
+    }
+}
+
 /// Write guard returned by [`SharedStore::write`]; dereferences to the
-/// [`Store`] and records the final statement count on drop so
-/// contended `Debug` output reports a size instead of `<locked>`.
+/// [`Store`]. On normal drop it publishes the working version
+/// atomically; on panic it publishes nothing, so readers never see a
+/// half-commit.
 pub struct StoreWriteGuard<'a> {
-    guard: RwLockWriteGuard<'a, Store>,
-    len_hint: &'a AtomicUsize,
+    guard: MutexGuard<'a, Store>,
+    published: &'a RwLock<StoreSnapshot>,
 }
 
 impl Deref for StoreWriteGuard<'_> {
@@ -82,22 +124,32 @@ impl DerefMut for StoreWriteGuard<'_> {
 
 impl Drop for StoreWriteGuard<'_> {
     fn drop(&mut self) {
-        self.len_hint.store(self.guard.len(), Ordering::Relaxed);
+        if std::thread::panicking() {
+            // Abort the publish: the working store may hold a partial
+            // batch. The next successful writer republishes from the
+            // same working store — mutations already applied to it
+            // remain (exactly the semantics the old in-place RwLock
+            // had), they just stay invisible until a commit completes.
+            return;
+        }
+        let snapshot = self.guard.snapshot();
+        *self.published.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
     }
 }
 
 impl std::fmt::Debug for SharedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // `try_read` consistently: never block (Debug may run from a
-        // panic handler holding the lock), never lose the size either —
-        // under contention report the last observed count.
-        match self.inner.try_read() {
-            Ok(store) => write!(f, "SharedStore({} triples)", store.len()),
-            Err(_) => write!(
+        // Never blocks, even while a writer is mid-commit: the
+        // published version is always readable (try_read only fails in
+        // the instant of an atomic swap — fall back to "publishing").
+        match self.published.try_read() {
+            Ok(snap) => write!(
                 f,
-                "SharedStore(~{} triples, write-locked)",
-                self.len_hint.load(Ordering::Relaxed)
+                "SharedStore({} triples @ epoch {})",
+                snap.len(),
+                snap.epoch()
             ),
+            Err(_) => write!(f, "SharedStore(publishing)"),
         }
     }
 }
@@ -154,49 +206,97 @@ mod tests {
     }
 
     #[test]
-    fn queries_run_under_the_read_guard() {
+    fn queries_run_over_pinned_snapshots() {
         let shared = SharedStore::new(Store::new());
         shared.with_write(|store| {
             let g = store.default_graph();
             store.insert(&t(1), g);
         });
-        let guard = shared.read();
-        let results = lodify_sparql_probe(&guard).expect("query under read guard");
+        let snap = shared.read();
+        let results = lodify_sparql_probe(&snap).expect("query over snapshot");
         assert_eq!(results, 1);
     }
 
     /// Stand-in for a SPARQL call (the sparql crate depends on this
-    /// one, so here we just exercise pattern matching under the guard).
+    /// one, so here we just exercise pattern matching over a snapshot).
     fn lodify_sparql_probe(store: &Store) -> Option<usize> {
         Some(store.count_pattern(None, None, None))
     }
 
     #[test]
-    fn debug_reports_size() {
-        let shared = SharedStore::new(Store::new());
-        assert!(format!("{shared:?}").contains("0 triples"));
-    }
-
-    #[test]
-    fn debug_reports_size_even_under_write_contention() {
+    fn readers_never_block_on_an_open_writer() {
         let mut store = Store::new();
         let g = store.default_graph();
         for i in 0..7 {
             store.insert(&t(i), g);
         }
         let shared = SharedStore::new(store);
-        // Uncontended: the exact count.
-        assert_eq!(format!("{shared:?}"), "SharedStore(7 triples)");
-        // A writer holds the lock: Debug must not report "<locked>" —
-        // it falls back to the last observed count.
         let mut guard = shared.write();
-        let contended = format!("{shared:?}");
-        assert_eq!(contended, "SharedStore(~7 triples, write-locked)");
-        assert!(!contended.contains("<locked>"));
         let g = guard.default_graph();
         guard.insert(&t(100), g);
+        // The writer holds the guard with uncommitted work, yet a
+        // reader proceeds instantly and sees the pre-write version.
+        assert_eq!(shared.read().len(), 7);
+        assert!(format!("{shared:?}").contains("7 triples"));
         drop(guard);
-        // The guard's drop refreshed the hint.
-        assert_eq!(format!("{shared:?}"), "SharedStore(8 triples)");
+        // The drop published exactly one new version.
+        assert_eq!(shared.read().len(), 8);
+    }
+
+    #[test]
+    fn writes_publish_atomically_on_guard_drop() {
+        let shared = SharedStore::new(Store::new());
+        let before = shared.read();
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            for i in 0..10 {
+                store.insert(&t(i), g);
+            }
+        });
+        // The pre-commit pin still answers from its version…
+        assert_eq!(before.len(), 0);
+        // …and the commit became visible as one batch.
+        let after = shared.read();
+        assert_eq!(after.len(), 10);
+        assert_eq!(after.epoch(), 10);
+    }
+
+    #[test]
+    fn panicking_writer_publishes_nothing() {
+        let shared = SharedStore::new(Store::new());
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            store.insert(&t(0), g);
+        });
+        let clone = shared.clone();
+        let result = std::thread::spawn(move || {
+            clone.with_write(|store| {
+                let g = store.default_graph();
+                store.insert(&t(1), g);
+                panic!("mid-commit failure");
+            });
+        })
+        .join();
+        assert!(result.is_err(), "the writer panicked");
+        // Readers still see the last successful publish only.
+        assert_eq!(shared.read().len(), 1);
+        // The next successful commit republishes (including the
+        // writer-side mutation that had already been applied).
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            store.insert(&t(2), g);
+        });
+        assert_eq!(shared.read().len(), 3);
+    }
+
+    #[test]
+    fn debug_reports_size_and_epoch() {
+        let shared = SharedStore::new(Store::new());
+        assert!(format!("{shared:?}").contains("0 triples"));
+        shared.with_write(|store| {
+            let g = store.default_graph();
+            store.insert(&t(1), g);
+        });
+        assert_eq!(format!("{shared:?}"), "SharedStore(1 triples @ epoch 1)");
     }
 }

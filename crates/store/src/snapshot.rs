@@ -1,0 +1,170 @@
+//! MVCC epoch snapshots: immutable, cheaply-pinned store versions.
+//!
+//! A [`StoreSnapshot`] is the read side of the store's multi-version
+//! concurrency control. Pinning one costs O(shards) reference-count
+//! bumps (see [`crate::shard`]); once pinned it is **physically
+//! immutable** — the single writer copy-on-writes any shard a live
+//! snapshot still shares before mutating it — and it never observes a
+//! half-commit, because [`crate::shared::SharedStore`] publishes a new
+//! version only when a write guard completes.
+//!
+//! Everything that reads a [`Store`] reads a snapshot the same way:
+//! the snapshot [derefs](std::ops::Deref) to [`Store`], so SPARQL
+//! evaluation, album materialization, the live standing-query engine,
+//! replication and the web layer all take `&Store` and work unchanged
+//! whether handed the writer's store (single-threaded paths) or a
+//! pinned version (concurrent paths). The [`SnapshotSource`] trait is
+//! the seam: every handle that can produce a consistent version —
+//! `SharedStore`, `SharedDurableStore`, the platform — implements it.
+//!
+//! # Example
+//!
+//! ```
+//! use lodify_store::snapshot::SnapshotSource;
+//! use lodify_store::{SharedStore, Store};
+//! use lodify_rdf::{Term, Triple};
+//!
+//! let shared = SharedStore::new(Store::new());
+//! shared.with_write(|store| {
+//!     let g = store.default_graph();
+//!     store.insert(&Triple::spo("http://s", "http://p", Term::literal("v")), g);
+//! });
+//!
+//! // Pin a version: reads are lock-free from here on.
+//! let snap = shared.pin();
+//! assert_eq!(snap.len(), 1);
+//! let at_pin = snap.epoch();
+//!
+//! // A later commit is invisible to the pinned snapshot…
+//! shared.with_write(|store| {
+//!     let g = store.default_graph();
+//!     store.insert(&Triple::spo("http://s2", "http://p", Term::literal("w")), g);
+//! });
+//! assert_eq!(snap.len(), 1);
+//! assert_eq!(snap.epoch(), at_pin);
+//! // …and visible to the next pin.
+//! assert_eq!(shared.pin().len(), 2);
+//! ```
+
+use std::ops::Deref;
+
+use crate::store::Store;
+
+/// An immutable view of the store at one mutation epoch.
+///
+/// Cloning a snapshot is as cheap as pinning one; snapshots are
+/// `Send + Sync` and may be carried across threads, held across I/O,
+/// and dropped in any order. Dropping the last snapshot that shares a
+/// shard simply lets the writer stop copy-on-writing it.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    store: Store,
+    epoch: u64,
+}
+
+impl StoreSnapshot {
+    /// Wraps an (already cheap-cloned) store as a pinned version.
+    pub(crate) fn pin_of(store: &Store) -> StoreSnapshot {
+        StoreSnapshot {
+            epoch: store.epoch(),
+            store: store.clone(),
+        }
+    }
+
+    /// The mutation epoch this snapshot was pinned at. Equal epochs
+    /// guarantee byte-identical answers — the invariant every cache in
+    /// the workspace (album cache, semantic cache, live engine) keys
+    /// on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying immutable store view.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+impl Deref for StoreSnapshot {
+    type Target = Store;
+
+    fn deref(&self) -> &Store {
+        &self.store
+    }
+}
+
+/// The storage seam: anything that can pin a consistent store version.
+///
+/// Consumers that only *read* should depend on this trait instead of a
+/// concrete handle; it is implemented by
+/// [`SharedStore`](crate::shared::SharedStore), by the durability
+/// crate's `SharedDurableStore`/`DurableStore`, and by the core
+/// platform.
+pub trait SnapshotSource {
+    /// Pins the latest published version.
+    fn pin(&self) -> StoreSnapshot;
+}
+
+impl SnapshotSource for Store {
+    /// A plain owned store is its own (trivially consistent) source.
+    fn pin(&self) -> StoreSnapshot {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodify_rdf::{Term, Triple};
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        store.insert(&Triple::spo("http://a", "http://p", Term::literal("1")), g);
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.len(), 1);
+
+        store.insert(&Triple::spo("http://b", "http://p", Term::literal("2")), g);
+        store.remove(&Triple::spo("http://a", "http://p", Term::literal("1")));
+        assert_eq!(store.epoch(), 3);
+        assert_eq!(store.len(), 1);
+
+        // The pinned version still answers exactly as of epoch 1.
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.len(), 1);
+        assert!(snap.contains(&Triple::spo("http://a", "http://p", Term::literal("1"))));
+        assert!(!snap.contains(&Triple::spo("http://b", "http://p", Term::literal("2"))));
+    }
+
+    #[test]
+    fn snapshot_preserves_side_indexes() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        store.insert(
+            &Triple::spo("http://a", "http://p", Term::literal("mole antonelliana")),
+            g,
+        );
+        let snap = store.snapshot();
+        store.remove(&Triple::spo(
+            "http://a",
+            "http://p",
+            Term::literal("mole antonelliana"),
+        ));
+        assert!(store.fulltext().search_word("mole").is_empty());
+        assert_eq!(snap.fulltext().search_word("mole").len(), 1);
+        assert_eq!(snap.stats().total(), 1);
+        assert_eq!(store.stats().total(), 0);
+    }
+
+    #[test]
+    fn pin_via_trait_matches_snapshot() {
+        let mut store = Store::new();
+        let g = store.default_graph();
+        store.insert(&Triple::spo("http://a", "http://p", Term::literal("1")), g);
+        let via_trait = SnapshotSource::pin(&store);
+        assert_eq!(via_trait.epoch(), store.snapshot().epoch());
+        assert_eq!(via_trait.export_ntriples(None), store.export_ntriples(None));
+    }
+}

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use crate::dict::TermId;
 
 /// Per-predicate and global statement counters.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     total: usize,
     by_predicate: HashMap<TermId, usize>,

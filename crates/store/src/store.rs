@@ -1,15 +1,29 @@
 //! The triple store facade.
+//!
+//! Since the MVCC refactor the store is **subject-sharded** and
+//! **snapshot-cloneable**: every subject-keyed structure lives in one
+//! of N [`crate::shard::Shard`]s behind an [`Arc`], object/predicate
+//! side state is Arc-wrapped the same way, and [`Store::clone`] (what
+//! [`Store::snapshot`] pins) costs O(shards) reference-count bumps.
+//! Mutations go through [`Arc::make_mut`]: the first write after a
+//! snapshot copies the touched shard, later writes mutate in place —
+//! copy-on-write at shard granularity. Cross-shard reads k-way merge
+//! sorted per-shard ranges, so every answer (and every exported byte)
+//! is identical for any shard count.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use lodify_rdf::ns::PrefixMap;
 use lodify_rdf::{ntriples, turtle, Iri, Point, Term, Triple};
 
 use crate::dict::{Dict, TermId};
 use crate::error::StoreError;
-use crate::fulltext::FullTextIndex;
-use crate::geo::GeoIndex;
+use crate::shard::{
+    empty_shards, merge_sorted, shard_of, FullTextView, GeoView, Shard, DEFAULT_SHARDS,
+};
+use crate::snapshot::StoreSnapshot;
 use crate::stats::Stats;
 
 /// Identifier of a named graph registered in a [`Store`].
@@ -19,33 +33,45 @@ pub struct GraphId(pub u16);
 /// Name of the default graph (used when no explicit graph is given).
 pub const DEFAULT_GRAPH: &str = "urn:lodify:graph:default";
 
-type Key = (TermId, TermId, TermId);
+pub(crate) type Key = crate::shard::Key;
 
-/// Dictionary-encoded in-memory triple store with SPO/POS/OSP indexes,
-/// full-text and geo side indexes, and subject-level graph provenance.
+/// Named-graph registry (small; cloned copy-on-write as one unit).
+#[derive(Debug, Clone, Default)]
+struct GraphTable {
+    names: Vec<String>,
+    ids: HashMap<String, GraphId>,
+}
+
+/// Dictionary-encoded in-memory triple store with subject-sharded
+/// SPO/POS/OSP indexes, full-text and geo side indexes, and
+/// subject-level graph provenance.
 ///
 /// All queries run over the **union** of graphs — exactly how the
 /// paper's Virtuoso instance serves SPARQL over the platform data plus
 /// the imported DBpedia/Geonames/LinkedGeoData snapshots — while
 /// [`Store::graph_of_subject`] exposes the provenance the semantic
 /// filter ranks candidates by.
-#[derive(Debug)]
+///
+/// # Concurrency
+///
+/// A `Store` value is the *writer's* working version. `Clone` is cheap
+/// (O(shards), shares all index payloads) and produces a physically
+/// immutable view as of that instant — [`Store::snapshot`] packages
+/// exactly that as a [`StoreSnapshot`]. Concurrent access goes through
+/// [`crate::shared::SharedStore`], which serializes writers and
+/// atomically publishes snapshots to readers.
+#[derive(Debug, Clone)]
 pub struct Store {
     dict: Dict,
-    spo: BTreeSet<Key>,
-    pos: BTreeSet<Key>,
-    osp: BTreeSet<Key>,
-    graphs: Vec<String>,
-    graph_ids: HashMap<String, GraphId>,
-    subject_graph: HashMap<TermId, GraphId>,
-    fulltext: FullTextIndex,
-    geo: GeoIndex,
-    stats: Stats,
-    seen_subjects: HashSet<TermId>,
-    seen_objects: HashSet<TermId>,
+    /// Subject shards: SPO/POS/OSP + fulltext + geo + provenance.
+    shards: Vec<Arc<Shard>>,
+    /// Distinct-object sets, sharded by a mix of the object id.
+    objects: Vec<Arc<HashSet<TermId>>>,
+    graphs: Arc<GraphTable>,
+    stats: Arc<Stats>,
     geo_geometry: TermId,
     epoch: u64,
-    predicate_epochs: HashMap<TermId, u64>,
+    predicate_epochs: Arc<HashMap<TermId, u64>>,
 }
 
 impl Default for Store {
@@ -55,39 +81,62 @@ impl Default for Store {
 }
 
 impl Store {
-    /// Creates an empty store with the default graph registered.
+    /// Creates an empty store with the default graph registered and
+    /// [`DEFAULT_SHARDS`] subject shards.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store partitioned into `shards` subject shards
+    /// (at least one). Shard count is a physical layout choice: query
+    /// answers and exported bytes are identical for every value.
+    pub fn with_shards(shards: usize) -> Self {
         let mut dict = Dict::new();
         let geo_geometry = dict.intern(&Term::Iri(lodify_rdf::ns::iri::geo_geometry()));
         let mut store = Store {
             dict,
-            spo: BTreeSet::new(),
-            pos: BTreeSet::new(),
-            osp: BTreeSet::new(),
-            graphs: Vec::new(),
-            graph_ids: HashMap::new(),
-            subject_graph: HashMap::new(),
-            fulltext: FullTextIndex::new(),
-            geo: GeoIndex::default(),
-            stats: Stats::new(),
-            seen_subjects: HashSet::new(),
-            seen_objects: HashSet::new(),
+            shards: empty_shards(shards),
+            objects: (0..shards).map(|_| Arc::default()).collect(),
+            graphs: Arc::default(),
+            stats: Arc::new(Stats::new()),
             geo_geometry,
             epoch: 0,
-            predicate_epochs: HashMap::new(),
+            predicate_epochs: Arc::default(),
         };
         store.graph(DEFAULT_GRAPH);
         store
     }
 
+    /// Number of subject shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pins this store's current state as an immutable
+    /// [`StoreSnapshot`] (O(shards) — see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot::pin_of(self)
+    }
+
+    #[inline]
+    fn shard_index(&self, subject: TermId) -> usize {
+        shard_of(subject, self.shards.len())
+    }
+
+    #[inline]
+    fn object_index(&self, object: TermId) -> usize {
+        shard_of(object, self.objects.len())
+    }
+
     /// Registers (or retrieves) a named graph by IRI/name.
     pub fn graph(&mut self, name: &str) -> GraphId {
-        if let Some(&id) = self.graph_ids.get(name) {
+        if let Some(&id) = self.graphs.ids.get(name) {
             return id;
         }
-        let id = GraphId(self.graphs.len() as u16);
-        self.graphs.push(name.to_string());
-        self.graph_ids.insert(name.to_string(), id);
+        let graphs = Arc::make_mut(&mut self.graphs);
+        let id = GraphId(graphs.names.len() as u16);
+        graphs.names.push(name.to_string());
+        graphs.ids.insert(name.to_string(), id);
         id
     }
 
@@ -98,22 +147,30 @@ impl Store {
 
     /// Name of a registered graph.
     pub fn graph_name(&self, id: GraphId) -> Option<&str> {
-        self.graphs.get(id.0 as usize).map(String::as_str)
+        self.graphs.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Id of a registered graph, by name.
+    pub fn graph_id(&self, name: &str) -> Option<GraphId> {
+        self.graphs.ids.get(name).copied()
     }
 
     /// Number of registered graphs (ids are dense, `0..count`).
     pub fn graph_count(&self) -> usize {
-        self.graphs.len()
+        self.graphs.names.len()
     }
 
     /// Registered graph names in [`GraphId`] order.
     pub fn graph_names(&self) -> impl Iterator<Item = &str> {
-        self.graphs.iter().map(String::as_str)
+        self.graphs.names.iter().map(String::as_str)
     }
 
     /// The graph that first introduced `subject`, if any.
     pub fn graph_of_subject(&self, subject: TermId) -> Option<GraphId> {
-        self.subject_graph.get(&subject).copied()
+        self.shards[self.shard_index(subject)]
+            .subject_graph
+            .get(&subject)
+            .copied()
     }
 
     /// Like [`Store::graph_of_subject`] but resolves from a [`Term`].
@@ -129,25 +186,34 @@ impl Store {
         let s = self.dict.intern(&triple.subject);
         let p = self.dict.intern(&Term::Iri(triple.predicate.clone()));
         let o = self.dict.intern(&triple.object);
-        if !self.spo.insert((s, p, o)) {
-            return false;
+        let si = self.shard_index(s);
+        {
+            // First mutation after a snapshot publish copies this one
+            // shard; everything below then mutates the unique copy.
+            let shard = Arc::make_mut(&mut self.shards[si]);
+            if !shard.spo.insert((s, p, o)) {
+                return false;
+            }
+            shard.pos.insert((p, o, s));
+            shard.osp.insert((o, s, p));
         }
-        self.pos.insert((p, o, s));
-        self.osp.insert((o, s, p));
         self.bump_epoch(p);
 
-        let new_subject = self.seen_subjects.insert(s);
-        let new_object = self.seen_objects.insert(o);
-        self.stats.record(p, new_subject, new_object);
-        self.subject_graph.entry(s).or_insert(graph);
+        let oi = self.object_index(o);
+        let new_object = Arc::make_mut(&mut self.objects[oi]).insert(o);
+        let shard = Arc::make_mut(&mut self.shards[si]);
+        let new_subject = shard.seen_subjects.insert(s);
+        shard.subject_graph.entry(s).or_insert(graph);
+        Arc::make_mut(&mut self.stats).record(p, new_subject, new_object);
 
         if let Term::Literal(lit) = &triple.object {
+            let shard = Arc::make_mut(&mut self.shards[si]);
             if p == self.geo_geometry || lit.is_geometry() {
                 if let Ok(point) = Point::from_literal(lit) {
-                    self.geo.insert(s, point);
+                    shard.geo.insert(s, point);
                 }
             } else if lit.datatype().is_none() || lit.language().is_some() {
-                self.fulltext.index_literal(s, p, o, lit.value());
+                shard.fulltext.index_literal(s, p, o, lit.value());
             }
         }
         true
@@ -169,35 +235,33 @@ impl Store {
         ) else {
             return false;
         };
-        if !self.spo.remove(&(s, p, o)) {
-            return false;
+        let si = self.shard_index(s);
+        {
+            let shard = Arc::make_mut(&mut self.shards[si]);
+            if !shard.spo.remove(&(s, p, o)) {
+                return false;
+            }
+            shard.pos.remove(&(p, o, s));
+            shard.osp.remove(&(o, s, p));
         }
-        self.pos.remove(&(p, o, s));
-        self.osp.remove(&(o, s, p));
         self.bump_epoch(p);
 
         // Keep join-ordering statistics exact under deletes: a term
         // leaves the distinct-subject/object population only when its
-        // last statement in that position goes.
-        const MIN: TermId = TermId::MIN;
-        const MAX: TermId = TermId::MAX;
-        let subject_gone = self
-            .spo
-            .range((s, MIN, MIN)..=(s, MAX, MAX))
-            .next()
-            .is_none();
-        let object_gone = self
-            .osp
-            .range((o, MIN, MIN)..=(o, MAX, MAX))
-            .next()
-            .is_none();
+        // last statement in that position goes. The subject check is
+        // shard-local; the object check spans shards (an object may
+        // appear under subjects routed anywhere).
+        let subject_gone = self.match_ids(Some(s), None, None).next().is_none();
+        let object_gone = self.match_ids(None, None, Some(o)).next().is_none();
         if subject_gone {
-            self.seen_subjects.remove(&s);
+            let shard = Arc::make_mut(&mut self.shards[si]);
+            shard.seen_subjects.remove(&s);
         }
         if object_gone {
-            self.seen_objects.remove(&o);
+            let oi = self.object_index(o);
+            Arc::make_mut(&mut self.objects[oi]).remove(&o);
         }
-        self.stats.unrecord(p, subject_gone, object_gone);
+        Arc::make_mut(&mut self.stats).unrecord(p, subject_gone, object_gone);
 
         if let Term::Literal(lit) = &triple.object {
             if p == self.geo_geometry || lit.is_geometry() {
@@ -207,10 +271,12 @@ impl Store {
                     .next()
                     .is_none()
                 {
-                    self.geo.remove(s);
+                    Arc::make_mut(&mut self.shards[si]).geo.remove(s);
                 }
             } else if lit.datatype().is_none() || lit.language().is_some() {
-                self.fulltext.remove_literal(s, p, o, lit.value());
+                Arc::make_mut(&mut self.shards[si])
+                    .fulltext
+                    .remove_literal(s, p, o, lit.value());
             }
         }
         true
@@ -265,17 +331,17 @@ impl Store {
         ) else {
             return false;
         };
-        self.spo.contains(&(s, p, o))
+        self.shards[self.shard_index(s)].spo.contains(&(s, p, o))
     }
 
     /// Number of statements in the union store.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.shards.iter().map(|sh| sh.spo.len()).sum()
     }
 
     /// True when no statements are stored.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.shards.iter().all(|sh| sh.spo.is_empty())
     }
 
     /// The term dictionary.
@@ -298,14 +364,14 @@ impl Store {
         self.dict.term(id)
     }
 
-    /// The full-text index.
-    pub fn fulltext(&self) -> &FullTextIndex {
-        &self.fulltext
+    /// The full-text index, merged across shards.
+    pub fn fulltext(&self) -> FullTextView<'_> {
+        FullTextView::over(&self.shards)
     }
 
-    /// The geo index.
-    pub fn geo(&self) -> &GeoIndex {
-        &self.geo
+    /// The geo index, merged across shards.
+    pub fn geo(&self) -> GeoView<'_> {
+        GeoView::over(&self.shards)
     }
 
     /// Join-ordering statistics.
@@ -319,7 +385,7 @@ impl Store {
     /// without any journal support.
     fn bump_epoch(&mut self, p: TermId) {
         self.epoch += 1;
-        self.predicate_epochs.insert(p, self.epoch);
+        Arc::make_mut(&mut self.predicate_epochs).insert(p, self.epoch);
     }
 
     /// Monotone mutation counter: increments on every *successful*
@@ -339,7 +405,10 @@ impl Store {
     }
 
     /// Matches a triple pattern over ids; `None` positions are
-    /// wildcards. Results stream in index order as `(s, p, o)`.
+    /// wildcards. Results stream as `(s, p, o)` in exactly the order a
+    /// single monolithic index would produce: subject-bound shapes scan
+    /// one shard, unbound-subject shapes k-way merge the per-shard
+    /// sorted ranges.
     pub fn match_ids(
         &self,
         s: Option<TermId>,
@@ -350,36 +419,59 @@ impl Store {
         const MAX: TermId = TermId::MAX;
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
-                let hit = self.spo.contains(&(s, p, o));
+                let hit = self.shards[self.shard_index(s)].spo.contains(&(s, p, o));
                 Box::new(hit.then_some((s, p, o)).into_iter())
             }
             (Some(s), Some(p), None) => {
-                Box::new(self.spo.range((s, p, MIN)..=(s, p, MAX)).copied())
+                let shard = &self.shards[self.shard_index(s)];
+                Box::new(shard.spo.range((s, p, MIN)..=(s, p, MAX)).copied())
             }
             (Some(s), None, None) => {
-                Box::new(self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).copied())
+                let shard = &self.shards[self.shard_index(s)];
+                Box::new(shard.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).copied())
             }
-            (Some(s), None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, s, MIN)..=(o, s, MAX))
-                    .map(|&(o, s, p)| (s, p, o)),
-            ),
+            (Some(s), None, Some(o)) => {
+                let shard = &self.shards[self.shard_index(s)];
+                Box::new(
+                    shard
+                        .osp
+                        .range((o, s, MIN)..=(o, s, MAX))
+                        .map(|&(o, s, p)| (s, p, o)),
+                )
+            }
             (None, Some(p), Some(o)) => Box::new(
-                self.pos
-                    .range((p, o, MIN)..=(p, o, MAX))
-                    .map(|&(p, o, s)| (s, p, o)),
+                merge_sorted(
+                    self.shards
+                        .iter()
+                        .map(|sh| sh.pos.range((p, o, MIN)..=(p, o, MAX)).copied())
+                        .collect(),
+                )
+                .map(|(p, o, s)| (s, p, o)),
             ),
             (None, Some(p), None) => Box::new(
-                self.pos
-                    .range((p, MIN, MIN)..=(p, MAX, MAX))
-                    .map(|&(p, o, s)| (s, p, o)),
+                merge_sorted(
+                    self.shards
+                        .iter()
+                        .map(|sh| sh.pos.range((p, MIN, MIN)..=(p, MAX, MAX)).copied())
+                        .collect(),
+                )
+                .map(|(p, o, s)| (s, p, o)),
             ),
             (None, None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, MIN, MIN)..=(o, MAX, MAX))
-                    .map(|&(o, s, p)| (s, p, o)),
+                merge_sorted(
+                    self.shards
+                        .iter()
+                        .map(|sh| sh.osp.range((o, MIN, MIN)..=(o, MAX, MAX)).copied())
+                        .collect(),
+                )
+                .map(|(o, s, p)| (s, p, o)),
             ),
-            (None, None, None) => Box::new(self.spo.iter().copied()),
+            (None, None, None) => Box::new(merge_sorted(
+                self.shards
+                    .iter()
+                    .map(|sh| sh.spo.iter().copied())
+                    .collect(),
+            )),
         }
     }
 
@@ -417,7 +509,7 @@ impl Store {
 
     /// Iterates every statement as a resolved [`Triple`], in SPO order.
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().filter_map(|&(s, p, o)| {
+        self.match_ids(None, None, None).filter_map(|(s, p, o)| {
             Some(Triple::new_unchecked(
                 self.dict.term(s)?.clone(),
                 self.dict.term(p)?.as_iri()?.clone(),
@@ -698,7 +790,7 @@ mod tests {
         assert_eq!(reloaded.load_ntriples(&dump, g).unwrap(), store.len());
         assert_eq!(reloaded.len(), store.len());
         // Per-graph export only carries that graph's subjects.
-        let ugc = store.graph_ids["urn:g:ugc"];
+        let ugc = store.graph_id("urn:g:ugc").unwrap();
         let partial = store.export_ntriples(Some(ugc));
         assert!(partial.contains("http://t/pic1"));
         assert!(!partial.contains("dbpedia.org"));
@@ -769,5 +861,118 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(store.graph_name(a), Some("urn:g:x"));
         assert_eq!(store.graph_name(GraphId(99)), None);
+    }
+
+    /// Builds a store with a deterministic mixed workload — inserts,
+    /// duplicates, removals, fulltext literals, geometry — used to
+    /// assert layout invariance across shard counts.
+    fn mixed_workload(shards: usize) -> Store {
+        let mut store = Store::with_shards(shards);
+        let ugc = store.graph("urn:g:ugc");
+        let dbp = store.graph("urn:g:dbpedia");
+        for i in 0..120u64 {
+            let g = if i % 3 == 0 { dbp } else { ugc };
+            store.insert(
+                &triple(
+                    &format!("http://t/user{}/pic{i}", i % 7),
+                    ns::iri::rdfs_label().as_str(),
+                    Term::literal(format!("label number {i} torino")),
+                ),
+                g,
+            );
+            if i % 4 == 0 {
+                store.insert(
+                    &triple(
+                        &format!("http://t/user{}/pic{i}", i % 7),
+                        ns::iri::geo_geometry().as_str(),
+                        Term::Literal(
+                            Point::new(7.0 + (i as f64) * 0.01, 45.0)
+                                .unwrap()
+                                .to_literal(),
+                        ),
+                    ),
+                    ugc,
+                );
+            }
+            if i % 5 == 0 {
+                // Shared objects across subjects (cross-shard).
+                store.insert(
+                    &triple(
+                        &format!("http://t/user{}/pic{i}", i % 7),
+                        ns::iri::rdf_type().as_str(),
+                        Term::Iri(ns::iri::microblog_post()),
+                    ),
+                    ugc,
+                );
+            }
+        }
+        // Removals, including ones that drain subjects/objects.
+        for i in (0..120u64).step_by(6) {
+            store.remove(&triple(
+                &format!("http://t/user{}/pic{i}", i % 7),
+                ns::iri::rdfs_label().as_str(),
+                Term::literal(format!("label number {i} torino")),
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn shard_count_is_invisible_to_every_read_path() {
+        let one = mixed_workload(1);
+        let four = mixed_workload(4);
+        let sixteen = mixed_workload(16);
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(sixteen.shard_count(), 16);
+
+        // Byte-identical exports (global SPO order via k-way merge).
+        let dump = one.export_ntriples(None);
+        assert_eq!(dump, four.export_ntriples(None));
+        assert_eq!(dump, sixteen.export_ntriples(None));
+
+        // Epochs, stats, side indexes.
+        assert_eq!(one.epoch(), sixteen.epoch());
+        assert_eq!(one.stats().total(), sixteen.stats().total());
+        assert_eq!(
+            one.fulltext().search_word("torino"),
+            sixteen.fulltext().search_word("torino")
+        );
+        assert_eq!(
+            one.fulltext().search_prefix("lab", 10),
+            sixteen.fulltext().search_prefix("lab", 10)
+        );
+        let center = Point::new(7.3, 45.0).unwrap();
+        assert_eq!(
+            one.geo().within_km(center, 50.0),
+            sixteen.geo().within_km(center, 50.0)
+        );
+
+        // Pattern shapes agree with the single-shard oracle.
+        let p = one.id_of(&Term::Iri(ns::iri::rdfs_label())).unwrap();
+        assert_eq!(
+            one.match_ids(None, Some(p), None).collect::<Vec<_>>(),
+            sixteen.match_ids(None, Some(p), None).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            one.match_ids(None, None, None).collect::<Vec<_>>(),
+            sixteen.match_ids(None, None, None).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn snapshot_clone_shares_until_write() {
+        let mut store = mixed_workload(8);
+        let snap = store.snapshot();
+        let before = snap.export_ntriples(None);
+        // Heavy mutation after the pin.
+        for i in 0..50u64 {
+            store.insert_default(&triple(
+                &format!("http://new/{i}"),
+                "http://p",
+                Term::literal(format!("v{i}")),
+            ));
+        }
+        assert_eq!(snap.export_ntriples(None), before);
+        assert_eq!(store.len(), snap.len() + 50);
     }
 }
