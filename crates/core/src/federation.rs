@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
-use lodify_obs::{Metrics, SharedClock, WallClock};
+use lodify_obs::{Metrics, SharedClock, TraceContext, WallClock};
 use lodify_rdf::{ns, Iri, Literal, Term, Triple};
 use lodify_resilience::{DeadLetterQueue, DetRng, FaultPlan, ReplayReport, RetryPolicy, Telemetry};
 use lodify_store::Store;
@@ -744,7 +744,7 @@ impl Federation {
         // friends-of album.
         let mut additions = profile;
         additions.push(knows);
-        self.live_maintain(subscriber, &additions, &[]);
+        self.live_maintain(subscriber, &additions, &[], None);
         if !self
             .subscriptions
             .iter()
@@ -822,14 +822,16 @@ impl Federation {
         node: NodeId,
         additions: &[Triple],
         removals: &[Triple],
+        trace: Option<TraceContext>,
     ) {
         let Federation { nodes, live, .. } = self;
         let Some(entry) = live.get_mut(&node) else {
             return;
         };
         let Some(n) = nodes.get(node) else { return };
-        let diffs = entry.engine.apply(&n.store, additions, removals);
-        for diff in &diffs {
+        let mut diffs = entry.engine.apply(&n.store, additions, removals);
+        for diff in &mut diffs {
+            diff.trace = trace;
             entry.hub.offer(diff);
         }
         if !diffs.is_empty() {
@@ -920,9 +922,71 @@ impl Federation {
         };
         self.nodes[node_id].timeline.push(activity.clone());
         let (additions, removals) = self.nodes[node_id].ops_delta(mark);
-        self.live_maintain(node_id, &additions, &removals);
+        self.live_maintain(node_id, &additions, &removals, None);
         let notifications = self.fan_out(node_id, activity);
         Ok((media, notifications))
+    }
+
+    /// Publishes a geolocated picture — the §2.3 album shape: typed
+    /// as a microblog post, labelled, attributed, dated, anchored to
+    /// `point` and linked to its raw image. Every triple goes through
+    /// the journaled content path, so replication ships the picture to
+    /// peers and standing near-monument albums (local *or* registered
+    /// against a replica) pick it up from the delta alone.
+    pub fn publish_picture(
+        &mut self,
+        author: &Acct,
+        title: &str,
+        point: lodify_rdf::Point,
+        ts: i64,
+    ) -> Result<(Iri, Vec<Notification>), PlatformError> {
+        let (node_id, _) = self.webfinger(&author.to_string())?;
+        let mark = self.nodes[node_id].ops_len();
+        let media = self.nodes[node_id].publish_media(author, title, ts);
+        let subject = Term::Iri(media.clone());
+        let raw = format!("{}.jpg", media.as_str().replace("/media/", "/raw/"));
+        self.nodes[node_id].insert_content(Triple::new_unchecked(
+            subject.clone(),
+            ns::iri::geo_geometry(),
+            Term::Literal(point.to_literal()),
+        ));
+        self.nodes[node_id].insert_content(Triple::new_unchecked(
+            subject,
+            ns::iri::image_data(),
+            Term::literal(raw),
+        ));
+        let activity = Activity {
+            actor: author.clone(),
+            verb: Verb::Post,
+            object: media.clone(),
+            summary: title.to_string(),
+            ts,
+        };
+        self.nodes[node_id].timeline.push(activity.clone());
+        let (additions, removals) = self.nodes[node_id].ops_delta(mark);
+        self.live_maintain(node_id, &additions, &removals, None);
+        let notifications = self.fan_out(node_id, activity);
+        Ok((media, notifications))
+    }
+
+    /// Imports node-local reference data — LOD anchors such as DBpedia
+    /// monuments with their labels and geometries. Reference data is
+    /// not user content: it bypasses the content journal, so it never
+    /// replicates to peers and never perturbs standing-query deltas —
+    /// the same way the enrichment pipeline lands gazetteer context.
+    /// Returns how many triples were newly inserted.
+    pub fn import_reference(
+        &mut self,
+        node: NodeId,
+        triples: &[Triple],
+    ) -> Result<usize, PlatformError> {
+        let store = self.node_mut(node)?.store_mut();
+        let graph = store.default_graph();
+        let before = store.len();
+        for triple in triples {
+            store.insert(triple, graph);
+        }
+        Ok(store.len() - before)
     }
 
     /// Retracts previously published media: every triple whose subject
@@ -955,7 +1019,7 @@ impl Federation {
             }
         }
         let (additions, removals) = self.nodes[node_id].ops_delta(mark);
-        self.live_maintain(node_id, &additions, &removals);
+        self.live_maintain(node_id, &additions, &removals, None);
         Ok(removed)
     }
 
@@ -984,7 +1048,7 @@ impl Federation {
         };
         self.nodes[owner].timeline.push(activity.clone());
         let (additions, removals) = self.nodes[owner].ops_delta(mark);
-        self.live_maintain(owner, &additions, &removals);
+        self.live_maintain(owner, &additions, &removals, None);
         Ok(self.fan_out(owner, activity))
     }
 
@@ -1671,7 +1735,7 @@ mod tests {
             Term::Iri(maker.profile_iri()),
         ));
         let (additions, removals) = fed.nodes[node].ops_delta(mark);
-        fed.live_maintain(node, &additions, &removals);
+        fed.live_maintain(node, &additions, &removals, None);
         iri
     }
 

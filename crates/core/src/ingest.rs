@@ -80,7 +80,7 @@
 //! albums commit-by-commit — the same per-delta patches, diffs and
 //! push frames the serial upload path produces, in the same order.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use lodify_durability::GroupCommitPolicy;
 use lodify_sparql::pool::run_partitioned;
@@ -231,7 +231,7 @@ impl IngestPool {
         // input index for equal timestamps), exactly like flushing the
         // deferred queue item by item.
         let prepare = root.child("ingest.prepare");
-        let started = Instant::now();
+        let started = metrics.now_micros();
         let mut order: Vec<usize> = (0..uploads.len()).collect();
         order.sort_by_key(|&i| uploads[i].ts);
         let mut uploads: Vec<Option<Upload>> = uploads.into_iter().map(Some).collect();
@@ -243,7 +243,7 @@ impl IngestPool {
                 Err(e) => report.failures.push((i, e)),
             }
         }
-        report.stage = started.elapsed();
+        report.stage = Duration::from_micros(metrics.now_micros().saturating_sub(started));
 
         // Annotate: read-only against a pinned MVCC snapshot of the
         // pre-batch store, fanned out across contiguous partitions.
@@ -274,10 +274,13 @@ impl IngestPool {
         // flushes, so the batch is exactly as durable as the same
         // uploads issued one by one.
         let commit_span = root.child("ingest.commit");
-        let started = Instant::now();
+        let started = metrics.now_micros();
         let prior = platform.swap_group_commit(self.commit_policy);
         for ((i, staged), result) in staged.into_iter().zip(results) {
-            match platform.commit_staged(staged, result, None) {
+            // Committing under the batch's `ingest.commit` span makes
+            // each upload's emission (and the pushes it triggers
+            // downstream) traceable back to this batch.
+            match platform.commit_staged(staged, result, Some(&commit_span)) {
                 Ok(receipt) => report.receipts.push(receipt),
                 Err(e) => report.failures.push((i, e)),
             }
@@ -285,7 +288,7 @@ impl IngestPool {
         if let Err(e) = platform.restore_group_commit(prior) {
             report.flush_error = Some(e);
         }
-        report.commit = started.elapsed();
+        report.commit = Duration::from_micros(metrics.now_micros().saturating_sub(started));
         commit_span.finish();
         root.finish();
 

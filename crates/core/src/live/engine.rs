@@ -37,6 +37,7 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use lodify_obs::TraceContext;
 use lodify_rdf::{ns, Iri, Literal, Point, Term, Triple};
 use lodify_store::{Store, TermId};
 
@@ -110,6 +111,10 @@ pub struct AlbumDiff {
     pub removals: Vec<String>,
     /// Visible position changes: `(link, old index, new index)`.
     pub moved: Vec<(String, usize, usize)>,
+    /// Causal context of the commit that produced this diff. Travels
+    /// with the diff into the push hub so `live.push` spans on the
+    /// delivering node stitch under the originating commit's trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl AlbumDiff {

@@ -25,7 +25,7 @@ pub mod push;
 pub use engine::{AlbumDiff, EngineStats, LiveAlbumId, Rank, StandingQueryEngine};
 pub use push::{PushHub, PushShipment, SubscriberAlbum, SubscriberId, PUSH_MAX_ATTEMPTS};
 
-use lodify_obs::{Metrics, Obs, Tracer};
+use lodify_obs::{Metrics, Obs, TraceContext, Tracer};
 use lodify_rdf::Triple;
 use lodify_resilience::ReplayReport;
 use lodify_store::Store;
@@ -110,25 +110,33 @@ impl LiveService {
 
     /// Maintains every registered album across one committed delta
     /// batch: delta-join, cache patch, diff push. Returns the number
-    /// of albums whose answer changed.
+    /// of albums whose answer changed. `trace` is the causal context
+    /// of the commit being maintained; the `live.patch` span and every
+    /// produced diff stitch under it.
     pub fn on_commit(
         &mut self,
         store: &Store,
         cache: Option<&AlbumCache>,
         additions: &[Triple],
         removals: &[Triple],
+        trace: Option<TraceContext>,
     ) -> usize {
         if self.engine.is_empty() {
             return 0;
         }
-        let span = self.tracer.as_ref().map(|t| t.start("live.patch"));
-        let diffs = self.engine.apply(store, additions, removals);
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| t.start_with_context("live.patch", trace));
+        let ctx = span.as_ref().and_then(|s| s.context()).or(trace);
+        let mut diffs = self.engine.apply(store, additions, removals);
         drop(span);
         if let Some(metrics) = &self.metrics {
             metrics.add("live.deltas", (additions.len() + removals.len()) as u64);
             metrics.add("live.diffs", diffs.len() as u64);
         }
-        for diff in &diffs {
+        for diff in &mut diffs {
+            diff.trace = ctx;
             if let Some(cache) = cache {
                 cache.patch(
                     store,

@@ -186,6 +186,7 @@ impl PushHub {
             upserts: engine.members(album),
             removals: Vec::new(),
             moved: Vec::new(),
+            trace: None,
         };
         let id = self.subs.len();
         self.subs.push(PushSub {
@@ -236,7 +237,11 @@ impl PushHub {
                 if seq > sub.head() {
                     break;
                 }
-                let span = self.tracer.as_ref().map(|t| t.start("live.push"));
+                let trace = sub.outbox[(seq - 1) as usize].trace;
+                let span = self
+                    .tracer
+                    .as_ref()
+                    .map(|t| t.start_with_context("live.push", trace));
                 let verdict = judge_push(
                     self.plan.as_ref(),
                     &self.retry,
@@ -531,6 +536,7 @@ mod tests {
             upserts: vec![(link.to_string(), None)],
             removals: Vec::new(),
             moved: Vec::new(),
+            trace: None,
         }
     }
 

@@ -3,7 +3,6 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use lodify_context::{ContextPlatform, ContextSnapshot};
 use lodify_d2r::defaults::coppermine_mapping;
@@ -162,6 +161,7 @@ pub struct Platform {
     obs: Obs,
     outbox: Option<EmissionOutbox>,
     live: LiveService,
+    cardinality: lodify_sparql::CardinalityProfile,
 }
 
 impl Platform {
@@ -285,6 +285,7 @@ impl Platform {
             obs: Obs::new(),
             outbox: None,
             live: LiveService::new(),
+            cardinality: lodify_sparql::CardinalityProfile::new(),
         };
         platform.wire_observability();
         platform.rebuild_tag_index()?;
@@ -584,8 +585,14 @@ impl Platform {
 
         // Maintain live albums from the committed delta before the
         // outbox consumes it (the engine only borrows the triples).
-        self.live
-            .on_commit(self.store.store(), Some(&self.album_cache), &emitted, &[]);
+        let trace = root.and_then(|r| r.context());
+        self.live.on_commit(
+            self.store.store(),
+            Some(&self.album_cache),
+            &emitted,
+            &[],
+            trace,
+        );
 
         if let Some(outbox) = &mut self.outbox {
             let additions = emitted
@@ -595,7 +602,13 @@ impl Platform {
                     graph: Some(GRAPH_UGC.to_string()),
                 })
                 .collect();
-            outbox.record(self.store.store().epoch(), None, additions, Vec::new())?;
+            outbox.record(
+                self.store.store().epoch(),
+                None,
+                additions,
+                Vec::new(),
+                trace,
+            )?;
             self.obs.metrics().incr("replication.emissions");
         }
 
@@ -733,8 +746,13 @@ impl Platform {
         self.record_annotation(pid, &result)?;
         if !self.live.engine().is_empty() {
             let triples = Self::annotation_triples(pid, &result);
-            self.live
-                .on_commit(self.store.store(), Some(&self.album_cache), &triples, &[]);
+            self.live.on_commit(
+                self.store.store(),
+                Some(&self.album_cache),
+                &triples,
+                &[],
+                None,
+            );
         }
         let fired = result.terms.iter().filter(|t| t.resource.is_some()).count();
         self.annotations.insert(pid, result);
@@ -776,6 +794,7 @@ impl Platform {
             Some(&self.album_cache),
             &added,
             &removed,
+            None,
         );
         Ok(())
     }
@@ -903,12 +922,17 @@ impl Platform {
     /// the `sparql.busy` and `sparql.critical_path` histograms when
     /// parallel sections ran, and executions crossing the slow-query
     /// threshold are aggregated in the slow-query log under the
-    /// query's normalized fingerprint.
+    /// query's normalized fingerprint, together with the per-operator
+    /// [`lodify_sparql::EvalProfile`] breakdown of the worst run. Every
+    /// profiled execution also feeds the per-predicate
+    /// [`lodify_sparql::CardinalityProfile`] registry
+    /// ([`Self::cardinality`]), and the `sparql.query` histogram tags
+    /// its bucket with the query's trace id as an exemplar.
     pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
         if !self.obs.is_enabled() {
             return Ok(lodify_sparql::execute(self.store.store(), sparql)?);
         }
-        let started = Instant::now();
+        let started = self.obs.metrics().now_micros();
         let root = self.obs.tracer().start("sparql");
 
         let parse_span = root.child("sparql.parse");
@@ -930,6 +954,7 @@ impl Platform {
             lodify_sparql::EvalOptions::default(),
         );
         eval_span.finish();
+        let trace_id = root.context().map(|c| c.trace_id).unwrap_or(0);
         root.finish();
         let (results, report) = match evaluated {
             Ok(pair) => pair,
@@ -944,15 +969,28 @@ impl Platform {
             metrics.observe_duration("sparql.busy", report.busy);
             metrics.observe_duration("sparql.critical_path", report.critical_path);
         }
-        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.cardinality.absorb(&report.profile);
+        let elapsed_us = metrics.now_micros().saturating_sub(started);
+        metrics.observe_with_exemplar("sparql.query", elapsed_us, trace_id);
         if elapsed_us >= self.obs.slow_queries().threshold_us() {
             let fingerprint = lodify_sparql::fingerprint(sparql);
-            self.obs
-                .slow_queries()
-                .record(&fingerprint, sparql, elapsed_us);
+            self.obs.slow_queries().record_with_breakdown(
+                &fingerprint,
+                sparql,
+                elapsed_us,
+                &report.profile.render_lines(),
+            );
             metrics.incr("sparql.slow");
         }
         Ok(results)
+    }
+
+    /// The per-predicate cardinality registry fed by every profiled
+    /// query: mean actual vs. estimated rows per constant predicate,
+    /// sorted by how badly the optimizer misestimates it. Seed
+    /// statistics for cost-based planning (ROADMAP item 5).
+    pub fn cardinality(&self) -> &lodify_sparql::CardinalityProfile {
+        &self.cardinality
     }
 
     /// Serves a virtual album through the materialized-album cache:

@@ -45,7 +45,7 @@ use std::collections::BTreeMap;
 
 use lodify_durability::codec::{self, PayloadOutcome};
 use lodify_durability::Storage;
-use lodify_obs::{Metrics, Obs, Tracer};
+use lodify_obs::{Metrics, Obs, TraceContext, Tracer};
 use lodify_rdf::{Iri, Triple};
 use lodify_resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, DeadLetterQueue, DetRng, FaultPlan, ReplayReport,
@@ -92,6 +92,11 @@ pub struct Emission {
     pub additions: Vec<EmissionQuad>,
     /// Statements removed by the commit.
     pub removals: Vec<Triple>,
+    /// Causal trace context minted at the origin commit. It travels
+    /// inside the emission (journal and wire), so `replication.apply`
+    /// and downstream push spans on a *remote* node stitch under the
+    /// origin's trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl Emission {
@@ -127,6 +132,14 @@ impl Emission {
             codec::put_term(&mut out, &triple.subject);
             codec::put_str(&mut out, triple.predicate.as_str());
             codec::put_term(&mut out, &triple.object);
+        }
+        match &self.trace {
+            Some(ctx) => {
+                out.push(1);
+                codec::put_varint(&mut out, ctx.trace_id);
+                codec::put_varint(&mut out, ctx.parent_span_id);
+            }
+            None => out.push(0),
         }
         out
     }
@@ -170,6 +183,19 @@ impl Emission {
             let object = codec::get_term(bytes, cursor)?;
             removals.push(Triple::new_unchecked(subject, predicate, object));
         }
+        // Journals written before trace propagation end here; newer
+        // frames append the optional trace context.
+        let trace = if *cursor == bytes.len() {
+            None
+        } else {
+            match next_byte(bytes, cursor)? {
+                0 => None,
+                _ => Some(TraceContext {
+                    trace_id: codec::get_varint(bytes, cursor)?,
+                    parent_span_id: codec::get_varint(bytes, cursor)?,
+                }),
+            }
+        };
         if *cursor != bytes.len() {
             return Err(PlatformError::Invalid(
                 "trailing bytes after emission body".into(),
@@ -182,6 +208,7 @@ impl Emission {
             album,
             additions,
             removals,
+            trace,
         })
     }
 
@@ -677,6 +704,10 @@ impl Replicator {
                 NodeOp::Remove(triple) => removals.push(triple),
             }
         }
+        // The commit mints the root of the causal trace: every ship,
+        // apply, and push span this emission causes — on any node —
+        // attaches under it.
+        let span = self.tracer.as_ref().map(|t| t.start("replication.commit"));
         let replica = self.replicas.get_mut(&node_id).expect("checked above");
         let emission = Emission {
             origin: author.clone(),
@@ -685,6 +716,7 @@ impl Replicator {
             album: album.map(str::to_string),
             additions,
             removals,
+            trace: span.as_ref().and_then(|s| s.context()),
         };
         let seq = emission.seq;
         replica.append(emission)?;
@@ -694,6 +726,9 @@ impl Replicator {
         }
         self.ship_from(fed, node_id)?;
         self.publish_gauges();
+        if let Some(span) = span {
+            span.finish();
+        }
         Ok(Some(seq))
     }
 
@@ -744,7 +779,10 @@ impl Replicator {
                 })?
                 .clone();
             let shipped = self.links[idx].policy.project(&emission);
-            let span = self.tracer.as_ref().map(|t| t.start("replication.ship"));
+            let span = self
+                .tracer
+                .as_ref()
+                .map(|t| t.start_with_context("replication.ship", shipped.trace));
             let target = self.link_target(fed, idx)?;
             let verdict = if self.replicas.contains_key(&to) {
                 judge_transport(
@@ -857,7 +895,13 @@ impl Replicator {
         to: NodeId,
         emission: Emission,
     ) -> Result<(), PlatformError> {
-        let span = self.tracer.as_ref().map(|t| t.start("replication.apply"));
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| t.start_with_context("replication.apply", emission.trace));
+        // Downstream live-album pushes attach under this apply span
+        // when one is live, else directly under the emission's trace.
+        let ctx = span.as_ref().and_then(|s| s.context()).or(emission.trace);
         {
             let store = fed.node_mut(to)?.store_mut();
             for quad in &emission.additions {
@@ -880,7 +924,7 @@ impl Replicator {
             .iter()
             .map(|quad| quad.triple.clone())
             .collect();
-        fed.live_maintain(to, &added, &emission.removals);
+        fed.live_maintain(to, &added, &emission.removals, ctx);
         let replica = self
             .replicas
             .get_mut(&to)
@@ -1059,6 +1103,23 @@ impl Replicator {
             .collect())
     }
 
+    /// The emissions a node applied from its peers, in arrival order —
+    /// its whole durable journal minus its own authorship. Chaos tests
+    /// audit this to prove applied emissions kept their origin trace
+    /// context across the transport.
+    pub fn applied_log(&self, node: NodeId) -> Result<Vec<Emission>, PlatformError> {
+        let replica = self
+            .replicas
+            .get(&node)
+            .ok_or_else(|| PlatformError::NotFound(format!("replica {node}")))?;
+        Ok(replica
+            .journal
+            .iter()
+            .filter(|e| e.origin.host != replica.host)
+            .cloned()
+            .collect())
+    }
+
     /// Parked shipments awaiting [`Replicator::redeliver`].
     pub fn undelivered(&self) -> usize {
         self.dlq.depth()
@@ -1144,13 +1205,16 @@ impl EmissionOutbox {
         })
     }
 
-    /// Records one commit's delta as an emission (journaled durably).
+    /// Records one commit's delta as an emission (journaled durably),
+    /// stamped with the commit's trace context so replicas applying it
+    /// stitch their spans under the origin trace.
     pub fn record(
         &mut self,
         epoch: u64,
         album: Option<&str>,
         additions: Vec<EmissionQuad>,
         removals: Vec<Triple>,
+        trace: Option<TraceContext>,
     ) -> Result<u64, PlatformError> {
         let emission = Emission {
             origin: self.origin.clone(),
@@ -1159,6 +1223,7 @@ impl EmissionOutbox {
             album: album.map(str::to_string),
             additions,
             removals,
+            trace,
         };
         self.storage
             .append(EMISSIONS_FILE, &frame_emission(&emission))?;
@@ -1243,6 +1308,10 @@ mod tests {
                 Iri::new_unchecked("http://purl.org/dc/terms/subject"),
                 Term::Iri(Iri::new_unchecked("http://dbpedia.org/resource/Turin")),
             )],
+            trace: Some(TraceContext {
+                trace_id: 0x00aa_0000_0000_0001,
+                parent_span_id: 3,
+            }),
         }
     }
 
@@ -1267,6 +1336,16 @@ mod tests {
         let mut bytes = emission.encode();
         bytes.push(0);
         assert!(Emission::decode(emission.seq, &bytes).is_err());
+
+        // A legacy frame (written before trace propagation, so without
+        // the trailing trace field) still decodes, with no trace.
+        let untraced = Emission {
+            trace: None,
+            ..emission
+        };
+        let mut legacy = untraced.encode();
+        legacy.pop(); // strip the trace option byte
+        assert_eq!(Emission::decode(untraced.seq, &legacy).unwrap(), untraced);
 
         // A CRC-passing body with a malformed origin is rejected by
         // the Acct re-validation.
@@ -1458,7 +1537,13 @@ mod tests {
         };
         assert_eq!(
             outbox
-                .record(10, None, vec![quad("http://node1.example/media/1")], vec![])
+                .record(
+                    10,
+                    None,
+                    vec![quad("http://node1.example/media/1")],
+                    vec![],
+                    None
+                )
                 .unwrap(),
             1
         );
@@ -1468,7 +1553,11 @@ mod tests {
                     11,
                     Some("trip"),
                     vec![quad("http://node1.example/media/2")],
-                    vec![]
+                    vec![],
+                    Some(TraceContext {
+                        trace_id: 9,
+                        parent_span_id: 1,
+                    })
                 )
                 .unwrap(),
             2
@@ -1484,9 +1573,23 @@ mod tests {
         assert_eq!(reopened.lag(), 2);
         assert_eq!(
             reopened
-                .record(12, None, vec![quad("http://node1.example/media/3")], vec![])
+                .record(
+                    12,
+                    None,
+                    vec![quad("http://node1.example/media/3")],
+                    vec![],
+                    None
+                )
                 .unwrap(),
             3
+        );
+        // The stamped trace context survives the journal round trip.
+        assert_eq!(
+            reopened.drain()[1].trace,
+            Some(TraceContext {
+                trace_id: 9,
+                parent_span_id: 1,
+            })
         );
     }
 
@@ -1562,6 +1665,7 @@ mod tests {
             album: None,
             additions,
             removals: Vec::new(),
+            trace: None,
         };
         repl.deliver(&mut fed, 0, emission).unwrap();
         let expected = spec.execute(fed.node(1).unwrap().store()).unwrap();
@@ -1578,6 +1682,7 @@ mod tests {
             album: None,
             additions: Vec::new(),
             removals: vec![geometry],
+            trace: None,
         };
         repl.deliver(&mut fed, 0, retraction).unwrap();
         assert!(fed.live_links(1, album).is_empty());

@@ -94,6 +94,11 @@ pub struct Response {
     /// Request id assigned by [`handle_request`], echoed to the client
     /// as an `X-Request-Id` header and recorded in the access log.
     pub request_id: Option<u64>,
+    /// Trace id of the request's root span, assigned by
+    /// [`handle_request`] when tracing is live and echoed to the
+    /// client as an `X-Trace-Id` header — paste it into `/trace/<id>`
+    /// to see the request's span tree.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
@@ -104,6 +109,7 @@ impl Response {
             content_type: "text/html; charset=utf-8",
             body,
             request_id: None,
+            trace_id: None,
         }
     }
 
@@ -114,6 +120,7 @@ impl Response {
             content_type,
             body,
             request_id: None,
+            trace_id: None,
         }
     }
 
@@ -124,6 +131,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: format!("not found: {what}\n"),
             request_id: None,
+            trace_id: None,
         }
     }
 
@@ -134,6 +142,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: format!("bad request: {message}\n"),
             request_id: None,
+            trace_id: None,
         }
     }
 
@@ -148,14 +157,19 @@ impl Response {
             .request_id
             .map(|id| format!("X-Request-Id: {id}\r\n"))
             .unwrap_or_default();
+        let trace_id = self
+            .trace_id
+            .map(|id| format!("X-Trace-Id: {id:016x}\r\n"))
+            .unwrap_or_default();
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: close\r\n\r\n{}",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
             request_id,
+            trace_id,
             self.body
         )
     }
@@ -241,6 +255,16 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
             )
         }
         "/ops" => Response::text("text/plain; charset=utf-8", render_ops(platform)),
+        path if path.starts_with("/trace/") => {
+            let id_text = &path["/trace/".len()..];
+            let Ok(trace_id) = u64::from_str_radix(id_text, 16) else {
+                return Response::bad_request("bad trace id (expected hex)");
+            };
+            match platform.obs().traces().render(trace_id) {
+                Some(tree) => Response::text("text/plain; charset=utf-8", tree),
+                None => Response::not_found(&format!("trace {trace_id:016x}")),
+            }
+        }
         "/subscriptions" => {
             Response::text("text/plain; charset=utf-8", render_subscriptions(platform))
         }
@@ -249,24 +273,35 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
 }
 
 /// Routes a request with full observability: issues a request id,
-/// times the handler into the `web.request` histogram, and appends an
-/// [`lodify_obs::AccessEntry`] to the platform's access log. The id is
-/// echoed back on the response (`X-Request-Id`). [`route`] stays pure
-/// for tests that don't care about the plumbing.
+/// wraps the handler in a `web.request` root span, times it into the
+/// `web.request` histogram (tagging the bucket with the trace id as an
+/// exemplar), and appends an [`lodify_obs::AccessEntry`] to the
+/// platform's access log. The ids are echoed back on the response
+/// (`X-Request-Id`, `X-Trace-Id`). [`route`] stays pure for tests
+/// that don't care about the plumbing.
 pub fn handle_request(platform: &Platform, request: &Request) -> Response {
     let obs = platform.obs();
     let request_id = obs.access_log().begin();
-    let start = std::time::Instant::now();
+    let started = obs.metrics().now_micros();
+    let span = obs.tracer().start("web.request");
+    let trace_id = span.context().map(|c| c.trace_id);
     let mut response = route(platform, request);
-    let elapsed = start.elapsed();
-    obs.metrics().observe_duration("web.request", elapsed);
+    // A live span mirrors its duration (exemplar included) into the
+    // `web.request` histogram on finish; observe manually only when
+    // tracing is off so the histogram never double-counts.
+    span.finish();
+    let elapsed_us = obs.metrics().now_micros().saturating_sub(started);
+    if trace_id.is_none() {
+        obs.metrics().observe("web.request", elapsed_us);
+    }
     obs.access_log().record(lodify_obs::AccessEntry {
         request_id,
         target: request_target(request),
         status: response.status,
-        duration_us: elapsed.as_micros() as u64,
+        duration_us: elapsed_us,
     });
     response.request_id = Some(request_id);
+    response.trace_id = trace_id;
     response
 }
 
@@ -563,12 +598,19 @@ fn render_ops(platform: &Platform) -> String {
         }
     }
 
+    // The flight recorder: the cross-node trace store's summary of
+    // the most recent assembled traces, the first thing to read from
+    // a crash dump (the full tree of any listed id is `/trace/<id>`).
+    out.push('\n');
+    out.push_str(&obs.traces().flight_summary(8));
+
     let slow = obs.slow_queries().entries();
     let _ = writeln!(
         out,
-        "\nslow queries (threshold {}us, {} fingerprints):",
+        "\nslow queries (threshold {}us, {} fingerprints, {} evicted):",
         obs.slow_queries().threshold_us(),
-        slow.len()
+        slow.len(),
+        obs.slow_queries().evictions()
     );
     for (fingerprint, entry) in slow.iter().take(16) {
         let _ = writeln!(
@@ -579,6 +621,9 @@ fn render_ops(platform: &Platform) -> String {
             entry.max_us,
             fingerprint
         );
+        for line in entry.breakdown.iter().take(8) {
+            let _ = writeln!(out, "    {line}");
+        }
     }
 
     let accesses = obs.access_log().recent(16);

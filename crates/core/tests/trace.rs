@@ -1,0 +1,138 @@
+//! Golden tests for the `/trace/<id>` route and trace assembly: the
+//! rendered span tree is a contract (operators paste trace ids from
+//! `X-Trace-Id` headers and `/metrics` exemplars into it), so its
+//! exact shape is pinned here under a virtual clock.
+
+use std::sync::Arc;
+
+use lodify_context::Gazetteer;
+use lodify_core::albums::AlbumSpec;
+use lodify_core::federation::Federation;
+use lodify_core::platform::Platform;
+use lodify_core::replication::{Replicator, SharePolicy};
+use lodify_core::web::{handle_request, Request, Response};
+use lodify_durability::MemStorage;
+use lodify_obs::{Obs, TraceStore};
+use lodify_rdf::{ns, Literal, Term, Triple};
+use lodify_relational::WorkloadConfig;
+use lodify_resilience::VirtualClock;
+
+fn get(platform: &Platform, target: &str) -> Response {
+    let request = Request::parse(&format!("GET {target} HTTP/1.1"), &[]).unwrap();
+    handle_request(platform, &request)
+}
+
+#[test]
+fn trace_route_serves_a_golden_request_tree() {
+    let mut platform = Platform::bootstrap(WorkloadConfig::small(31)).unwrap();
+    platform.set_observability(Obs::with_clock(Arc::new(VirtualClock::new())));
+
+    let first = get(&platform, "/metrics");
+    assert_eq!(first.status, 200);
+    let trace_id = first.trace_id.expect("live tracing assigns a trace id");
+
+    // The client pastes the X-Trace-Id value straight into /trace/.
+    let resp = get(&platform, &format!("/trace/{trace_id:016x}"));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+    assert_eq!(
+        resp.body,
+        format!("trace {trace_id:016x} (1 spans, 1 nodes)\n  web.request 0us\n")
+    );
+
+    // The response carries its own trace id too, distinct per request.
+    let second = resp.trace_id.expect("every traced request gets an id");
+    assert_ne!(second, trace_id);
+
+    // The tail of the web.request histogram links back to a trace:
+    // the last traced observation lands as an OpenMetrics exemplar.
+    let metrics = get(&platform, "/metrics");
+    let exemplar = format!("# {{trace_id=\"{second:016x}\"}}");
+    assert!(
+        metrics.body.contains(&exemplar),
+        "missing exemplar {exemplar} in:\n{}",
+        metrics.body
+    );
+}
+
+#[test]
+fn trace_route_rejects_garbage_and_unknown_ids() {
+    let mut platform = Platform::bootstrap(WorkloadConfig::small(31)).unwrap();
+    platform.set_observability(Obs::with_clock(Arc::new(VirtualClock::new())));
+
+    assert_eq!(get(&platform, "/trace/not-hex").status, 400);
+    assert_eq!(get(&platform, "/trace/00000000000000aa").status, 404);
+}
+
+#[test]
+fn replication_chain_renders_a_golden_cross_node_tree() {
+    let clock = Arc::new(VirtualClock::new());
+    let traces = TraceStore::new(64);
+    let mut origin_obs = Obs::with_clock(clock.clone());
+    origin_obs.set_trace_store(traces.clone());
+    origin_obs.set_node(1, "node0");
+    let mut replica_obs = Obs::with_clock(clock);
+    replica_obs.set_trace_store(traces.clone());
+    replica_obs.set_node(2, "node1");
+
+    let mut fed = Federation::new();
+    let n0 = fed.add_node("node0.example").unwrap();
+    let n1 = fed.add_node("node1.example").unwrap();
+    let oscar = fed.register_user(n0, "oscar", "Oscar").unwrap();
+    let mut repl = Replicator::new();
+    repl.attach(&fed, n0, Box::new(MemStorage::new())).unwrap();
+    repl.attach(&fed, n1, Box::new(MemStorage::new())).unwrap();
+    repl.subscribe(n0, n1, SharePolicy::Everything).unwrap();
+    repl.set_observability(&origin_obs);
+
+    // A near-monument album standing on the replica with one push
+    // subscriber: the commit's delta drives a push on node1.
+    let gaz = Gazetteer::global();
+    let mole = gaz.poi("Mole_Antonelliana").unwrap().point(gaz);
+    let monument = "http://dbpedia.org/resource/Mole_Antonelliana";
+    fed.import_reference(
+        n1,
+        &[
+            Triple::spo(
+                monument,
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            Triple::spo(
+                monument,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole.to_literal()),
+            ),
+        ],
+    )
+    .unwrap();
+    let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0);
+    fed.live_subscribe(n0, n1, &spec).unwrap();
+    fed.live_hub_mut(n1)
+        .unwrap()
+        .set_observability(&replica_obs);
+
+    fed.publish_picture(&oscar, "Mole at dusk", mole.offset_km(0.05, 0.0), 1000)
+        .unwrap();
+    repl.commit(&mut fed, &oscar, None).unwrap();
+    assert!(repl.converged());
+
+    let trace_id = repl.emission_log(n0).unwrap()[0]
+        .trace
+        .expect("committed emission is traced")
+        .trace_id;
+    assert!(traces.well_nested(trace_id));
+    // The whole causal chain — commit on the origin, shipment, apply
+    // on the replica, and the push the applied delta provoked — is one
+    // tree, exactly what `/trace/<id>` serves.
+    assert_eq!(
+        traces.render(trace_id).unwrap(),
+        format!(
+            "trace {trace_id:016x} (4 spans, 2 nodes)\n\
+             \x20 replication.commit 0us @node0\n\
+             \x20   replication.ship 0us @node0\n\
+             \x20   replication.apply 0us @node0\n\
+             \x20     live.push 0us @node1\n"
+        )
+    );
+}

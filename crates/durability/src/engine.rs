@@ -35,7 +35,6 @@
 //! scaling in deterministic virtual time.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use lodify_obs::Metrics;
 use lodify_rdf::{Iri, Term, Triple};
@@ -271,13 +270,16 @@ impl Journal {
         f: impl FnOnce(&mut Self) -> Result<T, E>,
     ) -> Result<T, E> {
         let timed = match &self.observability {
-            Some(metrics) if metrics.is_enabled() => Some((metrics.clone(), Instant::now())),
+            Some(metrics) if metrics.is_enabled() => {
+                let started = metrics.now_micros();
+                Some((metrics.clone(), started))
+            }
             _ => None,
         };
         let out = f(self);
-        if let Some((metrics, start)) = timed {
+        if let Some((metrics, started)) = timed {
             if out.is_ok() {
-                metrics.observe_duration(name, start.elapsed());
+                metrics.observe(name, metrics.now_micros().saturating_sub(started));
             } else {
                 metrics.incr(&format!("{name}.errors"));
             }

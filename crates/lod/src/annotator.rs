@@ -16,8 +16,6 @@
 //!   morphological analysis → NP-lemma extraction → semantic broker →
 //!   semantic filter → automatic annotation.
 
-use std::time::Instant;
-
 use lodify_context::ContextSnapshot;
 use lodify_obs::Metrics;
 use lodify_rdf::{ns, Iri, Point};
@@ -188,9 +186,9 @@ impl Annotator {
     fn timed<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         match &self.observability {
             Some(metrics) if metrics.is_enabled() => {
-                let start = Instant::now();
+                let started = metrics.now_micros();
                 let out = f();
-                metrics.observe_duration(name, start.elapsed());
+                metrics.observe(name, metrics.now_micros().saturating_sub(started));
                 out
             }
             _ => f(),

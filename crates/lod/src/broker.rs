@@ -8,7 +8,6 @@
 //! derive additional candidates." (§2.2.2)
 
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use lodify_obs::Metrics;
 use lodify_resilience::{
@@ -216,12 +215,15 @@ impl SemanticBroker {
         op: impl FnMut() -> Result<Vec<Candidate>, ResolverError>,
     ) -> Vec<Candidate> {
         let timed = match &self.observability {
-            Some(metrics) if metrics.is_enabled() => Some((metrics, Instant::now())),
+            Some(metrics) if metrics.is_enabled() => Some((metrics, metrics.now_micros())),
             _ => None,
         };
         let hits = self.call_guarded(idx, failures, unavailable, op);
-        if let Some((metrics, start)) = timed {
-            metrics.observe_duration(&self.call_metric_names[idx], start.elapsed());
+        if let Some((metrics, started)) = timed {
+            metrics.observe(
+                &self.call_metric_names[idx],
+                metrics.now_micros().saturating_sub(started),
+            );
         }
         hits
     }

@@ -34,6 +34,7 @@ pub use lodify_core as core;
 pub use lodify_d2r as d2r;
 pub use lodify_durability as durability;
 pub use lodify_lod as lod;
+pub use lodify_obs as obs;
 pub use lodify_rdf as rdf;
 pub use lodify_relational as relational;
 pub use lodify_resilience as resilience;

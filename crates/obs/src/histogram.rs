@@ -60,10 +60,16 @@ pub const BUCKET_BOUNDS: [u64; 45] = [
 ];
 
 /// A fixed-bucket histogram over microsecond observations.
+///
+/// Each bucket additionally retains the *last non-zero trace id*
+/// observed into it (an exemplar, OpenMetrics-style), so a spike in a
+/// tail bucket of `/metrics` links straight to a `/trace/<id>` tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// Per-bucket counts; `counts[BUCKET_BOUNDS.len()]` is overflow.
     counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Per-bucket last trace id observed (0 = none recorded).
+    exemplars: [u64; BUCKET_BOUNDS.len() + 1],
     count: u64,
     sum: u64,
     min: u64,
@@ -81,6 +87,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             counts: [0; BUCKET_BOUNDS.len() + 1],
+            exemplars: [0; BUCKET_BOUNDS.len() + 1],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -90,8 +97,18 @@ impl Histogram {
 
     /// Records one microsecond observation.
     pub fn observe(&mut self, micros: u64) {
+        self.observe_with_exemplar(micros, 0);
+    }
+
+    /// Records one microsecond observation; when `trace_id` is
+    /// non-zero it becomes the landing bucket's exemplar (last write
+    /// wins — recency beats magnitude for incident triage).
+    pub fn observe_with_exemplar(&mut self, micros: u64, trace_id: u64) {
         let idx = BUCKET_BOUNDS.partition_point(|&bound| bound < micros);
         self.counts[idx] += 1;
+        if trace_id != 0 {
+            self.exemplars[idx] = trace_id;
+        }
         self.count += 1;
         self.sum = self.sum.saturating_add(micros);
         self.min = self.min.min(micros);
@@ -177,10 +194,26 @@ impl Histogram {
         out
     }
 
+    /// Per-bucket exemplar trace ids, aligned with
+    /// [`Histogram::cumulative_buckets`]; the final element is the
+    /// overflow (`+Inf`) bucket's. `None` where no traced observation
+    /// ever landed.
+    pub fn bucket_exemplars(&self) -> Vec<Option<u64>> {
+        self.exemplars
+            .iter()
+            .map(|&t| (t != 0).then_some(t))
+            .collect()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
             *mine += theirs;
+        }
+        for (mine, &theirs) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            if theirs != 0 {
+                *mine = theirs;
+            }
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
@@ -259,6 +292,29 @@ mod tests {
         assert_eq!(a.sum(), 1_015);
         assert_eq!(a.min(), Some(5));
         assert_eq!(a.max(), Some(1_000));
+    }
+
+    #[test]
+    fn exemplars_track_the_last_traced_observation() {
+        let mut h = Histogram::new();
+        h.observe(650); // untraced — leaves no exemplar
+        h.observe_with_exemplar(650, 7);
+        h.observe_with_exemplar(620, 9); // same bucket: last wins
+        h.observe_with_exemplar(u64::MAX, 3); // overflow bucket
+        let exemplars = h.bucket_exemplars();
+        assert_eq!(exemplars.len(), BUCKET_BOUNDS.len() + 1);
+        let set: Vec<(usize, u64)> = exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .collect();
+        assert_eq!(set, vec![(14, 9), (BUCKET_BOUNDS.len(), 3)]);
+
+        // Merge carries exemplars, preferring the other's fresher id.
+        let mut other = Histogram::new();
+        other.observe_with_exemplar(650, 11);
+        h.merge(&other);
+        assert_eq!(h.bucket_exemplars()[14], Some(11));
     }
 
     #[test]

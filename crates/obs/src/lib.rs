@@ -32,8 +32,13 @@ pub use access::{AccessEntry, AccessLog};
 pub use clock::{Clock, SharedClock, WallClock};
 pub use histogram::{Histogram, BUCKET_BOUNDS};
 pub use registry::Metrics;
-pub use slowlog::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_THRESHOLD_US};
-pub use trace::{Span, SpanRecord, Tracer};
+pub use slowlog::{
+    SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY, DEFAULT_SLOW_THRESHOLD_US,
+};
+pub use trace::{
+    spans_well_nested, Span, SpanRecord, TraceContext, TraceStore, Tracer,
+    DEFAULT_TRACE_STORE_CAPACITY,
+};
 
 use std::sync::Arc;
 
@@ -46,14 +51,25 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 512;
 pub const DEFAULT_ACCESS_CAPACITY: usize = 256;
 
 /// The full observability bundle one platform instance carries:
-/// metrics registry, tracer, slow-query log and access log, all
-/// cloneable handles over shared state.
-#[derive(Debug, Clone)]
+/// metrics registry, tracer, trace store, slow-query log and access
+/// log, all cloneable handles over shared state.
+#[derive(Clone)]
 pub struct Obs {
+    clock: SharedClock,
     metrics: Metrics,
     tracer: Tracer,
+    traces: TraceStore,
     slow_queries: SlowQueryLog,
     access_log: AccessLog,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.metrics)
+            .field("tracer", &self.tracer)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Obs {
@@ -71,11 +87,16 @@ impl Obs {
     /// A bundle timing spans against an explicit clock (tests pass a
     /// `VirtualClock` for deterministic traces).
     pub fn with_clock(clock: SharedClock) -> Obs {
-        let metrics = Metrics::new();
-        let tracer = Tracer::with_clock(clock, DEFAULT_SPAN_CAPACITY).with_metrics(metrics.clone());
+        let metrics = Metrics::with_clock(clock.clone());
+        let traces = TraceStore::new(DEFAULT_TRACE_STORE_CAPACITY);
+        let tracer =
+            Tracer::with_clock(clock.clone(), DEFAULT_SPAN_CAPACITY).with_metrics(metrics.clone());
+        tracer.set_trace_store(traces.clone());
         Obs {
+            clock,
             metrics,
             tracer,
+            traces,
             slow_queries: SlowQueryLog::default(),
             access_log: AccessLog::new(DEFAULT_ACCESS_CAPACITY),
         }
@@ -86,11 +107,16 @@ impl Obs {
     /// show up in the same exposition.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Obs {
         let enabled = self.metrics.is_enabled();
-        let metrics = Metrics::with_telemetry(telemetry);
+        let metrics = Metrics::with_telemetry_and_clock(telemetry, self.clock.clone());
         metrics.set_enabled(enabled);
         self.tracer = self.tracer.with_metrics(metrics.clone());
         self.metrics = metrics;
         self
+    }
+
+    /// The clock the bundle times against.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
     }
 
     /// The metrics registry.
@@ -101,6 +127,24 @@ impl Obs {
     /// The span tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The trace store assembling whole (possibly cross-node) traces.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Replaces the trace store — multi-node simulations hand every
+    /// node's bundle the *same* store so traces assemble across nodes.
+    pub fn set_trace_store(&mut self, store: TraceStore) {
+        self.tracer.set_trace_store(store.clone());
+        self.traces = store;
+    }
+
+    /// Brands the tracer with a node identity (id salt + span label);
+    /// see [`Tracer::set_node`].
+    pub fn set_node(&self, salt: u16, label: &str) {
+        self.tracer.set_node(salt, label);
     }
 
     /// The slow-query log.
@@ -172,5 +216,51 @@ mod tests {
         let text = obs.render_prometheus();
         assert!(text.contains("lodify_broker_calls_geo_total 1"));
         assert!(text.contains("lodify_op_seconds_count 1"));
+    }
+
+    #[test]
+    fn with_telemetry_keeps_the_installed_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let obs = Obs::with_clock(clock.clone()).with_telemetry(Telemetry::new());
+        clock.advance(3);
+        assert_eq!(obs.metrics().now_micros(), 3_000);
+    }
+
+    #[test]
+    fn finished_spans_land_in_the_trace_store() {
+        let obs = Obs::new();
+        let root = obs.tracer().start("commit");
+        root.child("wal.flush").finish();
+        let id = root.trace_id();
+        root.finish();
+        assert!(obs.traces().well_nested(id));
+        let rendered = obs.traces().render(id).unwrap();
+        assert!(rendered.contains("commit"));
+        assert!(rendered.contains("wal.flush"));
+    }
+
+    #[test]
+    fn shared_trace_store_assembles_across_bundles() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut a = Obs::with_clock(clock.clone());
+        let mut b = Obs::with_clock(clock.clone());
+        a.set_node(1, "node1");
+        b.set_node(2, "node2");
+        let shared = TraceStore::new(16);
+        a.set_trace_store(shared.clone());
+        b.set_trace_store(shared.clone());
+
+        let commit = a.tracer().start("commit");
+        let ctx = commit.context();
+        b.tracer()
+            .start_with_context("replication.apply", ctx)
+            .finish();
+        let id = commit.trace_id();
+        commit.finish();
+
+        let spans = shared.spans(id).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert!(shared.well_nested(id));
+        assert_eq!(a.traces().len(), b.traces().len());
     }
 }

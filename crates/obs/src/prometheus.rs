@@ -27,20 +27,31 @@ pub fn render(prefix: &str, metrics: &Metrics) -> String {
     for (name, histogram) in metrics.histograms() {
         let metric = format!("{}_{}_seconds", sanitize(prefix), sanitize(&name));
         out.push_str(&format!("# TYPE {metric} histogram\n"));
-        for (bound_us, cumulative) in histogram.cumulative_buckets() {
+        let exemplars = histogram.bucket_exemplars();
+        for (idx, (bound_us, cumulative)) in histogram.cumulative_buckets().into_iter().enumerate()
+        {
             out.push_str(&format!(
-                "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
-                seconds(bound_us)
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}{}\n",
+                seconds(bound_us),
+                exemplar_suffix(exemplars.get(idx).copied().flatten()),
             ));
         }
         out.push_str(&format!(
-            "{metric}_bucket{{le=\"+Inf\"}} {}\n",
-            histogram.count()
+            "{metric}_bucket{{le=\"+Inf\"}} {}{}\n",
+            histogram.count(),
+            exemplar_suffix(exemplars.last().copied().flatten()),
         ));
         out.push_str(&format!("{metric}_sum {}\n", seconds(histogram.sum())));
         out.push_str(&format!("{metric}_count {}\n", histogram.count()));
     }
     out
+}
+
+/// OpenMetrics-style exemplar annotation appended to a bucket line;
+/// empty when the bucket never saw a traced observation, so plain
+/// (untraced) expositions stay byte-identical to format 0.0.4.
+fn exemplar_suffix(trace_id: Option<u64>) -> String {
+    trace_id.map_or_else(String::new, |t| format!(" # {{trace_id=\"{t:016x}\"}}"))
 }
 
 /// Maps a dotted internal name onto the Prometheus charset: every
@@ -119,5 +130,24 @@ mod tests {
     #[test]
     fn empty_registry_renders_empty() {
         assert_eq!(render("x", &Metrics::new()), "");
+    }
+
+    #[test]
+    fn traced_buckets_gain_exemplar_suffixes() {
+        let metrics = Metrics::new();
+        metrics.observe("h", 5); // untraced
+        metrics.observe_with_exemplar("h", 650, 0xabc);
+        let text = render("p", &metrics);
+        // The untraced bucket line is byte-identical to format 0.0.4 …
+        assert!(text.contains("p_h_seconds_bucket{le=\"0.000005\"} 1\n"));
+        // … while the traced bucket carries an OpenMetrics exemplar.
+        assert!(
+            text.contains(
+                "p_h_seconds_bucket{le=\"0.0007\"} 2 # {trace_id=\"0000000000000abc\"}\n"
+            ),
+            "{text}"
+        );
+        // +Inf never saw a traced observation here.
+        assert!(text.contains("p_h_seconds_bucket{le=\"+Inf\"} 2\n"));
     }
 }

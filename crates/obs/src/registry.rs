@@ -6,6 +6,12 @@
 //! registry; a shared *enabled* flag turns the whole surface into
 //! near-free no-ops so bench E17 can measure instrumentation overhead
 //! against the exact same binary.
+//!
+//! The registry also carries the [`Clock`](crate::clock::Clock) the
+//! rest of the system should time against: call sites that used to
+//! reach for `Instant::now()` ask the registry for
+//! [`Metrics::now_micros`] instead, so installing a `VirtualClock`
+//! makes *all* latency series deterministic, not just span timings.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -14,22 +20,52 @@ use std::time::Duration;
 
 use lodify_resilience::Telemetry;
 
+use crate::clock::{SharedClock, WallClock};
 use crate::histogram::Histogram;
 
 /// A cloneable registry of counters, gauges and latency histograms.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct Metrics {
     telemetry: Telemetry,
     histograms: Arc<Mutex<BTreeMap<String, Histogram>>>,
     enabled: Arc<AtomicBool>,
+    clock: SharedClock,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("telemetry", &self.telemetry)
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            telemetry: Telemetry::default(),
+            histograms: Arc::new(Mutex::new(BTreeMap::new())),
+            enabled: Arc::new(AtomicBool::new(false)),
+            clock: Arc::new(WallClock::new()),
+        }
+    }
 }
 
 impl Metrics {
-    /// An empty, enabled registry.
+    /// An empty, enabled registry on wall time.
     pub fn new() -> Metrics {
         let metrics = Metrics::default();
         metrics.enabled.store(true, Ordering::Relaxed);
         metrics
+    }
+
+    /// An empty, enabled registry timing against an explicit clock.
+    pub fn with_clock(clock: SharedClock) -> Metrics {
+        Metrics {
+            clock,
+            ..Metrics::new()
+        }
     }
 
     /// Wraps an existing telemetry registry (its counters and gauges
@@ -39,6 +75,29 @@ impl Metrics {
             telemetry,
             ..Metrics::new()
         }
+    }
+
+    /// Wraps an existing telemetry registry *and* times against an
+    /// explicit clock.
+    pub fn with_telemetry_and_clock(telemetry: Telemetry, clock: SharedClock) -> Metrics {
+        Metrics {
+            telemetry,
+            clock,
+            ..Metrics::new()
+        }
+    }
+
+    /// The clock this registry (and everything timing through it)
+    /// reads.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Microseconds from the registry clock's origin — the sanctioned
+    /// replacement for ad-hoc `Instant::now()` at instrumented call
+    /// sites (deterministic under a `VirtualClock`).
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
     }
 
     /// Whether recording is active.
@@ -79,15 +138,22 @@ impl Metrics {
 
     /// Records a microsecond observation into a named histogram.
     pub fn observe(&self, name: &str, micros: u64) {
+        self.observe_with_exemplar(name, micros, 0);
+    }
+
+    /// Records a microsecond observation and, when `trace_id` is
+    /// non-zero, retains it as the landing bucket's exemplar — the
+    /// link `/metrics` tail buckets expose back to `/trace/<id>`.
+    pub fn observe_with_exemplar(&self, name: &str, micros: u64, trace_id: u64) {
         if !self.is_enabled() {
             return;
         }
         let mut histograms = lock(&self.histograms);
         match histograms.get_mut(name) {
-            Some(histogram) => histogram.observe(micros),
+            Some(histogram) => histogram.observe_with_exemplar(micros, trace_id),
             None => {
                 let mut histogram = Histogram::new();
-                histogram.observe(micros);
+                histogram.observe_with_exemplar(micros, trace_id);
                 histograms.insert(name.to_string(), histogram);
             }
         }
@@ -186,5 +252,28 @@ mod tests {
         let metrics = Metrics::new();
         metrics.observe_duration("d", Duration::from_micros(1500));
         assert_eq!(metrics.histogram("d").unwrap().sum(), 1500);
+    }
+
+    #[test]
+    fn registry_clock_is_swappable_and_deterministic() {
+        let clock = Arc::new(lodify_resilience::VirtualClock::new());
+        let metrics = Metrics::with_clock(clock.clone());
+        assert_eq!(metrics.now_micros(), 0);
+        clock.advance(5);
+        assert_eq!(metrics.now_micros(), 5_000);
+        // The pattern call sites use: delta between two reads.
+        let start = metrics.now_micros();
+        clock.advance(2);
+        metrics.observe("op", metrics.now_micros().saturating_sub(start));
+        assert_eq!(metrics.histogram("op").unwrap().sum(), 2_000);
+    }
+
+    #[test]
+    fn exemplars_reach_the_histogram() {
+        let metrics = Metrics::new();
+        metrics.observe_with_exemplar("lat", 650, 0x42);
+        let histogram = metrics.histogram("lat").unwrap();
+        let with_exemplar: Vec<u64> = histogram.bucket_exemplars().into_iter().flatten().collect();
+        assert_eq!(with_exemplar, vec![0x42]);
     }
 }

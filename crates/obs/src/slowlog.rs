@@ -3,8 +3,18 @@
 //! Queries slower than a configurable threshold are aggregated under a
 //! *fingerprint* (the caller normalizes literals away, so `?name =
 //! "alice"` and `?name = "bob"` share an entry). Each entry keeps the
-//! hit count, total and worst latency, and one sample query text for
-//! the operator to reproduce with.
+//! hit count, total and worst latency, one sample query text for the
+//! operator to reproduce with, and — when the caller supplies one —
+//! the per-operator breakdown of the worst execution (estimated vs.
+//! actual cardinality per pattern/filter/sort).
+//!
+//! The log is bounded: at most [`DEFAULT_SLOW_LOG_CAPACITY`] distinct
+//! fingerprints are retained (configurable via
+//! [`SlowQueryLog::with_capacity`]). When a new fingerprint arrives at
+//! capacity, the least-recently-seen entry is evicted and a shared
+//! eviction counter ticks — `/ops` surfaces it, so a pathological
+//! workload generating unbounded distinct query shapes degrades to a
+//! visible rolling window instead of unbounded memory growth.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +31,9 @@ pub struct SlowQueryEntry {
     pub max_us: u64,
     /// One representative raw query text.
     pub sample: String,
+    /// Per-operator breakdown lines of the worst execution (empty when
+    /// the caller never supplied one).
+    pub breakdown: Vec<String>,
 }
 
 impl SlowQueryEntry {
@@ -30,15 +43,27 @@ impl SlowQueryEntry {
     }
 }
 
-/// A cloneable, threshold-gated slow-query log.
+#[derive(Debug)]
+struct Slot {
+    entry: SlowQueryEntry,
+    last_seen: u64,
+}
+
+/// A cloneable, threshold-gated, bounded slow-query log.
 #[derive(Debug, Clone)]
 pub struct SlowQueryLog {
     threshold_us: Arc<AtomicU64>,
-    entries: Arc<Mutex<BTreeMap<String, SlowQueryEntry>>>,
+    entries: Arc<Mutex<BTreeMap<String, Slot>>>,
+    ticks: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+    capacity: usize,
 }
 
 /// Default slow threshold: 50 ms.
 pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 50_000;
+
+/// Default cap on distinct retained fingerprints.
+pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 128;
 
 impl Default for SlowQueryLog {
     fn default() -> Self {
@@ -47,11 +72,20 @@ impl Default for SlowQueryLog {
 }
 
 impl SlowQueryLog {
-    /// A log recording executions at or above `threshold_us`.
+    /// A log recording executions at or above `threshold_us`, bounded
+    /// at [`DEFAULT_SLOW_LOG_CAPACITY`] fingerprints.
     pub fn new(threshold_us: u64) -> SlowQueryLog {
+        SlowQueryLog::with_capacity(threshold_us, DEFAULT_SLOW_LOG_CAPACITY)
+    }
+
+    /// A log with an explicit fingerprint capacity (≥ 1).
+    pub fn with_capacity(threshold_us: u64, capacity: usize) -> SlowQueryLog {
         SlowQueryLog {
             threshold_us: Arc::new(AtomicU64::new(threshold_us)),
             entries: Arc::new(Mutex::new(BTreeMap::new())),
+            ticks: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
+            capacity: capacity.max(1),
         }
     }
 
@@ -65,27 +99,70 @@ impl SlowQueryLog {
         self.threshold_us.store(threshold_us, Ordering::Relaxed);
     }
 
+    /// The fingerprint capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Records an execution; a no-op below the threshold. Returns
     /// `true` when the query was logged as slow.
     pub fn record(&self, fingerprint: &str, query: &str, elapsed_us: u64) -> bool {
+        self.record_with_breakdown(fingerprint, query, elapsed_us, &[])
+    }
+
+    /// Records an execution together with its per-operator breakdown;
+    /// the breakdown of the worst execution per fingerprint is kept.
+    pub fn record_with_breakdown(
+        &self,
+        fingerprint: &str,
+        query: &str,
+        elapsed_us: u64,
+        breakdown: &[String],
+    ) -> bool {
         if elapsed_us < self.threshold_us() {
             return false;
         }
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
         let mut entries = lock(&self.entries);
         match entries.get_mut(fingerprint) {
-            Some(entry) => {
-                entry.count += 1;
-                entry.total_us = entry.total_us.saturating_add(elapsed_us);
-                entry.max_us = entry.max_us.max(elapsed_us);
+            Some(slot) => {
+                slot.last_seen = tick;
+                slot.entry.count += 1;
+                slot.entry.total_us = slot.entry.total_us.saturating_add(elapsed_us);
+                if elapsed_us >= slot.entry.max_us {
+                    slot.entry.max_us = elapsed_us;
+                    if !breakdown.is_empty() {
+                        slot.entry.breakdown = breakdown.to_vec();
+                    }
+                }
             }
             None => {
+                if entries.len() >= self.capacity {
+                    let oldest = entries
+                        .iter()
+                        .min_by_key(|(_, slot)| slot.last_seen)
+                        .map(|(k, _)| k.clone());
+                    if let Some(key) = oldest {
+                        entries.remove(&key);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 entries.insert(
                     fingerprint.to_string(),
-                    SlowQueryEntry {
-                        count: 1,
-                        total_us: elapsed_us,
-                        max_us: elapsed_us,
-                        sample: query.to_string(),
+                    Slot {
+                        entry: SlowQueryEntry {
+                            count: 1,
+                            total_us: elapsed_us,
+                            max_us: elapsed_us,
+                            sample: query.to_string(),
+                            breakdown: breakdown.to_vec(),
+                        },
+                        last_seen: tick,
                     },
                 );
             }
@@ -97,7 +174,7 @@ impl SlowQueryLog {
     pub fn entries(&self) -> Vec<(String, SlowQueryEntry)> {
         let mut out: Vec<(String, SlowQueryEntry)> = lock(&self.entries)
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (k.clone(), v.entry.clone()))
             .collect();
         out.sort_by_key(|e| std::cmp::Reverse(e.1.max_us));
         out
@@ -165,5 +242,33 @@ mod tests {
         assert_eq!(log.threshold_us(), 5);
         log.record("fp", "q", 6);
         assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_seen() {
+        let log = SlowQueryLog::with_capacity(1, 2);
+        log.record("a", "qa", 10);
+        log.record("b", "qb", 10);
+        log.record("a", "qa", 10); // refresh a: b is now the oldest
+        log.record("c", "qc", 10);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.evictions(), 1);
+        let names: Vec<String> = log.entries().into_iter().map(|(k, _)| k).collect();
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"c".to_string()));
+        assert!(!names.contains(&"b".to_string()), "LRU-seen entry evicted");
+    }
+
+    #[test]
+    fn worst_execution_keeps_its_breakdown() {
+        let log = SlowQueryLog::new(1);
+        let fast = vec!["pattern ?s ?p ?o est=5 actual=3".to_string()];
+        let slow = vec!["pattern ?s ?p ?o est=5 actual=900".to_string()];
+        log.record_with_breakdown("fp", "q", 100, &fast);
+        log.record_with_breakdown("fp", "q", 900, &slow);
+        log.record_with_breakdown("fp", "q", 50, &fast);
+        let entry = &log.entries()[0].1;
+        assert_eq!(entry.max_us, 900);
+        assert_eq!(entry.breakdown, slow, "breakdown follows the worst run");
     }
 }

@@ -1,0 +1,144 @@
+//! Property test for trace assembly: under seeded 50-step random
+//! interleavings of span starts, finishes, cross-node hand-offs and
+//! asynchronous follow-ups across three node-branded tracers, every
+//! minted trace id is unique and every assembled trace is one
+//! well-nested tree — the invariant `/trace/<id>` rendering and the
+//! flight recorder both rely on.
+
+use std::sync::Arc;
+
+use lodify_obs::{Span, TraceContext, TraceStore, Tracer};
+use lodify_resilience::{DetRng, VirtualClock};
+
+/// One open span plus the bookkeeping the causal discipline needs:
+/// a span may only finish once its open children have.
+struct Open {
+    span: Option<Span>,
+    parent: Option<usize>,
+    open_children: usize,
+}
+
+#[test]
+fn random_interleavings_stay_unique_and_well_nested() {
+    for seed in 0..48u64 {
+        run_interleaving(seed);
+    }
+}
+
+fn run_interleaving(seed: u64) {
+    let clock = Arc::new(VirtualClock::new());
+    let store = TraceStore::new(256);
+    let tracers: Vec<Tracer> = (0..3)
+        .map(|i| {
+            let tracer = Tracer::with_clock(clock.clone(), 256);
+            tracer.set_node(i as u16 + 1, &format!("node{i}"));
+            tracer.set_trace_store(store.clone());
+            tracer
+        })
+        .collect();
+
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut open: Vec<Open> = Vec::new();
+    let mut roots: Vec<u64> = Vec::new();
+    let mut finished: Vec<TraceContext> = Vec::new();
+
+    let start = |open: &mut Vec<Open>, span: Span, parent: Option<usize>| {
+        if let Some(p) = parent {
+            open[p].open_children += 1;
+        }
+        open.push(Open {
+            span: Some(span),
+            parent,
+            open_children: 0,
+        });
+    };
+
+    for step in 0..50 {
+        let tracer = &tracers[rng.random_range(0..tracers.len())];
+        match rng.random_range(0..5u32) {
+            // A fresh root trace (a commit, a web request).
+            0 => {
+                let span = tracer.start(&format!("root{step}"));
+                roots.push(span.trace_id());
+                start(&mut open, span, None);
+            }
+            // A synchronous child under a random open span, possibly
+            // on a different node (a ship under a commit).
+            1 => {
+                let candidates: Vec<usize> = (0..open.len())
+                    .filter(|&i| open[i].span.is_some())
+                    .collect();
+                if let Some(&p) = pick(&mut rng, &candidates) {
+                    let ctx = open[p].span.as_ref().unwrap().context();
+                    let span = tracer.start_with_context(&format!("child{step}"), ctx);
+                    start(&mut open, span, Some(p));
+                }
+            }
+            // An asynchronous follow-up under an already-finished
+            // span (a redelivered shipment applying later): legal
+            // only strictly after the parent closed, so advance first.
+            2 => {
+                if let Some(&ctx) = pick(&mut rng, &finished) {
+                    clock.advance(1 + rng.random_range(0..3u64));
+                    let span = tracer.start_with_context(&format!("followup{step}"), Some(ctx));
+                    start(&mut open, span, None);
+                }
+            }
+            // Finish a random open leaf (no open children).
+            3 => {
+                let leaves: Vec<usize> = (0..open.len())
+                    .filter(|&i| open[i].span.is_some() && open[i].open_children == 0)
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &leaves) {
+                    finish(&mut open, &mut finished, i);
+                }
+            }
+            // Time passes.
+            _ => {
+                clock.advance(rng.random_range(0..5u64));
+            }
+        }
+    }
+    // Drain: finish everything leaf-first.
+    while let Some(i) =
+        (0..open.len()).find(|&i| open[i].span.is_some() && open[i].open_children == 0)
+    {
+        finish(&mut open, &mut finished, i);
+    }
+
+    // Every root minted a distinct trace id, even across tracers.
+    let distinct: std::collections::BTreeSet<u64> = roots.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        roots.len(),
+        "seed {seed}: duplicate trace ids"
+    );
+
+    // Every assembled trace is one well-nested tree.
+    for id in store.trace_ids() {
+        assert!(
+            store.well_nested(id),
+            "seed {seed}: trace {id:016x} not well nested:\n{}",
+            store.render(id).unwrap_or_default()
+        );
+    }
+}
+
+fn pick<'a, T>(rng: &mut DetRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+fn finish(open: &mut [Open], finished: &mut Vec<TraceContext>, i: usize) {
+    let span = open[i].span.take().unwrap();
+    if let Some(ctx) = span.context() {
+        finished.push(ctx);
+    }
+    span.finish();
+    if let Some(p) = open[i].parent {
+        open[p].open_children -= 1;
+    }
+}

@@ -30,6 +30,7 @@ use crate::ast::*;
 use crate::error::SparqlError;
 use crate::expr::{self, ExprError};
 use crate::pool;
+use crate::profile::{EvalProfile, OperatorKind, OperatorProfile, WallTimer};
 use crate::results::QueryResults;
 
 /// Evaluator tuning knobs (ablation benches flip these).
@@ -104,6 +105,11 @@ pub struct EvalReport {
     /// same `store_epoch` are guaranteed byte-identical, and a cache
     /// keyed on this value revalidates without re-running the query.
     pub store_epoch: u64,
+    /// Per-operator execution profile: one entry per scan/join/filter/
+    /// sort the engine ran, with estimated vs. actual cardinality and
+    /// wall time. Feeds the slow-query breakdown and the per-predicate
+    /// [`CardinalityProfile`](crate::profile::CardinalityProfile).
+    pub profile: EvalProfile,
 }
 
 impl EvalReport {
@@ -588,7 +594,23 @@ impl<'s> Evaluator<'s> {
                     }
                     for (k, pattern) in ordered.iter().enumerate() {
                         let fork = split.as_ref().is_some_and(|&(idx, _)| k > idx);
+                        let estimated = self.estimate(pattern, &bound, reg);
+                        let input_rows = solutions.len() as u64;
+                        let timer = WallTimer::start();
                         solutions = self.match_pattern(pattern, solutions, reg, fork)?;
+                        self.report.borrow_mut().profile.push(OperatorProfile {
+                            kind: if k == 0 {
+                                OperatorKind::Scan
+                            } else {
+                                OperatorKind::Join
+                            },
+                            label: describe_pattern(pattern),
+                            predicate: constant_predicate(pattern),
+                            estimated_rows: estimated,
+                            input_rows,
+                            output_rows: solutions.len() as u64,
+                            elapsed_us: timer.elapsed_us(),
+                        });
                         for v in pattern.vars() {
                             if let Some(slot) = reg.slot(v) {
                                 bound.insert(slot);
@@ -689,6 +711,8 @@ impl<'s> Evaluator<'s> {
         // per row: per-row lookups are a scan of this (tiny) table
         // instead of a string hash into the registry.
         let slots = compile_slots(filter, reg);
+        let input_rows = solutions.len() as u64;
+        let timer = WallTimer::start();
         let keep_row = |b: &Binding| -> bool {
             let lookup = |name: &str| -> Option<&Term> {
                 compiled_slot(&slots, name)
@@ -716,6 +740,18 @@ impl<'s> Evaluator<'s> {
         } else {
             solutions.retain(|b| keep_row(b));
         }
+        let vars: Vec<String> = slots.iter().map(|(n, _)| format!("?{n}")).collect();
+        self.report.borrow_mut().profile.push(OperatorProfile {
+            kind: OperatorKind::Filter,
+            label: format!("filter({})", vars.join(", ")),
+            predicate: None,
+            // No filter selectivity model yet: the estimate is the
+            // input batch, so `misestimate` reads as pass-through rate.
+            estimated_rows: input_rows as f64,
+            input_rows,
+            output_rows: solutions.len() as u64,
+            elapsed_us: timer.elapsed_us(),
+        });
     }
 
     /// Picks the parallel split point for an ordered BGP run from the
@@ -932,6 +968,7 @@ impl<'s> Evaluator<'s> {
         if order_by.is_empty() {
             return Ok(());
         }
+        let timer = WallTimer::start();
         // Slots compile once per key; each binding is *moved* into the
         // keyed vector (`mem::take` leaves an empty Vec behind) and
         // moved back after the sort — no full-batch clone.
@@ -962,7 +999,34 @@ impl<'s> Evaluator<'s> {
         for (dst, (_, b)) in solutions.iter_mut().zip(keyed) {
             *dst = b;
         }
+        let rows = solutions.len() as u64;
+        self.report.borrow_mut().profile.push(OperatorProfile {
+            kind: OperatorKind::Sort,
+            label: format!("sort({} key{})", order_by.len(), plural(order_by.len())),
+            predicate: None,
+            estimated_rows: rows as f64,
+            input_rows: rows,
+            output_rows: rows,
+            elapsed_us: timer.elapsed_us(),
+        });
         Ok(())
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// The constant predicate IRI of a pattern, if it has one — the key
+/// cardinality profiling aggregates under.
+fn constant_predicate(pattern: &TriplePattern) -> Option<String> {
+    match &pattern.predicate {
+        TermOrVar::Term(Term::Iri(iri)) => Some(iri.as_str().to_string()),
+        _ => None,
     }
 }
 

@@ -46,10 +46,12 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod pool;
+pub mod profile;
 pub mod results;
 
 pub use error::SparqlError;
 pub use eval::{EvalOptions, EvalReport};
+pub use profile::{CardinalityProfile, EvalProfile, OperatorKind, OperatorProfile};
 pub use results::{QueryResults, Row};
 
 use lodify_store::Store;

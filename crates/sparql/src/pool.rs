@@ -17,7 +17,9 @@
 //! wall-clock speedup and the partition-limited critical path on any
 //! host, including single-core CI runners.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::profile::WallTimer;
 
 /// What one partition produced: its outputs (in input order), how many
 /// input items it consumed, and how long the work took.
@@ -79,7 +81,7 @@ where
 }
 
 fn run_chunk<I, T>(chunk: &[I], work: &(impl Fn(&[I]) -> Vec<T> + Sync)) -> ChunkOutcome<T> {
-    let started = Instant::now();
+    let started = WallTimer::start();
     let out = work(chunk);
     ChunkOutcome {
         out,

@@ -1,0 +1,367 @@
+//! Per-operator query profiling.
+//!
+//! Every evaluation producing an [`EvalReport`](crate::eval::EvalReport)
+//! also fills an [`EvalProfile`]: one [`OperatorProfile`] per physical
+//! operator the engine ran (index scan, nested-loop join step, filter,
+//! sort), each carrying the planner's **estimated** cardinality next to
+//! the **actual** row counts and the wall time spent. The profile
+//! renders to the per-operator breakdown lines the slow-query log
+//! retains for the worst execution of each fingerprint, and folds into
+//! a [`CardinalityProfile`] — a per-predicate registry of estimated vs.
+//! observed fan-out that seeds future statistics refinement.
+//!
+//! This module also owns [`WallTimer`], the one sanctioned wrapper
+//! around [`std::time::Instant`] inside the query engine: operator
+//! timings are wall-clock by nature (they measure real work on real
+//! threads), while everything metric-facing goes through the obs
+//! `Clock` seam. CI greps for stray `Instant::now()` and allow-lists
+//! exactly this file.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The physical operator kinds the evaluator distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// First triple pattern of a BGP run: an index scan seeding the
+    /// binding batch.
+    Scan,
+    /// A subsequent triple pattern: an index-nested-loop join step
+    /// probing the store once per candidate binding.
+    Join,
+    /// A `FILTER` application over the current batch.
+    Filter,
+    /// The final `ORDER BY` sort.
+    Sort,
+}
+
+impl OperatorKind {
+    /// Lowercase label used in breakdown lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatorKind::Scan => "scan",
+            OperatorKind::Join => "join",
+            OperatorKind::Filter => "filter",
+            OperatorKind::Sort => "sort",
+        }
+    }
+}
+
+/// What one physical operator did: its plan-time estimate against the
+/// rows it actually consumed and produced, and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorProfile {
+    /// Operator kind (scan / join / filter / sort).
+    pub kind: OperatorKind,
+    /// Human-readable operator label, e.g. `?pic dc:date ?date` for a
+    /// pattern or `filter(?date)` for a filter.
+    pub label: String,
+    /// The constant predicate IRI of a pattern operator, when it has
+    /// one — the key the [`CardinalityProfile`] aggregates under.
+    pub predicate: Option<String>,
+    /// The planner's cardinality estimate for this operator (for
+    /// filters and sorts, the input batch size: the engine has no
+    /// selectivity model for them yet).
+    pub estimated_rows: f64,
+    /// Candidate bindings fed into the operator.
+    pub input_rows: u64,
+    /// Bindings the operator produced (for sorts, equal to the input).
+    pub output_rows: u64,
+    /// Wall time the operator took, microseconds.
+    pub elapsed_us: u64,
+}
+
+impl OperatorProfile {
+    /// How far the estimate missed, as `actual / estimated` (1.0 is a
+    /// perfect estimate; `None` when the estimate was zero).
+    pub fn misestimate(&self) -> Option<f64> {
+        (self.estimated_rows > 0.0).then(|| self.output_rows as f64 / self.estimated_rows)
+    }
+
+    /// One breakdown line: kind, label, estimate, in/out rows, time.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} est={:.0} in={} out={} {}us",
+            self.kind.label(),
+            self.label,
+            self.estimated_rows,
+            self.input_rows,
+            self.output_rows,
+            self.elapsed_us,
+        )
+    }
+}
+
+/// The per-operator execution profile of one query evaluation.
+///
+/// ```
+/// use lodify_sparql::profile::{EvalProfile, OperatorKind, OperatorProfile};
+///
+/// let mut profile = EvalProfile::default();
+/// profile.push(OperatorProfile {
+///     kind: OperatorKind::Scan,
+///     label: "?pic a sioct:MicroblogPost".into(),
+///     predicate: Some("http://www.w3.org/1999/02/22-rdf-syntax-ns#type".into()),
+///     estimated_rows: 10.0,
+///     input_rows: 1,
+///     output_rows: 12,
+///     elapsed_us: 3,
+/// });
+/// assert_eq!(profile.operators().len(), 1);
+/// let lines = profile.render_lines();
+/// assert_eq!(lines[0], "scan ?pic a sioct:MicroblogPost est=10 in=1 out=12 3us");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalProfile {
+    operators: Vec<OperatorProfile>,
+}
+
+impl EvalProfile {
+    /// Appends one operator's record (called by the evaluator as each
+    /// operator finishes, so the order is execution order).
+    pub fn push(&mut self, operator: OperatorProfile) {
+        self.operators.push(operator);
+    }
+
+    /// The recorded operators, in execution order.
+    pub fn operators(&self) -> &[OperatorProfile] {
+        &self.operators
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Total operator wall time in µs (≤ end-to-end latency; parsing
+    /// and projection are not operators).
+    pub fn total_us(&self) -> u64 {
+        self.operators.iter().map(|o| o.elapsed_us).sum()
+    }
+
+    /// The breakdown lines the slow-query log retains for the worst
+    /// execution of a fingerprint.
+    pub fn render_lines(&self) -> Vec<String> {
+        self.operators.iter().map(OperatorProfile::render).collect()
+    }
+}
+
+/// Running estimated-vs-actual statistics for one predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredicateStats {
+    /// Pattern-operator executions observed for this predicate.
+    pub observations: u64,
+    /// Sum of actual output rows across those executions.
+    pub actual_rows: u64,
+    /// Sum of the planner's estimates across those executions.
+    pub estimated_rows: f64,
+}
+
+impl PredicateStats {
+    /// Mean observed fan-out per execution.
+    pub fn mean_actual(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.actual_rows as f64 / self.observations as f64
+        }
+    }
+
+    /// Aggregate `actual / estimated` ratio (1.0 = estimates are
+    /// calibrated; > 1 = the planner underestimates this predicate).
+    pub fn misestimate(&self) -> Option<f64> {
+        (self.estimated_rows > 0.0).then(|| self.actual_rows as f64 / self.estimated_rows)
+    }
+}
+
+/// A cloneable per-predicate registry of estimated vs. observed
+/// cardinalities, fed by every profiled evaluation. Over time it
+/// becomes the seed data for statistics refinement: predicates whose
+/// [`PredicateStats::misestimate`] drifts from 1.0 are where the
+/// planner's uniform-distribution assumption breaks.
+///
+/// ```
+/// use lodify_sparql::profile::{CardinalityProfile, EvalProfile, OperatorKind, OperatorProfile};
+///
+/// let registry = CardinalityProfile::new();
+/// let mut profile = EvalProfile::default();
+/// profile.push(OperatorProfile {
+///     kind: OperatorKind::Join,
+///     label: "?pic dc:date ?date".into(),
+///     predicate: Some("http://purl.org/dc/elements/1.1/date".into()),
+///     estimated_rows: 4.0,
+///     input_rows: 12,
+///     output_rows: 12,
+///     elapsed_us: 2,
+/// });
+/// registry.absorb(&profile);
+/// let stats = registry.stats("http://purl.org/dc/elements/1.1/date").unwrap();
+/// assert_eq!(stats.observations, 1);
+/// assert_eq!(stats.misestimate(), Some(3.0)); // planner underestimated 3×
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CardinalityProfile {
+    stats: Arc<Mutex<BTreeMap<String, PredicateStats>>>,
+}
+
+impl CardinalityProfile {
+    /// An empty registry.
+    pub fn new() -> CardinalityProfile {
+        CardinalityProfile::default()
+    }
+
+    /// Records one pattern execution for `predicate`.
+    pub fn observe(&self, predicate: &str, estimated_rows: f64, actual_rows: u64) {
+        let mut stats = lock(&self.stats);
+        let entry = stats.entry(predicate.to_string()).or_default();
+        entry.observations += 1;
+        entry.actual_rows = entry.actual_rows.saturating_add(actual_rows);
+        entry.estimated_rows += estimated_rows;
+    }
+
+    /// Folds every pattern operator of a profile into the registry
+    /// (filters and sorts carry no predicate and are skipped).
+    pub fn absorb(&self, profile: &EvalProfile) {
+        for op in profile.operators() {
+            if let Some(predicate) = &op.predicate {
+                self.observe(predicate, op.estimated_rows, op.output_rows);
+            }
+        }
+    }
+
+    /// Stats for one predicate, if observed.
+    pub fn stats(&self, predicate: &str) -> Option<PredicateStats> {
+        lock(&self.stats).get(predicate).copied()
+    }
+
+    /// All predicates with their stats, worst-misestimated first.
+    pub fn entries(&self) -> Vec<(String, PredicateStats)> {
+        let mut out: Vec<(String, PredicateStats)> = lock(&self.stats)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort_by(|a, b| {
+            let drift =
+                |s: &PredicateStats| s.misestimate().map_or(0.0, |m| (m.max(1e-9).ln()).abs());
+            drift(&b.1).total_cmp(&drift(&a.1))
+        });
+        out
+    }
+
+    /// Number of predicates observed.
+    pub fn len(&self) -> usize {
+        lock(&self.stats).len()
+    }
+
+    /// Whether nothing was observed yet.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.stats).is_empty()
+    }
+}
+
+/// The query engine's sanctioned wall timer.
+///
+/// Operator and partition timings measure real work on real OS threads,
+/// so they are inherently wall-clock; everything that feeds metrics
+/// goes through the obs `Clock` seam instead. Keeping the single
+/// `Instant` use behind this type lets CI grep the tree for stray
+/// `Instant::now()` calls with a one-file allow-list.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    started: Instant,
+}
+
+impl WallTimer {
+    /// Starts timing now.
+    pub fn start() -> WallTimer {
+        WallTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed microseconds since start (saturating).
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: OperatorKind, predicate: Option<&str>, est: f64, out: u64) -> OperatorProfile {
+        OperatorProfile {
+            kind,
+            label: "?s ?p ?o".into(),
+            predicate: predicate.map(str::to_string),
+            estimated_rows: est,
+            input_rows: 1,
+            output_rows: out,
+            elapsed_us: 5,
+        }
+    }
+
+    #[test]
+    fn profile_renders_one_line_per_operator() {
+        let mut profile = EvalProfile::default();
+        profile.push(op(OperatorKind::Scan, Some("http://p"), 10.0, 8));
+        profile.push(op(OperatorKind::Filter, None, 8.0, 4));
+        let lines = profile.render_lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "scan ?s ?p ?o est=10 in=1 out=8 5us");
+        assert!(lines[1].starts_with("filter "));
+        assert_eq!(profile.total_us(), 10);
+    }
+
+    #[test]
+    fn misestimate_is_actual_over_estimated() {
+        let operator = op(OperatorKind::Join, None, 4.0, 12);
+        assert_eq!(operator.misestimate(), Some(3.0));
+        assert_eq!(op(OperatorKind::Join, None, 0.0, 12).misestimate(), None);
+    }
+
+    #[test]
+    fn registry_aggregates_per_predicate() {
+        let registry = CardinalityProfile::new();
+        let mut profile = EvalProfile::default();
+        profile.push(op(OperatorKind::Scan, Some("http://a"), 10.0, 20));
+        profile.push(op(OperatorKind::Join, Some("http://a"), 10.0, 20));
+        profile.push(op(OperatorKind::Join, Some("http://b"), 5.0, 5));
+        profile.push(op(OperatorKind::Filter, None, 5.0, 2)); // skipped
+        registry.absorb(&profile);
+        assert_eq!(registry.len(), 2);
+        let a = registry.stats("http://a").unwrap();
+        assert_eq!(a.observations, 2);
+        assert_eq!(a.actual_rows, 40);
+        assert_eq!(a.misestimate(), Some(2.0));
+        assert_eq!(a.mean_actual(), 20.0);
+        // Worst-misestimated predicate sorts first.
+        assert_eq!(registry.entries()[0].0, "http://a");
+    }
+
+    #[test]
+    fn registry_is_shared_across_clones() {
+        let registry = CardinalityProfile::new();
+        let clone = registry.clone();
+        clone.observe("http://p", 1.0, 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn wall_timer_moves_forward() {
+        let timer = WallTimer::start();
+        let first = timer.elapsed();
+        assert!(timer.elapsed() >= first);
+        let _ = timer.elapsed_us();
+    }
+}

@@ -700,3 +700,56 @@ fn parallel_report_stays_quiet_below_the_stats_threshold() {
     assert_eq!(report.balance(), 1.0);
     assert!(report.split_variable.is_none());
 }
+
+// ---------------------------------------------------------------------
+// Per-operator profiling.
+// ---------------------------------------------------------------------
+
+#[test]
+fn eval_profile_covers_every_paper_query_operator() {
+    use lodify_sparql::{execute_with_report, CardinalityProfile, EvalOptions, OperatorKind};
+    let store = paper_store();
+    for (name, query) in [("Q1", Q1), ("Q2", Q2), ("Q3", Q3)] {
+        let (_, report) = execute_with_report(&store, query, EvalOptions::default()).unwrap();
+        let ops = report.profile.operators();
+        assert!(
+            ops.iter().any(|o| o.kind == OperatorKind::Scan),
+            "{name}: missing scan"
+        );
+        assert!(
+            ops.iter().any(|o| o.kind == OperatorKind::Join),
+            "{name}: missing join"
+        );
+        assert!(
+            ops.iter().any(|o| o.kind == OperatorKind::Filter),
+            "{name}: missing filter"
+        );
+        // Every operator pairs a plan-time estimate with actual rows.
+        for op in ops {
+            let line = op.render();
+            assert!(line.contains("est="), "{name}: {line}");
+            assert!(line.contains(" in="), "{name}: {line}");
+            assert!(line.contains(" out="), "{name}: {line}");
+        }
+        // The anchor scan on rdfs:label is exactly selective: one
+        // monument estimated small, one row produced.
+        let anchor = ops
+            .iter()
+            .find(|o| o.label.contains("rdfs:label"))
+            .expect("label pattern profiled");
+        assert_eq!(anchor.output_rows, 1, "{name}");
+        assert!(anchor.estimated_rows > 0.0, "{name}");
+        // Pattern operators with constant predicates seed the
+        // per-predicate cardinality registry.
+        let registry = CardinalityProfile::new();
+        registry.absorb(&report.profile);
+        assert!(registry.stats(ns::iri::rdfs_label().as_str()).is_some());
+    }
+    // Q3's ORDER BY shows up as a sort operator.
+    let (_, report) = execute_with_report(&store, Q3, EvalOptions::default()).unwrap();
+    assert!(report
+        .profile
+        .operators()
+        .iter()
+        .any(|o| o.kind == OperatorKind::Sort && o.label == "sort(1 key)"));
+}

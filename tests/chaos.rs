@@ -1069,3 +1069,238 @@ fn live_albums_rebuild_exactly_after_crash_recovery() {
     revived.live_rebuild();
     assert_eq!(revived.live().engine().links(album), maintained);
 }
+
+/// Causal-tracing chaos: a four-node replication mesh under
+/// `TransportChaos` (drops, duplicates, reorders) with a live album
+/// standing on a *replica*, killed and recovered mid-stream. Every
+/// applied emission must still carry the origin commit's trace id,
+/// every delivered push must stitch under it, and the shared trace
+/// store must assemble one well-nested cross-node span tree per
+/// commit — the `/trace/<id>` contract, end to end.
+mod tracing {
+    use std::sync::Arc;
+
+    use lodify::context::Gazetteer;
+    use lodify::core::albums::AlbumSpec;
+    use lodify::core::federation::Federation;
+    use lodify::core::replication::{Replicator, SharePolicy, TransportChaos};
+    use lodify::durability::MemStorage;
+    use lodify::obs::{Obs, SpanRecord, TraceStore};
+    use lodify::rdf::{ns, Literal, Point, Term, Triple};
+    use lodify::resilience::VirtualClock;
+
+    const MONUMENT: &str = "http://dbpedia.org/resource/Mole_Antonelliana";
+
+    fn mole() -> Point {
+        let gaz = Gazetteer::global();
+        gaz.poi("Mole_Antonelliana").unwrap().point(gaz)
+    }
+
+    /// Monument reference triples (label + geometry) every Q1-shaped
+    /// album spec joins against.
+    fn monument_triples() -> Vec<Triple> {
+        vec![
+            Triple::spo(
+                MONUMENT,
+                ns::iri::rdfs_label().as_str(),
+                Term::Literal(Literal::lang("Mole Antonelliana", "it").unwrap()),
+            ),
+            Triple::spo(
+                MONUMENT,
+                ns::iri::geo_geometry().as_str(),
+                Term::Literal(mole().to_literal()),
+            ),
+        ]
+    }
+
+    /// All spans named `name` across every trace in the store.
+    fn spans_named(traces: &TraceStore, name: &str) -> Vec<SpanRecord> {
+        traces
+            .trace_ids()
+            .into_iter()
+            .filter_map(|id| traces.spans(id))
+            .flatten()
+            .filter(|s| s.name == name)
+            .collect()
+    }
+
+    #[test]
+    fn tracing_survives_transport_chaos_and_replica_crash() {
+        let clock = Arc::new(VirtualClock::new());
+        let traces = TraceStore::new(512);
+
+        // Two node-branded observability bundles share one trace store,
+        // standing in for the collector every home node ships spans to:
+        // origin-side replication spans and replica-side push spans land
+        // in the same place and assemble into one tree.
+        let mut origin_obs = Obs::with_clock(clock.clone());
+        origin_obs.set_trace_store(traces.clone());
+        origin_obs.set_node(1, "node0");
+
+        let mut replica_obs = Obs::with_clock(clock.clone());
+        replica_obs.set_trace_store(traces.clone());
+        replica_obs.set_node(2, "node1");
+
+        // A four-node star: oscar's home node replicates everything to
+        // three peers.
+        let mut fed = Federation::new();
+        let n0 = fed.add_node("node0.example").unwrap();
+        let n1 = fed.add_node("node1.example").unwrap();
+        let n2 = fed.add_node("node2.example").unwrap();
+        let n3 = fed.add_node("node3.example").unwrap();
+        let oscar = fed.register_user(n0, "oscar", "Oscar").unwrap();
+
+        let disks: Vec<MemStorage> = (0..4).map(|_| MemStorage::new()).collect();
+        let mut repl = Replicator::new();
+        for (node, disk) in [n0, n1, n2, n3].into_iter().zip(&disks) {
+            repl.attach(&fed, node, Box::new(disk.clone())).unwrap();
+        }
+        for peer in [n1, n2, n3] {
+            repl.subscribe(n0, peer, SharePolicy::Everything).unwrap();
+        }
+        repl.set_observability(&origin_obs);
+        repl.set_transport_chaos(Some(TransportChaos {
+            drop_rate: 0.25,
+            dup_rate: 0.2,
+            reorder_rate: 0.25,
+            seed: 0xC4A05,
+        }));
+
+        // A standing near-monument album registered against replica n1,
+        // with a push subscriber on n3 — pushes on n1 are driven purely
+        // by emissions replication applies there.
+        fed.import_reference(n1, &monument_triples()).unwrap();
+        let spec = AlbumSpec::near_monument("Mole Antonelliana", "it", 1.0);
+        let (album, sub) = fed.live_subscribe(n3, n1, &spec).unwrap();
+        let hub = fed.live_hub_mut(n1).unwrap();
+        hub.set_observability(&replica_obs);
+
+        let pump = |fed: &mut Federation, repl: &mut Replicator, clock: &VirtualClock| {
+            for _ in 0..64 {
+                repl.pump(fed).unwrap();
+                repl.redeliver(fed).unwrap();
+                clock.advance(5);
+                if repl.converged() {
+                    break;
+                }
+            }
+        };
+
+        // First half of the stream.
+        for i in 0..3 {
+            let point = mole().offset_km(0.02 * f64::from(i + 1), 0.0);
+            fed.publish_picture(&oscar, &format!("mole {i}"), point, 1000 + i64::from(i))
+                .unwrap();
+            repl.commit(&mut fed, &oscar, None).unwrap();
+            pump(&mut fed, &mut repl, &clock);
+        }
+
+        // Kill replica n1 mid-stream: volatile state gone, journal kept.
+        assert!(repl.kill(n1));
+        disks[1].crash();
+        for i in 3..5 {
+            let point = mole().offset_km(0.02 * f64::from(i + 1), 0.0);
+            fed.publish_picture(&oscar, &format!("mole {i}"), point, 1000 + i64::from(i))
+                .unwrap();
+            repl.commit(&mut fed, &oscar, None).unwrap();
+            pump(&mut fed, &mut repl, &clock);
+        }
+
+        // Recover from the journal and finish the stream.
+        repl.attach(&fed, n1, Box::new(disks[1].clone())).unwrap();
+        let point = mole().offset_km(0.12, 0.0);
+        fed.publish_picture(&oscar, "mole 5", point, 1005).unwrap();
+        repl.commit(&mut fed, &oscar, None).unwrap();
+        pump(&mut fed, &mut repl, &clock);
+        assert!(repl.converged(), "mesh converged despite chaos + crash");
+
+        // --- Trace completeness: every committed emission is traced. ---
+        let committed = repl.emission_log(n0).unwrap();
+        assert_eq!(committed.len(), 6);
+        let commit_ids: Vec<u64> = committed
+            .iter()
+            .map(|e| {
+                e.trace
+                    .expect("every committed emission carries a trace context")
+                    .trace_id
+            })
+            .collect();
+        let unique: std::collections::BTreeSet<u64> = commit_ids.iter().copied().collect();
+        assert_eq!(unique.len(), 6, "one distinct trace per commit");
+
+        // Every applied emission (journalled on each replica) kept the
+        // origin trace id across the chaotic transport and the crash.
+        for replica in [n1, n2, n3] {
+            let applied = repl.applied_log(replica).unwrap();
+            assert_eq!(
+                applied.len(),
+                6,
+                "replica {replica} applied the full stream"
+            );
+            for emission in applied {
+                let trace = emission.trace.expect("applied emission keeps its trace");
+                assert!(
+                    unique.contains(&trace.trace_id),
+                    "replica {replica} emission seq {} carries a foreign trace",
+                    emission.seq
+                );
+            }
+        }
+
+        // Every apply span stitches under a commit trace; all six commits
+        // reached at least one replica's apply path.
+        let applies = spans_named(&traces, "replication.apply");
+        assert!(applies.len() >= 6, "applies recorded: {}", applies.len());
+        let apply_traces: std::collections::BTreeSet<u64> =
+            applies.iter().map(|s| s.trace_id).collect();
+        assert_eq!(
+            apply_traces, unique,
+            "apply spans cover exactly the commits"
+        );
+
+        // --- Push continuity: the replica album converged and every
+        // delivered push stitches under an origin commit. ---
+        let expected = spec.execute(fed.node(n1).unwrap().store()).unwrap();
+        assert_eq!(expected.len(), 6, "all six pictures joined the album");
+        assert_eq!(fed.live_links(n1, album), expected);
+        assert_eq!(fed.live_subscriber(n1, sub).unwrap().links(), expected);
+        assert!(fed.live_hub(n1).unwrap().converged());
+
+        let pushes = spans_named(&traces, "live.push");
+        assert!(!pushes.is_empty(), "push deliveries were traced");
+        for push in &pushes {
+            assert!(
+                unique.contains(&push.trace_id),
+                "push span outside any commit trace"
+            );
+            assert_eq!(push.node, "node1", "pushes are branded with the hub's node");
+        }
+
+        // --- Tree shape: each commit assembles one well-nested tree with
+        // exactly one root, and renders as the cross-node `/trace/<id>`
+        // body. ---
+        for &id in &unique {
+            assert!(traces.well_nested(id), "trace {id:016x} is well nested");
+            let spans = traces.spans(id).unwrap();
+            let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent_id.is_none()).collect();
+            assert_eq!(roots.len(), 1, "one root per trace");
+            assert_eq!(roots[0].name, "replication.commit");
+            assert_eq!(roots[0].node, "node0");
+        }
+        let traced_push = pushes.first().unwrap().trace_id;
+        let rendered = traces.render(traced_push).unwrap();
+        for needle in [
+            "replication.commit",
+            "replication.ship",
+            "replication.apply",
+            "live.push",
+            "@node0",
+            "@node1",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "render missing {needle}:\n{rendered}"
+            );
+        }
+    }
+}
