@@ -38,10 +38,17 @@
 //!   that maintains materialized albums differentially from committed
 //!   deltas instead of invalidating them, and a SparqlPuSH hub that
 //!   ships the resulting diffs to subscribers with at-least-once
-//!   delivery and idempotent apply.
+//!   delivery and idempotent apply;
+//! * [`admission`] — per-tenant token-bucket quotas and queue-depth
+//!   load shedding (ROADMAP item 5): cheap-to-reject admission ahead of
+//!   parse/plan/eval, feeding the `/ops` degradation verdict;
+//! * [`traffic`] — deterministic multi-tenant open-loop traffic
+//!   generation (DetRng arrivals on a virtual clock) driving the real
+//!   admission controller for E23 and the overload chaos test.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod albums;
 pub mod batch;
 pub mod deferred;
@@ -54,8 +61,10 @@ pub mod metrics;
 pub mod platform;
 pub mod replication;
 pub mod search;
+pub mod traffic;
 pub mod web;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, ShedClass};
 pub use albums::AlbumSpec;
 pub use error::PlatformError;
 pub use ingest::{IngestPool, IngestReport};

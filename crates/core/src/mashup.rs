@@ -116,6 +116,7 @@ impl MashupService {
                  ?others rdfs:label ?lbl .
                  ?others dbpo:abstract ?desc .
                  ?others a dbpo:Place .
+                 FILTER langMatches(lang(?lbl), '{lang}') .
                  FILTER langMatches(lang(?desc), '{lang}') .
                  FILTER( bif:st_intersects( "{wkt}", ?locCity, {r} ) ) .
                }} LIMIT {limit}"#,

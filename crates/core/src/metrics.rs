@@ -18,7 +18,9 @@ use lodify_lod::SemanticBroker;
 use lodify_rdf::Iri;
 use lodify_relational::workload::{PictureTruth, TruthSubject};
 use lodify_resilience::BreakerState;
+use lodify_sparql::PlanCacheStats;
 
+use crate::admission::AdmissionOps;
 use crate::albums::AlbumCacheStats;
 use crate::federation::Federation;
 
@@ -267,6 +269,12 @@ pub struct OpsSnapshot {
     /// Standing-query maintenance and SparqlPuSH delivery counters,
     /// when the platform runs live albums.
     pub live: Option<LiveOps>,
+    /// Compiled-plan cache counters (hits, misses, bypasses,
+    /// drift-driven invalidations), when the platform plans queries.
+    pub plan_cache: Option<PlanCacheStats>,
+    /// Admission-control counters (admitted, shed, queue depth) plus
+    /// the recoverable shedding verdict, when admission control is on.
+    pub admission: Option<AdmissionOps>,
 }
 
 /// The optional inputs to [`OpsSnapshot::collect`]. Every field
@@ -289,6 +297,10 @@ pub struct OpsSources<'a> {
     pub semantic_cache: Option<SemanticCacheStats>,
     /// Live-album counters, when standing queries are registered.
     pub live: Option<LiveOps>,
+    /// Plan-cache counters, when the platform plans queries.
+    pub plan_cache: Option<PlanCacheStats>,
+    /// Admission counters, when admission control is enabled.
+    pub admission: Option<AdmissionOps>,
 }
 
 impl OpsSnapshot {
@@ -303,6 +315,8 @@ impl OpsSnapshot {
             album_cache,
             semantic_cache,
             live,
+            plan_cache,
+            admission,
         } = sources;
         let mut snapshot = OpsSnapshot::default();
         let telemetry = broker.telemetry();
@@ -340,6 +354,8 @@ impl OpsSnapshot {
         snapshot.album_cache = album_cache;
         snapshot.semantic_cache = semantic_cache;
         snapshot.live = live;
+        snapshot.plan_cache = plan_cache;
+        snapshot.admission = admission;
         snapshot
     }
 
@@ -362,7 +378,9 @@ impl OpsSnapshot {
     /// non-empty dead-letter queue, re-annotation items that exhausted
     /// their attempt cap (permanently degraded content), or a WAL
     /// backlog past [`OpsSnapshot::WAL_BACKLOG_THRESHOLD`] (durability
-    /// barrier falling behind).
+    /// barrier falling behind), or admission control actively shedding
+    /// load (depth at the shed threshold or an overload shed within the
+    /// recent window — recovers on its own once the storm drains).
     pub fn is_degraded(&self) -> bool {
         self.resolvers
             .iter()
@@ -381,6 +399,7 @@ impl OpsSnapshot {
             || self.live.as_ref().is_some_and(|l| {
                 l.push.dlq_depth > 0 || l.push.lag >= Self::LIVE_PUSH_LAG_THRESHOLD
             })
+            || self.admission.as_ref().is_some_and(|a| a.shedding)
     }
 }
 
@@ -465,6 +484,20 @@ impl fmt::Display for OpsSnapshot {
                 l.push.redelivered,
                 l.push.lag,
                 l.push.dlq_depth
+            )?;
+        }
+        if let Some(p) = &self.plan_cache {
+            write!(
+                f,
+                "\n  plan cache  hits={} misses={} bypass={} invalidations={} entries={}",
+                p.hits, p.misses, p.bypasses, p.invalidations, p.entries
+            )?;
+        }
+        if let Some(a) = &self.admission {
+            write!(
+                f,
+                "\n  admission   admitted={} shed_quota={} shed_overload={} depth={} tenants={} shedding={}",
+                a.admitted, a.shed_quota, a.shed_overload, a.queue_depth, a.tenants, a.shedding
             )?;
         }
         Ok(())

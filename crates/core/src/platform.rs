@@ -162,6 +162,8 @@ pub struct Platform {
     outbox: Option<EmissionOutbox>,
     live: LiveService,
     cardinality: lodify_sparql::CardinalityProfile,
+    plan_cache: lodify_sparql::PlanCache,
+    admission: Option<crate::admission::AdmissionController>,
 }
 
 impl Platform {
@@ -286,6 +288,8 @@ impl Platform {
             outbox: None,
             live: LiveService::new(),
             cardinality: lodify_sparql::CardinalityProfile::new(),
+            plan_cache: lodify_sparql::PlanCache::new(),
+            admission: None,
         };
         platform.wire_observability();
         platform.rebuild_tag_index()?;
@@ -918,40 +922,101 @@ impl Platform {
     /// Runs a SPARQL query against the platform store.
     ///
     /// Execution is traced (`sparql` root span, `sparql.parse` /
-    /// `sparql.eval` children). The evaluator's [`lodify_sparql::EvalReport`] feeds
+    /// `sparql.plan` / `sparql.eval` children) and goes through the
+    /// fingerprint-keyed [`lodify_sparql::PlanCache`]: a full hit skips
+    /// parse *and* plan, a plan-only hit (same fingerprint, different
+    /// literals) reparses but reuses the cached join order, and a miss
+    /// compiles a fresh cost-based [`lodify_sparql::Plan`] calibrated
+    /// by the cardinality registry and caches it. After every planned
+    /// execution the worst estimated-vs-actual operator drift is fed
+    /// back; past the cache's threshold the entry is invalidated so the
+    /// next request replans against current statistics.
+    ///
+    /// The evaluator's [`lodify_sparql::EvalReport`] feeds
     /// the `sparql.busy` and `sparql.critical_path` histograms when
     /// parallel sections ran, and executions crossing the slow-query
     /// threshold are aggregated in the slow-query log under the
     /// query's normalized fingerprint, together with the per-operator
-    /// [`lodify_sparql::EvalProfile`] breakdown of the worst run. Every
-    /// profiled execution also feeds the per-predicate
+    /// [`lodify_sparql::EvalProfile`] breakdown, plan-cache outcome
+    /// (`hit` / `miss`) and plan id of the worst run. Every profiled
+    /// execution also feeds the per-predicate
     /// [`lodify_sparql::CardinalityProfile`] registry
     /// ([`Self::cardinality`]), and the `sparql.query` histogram tags
     /// its bucket with the query's trace id as an exemplar.
     pub fn query(&self, sparql: &str) -> Result<lodify_sparql::QueryResults, PlatformError> {
         if !self.obs.is_enabled() {
+            self.plan_cache.note_bypass();
             return Ok(lodify_sparql::execute(self.store.store(), sparql)?);
         }
         let started = self.obs.metrics().now_micros();
         let root = self.obs.tracer().start("sparql");
 
-        let parse_span = root.child("sparql.parse");
-        let parsed = lodify_sparql::parse(sparql);
-        parse_span.finish();
-        let parsed = match parsed {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                self.obs.metrics().incr("sparql.parse.errors");
-                root.finish();
-                return Err(e.into());
+        let fingerprint = lodify_sparql::fingerprint(sparql);
+        let lookup = self.plan_cache.lookup(&fingerprint, sparql);
+        let outcome = match &lookup {
+            lodify_sparql::PlanLookup::Miss => "miss",
+            _ => "hit",
+        };
+        self.obs.metrics().incr(match outcome {
+            "hit" => "sparql.plan.hits",
+            _ => "sparql.plan.misses",
+        });
+
+        let (parsed, cached_plan) = match lookup {
+            lodify_sparql::PlanLookup::Hit { query, plan } => (query, Some(plan)),
+            lodify_sparql::PlanLookup::PlanOnly { plan } => {
+                let parse_span = root.child("sparql.parse");
+                let parsed = lodify_sparql::parse(sparql);
+                parse_span.finish();
+                match parsed {
+                    Ok(parsed) => (Arc::new(parsed), Some(plan)),
+                    Err(e) => {
+                        self.obs.metrics().incr("sparql.parse.errors");
+                        root.finish();
+                        return Err(e.into());
+                    }
+                }
+            }
+            lodify_sparql::PlanLookup::Miss => {
+                let parse_span = root.child("sparql.parse");
+                let parsed = lodify_sparql::parse(sparql);
+                parse_span.finish();
+                match parsed {
+                    Ok(parsed) => (Arc::new(parsed), None),
+                    Err(e) => {
+                        self.obs.metrics().incr("sparql.parse.errors");
+                        root.finish();
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                let plan_span = root.child("sparql.plan");
+                let plan = Arc::new(lodify_sparql::plan_query(
+                    self.store.store(),
+                    &parsed,
+                    Some(&self.cardinality),
+                ));
+                plan_span.finish();
+                self.plan_cache.insert(
+                    &fingerprint,
+                    sparql,
+                    Arc::clone(&parsed),
+                    Arc::clone(&plan),
+                );
+                plan
             }
         };
 
         let eval_span = root.child("sparql.eval");
-        let evaluated = lodify_sparql::eval::evaluate_with_report(
+        let evaluated = lodify_sparql::evaluate_planned(
             self.store.store(),
             &parsed,
             lodify_sparql::EvalOptions::default(),
+            &plan,
         );
         eval_span.finish();
         let trace_id = root.context().map(|c| c.trace_id).unwrap_or(0);
@@ -970,15 +1035,27 @@ impl Platform {
             metrics.observe_duration("sparql.critical_path", report.critical_path);
         }
         self.cardinality.absorb(&report.profile);
+        // Drift only invalidates once the store has moved past the
+        // plan's epoch: same-epoch drift is cost-model error a replan
+        // against identical statistics would reproduce (the cache
+        // would thrash, every request a miss), while stale-epoch
+        // drift means the data shifted under the plan and replanning
+        // can actually pick a better order.
+        if plan.epoch() != self.store.store().epoch()
+            && self.plan_cache.note_drift(&fingerprint, report.plan_drift)
+        {
+            metrics.incr("sparql.plan.invalidations");
+        }
         let elapsed_us = metrics.now_micros().saturating_sub(started);
         metrics.observe_with_exemplar("sparql.query", elapsed_us, trace_id);
         if elapsed_us >= self.obs.slow_queries().threshold_us() {
-            let fingerprint = lodify_sparql::fingerprint(sparql);
-            self.obs.slow_queries().record_with_breakdown(
+            self.obs.slow_queries().record_annotated(
                 &fingerprint,
                 sparql,
                 elapsed_us,
                 &report.profile.render_lines(),
+                Some(outcome),
+                Some(plan.id()),
             );
             metrics.incr("sparql.slow");
         }
@@ -991,6 +1068,35 @@ impl Platform {
     /// statistics for cost-based planning (ROADMAP item 5).
     pub fn cardinality(&self) -> &lodify_sparql::CardinalityProfile {
         &self.cardinality
+    }
+
+    /// The compiled-plan cache (counters, drift threshold).
+    pub fn plan_cache(&self) -> &lodify_sparql::PlanCache {
+        &self.plan_cache
+    }
+
+    /// Plan-cache counter snapshot (for [`crate::metrics`]).
+    pub fn plan_cache_stats(&self) -> lodify_sparql::PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Switches admission control on: from now on the web layer
+    /// consults a per-tenant token-bucket + queue-depth shedding
+    /// [`crate::admission::AdmissionController`] before routing, and
+    /// the `/ops` verdict degrades while the controller sheds. The
+    /// controller reads the platform's obs clock, so virtual-time
+    /// chaos tests drive refill and recovery deterministically.
+    pub fn enable_admission(&mut self, config: crate::admission::AdmissionConfig) {
+        self.admission = Some(crate::admission::AdmissionController::new(
+            Arc::clone(self.obs.clock()),
+            config,
+        ));
+    }
+
+    /// The admission controller, when [`Platform::enable_admission`]
+    /// ran.
+    pub fn admission(&self) -> Option<&crate::admission::AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// Serves a virtual album through the materialized-album cache:
@@ -1074,6 +1180,8 @@ impl Platform {
                 semantic_cache: Some(self.semantic_cache_stats()),
                 live: (!self.live.engine().is_empty() || !self.live.hub().is_empty())
                     .then(|| self.live.ops()),
+                plan_cache: Some(self.plan_cache_stats()),
+                admission: self.admission.as_ref().map(|a| a.ops()),
                 ..Default::default()
             },
         )
@@ -1176,6 +1284,13 @@ impl Platform {
             metrics.set_gauge("live.push.subscribers", live.push.subscribers as u64);
             metrics.set_gauge("live.push.lag", live.push.lag);
             metrics.set_gauge("live.push.dlq.depth", live.push.dlq_depth as u64);
+        }
+        let plan = self.plan_cache_stats();
+        metrics.set_gauge("sparql.plan.entries", plan.entries as u64);
+        if let Some(admission) = &self.admission {
+            let ops = admission.ops();
+            metrics.set_gauge("admission.queue.depth", ops.queue_depth as u64);
+            metrics.set_gauge("admission.tenants", ops.tenants as u64);
         }
         metrics.set_gauge("store.epoch", self.store.store().epoch());
         metrics.set_gauge("store.shards", self.store.store().shard_count() as u64);

@@ -46,6 +46,10 @@ pub struct Request {
     /// Whether the `User-Agent` looks like a mobile device (§3's
     /// automatic redirect to the mobile interface).
     pub mobile: bool,
+    /// Caller identity for admission control, from the `X-Tenant`
+    /// header (preferred) or a `tenant` query parameter. Anonymous
+    /// requests share one quota bucket.
+    pub tenant: Option<String>,
 }
 
 impl Request {
@@ -74,10 +78,17 @@ impl Request {
                 ua.contains("mobile") || ua.contains("android") || ua.contains("iphone")
             })
             .unwrap_or(false);
+        let tenant = headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("x-tenant"))
+            .map(|(_, value)| value.trim().to_string())
+            .or_else(|| query.get("tenant").cloned())
+            .filter(|t| !t.is_empty());
         Some(Request {
             path: path.to_string(),
             query,
             mobile,
+            tenant,
         })
     }
 }
@@ -146,11 +157,35 @@ impl Response {
         }
     }
 
+    /// 429: the tenant's quota bucket is empty.
+    pub fn too_many_requests(tenant: &str) -> Response {
+        Response {
+            status: 429,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("quota exceeded for tenant {tenant}: retry later\n"),
+            request_id: None,
+            trace_id: None,
+        }
+    }
+
+    /// 503: the node is shedding this request class under overload.
+    pub fn service_unavailable() -> Response {
+        Response {
+            status: 503,
+            content_type: "text/plain; charset=utf-8",
+            body: "overloaded: request shed, retry later\n".to_string(),
+            request_id: None,
+            trace_id: None,
+        }
+    }
+
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
         let request_id = self
@@ -279,13 +314,58 @@ pub fn route(platform: &Platform, request: &Request) -> Response {
 /// platform's access log. The ids are echoed back on the response
 /// (`X-Request-Id`, `X-Trace-Id`). [`route`] stays pure for tests
 /// that don't care about the plumbing.
+///
+/// When [`Platform::enable_admission`] ran, admission is decided
+/// *before* routing — a shed request costs a classification and an
+/// atomic load, never a parse or a store touch. Quota rejections
+/// return 429, overload sheds 503; both still get a request id and an
+/// access-log entry so storms stay visible. Operational endpoints
+/// (`/ops`, `/metrics`, `/trace/…`) are never shed.
 pub fn handle_request(platform: &Platform, request: &Request) -> Response {
     let obs = platform.obs();
     let request_id = obs.access_log().begin();
     let started = obs.metrics().now_micros();
+
+    let mut permit = None;
+    if let Some(admission) = platform.admission() {
+        use crate::admission::{AdmissionDecision, ShedClass};
+        let class = ShedClass::classify(&request.path);
+        match admission.admit(request.tenant.as_deref(), class) {
+            AdmissionDecision::Admit(p) => permit = Some(p),
+            AdmissionDecision::RejectQuota => {
+                obs.metrics().incr("web.shed.quota");
+                let mut response =
+                    Response::too_many_requests(request.tenant.as_deref().unwrap_or("anon"));
+                let elapsed_us = obs.metrics().now_micros().saturating_sub(started);
+                obs.access_log().record(lodify_obs::AccessEntry {
+                    request_id,
+                    target: request_target(request),
+                    status: response.status,
+                    duration_us: elapsed_us,
+                });
+                response.request_id = Some(request_id);
+                return response;
+            }
+            AdmissionDecision::RejectOverload => {
+                obs.metrics().incr("web.shed.overload");
+                let mut response = Response::service_unavailable();
+                let elapsed_us = obs.metrics().now_micros().saturating_sub(started);
+                obs.access_log().record(lodify_obs::AccessEntry {
+                    request_id,
+                    target: request_target(request),
+                    status: response.status,
+                    duration_us: elapsed_us,
+                });
+                response.request_id = Some(request_id);
+                return response;
+            }
+        }
+    }
+
     let span = obs.tracer().start("web.request");
     let trace_id = span.context().map(|c| c.trace_id);
     let mut response = route(platform, request);
+    drop(permit);
     // A live span mirrors its duration (exemplar included) into the
     // `web.request` histogram on finish; observe manually only when
     // tracing is off so the histogram never double-counts.
@@ -613,12 +693,18 @@ fn render_ops(platform: &Platform) -> String {
         obs.slow_queries().evictions()
     );
     for (fingerprint, entry) in slow.iter().take(16) {
+        let plan = match (&entry.plan_cache, entry.plan_id) {
+            (Some(outcome), Some(id)) => format!(" plan_cache={outcome} plan_id={id:016x}"),
+            (Some(outcome), None) => format!(" plan_cache={outcome}"),
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
-            "  count={} mean={}us max={}us  {}",
+            "  count={} mean={}us max={}us{}  {}",
             entry.count,
             entry.mean_us(),
             entry.max_us,
+            plan,
             fingerprint
         );
         for line in entry.breakdown.iter().take(8) {
@@ -925,6 +1011,16 @@ mod tests {
         assert_eq!(r.query.get("q").map(String::as_str), Some("Tur"));
         assert_eq!(r.query.get("limit").map(String::as_str), Some("5"));
         assert!(!r.mobile);
+        assert!(r.tenant.is_none());
+        // Tenant: X-Tenant header wins over the query parameter.
+        let r = Request::parse(
+            "GET /?tenant=query HTTP/1.1",
+            &[("X-Tenant".to_string(), "header".to_string())],
+        )
+        .unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("header"));
+        let r = Request::parse("GET /?tenant=query HTTP/1.1", &[]).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("query"));
         assert!(Request::parse("POST / HTTP/1.1", &[]).is_none());
         // plus + percent decoding
         let r = Request::parse("GET /search?q=Mole+Antonelliana%21 HTTP/1.1", &[]).unwrap();
@@ -1091,6 +1187,74 @@ mod tests {
         assert!(resp.body.contains("breaker=OPEN"), "{}", resp.body);
         assert!(resp.body.contains("slow queries"), "{}", resp.body);
         assert!(resp.body.contains("recent requests"), "{}", resp.body);
+    }
+
+    #[test]
+    fn admission_rejects_and_ops_reports_shedding() {
+        use crate::admission::AdmissionConfig;
+
+        let mut p = platform();
+        p.enable_admission(AdmissionConfig {
+            tenant_rate_per_sec: 0.0,
+            tenant_burst: 1.0,
+            ..AdmissionConfig::default()
+        });
+
+        let send = |p: &Platform, target: &str, tenant: &str| {
+            let headers = vec![("X-Tenant".to_string(), tenant.to_string())];
+            let request = Request::parse(&format!("GET {target} HTTP/1.1"), &headers).unwrap();
+            handle_request(p, &request)
+        };
+
+        // One token per tenant, no refill: second request is 429.
+        assert_eq!(send(&p, "/", "alice").status, 200);
+        let rejected = send(&p, "/", "alice");
+        assert_eq!(rejected.status, 429);
+        assert!(rejected.body.contains("alice"), "{}", rejected.body);
+        assert!(rejected.request_id.is_some(), "sheds are logged");
+        // Other tenants have their own bucket.
+        assert_eq!(send(&p, "/", "bob").status, 200);
+        // Critical endpoints bypass the quota entirely.
+        assert_eq!(send(&p, "/ops", "alice").status, 200);
+
+        let ops = send(&p, "/ops", "carol");
+        assert!(ops.body.contains("admission"), "{}", ops.body);
+        assert!(ops.body.contains("shed_quota=1"), "{}", ops.body);
+
+        // Overload shedding: hard depth 0 sheds every non-critical
+        // class with 503 and degrades the verdict.
+        p.enable_admission(AdmissionConfig {
+            shed_depth: 0,
+            hard_depth: 0,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(send(&p, "/", "alice").status, 503);
+        assert_eq!(send(&p, "/album?monument=Mole", "alice").status, 503);
+        let ops = send(&p, "/ops", "alice");
+        assert_eq!(ops.status, 200, "operators can always see why");
+        assert!(ops.body.contains("status: DEGRADED"), "{}", ops.body);
+        assert!(ops.body.contains("shedding=true"), "{}", ops.body);
+    }
+
+    #[test]
+    fn ops_route_reports_plan_cache_counters() {
+        let p = platform();
+        let query = "SELECT ?s WHERE { ?s <http://ex/p> ?o . }";
+        p.query(query).unwrap();
+        p.query(query).unwrap();
+        let resp = get(&p, "/ops", false);
+        assert!(resp.body.contains("plan cache"), "{}", resp.body);
+        assert!(
+            resp.body.contains("hits=1 misses=1"),
+            "second run hits: {}",
+            resp.body
+        );
+        let metrics = get(&p, "/metrics", false);
+        assert!(
+            metrics.body.contains("lodify_sparql_plan_entries 1"),
+            "{}",
+            metrics.body
+        );
     }
 
     #[test]

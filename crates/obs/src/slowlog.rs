@@ -34,6 +34,12 @@ pub struct SlowQueryEntry {
     /// Per-operator breakdown lines of the worst execution (empty when
     /// the caller never supplied one).
     pub breakdown: Vec<String>,
+    /// Plan-cache outcome of the worst execution (`hit` / `miss` /
+    /// `bypass`), when the caller supplied one — lets `/ops` tell
+    /// slow-because-replanned apart from slow-because-bad-plan.
+    pub plan_cache: Option<String>,
+    /// Id of the plan the worst execution ran, when it ran planned.
+    pub plan_id: Option<u64>,
 }
 
 impl SlowQueryEntry {
@@ -124,6 +130,21 @@ impl SlowQueryLog {
         elapsed_us: u64,
         breakdown: &[String],
     ) -> bool {
+        self.record_annotated(fingerprint, query, elapsed_us, breakdown, None, None)
+    }
+
+    /// Records an execution with its breakdown plus the plan-cache
+    /// outcome (`hit` / `miss` / `bypass`) and plan id; like the
+    /// breakdown, the annotation of the worst execution is kept.
+    pub fn record_annotated(
+        &self,
+        fingerprint: &str,
+        query: &str,
+        elapsed_us: u64,
+        breakdown: &[String],
+        plan_cache: Option<&str>,
+        plan_id: Option<u64>,
+    ) -> bool {
         if elapsed_us < self.threshold_us() {
             return false;
         }
@@ -138,6 +159,10 @@ impl SlowQueryLog {
                     slot.entry.max_us = elapsed_us;
                     if !breakdown.is_empty() {
                         slot.entry.breakdown = breakdown.to_vec();
+                    }
+                    if plan_cache.is_some() {
+                        slot.entry.plan_cache = plan_cache.map(str::to_string);
+                        slot.entry.plan_id = plan_id;
                     }
                 }
             }
@@ -161,6 +186,8 @@ impl SlowQueryLog {
                             max_us: elapsed_us,
                             sample: query.to_string(),
                             breakdown: breakdown.to_vec(),
+                            plan_cache: plan_cache.map(str::to_string),
+                            plan_id,
                         },
                         last_seen: tick,
                     },
@@ -270,5 +297,20 @@ mod tests {
         let entry = &log.entries()[0].1;
         assert_eq!(entry.max_us, 900);
         assert_eq!(entry.breakdown, slow, "breakdown follows the worst run");
+    }
+
+    #[test]
+    fn worst_execution_keeps_its_plan_annotation() {
+        let log = SlowQueryLog::new(1);
+        log.record_annotated("fp", "q", 100, &[], Some("miss"), Some(7));
+        log.record_annotated("fp", "q", 900, &[], Some("hit"), Some(9));
+        log.record_annotated("fp", "q", 50, &[], Some("miss"), Some(7));
+        let entry = &log.entries()[0].1;
+        assert_eq!(entry.plan_cache.as_deref(), Some("hit"));
+        assert_eq!(entry.plan_id, Some(9));
+        // Plain record keeps the existing annotation.
+        log.record("fp", "q", 950);
+        let entry = &log.entries()[0].1;
+        assert_eq!(entry.plan_cache.as_deref(), Some("hit"));
     }
 }

@@ -29,6 +29,7 @@ use lodify_store::{Store, TermId};
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::expr::{self, ExprError};
+use crate::plan::{run_key, Estimator, Plan};
 use crate::pool;
 use crate::profile::{EvalProfile, OperatorKind, OperatorProfile, WallTimer};
 use crate::results::QueryResults;
@@ -110,6 +111,15 @@ pub struct EvalReport {
     /// wall time. Feeds the slow-query breakdown and the per-predicate
     /// [`CardinalityProfile`](crate::profile::CardinalityProfile).
     pub profile: EvalProfile,
+    /// BGP runs that executed a cost-based [`Plan`] order (zero when
+    /// evaluation ran unplanned or every run key missed the plan and
+    /// fell back to the greedy order).
+    pub planned_runs: u64,
+    /// Worst per-operator estimated-vs-actual ratio over the planned
+    /// steps (`max(actual/est, est/actual)`, both floored at 1). The
+    /// plan cache invalidates entries whose drift crosses its
+    /// threshold. `0.0` when no planned run executed.
+    pub plan_drift: f64,
 }
 
 impl EvalReport {
@@ -153,7 +163,31 @@ pub fn evaluate_with_report(
     query: &Query,
     options: EvalOptions,
 ) -> Result<(QueryResults, EvalReport), SparqlError> {
-    let ev = Evaluator::new(store, options);
+    run_evaluator(Evaluator::new(store, options), store, query)
+}
+
+/// Evaluates a query following a cost-based [`Plan`]: each BGP run
+/// whose [`run_key`] the plan covers executes in the planned order
+/// with the plan's cost estimates feeding the operator profile (so
+/// est-vs-actual drift is measured against the plan); runs the plan
+/// does not cover fall back to the greedy order. Results are
+/// byte-identical to the unplanned engine — a plan only changes the
+/// join order inside BGP runs, which never changes the result set, and
+/// the final projection/sort pipeline is shared.
+pub fn evaluate_planned(
+    store: &Store,
+    query: &Query,
+    options: EvalOptions,
+    plan: &Plan,
+) -> Result<(QueryResults, EvalReport), SparqlError> {
+    run_evaluator(Evaluator::with_plan(store, options, plan), store, query)
+}
+
+fn run_evaluator(
+    ev: Evaluator<'_>,
+    store: &Store,
+    query: &Query,
+) -> Result<(QueryResults, EvalReport), SparqlError> {
     let results = if query_has_aggregates(query) {
         ev.evaluate_aggregate(query)?
     } else {
@@ -312,6 +346,13 @@ impl IdResults {
 struct Evaluator<'s> {
     store: &'s Store,
     options: EvalOptions,
+    /// The one cardinality probe API ([`crate::plan::Estimator`]):
+    /// greedy ordering, split selection, and the planner all estimate
+    /// through it, so they can never disagree.
+    estimator: Estimator<'s>,
+    /// The cost-based plan to follow, when evaluating via
+    /// [`evaluate_planned`].
+    plan: Option<&'s Plan>,
     report: RefCell<EvalReport>,
 }
 
@@ -320,7 +361,16 @@ impl<'s> Evaluator<'s> {
         Evaluator {
             store,
             options,
+            estimator: Estimator::new(store),
+            plan: None,
             report: RefCell::new(EvalReport::default()),
+        }
+    }
+
+    fn with_plan(store: &'s Store, options: EvalOptions, plan: &'s Plan) -> Evaluator<'s> {
+        Evaluator {
+            plan: Some(plan),
+            ..Evaluator::new(store, options)
         }
     }
 
@@ -377,6 +427,20 @@ impl<'s> Evaluator<'s> {
         if query.select.distinct {
             let mut seen = HashSet::new();
             rows.retain(|row| seen.insert(row.clone()));
+        }
+        if query.order_by.is_empty() {
+            // Without ORDER BY the raw row order would leak the join
+            // order — greedy, planned and parallel evaluation must stay
+            // byte-identical, so pin a canonical term order (layout-
+            // independent: terms compare by value, not by id).
+            rows.sort_by(|a, b| {
+                let key = |row: &[Option<TermId>]| {
+                    row.iter()
+                        .map(|cell| cell.and_then(|id| self.store.term_of(id)))
+                        .collect::<Vec<_>>()
+                };
+                key(a).cmp(&key(b))
+            });
         }
         apply_slice(&mut rows, query.offset, query.limit);
 
@@ -583,7 +647,28 @@ impl<'s> Evaluator<'s> {
                             break;
                         }
                     }
-                    let ordered = self.order_patterns(&run, &bound, reg);
+                    // A cost-based plan covering this run (matched by
+                    // its entry key) dictates the join order and the
+                    // per-step estimates; otherwise order greedily.
+                    // The key is computed at run entry with the same
+                    // function the planner used, and a malformed
+                    // permutation falls back too — the greedy order is
+                    // always correct, a plan is only ever faster.
+                    let planned = self.plan.and_then(|plan| {
+                        let key =
+                            run_key(&run, &|v| reg.slot(v).is_some_and(|s| bound.contains(&s)));
+                        plan.run(&key).filter(|rp| rp.applies_to(run.len()))
+                    });
+                    let (ordered, plan_estimates) = match planned {
+                        Some(rp) => {
+                            self.report.borrow_mut().planned_runs += 1;
+                            (
+                                rp.order.iter().map(|&idx| run[idx]).collect::<Vec<_>>(),
+                                Some(rp.estimates.as_slice()),
+                            )
+                        }
+                        None => (self.order_patterns(&run, &bound, reg), None),
+                    };
                     // Join statistics decide whether (and where) this
                     // run is worth partitioning: probes after the
                     // split pattern see its bindings fan out and run
@@ -594,7 +679,10 @@ impl<'s> Evaluator<'s> {
                     }
                     for (k, pattern) in ordered.iter().enumerate() {
                         let fork = split.as_ref().is_some_and(|&(idx, _)| k > idx);
-                        let estimated = self.estimate(pattern, &bound, reg);
+                        let estimated = match plan_estimates {
+                            Some(ests) => ests[k],
+                            None => self.estimate(pattern, &bound, reg),
+                        };
                         let input_rows = solutions.len() as u64;
                         let timer = WallTimer::start();
                         solutions = self.match_pattern(pattern, solutions, reg, fork)?;
@@ -611,6 +699,16 @@ impl<'s> Evaluator<'s> {
                             output_rows: solutions.len() as u64,
                             elapsed_us: timer.elapsed_us(),
                         });
+                        if plan_estimates.is_some() {
+                            // Symmetric drift ratio of this planned
+                            // step, floored at 1 row on both sides so
+                            // empty results don't divide by zero.
+                            let est = estimated.max(1.0);
+                            let actual = (solutions.len() as f64).max(1.0);
+                            let drift = (actual / est).max(est / actual);
+                            let mut report = self.report.borrow_mut();
+                            report.plan_drift = report.plan_drift.max(drift);
+                        }
                         for v in pattern.vars() {
                             if let Some(slot) = reg.slot(v) {
                                 bound.insert(slot);
@@ -781,7 +879,7 @@ impl<'s> Evaluator<'s> {
                 _ => None,
             };
             if let Some(var) = fresh_subject {
-                if self.exact_count(pattern) >= self.options.parallel_threshold {
+                if self.estimator.exact_count(pattern) >= self.options.parallel_threshold {
                     return Some((idx, var.to_string()));
                 }
             }
@@ -792,27 +890,6 @@ impl<'s> Evaluator<'s> {
             }
         }
         None
-    }
-
-    /// Exact index cardinality of a pattern's constant positions — the
-    /// fan-out a probe of this pattern can produce. Unlike the
-    /// selectivity heuristic in [`Evaluator::estimate`] (which shrinks
-    /// as variables bind, by design), this is the true number of
-    /// candidate bindings the pattern feeds downstream, so it is the
-    /// honest quantity to weigh against the parallel threshold.
-    fn exact_count(&self, p: &TriplePattern) -> usize {
-        let id = |tov: &TermOrVar| match tov {
-            TermOrVar::Term(t) => match self.store.id_of(t) {
-                Some(id) => Ok(Some(id)),
-                None => Err(()),
-            },
-            TermOrVar::Var(_) => Ok(None),
-        };
-        match (id(&p.subject), id(&p.predicate), id(&p.object)) {
-            (Ok(s), Ok(pr), Ok(o)) => self.store.count_pattern(s, pr, o),
-            // A constant missing from the dictionary matches nothing.
-            _ => 0,
-        }
     }
 
     /// Greedy join order: repeatedly pick the pattern with the lowest
@@ -847,30 +924,14 @@ impl<'s> Evaluator<'s> {
         ordered
     }
 
+    /// The greedy ordering's selectivity estimate, routed through the
+    /// shared [`Estimator`] so the planner, the greedy order, and the
+    /// split selection all draw from the same probe API. (The raw
+    /// statistics heuristic lives in `plan::Estimator::heuristic` —
+    /// the single sanctioned caller, enforced by a CI grep.)
     fn estimate(&self, p: &TriplePattern, bound: &HashSet<usize>, reg: &Registry) -> f64 {
-        let is_bound = |tov: &TermOrVar| match tov {
-            TermOrVar::Term(_) => true,
-            TermOrVar::Var(v) => reg.slot(v).is_some_and(|s| bound.contains(&s)),
-        };
-        let pred_id = match &p.predicate {
-            TermOrVar::Term(t) => self.store.id_of(t),
-            TermOrVar::Var(_) => None,
-        };
-        let has_const_pred = matches!(&p.predicate, TermOrVar::Term(_));
-        let estimate = self.store.stats().estimate(
-            is_bound(&p.subject),
-            if has_const_pred {
-                pred_id.or(Some(TermId(u64::MAX)))
-            } else {
-                None
-            },
-            is_bound(&p.object),
-        );
-        // A constant predicate missing from the dictionary means zero rows.
-        if has_const_pred && pred_id.is_none() {
-            return 0.0;
-        }
-        estimate
+        self.estimator
+            .heuristic(p, &|v| reg.slot(v).is_some_and(|s| bound.contains(&s)))
     }
 
     fn match_pattern(

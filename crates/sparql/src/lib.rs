@@ -40,17 +40,21 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod pool;
 pub mod profile;
 pub mod results;
 
+pub use cache::{PlanCache, PlanCacheStats, PlanLookup};
 pub use error::SparqlError;
-pub use eval::{EvalOptions, EvalReport};
+pub use eval::{evaluate_planned, EvalOptions, EvalReport};
+pub use plan::{plan_query, Estimator, Plan};
 pub use profile::{CardinalityProfile, EvalProfile, OperatorKind, OperatorProfile};
 pub use results::{QueryResults, Row};
 

@@ -1304,3 +1304,123 @@ mod tracing {
         }
     }
 }
+
+mod overload {
+    use std::sync::Arc;
+
+    use lodify::core::admission::AdmissionConfig;
+    use lodify::core::platform::{Platform, Upload};
+    use lodify::core::traffic::{run_open_loop, TrafficConfig};
+    use lodify::lod::annotator::ContentInput;
+    use lodify::obs::Obs;
+    use lodify::relational::WorkloadConfig;
+    use lodify::resilience::{BreakerState, FaultPlan, VirtualClock};
+
+    use super::{faulty_annotator, lod_store};
+
+    /// The full overload storm: a 2x open-loop traffic surge drives the
+    /// platform's real admission controller on virtual time while a
+    /// scripted fault plan keeps the dbpedia resolver dead — `/ops`
+    /// must degrade for *both* reasons, shed the expensive classes
+    /// first, keep the tail bounded, and recover on its own once the
+    /// storm drains and the outage lifts.
+    #[test]
+    fn overload_storm_sheds_degrades_and_recovers() {
+        let clock = VirtualClock::new();
+        let mut platform = Platform::bootstrap(WorkloadConfig::small(17)).unwrap();
+        platform.set_observability(Obs::with_clock(Arc::new(clock.clone())));
+        platform.enable_admission(AdmissionConfig {
+            tenant_rate_per_sec: 1e9,
+            tenant_burst: 1e9,
+            shed_depth: 8,
+            hard_depth: 16,
+            recent_shed_window_ms: 5_000,
+        });
+
+        // Resolver outage covering the whole storm window; trip the
+        // breaker before handing the annotator to the platform.
+        let outage_ends_ms = 60_000;
+        let plan = FaultPlan::builder()
+            .outage("resolver:dbpedia", 0, outage_ends_ms)
+            .build(clock.clone());
+        let annotator = faulty_annotator(&plan, &clock);
+        let scratch = lod_store();
+        annotator.annotate(
+            &scratch,
+            &ContentInput {
+                title: "Torino",
+                tags: &[],
+                context: None,
+                poi_ref: None,
+            },
+        );
+        assert_eq!(
+            annotator.broker().breaker_state("dbpedia"),
+            Some(BreakerState::Open),
+            "resolver outage tripped the breaker mid-storm"
+        );
+        platform.set_annotator(annotator);
+
+        // 2x overload for 3 virtual seconds through the platform's own
+        // controller; the unprotected baseline runs the same schedule.
+        let mut config = TrafficConfig::standard(23, 1.0, 3_000);
+        config.rate_per_sec = 2.0 / config.utilization();
+        let baseline = run_open_loop(&config, None, &VirtualClock::new());
+        let controller = platform.admission().unwrap().clone();
+        let shed = run_open_loop(&config, Some(&controller), &clock);
+
+        assert!(shed.shed_overload > 0, "the storm must shed: {shed:?}");
+        assert!(
+            baseline.p99_us > 4 * shed.p99_us,
+            "unshedded p99 {}us must diverge past shedded p99 {}us",
+            baseline.p99_us,
+            shed.p99_us
+        );
+        assert!(
+            shed.max_depth <= 16,
+            "hard depth bounds in-flight work: {shed:?}"
+        );
+
+        // Post-storm verdict: degraded for both reasons.
+        let snapshot = platform.ops_snapshot();
+        assert!(snapshot.is_degraded(), "storm + outage degrade /ops");
+        assert!(
+            snapshot
+                .resolvers
+                .iter()
+                .any(|r| r.breaker == Some(BreakerState::Open)),
+            "the dead resolver shows in the snapshot"
+        );
+        let admission = snapshot.admission.expect("admission section present");
+        assert!(admission.shedding, "recent sheds keep the verdict");
+        assert!(admission.shed_overload > 0);
+
+        // Recovery: the storm drains, the shed window elapses, the
+        // outage lifts, and the next upload's annotation probe closes
+        // the breaker.
+        clock.set(outage_ends_ms + 10_000);
+        platform
+            .upload(Upload {
+                user_id: 1,
+                title: "Tramonto a Torino".into(),
+                tags: vec!["torino".into()],
+                ts: 1_320_500_000,
+                gps: None,
+                poi: None,
+            })
+            .unwrap();
+        let recovered = platform.ops_snapshot();
+        assert!(
+            recovered
+                .resolvers
+                .iter()
+                .all(|r| r.breaker == Some(BreakerState::Closed) || r.breaker.is_none()),
+            "breakers close once the outage lifts: {recovered}"
+        );
+        assert!(!recovered.admission.unwrap().shedding);
+        assert!(
+            !recovered.is_degraded(),
+            "verdict recovers on its own: {recovered}"
+        );
+    }
+}
